@@ -1,0 +1,143 @@
+// Ablation (DESIGN.md §5): what each ingredient of the intermediate filter
+// buys, on one scenario. Compares, for find-relation over OLE-OPE:
+//
+//   ST2        no intermediate filter (refine everything)
+//   CH         convex-hull filter [6]: hulls disjoint => disjoint; can never
+//              certify intersection or containment
+//   APRIL      raster filter, intersection detection only [14]
+//   P+C-flat   raster filter without the MBR-case dispatch of Fig. 4/5:
+//              only the generic IFIntersects tests run for every pair
+//   P+C        the paper's full method (case-specific filter sequences)
+//
+// The gap between P+C-flat and P+C is exactly the value of the paper's
+// specialised per-MBR-case workflows.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/de9im/relate_engine.h"
+#include "src/geometry/convex_hull.h"
+#include "src/topology/intermediate_filters.h"
+#include "src/topology/mbr_relation.h"
+#include "src/util/timer.h"
+
+namespace stj::bench {
+namespace {
+
+struct AblationResult {
+  const char* name;
+  double pairs_per_second;
+  double undetermined_percent;
+};
+
+// Convex-hull filter: MBR classification plus hull-disjointness, then
+// refinement for everything else.
+AblationResult RunConvexHull(const ScenarioData& scenario) {
+  std::vector<Ring> r_hulls;
+  std::vector<Ring> s_hulls;
+  r_hulls.reserve(scenario.r.objects.size());
+  s_hulls.reserve(scenario.s.objects.size());
+  for (const SpatialObject& o : scenario.r.objects) {
+    r_hulls.push_back(ConvexHull(o.geometry));
+  }
+  for (const SpatialObject& o : scenario.s.objects) {
+    s_hulls.push_back(ConvexHull(o.geometry));
+  }
+  uint64_t refined = 0;
+  Timer timer;
+  for (const CandidatePair& pair : scenario.candidates) {
+    const Polygon& r = scenario.r.objects[pair.r_idx].geometry;
+    const Polygon& s = scenario.s.objects[pair.s_idx].geometry;
+    const BoxRelation boxes = ClassifyBoxes(r.Bounds(), s.Bounds());
+    if (boxes == BoxRelation::kDisjoint || boxes == BoxRelation::kCross) {
+      continue;  // decided by the MBR filter
+    }
+    if (!ConvexPolygonsIntersect(r_hulls[pair.r_idx], s_hulls[pair.s_idx])) {
+      continue;  // hulls disjoint => objects disjoint
+    }
+    ++refined;
+    const de9im::Matrix m = de9im::RelateEngine::Relate(r, s);
+    (void)de9im::MostSpecificRelation(m, MbrCandidates(boxes));
+  }
+  const double seconds = timer.ElapsedSeconds();
+  return AblationResult{
+      "CH",
+      static_cast<double>(scenario.candidates.size()) / seconds,
+      100.0 * static_cast<double>(refined) /
+          static_cast<double>(scenario.candidates.size())};
+}
+
+// P+C without the MBR-case dispatch: every pair goes through the generic
+// IFIntersects tests; definite containment/covering can never be produced.
+AblationResult RunFlatPC(const ScenarioData& scenario) {
+  uint64_t refined = 0;
+  Timer timer;
+  for (const CandidatePair& pair : scenario.candidates) {
+    const Polygon& r = scenario.r.objects[pair.r_idx].geometry;
+    const Polygon& s = scenario.s.objects[pair.s_idx].geometry;
+    const BoxRelation boxes = ClassifyBoxes(r.Bounds(), s.Bounds());
+    if (boxes == BoxRelation::kDisjoint || boxes == BoxRelation::kCross) {
+      continue;
+    }
+    const IFOutcome outcome = IFIntersects(scenario.r_april[pair.r_idx],
+                                           scenario.s_april[pair.s_idx]);
+    de9im::RelationSet candidates = MbrCandidates(boxes);
+    if (outcome == IFOutcome::kDisjoint) continue;
+    if (outcome == IFOutcome::kIntersects) {
+      candidates.Remove(de9im::Relation::kDisjoint);
+      candidates.Remove(de9im::Relation::kMeets);
+      if (candidates.Count() == 1) continue;  // plain intersects: decided
+    }
+    ++refined;
+    const de9im::Matrix m = de9im::RelateEngine::Relate(r, s);
+    (void)de9im::MostSpecificRelation(m, candidates);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  return AblationResult{
+      "P+C-flat",
+      static_cast<double>(scenario.candidates.size()) / seconds,
+      100.0 * static_cast<double>(refined) /
+          static_cast<double>(scenario.candidates.size())};
+}
+
+void Run(const BenchOptions& options) {
+  const ScenarioData scenario = BuildScenarioVerbose("OLE-OPE", options);
+
+  std::vector<AblationResult> results;
+  {
+    const FindRelationRun run =
+        RunFindRelation(Method::kST2, scenario, scenario.candidates);
+    results.push_back(AblationResult{"ST2", run.pairs_per_second,
+                                     run.stats.UndeterminedPercent()});
+  }
+  results.push_back(RunConvexHull(scenario));
+  {
+    const FindRelationRun run =
+        RunFindRelation(Method::kApril, scenario, scenario.candidates);
+    results.push_back(AblationResult{"APRIL", run.pairs_per_second,
+                                     run.stats.UndeterminedPercent()});
+  }
+  results.push_back(RunFlatPC(scenario));
+  {
+    const FindRelationRun run =
+        RunFindRelation(Method::kPC, scenario, scenario.candidates);
+    results.push_back(AblationResult{"P+C", run.pairs_per_second,
+                                     run.stats.UndeterminedPercent()});
+  }
+
+  PrintTitle("Intermediate-filter ablation (OLE-OPE, find relation)");
+  std::printf("%-10s %16s %16s\n", "filter", "pairs/s", "undetermined");
+  for (const AblationResult& r : results) {
+    std::printf("%-10s %16.0f %15.1f%%\n", r.name, r.pairs_per_second,
+                r.undetermined_percent);
+  }
+}
+
+}  // namespace
+}  // namespace stj::bench
+
+int main(int argc, char** argv) {
+  stj::bench::Run(stj::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation (DESIGN.md §5): sensitivity of the P+C method to the raster grid
+// resolution. Finer grids make P/C lists sharper (fewer undetermined pairs)
+// but cost more to build and store. The paper fixes 2^16 for its full-size
+// datasets; this sweep shows where the trade-off sits for the scaled-down
+// suite and why grid order 12 is the default here.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/timer.h"
+
+namespace stj::bench {
+namespace {
+
+void Run(const BenchOptions& options) {
+  // Build the scenario once without approximations; re-raster per order.
+  ScenarioOptions base = options.ToScenarioOptions();
+  base.build_april = false;
+  ScenarioData scenario = BuildScenario("OLE-OPE", base);
+  std::printf("[build] OLE-OPE: %zu x %zu objects, %zu candidates\n",
+              scenario.r.objects.size(), scenario.s.objects.size(),
+              scenario.candidates.size());
+
+  PrintTitle("Grid-order ablation (OLE-OPE, P+C)");
+  std::printf("%-6s %14s %14s %14s %14s %14s\n", "order", "build (s)",
+              "P+C size (MB)", "undetermined", "throughput", "vs ST2");
+
+  // ST2 reference is grid-independent: measure once.
+  scenario.r_april.assign(scenario.r.objects.size(), AprilApproximation{});
+  scenario.s_april.assign(scenario.s.objects.size(), AprilApproximation{});
+  const FindRelationRun st2 =
+      RunFindRelation(Method::kST2, scenario, scenario.candidates);
+
+  for (uint32_t order = 8; order <= 14; order += 2) {
+    Timer timer;
+    const RasterGrid grid(scenario.dataspace, order);
+    scenario.r_april = BuildAprilApproximations(scenario.r, grid);
+    scenario.s_april = BuildAprilApproximations(scenario.s, grid);
+    const double build_seconds = timer.ElapsedSeconds();
+    const double mb = static_cast<double>(scenario.AprilByteSize(true) +
+                                          scenario.AprilByteSize(false)) /
+                      1e6;
+    const FindRelationRun run =
+        RunFindRelation(Method::kPC, scenario, scenario.candidates);
+    std::printf("%-6u %14.2f %14.2f %13.1f%% %14.0f %13.1fx\n", order,
+                build_seconds, mb, run.stats.UndeterminedPercent(),
+                run.pairs_per_second,
+                st2.pairs_per_second > 0
+                    ? run.pairs_per_second / st2.pairs_per_second
+                    : 0.0);
+    std::fflush(stdout);
+  }
+  std::printf("(ST2 reference: %.0f pairs/s, 100%% refined)\n",
+              st2.pairs_per_second);
+}
+
+}  // namespace
+}  // namespace stj::bench
+
+int main(int argc, char** argv) {
+  stj::bench::Run(stj::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

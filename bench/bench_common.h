@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction harnesses: command-line
+// options, scenario construction with progress output, and table printing.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/datasets/scenarios.h"
+#include "src/topology/pipeline.h"
+
+namespace stj::bench {
+
+/// Options common to all harnesses. Defaults reproduce the scaled-down
+/// experiment suite; pass --scale to grow or shrink every dataset.
+struct BenchOptions {
+  double scale = 1.0;
+  uint32_t grid_order = 12;
+  uint64_t seed = 7;
+
+  /// Parses --scale=X / --grid-order=N / --seed=S; exits on --help.
+  static BenchOptions Parse(int argc, char** argv);
+
+  ScenarioOptions ToScenarioOptions() const {
+    ScenarioOptions options;
+    options.scale = scale;
+    options.grid_order = grid_order;
+    options.seed = seed;
+    return options;
+  }
+};
+
+/// Builds a scenario, printing build progress and summary statistics.
+ScenarioData BuildScenarioVerbose(const std::string& name,
+                                  const BenchOptions& options);
+
+/// Runs find-relation over all candidate pairs with \p method and returns
+/// the throughput in pairs/second. Outcome counts land in \p pipeline's
+/// stats; the returned relation histogram is indexed by Relation value.
+struct FindRelationRun {
+  double seconds = 0.0;
+  double pairs_per_second = 0.0;
+  PipelineStats stats;
+  std::vector<uint64_t> relation_histogram;  // size kNumRelations
+};
+FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
+                                const std::vector<CandidatePair>& pairs,
+                                bool time_stages = false);
+
+/// Prints a horizontal rule and a centred title.
+void PrintTitle(const std::string& title);
+
+/// All four methods in presentation order.
+const std::vector<Method>& AllMethods();
+
+}  // namespace stj::bench

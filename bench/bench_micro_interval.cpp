@@ -1,0 +1,90 @@
+// Micro-benchmarks for the interval-list merge-joins — the primitive the
+// P+C intermediate filters are built from. All four relations must be
+// linear in the list lengths.
+
+#include <benchmark/benchmark.h>
+
+#include "src/interval/interval_algebra.h"
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+IntervalList MakeList(Rng* rng, size_t intervals, CellId gap, CellId span) {
+  IntervalList list;
+  CellId cursor = rng->NextBounded(gap);
+  for (size_t i = 0; i < intervals; ++i) {
+    const CellId length = 1 + rng->NextBounded(span);
+    list.Append(cursor, cursor + length);
+    cursor += length + 1 + rng->NextBounded(gap);
+  }
+  return list;
+}
+
+void BM_ListsOverlap(benchmark::State& state) {
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalList x = MakeList(&rng, n, 8, 16);
+  const IntervalList y = MakeList(&rng, n, 8, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListsOverlap(x, y));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ListsOverlap)->Range(8, 64 << 10)->Complexity(benchmark::oN);
+
+void BM_ListsOverlapDisjointLists(benchmark::State& state) {
+  // Worst case for overlap: interleaved lists that never intersect force a
+  // full merge.
+  const size_t n = static_cast<size_t>(state.range(0));
+  IntervalList x;
+  IntervalList y;
+  for (size_t i = 0; i < n; ++i) {
+    x.Append(4 * i, 4 * i + 1);
+    y.Append(4 * i + 2, 4 * i + 3);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListsOverlap(x, y));
+  }
+}
+BENCHMARK(BM_ListsOverlapDisjointLists)->Range(8, 64 << 10);
+
+void BM_ListInside(benchmark::State& state) {
+  Rng rng(2);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalList y = MakeList(&rng, n, 4, 64);
+  // x: sub-intervals of y, guaranteeing the positive (full-scan) path.
+  IntervalList x;
+  for (size_t i = 0; i < y.Size(); i += 2) {
+    if (y[i].Length() >= 2) x.Append(y[i].begin, y[i].begin + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListInside(x, y));
+  }
+}
+BENCHMARK(BM_ListInside)->Range(8, 64 << 10);
+
+void BM_ListsMatch(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalList x = MakeList(&rng, n, 8, 16);
+  const IntervalList y = x;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListsMatch(x, y));
+  }
+}
+BENCHMARK(BM_ListsMatch)->Range(8, 64 << 10);
+
+void BM_ListsCommonCells(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalList x = MakeList(&rng, n, 4, 32);
+  const IntervalList y = MakeList(&rng, n, 4, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListsCommonCells(x, y));
+  }
+}
+BENCHMARK(BM_ListsCommonCells)->Range(8, 16 << 10);
+
+}  // namespace
+}  // namespace stj

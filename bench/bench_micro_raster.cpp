@@ -1,0 +1,102 @@
+// Micro-benchmarks for the raster substrate: Hilbert curve evaluation and
+// APRIL construction cost (the once-per-object preprocessing), plus the
+// Hilbert-vs-row-major interval count ablation from DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "src/datasets/blob.h"
+#include "src/raster/april.h"
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+void BM_HilbertXYToD(benchmark::State& state) {
+  uint32_t x = 12345;
+  uint32_t y = 54321;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertXYToD(16, x, y));
+    x = (x * 2654435761u) >> 16;
+    y = (y * 2246822519u) >> 16;
+  }
+}
+BENCHMARK(BM_HilbertXYToD);
+
+void BM_AprilBuild(benchmark::State& state) {
+  Rng rng(21);
+  const size_t vertices = static_cast<size_t>(state.range(0));
+  BlobParams params;
+  params.center = Point{50, 50};
+  params.mean_radius = 10.0;
+  params.vertices = vertices;
+  const Polygon blob = MakeBlob(&rng, params);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 12);
+  const AprilBuilder builder(&grid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.Build(blob));
+  }
+}
+BENCHMARK(BM_AprilBuild)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_AprilBuildByGridOrder(benchmark::State& state) {
+  Rng rng(23);
+  BlobParams params;
+  params.center = Point{50, 50};
+  params.mean_radius = 10.0;
+  params.vertices = 512;
+  const Polygon blob = MakeBlob(&rng, params);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}),
+                        static_cast<uint32_t>(state.range(0)));
+  const AprilBuilder builder(&grid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.Build(blob));
+  }
+}
+BENCHMARK(BM_AprilBuildByGridOrder)->DenseRange(8, 14, 2);
+
+// Ablation: Hilbert vs row-major cell enumeration. Reports the interval
+// count ratio as a counter (lower interval counts = cheaper merge-joins).
+void BM_HilbertVsRowMajorIntervals(benchmark::State& state) {
+  Rng rng(25);
+  BlobParams params;
+  params.center = Point{50, 50};
+  params.mean_radius = 20.0;
+  params.vertices = 256;
+  const Polygon blob = MakeBlob(&rng, params);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 10);
+  const Rasterizer rasterizer(&grid);
+  const RasterCoverage coverage = rasterizer.Rasterize(blob);
+
+  size_t hilbert_intervals = 0;
+  size_t rowmajor_intervals = 0;
+  for (auto _ : state) {
+    std::vector<CellId> hilbert_cells;
+    std::vector<CellId> rowmajor_cells;
+    for (size_t row = 0; row < coverage.partial_by_row.size(); ++row) {
+      const uint32_t cy = coverage.y0 + static_cast<uint32_t>(row);
+      auto add = [&](uint32_t cx) {
+        hilbert_cells.push_back(grid.CellIdOf(cx, cy));
+        rowmajor_cells.push_back(
+            static_cast<CellId>(cy) * grid.CellsPerSide() + cx);
+      };
+      for (const uint32_t cx : coverage.partial_by_row[row]) add(cx);
+      for (const auto& [first, last] : coverage.full_runs_by_row[row]) {
+        for (uint32_t cx = first; cx <= last; ++cx) add(cx);
+      }
+    }
+    const IntervalList hilbert = IntervalList::FromCells(hilbert_cells);
+    const IntervalList rowmajor = IntervalList::FromCells(rowmajor_cells);
+    hilbert_intervals = hilbert.Size();
+    rowmajor_intervals = rowmajor.Size();
+    benchmark::DoNotOptimize(hilbert);
+    benchmark::DoNotOptimize(rowmajor);
+  }
+  state.counters["hilbert_intervals"] =
+      static_cast<double>(hilbert_intervals);
+  state.counters["rowmajor_intervals"] =
+      static_cast<double>(rowmajor_intervals);
+}
+BENCHMARK(BM_HilbertVsRowMajorIntervals);
+
+}  // namespace
+}  // namespace stj

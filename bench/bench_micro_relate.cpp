@@ -1,0 +1,85 @@
+// Micro-benchmarks for the DE-9IM relate engine: per-pair refinement cost as
+// a function of polygon complexity. This is the superlinear cost curve that
+// motivates the paper's intermediate filter (Fig. 8(b)), plus the contrast
+// with the P+C filter cost on the same pairs.
+
+#include <benchmark/benchmark.h>
+
+#include "src/datasets/blob.h"
+#include "src/de9im/relate_engine.h"
+#include "src/raster/april.h"
+#include "src/topology/find_relation.h"
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+Polygon Blob(Rng* rng, Point center, double radius, size_t vertices) {
+  BlobParams params;
+  params.center = center;
+  params.mean_radius = radius;
+  params.vertices = vertices;
+  params.irregularity = 0.4;
+  return MakeBlob(rng, params);
+}
+
+void BM_RelateOverlappingBlobs(benchmark::State& state) {
+  Rng rng(11);
+  const size_t vertices = static_cast<size_t>(state.range(0));
+  const Polygon a = Blob(&rng, Point{50, 50}, 20.0, vertices);
+  const Polygon b = Blob(&rng, Point{62, 50}, 20.0, vertices);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(de9im::RelateMatrix(a, b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(vertices));
+}
+BENCHMARK(BM_RelateOverlappingBlobs)->RangeMultiplier(4)->Range(16, 16384)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_RelateNestedBlobs(benchmark::State& state) {
+  Rng rng(13);
+  const size_t vertices = static_cast<size_t>(state.range(0));
+  const Polygon outer = Blob(&rng, Point{50, 50}, 30.0, vertices);
+  const Polygon inner = Blob(&rng, Point{50, 50}, 8.0, vertices);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(de9im::RelateMatrix(inner, outer));
+  }
+}
+BENCHMARK(BM_RelateNestedBlobs)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_PCFilterSamePairs(benchmark::State& state) {
+  // The filter-side cost on the nested configuration above: linear in the
+  // interval list lengths, orders of magnitude below refinement.
+  Rng rng(13);
+  const size_t vertices = static_cast<size_t>(state.range(0));
+  const Polygon outer = Blob(&rng, Point{50, 50}, 30.0, vertices);
+  const Polygon inner = Blob(&rng, Point{50, 50}, 8.0, vertices);
+  Box space;
+  space.Expand(outer.Bounds());
+  space.Expand(inner.Bounds());
+  const RasterGrid grid(space, 12);
+  const AprilBuilder builder(&grid);
+  const AprilApproximation inner_april = builder.Build(inner);
+  const AprilApproximation outer_april = builder.Build(outer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindRelationFilter(
+        inner.Bounds(), inner_april, outer.Bounds(), outer_april));
+  }
+}
+BENCHMARK(BM_PCFilterSamePairs)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_RelateSharedBoundary(benchmark::State& state) {
+  // Tessellation-style shared boundaries stress the collinear-overlap path
+  // of the boundary arrangement.
+  Rng rng(17);
+  const size_t vertices = static_cast<size_t>(state.range(0));
+  const Polygon a = Blob(&rng, Point{50, 50}, 20.0, vertices);
+  const Polygon b = FillHoles(a);  // equal outer boundary
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(de9im::RelateMatrix(a, b));
+  }
+}
+BENCHMARK(BM_RelateSharedBoundary)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace
+}  // namespace stj

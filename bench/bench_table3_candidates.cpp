@@ -1,0 +1,34 @@
+// Reproduces Table 3: the number of candidate pairs (MBR-join output) per
+// semantically meaningful dataset combination.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/stats.h"
+
+namespace stj::bench {
+namespace {
+
+void Run(BenchOptions options) {
+  PrintTitle("Table 3: candidate pairs per scenario");
+  std::printf("%-10s %14s %14s %16s\n", "datasets", "|R|", "|S|",
+              "candidate pairs");
+  for (const std::string& name : ScenarioNames()) {
+    ScenarioOptions scenario_options = options.ToScenarioOptions();
+    scenario_options.build_april = false;  // only the join matters here
+    const ScenarioData scenario = BuildScenario(name, scenario_options);
+    std::printf("%-10s %14s %14s %16s\n", name.c_str(),
+                FormatWithCommas(scenario.r.objects.size()).c_str(),
+                FormatWithCommas(scenario.s.objects.size()).c_str(),
+                FormatWithCommas(scenario.candidates.size()).c_str());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace stj::bench
+
+int main(int argc, char** argv) {
+  stj::bench::Run(stj::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Table 5: find-relation throughput vs relate_p throughput on
+// OLE-OPE for the predicates equals, meets, and inside (all using P+C).
+//
+// Expected shape: find relation is predicate-independent; relate_p is faster
+// for every predicate, enormously so for meets (non-satisfaction is almost
+// always visible in the approximations).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/timer.h"
+
+namespace stj::bench {
+namespace {
+
+double RelateThroughput(const ScenarioData& scenario, de9im::Relation p) {
+  Pipeline pipeline(Method::kPC, scenario.RView(), scenario.SView());
+  Timer timer;
+  uint64_t matches = 0;
+  for (const CandidatePair& pair : scenario.candidates) {
+    matches += pipeline.Relate(pair.r_idx, pair.s_idx, p) ? 1 : 0;
+  }
+  const double seconds = timer.ElapsedSeconds();
+  std::printf("[run] relate_%-11s: %8llu matches, %6.3fs, %5.1f%% refined\n",
+              ToString(p), static_cast<unsigned long long>(matches), seconds,
+              pipeline.Stats().UndeterminedPercent());
+  return seconds > 0
+             ? static_cast<double>(scenario.candidates.size()) / seconds
+             : 0.0;
+}
+
+void Run(const BenchOptions& options) {
+  const ScenarioData scenario = BuildScenarioVerbose("OLE-OPE", options);
+
+  // find relation does not depend on the predicate: one run.
+  const FindRelationRun find_run =
+      RunFindRelation(Method::kPC, scenario, scenario.candidates);
+  std::printf("[run] find relation      : %6.3fs, %5.1f%% refined\n",
+              find_run.seconds, find_run.stats.UndeterminedPercent());
+
+  const de9im::Relation predicates[] = {de9im::Relation::kEquals,
+                                        de9im::Relation::kMeets,
+                                        de9im::Relation::kInside};
+  double relate_throughput[3];
+  for (int i = 0; i < 3; ++i) {
+    relate_throughput[i] = RelateThroughput(scenario, predicates[i]);
+  }
+
+  PrintTitle("Table 5: throughput (pairs/sec) of find relation vs relate_p "
+             "(OLE-OPE, P+C)");
+  std::printf("%-14s %14s %14s %14s\n", "method", "equals", "meets", "inside");
+  std::printf("%-14s %14.1f %14.1f %14.1f\n", "find relation",
+              find_run.pairs_per_second, find_run.pairs_per_second,
+              find_run.pairs_per_second);
+  std::printf("%-14s %14.1f %14.1f %14.1f\n", "relate_p", relate_throughput[0],
+              relate_throughput[1], relate_throughput[2]);
+}
+
+}  // namespace
+}  // namespace stj::bench
+
+int main(int argc, char** argv) {
+  stj::bench::Run(stj::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Geo-spatial interlinking: discover every topological link between two
+// datasets (the TL-TW scenario: US landmarks vs water areas) — the
+// knowledge-graph enrichment workload that motivates the paper. Compares
+// all four methods end-to-end and verifies they produce identical links.
+//
+//   $ ./example_interlinking [scale]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/datasets/scenarios.h"
+#include "src/topology/link_writer.h"
+#include "src/topology/pipeline.h"
+#include "src/util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace stj;
+  ScenarioOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  std::printf("building TL-TW (landmarks vs water areas) at scale %.2f...\n",
+              options.scale);
+  const ScenarioData scenario = BuildScenario("TL-TW", options);
+  std::printf("landmarks: %zu, water areas: %zu, candidates: %zu\n\n",
+              scenario.r.objects.size(), scenario.s.objects.size(),
+              scenario.candidates.size());
+
+  const Method methods[] = {Method::kST2, Method::kOP2, Method::kApril,
+                            Method::kPC};
+  std::vector<de9im::Relation> reference;
+  std::printf("%-8s %12s %14s %12s\n", "method", "time (s)", "pairs/s",
+              "refined %");
+  for (const Method method : methods) {
+    Pipeline pipeline(method, scenario.RView(), scenario.SView());
+    std::vector<de9im::Relation> links;
+    links.reserve(scenario.candidates.size());
+    Timer timer;
+    for (const CandidatePair& pair : scenario.candidates) {
+      links.push_back(pipeline.FindRelation(pair.r_idx, pair.s_idx));
+    }
+    const double seconds = timer.ElapsedSeconds();
+    std::printf("%-8s %12.3f %14.0f %11.1f%%\n", ToString(method), seconds,
+                static_cast<double>(scenario.candidates.size()) / seconds,
+                pipeline.Stats().UndeterminedPercent());
+    if (reference.empty()) {
+      reference = std::move(links);
+    } else if (links != reference) {
+      std::fprintf(stderr, "method %s produced different links!\n",
+                   ToString(method));
+      return 1;
+    }
+  }
+
+  // Summarise the discovered links (skipping disjoint non-links).
+  size_t counts[de9im::kNumRelations] = {};
+  for (const de9im::Relation rel : reference) {
+    ++counts[static_cast<size_t>(rel)];
+  }
+  std::printf("\ndiscovered links (all methods agree):\n");
+  for (int i = 0; i < de9im::kNumRelations; ++i) {
+    const auto rel = static_cast<de9im::Relation>(i);
+    if (rel == de9im::Relation::kDisjoint) continue;
+    std::printf("  %-12s %zu\n", ToString(rel), counts[i]);
+  }
+  std::printf("  (%zu candidate pairs turned out disjoint)\n",
+              counts[static_cast<size_t>(de9im::Relation::kDisjoint)]);
+
+  // Materialise the links as GeoSPARQL N-Triples — the artefact a linked-
+  // data pipeline (Silk, Radon) would ingest.
+  std::vector<TopologyLink> links;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i] == de9im::Relation::kDisjoint) continue;
+    links.push_back(TopologyLink{scenario.candidates[i], reference[i]});
+  }
+  const char* out_path = "/tmp/stj_landmark_water_links.nt";
+  if (WriteNTriples(out_path, "http://stjoin.example/landmark/",
+                    "http://stjoin.example/water/", links)) {
+    std::printf("\nwrote %zu N-Triples to %s\n", links.size(), out_path);
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "src/datasets/blob.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace stj {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+// Radial profile: 1 + sum of harmonics, kept positive by construction.
+class RadialProfile {
+ public:
+  RadialProfile(Rng* rng, int harmonics, double irregularity) {
+    amplitudes_.reserve(static_cast<size_t>(harmonics));
+    phases_.reserve(static_cast<size_t>(harmonics));
+    double budget = std::clamp(irregularity, 0.0, 0.85);
+    for (int k = 1; k <= harmonics; ++k) {
+      // Decaying random share of the remaining amplitude budget.
+      const double share = budget * rng->Uniform(0.3, 0.7);
+      amplitudes_.push_back(share);
+      budget -= share;
+      phases_.push_back(rng->Uniform(0.0, kTau));
+    }
+  }
+
+  double operator()(double theta) const {
+    double r = 1.0;
+    for (size_t k = 0; k < amplitudes_.size(); ++k) {
+      r += amplitudes_[k] *
+           std::sin(static_cast<double>(k + 1) * theta + phases_[k]);
+    }
+    return r;
+  }
+
+ private:
+  std::vector<double> amplitudes_;
+  std::vector<double> phases_;
+};
+
+Ring MakeStarRing(Rng* rng, const Point& center, double mean_radius,
+                  double irregularity, size_t vertices, int harmonics,
+                  bool clockwise, double* min_radius_out) {
+  const RadialProfile profile(rng, harmonics, irregularity);
+  std::vector<Point> pts;
+  pts.reserve(vertices);
+  double min_radius = mean_radius * 10.0;
+  const double step = kTau / static_cast<double>(vertices);
+  for (size_t i = 0; i < vertices; ++i) {
+    // Jitter below half a step keeps the angles strictly increasing, which
+    // preserves star-shapedness (and hence simplicity) for free.
+    const double theta =
+        step * (static_cast<double>(i) + rng->Uniform(-0.35, 0.35));
+    const double radius = mean_radius * profile(theta);
+    min_radius = std::min(min_radius, radius);
+    pts.push_back(Point{center.x + radius * std::cos(theta),
+                        center.y + radius * std::sin(theta)});
+  }
+  if (clockwise) std::reverse(pts.begin(), pts.end());
+  if (min_radius_out != nullptr) {
+    // Edges can cut inside the vertex circle; the chord-sag bound cos(pi/n)
+    // (further shaved for jitter) converts the vertex minimum into a bound
+    // that holds everywhere on the ring.
+    *min_radius_out =
+        min_radius * std::cos(std::numbers::pi / static_cast<double>(vertices)) * 0.8;
+  }
+  return Ring(std::move(pts));
+}
+
+}  // namespace
+
+Polygon MakeBlob(Rng* rng, const BlobParams& params) {
+  const size_t vertices = std::max<size_t>(4, params.vertices);
+  double min_radius = 0.0;
+  Ring outer =
+      MakeStarRing(rng, params.center, params.mean_radius, params.irregularity,
+                   vertices, params.harmonics, /*clockwise=*/false, &min_radius);
+
+  std::vector<Ring> holes;
+  if (params.hole_probability > 0.0 && rng->Bernoulli(params.hole_probability) &&
+      min_radius > 0.05 * params.mean_radius) {
+    const int num_holes = rng->Bernoulli(0.3) ? 2 : 1;
+    const double base_angle = rng->Uniform(0.0, kTau);
+    for (int h = 0; h < num_holes; ++h) {
+      // Keep offset + hole extent strictly inside the safe radius so the hole
+      // cannot touch the outer ring (star-shapedness makes this sufficient).
+      // Two holes go to opposite sides at distances that exceed the sum of
+      // their extents, so they cannot touch each other either.
+      const double hole_radius =
+          min_radius * (num_holes == 2 ? rng->Uniform(0.1, 0.2)
+                                       : rng->Uniform(0.12, 0.3));
+      const double max_offset = min_radius - hole_radius * 1.6;
+      if (max_offset <= 0.0) break;
+      const double angle = base_angle + std::numbers::pi * h;
+      const double dist = num_holes == 2
+                              ? rng->Uniform(0.5, 0.8) * max_offset
+                              : rng->Uniform(0.0, 0.8) * max_offset;
+      const Point hole_center{params.center.x + dist * std::cos(angle),
+                              params.center.y + dist * std::sin(angle)};
+      const size_t hole_vertices =
+          static_cast<size_t>(rng->UniformInt(8, 20));
+      holes.push_back(MakeStarRing(rng, hole_center, hole_radius, 0.25,
+                                   hole_vertices, 3, /*clockwise=*/true,
+                                   nullptr));
+    }
+  }
+  return Polygon(std::move(outer), std::move(holes));
+}
+
+Polygon MakeRectanglePolygon(const Box& box) {
+  return Polygon(Ring({Point{box.min.x, box.min.y}, Point{box.max.x, box.min.y},
+                       Point{box.max.x, box.max.y},
+                       Point{box.min.x, box.max.y}}));
+}
+
+Polygon FillHoles(const Polygon& poly) { return Polygon(poly.Outer()); }
+
+Polygon ScaleAbout(const Polygon& poly, const Point& anchor, double factor) {
+  auto scale_ring = [&](const Ring& ring) {
+    std::vector<Point> pts;
+    pts.reserve(ring.Size());
+    for (const Point& p : ring.Vertices()) {
+      pts.push_back(Point{anchor.x + (p.x - anchor.x) * factor,
+                          anchor.y + (p.y - anchor.y) * factor});
+    }
+    return Ring(std::move(pts));
+  };
+  std::vector<Ring> holes;
+  holes.reserve(poly.Holes().size());
+  for (const Ring& hole : poly.Holes()) holes.push_back(scale_ring(hole));
+  return Polygon(scale_ring(poly.Outer()), std::move(holes));
+}
+
+Polygon AffineAbout(const Polygon& poly, const Point& anchor, double sx,
+                    double sy, double angle) {
+  const double cos_a = std::cos(angle);
+  const double sin_a = std::sin(angle);
+  auto map_ring = [&](const Ring& ring) {
+    std::vector<Point> pts;
+    pts.reserve(ring.Size());
+    for (const Point& p : ring.Vertices()) {
+      const double x = (p.x - anchor.x) * sx;
+      const double y = (p.y - anchor.y) * sy;
+      pts.push_back(Point{anchor.x + x * cos_a - y * sin_a,
+                          anchor.y + x * sin_a + y * cos_a});
+    }
+    return Ring(std::move(pts));
+  };
+  std::vector<Ring> holes;
+  holes.reserve(poly.Holes().size());
+  for (const Ring& hole : poly.Holes()) holes.push_back(map_ring(hole));
+  return Polygon(map_ring(poly.Outer()), std::move(holes));
+}
+
+Polygon Translate(const Polygon& poly, double dx, double dy) {
+  auto move_ring = [&](const Ring& ring) {
+    std::vector<Point> pts;
+    pts.reserve(ring.Size());
+    for (const Point& p : ring.Vertices()) {
+      pts.push_back(Point{p.x + dx, p.y + dy});
+    }
+    return Ring(std::move(pts));
+  };
+  std::vector<Ring> holes;
+  holes.reserve(poly.Holes().size());
+  for (const Ring& hole : poly.Holes()) holes.push_back(move_ring(hole));
+  return Polygon(move_ring(poly.Outer()), std::move(holes));
+}
+
+}  // namespace stj

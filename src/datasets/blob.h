@@ -1,0 +1,55 @@
+#pragma once
+
+#include "src/geometry/polygon.h"
+#include "src/util/rng.h"
+
+namespace stj {
+
+/// Parameters for radial "blob" polygons — the synthetic stand-ins for
+/// natural areas (lakes, parks, water bodies, landmark areas).
+///
+/// A blob is a star-shaped polygon around `center`: vertices at strictly
+/// increasing angles with radius R(theta) = mean_radius * (1 + sum of random
+/// low-frequency harmonics). Star-shapedness guarantees validity for any
+/// vertex count, which is what lets the generators sweep complexity over
+/// orders of magnitude (Table 4 needs vertex counts from 8 to tens of
+/// thousands).
+struct BlobParams {
+  Point center{0.0, 0.0};
+  double mean_radius = 1.0;
+  /// Total relative amplitude of the radial harmonics, in [0, 0.85].
+  double irregularity = 0.45;
+  /// Number of boundary vertices (>= 4).
+  size_t vertices = 32;
+  /// Number of random harmonics shaping the outline.
+  int harmonics = 5;
+  /// Probability of carving 1-2 holes into the blob.
+  double hole_probability = 0.0;
+};
+
+/// Generates a valid star-shaped polygon (optionally with holes).
+Polygon MakeBlob(Rng* rng, const BlobParams& params);
+
+/// Axis-aligned rectangle polygon.
+Polygon MakeRectanglePolygon(const Box& box);
+
+/// Returns a copy of \p poly with every hole removed (its "filled" version).
+/// A filled polygon covers the original with exactly shared outer boundary —
+/// used by the scenario builders to create covers/covered-by pairs.
+Polygon FillHoles(const Polygon& poly);
+
+/// Returns \p poly scaled by \p factor about \p anchor (used to derive
+/// strictly-inside twins of an object).
+Polygon ScaleAbout(const Polygon& poly, const Point& anchor, double factor);
+
+/// Returns \p poly translated by (dx, dy).
+Polygon Translate(const Polygon& poly, double dx, double dy);
+
+/// Returns \p poly scaled anisotropically by (sx, sy) about \p anchor and
+/// then rotated by \p angle radians about it. Used to derive elongated
+/// "stringy" shapes (rivers, coastal strips) whose MBRs are mostly empty —
+/// the configuration that makes raster filters shine over MBR tests.
+Polygon AffineAbout(const Polygon& poly, const Point& anchor, double sx,
+                    double sy, double angle);
+
+}  // namespace stj

@@ -1,0 +1,69 @@
+#include "src/datasets/buildings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace stj {
+
+namespace {
+
+// Footprint outline centred at the origin, before rotation/translation.
+std::vector<Point> MakeFootprint(Rng* rng, double w, double h, bool l_shape) {
+  if (!l_shape) {
+    return {Point{-w / 2, -h / 2}, Point{w / 2, -h / 2}, Point{w / 2, h / 2},
+            Point{-w / 2, h / 2}};
+  }
+  // L-shape: a rectangle with one quadrant notched out.
+  const double notch_w = w * rng->Uniform(0.3, 0.6);
+  const double notch_h = h * rng->Uniform(0.3, 0.6);
+  return {Point{-w / 2, -h / 2},
+          Point{w / 2, -h / 2},
+          Point{w / 2, h / 2 - notch_h},
+          Point{w / 2 - notch_w, h / 2 - notch_h},
+          Point{w / 2 - notch_w, h / 2},
+          Point{-w / 2, h / 2}};
+}
+
+}  // namespace
+
+std::vector<Polygon> MakeBuildings(Rng* rng, const BuildingParams& params) {
+  std::vector<Point> centres;
+  centres.reserve(params.clusters);
+  for (size_t c = 0; c < std::max<size_t>(1, params.clusters); ++c) {
+    centres.push_back(Point{
+        rng->Uniform(params.region.min.x, params.region.max.x),
+        rng->Uniform(params.region.min.y, params.region.max.y)});
+  }
+  const double spread =
+      params.cluster_spread * std::min(params.region.Width(),
+                                       params.region.Height());
+
+  std::vector<Polygon> out;
+  out.reserve(params.count);
+  for (size_t i = 0; i < params.count; ++i) {
+    const Point& centre = centres[rng->NextBounded(centres.size())];
+    const Point pos{centre.x + rng->Normal() * spread,
+                    centre.y + rng->Normal() * spread};
+    const double w = rng->LogUniform(params.min_size, params.max_size);
+    const double h = w * rng->Uniform(0.5, 2.0);
+    std::vector<Point> footprint =
+        MakeFootprint(rng, w, h, rng->Bernoulli(params.l_shape_probability));
+    double cos_a = 1.0;
+    double sin_a = 0.0;
+    if (rng->Bernoulli(params.rotation_probability)) {
+      const double angle = rng->Uniform(0.0, std::numbers::pi / 2);
+      cos_a = std::cos(angle);
+      sin_a = std::sin(angle);
+    }
+    for (Point& p : footprint) {
+      const double x = p.x * cos_a - p.y * sin_a + pos.x;
+      const double y = p.x * sin_a + p.y * cos_a + pos.y;
+      p = Point{x, y};
+    }
+    out.emplace_back(Ring(std::move(footprint)));
+  }
+  return out;
+}
+
+}  // namespace stj

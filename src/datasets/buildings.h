@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/polygon.h"
+#include "src/util/rng.h"
+
+namespace stj {
+
+/// Parameters for clustered building footprints — the synthetic stand-in for
+/// the OSM building datasets (tiny, simple, heavily clustered polygons).
+struct BuildingParams {
+  Box region{Point{0.0, 0.0}, Point{100.0, 100.0}};
+  size_t count = 1000;
+  /// Footprint edge lengths are drawn log-uniformly from this range.
+  double min_size = 0.01;
+  double max_size = 0.08;
+  /// Buildings cluster around this many town centres.
+  size_t clusters = 20;
+  /// Standard deviation of the building offset from its cluster centre,
+  /// as a fraction of the region's smaller dimension.
+  double cluster_spread = 0.02;
+  /// Probability of an L-shaped footprint instead of a rectangle.
+  double l_shape_probability = 0.3;
+  /// Probability of a rotated footprint (arbitrary orientation).
+  double rotation_probability = 0.5;
+};
+
+/// Generates building footprint polygons (4 or 6 vertices each).
+std::vector<Polygon> MakeBuildings(Rng* rng, const BuildingParams& params);
+
+}  // namespace stj

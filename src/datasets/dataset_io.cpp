@@ -1,0 +1,43 @@
+#include "src/datasets/dataset_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/geometry/wkt.h"
+
+namespace stj {
+
+bool SaveWktDataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << "# stjoin dataset: " << dataset.name << " — " << dataset.description
+      << "\n";
+  for (const SpatialObject& object : dataset.objects) {
+    out << ToWkt(object.geometry) << "\n";
+  }
+  out.flush();
+  return out.good();
+}
+
+bool LoadWktDataset(const std::string& path, const std::string& name,
+                    Dataset* out) {
+  out->objects.clear();
+  out->name = name;
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::string line;
+  uint32_t id = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto polygon = ParseWktPolygon(line);
+    if (!polygon.has_value()) {
+      out->objects.clear();
+      return false;
+    }
+    out->objects.push_back(SpatialObject{id++, std::move(*polygon)});
+  }
+  return true;
+}
+
+}  // namespace stj

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "src/datasets/scenarios.h"
+
+namespace stj {
+
+/// Plain-text dataset persistence: one WKT POLYGON per line. This is the
+/// interchange format the paper's artifact uses for its TIGER/OSM inputs;
+/// it lets externally produced polygon data flow through the pipeline and
+/// makes the synthetic datasets inspectable with standard GIS tooling.
+
+/// Writes every object of \p dataset to \p path, one WKT polygon per line.
+/// Returns false on I/O error.
+bool SaveWktDataset(const std::string& path, const Dataset& dataset);
+
+/// Reads a WKT-per-line file into a dataset named \p name. Blank lines and
+/// lines starting with '#' are skipped. Returns false on I/O error or if any
+/// non-comment line fails to parse; in that case *out is left cleared.
+bool LoadWktDataset(const std::string& path, const std::string& name,
+                    Dataset* out);
+
+}  // namespace stj

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/geometry/polygon.h"
+#include "src/join/mbr_join.h"
+#include "src/raster/april.h"
+#include "src/raster/grid.h"
+#include "src/topology/pipeline.h"
+
+namespace stj {
+
+/// A named polygon dataset — the synthetic analogue of one of the paper's
+/// ten TIGER/OSM datasets (Table 2).
+struct Dataset {
+  std::string name;
+  std::string description;
+  std::vector<SpatialObject> objects;
+
+  /// Materialises the per-object MBRs (input to the filter-step join).
+  std::vector<Box> Mbrs() const;
+
+  size_t TotalVertices() const;
+
+  /// Approximate serialised size of the raw polygons (16 bytes per vertex
+  /// plus small per-ring/object headers) for Table 2 reporting.
+  size_t GeometryByteSize() const;
+
+  /// Size of the MBR table (4 doubles per object).
+  size_t MbrByteSize() const { return objects.size() * 4 * sizeof(double); }
+};
+
+/// Everything a scenario run needs: the two datasets, their per-scenario
+/// APRIL approximations, and the MBR-join candidate pairs.
+struct ScenarioData {
+  std::string name;  ///< e.g. "OLE-OPE"
+  Dataset r;
+  Dataset s;
+  Box dataspace;        ///< Combined bounds both datasets were rastered on.
+  uint32_t grid_order;  ///< The scenario grid is 2^order x 2^order.
+  std::vector<AprilApproximation> r_april;
+  std::vector<AprilApproximation> s_april;
+  std::vector<CandidatePair> candidates;
+
+  DatasetView RView() const { return DatasetView{&r.objects, &r_april}; }
+  DatasetView SView() const { return DatasetView{&s.objects, &s_april}; }
+
+  size_t AprilByteSize(bool of_r) const;
+};
+
+/// Knobs shared by all scenario builders.
+struct ScenarioOptions {
+  ScenarioOptions() {}
+  /// Multiplier on all object counts (1.0 = benchmark default, use ~0.02 in
+  /// unit tests). The paper's absolute dataset sizes are scaled down so the
+  /// full suite runs on one core; see DESIGN.md for the substitution note.
+  double scale = 1.0;
+  /// log2 of the scenario grid resolution. The paper uses 16; the default 12
+  /// keeps per-object cell counts comparable on the scaled-down dataspace.
+  uint32_t grid_order = 12;
+  uint64_t seed = 7;
+  /// Skip building approximations / running the join (for callers that only
+  /// need the raw polygons).
+  bool build_april = true;
+  bool run_join = true;
+};
+
+/// The ten dataset names of Table 2 (TL, TW, TC, TZ, OBE, OLE, OPE, OBN,
+/// OLN, OPN).
+const std::vector<std::string>& DatasetNames();
+
+/// The seven scenario names of Table 3 (e.g. "TL-TW", "OLE-OPE").
+const std::vector<std::string>& ScenarioNames();
+
+/// Builds one dataset by name. Deterministic in (name, scale, seed);
+/// datasets that are semantically coupled (TZ refines TC; OLE lakes sit in
+/// OPE parks; OBx buildings cluster near OPx parks) derive the partner's
+/// geometry from the same sub-seed so the coupling is consistent with the
+/// partner dataset built separately.
+Dataset BuildDataset(std::string_view name, double scale, uint64_t seed);
+
+/// Builds a scenario: both datasets, the per-scenario raster grid and APRIL
+/// approximations, and the MBR-join candidates.
+ScenarioData BuildScenario(std::string_view name,
+                           const ScenarioOptions& options = ScenarioOptions());
+
+/// Builds APRIL approximations for every object of \p dataset on \p grid.
+std::vector<AprilApproximation> BuildAprilApproximations(
+    const Dataset& dataset, const RasterGrid& grid);
+
+}  // namespace stj

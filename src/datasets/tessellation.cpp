@@ -1,0 +1,178 @@
+#include "src/datasets/tessellation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stj {
+
+namespace {
+
+// A polyline shared by the two cells adjacent to one grid edge. Stored once
+// and spliced into every polygon that borders it, so shared boundaries are
+// bit-exact.
+using Chain = std::vector<Point>;
+
+// Appends chain to out, excluding its first point (assumed already present),
+// in forward or reverse order.
+void AppendChain(const Chain& chain, bool forward, std::vector<Point>* out) {
+  if (forward) {
+    for (size_t i = 1; i < chain.size(); ++i) out->push_back(chain[i]);
+  } else {
+    for (size_t i = chain.size() - 1; i-- > 0;) out->push_back(chain[i]);
+  }
+}
+
+Chain MakeChain(Rng* rng, const Point& a, const Point& b, uint32_t edge_points,
+                double wiggle_amplitude) {
+  Chain chain;
+  chain.reserve(edge_points + 2);
+  chain.push_back(a);
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len = std::sqrt(dx * dx + dy * dy);
+  const double nx = len > 0 ? -dy / len : 0.0;
+  const double ny = len > 0 ? dx / len : 0.0;
+  for (uint32_t i = 1; i <= edge_points; ++i) {
+    // Strictly increasing parameters keep the chain monotone along the edge,
+    // so moderate wiggle cannot make it self-cross.
+    const double t =
+        (static_cast<double>(i) + rng->Uniform(-0.3, 0.3)) /
+        static_cast<double>(edge_points + 1);
+    // Taper the wiggle toward the endpoints so chains leaving the same
+    // corner cannot cross each other near it.
+    const double taper = 4.0 * t * (1.0 - t);
+    const double w = rng->Uniform(-wiggle_amplitude, wiggle_amplitude) * taper;
+    chain.push_back(Point{a.x + t * dx + w * nx, a.y + t * dy + w * ny});
+  }
+  chain.push_back(b);
+  return chain;
+}
+
+// The jittered corner grid plus the shared horizontal/vertical edge chains.
+struct ChainGrid {
+  uint32_t cols = 0;
+  uint32_t rows = 0;
+  std::vector<Point> corners;     // (cols+1) x (rows+1)
+  std::vector<Chain> horizontal;  // cols x (rows+1): (cx,cy)->(cx+1,cy)
+  std::vector<Chain> vertical;    // (cols+1) x rows: (cx,cy)->(cx,cy+1)
+
+  const Point& Corner(uint32_t cx, uint32_t cy) const {
+    return corners[static_cast<size_t>(cy) * (cols + 1) + cx];
+  }
+  const Chain& H(uint32_t cx, uint32_t cy) const {
+    return horizontal[static_cast<size_t>(cy) * cols + cx];
+  }
+  const Chain& V(uint32_t cx, uint32_t cy) const {
+    return vertical[static_cast<size_t>(cy) * (cols + 1) + cx];
+  }
+};
+
+ChainGrid BuildChainGrid(Rng* rng, const TessellationParams& params) {
+  ChainGrid grid;
+  grid.cols = std::max(1u, params.cols);
+  grid.rows = std::max(1u, params.rows);
+  const double cell_w = params.region.Width() / grid.cols;
+  const double cell_h = params.region.Height() / grid.rows;
+  const double jitter = std::clamp(params.jitter, 0.0, 0.42);
+  // Jitter plus wiggle must stay below half a cell, or opposite boundaries
+  // of a cell could meet.
+  const double wiggle = std::clamp(params.edge_wiggle, 0.0, 0.46 - jitter) *
+                        std::min(cell_w, cell_h);
+
+  grid.corners.resize((grid.cols + 1) * static_cast<size_t>(grid.rows + 1));
+  for (uint32_t cy = 0; cy <= grid.rows; ++cy) {
+    for (uint32_t cx = 0; cx <= grid.cols; ++cx) {
+      const double jx = rng->Uniform(-jitter, jitter) * cell_w;
+      const double jy = rng->Uniform(-jitter, jitter) * cell_h;
+      grid.corners[static_cast<size_t>(cy) * (grid.cols + 1) + cx] =
+          Point{params.region.min.x + cx * cell_w + jx,
+                params.region.min.y + cy * cell_h + jy};
+    }
+  }
+  grid.horizontal.resize(static_cast<size_t>(grid.cols) * (grid.rows + 1));
+  for (uint32_t cy = 0; cy <= grid.rows; ++cy) {
+    for (uint32_t cx = 0; cx < grid.cols; ++cx) {
+      grid.horizontal[static_cast<size_t>(cy) * grid.cols + cx] = MakeChain(
+          rng, grid.Corner(cx, cy), grid.Corner(cx + 1, cy),
+          params.edge_points, wiggle);
+    }
+  }
+  grid.vertical.resize(static_cast<size_t>(grid.cols + 1) * grid.rows);
+  for (uint32_t cy = 0; cy < grid.rows; ++cy) {
+    for (uint32_t cx = 0; cx <= grid.cols; ++cx) {
+      grid.vertical[static_cast<size_t>(cy) * (grid.cols + 1) + cx] =
+          MakeChain(rng, grid.Corner(cx, cy), grid.Corner(cx, cy + 1),
+                    params.edge_points, wiggle);
+    }
+  }
+  return grid;
+}
+
+// Builds the counter-clockwise boundary of the rectangle of fine cells
+// [cx0, cx1) x [cy0, cy1) from the grid's shared chains.
+Polygon BlockPolygon(const ChainGrid& grid, uint32_t cx0, uint32_t cx1,
+                     uint32_t cy0, uint32_t cy1) {
+  std::vector<Point> boundary;
+  boundary.push_back(grid.Corner(cx0, cy0));
+  for (uint32_t cx = cx0; cx < cx1; ++cx) {
+    AppendChain(grid.H(cx, cy0), true, &boundary);
+  }
+  for (uint32_t cy = cy0; cy < cy1; ++cy) {
+    AppendChain(grid.V(cx1, cy), true, &boundary);
+  }
+  for (uint32_t cx = cx1; cx-- > cx0;) {
+    AppendChain(grid.H(cx, cy1), false, &boundary);
+  }
+  for (uint32_t cy = cy1; cy-- > cy0;) {
+    AppendChain(grid.V(cx0, cy), false, &boundary);
+  }
+  boundary.pop_back();  // Ring closes implicitly.
+  return Polygon(Ring(std::move(boundary)));
+}
+
+}  // namespace
+
+std::vector<Polygon> MakeTessellation(Rng* rng,
+                                      const TessellationParams& params) {
+  const ChainGrid grid = BuildChainGrid(rng, params);
+  std::vector<Polygon> cells;
+  cells.reserve(static_cast<size_t>(grid.cols) * grid.rows);
+  for (uint32_t cy = 0; cy < grid.rows; ++cy) {
+    for (uint32_t cx = 0; cx < grid.cols; ++cx) {
+      cells.push_back(BlockPolygon(grid, cx, cx + 1, cy, cy + 1));
+    }
+  }
+  return cells;
+}
+
+NestedTessellation MakeNestedTessellation(Rng* rng,
+                                          const TessellationParams& params,
+                                          uint32_t block) {
+  const ChainGrid grid = BuildChainGrid(rng, params);
+  NestedTessellation out;
+  out.fine.reserve(static_cast<size_t>(grid.cols) * grid.rows);
+  for (uint32_t cy = 0; cy < grid.rows; ++cy) {
+    for (uint32_t cx = 0; cx < grid.cols; ++cx) {
+      out.fine.push_back(BlockPolygon(grid, cx, cx + 1, cy, cy + 1));
+    }
+  }
+  block = std::max(1u, block);
+  const uint32_t coarse_cols = std::max(1u, grid.cols / block);
+  const uint32_t coarse_rows = std::max(1u, grid.rows / block);
+  out.coarse.reserve(static_cast<size_t>(coarse_cols) * coarse_rows);
+  for (uint32_t by = 0; by < coarse_rows; ++by) {
+    for (uint32_t bx = 0; bx < coarse_cols; ++bx) {
+      const uint32_t cx0 = bx * block;
+      const uint32_t cy0 = by * block;
+      // The last block absorbs any remainder columns/rows.
+      const uint32_t cx1 =
+          (bx + 1 == coarse_cols) ? grid.cols : (bx + 1) * block;
+      const uint32_t cy1 =
+          (by + 1 == coarse_rows) ? grid.rows : (by + 1) * block;
+      out.coarse.push_back(BlockPolygon(grid, cx0, cx1, cy0, cy1));
+    }
+  }
+  return out;
+}
+
+}  // namespace stj

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/polygon.h"
+#include "src/util/rng.h"
+
+namespace stj {
+
+/// Parameters for a perturbed-grid tessellation — the synthetic stand-in for
+/// administrative area datasets (US counties, zip codes).
+///
+/// The region is divided into cols x rows cells; every grid corner is
+/// jittered and every grid edge becomes a wiggly polyline that the two
+/// adjacent cells share *vertex-for-vertex*. Shared boundaries are therefore
+/// bit-exact, which is what produces genuine `meets` relations (dimension-1
+/// boundary intersections) — the configuration DE-9IM implementations most
+/// often get wrong and the reason the relate engine uses exact predicates.
+struct TessellationParams {
+  Box region{Point{0.0, 0.0}, Point{100.0, 100.0}};
+  uint32_t cols = 10;
+  uint32_t rows = 10;
+  /// Corner jitter as a fraction of the cell size, in [0, 0.42).
+  double jitter = 0.3;
+  /// Intermediate vertices per shared edge (controls vertex counts).
+  uint32_t edge_points = 6;
+  /// Lateral wiggle of intermediate edge vertices (fraction of cell size).
+  double edge_wiggle = 0.1;
+};
+
+/// Generates the cols*rows tessellation polygons in row-major order.
+std::vector<Polygon> MakeTessellation(Rng* rng,
+                                      const TessellationParams& params);
+
+/// A two-level tessellation: `fine` cells (zip-code analogue) and `coarse`
+/// cells (county analogue), where each coarse cell is the union of a
+/// block x block group of fine cells and its boundary reuses the fine cells'
+/// boundary chains verbatim. Every fine cell is therefore covered by (rim
+/// cells, boundary shared) or inside (interior cells) exactly one coarse
+/// cell, and neighbouring cells of either level meet along shared chains —
+/// the full mix of relations the TC-TZ scenario needs.
+struct NestedTessellation {
+  std::vector<Polygon> fine;
+  std::vector<Polygon> coarse;
+};
+
+/// Generates a nested tessellation: the fine grid follows \p params; the
+/// coarse level groups fine cells into block x block super-cells (cols and
+/// rows should be divisible by \p block; a remainder joins the last block).
+NestedTessellation MakeNestedTessellation(Rng* rng,
+                                          const TessellationParams& params,
+                                          uint32_t block);
+
+}  // namespace stj

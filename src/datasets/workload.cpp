@@ -1,0 +1,37 @@
+#include "src/datasets/workload.h"
+
+#include "src/util/stats.h"
+
+namespace stj {
+
+uint64_t PairComplexity(const ScenarioData& scenario,
+                        const CandidatePair& pair) {
+  return scenario.r.objects[pair.r_idx].geometry.VertexCount() +
+         scenario.s.objects[pair.s_idx].geometry.VertexCount();
+}
+
+ComplexityLevels GroupByComplexity(const ScenarioData& scenario,
+                                   size_t levels) {
+  ComplexityLevels out;
+  if (scenario.candidates.empty() || levels == 0) return out;
+  std::vector<uint64_t> complexities;
+  complexities.reserve(scenario.candidates.size());
+  for (const CandidatePair& pair : scenario.candidates) {
+    complexities.push_back(PairComplexity(scenario, pair));
+  }
+  out.ranges = EquiCountBuckets(complexities, levels);
+  out.pairs.resize(out.ranges.size());
+  for (size_t i = 0; i < scenario.candidates.size(); ++i) {
+    const uint64_t c = complexities[i];
+    // Ranges are few (10): a linear scan beats a binary search setup here.
+    for (size_t level = 0; level < out.ranges.size(); ++level) {
+      if (c >= out.ranges[level].first && c <= out.ranges[level].second) {
+        out.pairs[level].push_back(scenario.candidates[i]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stj

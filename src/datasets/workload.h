@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/datasets/scenarios.h"
+
+namespace stj {
+
+/// Candidate pairs of one scenario grouped into equi-count complexity levels
+/// (Table 4): level k holds pairs whose summed vertex count falls in
+/// ranges[k]; all levels hold roughly the same number of pairs.
+struct ComplexityLevels {
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;  ///< Inclusive [lo, hi].
+  std::vector<std::vector<CandidatePair>> pairs;      ///< Pairs per level.
+};
+
+/// Sum of the two polygons' vertex counts — the paper's pair-complexity
+/// measure (Sec. 4.3).
+uint64_t PairComplexity(const ScenarioData& scenario, const CandidatePair& pair);
+
+/// Splits the scenario's candidate pairs into \p levels equi-count groups of
+/// increasing complexity, mirroring Table 4.
+ComplexityLevels GroupByComplexity(const ScenarioData& scenario, size_t levels);
+
+}  // namespace stj

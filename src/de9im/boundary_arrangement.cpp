@@ -1,0 +1,213 @@
+#include "src/de9im/boundary_arrangement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "src/geometry/box.h"
+#include "src/geometry/segment.h"
+
+namespace stj::de9im {
+
+namespace {
+
+// Normalised parameter of a point known to lie on segment [a, b], measured
+// along the dominant axis. Exact for the endpoints; monotone in between.
+double ParamOnSegment(const Point& p, const Point& a, const Point& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  if (std::abs(dx) >= std::abs(dy)) {
+    return dx == 0.0 ? 0.0 : (p.x - a.x) / dx;
+  }
+  return (p.y - a.y) / dy;
+}
+
+// Per-edge split bookkeeping accumulated during intersection discovery.
+struct EdgeSplits {
+  std::vector<std::pair<double, Point>> cuts;            // t in (0,1)
+  std::vector<std::pair<double, double>> shared_ranges;  // collinear overlaps
+};
+
+// All edges of a polygon flattened into one array.
+struct EdgeSoup {
+  std::vector<Segment> edges;
+  std::vector<EdgeSplits> splits;
+
+  explicit EdgeSoup(const Polygon& poly) {
+    edges.reserve(poly.VertexCount());
+    poly.ForEachEdge([this](const Segment& e) { edges.push_back(e); });
+    splits.resize(edges.size());
+  }
+};
+
+// Y-slab index over an edge soup, for finding candidate intersecting edges.
+class EdgeSlabIndex {
+ public:
+  explicit EdgeSlabIndex(const EdgeSoup& soup, const Box& bounds)
+      : y_lo_(bounds.min.y) {
+    const size_t n = soup.edges.size();
+    num_slabs_ = std::max<size_t>(1, n / 4);
+    const double height = bounds.Height();
+    inv_height_ = (height > 0.0 && num_slabs_ > 1)
+                      ? static_cast<double>(num_slabs_) / height
+                      : 0.0;
+    if (inv_height_ == 0.0) num_slabs_ = 1;
+    slabs_.resize(num_slabs_);
+    for (size_t i = 0; i < n; ++i) {
+      const Segment& e = soup.edges[i];
+      const size_t lo = SlabOf(std::min(e.a.y, e.b.y));
+      const size_t hi = SlabOf(std::max(e.a.y, e.b.y));
+      for (size_t s = lo; s <= hi; ++s) slabs_[s].push_back(static_cast<uint32_t>(i));
+    }
+    visited_.assign(n, 0);
+  }
+
+  // Invokes fn(edge_index) once per edge whose slab range overlaps [ylo, yhi].
+  template <typename Fn>
+  void Probe(double ylo, double yhi, Fn&& fn) {
+    ++stamp_;
+    const size_t lo = SlabOf(ylo);
+    const size_t hi = SlabOf(yhi);
+    for (size_t s = lo; s <= hi; ++s) {
+      for (const uint32_t idx : slabs_[s]) {
+        if (visited_[idx] == stamp_) continue;
+        visited_[idx] = stamp_;
+        fn(idx);
+      }
+    }
+  }
+
+ private:
+  size_t SlabOf(double y) const {
+    if (num_slabs_ == 1) return 0;
+    const double t = (y - y_lo_) * inv_height_;
+    if (t <= 0.0) return 0;
+    return std::min(static_cast<size_t>(t), num_slabs_ - 1);
+  }
+
+  double y_lo_;
+  double inv_height_ = 0.0;
+  size_t num_slabs_ = 1;
+  std::vector<std::vector<uint32_t>> slabs_;
+  std::vector<uint32_t> visited_;
+  uint32_t stamp_ = 0;
+};
+
+void RecordCut(EdgeSplits* splits, double t, const Point& p) {
+  if (t > 0.0 && t < 1.0) splits->cuts.emplace_back(t, p);
+}
+
+void RecordShared(EdgeSplits* splits, double t0, const Point& p0, double t1,
+                  const Point& p1) {
+  if (t0 > t1) {
+    RecordShared(splits, t1, p1, t0, p0);
+    return;
+  }
+  RecordCut(splits, t0, p0);
+  RecordCut(splits, t1, p1);
+  splits->shared_ranges.emplace_back(t0, t1);
+}
+
+// Emits the sub-edge midpoints of one soup into `side`.
+void EmitSide(EdgeSoup* soup, ArrangementSide* side) {
+  std::vector<std::pair<double, Point>> cuts;
+  for (size_t i = 0; i < soup->edges.size(); ++i) {
+    const Segment& e = soup->edges[i];
+    EdgeSplits& sp = soup->splits[i];
+    if (sp.cuts.empty() && sp.shared_ranges.empty()) {
+      side->midpoints.push_back(e.Mid());
+      continue;
+    }
+    cuts = std::move(sp.cuts);
+    std::sort(cuts.begin(), cuts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               cuts.end());
+    // Merge collinear shared ranges.
+    std::sort(sp.shared_ranges.begin(), sp.shared_ranges.end());
+    std::vector<std::pair<double, double>> merged;
+    for (const auto& range : sp.shared_ranges) {
+      if (!merged.empty() && range.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, range.second);
+      } else {
+        merged.push_back(range);
+      }
+    }
+    if (!merged.empty()) side->has_shared_piece = true;
+
+    auto in_shared = [&merged](double t) {
+      for (const auto& range : merged) {
+        if (t >= range.first && t <= range.second) return true;
+      }
+      return false;
+    };
+
+    // Walk consecutive split points (including the edge endpoints).
+    double prev_t = 0.0;
+    Point prev_p = e.a;
+    auto emit_piece = [&](double next_t, const Point& next_p) {
+      if (next_t <= prev_t) {
+        prev_t = next_t;
+        prev_p = next_p;
+        return;
+      }
+      const double mid_t = 0.5 * (prev_t + next_t);
+      if (!in_shared(mid_t)) {
+        side->midpoints.push_back(Midpoint(prev_p, next_p));
+      }
+      prev_t = next_t;
+      prev_p = next_p;
+    };
+    for (const auto& [t, p] : cuts) emit_piece(t, p);
+    emit_piece(1.0, e.b);
+  }
+}
+
+}  // namespace
+
+Arrangement ComputeArrangement(const Polygon& r, const Polygon& s) {
+  Arrangement out;
+  EdgeSoup r_soup(r);
+  EdgeSoup s_soup(s);
+
+  const Box overlap = r.Bounds().Intersection(s.Bounds());
+  if (!overlap.IsEmpty()) {
+    EdgeSlabIndex s_index(s_soup, s.Bounds());
+    for (size_t i = 0; i < r_soup.edges.size(); ++i) {
+      const Segment& re = r_soup.edges[i];
+      const Box re_box = re.Bounds();
+      if (!re_box.Intersects(s.Bounds())) continue;
+      s_index.Probe(std::min(re.a.y, re.b.y), std::max(re.a.y, re.b.y),
+                    [&](uint32_t j) {
+        const Segment& se = s_soup.edges[j];
+        if (!re_box.Intersects(se.Bounds())) return;
+        const SegIntersection isect = IntersectSegments(re.a, re.b, se.a, se.b);
+        if (isect.kind == SegIntersectKind::kNone) return;
+        out.boundaries_touch = true;
+        if (isect.kind == SegIntersectKind::kPoint) {
+          RecordCut(&r_soup.splits[i], ParamOnSegment(isect.p0, re.a, re.b),
+                    isect.p0);
+          RecordCut(&s_soup.splits[j], ParamOnSegment(isect.p0, se.a, se.b),
+                    isect.p0);
+        } else {
+          RecordShared(&r_soup.splits[i],
+                       ParamOnSegment(isect.p0, re.a, re.b), isect.p0,
+                       ParamOnSegment(isect.p1, re.a, re.b), isect.p1);
+          RecordShared(&s_soup.splits[j],
+                       ParamOnSegment(isect.p0, se.a, se.b), isect.p0,
+                       ParamOnSegment(isect.p1, se.a, se.b), isect.p1);
+        }
+      });
+    }
+  }
+
+  EmitSide(&r_soup, &out.r);
+  EmitSide(&s_soup, &out.s);
+  return out;
+}
+
+}  // namespace stj::de9im

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/geometry/polygon.h"
+
+namespace stj::de9im {
+
+/// One side's view of the mutual boundary arrangement of a polygon pair.
+struct ArrangementSide {
+  /// Midpoints of this polygon's boundary sub-edges after splitting at every
+  /// intersection with the other polygon's boundary — excluding sub-edges
+  /// that lie on collinear shared pieces (reported via has_shared_piece).
+  /// In exact arithmetic each midpoint is strictly interior or strictly
+  /// exterior to the other polygon, never on its boundary.
+  std::vector<Point> midpoints;
+
+  /// True when some positive-length piece of this boundary coincides with
+  /// the other polygon's boundary (dimension-1 B/B intersection evidence).
+  bool has_shared_piece = false;
+};
+
+/// The arrangement of two polygon boundaries against each other: the raw
+/// material for DE-9IM classification.
+struct Arrangement {
+  ArrangementSide r;
+  ArrangementSide s;
+
+  /// True when the two boundaries share at least one point.
+  bool boundaries_touch = false;
+};
+
+/// Splits every edge of \p r at its intersections with edges of \p s and
+/// vice versa, using exact intersection classification. Collinear shared
+/// pieces are detected explicitly (never classified via rounded midpoints),
+/// which keeps shared-boundary datasets (tessellations, equal polygons)
+/// robust. Cost: O((|r| + |s| + k) * slab) where k is the number of
+/// boundary intersections, via a y-slab index over the edges of s.
+Arrangement ComputeArrangement(const Polygon& r, const Polygon& s);
+
+}  // namespace stj::de9im

@@ -1,0 +1,28 @@
+#include "src/de9im/dimension.h"
+
+namespace stj::de9im {
+
+char ToChar(Dim d) {
+  switch (d) {
+    case Dim::kFalse: return 'F';
+    case Dim::k0: return '0';
+    case Dim::k1: return '1';
+    case Dim::k2: return '2';
+  }
+  return '?';
+}
+
+bool FromChar(char c, Dim* out) {
+  switch (c) {
+    case 'F':
+    case 'f': *out = Dim::kFalse; return true;
+    case '0': *out = Dim::k0; return true;
+    case '1': *out = Dim::k1; return true;
+    case '2': *out = Dim::k2; return true;
+    default: return false;
+  }
+}
+
+Dim Max(Dim a, Dim b) { return static_cast<int8_t>(a) >= static_cast<int8_t>(b) ? a : b; }
+
+}  // namespace stj::de9im

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+namespace stj::de9im {
+
+/// Dimension of an intersection set in the DE-9IM: F (empty), 0 (points),
+/// 1 (curves), 2 (areas).
+enum class Dim : int8_t {
+  kFalse = -1,
+  k0 = 0,
+  k1 = 1,
+  k2 = 2,
+};
+
+/// DE-9IM character for a dimension: 'F', '0', '1', or '2'.
+char ToChar(Dim d);
+
+/// Parses 'F'/'f' and '0'..'2'. Returns false on any other character.
+bool FromChar(char c, Dim* out);
+
+/// The larger of two dimensions (used when merging evidence).
+Dim Max(Dim a, Dim b);
+
+}  // namespace stj::de9im

@@ -1,0 +1,74 @@
+#include "src/de9im/mask.h"
+
+#include <cstdlib>
+
+namespace stj::de9im {
+
+std::optional<Mask> Mask::Parse(std::string_view pattern) {
+  if (pattern.size() != 9) return std::nullopt;
+  Mask mask;
+  for (size_t i = 0; i < 9; ++i) {
+    switch (pattern[i]) {
+      case '*': mask.cells_[i] = Cell::kAny; break;
+      case 'T':
+      case 't': mask.cells_[i] = Cell::kTrue; break;
+      case 'F':
+      case 'f': mask.cells_[i] = Cell::kFalse; break;
+      case '0': mask.cells_[i] = Cell::kDim0; break;
+      case '1': mask.cells_[i] = Cell::kDim1; break;
+      case '2': mask.cells_[i] = Cell::kDim2; break;
+      default: return std::nullopt;
+    }
+  }
+  return mask;
+}
+
+Mask Mask::FromLiteral(std::string_view pattern) {
+  std::optional<Mask> mask = Parse(pattern);
+  if (!mask.has_value()) std::abort();  // programming error in a literal
+  return *mask;
+}
+
+bool Mask::Matches(const Matrix& m) const {
+  for (size_t i = 0; i < 9; ++i) {
+    const Part row = static_cast<Part>(i / 3);
+    const Part col = static_cast<Part>(i % 3);
+    const Dim d = m.At(row, col);
+    switch (cells_[i]) {
+      case Cell::kAny: break;
+      case Cell::kTrue:
+        if (d == Dim::kFalse) return false;
+        break;
+      case Cell::kFalse:
+        if (d != Dim::kFalse) return false;
+        break;
+      case Cell::kDim0:
+        if (d != Dim::k0) return false;
+        break;
+      case Cell::kDim1:
+        if (d != Dim::k1) return false;
+        break;
+      case Cell::kDim2:
+        if (d != Dim::k2) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string Mask::ToString() const {
+  std::string out(9, '*');
+  for (size_t i = 0; i < 9; ++i) {
+    switch (cells_[i]) {
+      case Cell::kAny: out[i] = '*'; break;
+      case Cell::kTrue: out[i] = 'T'; break;
+      case Cell::kFalse: out[i] = 'F'; break;
+      case Cell::kDim0: out[i] = '0'; break;
+      case Cell::kDim1: out[i] = '1'; break;
+      case Cell::kDim2: out[i] = '2'; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace stj::de9im

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/de9im/matrix.h"
+
+namespace stj::de9im {
+
+/// A DE-9IM mask pattern: 9 characters from {T, F, *, 0, 1, 2}.
+///
+/// 'T' matches any non-empty intersection (dimension 0, 1, or 2), 'F' matches
+/// only empty, '*' matches anything, and a digit matches that exact
+/// dimension. A relation holds when the geometry pair's matrix matches any of
+/// the relation's masks (Table 1 of the paper).
+class Mask {
+ public:
+  /// Parses a 9-character pattern; returns nullopt if any character is not in
+  /// {T, F, *, 0, 1, 2} (case-insensitive for T/F).
+  static std::optional<Mask> Parse(std::string_view pattern);
+
+  /// Compile-time-friendly constructor for known-good literals; terminates on
+  /// malformed input (used for the static Table 1 masks).
+  static Mask FromLiteral(std::string_view pattern);
+
+  /// True iff \p m satisfies this pattern.
+  bool Matches(const Matrix& m) const;
+
+  /// The original 9-character pattern.
+  std::string ToString() const;
+
+ private:
+  enum class Cell : uint8_t { kAny, kTrue, kFalse, kDim0, kDim1, kDim2 };
+  std::array<Cell, 9> cells_{};
+};
+
+}  // namespace stj::de9im

@@ -1,0 +1,32 @@
+#include "src/de9im/matrix.h"
+
+namespace stj::de9im {
+
+std::string Matrix::ToString() const {
+  std::string out(9, 'F');
+  for (size_t i = 0; i < 9; ++i) out[i] = ToChar(entries_[i]);
+  return out;
+}
+
+std::optional<Matrix> Matrix::FromString(std::string_view code) {
+  if (code.size() != 9) return std::nullopt;
+  Matrix m;
+  for (size_t i = 0; i < 9; ++i) {
+    Dim d;
+    if (!FromChar(code[i], &d)) return std::nullopt;
+    m.entries_[i] = d;
+  }
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t;
+  for (size_t row = 0; row < 3; ++row) {
+    for (size_t col = 0; col < 3; ++col) {
+      t.entries_[col * 3 + row] = entries_[row * 3 + col];
+    }
+  }
+  return t;
+}
+
+}  // namespace stj::de9im

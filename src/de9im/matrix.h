@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/de9im/dimension.h"
+
+namespace stj::de9im {
+
+/// Part of a geometry, indexing DE-9IM rows (parts of r) and columns (parts
+/// of s).
+enum class Part : uint8_t { kInterior = 0, kBoundary = 1, kExterior = 2 };
+
+/// The Dimensionally Extended 9-Intersection Model matrix.
+///
+/// Entry (row, col) is the dimension of the intersection of part `row` of
+/// geometry r with part `col` of geometry s. Flattened row-major into the
+/// conventional 9-character string code, e.g. "FF2FF1212" for two disjoint
+/// polygons.
+class Matrix {
+ public:
+  /// All entries F.
+  Matrix() { entries_.fill(Dim::kFalse); }
+
+  Dim At(Part row, Part col) const {
+    return entries_[static_cast<size_t>(row) * 3 + static_cast<size_t>(col)];
+  }
+
+  void Set(Part row, Part col, Dim d) {
+    entries_[static_cast<size_t>(row) * 3 + static_cast<size_t>(col)] = d;
+  }
+
+  /// Raises entry (row, col) to at least \p d (never lowers).
+  void Merge(Part row, Part col, Dim d) {
+    Dim& e = entries_[static_cast<size_t>(row) * 3 + static_cast<size_t>(col)];
+    e = Max(e, d);
+  }
+
+  /// The 9-character string code, row-major ("T" never appears; dimensions
+  /// are concrete).
+  std::string ToString() const;
+
+  /// Parses a 9-character code of {F, 0, 1, 2}.
+  static std::optional<Matrix> FromString(std::string_view code);
+
+  /// The matrix of the pair (s, r): rows and columns swapped.
+  Matrix Transposed() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::array<Dim, 9> entries_;
+};
+
+}  // namespace stj::de9im

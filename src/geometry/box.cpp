@@ -1,0 +1,95 @@
+#include "src/geometry/box.h"
+
+#include <algorithm>
+
+namespace stj {
+
+Box Box::Of(const Point& a, const Point& b) {
+  Box box;
+  box.min = Point{std::min(a.x, b.x), std::min(a.y, b.y)};
+  box.max = Point{std::max(a.x, b.x), std::max(a.y, b.y)};
+  return box;
+}
+
+void Box::Expand(const Point& p) {
+  if (IsEmpty()) {
+    min = max = p;
+    return;
+  }
+  min.x = std::min(min.x, p.x);
+  min.y = std::min(min.y, p.y);
+  max.x = std::max(max.x, p.x);
+  max.y = std::max(max.y, p.y);
+}
+
+void Box::Expand(const Box& other) {
+  if (other.IsEmpty()) return;
+  Expand(other.min);
+  Expand(other.max);
+}
+
+Box Box::Inflated(double margin) const {
+  if (IsEmpty()) return *this;
+  Box out = *this;
+  out.min.x -= margin;
+  out.min.y -= margin;
+  out.max.x += margin;
+  out.max.y += margin;
+  return out;
+}
+
+bool Box::Intersects(const Box& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return min.x <= other.max.x && other.min.x <= max.x && min.y <= other.max.y &&
+         other.min.y <= max.y;
+}
+
+bool Box::Contains(const Point& p) const {
+  return !IsEmpty() && p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+}
+
+bool Box::Contains(const Box& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return other.min.x >= min.x && other.max.x <= max.x && other.min.y >= min.y &&
+         other.max.y <= max.y;
+}
+
+Box Box::Intersection(const Box& other) const {
+  if (!Intersects(other)) return Box::Empty();
+  Box out;
+  out.min = Point{std::max(min.x, other.min.x), std::max(min.y, other.min.y)};
+  out.max = Point{std::min(max.x, other.max.x), std::min(max.y, other.max.y)};
+  return out;
+}
+
+BoxRelation ClassifyBoxes(const Box& r, const Box& s) {
+  if (!r.Intersects(s)) return BoxRelation::kDisjoint;
+  if (r == s) return BoxRelation::kEqual;
+  if (s.Contains(r)) return BoxRelation::kRInsideS;
+  if (r.Contains(s)) return BoxRelation::kSInsideR;
+  // A "cross" needs each box to strictly pierce the other in one axis:
+  // r wider than s and s taller than r (or vice versa). Either way the two
+  // polygons' interiors are forced to overlap (Fig. 4(d)).
+  const bool r_pierces_x = r.min.x < s.min.x && s.max.x < r.max.x;
+  const bool s_pierces_y = s.min.y < r.min.y && r.max.y < s.max.y;
+  const bool s_pierces_x = s.min.x < r.min.x && r.max.x < s.max.x;
+  const bool r_pierces_y = r.min.y < s.min.y && s.max.y < r.max.y;
+  if ((r_pierces_x && s_pierces_y) || (s_pierces_x && r_pierces_y)) {
+    return BoxRelation::kCross;
+  }
+  return BoxRelation::kOverlap;
+}
+
+const char* ToString(BoxRelation rel) {
+  switch (rel) {
+    case BoxRelation::kDisjoint: return "disjoint";
+    case BoxRelation::kEqual: return "equal";
+    case BoxRelation::kRInsideS: return "r-inside-s";
+    case BoxRelation::kSInsideR: return "s-inside-r";
+    case BoxRelation::kCross: return "cross";
+    case BoxRelation::kOverlap: return "overlap";
+  }
+  return "?";
+}
+
+}  // namespace stj

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "src/geometry/point.h"
+
+namespace stj {
+
+/// Axis-aligned minimum bounding rectangle (MBR).
+///
+/// Boxes are closed rectangles [min.x, max.x] x [min.y, max.y]. An empty box
+/// (default construction) has min > max and intersects nothing.
+struct Box {
+  Point min{1.0, 1.0};
+  Point max{0.0, 0.0};
+
+  /// Returns a box that contains nothing.
+  static Box Empty() { return Box{}; }
+
+  /// Returns the MBR of two points given in any order.
+  static Box Of(const Point& a, const Point& b);
+
+  bool IsEmpty() const { return min.x > max.x || min.y > max.y; }
+
+  double Width() const { return max.x - min.x; }
+  double Height() const { return max.y - min.y; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+  Point Center() const { return Point{0.5 * (min.x + max.x), 0.5 * (min.y + max.y)}; }
+
+  /// Grows this box to contain \p p.
+  void Expand(const Point& p);
+
+  /// Grows this box to contain \p other.
+  void Expand(const Box& other);
+
+  /// Returns this box inflated by \p margin on every side.
+  Box Inflated(double margin) const;
+
+  /// Closed-rectangle intersection test (shared edges/corners count).
+  bool Intersects(const Box& other) const;
+
+  /// True iff \p p lies in the closed rectangle.
+  bool Contains(const Point& p) const;
+
+  /// True iff \p other is fully inside this box (boundary contact allowed).
+  bool Contains(const Box& other) const;
+
+  /// The intersection rectangle; empty if the boxes do not intersect.
+  Box Intersection(const Box& other) const;
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.min == b.min && a.max == b.max;
+  }
+  friend bool operator!=(const Box& a, const Box& b) { return !(a == b); }
+};
+
+/// How two MBRs of a candidate pair (r, s) intersect — the dispatch key of the
+/// paper's Algorithm 1 (Fig. 4). Assumes the MBRs do intersect except for the
+/// explicit kDisjoint case.
+enum class BoxRelation {
+  kDisjoint,   ///< No common point: the objects are definitely disjoint.
+  kEqual,      ///< MBR(r) == MBR(s): Fig. 4(c).
+  kRInsideS,   ///< MBR(r) strictly contained in MBR(s) (not equal): Fig. 4(a).
+  kSInsideR,   ///< MBR(s) strictly contained in MBR(r) (not equal): Fig. 4(b).
+  kCross,      ///< MBRs cross like a plus sign: Fig. 4(d), definite overlap.
+  kOverlap,    ///< Any other intersection: Fig. 4(e).
+};
+
+/// Classifies how MBR(r) and MBR(s) intersect per Fig. 4 of the paper.
+BoxRelation ClassifyBoxes(const Box& r, const Box& s);
+
+/// Human-readable name of a BoxRelation (for logs and test failures).
+const char* ToString(BoxRelation rel);
+
+}  // namespace stj

@@ -1,0 +1,101 @@
+#include "src/geometry/clip.h"
+
+#include <vector>
+
+namespace stj {
+
+namespace {
+
+enum class Side { kLeft, kRight, kBottom, kTop };
+
+bool IsInside(const Point& p, Side side, const Box& window) {
+  switch (side) {
+    case Side::kLeft: return p.x >= window.min.x;
+    case Side::kRight: return p.x <= window.max.x;
+    case Side::kBottom: return p.y >= window.min.y;
+    case Side::kTop: return p.y <= window.max.y;
+  }
+  return false;
+}
+
+Point IntersectWithSide(const Point& a, const Point& b, Side side,
+                        const Box& window) {
+  double t = 0.0;
+  switch (side) {
+    case Side::kLeft: t = (window.min.x - a.x) / (b.x - a.x); break;
+    case Side::kRight: t = (window.max.x - a.x) / (b.x - a.x); break;
+    case Side::kBottom: t = (window.min.y - a.y) / (b.y - a.y); break;
+    case Side::kTop: t = (window.max.y - a.y) / (b.y - a.y); break;
+  }
+  Point p{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+  // Pin the clipped coordinate exactly onto the window edge.
+  switch (side) {
+    case Side::kLeft: p.x = window.min.x; break;
+    case Side::kRight: p.x = window.max.x; break;
+    case Side::kBottom: p.y = window.min.y; break;
+    case Side::kTop: p.y = window.max.y; break;
+  }
+  return p;
+}
+
+std::vector<Point> ClipAgainstSide(const std::vector<Point>& input, Side side,
+                                   const Box& window) {
+  std::vector<Point> output;
+  output.reserve(input.size() + 4);
+  const size_t n = input.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& current = input[i];
+    const Point& previous = input[(i + n - 1) % n];
+    const bool current_in = IsInside(current, side, window);
+    const bool previous_in = IsInside(previous, side, window);
+    if (current_in) {
+      if (!previous_in) {
+        output.push_back(IntersectWithSide(previous, current, side, window));
+      }
+      output.push_back(current);
+    } else if (previous_in) {
+      output.push_back(IntersectWithSide(previous, current, side, window));
+    }
+  }
+  return output;
+}
+
+}  // namespace
+
+std::optional<Ring> ClipRingToBox(const Ring& ring, const Box& window) {
+  if (ring.Empty()) return std::nullopt;
+  if (window.Contains(ring.Bounds())) return ring;  // fully inside: untouched
+  std::vector<Point> pts = ring.Vertices();
+  for (const Side side :
+       {Side::kLeft, Side::kRight, Side::kBottom, Side::kTop}) {
+    pts = ClipAgainstSide(pts, side, window);
+    if (pts.size() < 3) return std::nullopt;
+  }
+  // Drop consecutive duplicates the clipping may have introduced.
+  std::vector<Point> cleaned;
+  cleaned.reserve(pts.size());
+  for (const Point& p : pts) {
+    if (cleaned.empty() || !(cleaned.back() == p)) cleaned.push_back(p);
+  }
+  while (cleaned.size() > 1 && cleaned.front() == cleaned.back()) {
+    cleaned.pop_back();
+  }
+  if (cleaned.size() < 3) return std::nullopt;
+  Ring result(std::move(cleaned));
+  if (result.SignedArea2() == 0.0) return std::nullopt;
+  return result;
+}
+
+std::optional<Polygon> ClipPolygonToBox(const Polygon& poly,
+                                        const Box& window) {
+  const std::optional<Ring> outer = ClipRingToBox(poly.Outer(), window);
+  if (!outer.has_value()) return std::nullopt;
+  std::vector<Ring> holes;
+  for (const Ring& hole : poly.Holes()) {
+    std::optional<Ring> clipped = ClipRingToBox(hole, window);
+    if (clipped.has_value()) holes.push_back(std::move(*clipped));
+  }
+  return Polygon(std::move(*outer), std::move(holes));
+}
+
+}  // namespace stj

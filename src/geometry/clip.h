@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+
+#include "src/geometry/box.h"
+#include "src/geometry/polygon.h"
+
+namespace stj {
+
+/// Clips \p ring to the axis-aligned rectangle \p window
+/// (Sutherland–Hodgman against the four half-planes). Returns the clipped
+/// ring, or nullopt when nothing of positive area remains.
+std::optional<Ring> ClipRingToBox(const Ring& ring, const Box& window);
+
+/// Clips \p poly (outer ring and holes) to \p window. Holes are clipped
+/// individually; a hole touching the window boundary merges its clipped form
+/// into the result as-is, which is exact as long as the hole does not cross
+/// the window (holes that do are conservatively kept clipped — the result
+/// may then slightly under-report exterior area). Returns nullopt when the
+/// polygon lies entirely outside the window.
+///
+/// This mirrors the paper's dataset preparation ("we cropped the TIGER
+/// datasets to the contiguous United States").
+std::optional<Polygon> ClipPolygonToBox(const Polygon& poly, const Box& window);
+
+}  // namespace stj

@@ -1,0 +1,74 @@
+#include "src/geometry/convex_hull.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/geometry/predicates.h"
+
+namespace stj {
+
+Ring ConvexHull(const Polygon& poly) {
+  std::vector<Point> pts = poly.Outer().Vertices();
+  if (pts.size() < 3) return Ring(std::move(pts));
+  std::sort(pts.begin(), pts.end(), LexLess);
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const size_t n = pts.size();
+  if (n < 3) return Ring(std::move(pts));
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           OrientSign(hull[k - 2], hull[k - 1], pts[i]) != Sign::kPositive) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size &&
+           OrientSign(hull[k - 2], hull[k - 1], pts[i]) != Sign::kPositive) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  return Ring(std::move(hull));
+}
+
+namespace {
+
+// True iff some edge of `edges_of` has all vertices of `other` strictly on
+// its right side (a separating axis).
+bool HasSeparatingEdge(const Ring& edges_of, const Ring& other) {
+  const size_t n = edges_of.Size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = edges_of[i];
+    const Point& b = edges_of[(i + 1 == n) ? 0 : i + 1];
+    bool all_outside = true;
+    for (size_t j = 0; j < other.Size(); ++j) {
+      if (OrientSign(a, b, other[j]) != Sign::kNegative) {
+        all_outside = false;
+        break;
+      }
+    }
+    if (all_outside) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ConvexPolygonsIntersect(const Ring& a, const Ring& b) {
+  if (a.Empty() || b.Empty()) return false;
+  if (!a.Bounds().Intersects(b.Bounds())) return false;
+  // Degenerate hulls (points/segments) fall back to a containment-ish test
+  // via the other hull's edges only.
+  if (a.Size() >= 3 && HasSeparatingEdge(a, b)) return false;
+  if (b.Size() >= 3 && HasSeparatingEdge(b, a)) return false;
+  return true;
+}
+
+}  // namespace stj

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "src/geometry/polygon.h"
+#include "src/geometry/ring.h"
+
+namespace stj {
+
+/// Convex hull of a polygon's outer ring (Andrew's monotone chain),
+/// returned as a counter-clockwise ring. Collinear points on the hull
+/// boundary are dropped.
+///
+/// Hulls are the classic "simple approximation" intermediate filter of
+/// Brinkhoff et al. (SIGMOD'94), which the paper's related work contrasts
+/// with raster approximations: a hull can certify disjointness (hulls
+/// disjoint => objects disjoint) but — unlike APRIL's P lists — can never
+/// certify intersection or containment. bench_ablation_filters quantifies
+/// the difference.
+Ring ConvexHull(const Polygon& poly);
+
+/// True iff the convex polygons \p a and \p b (CCW rings) share at least one
+/// point. Decided by the separating-axis test over both edge sets; exact via
+/// the adaptive orientation predicate.
+bool ConvexPolygonsIntersect(const Ring& a, const Ring& b);
+
+}  // namespace stj

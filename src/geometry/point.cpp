@@ -1,0 +1,26 @@
+#include "src/geometry/point.h"
+
+#include <cmath>
+
+namespace stj {
+
+bool LexLess(const Point& a, const Point& b) {
+  if (a.x != b.x) return a.x < b.x;
+  return a.y < b.y;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+Point Midpoint(const Point& a, const Point& b) {
+  return Point{0.5 * (a.x + b.x), 0.5 * (a.y + b.y)};
+}
+
+}  // namespace stj

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace stj {
+
+/// A 2-D point with double coordinates.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+};
+
+/// Lexicographic (x, then y) comparison; used to canonicalise segments.
+bool LexLess(const Point& a, const Point& b);
+
+/// Euclidean distance between \p a and \p b.
+double Distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance (avoids the sqrt when only comparing).
+double DistanceSquared(const Point& a, const Point& b);
+
+/// Midpoint of \p a and \p b.
+Point Midpoint(const Point& a, const Point& b);
+
+}  // namespace stj
+
+template <>
+struct std::hash<stj::Point> {
+  size_t operator()(const stj::Point& p) const noexcept {
+    const size_t hx = std::hash<double>{}(p.x);
+    const size_t hy = std::hash<double>{}(p.y);
+    return hx ^ (hy + 0x9E3779B97F4A7C15ull + (hx << 6) + (hx >> 2));
+  }
+};

@@ -1,0 +1,54 @@
+#include "src/geometry/point_in_polygon.h"
+
+#include "src/geometry/predicates.h"
+
+namespace stj {
+
+Location LocateInRing(const Point& p, const Ring& ring) {
+  const size_t n = ring.Size();
+  if (n < 3) return Location::kExterior;
+  if (!ring.Bounds().Contains(p)) return Location::kExterior;
+
+  bool inside = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1 == n) ? 0 : i + 1];
+    // Boundary check first: exact collinearity + bounding box.
+    if (OnSegment(p, a, b)) return Location::kBoundary;
+    // Crossing-number step for the ray going in +x from p. The half-open
+    // vertex rule (a.y <= p.y < b.y for upward edges) counts each vertex
+    // crossing exactly once.
+    if (a.y <= p.y) {
+      if (b.y > p.y && OrientSign(a, b, p) == Sign::kPositive) inside = !inside;
+    } else {
+      if (b.y <= p.y && OrientSign(a, b, p) == Sign::kNegative) inside = !inside;
+    }
+  }
+  return inside ? Location::kInterior : Location::kExterior;
+}
+
+Location Locate(const Point& p, const Polygon& poly) {
+  const Location outer = LocateInRing(p, poly.Outer());
+  if (outer != Location::kInterior) return outer;
+  for (const Ring& hole : poly.Holes()) {
+    const Location in_hole = LocateInRing(p, hole);
+    if (in_hole == Location::kBoundary) return Location::kBoundary;
+    if (in_hole == Location::kInterior) return Location::kExterior;
+  }
+  return Location::kInterior;
+}
+
+bool ContainsInterior(const Polygon& poly, const Point& p) {
+  return Locate(p, poly) == Location::kInterior;
+}
+
+const char* ToString(Location loc) {
+  switch (loc) {
+    case Location::kInterior: return "interior";
+    case Location::kBoundary: return "boundary";
+    case Location::kExterior: return "exterior";
+  }
+  return "?";
+}
+
+}  // namespace stj

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "src/geometry/point.h"
+#include "src/geometry/polygon.h"
+#include "src/geometry/ring.h"
+
+namespace stj {
+
+/// Topological location of a point relative to an areal geometry.
+enum class Location {
+  kInterior,
+  kBoundary,
+  kExterior,
+};
+
+/// Locates \p p relative to the closed region bounded by \p ring.
+///
+/// Exact: uses the adaptive orientation predicate for both the on-boundary
+/// test and ray crossings, so shared-boundary configurations (common in the
+/// tessellation datasets) are classified correctly.
+Location LocateInRing(const Point& p, const Ring& ring);
+
+/// Locates \p p relative to \p poly under OGC semantics: on any ring is
+/// kBoundary; inside the outer ring but inside a hole is kExterior.
+Location Locate(const Point& p, const Polygon& poly);
+
+/// Convenience: true iff Locate(p, poly) == kInterior.
+bool ContainsInterior(const Polygon& poly, const Point& p);
+
+const char* ToString(Location loc);
+
+}  // namespace stj

@@ -1,0 +1,84 @@
+#include "src/geometry/point_on_surface.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/geometry/point_in_polygon.h"
+
+namespace stj {
+
+namespace {
+
+// Collects the y-coordinates of all vertices, sorted and deduplicated.
+std::vector<double> DistinctVertexYs(const Polygon& poly) {
+  std::vector<double> ys;
+  ys.reserve(poly.VertexCount());
+  for (const Point& p : poly.Outer().Vertices()) ys.push_back(p.y);
+  for (const Ring& hole : poly.Holes()) {
+    for (const Point& p : hole.Vertices()) ys.push_back(p.y);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  return ys;
+}
+
+// X-coordinates where the polygon boundary crosses the horizontal line at
+// level y. Requires y to differ from every vertex y, so every crossing is a
+// proper edge crossing and parity along the line is well defined.
+std::vector<double> CrossingsAtLevel(const Polygon& poly, double y) {
+  std::vector<double> xs;
+  poly.ForEachEdge([&](const Segment& e) {
+    const double y0 = e.a.y;
+    const double y1 = e.b.y;
+    if ((y0 < y && y1 > y) || (y1 < y && y0 > y)) {
+      const double t = (y - y0) / (y1 - y0);
+      xs.push_back(e.a.x + t * (e.b.x - e.a.x));
+    }
+  });
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+}  // namespace
+
+bool PointOnSurface(const Polygon& poly, Point* out) {
+  if (poly.Empty() || poly.Outer().Size() < 3) return false;
+  const std::vector<double> ys = DistinctVertexYs(poly);
+  if (ys.size() < 2) return false;
+
+  // Candidate scan levels: midpoints of consecutive distinct vertex
+  // y-levels, tried from the vertical middle of the polygon outwards.
+  std::vector<double> levels;
+  levels.reserve(ys.size() - 1);
+  for (size_t i = 0; i + 1 < ys.size(); ++i) {
+    levels.push_back(0.5 * (ys[i] + ys[i + 1]));
+  }
+  const double mid_y = poly.Bounds().Center().y;
+  std::sort(levels.begin(), levels.end(), [mid_y](double a, double b) {
+    const double da = a < mid_y ? mid_y - a : a - mid_y;
+    const double db = b < mid_y ? mid_y - b : b - mid_y;
+    return da < db;
+  });
+
+  for (const double y : levels) {
+    const std::vector<double> xs = CrossingsAtLevel(poly, y);
+    // Consecutive crossings alternate exterior -> interior -> exterior -> ...
+    // Pick the widest interior span for numerical head-room.
+    double best_width = 0.0;
+    Point best{};
+    for (size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const double width = xs[i + 1] - xs[i];
+      if (width > best_width) {
+        best_width = width;
+        best = Point{0.5 * (xs[i] + xs[i + 1]), y};
+      }
+    }
+    if (best_width > 0.0 && Locate(best, poly) == Location::kInterior) {
+      *out = best;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace stj

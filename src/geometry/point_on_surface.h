@@ -1,0 +1,22 @@
+#pragma once
+
+#include "src/geometry/point.h"
+#include "src/geometry/polygon.h"
+
+namespace stj {
+
+/// Returns a point strictly in the interior of \p poly.
+///
+/// Uses a horizontal scanline placed between distinct vertex y-levels near the
+/// middle of the bounding box: the sorted edge crossings along the line split
+/// it into alternating exterior/interior spans, and the midpoint of the widest
+/// interior span is returned (verified against Locate(), retrying on other
+/// levels if double rounding lands the candidate on the boundary).
+///
+/// The DE-9IM relate engine uses this as its containment fallback when two
+/// boundaries touch without providing a classifiable sub-edge, so the result
+/// must be a true interior point even for polygons with holes.
+/// Returns false only for degenerate (empty or sliver) polygons.
+bool PointOnSurface(const Polygon& poly, Point* out);
+
+}  // namespace stj

@@ -1,0 +1,25 @@
+#include "src/geometry/polygon.h"
+
+namespace stj {
+
+Polygon::Polygon(Ring outer, std::vector<Ring> holes)
+    : outer_(std::move(outer)), holes_(std::move(holes)) {
+  if (!outer_.Empty() && !outer_.IsCCW()) outer_.Reverse();
+  for (Ring& hole : holes_) {
+    if (!hole.Empty() && hole.IsCCW()) hole.Reverse();
+  }
+}
+
+size_t Polygon::VertexCount() const {
+  size_t n = outer_.Size();
+  for (const Ring& hole : holes_) n += hole.Size();
+  return n;
+}
+
+double Polygon::Area() const {
+  double area = outer_.Area();
+  for (const Ring& hole : holes_) area -= hole.Area();
+  return area;
+}
+
+}  // namespace stj

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/ring.h"
+
+namespace stj {
+
+/// A simple polygon with optional holes.
+///
+/// The outer ring is normalised to counter-clockwise winding and each hole to
+/// clockwise winding on construction. The polygon's interior is the interior
+/// of the outer ring minus the closed holes; hole interiors belong to the
+/// polygon's exterior (OGC semantics, which DE-9IM assumes).
+class Polygon {
+ public:
+  Polygon() = default;
+
+  /// Builds a polygon from an outer ring and zero or more holes, normalising
+  /// winding orders.
+  explicit Polygon(Ring outer, std::vector<Ring> holes = {});
+
+  const Ring& Outer() const { return outer_; }
+  const std::vector<Ring>& Holes() const { return holes_; }
+  bool Empty() const { return outer_.Empty(); }
+
+  /// Total number of vertices across all rings — the paper's complexity
+  /// measure (Table 4 groups pairs by the sum of the two polygons' counts).
+  size_t VertexCount() const;
+
+  /// Number of rings (1 outer + holes).
+  size_t RingCount() const { return 1 + holes_.size(); }
+
+  /// Bounding box of the outer ring.
+  const Box& Bounds() const { return outer_.Bounds(); }
+
+  /// Area of the outer ring minus the hole areas.
+  double Area() const;
+
+  /// Invokes \p fn for every directed edge of every ring.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (size_t i = 0; i < outer_.Size(); ++i) fn(outer_.Edge(i));
+    for (const Ring& hole : holes_) {
+      for (size_t i = 0; i < hole.Size(); ++i) fn(hole.Edge(i));
+    }
+  }
+
+ private:
+  Ring outer_;
+  std::vector<Ring> holes_;
+};
+
+/// A polygon plus the identity and precomputed metadata a dataset entry
+/// carries through the join pipeline.
+struct SpatialObject {
+  uint32_t id = 0;
+  Polygon geometry;
+};
+
+}  // namespace stj

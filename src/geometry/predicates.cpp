@@ -1,0 +1,240 @@
+#include "src/geometry/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+
+// Adaptive-precision orientation predicate after
+//   J. R. Shewchuk, "Adaptive Precision Floating-Point Arithmetic and Fast
+//   Robust Geometric Predicates", Discrete & Computational Geometry 18, 1997.
+// The exact products use std::fma instead of Dekker splitting; on any IEEE-754
+// platform fma(a, b, -a*b) yields the exact rounding error of the product.
+
+namespace stj {
+
+namespace {
+
+// Machine epsilon for double rounding: 2^-53.
+constexpr double kEps = 1.1102230246251565e-16;
+constexpr double kCcwErrBoundA = (3.0 + 16.0 * kEps) * kEps;
+constexpr double kCcwErrBoundB = (2.0 + 12.0 * kEps) * kEps;
+constexpr double kCcwErrBoundC = (9.0 + 64.0 * kEps) * kEps * kEps;
+constexpr double kResultErrBound = (3.0 + 8.0 * kEps) * kEps;
+
+// Exact sum: a + b = x + y with x = fl(a + b), |y| <= ulp(x)/2.
+inline void TwoSum(double a, double b, double* x, double* y) {
+  *x = a + b;
+  const double bvirt = *x - a;
+  const double avirt = *x - bvirt;
+  const double bround = b - bvirt;
+  const double around = a - avirt;
+  *y = around + bround;
+}
+
+// Exact difference: a - b = x + y.
+inline void TwoDiff(double a, double b, double* x, double* y) {
+  *x = a - b;
+  const double bvirt = a - *x;
+  const double avirt = *x + bvirt;
+  const double bround = bvirt - b;
+  const double around = a - avirt;
+  *y = around + bround;
+}
+
+// Exact sum assuming |a| >= |b|.
+inline void FastTwoSum(double a, double b, double* x, double* y) {
+  *x = a + b;
+  const double bvirt = *x - a;
+  *y = b - bvirt;
+}
+
+// Exact product: a * b = x + y.
+inline void TwoProduct(double a, double b, double* x, double* y) {
+  *x = a * b;
+  *y = std::fma(a, b, -*x);
+}
+
+// (a1 + a0) - (b1 + b0) expressed exactly as a four-component expansion
+// (x3 + x2 + x1 + x0), components in increasing magnitude order.
+inline void TwoTwoDiff(double a1, double a0, double b1, double b0, double* x3,
+                       double* x2, double* x1, double* x0) {
+  double j, r0, t1, t0, u1;
+  TwoDiff(a0, b0, &t1, x0);
+  TwoSum(a1, t1, &u1, &t0);
+  TwoSum(u1, t0, &j, &r0);  // Note: normalisation pass.
+  TwoDiff(j, b1, &t1, &t0);
+  TwoSum(r0, t0, &u1, x1);
+  TwoSum(t1, u1, &j, x2);
+  *x3 = j;
+}
+
+// Sums two nonoverlapping expansions, eliminating zero components.
+// e (of length elen) and f (of length flen) are sorted by increasing
+// magnitude; the result h may alias neither input. Returns the length of h.
+int FastExpansionSumZeroElim(int elen, const double* e, int flen, const double* f,
+                             double* h) {
+  // Faithful port of Shewchuk's fast_expansion_sum_zeroelim with bounds-guarded
+  // reads (the reference reads one element past the consumed array; the value
+  // is never used, but we avoid the out-of-bounds access entirely).
+  double q, qnew, hh;
+  int eindex = 0;
+  int findex = 0;
+  double enow = e[0];
+  double fnow = f[0];
+  if ((fnow > enow) == (fnow > -enow)) {
+    q = enow;
+    ++eindex;
+    enow = eindex < elen ? e[eindex] : 0.0;
+  } else {
+    q = fnow;
+    ++findex;
+    fnow = findex < flen ? f[findex] : 0.0;
+  }
+  int hindex = 0;
+  if ((eindex < elen) && (findex < flen)) {
+    if ((fnow > enow) == (fnow > -enow)) {
+      FastTwoSum(enow, q, &qnew, &hh);
+      ++eindex;
+      enow = eindex < elen ? e[eindex] : 0.0;
+    } else {
+      FastTwoSum(fnow, q, &qnew, &hh);
+      ++findex;
+      fnow = findex < flen ? f[findex] : 0.0;
+    }
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+    while ((eindex < elen) && (findex < flen)) {
+      if ((fnow > enow) == (fnow > -enow)) {
+        TwoSum(q, enow, &qnew, &hh);
+        ++eindex;
+        enow = eindex < elen ? e[eindex] : 0.0;
+      } else {
+        TwoSum(q, fnow, &qnew, &hh);
+        ++findex;
+        fnow = findex < flen ? f[findex] : 0.0;
+      }
+      q = qnew;
+      if (hh != 0.0) h[hindex++] = hh;
+    }
+  }
+  while (eindex < elen) {
+    TwoSum(q, enow, &qnew, &hh);
+    ++eindex;
+    enow = eindex < elen ? e[eindex] : 0.0;
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  while (findex < flen) {
+    TwoSum(q, fnow, &qnew, &hh);
+    ++findex;
+    fnow = findex < flen ? f[findex] : 0.0;
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  if ((q != 0.0) || (hindex == 0)) h[hindex++] = q;
+  return hindex;
+}
+
+double Estimate(int elen, const double* e) {
+  double q = e[0];
+  for (int i = 1; i < elen; i++) q += e[i];
+  return q;
+}
+
+double Orient2DAdapt(const Point& pa, const Point& pb, const Point& pc,
+                     double detsum) {
+  const double acx = pa.x - pc.x;
+  const double bcx = pb.x - pc.x;
+  const double acy = pa.y - pc.y;
+  const double bcy = pb.y - pc.y;
+
+  double detleft, detlefttail, detright, detrighttail;
+  TwoProduct(acx, bcy, &detleft, &detlefttail);
+  TwoProduct(acy, bcx, &detright, &detrighttail);
+
+  double B[4];
+  TwoTwoDiff(detleft, detlefttail, detright, detrighttail, &B[3], &B[2], &B[1],
+             &B[0]);
+
+  double det = Estimate(4, B);
+  double errbound = kCcwErrBoundB * detsum;
+  if ((det >= errbound) || (-det >= errbound)) return det;
+
+  double acxtail, bcxtail, acytail, bcytail;
+  TwoDiff(pa.x, pc.x, &detleft, &acxtail);  // detleft reused as scratch head
+  TwoDiff(pb.x, pc.x, &detright, &bcxtail);
+  TwoDiff(pa.y, pc.y, &detlefttail, &acytail);
+  TwoDiff(pb.y, pc.y, &detrighttail, &bcytail);
+
+  if ((acxtail == 0.0) && (acytail == 0.0) && (bcxtail == 0.0) &&
+      (bcytail == 0.0)) {
+    return det;
+  }
+
+  errbound = kCcwErrBoundC * detsum + kResultErrBound * std::abs(det);
+  det += (acx * bcytail + bcy * acxtail) - (acy * bcxtail + bcx * acytail);
+  if ((det >= errbound) || (-det >= errbound)) return det;
+
+  double s1, s0, t1, t0;
+  double u[4];
+  double C1[8], C2[12], D[16];
+
+  TwoProduct(acxtail, bcy, &s1, &s0);
+  TwoProduct(acytail, bcx, &t1, &t0);
+  TwoTwoDiff(s1, s0, t1, t0, &u[3], &u[2], &u[1], &u[0]);
+  const int c1length = FastExpansionSumZeroElim(4, B, 4, u, C1);
+
+  TwoProduct(acx, bcytail, &s1, &s0);
+  TwoProduct(acy, bcxtail, &t1, &t0);
+  TwoTwoDiff(s1, s0, t1, t0, &u[3], &u[2], &u[1], &u[0]);
+  const int c2length = FastExpansionSumZeroElim(c1length, C1, 4, u, C2);
+
+  TwoProduct(acxtail, bcytail, &s1, &s0);
+  TwoProduct(acytail, bcxtail, &t1, &t0);
+  TwoTwoDiff(s1, s0, t1, t0, &u[3], &u[2], &u[1], &u[0]);
+  const int dlength = FastExpansionSumZeroElim(c2length, C2, 4, u, D);
+
+  return D[dlength - 1];
+}
+
+}  // namespace
+
+double Orient2D(const Point& pa, const Point& pb, const Point& pc) {
+  const double detleft = (pa.x - pc.x) * (pb.y - pc.y);
+  const double detright = (pa.y - pc.y) * (pb.x - pc.x);
+  const double det = detleft - detright;
+  double detsum;
+
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det;
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det;
+    detsum = -detleft - detright;
+  } else {
+    return det;
+  }
+
+  const double errbound = kCcwErrBoundA * detsum;
+  if ((det >= errbound) || (-det >= errbound)) return det;
+
+  return Orient2DAdapt(pa, pb, pc, detsum);
+}
+
+Sign OrientSign(const Point& a, const Point& b, const Point& c) {
+  const double det = Orient2D(a, b, c);
+  if (det > 0.0) return Sign::kPositive;
+  if (det < 0.0) return Sign::kNegative;
+  return Sign::kZero;
+}
+
+bool Collinear(const Point& a, const Point& b, const Point& c) {
+  return OrientSign(a, b, c) == Sign::kZero;
+}
+
+bool OnSegment(const Point& p, const Point& a, const Point& b) {
+  if (!Collinear(a, b, p)) return false;
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace stj

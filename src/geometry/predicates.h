@@ -1,0 +1,34 @@
+#pragma once
+
+#include "src/geometry/point.h"
+
+namespace stj {
+
+/// Sign of an exact geometric quantity.
+enum class Sign { kNegative = -1, kZero = 0, kPositive = 1 };
+
+/// Exact sign of the 2x2 determinant
+///   | a.x - c.x   a.y - c.y |
+///   | b.x - c.x   b.y - c.y |
+/// i.e. the orientation of the triangle (a, b, c):
+/// positive = counter-clockwise, negative = clockwise, zero = collinear.
+///
+/// Implemented as Shewchuk's adaptive-precision predicate: a fast floating-
+/// point evaluation with a certified error bound, falling back to exact
+/// expansion arithmetic only when the fast result is ambiguous. Exactness
+/// matters here because the tessellation datasets share polygon boundaries
+/// bit-for-bit, making collinear/degenerate configurations the common case
+/// rather than the exception.
+double Orient2D(const Point& a, const Point& b, const Point& c);
+
+/// Sign of Orient2D.
+Sign OrientSign(const Point& a, const Point& b, const Point& c);
+
+/// True iff a, b, c are collinear (OrientSign == kZero).
+bool Collinear(const Point& a, const Point& b, const Point& c);
+
+/// True iff \p p lies on the closed segment [a, b] (collinear and within the
+/// segment's bounding box). Exact.
+bool OnSegment(const Point& p, const Point& a, const Point& b);
+
+}  // namespace stj

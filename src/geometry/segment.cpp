@@ -1,0 +1,112 @@
+#include "src/geometry/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stj {
+
+namespace {
+
+// Parameter of point c along segment [a, b] using the dominant axis, for
+// ordering collinear points. Not normalised; monotone along the segment.
+double AxisParam(const Point& a, const Point& b, const Point& c) {
+  if (std::abs(b.x - a.x) >= std::abs(b.y - a.y)) return c.x - a.x;
+  return c.y - a.y;
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Point& p, const Point& q, const Point& u,
+                       const Point& v) {
+  const Sign d1 = OrientSign(u, v, p);
+  const Sign d2 = OrientSign(u, v, q);
+  const Sign d3 = OrientSign(p, q, u);
+  const Sign d4 = OrientSign(p, q, v);
+
+  if (static_cast<int>(d1) * static_cast<int>(d2) < 0 &&
+      static_cast<int>(d3) * static_cast<int>(d4) < 0) {
+    return true;  // proper crossing
+  }
+  if (d1 == Sign::kZero && OnSegment(p, u, v)) return true;
+  if (d2 == Sign::kZero && OnSegment(q, u, v)) return true;
+  if (d3 == Sign::kZero && OnSegment(u, p, q)) return true;
+  if (d4 == Sign::kZero && OnSegment(v, p, q)) return true;
+  return false;
+}
+
+SegIntersection IntersectSegments(const Point& p, const Point& q, const Point& u,
+                                  const Point& v) {
+  SegIntersection out;
+  const Sign d1 = OrientSign(u, v, p);
+  const Sign d2 = OrientSign(u, v, q);
+  const Sign d3 = OrientSign(p, q, u);
+  const Sign d4 = OrientSign(p, q, v);
+
+  // Collinear configuration: all four orientations vanish (or the degenerate
+  // segments below). Compute the 1-D overlap along the dominant axis.
+  if (d1 == Sign::kZero && d2 == Sign::kZero && d3 == Sign::kZero &&
+      d4 == Sign::kZero) {
+    // All four points are on one line. Order them along it.
+    const Point* lo1 = &p;
+    const Point* hi1 = &q;
+    if (AxisParam(p, q, *hi1) < AxisParam(p, q, *lo1)) std::swap(lo1, hi1);
+    const Point* lo2 = &u;
+    const Point* hi2 = &v;
+    if (AxisParam(p, q, *hi2) < AxisParam(p, q, *lo2)) std::swap(lo2, hi2);
+    const Point* lo = AxisParam(p, q, *lo1) < AxisParam(p, q, *lo2) ? lo2 : lo1;
+    const Point* hi = AxisParam(p, q, *hi1) < AxisParam(p, q, *hi2) ? hi1 : hi2;
+    const double tlo = AxisParam(p, q, *lo);
+    const double thi = AxisParam(p, q, *hi);
+    if (tlo > thi) return out;  // disjoint collinear
+    if (*lo == *hi || tlo == thi) {
+      out.kind = SegIntersectKind::kPoint;
+      out.p0 = *lo;
+      return out;
+    }
+    out.kind = SegIntersectKind::kOverlap;
+    out.p0 = *lo;
+    out.p1 = *hi;
+    return out;
+  }
+
+  if (static_cast<int>(d1) * static_cast<int>(d2) < 0 &&
+      static_cast<int>(d3) * static_cast<int>(d4) < 0) {
+    // Proper crossing: compute the crossing point in double precision. The
+    // orientation tests above already certified existence and properness.
+    const double rx = q.x - p.x;
+    const double ry = q.y - p.y;
+    const double sx = v.x - u.x;
+    const double sy = v.y - u.y;
+    const double denom = rx * sy - ry * sx;
+    const double t = ((u.x - p.x) * sy - (u.y - p.y) * sx) / denom;
+    out.kind = SegIntersectKind::kPoint;
+    out.p0 = Point{p.x + t * rx, p.y + t * ry};
+    out.proper = true;
+    return out;
+  }
+
+  // Touch cases: an endpoint of one segment lies on the other.
+  if (d1 == Sign::kZero && OnSegment(p, u, v)) {
+    out.kind = SegIntersectKind::kPoint;
+    out.p0 = p;
+    return out;
+  }
+  if (d2 == Sign::kZero && OnSegment(q, u, v)) {
+    out.kind = SegIntersectKind::kPoint;
+    out.p0 = q;
+    return out;
+  }
+  if (d3 == Sign::kZero && OnSegment(u, p, q)) {
+    out.kind = SegIntersectKind::kPoint;
+    out.p0 = u;
+    return out;
+  }
+  if (d4 == Sign::kZero && OnSegment(v, p, q)) {
+    out.kind = SegIntersectKind::kPoint;
+    out.p0 = v;
+    return out;
+  }
+  return out;
+}
+
+}  // namespace stj

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "src/geometry/box.h"
+#include "src/geometry/point.h"
+#include "src/geometry/predicates.h"
+
+namespace stj {
+
+/// A directed line segment from a to b.
+struct Segment {
+  Point a;
+  Point b;
+
+  Box Bounds() const { return Box::Of(a, b); }
+  Point Mid() const { return Midpoint(a, b); }
+  bool IsDegenerate() const { return a == b; }
+};
+
+/// The shape of the intersection of two segments.
+enum class SegIntersectKind {
+  kNone,     ///< Segments share no point.
+  kPoint,    ///< Exactly one shared point (crossing or touch).
+  kOverlap,  ///< Collinear segments sharing a positive-length piece.
+};
+
+/// Full description of a segment-segment intersection.
+///
+/// For kPoint, `p0` is the shared point (exact when it is an endpoint of one
+/// of the inputs, otherwise the double-rounded line crossing).
+/// For kOverlap, [p0, p1] is the shared collinear piece, with p0, p1 taken
+/// from the input endpoints (and hence exact).
+struct SegIntersection {
+  SegIntersectKind kind = SegIntersectKind::kNone;
+  Point p0;
+  Point p1;
+  /// True when the intersection is a single point interior to both segments,
+  /// i.e. the segments properly cross.
+  bool proper = false;
+};
+
+/// True iff the closed segments [p, q] and [u, v] share at least one point.
+/// Decided exactly via orientation signs.
+bool SegmentsIntersect(const Point& p, const Point& q, const Point& u,
+                       const Point& v);
+
+/// Computes the full intersection of closed segments [p, q] and [u, v].
+SegIntersection IntersectSegments(const Point& p, const Point& q, const Point& u,
+                                  const Point& v);
+
+}  // namespace stj

@@ -1,0 +1,104 @@
+#include "src/geometry/simplify.h"
+
+#include <cmath>
+#include <vector>
+
+namespace stj {
+
+namespace {
+
+// Squared distance from p to the segment [a, b].
+double SegmentDistanceSquared(const Point& p, const Point& a, const Point& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len_sq = dx * dx + dy * dy;
+  if (len_sq == 0.0) return DistanceSquared(p, a);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len_sq;
+  t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  const Point closest{a.x + t * dx, a.y + t * dy};
+  return DistanceSquared(p, closest);
+}
+
+// Marks the vertices of pts[first..last] (inclusive) to keep, recursively.
+void DouglasPeucker(const std::vector<Point>& pts, size_t first, size_t last,
+                    double eps_sq, std::vector<bool>* keep) {
+  if (last <= first + 1) return;
+  double max_dist = -1.0;
+  size_t max_index = first;
+  for (size_t i = first + 1; i < last; ++i) {
+    const double d = SegmentDistanceSquared(pts[i], pts[first], pts[last]);
+    if (d > max_dist) {
+      max_dist = d;
+      max_index = i;
+    }
+  }
+  if (max_dist > eps_sq) {
+    (*keep)[max_index] = true;
+    DouglasPeucker(pts, first, max_index, eps_sq, keep);
+    DouglasPeucker(pts, max_index, last, eps_sq, keep);
+  }
+}
+
+}  // namespace
+
+Ring SimplifyRing(const Ring& ring, double epsilon) {
+  const size_t n = ring.Size();
+  if (n <= 3) return ring;
+  const std::vector<Point>& pts = ring.Vertices();
+
+  // Anchor the closed ring at vertex 0 and the vertex farthest from it.
+  size_t far_index = 1;
+  double far_dist = -1.0;
+  for (size_t i = 1; i < n; ++i) {
+    const double d = DistanceSquared(pts[0], pts[i]);
+    if (d > far_dist) {
+      far_dist = d;
+      far_index = i;
+    }
+  }
+
+  std::vector<bool> keep(n, false);
+  keep[0] = true;
+  keep[far_index] = true;
+  const double eps_sq = epsilon * epsilon;
+  DouglasPeucker(pts, 0, far_index, eps_sq, &keep);
+  // Second half wraps around: simplify on a rotated copy.
+  std::vector<Point> wrapped(pts.begin() + static_cast<long>(far_index),
+                             pts.end());
+  wrapped.push_back(pts[0]);
+  std::vector<bool> keep_wrapped(wrapped.size(), false);
+  keep_wrapped.front() = true;
+  keep_wrapped.back() = true;
+  DouglasPeucker(wrapped, 0, wrapped.size() - 1, eps_sq, &keep_wrapped);
+  for (size_t i = 1; i + 1 < wrapped.size(); ++i) {
+    if (keep_wrapped[i]) keep[far_index + i] = true;
+  }
+
+  std::vector<Point> result;
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) result.push_back(pts[i]);
+  }
+  // Guarantee at least a triangle.
+  if (result.size() < 3) {
+    result = {pts[0], pts[n / 3], pts[(2 * n) / 3]};
+  }
+  return Ring(std::move(result));
+}
+
+Polygon SimplifyPolygon(const Polygon& poly, double epsilon) {
+  Ring outer = SimplifyRing(poly.Outer(), epsilon);
+  std::vector<Ring> holes;
+  for (const Ring& hole : poly.Holes()) {
+    // Tiny holes vanish entirely under the tolerance.
+    if (hole.Bounds().Width() < epsilon && hole.Bounds().Height() < epsilon) {
+      continue;
+    }
+    Ring simplified = SimplifyRing(hole, epsilon);
+    if (simplified.Size() >= 3 && simplified.SignedArea2() != 0.0) {
+      holes.push_back(std::move(simplified));
+    }
+  }
+  return Polygon(std::move(outer), std::move(holes));
+}
+
+}  // namespace stj

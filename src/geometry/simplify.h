@@ -1,0 +1,25 @@
+#pragma once
+
+#include "src/geometry/polygon.h"
+#include "src/geometry/ring.h"
+
+namespace stj {
+
+/// Douglas-Peucker ring simplification with tolerance \p epsilon (maximum
+/// allowed deviation from the original boundary). The ring is treated as
+/// closed: the two vertices farthest apart anchor the recursion so closed
+/// shapes do not collapse. At least a triangle is always kept.
+///
+/// Used by the data tooling to derive lower-complexity variants of a dataset
+/// (the complexity knob of the scalability study) and representative of the
+/// preprocessing real GIS pipelines apply before topology joins. Note that
+/// Douglas-Peucker does not guarantee the simplified ring stays simple for
+/// adversarial inputs; callers that require validity should ValidateRing the
+/// result.
+Ring SimplifyRing(const Ring& ring, double epsilon);
+
+/// Simplifies every ring of \p poly; holes that collapse below a triangle
+/// or below \p epsilon extent are dropped.
+Polygon SimplifyPolygon(const Polygon& poly, double epsilon);
+
+}  // namespace stj

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "src/geometry/polygon.h"
+#include "src/geometry/ring.h"
+
+namespace stj {
+
+/// Result of a geometry validity check.
+struct ValidationResult {
+  bool valid = true;
+  std::string reason;  ///< Empty when valid.
+
+  static ValidationResult Ok() { return ValidationResult{}; }
+  static ValidationResult Fail(std::string why) {
+    return ValidationResult{false, std::move(why)};
+  }
+};
+
+/// Checks that \p ring has >= 3 vertices, no zero-length or repeated
+/// consecutive edges, nonzero area, and no self-intersection (adjacent edges
+/// may share only their common vertex). O(n^2) with bounding-box pruning —
+/// intended for data-generation sanity checks and tests, not hot paths.
+ValidationResult ValidateRing(const Ring& ring);
+
+/// Checks every ring of \p poly with ValidateRing, that each hole lies inside
+/// the outer ring, and that rings do not cross each other.
+ValidationResult ValidatePolygon(const Polygon& poly);
+
+}  // namespace stj

@@ -1,0 +1,159 @@
+#include "src/geometry/wkt.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace stj {
+
+namespace {
+
+void AppendCoord(std::string* out, double v) {
+  char buf[32];
+  const int len = std::snprintf(buf, sizeof buf, "%.17g", v);
+  out->append(buf, static_cast<size_t>(len));
+}
+
+void AppendRing(std::string* out, const Ring& ring) {
+  out->push_back('(');
+  for (size_t i = 0; i < ring.Size(); ++i) {
+    if (i != 0) out->append(", ");
+    AppendCoord(out, ring[i].x);
+    out->push_back(' ');
+    AppendCoord(out, ring[i].y);
+  }
+  // Close the ring explicitly.
+  if (ring.Size() > 0) {
+    out->append(", ");
+    AppendCoord(out, ring[0].x);
+    out->push_back(' ');
+    AppendCoord(out, ring[0].y);
+  }
+  out->push_back(')');
+}
+
+/// Minimal recursive-descent scanner over a WKT string.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpace();
+    if (text_.size() - pos_ < kw.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) != kw[i]) {
+        return false;
+      }
+    }
+    pos_ += kw.size();
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekChar(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool ParseDouble(double* out) {
+    SkipSpace();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc() || ptr == begin) return false;
+    pos_ += static_cast<size_t>(ptr - begin);
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool ParseRing(Scanner* sc, Ring* out) {
+  if (!sc->ConsumeChar('(')) return false;
+  std::vector<Point> pts;
+  do {
+    Point p;
+    if (!sc->ParseDouble(&p.x) || !sc->ParseDouble(&p.y)) return false;
+    pts.push_back(p);
+  } while (sc->ConsumeChar(','));
+  if (!sc->ConsumeChar(')')) return false;
+  *out = Ring(std::move(pts));  // Ring() drops an explicit closing vertex.
+  return true;
+}
+
+}  // namespace
+
+std::string ToWkt(const Point& p) {
+  std::string out = "POINT (";
+  AppendCoord(&out, p.x);
+  out.push_back(' ');
+  AppendCoord(&out, p.y);
+  out.push_back(')');
+  return out;
+}
+
+std::string ToWkt(const Polygon& poly) {
+  if (poly.Empty()) return "POLYGON EMPTY";
+  std::string out = "POLYGON (";
+  AppendRing(&out, poly.Outer());
+  for (const Ring& hole : poly.Holes()) {
+    out.append(", ");
+    AppendRing(&out, hole);
+  }
+  out.push_back(')');
+  return out;
+}
+
+std::optional<Point> ParseWktPoint(std::string_view wkt) {
+  Scanner sc(wkt);
+  if (!sc.ConsumeKeyword("POINT")) return std::nullopt;
+  if (!sc.ConsumeChar('(')) return std::nullopt;
+  Point p;
+  if (!sc.ParseDouble(&p.x) || !sc.ParseDouble(&p.y)) return std::nullopt;
+  if (!sc.ConsumeChar(')')) return std::nullopt;
+  if (!sc.AtEnd()) return std::nullopt;
+  return p;
+}
+
+std::optional<Polygon> ParseWktPolygon(std::string_view wkt) {
+  Scanner sc(wkt);
+  if (!sc.ConsumeKeyword("POLYGON")) return std::nullopt;
+  if (sc.ConsumeKeyword("EMPTY")) return sc.AtEnd() ? std::optional<Polygon>(Polygon{}) : std::nullopt;
+  if (!sc.ConsumeChar('(')) return std::nullopt;
+  Ring outer;
+  if (!ParseRing(&sc, &outer)) return std::nullopt;
+  std::vector<Ring> holes;
+  while (sc.ConsumeChar(',')) {
+    Ring hole;
+    if (!ParseRing(&sc, &hole)) return std::nullopt;
+    holes.push_back(std::move(hole));
+  }
+  if (!sc.ConsumeChar(')')) return std::nullopt;
+  if (!sc.AtEnd()) return std::nullopt;
+  return Polygon(std::move(outer), std::move(holes));
+}
+
+}  // namespace stj

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/geometry/point.h"
+#include "src/geometry/polygon.h"
+
+namespace stj {
+
+/// Serialises \p p as "POINT (x y)".
+std::string ToWkt(const Point& p);
+
+/// Serialises \p poly as "POLYGON ((x y, ...), (hole...), ...)" with rings
+/// explicitly closed (first vertex repeated last), as OGC WKT requires.
+std::string ToWkt(const Polygon& poly);
+
+/// Parses a WKT POINT. Returns std::nullopt on malformed input.
+std::optional<Point> ParseWktPoint(std::string_view wkt);
+
+/// Parses a WKT POLYGON (outer ring plus optional holes). Accepts both closed
+/// and unclosed rings. Returns std::nullopt on malformed input.
+std::optional<Polygon> ParseWktPolygon(std::string_view wkt);
+
+}  // namespace stj

@@ -1,0 +1,60 @@
+#include "src/interval/interval_algebra.h"
+
+#include <algorithm>
+
+namespace stj {
+
+bool ListsOverlap(const IntervalList& x, const IntervalList& y) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < x.Size() && j < y.Size()) {
+    const CellInterval& a = x[i];
+    const CellInterval& b = y[j];
+    if (a.begin < b.end && b.begin < a.end) return true;
+    if (a.end <= b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool ListsMatch(const IntervalList& x, const IntervalList& y) { return x == y; }
+
+bool ListInside(const IntervalList& x, const IntervalList& y) {
+  size_t j = 0;
+  for (size_t i = 0; i < x.Size(); ++i) {
+    const CellInterval& a = x[i];
+    // Advance to the first y interval that could contain a.
+    while (j < y.Size() && y[j].end < a.end) ++j;
+    if (j == y.Size() || y[j].begin > a.begin) return false;
+    // y[j].begin <= a.begin and a.end <= y[j].end: contained.
+  }
+  return true;
+}
+
+bool ListContains(const IntervalList& x, const IntervalList& y) {
+  return ListInside(y, x);
+}
+
+uint64_t ListsCommonCells(const IntervalList& x, const IntervalList& y) {
+  uint64_t total = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < x.Size() && j < y.Size()) {
+    const CellInterval& a = x[i];
+    const CellInterval& b = y[j];
+    const CellId lo = std::max(a.begin, b.begin);
+    const CellId hi = std::min(a.end, b.end);
+    if (lo < hi) total += hi - lo;
+    if (a.end <= b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+}  // namespace stj

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "src/interval/interval_list.h"
+
+namespace stj {
+
+/// The four relations between interval lists used by the paper's intermediate
+/// filters (Sec. 3.2). All are linear-time merge-joins over the canonical
+/// sorted-disjoint representation; none allocates.
+
+/// 'X,Y overlap': some x in X and y in Y share at least one cell id.
+bool ListsOverlap(const IntervalList& x, const IntervalList& y);
+
+/// 'X,Y match': the two lists are identical interval-by-interval (they cover
+/// the same cells; canonical form makes cover-equality representation-
+/// equality).
+bool ListsMatch(const IntervalList& x, const IntervalList& y);
+
+/// 'X inside Y': every interval of X is contained in one interval of Y,
+/// i.e. Y covers every cell of X. An empty X is vacuously inside any Y.
+bool ListInside(const IntervalList& x, const IntervalList& y);
+
+/// 'X contains Y': inverse of ListInside.
+bool ListContains(const IntervalList& x, const IntervalList& y);
+
+/// Number of cells covered by both lists (used by diagnostics and tests; the
+/// filters themselves only need the boolean relations above).
+uint64_t ListsCommonCells(const IntervalList& x, const IntervalList& y);
+
+}  // namespace stj

@@ -1,0 +1,60 @@
+#include "src/interval/interval_list.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stj {
+
+IntervalList IntervalList::FromSorted(std::vector<CellInterval> intervals) {
+  IntervalList list;
+  list.intervals_ = std::move(intervals);
+  assert(list.Validate().empty());
+  return list;
+}
+
+IntervalList IntervalList::FromCells(std::vector<CellId> cells) {
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  IntervalList list;
+  for (const CellId cell : cells) list.Append(cell, cell + 1);
+  return list;
+}
+
+void IntervalList::Append(CellId begin, CellId end) {
+  if (begin >= end) return;
+  if (!intervals_.empty() && begin <= intervals_.back().end) {
+    assert(begin >= intervals_.back().begin);
+    intervals_.back().end = std::max(intervals_.back().end, end);
+    return;
+  }
+  intervals_.push_back(CellInterval{begin, end});
+}
+
+uint64_t IntervalList::CellCount() const {
+  uint64_t total = 0;
+  for (const CellInterval& iv : intervals_) total += iv.Length();
+  return total;
+}
+
+bool IntervalList::ContainsCell(CellId cell) const {
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), cell,
+      [](CellId c, const CellInterval& iv) { return c < iv.begin; });
+  if (it == intervals_.begin()) return false;
+  return cell < std::prev(it)->end;
+}
+
+std::string IntervalList::Validate() const {
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (intervals_[i].Empty()) {
+      return "empty interval at index " + std::to_string(i);
+    }
+    if (i > 0 && intervals_[i].begin <= intervals_[i - 1].end) {
+      return "interval " + std::to_string(i) +
+             " overlaps or touches its predecessor";
+    }
+  }
+  return "";
+}
+
+}  // namespace stj

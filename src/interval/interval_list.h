@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stj {
+
+/// Identifier of a raster grid cell along the Hilbert curve.
+using CellId = uint64_t;
+
+/// A half-open range [begin, end) of Hilbert cell identifiers.
+struct CellInterval {
+  CellId begin = 0;
+  CellId end = 0;
+
+  bool Empty() const { return begin >= end; }
+  CellId Length() const { return Empty() ? 0 : end - begin; }
+
+  friend bool operator==(const CellInterval& a, const CellInterval& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// A sorted list of disjoint, non-adjacent, non-empty half-open intervals of
+/// Hilbert cell ids — the representation of APRIL's Progressive (P) and
+/// Conservative (C) object approximations.
+///
+/// The canonical form (sorted, gaps between consecutive intervals) is what
+/// makes every relation in interval_algebra.h a linear merge-join.
+class IntervalList {
+ public:
+  IntervalList() = default;
+
+  /// Builds from intervals that must already be canonical (asserted in debug
+  /// builds; see Validate()).
+  static IntervalList FromSorted(std::vector<CellInterval> intervals);
+
+  /// Builds the canonical list covering exactly the given cells. The input
+  /// is sorted and deduplicated internally; consecutive ids coalesce.
+  static IntervalList FromCells(std::vector<CellId> cells);
+
+  /// Appends [begin, end), which must start at or after the current end;
+  /// adjacent or overlapping ranges are coalesced into the last interval.
+  void Append(CellId begin, CellId end);
+
+  size_t Size() const { return intervals_.size(); }
+  bool Empty() const { return intervals_.empty(); }
+  const CellInterval& operator[](size_t i) const { return intervals_[i]; }
+  const std::vector<CellInterval>& Intervals() const { return intervals_; }
+
+  /// Total number of cells covered.
+  uint64_t CellCount() const;
+
+  /// First cell id covered; list must be non-empty.
+  CellId FrontCell() const { return intervals_.front().begin; }
+
+  /// One past the last cell id covered; list must be non-empty.
+  CellId BackEnd() const { return intervals_.back().end; }
+
+  /// True iff \p cell is covered by some interval (binary search).
+  bool ContainsCell(CellId cell) const;
+
+  /// In-memory footprint of the interval data in bytes (Table 2 reporting).
+  size_t ByteSize() const { return intervals_.size() * sizeof(CellInterval); }
+
+  /// Checks canonical form: non-empty intervals, strictly increasing, with a
+  /// gap between consecutive intervals. Returns an explanation or "".
+  std::string Validate() const;
+
+  friend bool operator==(const IntervalList& a, const IntervalList& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+ private:
+  std::vector<CellInterval> intervals_;
+};
+
+}  // namespace stj

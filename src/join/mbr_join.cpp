@@ -1,0 +1,142 @@
+#include "src/join/mbr_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stj {
+
+namespace {
+
+struct TileEntry {
+  double xmin;  // sort key (exact copy of the box's min.x)
+  uint32_t idx;
+};
+
+struct TileGrid {
+  Box bounds;
+  uint32_t tiles = 1;
+  double inv_w = 0.0;
+  double inv_h = 0.0;
+
+  uint32_t TileX(double x) const {
+    const double t = (x - bounds.min.x) * inv_w;
+    if (t <= 0.0) return 0;
+    return std::min(static_cast<uint32_t>(t), tiles - 1);
+  }
+  uint32_t TileY(double y) const {
+    const double t = (y - bounds.min.y) * inv_h;
+    if (t <= 0.0) return 0;
+    return std::min(static_cast<uint32_t>(t), tiles - 1);
+  }
+};
+
+void Distribute(const std::vector<Box>& boxes, const TileGrid& grid,
+                std::vector<std::vector<TileEntry>>* tiles) {
+  for (uint32_t i = 0; i < boxes.size(); ++i) {
+    const Box& b = boxes[i];
+    if (b.IsEmpty()) continue;
+    const uint32_t tx0 = grid.TileX(b.min.x);
+    const uint32_t tx1 = grid.TileX(b.max.x);
+    const uint32_t ty0 = grid.TileY(b.min.y);
+    const uint32_t ty1 = grid.TileY(b.max.y);
+    for (uint32_t ty = ty0; ty <= ty1; ++ty) {
+      for (uint32_t tx = tx0; tx <= tx1; ++tx) {
+        (*tiles)[ty * grid.tiles + tx].push_back(TileEntry{b.min.x, i});
+      }
+    }
+  }
+  for (auto& tile : *tiles) {
+    std::sort(tile.begin(), tile.end(),
+              [](const TileEntry& a, const TileEntry& b) {
+                return a.xmin < b.xmin;
+              });
+  }
+}
+
+}  // namespace
+
+std::vector<CandidatePair> MbrJoin::Join(const std::vector<Box>& r,
+                                         const std::vector<Box>& s,
+                                         Options options) {
+  std::vector<CandidatePair> out;
+  if (r.empty() || s.empty()) return out;
+
+  TileGrid grid;
+  for (const Box& b : r) grid.bounds.Expand(b);
+  for (const Box& b : s) grid.bounds.Expand(b);
+  if (grid.bounds.IsEmpty()) return out;
+  uint32_t tiles = options.tiles_per_side;
+  if (tiles == 0) {
+    tiles = static_cast<uint32_t>(
+        std::sqrt(static_cast<double>(r.size() + s.size()) / 8.0));
+    tiles = std::clamp<uint32_t>(tiles, 1, 1024);
+  }
+  grid.tiles = tiles;
+  grid.inv_w = grid.bounds.Width() > 0
+                   ? static_cast<double>(tiles) / grid.bounds.Width()
+                   : 0.0;
+  grid.inv_h = grid.bounds.Height() > 0
+                   ? static_cast<double>(tiles) / grid.bounds.Height()
+                   : 0.0;
+
+  std::vector<std::vector<TileEntry>> r_tiles(
+      static_cast<size_t>(tiles) * tiles);
+  std::vector<std::vector<TileEntry>> s_tiles(
+      static_cast<size_t>(tiles) * tiles);
+  Distribute(r, grid, &r_tiles);
+  Distribute(s, grid, &s_tiles);
+
+  // Reports (a, b) if they intersect and this tile owns their reference
+  // point (the max of the two min-corners).
+  auto emit_if_owned = [&](uint32_t a, uint32_t b, uint32_t tx, uint32_t ty) {
+    const Box& ra = r[a];
+    const Box& sb = s[b];
+    if (ra.min.y > sb.max.y || sb.min.y > ra.max.y) return;  // y-overlap test
+    const double ref_x = std::max(ra.min.x, sb.min.x);
+    const double ref_y = std::max(ra.min.y, sb.min.y);
+    if (grid.TileX(ref_x) != tx || grid.TileY(ref_y) != ty) return;
+    out.push_back(CandidatePair{a, b});
+  };
+
+  for (uint32_t ty = 0; ty < tiles; ++ty) {
+    for (uint32_t tx = 0; tx < tiles; ++tx) {
+      const auto& rt = r_tiles[ty * tiles + tx];
+      const auto& st = s_tiles[ty * tiles + tx];
+      if (rt.empty() || st.empty()) continue;
+      // Forward scan: both sides sorted by xmin.
+      size_t i = 0;
+      size_t j = 0;
+      while (i < rt.size() && j < st.size()) {
+        if (rt[i].xmin <= st[j].xmin) {
+          const double xmax = r[rt[i].idx].max.x;
+          for (size_t k = j; k < st.size(); ++k) {
+            if (st[k].xmin > xmax) break;
+            emit_if_owned(rt[i].idx, st[k].idx, tx, ty);
+          }
+          ++i;
+        } else {
+          const double xmax = s[st[j].idx].max.x;
+          for (size_t k = i; k < rt.size(); ++k) {
+            if (rt[k].xmin > xmax) break;
+            emit_if_owned(rt[k].idx, st[j].idx, tx, ty);
+          }
+          ++j;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CandidatePair> MbrJoin::JoinBruteForce(const std::vector<Box>& r,
+                                                   const std::vector<Box>& s) {
+  std::vector<CandidatePair> out;
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    for (uint32_t j = 0; j < s.size(); ++j) {
+      if (r[i].Intersects(s[j])) out.push_back(CandidatePair{i, j});
+    }
+  }
+  return out;
+}
+
+}  // namespace stj

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/box.h"
+
+namespace stj {
+
+/// A candidate pair emitted by the filter step: indices into the two input
+/// datasets whose MBRs intersect.
+struct CandidatePair {
+  uint32_t r_idx = 0;
+  uint32_t s_idx = 0;
+
+  friend bool operator==(const CandidatePair& a, const CandidatePair& b) {
+    return a.r_idx == b.r_idx && a.s_idx == b.s_idx;
+  }
+  friend bool operator<(const CandidatePair& a, const CandidatePair& b) {
+    if (a.r_idx != b.r_idx) return a.r_idx < b.r_idx;
+    return a.s_idx < b.s_idx;
+  }
+};
+
+/// In-memory MBR intersection join: the filter step of the pipeline
+/// (the paper delegates this to [39]; its cost is excluded from all
+/// measurements, only the candidate set matters).
+///
+/// Method: uniform grid partitioning over the combined data space, each box
+/// replicated into every tile it overlaps; within a tile both sides are
+/// sorted by xmin and swept with the classic forward scan; duplicates from
+/// replication are suppressed with the reference-point rule (a pair is
+/// reported only by the tile containing the top-right-most min-corner of the
+/// MBR intersection).
+class MbrJoin {
+ public:
+  struct Options {
+    Options() : tiles_per_side(0) {}
+    /// Tiles per side; 0 picks ~sqrt((|r|+|s|)/8) automatically.
+    uint32_t tiles_per_side;
+  };
+
+  /// Returns all pairs (i, j) with r[i] intersecting s[j].
+  static std::vector<CandidatePair> Join(const std::vector<Box>& r,
+                                         const std::vector<Box>& s,
+                                         Options options = Options());
+
+  /// Reference quadratic join for verification in tests.
+  static std::vector<CandidatePair> JoinBruteForce(const std::vector<Box>& r,
+                                                   const std::vector<Box>& s);
+};
+
+}  // namespace stj

@@ -1,0 +1,94 @@
+#include "src/join/str_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stj {
+
+StrRTree::StrRTree(const std::vector<Box>& boxes) {
+  entries_.reserve(boxes.size());
+  for (uint32_t i = 0; i < boxes.size(); ++i) {
+    if (!boxes[i].IsEmpty()) entries_.push_back(Entry{boxes[i], i});
+  }
+  size_ = entries_.size();
+  if (entries_.empty()) return;
+
+  // STR packing: sort by centre x, slice into vertical strips of
+  // ceil(sqrt(#leaves)) leaves each, sort each strip by centre y, and cut
+  // leaves of kFanout entries.
+  const size_t num_leaves =
+      (entries_.size() + kFanout - 1) / kFanout;
+  const size_t strips = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t strip_entries =
+      ((num_leaves + strips - 1) / strips) * kFanout;
+
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.box.Center().x < b.box.Center().x;
+            });
+  for (size_t begin = 0; begin < entries_.size(); begin += strip_entries) {
+    const size_t end = std::min(entries_.size(), begin + strip_entries);
+    std::sort(entries_.begin() + static_cast<long>(begin),
+              entries_.begin() + static_cast<long>(end),
+              [](const Entry& a, const Entry& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+  }
+
+  // Build the leaf level.
+  std::vector<uint32_t> level;
+  for (size_t begin = 0; begin < entries_.size(); begin += kFanout) {
+    const size_t end = std::min(entries_.size(), begin + kFanout);
+    Node leaf;
+    leaf.leaf = true;
+    leaf.first = static_cast<uint32_t>(begin);
+    leaf.count = static_cast<uint32_t>(end - begin);
+    for (size_t i = begin; i < end; ++i) leaf.bounds.Expand(entries_[i].box);
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(leaf);
+  }
+  height_ = 1;
+
+  // Pack upper levels until a single root remains. Children of one parent
+  // are contiguous in nodes_, which the STR leaf order already guarantees
+  // spatial locality for.
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t begin = 0; begin < level.size(); begin += kFanout) {
+      const size_t end = std::min(level.size(), begin + kFanout);
+      Node inner;
+      inner.leaf = false;
+      inner.first = level[begin];
+      inner.count = static_cast<uint32_t>(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        inner.bounds.Expand(nodes_[level[i]].bounds);
+      }
+      next.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(inner);
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+std::vector<uint32_t> StrRTree::QueryIndices(const Box& window) const {
+  std::vector<uint32_t> out;
+  Query(window, [&out](uint32_t index) { out.push_back(index); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CandidatePair> StrRTree::JoinWith(
+    const std::vector<Box>& r_boxes) const {
+  std::vector<CandidatePair> out;
+  for (uint32_t i = 0; i < r_boxes.size(); ++i) {
+    if (r_boxes[i].IsEmpty()) continue;
+    Query(r_boxes[i],
+          [&out, i](uint32_t j) { out.push_back(CandidatePair{i, j}); });
+  }
+  return out;
+}
+
+}  // namespace stj

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/box.h"
+#include "src/join/mbr_join.h"
+
+namespace stj {
+
+/// A static R-tree bulk-loaded with the Sort-Tile-Recursive (STR) packing of
+/// Leutenegger et al. — the standard disk-era spatial index the paper's
+/// related work builds joins on. This implementation is in-memory and
+/// read-only: build once over a dataset's MBRs, then run window queries or
+/// bulk intersection joins.
+///
+/// It complements the grid-partitioned MbrJoin as the filter step: both
+/// produce exactly the same candidate set (asserted in the test suite), with
+/// different cost profiles — the R-tree wins when one side is reused across
+/// many queries, the grid join wins for one-shot bulk joins.
+class StrRTree {
+ public:
+  /// Number of entries per node.
+  static constexpr uint32_t kFanout = 16;
+
+  /// Bulk-loads the tree over \p boxes (empty boxes are skipped but keep
+  /// their original index for reporting).
+  explicit StrRTree(const std::vector<Box>& boxes);
+
+  /// Invokes fn(index) for every stored box intersecting \p window.
+  template <typename Fn>
+  void Query(const Box& window, Fn&& fn) const {
+    if (nodes_.empty()) return;
+    QueryRecursive(root_, window, fn);
+  }
+
+  /// Returns the indices of all stored boxes intersecting \p window, sorted.
+  std::vector<uint32_t> QueryIndices(const Box& window) const;
+
+  /// Bulk intersection join: all pairs (i, j) with r_boxes[i] intersecting
+  /// this tree's box j. Equivalent to MbrJoin::Join(r_boxes, boxes).
+  std::vector<CandidatePair> JoinWith(const std::vector<Box>& r_boxes) const;
+
+  size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  /// Height of the tree (1 = a single leaf). Exposed for tests.
+  uint32_t Height() const { return height_; }
+
+ private:
+  struct Node {
+    Box bounds;
+    uint32_t first = 0;  ///< First child node index, or first entry index.
+    uint32_t count = 0;  ///< Number of children / entries.
+    bool leaf = true;
+  };
+
+  struct Entry {
+    Box box;
+    uint32_t index;
+  };
+
+  template <typename Fn>
+  void QueryRecursive(uint32_t node_index, const Box& window, Fn&& fn) const {
+    const Node& node = nodes_[node_index];
+    if (!node.bounds.Intersects(window)) return;
+    if (node.leaf) {
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const Entry& entry = entries_[node.first + i];
+        if (entry.box.Intersects(window)) fn(entry.index);
+      }
+      return;
+    }
+    for (uint32_t i = 0; i < node.count; ++i) {
+      QueryRecursive(node.first + i, window, fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Entry> entries_;
+  uint32_t root_ = 0;
+  uint32_t height_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace stj

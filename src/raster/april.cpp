@@ -1,0 +1,34 @@
+#include "src/raster/april.h"
+
+#include <vector>
+
+namespace stj {
+
+AprilApproximation AprilBuilder::Build(const Polygon& poly) const {
+  return FromCoverage(rasterizer_.Rasterize(poly));
+}
+
+AprilApproximation AprilBuilder::FromCoverage(
+    const RasterCoverage& coverage) const {
+  std::vector<CellId> full_cells;
+  std::vector<CellId> all_cells;
+  for (size_t row = 0; row < coverage.partial_by_row.size(); ++row) {
+    const uint32_t cy = coverage.y0 + static_cast<uint32_t>(row);
+    for (const uint32_t cx : coverage.partial_by_row[row]) {
+      all_cells.push_back(grid_->CellIdOf(cx, cy));
+    }
+    for (const auto& [first, last] : coverage.full_runs_by_row[row]) {
+      for (uint32_t cx = first; cx <= last; ++cx) {
+        const CellId id = grid_->CellIdOf(cx, cy);
+        full_cells.push_back(id);
+        all_cells.push_back(id);
+      }
+    }
+  }
+  AprilApproximation april;
+  april.progressive = IntervalList::FromCells(std::move(full_cells));
+  april.conservative = IntervalList::FromCells(std::move(all_cells));
+  return april;
+}
+
+}  // namespace stj

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/geometry/polygon.h"
+#include "src/interval/interval_list.h"
+#include "src/raster/grid.h"
+#include "src/raster/rasterizer.h"
+
+namespace stj {
+
+/// The APRIL approximation of one object: two sorted interval lists over
+/// Hilbert cell ids (Georgiadis et al., VLDB J. 34(1), 2025).
+///
+/// The Conservative list C covers every cell the object touches (a superset
+/// of the object); the Progressive list P covers only cells entirely inside
+/// the object (a subset). P ⊆ C always. Everything the intermediate filters
+/// of this paper conclude follows from these two set inequalities:
+///   object_r ⊆ cells(C_r),  cells(P_r) ⊆ object_r  (same for s).
+struct AprilApproximation {
+  IntervalList conservative;  ///< C list.
+  IntervalList progressive;   ///< P list.
+
+  /// In-memory footprint of both lists in bytes (Table 2 reporting).
+  size_t ByteSize() const {
+    return conservative.ByteSize() + progressive.ByteSize();
+  }
+};
+
+/// Builds APRIL approximations of polygons on a fixed scenario grid.
+class AprilBuilder {
+ public:
+  explicit AprilBuilder(const RasterGrid* grid)
+      : grid_(grid), rasterizer_(grid) {}
+
+  /// Rasterises \p poly and assembles its P and C interval lists.
+  AprilApproximation Build(const Polygon& poly) const;
+
+  /// Assembles the lists from an existing raster coverage (exposed for tests
+  /// and for reuse when the coverage is needed elsewhere).
+  AprilApproximation FromCoverage(const RasterCoverage& coverage) const;
+
+ private:
+  const RasterGrid* grid_;
+  Rasterizer rasterizer_;
+};
+
+}  // namespace stj

@@ -1,0 +1,197 @@
+#include "src/raster/april_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace stj {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'P', 'R', 'L'};
+constexpr char kMagicCompressed[4] = {'A', 'P', 'R', 'C'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, sizeof v, 1, f) == 1;
+}
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof v, 1, f) == 1;
+}
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof *v, 1, f) == 1;
+}
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof *v, 1, f) == 1;
+}
+
+bool WriteList(std::FILE* f, const IntervalList& list) {
+  if (!WriteU64(f, list.Size())) return false;
+  for (size_t i = 0; i < list.Size(); ++i) {
+    if (!WriteU64(f, list[i].begin) || !WriteU64(f, list[i].end)) return false;
+  }
+  return true;
+}
+
+bool ReadList(std::FILE* f, IntervalList* out) {
+  uint64_t count = 0;
+  if (!ReadU64(f, &count)) return false;
+  if (count > (1ull << 40)) return false;  // corrupt size guard
+  std::vector<CellInterval> intervals;
+  intervals.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CellInterval iv;
+    if (!ReadU64(f, &iv.begin) || !ReadU64(f, &iv.end)) return false;
+    intervals.push_back(iv);
+  }
+  // Validate canonical form without asserting.
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i].Empty()) return false;
+    if (i > 0 && intervals[i].begin <= intervals[i - 1].end) return false;
+  }
+  *out = IntervalList::FromSorted(std::move(intervals));
+  return true;
+}
+
+// LEB128 varint encoding.
+bool WriteVarint(std::FILE* f, uint64_t v) {
+  unsigned char buf[10];
+  size_t n = 0;
+  do {
+    unsigned char byte = static_cast<unsigned char>(v & 0x7F);
+    v >>= 7;
+    if (v != 0) byte |= 0x80;
+    buf[n++] = byte;
+  } while (v != 0);
+  return std::fwrite(buf, 1, n, f) == n;
+}
+
+bool ReadVarint(std::FILE* f, uint64_t* out) {
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const int c = std::fgetc(f);
+    if (c == EOF) return false;
+    value |= static_cast<uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) {
+      *out = value;
+      return true;
+    }
+  }
+  return false;  // over-long varint
+}
+
+// Compressed list: varint count, then per interval the gap from the previous
+// interval's end (first interval: gap from 0) and the interval length minus
+// one (canonical intervals are non-empty).
+bool WriteListCompressed(std::FILE* f, const IntervalList& list) {
+  if (!WriteVarint(f, list.Size())) return false;
+  CellId cursor = 0;
+  for (size_t i = 0; i < list.Size(); ++i) {
+    if (!WriteVarint(f, list[i].begin - cursor)) return false;
+    if (!WriteVarint(f, list[i].Length() - 1)) return false;
+    cursor = list[i].end;
+  }
+  return true;
+}
+
+bool ReadListCompressed(std::FILE* f, IntervalList* out) {
+  uint64_t count = 0;
+  if (!ReadVarint(f, &count)) return false;
+  if (count > (1ull << 40)) return false;
+  std::vector<CellInterval> intervals;
+  intervals.reserve(count);
+  CellId cursor = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t gap = 0;
+    uint64_t length_minus_one = 0;
+    if (!ReadVarint(f, &gap) || !ReadVarint(f, &length_minus_one)) {
+      return false;
+    }
+    // Canonical form needs a positive gap between intervals (but the first
+    // interval may start at 0).
+    if (i > 0 && gap == 0) return false;
+    const CellId begin = cursor + gap;
+    const CellId end = begin + length_minus_one + 1;
+    if (end <= begin) return false;  // overflow guard
+    intervals.push_back(CellInterval{begin, end});
+    cursor = end;
+  }
+  *out = IntervalList::FromSorted(std::move(intervals));
+  return true;
+}
+
+}  // namespace
+
+bool SaveAprilFile(const std::string& path,
+                   const std::vector<AprilApproximation>& approximations) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) return false;
+  if (!WriteU32(f.get(), kVersion)) return false;
+  if (!WriteU64(f.get(), approximations.size())) return false;
+  for (const AprilApproximation& april : approximations) {
+    if (!WriteList(f.get(), april.conservative)) return false;
+    if (!WriteList(f.get(), april.progressive)) return false;
+  }
+  return std::fflush(f.get()) == 0;
+}
+
+bool LoadAprilFile(const std::string& path,
+                   std::vector<AprilApproximation>* out) {
+  out->clear();
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4) return false;
+  bool compressed = true;
+  for (int i = 0; i < 4 && compressed; ++i) {
+    compressed = magic[i] == kMagicCompressed[i];
+  }
+  if (!compressed) {
+    for (int i = 0; i < 4; ++i) {
+      if (magic[i] != kMagic[i]) return false;
+    }
+  }
+  uint32_t version = 0;
+  if (!ReadU32(f.get(), &version) || version != kVersion) return false;
+  uint64_t count = 0;
+  if (!ReadU64(f.get(), &count)) return false;
+  if (count > (1ull << 32)) return false;
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    AprilApproximation april;
+    const bool ok =
+        compressed
+            ? (ReadListCompressed(f.get(), &april.conservative) &&
+               ReadListCompressed(f.get(), &april.progressive))
+            : (ReadList(f.get(), &april.conservative) &&
+               ReadList(f.get(), &april.progressive));
+    if (!ok) return false;
+    out->push_back(std::move(april));
+  }
+  return true;
+}
+
+bool SaveAprilFileCompressed(
+    const std::string& path,
+    const std::vector<AprilApproximation>& approximations) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+  if (std::fwrite(kMagicCompressed, 1, 4, f.get()) != 4) return false;
+  if (!WriteU32(f.get(), kVersion)) return false;
+  if (!WriteU64(f.get(), approximations.size())) return false;
+  for (const AprilApproximation& april : approximations) {
+    if (!WriteListCompressed(f.get(), april.conservative)) return false;
+    if (!WriteListCompressed(f.get(), april.progressive)) return false;
+  }
+  return std::fflush(f.get()) == 0;
+}
+
+}  // namespace stj

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/raster/april.h"
+
+namespace stj {
+
+/// Binary (de)serialisation of APRIL approximations. The paper precomputes
+/// the P and C lists once per dataset and loads them at join time; these
+/// helpers provide that persistence.
+///
+/// Format: "APRL" magic, u32 version, u64 object count, then per object the
+/// C and P lists as (u64 interval count, followed by u64 begin/end pairs).
+/// All integers little-endian.
+
+/// Writes \p approximations to \p path. Returns false on any I/O error.
+bool SaveAprilFile(const std::string& path,
+                   const std::vector<AprilApproximation>& approximations);
+
+/// Reads approximations from \p path into \p out (cleared first). Detects
+/// both the raw ("APRL") and compressed ("APRC") formats. Returns false on
+/// I/O error or malformed content (including non-canonical lists).
+bool LoadAprilFile(const std::string& path,
+                   std::vector<AprilApproximation>* out);
+
+/// Writes \p approximations in the compressed format: "APRC" magic, then per
+/// list a varint interval count followed by varint-encoded gap/length deltas
+/// (canonical lists have strictly positive gaps and lengths, so the deltas
+/// are small and varints shrink them dramatically — typically 3-5x over the
+/// raw fixed-width format).
+bool SaveAprilFileCompressed(
+    const std::string& path,
+    const std::vector<AprilApproximation>& approximations);
+
+}  // namespace stj

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "src/de9im/relation.h"
+#include "src/raster/april.h"
+
+namespace stj {
+
+/// Outcome of one of the four intermediate filters of Fig. 5. Either a
+/// definite most-specific relation (no refinement needed) or a narrowed
+/// candidate set to verify against the DE-9IM matrix.
+enum class IFOutcome : uint8_t {
+  // Definite outcomes.
+  kDisjoint,
+  kInside,
+  kContains,
+  kCoveredBy,
+  kCovers,
+  kIntersects,
+  // Refinement outcomes, named by the candidate set they carry.
+  kRefineEquals,                  ///< {equals, covered by, covers, intersects}
+  kRefineCoveredBy,               ///< {covered by, intersects}
+  kRefineCovers,                  ///< {covers, intersects}
+  kRefineInside,                  ///< {inside, covered by, intersects}
+  kRefineContains,                ///< {contains, covers, intersects}
+  kRefineMeetsIntersects,         ///< {meets, intersects}
+  kRefineDisjointMeetsIntersects, ///< {disjoint, meets, intersects}
+  kRefineAllInside,   ///< {disjoint, inside, covered by, meets, intersects}
+  kRefineAllContains, ///< {disjoint, contains, covers, meets, intersects}
+};
+
+/// True when the outcome is a definite relation (left column above).
+bool IsDefinite(IFOutcome outcome);
+
+/// The definite relation of a definite outcome.
+de9im::Relation DefiniteRelation(IFOutcome outcome);
+
+/// The candidate set a refinement outcome carries (the definite outcomes map
+/// to their singleton).
+de9im::RelationSet CandidatesOf(IFOutcome outcome);
+
+/// Intermediate filter for pairs with equal MBRs (Fig. 4(c) / Fig. 5
+/// IFEquals). Can definitely decide covered by and covers.
+IFOutcome IFEquals(const AprilApproximation& r, const AprilApproximation& s);
+
+/// Intermediate filter for MBR(r) inside MBR(s) (Fig. 4(a) / Fig. 5
+/// IFInside). Can definitely decide disjoint, inside, and intersects.
+IFOutcome IFInside(const AprilApproximation& r, const AprilApproximation& s);
+
+/// Intermediate filter for MBR(r) containing MBR(s) (Fig. 4(b) / Fig. 5
+/// IFContains). Can definitely decide disjoint, contains, and intersects.
+IFOutcome IFContains(const AprilApproximation& r, const AprilApproximation& s);
+
+/// Intermediate filter for partially overlapping MBRs (Fig. 4(e) / Fig. 5
+/// IFIntersects). Can definitely decide disjoint and intersects.
+IFOutcome IFIntersects(const AprilApproximation& r,
+                       const AprilApproximation& s);
+
+const char* ToString(IFOutcome outcome);
+
+}  // namespace stj

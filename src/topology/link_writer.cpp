@@ -1,0 +1,39 @@
+#include "src/topology/link_writer.h"
+
+#include <fstream>
+
+namespace stj {
+
+using de9im::Relation;
+
+const char* GeoSparqlProperty(Relation rel) {
+  switch (rel) {
+    case Relation::kEquals: return "geo:sfEquals";
+    case Relation::kInside: return "geo:sfWithin";
+    case Relation::kContains: return "geo:sfContains";
+    case Relation::kCoveredBy: return "geo:sfWithin";   // Radon convention
+    case Relation::kCovers: return "geo:sfContains";    // Radon convention
+    case Relation::kMeets: return "geo:sfTouches";
+    case Relation::kIntersects: return "geo:sfIntersects";
+    case Relation::kDisjoint: return "geo:sfDisjoint";
+  }
+  return "geo:sfIntersects";
+}
+
+bool WriteNTriples(const std::string& path, const std::string& prefix_r,
+                   const std::string& prefix_s,
+                   const std::vector<TopologyLink>& links) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << "@prefix geo: <http://www.opengis.net/ont/geosparql#> .\n";
+  for (const TopologyLink& link : links) {
+    if (link.relation == Relation::kDisjoint) continue;
+    out << "<" << prefix_r << link.pair.r_idx << "> "
+        << GeoSparqlProperty(link.relation) << " <" << prefix_s
+        << link.pair.s_idx << "> .\n";
+  }
+  out.flush();
+  return out.good();
+}
+
+}  // namespace stj

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/de9im/relation.h"
+#include "src/join/mbr_join.h"
+
+namespace stj {
+
+/// Serialisation of discovered topological links as RDF N-Triples using the
+/// GeoSPARQL simple-features vocabulary — the output format of the
+/// geo-spatial interlinking frameworks (Silk, Radon, JedAI-spatial) the
+/// paper positions itself in and names in its future work.
+///
+/// Each non-disjoint pair becomes one triple:
+///   <prefix_r/ID> geo:sfWithin <prefix_s/ID> .
+/// `intersects` maps to geo:sfIntersects, `meets` to geo:sfTouches, etc.
+/// `covers`/`covered by` have no simple-features property; they are emitted
+/// as sfContains/sfWithin (their closest generalisation) — the convention
+/// Radon uses.
+
+/// The GeoSPARQL property IRI for \p rel, e.g. "geo:sfTouches". `disjoint`
+/// maps to "geo:sfDisjoint" (rarely materialised but well-defined).
+const char* GeoSparqlProperty(de9im::Relation rel);
+
+/// One discovered link.
+struct TopologyLink {
+  CandidatePair pair;
+  de9im::Relation relation = de9im::Relation::kIntersects;
+};
+
+/// Writes links as N-Triples to \p path. Subject/object IRIs are formed as
+/// <prefix_r><r_idx> and <prefix_s><s_idx>. Disjoint links are skipped
+/// (non-links). Returns false on I/O error.
+bool WriteNTriples(const std::string& path, const std::string& prefix_r,
+                   const std::string& prefix_s,
+                   const std::vector<TopologyLink>& links);
+
+}  // namespace stj

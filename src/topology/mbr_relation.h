@@ -1,0 +1,17 @@
+#pragma once
+
+#include "src/de9im/relation.h"
+#include "src/geometry/box.h"
+
+namespace stj {
+
+/// Candidate topological relations implied by how two MBRs intersect
+/// (Fig. 4 of the paper). The returned set always contains the pair's true
+/// relation; for BoxRelation::kCross it is the singleton {intersects} and for
+/// kDisjoint the singleton {disjoint}.
+de9im::RelationSet MbrCandidates(BoxRelation rel);
+
+/// Convenience: candidates for a concrete MBR pair.
+de9im::RelationSet MbrCandidates(const Box& r, const Box& s);
+
+}  // namespace stj

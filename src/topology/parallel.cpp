@@ -1,0 +1,94 @@
+#include "src/topology/parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace stj {
+
+namespace {
+
+void MergeStats(const PipelineStats& from, PipelineStats* into) {
+  into->pairs += from.pairs;
+  into->decided_by_mbr += from.decided_by_mbr;
+  into->decided_by_filter += from.decided_by_filter;
+  into->refined += from.refined;
+  into->filter_seconds += from.filter_seconds;
+  into->refine_seconds += from.refine_seconds;
+}
+
+unsigned ResolveThreads(unsigned requested, size_t pairs) {
+  unsigned n = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  // No point spinning up workers for a handful of pairs each.
+  const size_t max_useful = std::max<size_t>(1, pairs / 256);
+  return static_cast<unsigned>(
+      std::min<size_t>(n, std::max<size_t>(1, max_useful)));
+}
+
+// Runs fn(worker_index, begin, end) on every chunk, in worker threads.
+template <typename Fn>
+void RunChunks(unsigned num_threads, size_t total, Fn&& fn) {
+  if (num_threads <= 1) {
+    fn(0u, size_t{0}, total);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  const size_t chunk = (total + num_threads - 1) / num_threads;
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const size_t begin = std::min(total, static_cast<size_t>(t) * chunk);
+    const size_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace
+
+ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
+                                        DatasetView s_view,
+                                        const std::vector<CandidatePair>& pairs,
+                                        unsigned num_threads) {
+  ParallelJoinResult result;
+  result.relations.resize(pairs.size());
+  const unsigned threads = ResolveThreads(num_threads, pairs.size());
+  std::vector<PipelineStats> per_worker(threads);
+  RunChunks(threads, pairs.size(), [&](unsigned worker, size_t begin, size_t end) {
+    Pipeline pipeline(method, r_view, s_view);
+    for (size_t i = begin; i < end; ++i) {
+      result.relations[i] =
+          pipeline.FindRelation(pairs[i].r_idx, pairs[i].s_idx);
+    }
+    per_worker[worker] = pipeline.Stats();
+  });
+  for (const PipelineStats& stats : per_worker) {
+    MergeStats(stats, &result.stats);
+  }
+  return result;
+}
+
+ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
+                                    DatasetView s_view,
+                                    const std::vector<CandidatePair>& pairs,
+                                    de9im::Relation predicate,
+                                    unsigned num_threads) {
+  ParallelRelateResult result;
+  result.matches.resize(pairs.size(), 0);
+  const unsigned threads = ResolveThreads(num_threads, pairs.size());
+  std::vector<PipelineStats> per_worker(threads);
+  RunChunks(threads, pairs.size(), [&](unsigned worker, size_t begin, size_t end) {
+    Pipeline pipeline(method, r_view, s_view);
+    for (size_t i = begin; i < end; ++i) {
+      result.matches[i] =
+          pipeline.Relate(pairs[i].r_idx, pairs[i].s_idx, predicate) ? 1 : 0;
+    }
+    per_worker[worker] = pipeline.Stats();
+  });
+  for (const PipelineStats& stats : per_worker) {
+    MergeStats(stats, &result.stats);
+  }
+  return result;
+}
+
+}  // namespace stj

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "src/join/mbr_join.h"
+#include "src/topology/pipeline.h"
+
+namespace stj {
+
+/// Result of a (possibly multi-threaded) find-relation join.
+struct ParallelJoinResult {
+  /// relations[i] answers pairs[i], in input order.
+  std::vector<de9im::Relation> relations;
+  /// Stage counters merged across all workers (timings are summed CPU time,
+  /// not wall time).
+  PipelineStats stats;
+};
+
+/// Evaluates find-relation for every candidate pair with \p method, fanning
+/// the pairs out over \p num_threads workers (0 = hardware concurrency).
+///
+/// Pairs are split into contiguous chunks; each worker owns a private
+/// Pipeline (the shared dataset views are read-only), so no synchronisation
+/// is needed beyond the final join. Results are deterministic and identical
+/// to the single-threaded run.
+ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
+                                        DatasetView s_view,
+                                        const std::vector<CandidatePair>& pairs,
+                                        unsigned num_threads = 0);
+
+/// As above for a relate_p predicate join; returns one bool per pair.
+struct ParallelRelateResult {
+  std::vector<char> matches;  ///< 1 where the predicate holds.
+  PipelineStats stats;
+};
+ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
+                                    DatasetView s_view,
+                                    const std::vector<CandidatePair>& pairs,
+                                    de9im::Relation predicate,
+                                    unsigned num_threads = 0);
+
+}  // namespace stj

@@ -1,0 +1,197 @@
+#include "src/topology/pipeline.h"
+
+#include "src/de9im/relate_engine.h"
+#include "src/interval/interval_algebra.h"
+#include "src/topology/mbr_relation.h"
+#include "src/topology/relate_predicate.h"
+
+namespace stj {
+
+using de9im::Relation;
+using de9im::RelationSet;
+
+const char* ToString(Method method) {
+  switch (method) {
+    case Method::kST2: return "ST2";
+    case Method::kOP2: return "OP2";
+    case Method::kApril: return "APRIL";
+    case Method::kPC: return "P+C";
+  }
+  return "?";
+}
+
+namespace {
+
+/// RAII helper that adds elapsed time to a stats field when enabled.
+class ScopedStageTime {
+ public:
+  ScopedStageTime(bool enabled, double* sink) : sink_(enabled ? sink : nullptr) {
+    if (sink_ != nullptr) timer_.Reset();
+  }
+  ~ScopedStageTime() {
+    if (sink_ != nullptr) *sink_ += timer_.ElapsedSeconds();
+  }
+  ScopedStageTime(const ScopedStageTime&) = delete;
+  ScopedStageTime& operator=(const ScopedStageTime&) = delete;
+
+ private:
+  double* sink_;
+  Timer timer_;
+};
+
+}  // namespace
+
+Pipeline::Pipeline(Method method, DatasetView r_view, DatasetView s_view,
+                   bool time_stages)
+    : method_(method),
+      r_view_(r_view),
+      s_view_(s_view),
+      time_stages_(time_stages) {}
+
+Relation Pipeline::Refine(uint32_t r_idx, uint32_t s_idx,
+                          RelationSet candidates) {
+  ScopedStageTime timing(time_stages_, &stats_.refine_seconds);
+  ++stats_.refined;
+  const Polygon& r = (*r_view_.objects)[r_idx].geometry;
+  const Polygon& s = (*s_view_.objects)[s_idx].geometry;
+  const de9im::Matrix matrix = de9im::RelateEngine::Relate(r, s);
+  return MostSpecificRelation(matrix, candidates);
+}
+
+Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
+  ++stats_.pairs;
+  const Box& r_mbr = (*r_view_.objects)[r_idx].geometry.Bounds();
+  const Box& s_mbr = (*s_view_.objects)[s_idx].geometry.Bounds();
+
+  switch (method_) {
+    case Method::kST2: {
+      // Plain 2-phase: MBR disjointness, then refinement with all masks.
+      RelationSet candidates = RelationSet::All();
+      {
+        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        if (!r_mbr.Intersects(s_mbr)) {
+          ++stats_.decided_by_mbr;
+          return Relation::kDisjoint;
+        }
+      }
+      return Refine(r_idx, s_idx, candidates);
+    }
+    case Method::kOP2: {
+      // Optimised 2-phase: the MBR intersection case narrows the candidate
+      // masks (Sec. 3.1); the cross case even decides outright.
+      BoxRelation boxes;
+      {
+        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        boxes = ClassifyBoxes(r_mbr, s_mbr);
+        if (boxes == BoxRelation::kDisjoint) {
+          ++stats_.decided_by_mbr;
+          return Relation::kDisjoint;
+        }
+        if (boxes == BoxRelation::kCross) {
+          ++stats_.decided_by_mbr;
+          return Relation::kIntersects;
+        }
+      }
+      return Refine(r_idx, s_idx, MbrCandidates(boxes));
+    }
+    case Method::kApril: {
+      // OP2 + intersection-only raster filter [14]: can decide disjoint, but
+      // every other pair must still be refined (the filter cannot identify a
+      // relation more specific than intersects).
+      BoxRelation boxes;
+      RelationSet candidates;
+      {
+        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        boxes = ClassifyBoxes(r_mbr, s_mbr);
+        if (boxes == BoxRelation::kDisjoint) {
+          ++stats_.decided_by_mbr;
+          return Relation::kDisjoint;
+        }
+        if (boxes == BoxRelation::kCross) {
+          ++stats_.decided_by_mbr;
+          return Relation::kIntersects;
+        }
+        const AprilApproximation& ra = (*r_view_.april)[r_idx];
+        const AprilApproximation& sa = (*s_view_.april)[s_idx];
+        candidates = MbrCandidates(boxes);
+        if (!ListsOverlap(ra.conservative, sa.conservative)) {
+          ++stats_.decided_by_filter;
+          return Relation::kDisjoint;
+        }
+        if (ListsOverlap(ra.conservative, sa.progressive) ||
+            ListsOverlap(ra.progressive, sa.conservative)) {
+          // Definitely intersecting: drop disjoint and meets from the masks
+          // to check, but refinement is still required.
+          candidates.Remove(Relation::kDisjoint);
+          candidates.Remove(Relation::kMeets);
+        }
+      }
+      return Refine(r_idx, s_idx, candidates);
+    }
+    case Method::kPC: {
+      // The paper's Algorithm 1.
+      FilterDecision decision;
+      {
+        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        decision = FindRelationFilter(r_mbr, (*r_view_.april)[r_idx], s_mbr,
+                                      (*s_view_.april)[s_idx]);
+        if (decision.definite) {
+          if (decision.stage == DecisionStage::kMbrFilter) {
+            ++stats_.decided_by_mbr;
+          } else {
+            ++stats_.decided_by_filter;
+          }
+          return decision.relation;
+        }
+      }
+      return Refine(r_idx, s_idx, decision.candidates);
+    }
+  }
+  return Relation::kDisjoint;
+}
+
+bool Pipeline::RefinePredicate(uint32_t r_idx, uint32_t s_idx, Relation p) {
+  ScopedStageTime timing(time_stages_, &stats_.refine_seconds);
+  ++stats_.refined;
+  const Polygon& r = (*r_view_.objects)[r_idx].geometry;
+  const Polygon& s = (*s_view_.objects)[s_idx].geometry;
+  return RelationHolds(p, de9im::RelateEngine::Relate(r, s));
+}
+
+bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
+  ++stats_.pairs;
+  const Box& r_mbr = (*r_view_.objects)[r_idx].geometry.Bounds();
+  const Box& s_mbr = (*s_view_.objects)[s_idx].geometry.Bounds();
+
+  if (method_ == Method::kPC) {
+    RelateAnswer answer;
+    {
+      ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+      answer = RelatePredicateFilter(p, r_mbr, (*r_view_.april)[r_idx], s_mbr,
+                                     (*s_view_.april)[s_idx]);
+    }
+    switch (answer) {
+      case RelateAnswer::kYes:
+        ++stats_.decided_by_filter;
+        return true;
+      case RelateAnswer::kNo:
+        ++stats_.decided_by_filter;
+        return false;
+      case RelateAnswer::kInconclusive:
+        return RefinePredicate(r_idx, s_idx, p);
+    }
+  }
+
+  // Other methods answer relate_p through their find-relation machinery:
+  // the MBR filter handles disjointness, everything else refines.
+  {
+    ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+    if (!r_mbr.Intersects(s_mbr)) {
+      ++stats_.decided_by_mbr;
+      return p == Relation::kDisjoint;
+    }
+  }
+  return RefinePredicate(r_idx, s_idx, p);
+}
+
+}  // namespace stj

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/de9im/relation.h"
+#include "src/geometry/polygon.h"
+#include "src/raster/april.h"
+#include "src/topology/find_relation.h"
+#include "src/util/timer.h"
+
+namespace stj {
+
+/// The four compared find-relation methods (Sec. 4).
+enum class Method : uint8_t {
+  kST2,    ///< MBR filter + refinement with all 8 relations.
+  kOP2,    ///< MBR-relationship-narrowed refinement (Sec. 3.1 only).
+  kApril,  ///< OP2 + APRIL intersection-only intermediate filter [14].
+  kPC,     ///< The paper's method (Sec. 3): full P+C intermediate filters.
+};
+
+const char* ToString(Method method);
+
+/// One side of a join: objects plus (for kApril/kPC) their approximations.
+/// Both vectors are index-aligned; `april` may be empty for methods that do
+/// not use approximations.
+struct DatasetView {
+  const std::vector<SpatialObject>* objects = nullptr;
+  const std::vector<AprilApproximation>* april = nullptr;
+};
+
+/// Per-run pipeline counters and stage timings, the raw material of
+/// Fig. 7(b) (undetermined %) and Fig. 8(b) (stage costs).
+struct PipelineStats {
+  uint64_t pairs = 0;
+  uint64_t decided_by_mbr = 0;
+  uint64_t decided_by_filter = 0;
+  uint64_t refined = 0;  ///< "Undetermined" pairs that needed DE-9IM.
+  double filter_seconds = 0.0;  ///< MBR + intermediate filter time.
+  double refine_seconds = 0.0;  ///< DE-9IM computation + mask matching time.
+
+  double UndeterminedPercent() const {
+    return pairs == 0 ? 0.0
+                      : 100.0 * static_cast<double>(refined) /
+                            static_cast<double>(pairs);
+  }
+};
+
+/// Executes find-relation and relate_p queries over candidate pairs with one
+/// of the four methods, accumulating stage statistics.
+///
+/// The pipeline owns no data; it references the two datasets of a join
+/// scenario. Refinement computes the DE-9IM matrix with the from-scratch
+/// relate engine and matches it against the masks of the surviving candidate
+/// relations in specific-to-general order.
+class Pipeline {
+ public:
+  /// \p time_stages enables per-pair stage timers (small overhead; used by
+  /// the Fig. 8(b) harness, off for pure throughput runs).
+  Pipeline(Method method, DatasetView r_view, DatasetView s_view,
+           bool time_stages = false);
+
+  /// The most specific topological relation of pair (r_idx, s_idx).
+  de9im::Relation FindRelation(uint32_t r_idx, uint32_t s_idx);
+
+  /// Whether predicate \p p holds for pair (r_idx, s_idx) (Sec. 3.3). Uses
+  /// the predicate-specific filters for kPC; other methods go through their
+  /// find-relation machinery and test the mask on the refined matrix.
+  bool Relate(uint32_t r_idx, uint32_t s_idx, de9im::Relation p);
+
+  const PipelineStats& Stats() const { return stats_; }
+  void ResetStats() { stats_ = PipelineStats{}; }
+
+  Method GetMethod() const { return method_; }
+
+ private:
+  de9im::Relation Refine(uint32_t r_idx, uint32_t s_idx,
+                         de9im::RelationSet candidates);
+  bool RefinePredicate(uint32_t r_idx, uint32_t s_idx, de9im::Relation p);
+
+  Method method_;
+  DatasetView r_view_;
+  DatasetView s_view_;
+  bool time_stages_;
+  PipelineStats stats_;
+};
+
+}  // namespace stj

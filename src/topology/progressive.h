@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "src/join/mbr_join.h"
+#include "src/raster/april.h"
+#include "src/topology/pipeline.h"
+
+namespace stj {
+
+/// Candidate-pair scheduling policies for *progressive* geo-spatial
+/// interlinking (Papadakis et al., WWW'21 — reference [25] of the paper):
+/// when a budget may cut the join short, processing likely-related pairs
+/// first maximises the links discovered per pair examined. The paper treats
+/// scheduling as orthogonal to its filters; this module combines the two —
+/// the APRIL-based score reuses the same approximations the P+C filters run
+/// on, so prioritisation costs only one extra merge-join per pair.
+enum class SchedulingPolicy {
+  kInputOrder,       ///< No scheduling (the baseline).
+  kMbrOverlapRatio,  ///< Larger MBR-intersection share first.
+  kAprilOverlap,     ///< More shared conservative raster cells first.
+};
+
+const char* ToString(SchedulingPolicy policy);
+
+/// Returns a permutation of [0, pairs.size()) ordering the candidate pairs
+/// from most to least promising under \p policy. kInputOrder returns the
+/// identity.
+std::vector<size_t> ScheduleCandidates(SchedulingPolicy policy,
+                                       const DatasetView& r_view,
+                                       const DatasetView& s_view,
+                                       const std::vector<CandidatePair>& pairs);
+
+/// One point of a progressive-recall curve: after processing `processed`
+/// pairs (in scheduled order), `links_found` of the total links had been
+/// discovered.
+struct ProgressivePoint {
+  size_t processed = 0;
+  size_t links_found = 0;
+};
+
+/// Runs find-relation over the scheduled pairs with \p method, recording how
+/// many non-disjoint pairs (links) were discovered after each \p checkpoints
+/// fraction of the work. The last point holds the totals.
+std::vector<ProgressivePoint> ProgressiveFindRelation(
+    Method method, const DatasetView& r_view, const DatasetView& s_view,
+    const std::vector<CandidatePair>& pairs, SchedulingPolicy policy,
+    size_t checkpoints = 10);
+
+}  // namespace stj

@@ -1,0 +1,120 @@
+#include "src/topology/relate_predicate.h"
+
+#include "src/interval/interval_algebra.h"
+
+namespace stj {
+
+using de9im::Relation;
+
+namespace {
+
+// relate_intersects: intersects is the negation of disjoint, so the APRIL
+// tests answer it directly.
+RelateAnswer RelateIntersects(BoxRelation boxes, const AprilApproximation& r,
+                              const AprilApproximation& s) {
+  if (boxes == BoxRelation::kDisjoint) return RelateAnswer::kNo;
+  if (boxes == BoxRelation::kCross || boxes == BoxRelation::kEqual) {
+    // Fig. 4(c)/(d): every candidate relation of these MBR cases implies
+    // intersects.
+    return RelateAnswer::kYes;
+  }
+  if (!ListsOverlap(r.conservative, s.conservative)) return RelateAnswer::kNo;
+  if (ListsOverlap(r.conservative, s.progressive) ||
+      ListsOverlap(r.progressive, s.conservative)) {
+    return RelateAnswer::kYes;
+  }
+  return RelateAnswer::kInconclusive;
+}
+
+RelateAnswer Negate(RelateAnswer a) {
+  switch (a) {
+    case RelateAnswer::kYes: return RelateAnswer::kNo;
+    case RelateAnswer::kNo: return RelateAnswer::kYes;
+    case RelateAnswer::kInconclusive: return RelateAnswer::kInconclusive;
+  }
+  return RelateAnswer::kInconclusive;
+}
+
+// relate_inside / relate_covered_by (Fig. 6 left): both require r not to
+// stick out of s. `strict` distinguishes inside (no boundary contact, MBR
+// strictly nested) from covered by (equal MBRs allowed).
+RelateAnswer RelateWithin(BoxRelation boxes, const AprilApproximation& r,
+                          const AprilApproximation& s, bool strict) {
+  const bool box_ok = boxes == BoxRelation::kRInsideS ||
+                      (!strict && boxes == BoxRelation::kEqual);
+  if (!box_ok) return RelateAnswer::kNo;  // impossible relation (Fig. 6)
+  if (!ListInside(r.conservative, s.conservative)) return RelateAnswer::kNo;
+  if (ListInside(r.conservative, s.progressive)) {
+    // r lies within cells fully interior to s: strict inside holds, and
+    // therefore covered by holds as well.
+    return RelateAnswer::kYes;
+  }
+  return RelateAnswer::kInconclusive;
+}
+
+// relate_meets (Fig. 6 middle).
+RelateAnswer RelateMeets(BoxRelation boxes, const AprilApproximation& r,
+                         const AprilApproximation& s) {
+  if (boxes == BoxRelation::kDisjoint) return RelateAnswer::kNo;
+  if (boxes == BoxRelation::kCross) return RelateAnswer::kNo;  // Fig. 4(d)
+  if (!ListsOverlap(r.conservative, s.conservative)) {
+    return RelateAnswer::kNo;  // definitely disjoint
+  }
+  if (ListsOverlap(r.conservative, s.progressive) ||
+      ListsOverlap(r.progressive, s.conservative)) {
+    return RelateAnswer::kNo;  // interiors definitely overlap
+  }
+  return RelateAnswer::kInconclusive;
+}
+
+// relate_equals (Fig. 6 right).
+RelateAnswer RelateEquals(BoxRelation boxes, const AprilApproximation& r,
+                          const AprilApproximation& s) {
+  if (boxes != BoxRelation::kEqual) return RelateAnswer::kNo;
+  if (!ListsMatch(r.conservative, s.conservative)) return RelateAnswer::kNo;
+  if (!ListsMatch(r.progressive, s.progressive)) return RelateAnswer::kNo;
+  return RelateAnswer::kInconclusive;
+}
+
+}  // namespace
+
+RelateAnswer RelatePredicateFilter(de9im::Relation p, const Box& r_mbr,
+                                   const AprilApproximation& r_april,
+                                   const Box& s_mbr,
+                                   const AprilApproximation& s_april) {
+  const BoxRelation boxes = ClassifyBoxes(r_mbr, s_mbr);
+  switch (p) {
+    case Relation::kIntersects:
+      return RelateIntersects(boxes, r_april, s_april);
+    case Relation::kDisjoint:
+      return Negate(RelateIntersects(boxes, r_april, s_april));
+    case Relation::kInside:
+      return RelateWithin(boxes, r_april, s_april, /*strict=*/true);
+    case Relation::kCoveredBy:
+      return RelateWithin(boxes, r_april, s_april, /*strict=*/false);
+    case Relation::kContains: {
+      const BoxRelation mirrored = ClassifyBoxes(s_mbr, r_mbr);
+      return RelateWithin(mirrored, s_april, r_april, /*strict=*/true);
+    }
+    case Relation::kCovers: {
+      const BoxRelation mirrored = ClassifyBoxes(s_mbr, r_mbr);
+      return RelateWithin(mirrored, s_april, r_april, /*strict=*/false);
+    }
+    case Relation::kMeets:
+      return RelateMeets(boxes, r_april, s_april);
+    case Relation::kEquals:
+      return RelateEquals(boxes, r_april, s_april);
+  }
+  return RelateAnswer::kInconclusive;
+}
+
+const char* ToString(RelateAnswer answer) {
+  switch (answer) {
+    case RelateAnswer::kYes: return "yes";
+    case RelateAnswer::kNo: return "no";
+    case RelateAnswer::kInconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+}  // namespace stj

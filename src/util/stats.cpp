@@ -1,0 +1,71 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stj {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+double RunningStats::Min() const { return count_ ? min_ : 0.0; }
+double RunningStats::Max() const { return count_ ? max_ : 0.0; }
+double RunningStats::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> EquiCountBuckets(
+    std::vector<uint64_t> values, size_t buckets) {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  if (values.empty() || buckets == 0) return out;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  out.reserve(buckets);
+  size_t begin = 0;
+  for (size_t b = 0; b < buckets && begin < n; ++b) {
+    size_t end = (b + 1 == buckets) ? n : (n * (b + 1)) / buckets;
+    if (end <= begin) end = begin + 1;
+    // Extend so equal values never straddle a bucket boundary.
+    while (end < n && values[end] == values[end - 1]) ++end;
+    out.emplace_back(values[begin], values[end - 1]);
+    begin = end;
+  }
+  return out;
+}
+
+std::string FormatWithCommas(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const size_t len = digits.size();
+  for (size_t i = 0; i < len; ++i) {
+    if (i != 0 && (len - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string FormatApproxCount(uint64_t n) {
+  char buf[32];
+  const double v = static_cast<double>(n);
+  if (n >= 1000000000ull) {
+    std::snprintf(buf, sizeof buf, "%.2fB", v / 1e9);
+  } else if (n >= 1000000ull) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (n >= 1000ull) {
+    std::snprintf(buf, sizeof buf, "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+}  // namespace stj

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stj {
+
+/// Streaming summary statistics (count/min/max/mean) for benchmark reporting.
+class RunningStats {
+ public:
+  /// Incorporates one observation.
+  void Add(double x);
+
+  size_t Count() const { return count_; }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Splits \p values (copied, then sorted) into \p buckets equi-count groups and
+/// returns the bucket boundaries as (lo, hi) inclusive ranges, mirroring the
+/// complexity-level grouping of Table 4 in the paper.
+std::vector<std::pair<uint64_t, uint64_t>> EquiCountBuckets(
+    std::vector<uint64_t> values, size_t buckets);
+
+/// Formats \p n with thousands separators for table output, e.g. 1234567 ->
+/// "1,234,567".
+std::string FormatWithCommas(uint64_t n);
+
+/// Formats a human-readable approximate count, e.g. 63312 -> "63.3K",
+/// 5182340 -> "5.18M", matching the paper's table style.
+std::string FormatApproxCount(uint64_t n);
+
+}  // namespace stj

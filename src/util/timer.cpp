@@ -1,0 +1,42 @@
+#include "src/util/timer.h"
+
+namespace stj {
+
+Timer::Timer() : start_(std::chrono::steady_clock::now()) {}
+
+void Timer::Reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedNanos()) * 1e-9;
+}
+
+uint64_t Timer::ElapsedNanos() const {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_).count());
+}
+
+void StageTimer::Start() {
+  if (!running_) {
+    start_ = std::chrono::steady_clock::now();
+    running_ = true;
+  }
+}
+
+void StageTimer::Stop() {
+  if (running_) {
+    const auto now = std::chrono::steady_clock::now();
+    total_nanos_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_).count());
+    running_ = false;
+  }
+}
+
+double StageTimer::TotalSeconds() const { return static_cast<double>(total_nanos_) * 1e-9; }
+
+void StageTimer::Reset() {
+  total_nanos_ = 0;
+  running_ = false;
+}
+
+}  // namespace stj

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace stj {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+///
+/// The paper reports throughput (pairs/second) per pipeline stage; Timer and
+/// StageTimer below provide the two measurement styles the harnesses need:
+/// a plain stopwatch and a resumable accumulator.
+class Timer {
+ public:
+  Timer();
+
+  /// Restarts the stopwatch.
+  void Reset();
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const;
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  uint64_t ElapsedNanos() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulating timer that can be paused and resumed, for attributing time to
+/// pipeline stages (e.g. intermediate filter vs refinement in Fig. 8(b)).
+class StageTimer {
+ public:
+  /// Starts (or resumes) accumulation.
+  void Start();
+
+  /// Stops accumulation and adds the elapsed slice to the total.
+  void Stop();
+
+  /// Total accumulated seconds across all Start/Stop slices.
+  double TotalSeconds() const;
+
+  /// Clears the accumulated total.
+  void Reset();
+
+ private:
+  std::chrono::steady_clock::time_point start_{};
+  uint64_t total_nanos_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace stj

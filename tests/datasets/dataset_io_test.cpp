@@ -1,0 +1,70 @@
+#include "src/datasets/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace stj {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(DatasetIo, RoundTripPreservesGeometry) {
+  const Dataset original = BuildDataset("TW", 0.003, 11);
+  ASSERT_FALSE(original.objects.empty());
+  const std::string path = TempPath("tw_roundtrip.wkt");
+  ASSERT_TRUE(SaveWktDataset(path, original));
+
+  Dataset loaded;
+  ASSERT_TRUE(LoadWktDataset(path, "TW", &loaded));
+  ASSERT_EQ(loaded.objects.size(), original.objects.size());
+  for (size_t i = 0; i < original.objects.size(); ++i) {
+    EXPECT_EQ(loaded.objects[i].geometry.Outer(),
+              original.objects[i].geometry.Outer())
+        << i;
+    EXPECT_EQ(loaded.objects[i].geometry.Holes().size(),
+              original.objects[i].geometry.Holes().size())
+        << i;
+    EXPECT_EQ(loaded.objects[i].id, static_cast<uint32_t>(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("commented.wkt");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n"
+        << "POLYGON ((0 0, 1 0, 1 1, 0 1))\n"
+        << "\n# another comment\n"
+        << "POLYGON ((2 2, 3 2, 3 3))\n";
+  }
+  Dataset loaded;
+  ASSERT_TRUE(LoadWktDataset(path, "test", &loaded));
+  EXPECT_EQ(loaded.objects.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, FailsOnMalformedLine) {
+  const std::string path = TempPath("malformed.wkt");
+  {
+    std::ofstream out(path);
+    out << "POLYGON ((0 0, 1 0, 1 1))\n"
+        << "POLYGON ((not a polygon))\n";
+  }
+  Dataset loaded;
+  EXPECT_FALSE(LoadWktDataset(path, "test", &loaded));
+  EXPECT_TRUE(loaded.objects.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, FailsOnMissingFile) {
+  Dataset loaded;
+  EXPECT_FALSE(LoadWktDataset(TempPath("nope.wkt"), "test", &loaded));
+}
+
+}  // namespace
+}  // namespace stj

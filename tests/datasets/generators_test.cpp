@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "src/datasets/blob.h"
+#include "src/datasets/buildings.h"
+#include "src/datasets/tessellation.h"
+#include "src/geometry/point_in_polygon.h"
+#include "src/geometry/validate.h"
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+TEST(BlobGenerator, RespectsVertexCount) {
+  Rng rng(401);
+  for (const size_t v : {4u, 8u, 100u, 2000u}) {
+    BlobParams params;
+    params.vertices = v;
+    const Polygon blob = MakeBlob(&rng, params);
+    EXPECT_EQ(blob.Outer().Size(), v);
+  }
+}
+
+TEST(BlobGenerator, StaysNearMeanRadius) {
+  Rng rng(403);
+  BlobParams params;
+  params.center = Point{10, 10};
+  params.mean_radius = 2.0;
+  params.irregularity = 0.4;
+  params.vertices = 64;
+  const Polygon blob = MakeBlob(&rng, params);
+  for (const Point& p : blob.Outer().Vertices()) {
+    const double d = Distance(p, params.center);
+    EXPECT_GT(d, 0.1);
+    EXPECT_LT(d, 2.0 * (1.0 + 0.85) + 0.01);
+  }
+}
+
+TEST(BlobGenerator, HolesAreStrictlyInside) {
+  Rng rng(405);
+  int with_holes = 0;
+  for (int i = 0; i < 60; ++i) {
+    BlobParams params;
+    params.center = Point{0, 0};
+    params.mean_radius = 5.0;
+    params.vertices = 48;
+    params.hole_probability = 1.0;
+    const Polygon blob = MakeBlob(&rng, params);
+    if (blob.Holes().empty()) continue;
+    ++with_holes;
+    const ValidationResult res = ValidatePolygon(blob);
+    EXPECT_TRUE(res.valid) << res.reason;
+    for (const Ring& hole : blob.Holes()) {
+      for (const Point& p : hole.Vertices()) {
+        EXPECT_EQ(LocateInRing(p, blob.Outer()), Location::kInterior);
+      }
+    }
+  }
+  EXPECT_GT(with_holes, 30);
+}
+
+TEST(BlobGenerator, TransformHelpers) {
+  Rng rng(407);
+  BlobParams params;
+  params.center = Point{5, 5};
+  params.mean_radius = 2.0;
+  params.vertices = 32;
+  params.hole_probability = 1.0;
+  const Polygon blob = MakeBlob(&rng, params);
+
+  const Polygon moved = Translate(blob, 10, -3);
+  EXPECT_DOUBLE_EQ(moved.Bounds().min.x, blob.Bounds().min.x + 10);
+  EXPECT_DOUBLE_EQ(moved.Bounds().max.y, blob.Bounds().max.y - 3);
+  EXPECT_EQ(moved.VertexCount(), blob.VertexCount());
+
+  const Polygon filled = FillHoles(blob);
+  EXPECT_TRUE(filled.Holes().empty());
+  EXPECT_EQ(filled.Outer(), blob.Outer());
+
+  const Polygon scaled = ScaleAbout(blob, params.center, 0.5);
+  EXPECT_NEAR(scaled.Bounds().Width(), blob.Bounds().Width() * 0.5, 1e-9);
+}
+
+TEST(TessellationGenerator, CellsPartitionWithoutCrossing) {
+  Rng rng(409);
+  TessellationParams params;
+  params.cols = 8;
+  params.rows = 5;
+  params.edge_points = 4;
+  const std::vector<Polygon> cells = MakeTessellation(&rng, params);
+  ASSERT_EQ(cells.size(), 40u);
+  double total_area = 0.0;
+  for (const Polygon& cell : cells) {
+    EXPECT_TRUE(ValidatePolygon(cell).valid);
+    total_area += cell.Area();
+  }
+  // Cells tile the (jittered) region: total area close to the region area.
+  EXPECT_NEAR(total_area, params.region.Area(), params.region.Area() * 0.2);
+}
+
+TEST(TessellationGenerator, SharedChainsAreBitExact) {
+  Rng rng(411);
+  TessellationParams params;
+  params.cols = 3;
+  params.rows = 3;
+  params.edge_points = 6;
+  const std::vector<Polygon> cells = MakeTessellation(&rng, params);
+  // Adjacent cells share edge_points+2 vertices verbatim.
+  const auto& left = cells[0].Outer().Vertices();
+  const auto& right = cells[1].Outer().Vertices();
+  size_t shared = 0;
+  for (const Point& p : left) {
+    for (const Point& q : right) {
+      if (p == q) ++shared;
+    }
+  }
+  EXPECT_GE(shared, params.edge_points + 2);
+}
+
+TEST(TessellationGenerator, NestedCoarseCellsHaveExpectedCounts) {
+  Rng rng(413);
+  TessellationParams params;
+  params.cols = 12;
+  params.rows = 12;
+  params.edge_points = 3;
+  const NestedTessellation nested = MakeNestedTessellation(&rng, params, 4);
+  EXPECT_EQ(nested.fine.size(), 144u);
+  EXPECT_EQ(nested.coarse.size(), 9u);
+  for (const Polygon& coarse : nested.coarse) {
+    EXPECT_TRUE(ValidatePolygon(coarse).valid);
+    // 4x4 block rim: 16 chains of (edge_points+1) segments each.
+    EXPECT_EQ(coarse.Outer().Size(), 16u * (params.edge_points + 1));
+  }
+  // Coarse areas sum to fine areas.
+  double fine_area = 0.0;
+  double coarse_area = 0.0;
+  for (const Polygon& p : nested.fine) fine_area += p.Area();
+  for (const Polygon& p : nested.coarse) coarse_area += p.Area();
+  EXPECT_NEAR(fine_area, coarse_area, fine_area * 1e-9);
+}
+
+TEST(TessellationGenerator, RemainderColumnsJoinLastBlock) {
+  Rng rng(415);
+  TessellationParams params;
+  params.cols = 7;  // not divisible by 3
+  params.rows = 7;
+  params.edge_points = 2;
+  const NestedTessellation nested = MakeNestedTessellation(&rng, params, 3);
+  EXPECT_EQ(nested.fine.size(), 49u);
+  EXPECT_EQ(nested.coarse.size(), 4u);  // 2x2 blocks, last absorbs remainder
+  double fine_area = 0.0;
+  double coarse_area = 0.0;
+  for (const Polygon& p : nested.fine) fine_area += p.Area();
+  for (const Polygon& p : nested.coarse) coarse_area += p.Area();
+  EXPECT_NEAR(fine_area, coarse_area, fine_area * 1e-9);
+}
+
+TEST(BuildingsGenerator, CountsAndValidity) {
+  Rng rng(417);
+  BuildingParams params;
+  params.count = 500;
+  params.clusters = 10;
+  const std::vector<Polygon> buildings = MakeBuildings(&rng, params);
+  ASSERT_EQ(buildings.size(), 500u);
+  size_t l_shapes = 0;
+  for (const Polygon& b : buildings) {
+    EXPECT_TRUE(ValidatePolygon(b).valid);
+    EXPECT_TRUE(b.Outer().Size() == 4 || b.Outer().Size() == 6);
+    if (b.Outer().Size() == 6) ++l_shapes;
+    EXPECT_LE(b.Bounds().Width(), params.max_size * 2.5);
+  }
+  // Roughly 30% L-shapes by default.
+  EXPECT_GT(l_shapes, 75u);
+  EXPECT_LT(l_shapes, 250u);
+}
+
+TEST(BuildingsGenerator, DeterministicUnderSameSeed) {
+  BuildingParams params;
+  params.count = 50;
+  Rng rng1(419);
+  Rng rng2(419);
+  const auto a = MakeBuildings(&rng1, params);
+  const auto b = MakeBuildings(&rng2, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Outer(), b[i].Outer());
+  }
+}
+
+}  // namespace
+}  // namespace stj

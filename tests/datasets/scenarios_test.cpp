@@ -1,0 +1,138 @@
+#include "src/datasets/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/workload.h"
+#include "src/geometry/validate.h"
+#include "src/interval/interval_algebra.h"
+
+namespace stj {
+namespace {
+
+ScenarioOptions TestOptions() {
+  ScenarioOptions options;
+  options.scale = 0.02;  // tiny datasets for unit tests
+  options.grid_order = 9;
+  return options;
+}
+
+TEST(Scenarios, AllDatasetsBuildAndValidate) {
+  for (const std::string& name : DatasetNames()) {
+    const Dataset dataset = BuildDataset(name, 0.01, 7);
+    EXPECT_EQ(dataset.name, name);
+    ASSERT_FALSE(dataset.objects.empty()) << name;
+    EXPECT_GT(dataset.TotalVertices(), 0u);
+    EXPECT_GT(dataset.GeometryByteSize(), dataset.MbrByteSize());
+    // Spot-validate a sample of polygons.
+    for (size_t i = 0; i < dataset.objects.size();
+         i += 1 + dataset.objects.size() / 20) {
+      const ValidationResult res =
+          ValidatePolygon(dataset.objects[i].geometry);
+      EXPECT_TRUE(res.valid) << name << "[" << i << "]: " << res.reason;
+    }
+  }
+}
+
+TEST(Scenarios, DatasetsAreDeterministic) {
+  const Dataset a = BuildDataset("OLE", 0.01, 42);
+  const Dataset b = BuildDataset("OLE", 0.01, 42);
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  for (size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].geometry.Outer(), b.objects[i].geometry.Outer());
+  }
+  const Dataset c = BuildDataset("OLE", 0.01, 43);
+  bool any_difference = c.objects.size() != a.objects.size();
+  for (size_t i = 0; !any_difference && i < a.objects.size(); ++i) {
+    any_difference = !(a.objects[i].geometry.Outer() ==
+                       c.objects[i].geometry.Outer());
+  }
+  EXPECT_TRUE(any_difference) << "seed had no effect";
+}
+
+TEST(Scenarios, ZipCodesRefineCounties) {
+  // TZ cells must nest into TC cells because they share one tessellation.
+  const Dataset tc = BuildDataset("TC", 0.05, 7);
+  const Dataset tz = BuildDataset("TZ", 0.05, 7);
+  EXPECT_GT(tz.objects.size(), tc.objects.size());
+  double tc_area = 0.0;
+  double tz_area = 0.0;
+  for (const auto& o : tc.objects) tc_area += o.geometry.Area();
+  for (const auto& o : tz.objects) tz_area += o.geometry.Area();
+  EXPECT_NEAR(tc_area, tz_area, tc_area * 1e-6);
+}
+
+TEST(Scenarios, BuildScenarioProducesAlignedArtifacts) {
+  const ScenarioData scenario = BuildScenario("OLE-OPE", TestOptions());
+  EXPECT_EQ(scenario.name, "OLE-OPE");
+  EXPECT_EQ(scenario.r_april.size(), scenario.r.objects.size());
+  EXPECT_EQ(scenario.s_april.size(), scenario.s.objects.size());
+  EXPECT_FALSE(scenario.candidates.empty());
+  EXPECT_FALSE(scenario.dataspace.IsEmpty());
+  // Candidate indices are in range and MBRs really intersect.
+  for (const CandidatePair& pair : scenario.candidates) {
+    ASSERT_LT(pair.r_idx, scenario.r.objects.size());
+    ASSERT_LT(pair.s_idx, scenario.s.objects.size());
+    EXPECT_TRUE(scenario.r.objects[pair.r_idx].geometry.Bounds().Intersects(
+        scenario.s.objects[pair.s_idx].geometry.Bounds()));
+  }
+  // APRIL invariants hold for every object.
+  for (size_t i = 0; i < scenario.r_april.size(); ++i) {
+    ASSERT_TRUE(ListInside(scenario.r_april[i].progressive,
+                           scenario.r_april[i].conservative))
+        << i;
+  }
+  EXPECT_GT(scenario.AprilByteSize(true), 0u);
+}
+
+TEST(Scenarios, AllSevenScenariosBuild) {
+  ScenarioOptions options;
+  options.scale = 0.005;
+  options.grid_order = 8;
+  for (const std::string& name : ScenarioNames()) {
+    const ScenarioData scenario = BuildScenario(name, options);
+    EXPECT_EQ(scenario.name, name) << name;
+    EXPECT_FALSE(scenario.r.objects.empty()) << name;
+    EXPECT_FALSE(scenario.s.objects.empty()) << name;
+  }
+}
+
+TEST(Scenarios, SkippingAprilAndJoin) {
+  ScenarioOptions options = TestOptions();
+  options.build_april = false;
+  options.run_join = false;
+  const ScenarioData scenario = BuildScenario("TL-TW", options);
+  EXPECT_TRUE(scenario.r_april.empty());
+  EXPECT_TRUE(scenario.candidates.empty());
+  EXPECT_FALSE(scenario.r.objects.empty());
+}
+
+TEST(Workload, ComplexityLevelsAreBalancedAndOrdered) {
+  const ScenarioData scenario = BuildScenario("OLE-OPE", TestOptions());
+  const size_t levels = 5;
+  const ComplexityLevels grouped = GroupByComplexity(scenario, levels);
+  ASSERT_EQ(grouped.ranges.size(), levels);
+  size_t total = 0;
+  for (size_t i = 0; i < levels; ++i) {
+    EXPECT_LE(grouped.ranges[i].first, grouped.ranges[i].second);
+    if (i > 0) EXPECT_GT(grouped.ranges[i].first, grouped.ranges[i - 1].second);
+    total += grouped.pairs[i].size();
+    // Every pair in the bucket matches the bucket's range.
+    for (const CandidatePair& pair : grouped.pairs[i]) {
+      const uint64_t c = PairComplexity(scenario, pair);
+      EXPECT_GE(c, grouped.ranges[i].first);
+      EXPECT_LE(c, grouped.ranges[i].second);
+    }
+  }
+  EXPECT_EQ(total, scenario.candidates.size());
+  // Equi-count: no bucket is more than 3x another (ties can skew a little).
+  size_t min_count = scenario.candidates.size();
+  size_t max_count = 0;
+  for (const auto& bucket : grouped.pairs) {
+    min_count = std::min(min_count, bucket.size());
+    max_count = std::max(max_count, bucket.size());
+  }
+  EXPECT_LT(max_count, 3 * std::max<size_t>(1, min_count));
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/de9im/mask.h"
+#include "src/de9im/matrix.h"
+
+namespace stj::de9im {
+namespace {
+
+TEST(Matrix, DefaultsToAllFalse) {
+  EXPECT_EQ(Matrix().ToString(), "FFFFFFFFF");
+}
+
+TEST(Matrix, StringRoundTrip) {
+  const auto m = Matrix::FromString("212F11212");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->ToString(), "212F11212");
+  EXPECT_EQ(m->At(Part::kInterior, Part::kInterior), Dim::k2);
+  EXPECT_EQ(m->At(Part::kBoundary, Part::kInterior), Dim::kFalse);
+  EXPECT_EQ(m->At(Part::kBoundary, Part::kBoundary), Dim::k1);
+  EXPECT_EQ(m->At(Part::kExterior, Part::kExterior), Dim::k2);
+}
+
+TEST(Matrix, FromStringRejectsBadInput) {
+  EXPECT_FALSE(Matrix::FromString("212F1121").has_value());   // too short
+  EXPECT_FALSE(Matrix::FromString("212F112123").has_value()); // too long
+  EXPECT_FALSE(Matrix::FromString("212F1121X").has_value());  // bad char
+  EXPECT_FALSE(Matrix::FromString("T12F11212").has_value());  // T not a dim
+}
+
+TEST(Matrix, TransposeSwapsRowsAndColumns) {
+  const Matrix m = *Matrix::FromString("012F12F12");
+  const Matrix t = m.Transposed();
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      EXPECT_EQ(m.At(static_cast<Part>(row), static_cast<Part>(col)),
+                t.At(static_cast<Part>(col), static_cast<Part>(row)));
+    }
+  }
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(Matrix, MergeNeverLowers) {
+  Matrix m;
+  m.Merge(Part::kInterior, Part::kInterior, Dim::k1);
+  EXPECT_EQ(m.At(Part::kInterior, Part::kInterior), Dim::k1);
+  m.Merge(Part::kInterior, Part::kInterior, Dim::kFalse);
+  EXPECT_EQ(m.At(Part::kInterior, Part::kInterior), Dim::k1);
+  m.Merge(Part::kInterior, Part::kInterior, Dim::k2);
+  EXPECT_EQ(m.At(Part::kInterior, Part::kInterior), Dim::k2);
+}
+
+TEST(Mask, TrueMatchesAnyNonEmpty) {
+  const Mask mask = Mask::FromLiteral("T********");
+  EXPECT_TRUE(mask.Matches(*Matrix::FromString("0FFFFFFFF")));
+  EXPECT_TRUE(mask.Matches(*Matrix::FromString("1FFFFFFFF")));
+  EXPECT_TRUE(mask.Matches(*Matrix::FromString("2FFFFFFFF")));
+  EXPECT_FALSE(mask.Matches(*Matrix::FromString("FFFFFFFFF")));
+}
+
+TEST(Mask, FalseMatchesOnlyEmpty) {
+  const Mask mask = Mask::FromLiteral("F********");
+  EXPECT_TRUE(mask.Matches(*Matrix::FromString("FFFFFFFFF")));
+  EXPECT_FALSE(mask.Matches(*Matrix::FromString("0FFFFFFFF")));
+}
+
+TEST(Mask, ExactDimensionCells) {
+  const Mask mask = Mask::FromLiteral("2*1*0****");
+  EXPECT_TRUE(mask.Matches(*Matrix::FromString("2F1F0FFFF")));
+  EXPECT_FALSE(mask.Matches(*Matrix::FromString("1F1F0FFFF")));
+  EXPECT_FALSE(mask.Matches(*Matrix::FromString("2F2F0FFFF")));
+  EXPECT_FALSE(mask.Matches(*Matrix::FromString("2F1FFFFFF")));
+}
+
+TEST(Mask, StarMatchesEverything) {
+  const Mask mask = Mask::FromLiteral("*********");
+  EXPECT_TRUE(mask.Matches(Matrix()));
+  EXPECT_TRUE(mask.Matches(*Matrix::FromString("212101212")));
+}
+
+TEST(Mask, ParseRejectsBadPatterns) {
+  EXPECT_FALSE(Mask::Parse("T*F").has_value());
+  EXPECT_FALSE(Mask::Parse("T*F**F***X").has_value());
+  EXPECT_FALSE(Mask::Parse("T*F**F*3*").has_value());
+}
+
+TEST(Mask, ToStringRoundTrip) {
+  const char* patterns[] = {"T*F**FFF*", "FF*FF****", "212F11212"};
+  for (const char* p : patterns) {
+    EXPECT_EQ(Mask::FromLiteral(p).ToString(), p);
+  }
+}
+
+}  // namespace
+}  // namespace stj::de9im

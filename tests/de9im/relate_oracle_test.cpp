@@ -1,0 +1,166 @@
+// Cross-validation of the relate engine against an independent Monte-Carlo
+// oracle. The oracle gathers *evidence of non-emptiness* for matrix entries
+// by sampling: area entries (I/I, I/E, E/I) from random points located
+// against both polygons, boundary-row entries from points sampled on the
+// boundary of one polygon and located against the other. Every entry the
+// oracle proves non-empty must be non-empty (with at least that dimension)
+// in the engine's matrix. The oracle cannot prove emptiness, so the check
+// is one-sided — but it is built from nothing except point location, so it
+// shares no code path with the boundary-arrangement logic it validates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/de9im/relate_engine.h"
+#include "src/geometry/point_in_polygon.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj::de9im {
+namespace {
+
+// True when p lies within `eps` of some edge of `poly` — used to discard
+// boundary samples whose rounding could flip their classification (a point
+// sampled on a slanted shared edge lands half an ulp off both boundaries).
+bool NearBoundary(const Point& p, const Polygon& poly, double eps) {
+  bool near = false;
+  poly.ForEachEdge([&](const Segment& edge) {
+    if (near) return;
+    const double dx = edge.b.x - edge.a.x;
+    const double dy = edge.b.y - edge.a.y;
+    const double len_sq = dx * dx + dy * dy;
+    double t = len_sq > 0
+                   ? ((p.x - edge.a.x) * dx + (p.y - edge.a.y) * dy) / len_sq
+                   : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const Point closest{edge.a.x + t * dx, edge.a.y + t * dy};
+    near = DistanceSquared(p, closest) <= eps * eps;
+  });
+  return near;
+}
+
+// Samples points on the boundary of `poly` (on edge interiors, excluding
+// vertices) and reports their location against `other`. Samples landing
+// within rounding distance of `other`'s boundary are discarded — they are
+// really boundary/boundary contact, not interior/exterior evidence.
+void SampleBoundaryRow(Rng* rng, const Polygon& poly, const Polygon& other,
+                       int samples_per_edge, bool* in_interior,
+                       bool* in_exterior) {
+  const Box bounds = other.Bounds();
+  const double eps =
+      1e-9 * std::max({bounds.Width(), bounds.Height(), 1.0});
+  poly.ForEachEdge([&](const Segment& edge) {
+    for (int i = 0; i < samples_per_edge; ++i) {
+      const double t = rng->Uniform(0.05, 0.95);
+      const Point p{edge.a.x + t * (edge.b.x - edge.a.x),
+                    edge.a.y + t * (edge.b.y - edge.a.y)};
+      if (NearBoundary(p, other, eps)) continue;
+      switch (Locate(p, other)) {
+        case Location::kInterior: *in_interior = true; break;
+        case Location::kExterior: *in_exterior = true; break;
+        case Location::kBoundary: break;
+      }
+    }
+  });
+}
+
+void CheckAgainstOracle(Rng* rng, const Polygon& r, const Polygon& s) {
+  const Matrix matrix = RelateEngine::Relate(r, s);
+
+  // Area entries from random interior/exterior point sampling.
+  Box space = r.Bounds();
+  space.Expand(s.Bounds());
+  space = space.Inflated(0.2 * std::max(space.Width(), space.Height()));
+  bool ii = false;
+  bool ie = false;
+  bool ei = false;
+  for (int i = 0; i < 4000; ++i) {
+    const Point p{rng->Uniform(space.min.x, space.max.x),
+                  rng->Uniform(space.min.y, space.max.y)};
+    const Location in_r = Locate(p, r);
+    const Location in_s = Locate(p, s);
+    if (in_r == Location::kBoundary || in_s == Location::kBoundary) continue;
+    if (in_r == Location::kInterior && in_s == Location::kInterior) ii = true;
+    if (in_r == Location::kInterior && in_s == Location::kExterior) ie = true;
+    if (in_r == Location::kExterior && in_s == Location::kInterior) ei = true;
+  }
+  if (ii) {
+    EXPECT_EQ(matrix.At(Part::kInterior, Part::kInterior), Dim::k2);
+  }
+  if (ie) {
+    EXPECT_EQ(matrix.At(Part::kInterior, Part::kExterior), Dim::k2);
+  }
+  if (ei) {
+    EXPECT_EQ(matrix.At(Part::kExterior, Part::kInterior), Dim::k2);
+  }
+
+  // Boundary-row entries from on-boundary sampling.
+  bool bi = false;
+  bool be = false;
+  SampleBoundaryRow(rng, r, s, 3, &bi, &be);
+  if (bi) {
+    EXPECT_EQ(matrix.At(Part::kBoundary, Part::kInterior), Dim::k1);
+  }
+  if (be) {
+    EXPECT_EQ(matrix.At(Part::kBoundary, Part::kExterior), Dim::k1);
+  }
+  bool ib = false;
+  bool eb = false;
+  SampleBoundaryRow(rng, s, r, 3, &ib, &eb);
+  if (ib) {
+    EXPECT_EQ(matrix.At(Part::kInterior, Part::kBoundary), Dim::k1);
+  }
+  if (eb) {
+    EXPECT_EQ(matrix.At(Part::kExterior, Part::kBoundary), Dim::k1);
+  }
+}
+
+TEST(RelateOracle, RandomBlobPairs) {
+  Rng rng(601);
+  for (int i = 0; i < 60; ++i) {
+    const Point c{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Polygon a = test::RandomBlob(
+        &rng, c, rng.LogUniform(1.0, 6.0),
+        static_cast<size_t>(rng.UniformInt(6, 60)), 0.3);
+    Polygon b;
+    const double mix = rng.NextDouble();
+    if (mix < 0.4) {
+      b = test::RandomBlob(&rng,
+                           Point{c.x + rng.Uniform(-4, 4),
+                                 c.y + rng.Uniform(-4, 4)},
+                           rng.LogUniform(1.0, 6.0),
+                           static_cast<size_t>(rng.UniformInt(6, 60)), 0.3);
+    } else if (mix < 0.6) {
+      b = ScaleAbout(a, c, rng.Uniform(0.4, 0.9));
+    } else if (mix < 0.7) {
+      b = a;
+    } else if (mix < 0.8 && !a.Holes().empty()) {
+      b = Polygon(a.Holes()[0]);
+    } else {
+      b = FillHoles(a);
+    }
+    CheckAgainstOracle(&rng, a, b);
+  }
+}
+
+TEST(RelateOracle, FixtureShapes) {
+  Rng rng(603);
+  const Polygon shapes[] = {
+      test::Square(0, 0, 4, 4),
+      test::Square(1, 1, 3, 3),
+      test::Square(4, 0, 8, 4),
+      test::SquareWithHole(0, 0, 8, 8, 2),
+      test::Triangle(Point{0, 0}, Point{8, 0}, Point{4, 7}),
+      test::Square(2, 0, 6, 4),
+  };
+  for (size_t i = 0; i < std::size(shapes); ++i) {
+    for (size_t j = 0; j < std::size(shapes); ++j) {
+      SCOPED_TRACE("pair " + std::to_string(i) + "," + std::to_string(j));
+      CheckAgainstOracle(&rng, shapes[i], shapes[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stj::de9im

@@ -1,0 +1,169 @@
+// Property tests for the relate engine on generated geometry with known
+// ground truth by construction.
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/blob.h"
+#include "src/datasets/tessellation.h"
+#include "src/de9im/relate_engine.h"
+#include "src/geometry/point_on_surface.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj::de9im {
+namespace {
+
+TEST(RelatePropertyTest, ExactCopyIsEquals) {
+  Rng rng(101);
+  for (int i = 0; i < 40; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 10), rng.Uniform(0, 10)},
+        rng.LogUniform(0.1, 2.0), static_cast<size_t>(rng.UniformInt(4, 150)),
+        /*hole_probability=*/0.3);
+    EXPECT_EQ(FindRelationExact(blob, blob), Relation::kEquals) << i;
+  }
+}
+
+TEST(RelatePropertyTest, CenterScaledCopyIsInside) {
+  Rng rng(103);
+  for (int i = 0; i < 40; ++i) {
+    const Point center{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    BlobParams params;
+    params.center = center;
+    params.mean_radius = rng.LogUniform(0.2, 2.0);
+    params.vertices = static_cast<size_t>(rng.UniformInt(8, 200));
+    params.irregularity = rng.Uniform(0.2, 0.5);
+    const Polygon blob = MakeBlob(&rng, params);
+    // Star-shaped about `center`: shrinking about the center stays strictly
+    // inside.
+    const Polygon smaller = ScaleAbout(blob, center, 0.6);
+    EXPECT_EQ(FindRelationExact(smaller, blob), Relation::kInside) << i;
+    EXPECT_EQ(FindRelationExact(blob, smaller), Relation::kContains) << i;
+  }
+}
+
+TEST(RelatePropertyTest, FarTranslationIsDisjoint) {
+  Rng rng(105);
+  for (int i = 0; i < 40; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 10), rng.Uniform(0, 10)},
+        rng.LogUniform(0.1, 2.0), static_cast<size_t>(rng.UniformInt(4, 100)));
+    const double width = blob.Bounds().Width();
+    const Polygon moved = Translate(blob, width * 2 + 1.0, 0.0);
+    EXPECT_EQ(FindRelationExact(blob, moved), Relation::kDisjoint) << i;
+  }
+}
+
+TEST(RelatePropertyTest, TessellationNeighborsMeet) {
+  Rng rng(107);
+  TessellationParams params;
+  params.cols = 5;
+  params.rows = 5;
+  params.edge_points = 6;
+  const std::vector<Polygon> cells = MakeTessellation(&rng, params);
+  // Horizontally adjacent cells share a vertical chain: meets with dim-1 BB.
+  for (uint32_t row = 0; row < 5; ++row) {
+    for (uint32_t col = 0; col + 1 < 5; ++col) {
+      const Polygon& a = cells[row * 5 + col];
+      const Polygon& b = cells[row * 5 + col + 1];
+      const Matrix m = RelateMatrix(a, b);
+      EXPECT_EQ(MostSpecificRelation(m), Relation::kMeets)
+          << "row " << row << " col " << col << " got " << m.ToString();
+      EXPECT_EQ(m.At(Part::kBoundary, Part::kBoundary), Dim::k1);
+    }
+  }
+  // Diagonal neighbours share exactly one corner: meets with dim-0 BB.
+  const Matrix diag = RelateMatrix(cells[0], cells[6]);
+  EXPECT_EQ(MostSpecificRelation(diag), Relation::kMeets);
+  EXPECT_EQ(diag.At(Part::kBoundary, Part::kBoundary), Dim::k0);
+  // Non-adjacent cells are disjoint.
+  EXPECT_EQ(FindRelationExact(cells[0], cells[12]), Relation::kDisjoint);
+}
+
+TEST(RelatePropertyTest, NestedTessellationFineCoveredByCoarse) {
+  Rng rng(109);
+  TessellationParams params;
+  params.cols = 6;
+  params.rows = 6;
+  params.edge_points = 4;
+  const NestedTessellation nested =
+      MakeNestedTessellation(&rng, params, /*block=*/3);
+  ASSERT_EQ(nested.coarse.size(), 4u);
+  // Every fine cell is covered by (rim) or inside (interior of) its block.
+  for (uint32_t fy = 0; fy < 6; ++fy) {
+    for (uint32_t fx = 0; fx < 6; ++fx) {
+      const Polygon& fine = nested.fine[fy * 6 + fx];
+      const Polygon& coarse = nested.coarse[(fy / 3) * 2 + (fx / 3)];
+      const Relation rel = FindRelationExact(fine, coarse);
+      const bool rim = (fx % 3 == 0) || (fx % 3 == 2) || (fy % 3 == 0) ||
+                       (fy % 3 == 2);
+      if (rim) {
+        EXPECT_EQ(rel, Relation::kCoveredBy) << fx << "," << fy;
+      } else {
+        EXPECT_EQ(rel, Relation::kInside) << fx << "," << fy;
+      }
+      // And the coarse cell covers/contains it back.
+      EXPECT_EQ(FindRelationExact(coarse, fine), Converse(rel));
+    }
+  }
+}
+
+TEST(RelatePropertyTest, TransposeSymmetryOnRandomPairs) {
+  Rng rng(111);
+  for (int i = 0; i < 100; ++i) {
+    const Polygon a = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 4), rng.Uniform(0, 4)},
+        rng.LogUniform(0.2, 2.0), static_cast<size_t>(rng.UniformInt(4, 80)),
+        0.25);
+    const Polygon b = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 4), rng.Uniform(0, 4)},
+        rng.LogUniform(0.2, 2.0), static_cast<size_t>(rng.UniformInt(4, 80)),
+        0.25);
+    const Matrix ab = RelateMatrix(a, b);
+    const Matrix ba = RelateMatrix(b, a);
+    ASSERT_EQ(ab.ToString(), ba.Transposed().ToString()) << "pair " << i;
+    // Structural invariants of valid areal matrices.
+    EXPECT_EQ(ab.At(Part::kExterior, Part::kExterior), Dim::k2);
+    // Interiors of valid polygons are 2-D: II is F or 2, never 0/1.
+    const Dim ii = ab.At(Part::kInterior, Part::kInterior);
+    EXPECT_TRUE(ii == Dim::kFalse || ii == Dim::k2);
+  }
+}
+
+TEST(RelatePropertyTest, FilledVersionCoversDonut) {
+  Rng rng(113);
+  int tested = 0;
+  for (int i = 0; i < 120 && tested < 25; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 10), rng.Uniform(0, 10)},
+        rng.LogUniform(0.5, 2.0), static_cast<size_t>(rng.UniformInt(12, 120)),
+        /*hole_probability=*/1.0);
+    if (blob.Holes().empty()) continue;
+    ++tested;
+    const Polygon filled = FillHoles(blob);
+    EXPECT_EQ(FindRelationExact(blob, filled), Relation::kCoveredBy) << i;
+    EXPECT_EQ(FindRelationExact(filled, blob), Relation::kCovers) << i;
+  }
+  EXPECT_GE(tested, 10);
+}
+
+TEST(RelatePropertyTest, HoleFillerMeetsDonut) {
+  Rng rng(115);
+  int tested = 0;
+  for (int i = 0; i < 120 && tested < 25; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 10), rng.Uniform(0, 10)},
+        rng.LogUniform(0.5, 2.0), static_cast<size_t>(rng.UniformInt(12, 120)),
+        /*hole_probability=*/1.0);
+    if (blob.Holes().empty()) continue;
+    ++tested;
+    const Polygon filler(blob.Holes()[0]);
+    const Matrix m = RelateMatrix(filler, blob);
+    EXPECT_EQ(MostSpecificRelation(m), Relation::kMeets) << i;
+    EXPECT_EQ(m.At(Part::kBoundary, Part::kBoundary), Dim::k1) << i;
+  }
+  EXPECT_GE(tested, 10);
+}
+
+}  // namespace
+}  // namespace stj::de9im

@@ -1,0 +1,119 @@
+#include "src/de9im/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace stj::de9im {
+namespace {
+
+Matrix M(const char* code) { return *Matrix::FromString(code); }
+
+TEST(RelationSet, BasicSetOperations) {
+  RelationSet set{Relation::kMeets, Relation::kIntersects};
+  EXPECT_TRUE(set.Contains(Relation::kMeets));
+  EXPECT_FALSE(set.Contains(Relation::kEquals));
+  EXPECT_EQ(set.Count(), 2);
+  set.Add(Relation::kEquals);
+  EXPECT_EQ(set.Count(), 3);
+  set.Remove(Relation::kMeets);
+  EXPECT_FALSE(set.Contains(Relation::kMeets));
+  EXPECT_EQ(RelationSet::All().Count(), 8);
+  EXPECT_TRUE(RelationSet().Empty());
+}
+
+// Canonical matrices for polygon pairs in each relation.
+constexpr const char* kDisjointM = "FF2FF1212";
+constexpr const char* kEqualsM = "2FFF1FFF2";
+constexpr const char* kInsideM = "2FF1FF212";     // strict: BB = F
+constexpr const char* kContainsM = "212FF1FF2";   // transpose of inside
+constexpr const char* kCoveredByM = "2FF11F212";  // shared boundary piece
+constexpr const char* kCoversM = "212F11FF2";
+constexpr const char* kMeetsPointM = "FF2F01212";
+constexpr const char* kMeetsLineM = "FF2F11212";
+constexpr const char* kOverlapM = "212101212";
+
+TEST(RelationHolds, DisjointMatrix) {
+  EXPECT_TRUE(RelationHolds(Relation::kDisjoint, M(kDisjointM)));
+  EXPECT_FALSE(RelationHolds(Relation::kIntersects, M(kDisjointM)));
+  EXPECT_FALSE(RelationHolds(Relation::kMeets, M(kDisjointM)));
+}
+
+TEST(RelationHolds, EqualsImpliesCoversAndCoveredBy) {
+  const Matrix m = M(kEqualsM);
+  EXPECT_TRUE(RelationHolds(Relation::kEquals, m));
+  EXPECT_TRUE(RelationHolds(Relation::kCovers, m));
+  EXPECT_TRUE(RelationHolds(Relation::kCoveredBy, m));
+  EXPECT_TRUE(RelationHolds(Relation::kIntersects, m));
+  // Strict inside/contains exclude boundary contact.
+  EXPECT_FALSE(RelationHolds(Relation::kInside, m));
+  EXPECT_FALSE(RelationHolds(Relation::kContains, m));
+  EXPECT_FALSE(RelationHolds(Relation::kMeets, m));
+}
+
+TEST(RelationHolds, InsideImpliesCoveredByOnly) {
+  const Matrix m = M(kInsideM);
+  EXPECT_TRUE(RelationHolds(Relation::kInside, m));
+  EXPECT_TRUE(RelationHolds(Relation::kCoveredBy, m));
+  EXPECT_FALSE(RelationHolds(Relation::kEquals, m));
+  EXPECT_FALSE(RelationHolds(Relation::kContains, m));
+  EXPECT_FALSE(RelationHolds(Relation::kCovers, m));
+}
+
+TEST(RelationHolds, CoveredByWithContactIsNotInside) {
+  const Matrix m = M(kCoveredByM);
+  EXPECT_TRUE(RelationHolds(Relation::kCoveredBy, m));
+  EXPECT_FALSE(RelationHolds(Relation::kInside, m));
+}
+
+TEST(RelationHolds, MeetsBothDimensions) {
+  EXPECT_TRUE(RelationHolds(Relation::kMeets, M(kMeetsPointM)));
+  EXPECT_TRUE(RelationHolds(Relation::kMeets, M(kMeetsLineM)));
+  EXPECT_TRUE(RelationHolds(Relation::kIntersects, M(kMeetsPointM)));
+  EXPECT_FALSE(RelationHolds(Relation::kDisjoint, M(kMeetsPointM)));
+}
+
+TEST(MostSpecificRelation, SpecificBeatsGeneral) {
+  EXPECT_EQ(MostSpecificRelation(M(kEqualsM)), Relation::kEquals);
+  EXPECT_EQ(MostSpecificRelation(M(kInsideM)), Relation::kInside);
+  EXPECT_EQ(MostSpecificRelation(M(kContainsM)), Relation::kContains);
+  EXPECT_EQ(MostSpecificRelation(M(kCoveredByM)), Relation::kCoveredBy);
+  EXPECT_EQ(MostSpecificRelation(M(kCoversM)), Relation::kCovers);
+  EXPECT_EQ(MostSpecificRelation(M(kMeetsPointM)), Relation::kMeets);
+  EXPECT_EQ(MostSpecificRelation(M(kMeetsLineM)), Relation::kMeets);
+  EXPECT_EQ(MostSpecificRelation(M(kOverlapM)), Relation::kIntersects);
+  EXPECT_EQ(MostSpecificRelation(M(kDisjointM)), Relation::kDisjoint);
+}
+
+TEST(MostSpecificRelation, RespectsCandidateRestriction) {
+  // An equals matrix refined with equals excluded reports covered-by.
+  const RelationSet no_equals{Relation::kCoveredBy, Relation::kCovers,
+                              Relation::kIntersects};
+  EXPECT_EQ(MostSpecificRelation(M(kEqualsM), no_equals),
+            Relation::kCoveredBy);
+}
+
+TEST(Converse, SwapsDirectionalRelations) {
+  EXPECT_EQ(Converse(Relation::kInside), Relation::kContains);
+  EXPECT_EQ(Converse(Relation::kContains), Relation::kInside);
+  EXPECT_EQ(Converse(Relation::kCoveredBy), Relation::kCovers);
+  EXPECT_EQ(Converse(Relation::kCovers), Relation::kCoveredBy);
+  EXPECT_EQ(Converse(Relation::kEquals), Relation::kEquals);
+  EXPECT_EQ(Converse(Relation::kMeets), Relation::kMeets);
+  EXPECT_EQ(Converse(Relation::kDisjoint), Relation::kDisjoint);
+  EXPECT_EQ(Converse(Relation::kIntersects), Relation::kIntersects);
+}
+
+TEST(Relation, TransposeConsistencyAcrossCanonicalMatrices) {
+  // relation(r,s) on m must equal Converse(relation(s,r)) on transpose(m).
+  const char* codes[] = {kDisjointM, kEqualsM,    kInsideM,
+                         kContainsM, kCoveredByM, kCoversM,
+                         kMeetsLineM, kOverlapM};
+  for (const char* code : codes) {
+    const Matrix m = M(code);
+    EXPECT_EQ(MostSpecificRelation(m),
+              Converse(MostSpecificRelation(m.Transposed())))
+        << code;
+  }
+}
+
+}  // namespace
+}  // namespace stj::de9im

@@ -1,0 +1,87 @@
+#include "src/geometry/box.h"
+
+#include <gtest/gtest.h>
+
+namespace stj {
+namespace {
+
+Box MakeBox(double x0, double y0, double x1, double y1) {
+  return Box::Of(Point{x0, y0}, Point{x1, y1});
+}
+
+TEST(Box, EmptyBoxBehaviour) {
+  const Box empty = Box::Empty();
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Intersects(MakeBox(0, 0, 1, 1)));
+  EXPECT_FALSE(MakeBox(0, 0, 1, 1).Intersects(empty));
+  EXPECT_FALSE(empty.Contains(Point{0, 0}));
+  EXPECT_EQ(empty.Area(), 0.0);
+}
+
+TEST(Box, ExpandFromEmpty) {
+  Box box = Box::Empty();
+  box.Expand(Point{3, 4});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_EQ(box.min, (Point{3, 4}));
+  EXPECT_EQ(box.max, (Point{3, 4}));
+  box.Expand(Point{1, 7});
+  EXPECT_EQ(box.min, (Point{1, 4}));
+  EXPECT_EQ(box.max, (Point{3, 7}));
+}
+
+TEST(Box, IntersectionIncludesSharedEdgesAndCorners) {
+  const Box a = MakeBox(0, 0, 1, 1);
+  EXPECT_TRUE(a.Intersects(MakeBox(1, 0, 2, 1)));    // shared edge
+  EXPECT_TRUE(a.Intersects(MakeBox(1, 1, 2, 2)));    // shared corner
+  EXPECT_FALSE(a.Intersects(MakeBox(1.001, 0, 2, 1)));
+}
+
+TEST(Box, ContainsBoxAllowsBoundaryContact) {
+  const Box outer = MakeBox(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(MakeBox(0, 0, 5, 5)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(MakeBox(-1, 0, 5, 5)));
+}
+
+TEST(Box, IntersectionRectangle) {
+  const Box a = MakeBox(0, 0, 4, 4);
+  const Box b = MakeBox(2, 1, 6, 3);
+  const Box isect = a.Intersection(b);
+  EXPECT_EQ(isect.min, (Point{2, 1}));
+  EXPECT_EQ(isect.max, (Point{4, 3}));
+  EXPECT_TRUE(a.Intersection(MakeBox(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(ClassifyBoxes, AllSixCases) {
+  const Box base = MakeBox(0, 0, 10, 10);
+  EXPECT_EQ(ClassifyBoxes(base, MakeBox(20, 20, 30, 30)),
+            BoxRelation::kDisjoint);
+  EXPECT_EQ(ClassifyBoxes(base, base), BoxRelation::kEqual);
+  EXPECT_EQ(ClassifyBoxes(MakeBox(2, 2, 8, 8), base), BoxRelation::kRInsideS);
+  EXPECT_EQ(ClassifyBoxes(base, MakeBox(2, 2, 8, 8)), BoxRelation::kSInsideR);
+  // Cross: r wide and flat, s tall and narrow.
+  EXPECT_EQ(ClassifyBoxes(MakeBox(-5, 4, 15, 6), MakeBox(4, -5, 6, 15)),
+            BoxRelation::kCross);
+  EXPECT_EQ(ClassifyBoxes(MakeBox(4, -5, 6, 15), MakeBox(-5, 4, 15, 6)),
+            BoxRelation::kCross);
+  // Partial overlap.
+  EXPECT_EQ(ClassifyBoxes(base, MakeBox(5, 5, 15, 15)), BoxRelation::kOverlap);
+}
+
+TEST(ClassifyBoxes, InsideWithSharedEdgeIsStillInside) {
+  const Box outer = MakeBox(0, 0, 10, 10);
+  const Box touching = MakeBox(0, 2, 5, 8);  // shares the left edge
+  EXPECT_EQ(ClassifyBoxes(touching, outer), BoxRelation::kRInsideS);
+}
+
+TEST(ClassifyBoxes, DegenerateCrossFallsBackToOverlap) {
+  // Equal extents in the piercing axis degrade the cross to overlap.
+  const Box r = MakeBox(0, 4, 10, 6);
+  const Box s = MakeBox(0, 0, 10, 10);  // same x-span: no strict pierce
+  EXPECT_EQ(ClassifyBoxes(r, s), BoxRelation::kRInsideS);
+  const Box s2 = MakeBox(2, 0, 10, 10);
+  EXPECT_EQ(ClassifyBoxes(r, s2), BoxRelation::kOverlap);
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,104 @@
+#include "src/geometry/clip.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/point_in_polygon.h"
+#include "src/geometry/validate.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+const Box kWindow = Box::Of(Point{0, 0}, Point{10, 10});
+
+TEST(ClipRing, FullyInsideIsUntouched) {
+  const Ring ring = test::Square(2, 2, 8, 8).Outer();
+  const auto clipped = ClipRingToBox(ring, kWindow);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_EQ(*clipped, ring);
+}
+
+TEST(ClipRing, FullyOutsideVanishes) {
+  const Ring ring = test::Square(20, 20, 30, 30).Outer();
+  EXPECT_FALSE(ClipRingToBox(ring, kWindow).has_value());
+}
+
+TEST(ClipRing, StraddlingSquareIsCut) {
+  const Ring ring = test::Square(5, 5, 15, 15).Outer();
+  const auto clipped = ClipRingToBox(ring, kWindow);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_DOUBLE_EQ(clipped->Area(), 25.0);
+  EXPECT_EQ(clipped->Bounds().max, (Point{10, 10}));
+}
+
+TEST(ClipRing, WindowInsidePolygonYieldsWindow) {
+  const Ring ring = test::Square(-10, -10, 20, 20).Outer();
+  const auto clipped = ClipRingToBox(ring, kWindow);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_DOUBLE_EQ(clipped->Area(), 100.0);
+}
+
+TEST(ClipRing, TriangleCornerCase) {
+  // Triangle poking into the window corner: its hypotenuse (x + y = 22)
+  // never enters the window, so the clip is the full 2x2 corner square.
+  const Ring ring =
+      test::Triangle(Point{8, 8}, Point{14, 8}, Point{8, 14}).Outer();
+  const auto clipped = ClipRingToBox(ring, kWindow);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_DOUBLE_EQ(clipped->Area(), 4.0);
+  for (const Point& p : clipped->Vertices()) {
+    EXPECT_TRUE(kWindow.Contains(p));
+  }
+}
+
+TEST(ClipRing, TouchingEdgeOnlyIsDropped) {
+  // Polygon sharing only the window's right edge line.
+  const Ring ring = test::Square(10, 2, 15, 8).Outer();
+  const auto clipped = ClipRingToBox(ring, kWindow);
+  EXPECT_FALSE(clipped.has_value());  // zero-area sliver removed
+}
+
+TEST(ClipPolygon, HolesAreClippedToo) {
+  const Polygon donut = test::SquareWithHole(-5, -5, 15, 15, 6);  // hole [-1,11]^2
+  const auto clipped = ClipPolygonToBox(donut, kWindow);
+  ASSERT_TRUE(clipped.has_value());
+  // The outer becomes the window; the hole becomes the window too... which
+  // would annihilate it, but hole clipping keeps it as the window square,
+  // so the area collapses to ~0 ring-area difference.
+  EXPECT_NEAR(clipped->Area(), 0.0, 1e-9);
+}
+
+TEST(ClipPolygon, HoleOutsideWindowDisappears) {
+  const Polygon donut = test::SquareWithHole(2, 2, 30, 30, 4);  // hole [12,20]^2
+  const auto clipped = ClipPolygonToBox(donut, kWindow);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_TRUE(clipped->Holes().empty());
+  EXPECT_DOUBLE_EQ(clipped->Area(), 8.0 * 8.0);
+}
+
+TEST(ClipPolygonProperty, ResultStaysInWindowAndValid) {
+  Rng rng(805);
+  for (int i = 0; i < 80; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(-5, 15), rng.Uniform(-5, 15)},
+        rng.LogUniform(1.0, 8.0), static_cast<size_t>(rng.UniformInt(6, 100)));
+    const auto clipped = ClipPolygonToBox(blob, kWindow);
+    if (!clipped.has_value()) continue;
+    EXPECT_TRUE(kWindow.Inflated(1e-9).Contains(clipped->Bounds())) << i;
+    const ValidationResult res = ValidateRing(clipped->Outer());
+    EXPECT_TRUE(res.valid) << i << ": " << res.reason;
+    EXPECT_LE(clipped->Outer().Area(), blob.Outer().Area() + 1e-9) << i;
+    // Sampled interior points of the clipped shape lie inside the original.
+    for (int probe = 0; probe < 20; ++probe) {
+      const Point p{rng.Uniform(kWindow.min.x, kWindow.max.x),
+                    rng.Uniform(kWindow.min.y, kWindow.max.y)};
+      if (LocateInRing(p, clipped->Outer()) == Location::kInterior) {
+        EXPECT_NE(LocateInRing(p, blob.Outer()), Location::kExterior) << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,119 @@
+#include "src/geometry/convex_hull.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/point_in_polygon.h"
+#include "src/geometry/predicates.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+bool IsConvexCCW(const Ring& ring) {
+  const size_t n = ring.Size();
+  if (n < 3) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (OrientSign(ring[i], ring[(i + 1) % n], ring[(i + 2) % n]) !=
+        Sign::kPositive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ConvexHull, SquareIsItsOwnHull) {
+  const Ring hull = ConvexHull(test::Square(0, 0, 2, 2));
+  EXPECT_EQ(hull.Size(), 4u);
+  EXPECT_TRUE(IsConvexCCW(hull));
+}
+
+TEST(ConvexHull, ConcaveShapeLosesTheNotch) {
+  // C-shape: the hull is the bounding square.
+  const Ring c_shape({Point{0, 0}, Point{4, 0}, Point{4, 1}, Point{1, 1},
+                      Point{1, 3}, Point{4, 3}, Point{4, 4}, Point{0, 4}});
+  const Ring hull = ConvexHull(Polygon{Ring(c_shape)});
+  // The right-edge stub vertices are collinear with the corners and drop out.
+  EXPECT_EQ(hull.Size(), 4u);
+  EXPECT_TRUE(IsConvexCCW(hull));
+  // Hull must contain every input vertex.
+  for (const Point& p : c_shape.Vertices()) {
+    EXPECT_NE(LocateInRing(p, hull), Location::kExterior);
+  }
+}
+
+TEST(ConvexHull, CollinearPointsAreDropped) {
+  const Ring strip({Point{0, 0}, Point{1, 0}, Point{2, 0}, Point{3, 0},
+                    Point{3, 1}, Point{0, 1}});
+  const Ring hull = ConvexHull(Polygon{Ring(strip)});
+  EXPECT_EQ(hull.Size(), 4u);
+}
+
+TEST(ConvexHullProperty, HullContainsAllVerticesAndIsConvex) {
+  Rng rng(501);
+  for (int i = 0; i < 60; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 10), rng.Uniform(0, 10)},
+        rng.LogUniform(0.5, 5.0), static_cast<size_t>(rng.UniformInt(4, 200)));
+    const Ring hull = ConvexHull(blob);
+    ASSERT_TRUE(IsConvexCCW(hull)) << i;
+    for (const Point& p : blob.Outer().Vertices()) {
+      ASSERT_NE(LocateInRing(p, hull), Location::kExterior) << i;
+    }
+    EXPECT_GE(hull.Area(), blob.Outer().Area() - 1e-9);
+  }
+}
+
+TEST(ConvexPolygonsIntersect, BasicConfigurations) {
+  const Ring a = ConvexHull(test::Square(0, 0, 2, 2));
+  EXPECT_TRUE(ConvexPolygonsIntersect(a, ConvexHull(test::Square(1, 1, 3, 3))));
+  EXPECT_FALSE(
+      ConvexPolygonsIntersect(a, ConvexHull(test::Square(5, 5, 6, 6))));
+  // Shared edge / shared corner count as intersecting.
+  EXPECT_TRUE(ConvexPolygonsIntersect(a, ConvexHull(test::Square(2, 0, 4, 2))));
+  EXPECT_TRUE(ConvexPolygonsIntersect(a, ConvexHull(test::Square(2, 2, 4, 4))));
+  // Containment.
+  EXPECT_TRUE(ConvexPolygonsIntersect(
+      a, ConvexHull(test::Square(0.5, 0.5, 1.5, 1.5))));
+  // MBRs overlap but hulls do not (diagonal separation).
+  const Ring t1 =
+      ConvexHull(test::Triangle(Point{0, 0}, Point{3, 0}, Point{0, 3}));
+  const Ring t2 =
+      ConvexHull(test::Triangle(Point{4, 4}, Point{1.2, 4}, Point{4, 1.2}));
+  EXPECT_TRUE(t1.Bounds().Intersects(t2.Bounds()));
+  EXPECT_FALSE(ConvexPolygonsIntersect(t1, t2));
+}
+
+// Brute-force ground truth: do two polygons share any point?
+bool PolygonsShareAnyPoint(const Polygon& a, const Polygon& b) {
+  bool hit = false;
+  a.ForEachEdge([&](const Segment& ea) {
+    b.ForEachEdge([&](const Segment& eb) {
+      hit = hit || SegmentsIntersect(ea.a, ea.b, eb.a, eb.b);
+    });
+  });
+  if (hit) return true;
+  // Containment without boundary contact.
+  return LocateInRing(a.Outer()[0], b.Outer()) == Location::kInterior ||
+         LocateInRing(b.Outer()[0], a.Outer()) == Location::kInterior;
+}
+
+TEST(ConvexPolygonsIntersectProperty, SoundAgainstExactRelate) {
+  // Hull-disjointness must imply polygon disjointness (the filter property).
+  Rng rng(503);
+  for (int i = 0; i < 120; ++i) {
+    const Polygon a = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 12), rng.Uniform(0, 12)},
+        rng.LogUniform(0.5, 4.0), 24);
+    const Polygon b = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 12), rng.Uniform(0, 12)},
+        rng.LogUniform(0.5, 4.0), 24);
+    if (!ConvexPolygonsIntersect(ConvexHull(a), ConvexHull(b))) {
+      // Exact geometries must be disjoint too.
+      ASSERT_FALSE(PolygonsShareAnyPoint(a, b)) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,61 @@
+#include "src/geometry/locator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+TEST(PolygonLocator, MatchesPlainLocateOnFixtures) {
+  const Polygon poly = test::SquareWithHole(0, 0, 4, 4, 1);
+  const PolygonLocator locator(poly);
+  const Point probes[] = {{0.5, 0.5}, {2, 2},  {1, 2},   {0, 0},
+                          {9, 9},     {4, 2},  {2, 3.5}, {3.99, 3.99},
+                          {-1, 2},    {2, -1}};
+  for (const Point& p : probes) {
+    EXPECT_EQ(locator.Locate(p), Locate(p, poly)) << p.x << "," << p.y;
+  }
+}
+
+TEST(PolygonLocator, PropertyAgreesWithPlainLocate) {
+  Rng rng(41);
+  for (int round = 0; round < 30; ++round) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 10), rng.Uniform(0, 10)},
+        rng.LogUniform(0.5, 3.0), static_cast<size_t>(rng.UniformInt(8, 300)),
+        /*hole_probability=*/0.3);
+    const PolygonLocator locator(blob);
+    const Box probe_area = blob.Bounds().Inflated(0.5);
+    for (int i = 0; i < 200; ++i) {
+      const Point p{rng.Uniform(probe_area.min.x, probe_area.max.x),
+                    rng.Uniform(probe_area.min.y, probe_area.max.y)};
+      ASSERT_EQ(locator.Locate(p), Locate(p, blob))
+          << "round " << round << " probe " << i;
+    }
+    // Vertices are boundary points and stress the slab edges.
+    for (size_t v = 0; v < blob.Outer().Size(); v += 7) {
+      ASSERT_EQ(locator.Locate(blob.Outer()[v]), Location::kBoundary);
+    }
+  }
+}
+
+TEST(PolygonLocator, DegenerateFlatPolygon) {
+  // Near-zero height exercises the single-slab fallback.
+  const Polygon flat = test::Square(0, 0, 100, 1e-12);
+  const PolygonLocator locator(flat);
+  EXPECT_EQ(locator.Locate(Point{50, 1.0}), Location::kExterior);
+  EXPECT_EQ(locator.Locate(Point{0, 0}), Location::kBoundary);
+}
+
+TEST(PolygonLocator, TriangleSmallestCase) {
+  const Polygon tri = test::Triangle(Point{0, 0}, Point{4, 0}, Point{2, 3});
+  const PolygonLocator locator(tri);
+  EXPECT_EQ(locator.Locate(Point{2, 1}), Location::kInterior);
+  EXPECT_EQ(locator.Locate(Point{2, 3}), Location::kBoundary);
+  EXPECT_EQ(locator.Locate(Point{0, 3}), Location::kExterior);
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,73 @@
+#include "src/geometry/point_in_polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+TEST(LocateInRing, SquareInteriorBoundaryExterior) {
+  const Ring square({Point{0, 0}, Point{4, 0}, Point{4, 4}, Point{0, 4}});
+  EXPECT_EQ(LocateInRing(Point{2, 2}, square), Location::kInterior);
+  EXPECT_EQ(LocateInRing(Point{0, 2}, square), Location::kBoundary);
+  EXPECT_EQ(LocateInRing(Point{4, 4}, square), Location::kBoundary);  // vertex
+  EXPECT_EQ(LocateInRing(Point{2, 0}, square), Location::kBoundary);
+  EXPECT_EQ(LocateInRing(Point{5, 2}, square), Location::kExterior);
+  EXPECT_EQ(LocateInRing(Point{-1, -1}, square), Location::kExterior);
+}
+
+TEST(LocateInRing, RayThroughVertexCountedOnce) {
+  // A diamond: the +x ray from the left point passes exactly through the
+  // right vertex level; the half-open rule must not double count.
+  const Ring diamond({Point{2, 0}, Point{4, 2}, Point{2, 4}, Point{0, 2}});
+  EXPECT_EQ(LocateInRing(Point{2, 2}, diamond), Location::kInterior);
+  EXPECT_EQ(LocateInRing(Point{-1, 2}, diamond), Location::kExterior);
+  EXPECT_EQ(LocateInRing(Point{1, 2}, diamond), Location::kInterior);
+}
+
+TEST(LocateInRing, HorizontalEdgeOnRayLevel) {
+  // Polygon with a horizontal top edge; query points level with that edge.
+  const Ring ring({Point{0, 0}, Point{4, 0}, Point{4, 2}, Point{2, 2},
+                   Point{2, 4}, Point{0, 4}});
+  EXPECT_EQ(LocateInRing(Point{1, 2}, ring), Location::kInterior);
+  EXPECT_EQ(LocateInRing(Point{3, 2}, ring), Location::kBoundary);
+  EXPECT_EQ(LocateInRing(Point{5, 2}, ring), Location::kExterior);
+}
+
+TEST(Locate, HoleSemantics) {
+  const Polygon poly = test::SquareWithHole(0, 0, 4, 4, 1);
+  EXPECT_EQ(Locate(Point{0.5, 0.5}, poly), Location::kInterior);
+  EXPECT_EQ(Locate(Point{2, 2}, poly), Location::kExterior);   // inside hole
+  EXPECT_EQ(Locate(Point{1, 2}, poly), Location::kBoundary);   // hole edge
+  EXPECT_EQ(Locate(Point{0, 0}, poly), Location::kBoundary);   // outer vertex
+  EXPECT_EQ(Locate(Point{9, 9}, poly), Location::kExterior);
+}
+
+TEST(Locate, ConcavePolygon) {
+  // A "C" shape open to the right.
+  const Ring c_shape({Point{0, 0}, Point{4, 0}, Point{4, 1}, Point{1, 1},
+                      Point{1, 3}, Point{4, 3}, Point{4, 4}, Point{0, 4}});
+  const Polygon poly{Ring(c_shape)};
+  EXPECT_EQ(Locate(Point{0.5, 2}, poly), Location::kInterior);
+  EXPECT_EQ(Locate(Point{2.5, 2}, poly), Location::kExterior);  // in the notch
+  EXPECT_EQ(Locate(Point{2.5, 0.5}, poly), Location::kInterior);
+}
+
+TEST(Locate, RandomBlobCenterAndFarPoint) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    const Point center{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Polygon blob = test::RandomBlob(&rng, center, 2.0, 40);
+    // The centre of a star-shaped polygon is interior.
+    EXPECT_EQ(Locate(center, blob), Location::kInterior);
+    EXPECT_EQ(Locate(Point{center.x + 100, center.y}, blob),
+              Location::kExterior);
+    // Every vertex is on the boundary.
+    EXPECT_EQ(Locate(blob.Outer()[0], blob), Location::kBoundary);
+  }
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,63 @@
+#include "src/geometry/point_on_surface.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/point_in_polygon.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+TEST(PointOnSurface, UnitSquare) {
+  Point p;
+  ASSERT_TRUE(PointOnSurface(test::UnitSquare(), &p));
+  EXPECT_EQ(Locate(p, test::UnitSquare()), Location::kInterior);
+}
+
+TEST(PointOnSurface, AvoidsCentralHole) {
+  // The naive centroid of this polygon falls inside the hole.
+  const Polygon poly = test::SquareWithHole(0, 0, 4, 4, 1.5);
+  Point p;
+  ASSERT_TRUE(PointOnSurface(poly, &p));
+  EXPECT_EQ(Locate(p, poly), Location::kInterior);
+}
+
+TEST(PointOnSurface, ConcaveUShape) {
+  // The bounding-box centre falls in the notch (exterior).
+  const Ring u_shape({Point{0, 0}, Point{5, 0}, Point{5, 4}, Point{4, 4},
+                      Point{4, 1}, Point{1, 1}, Point{1, 4}, Point{0, 4}});
+  const Polygon poly{Ring(u_shape)};
+  Point p;
+  ASSERT_TRUE(PointOnSurface(poly, &p));
+  EXPECT_EQ(Locate(p, poly), Location::kInterior);
+}
+
+TEST(PointOnSurface, ThinTriangle) {
+  const Polygon sliver = test::Triangle(Point{0, 0}, Point{10, 1e-7},
+                                        Point{20, 0});
+  Point p;
+  ASSERT_TRUE(PointOnSurface(sliver, &p));
+  EXPECT_EQ(Locate(p, sliver), Location::kInterior);
+}
+
+TEST(PointOnSurface, FailsOnDegenerateInput) {
+  Point p;
+  EXPECT_FALSE(PointOnSurface(Polygon{}, &p));
+}
+
+TEST(PointOnSurfaceProperty, RandomBlobsAlwaysInterior) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 10), rng.Uniform(0, 10)},
+        rng.LogUniform(0.01, 5.0), static_cast<size_t>(rng.UniformInt(4, 200)),
+        /*hole_probability=*/0.4);
+    Point p;
+    ASSERT_TRUE(PointOnSurface(blob, &p)) << "blob " << i;
+    EXPECT_EQ(Locate(p, blob), Location::kInterior) << "blob " << i;
+  }
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,128 @@
+#include "src/geometry/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+TEST(Orient2D, BasicOrientations) {
+  const Point a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_EQ(OrientSign(a, b, c), Sign::kPositive);
+  EXPECT_EQ(OrientSign(a, c, b), Sign::kNegative);
+  EXPECT_EQ(OrientSign(a, b, Point{2, 0}), Sign::kZero);
+}
+
+TEST(Orient2D, AntisymmetryUnderSwap) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const Point a{rng.Uniform(-1e3, 1e3), rng.Uniform(-1e3, 1e3)};
+    const Point b{rng.Uniform(-1e3, 1e3), rng.Uniform(-1e3, 1e3)};
+    const Point c{rng.Uniform(-1e3, 1e3), rng.Uniform(-1e3, 1e3)};
+    const int s1 = static_cast<int>(OrientSign(a, b, c));
+    const int s2 = static_cast<int>(OrientSign(b, a, c));
+    EXPECT_EQ(s1, -s2);
+    // Cyclic permutation preserves orientation.
+    EXPECT_EQ(s1, static_cast<int>(OrientSign(b, c, a)));
+    EXPECT_EQ(s1, static_cast<int>(OrientSign(c, a, b)));
+  }
+}
+
+TEST(Orient2D, ExactZeroOnDegenerateDoubles) {
+  // (0.1, 0.1), (0.2, 0.2), (0.3, 0.3) are exactly collinear (x == y for
+  // each point puts them on y = x regardless of decimal rounding).
+  EXPECT_EQ(OrientSign(Point{0.1, 0.1}, Point{0.2, 0.2}, Point{0.3, 0.3}),
+            Sign::kZero);
+
+  // fl(0.1 + 0.2) is 4.4e-17 above 0.3, so (0.1+0.2, 0.3) sits just BELOW
+  // the line y = x; the determinant sign must pick that up.
+  const Point c{0.1 + 0.2, 0.3};
+  EXPECT_EQ(OrientSign(Point{0, 0}, Point{1, 1}, c), Sign::kNegative);
+
+  // Exactly representable collinear points must give exactly zero.
+  const Point p{0.25, 0.5};
+  const Point q{0.5, 1.0};
+  const Point r{1.0, 2.0};
+  EXPECT_EQ(OrientSign(p, q, r), Sign::kZero);
+}
+
+TEST(Orient2D, NearlyCollinearAdaptivePath) {
+  // Points separated by one ulp from a collinear configuration exercise the
+  // exact expansion fallback.
+  const double x = 1.0;
+  const Point a{x, x};
+  const Point b{2 * x, 2 * x};
+  Point c{3 * x, 3 * x};
+  EXPECT_EQ(OrientSign(a, b, c), Sign::kZero);
+  c.y = std::nextafter(c.y, 4.0);  // nudge up by one ulp
+  EXPECT_EQ(OrientSign(a, b, c), Sign::kPositive);
+  c.y = std::nextafter(std::nextafter(c.y, 0.0), 0.0);  // two ulps down
+  EXPECT_EQ(OrientSign(a, b, c), Sign::kNegative);
+}
+
+TEST(Orient2D, LargeCoordinateCancellation) {
+  // Large base coordinates with an exactly representable tiny offset
+  // (2^20 + 2 + 2^-30 fits in 53 bits). Naive double evaluation cancels the
+  // offset away; the adaptive predicate must not.
+  const double big = 1048576.0;        // 2^20
+  const double eps = 9.31322574615478515625e-10;  // 2^-30
+  const Point a{big, big};
+  const Point b{big + 1.0, big + 1.0};
+  EXPECT_EQ(OrientSign(a, b, Point{big + 2.0, big + 2.0 + eps}),
+            Sign::kPositive);
+  EXPECT_EQ(OrientSign(a, b, Point{big + 2.0, big + 2.0 - eps}),
+            Sign::kNegative);
+  EXPECT_EQ(OrientSign(a, b, Point{big + 2.0, big + 2.0}), Sign::kZero);
+}
+
+TEST(Orient2D, AdaptiveStageResolvesNearCollinear) {
+  // delta = 2^-48: 24 + delta is exactly representable, and the rounded
+  // fast-path determinant is far below its error bound, forcing the
+  // expansion stages to decide the (positive) sign.
+  const double delta = 3.5527136788005009293556213378906e-15;  // 2^-48
+  const Point a{0.5, 0.5};
+  const Point b{12.0, 12.0};
+  EXPECT_EQ(OrientSign(a, b, Point{24.0, 24.0 + delta}), Sign::kPositive);
+  EXPECT_EQ(OrientSign(a, b, Point{24.0, 24.0 - delta}), Sign::kNegative);
+  EXPECT_EQ(OrientSign(a, b, Point{24.0, 24.0}), Sign::kZero);
+}
+
+TEST(Orient2D, AgreesWithLongDoubleOnRandomInputs) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const Point a{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const Point b{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const Point c{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const long double det =
+        (static_cast<long double>(a.x) - c.x) *
+            (static_cast<long double>(b.y) - c.y) -
+        (static_cast<long double>(a.y) - c.y) *
+            (static_cast<long double>(b.x) - c.x);
+    // Only check when the long double result is decisively non-zero.
+    if (std::abs(static_cast<double>(det)) > 1e-6) {
+      EXPECT_EQ(static_cast<int>(OrientSign(a, b, c)), det > 0 ? 1 : -1);
+    }
+  }
+}
+
+TEST(OnSegment, EndpointsAndMidpoints) {
+  const Point a{0, 0}, b{4, 2};
+  EXPECT_TRUE(OnSegment(a, a, b));
+  EXPECT_TRUE(OnSegment(b, a, b));
+  EXPECT_TRUE(OnSegment(Point{2, 1}, a, b));
+  EXPECT_FALSE(OnSegment(Point{2, 1.0001}, a, b));
+  EXPECT_FALSE(OnSegment(Point{6, 3}, a, b));   // collinear but beyond
+  EXPECT_FALSE(OnSegment(Point{-2, -1}, a, b));  // collinear but before
+}
+
+TEST(OnSegment, VerticalAndHorizontal) {
+  EXPECT_TRUE(OnSegment(Point{0, 0.5}, Point{0, 0}, Point{0, 1}));
+  EXPECT_FALSE(OnSegment(Point{0.0001, 0.5}, Point{0, 0}, Point{0, 1}));
+  EXPECT_TRUE(OnSegment(Point{0.5, 0}, Point{0, 0}, Point{1, 0}));
+}
+
+}  // namespace
+}  // namespace stj

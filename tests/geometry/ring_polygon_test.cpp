@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "src/geometry/polygon.h"
+#include "src/geometry/ring.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+TEST(Ring, DropsExplicitClosingVertex) {
+  const Ring ring({Point{0, 0}, Point{1, 0}, Point{1, 1}, Point{0, 0}});
+  EXPECT_EQ(ring.Size(), 3u);
+}
+
+TEST(Ring, SignedAreaAndWinding) {
+  const Ring ccw({Point{0, 0}, Point{2, 0}, Point{2, 2}, Point{0, 2}});
+  EXPECT_DOUBLE_EQ(ccw.SignedArea2(), 8.0);
+  EXPECT_DOUBLE_EQ(ccw.Area(), 4.0);
+  EXPECT_TRUE(ccw.IsCCW());
+
+  Ring cw = ccw;
+  cw.Reverse();
+  EXPECT_DOUBLE_EQ(cw.SignedArea2(), -8.0);
+  EXPECT_FALSE(cw.IsCCW());
+}
+
+TEST(Ring, EdgeWrapsAround) {
+  const Ring ring({Point{0, 0}, Point{1, 0}, Point{0, 1}});
+  const Segment last = ring.Edge(2);
+  EXPECT_EQ(last.a, (Point{0, 1}));
+  EXPECT_EQ(last.b, (Point{0, 0}));
+}
+
+TEST(Ring, BoundsTracksVertices) {
+  const Ring ring({Point{-1, 2}, Point{5, -3}, Point{2, 7}});
+  EXPECT_EQ(ring.Bounds().min, (Point{-1, -3}));
+  EXPECT_EQ(ring.Bounds().max, (Point{5, 7}));
+}
+
+TEST(Polygon, NormalisesWindingOrders) {
+  // Outer ring given clockwise, hole given counter-clockwise.
+  Ring outer({Point{0, 0}, Point{0, 4}, Point{4, 4}, Point{4, 0}});
+  Ring hole({Point{1, 1}, Point{3, 1}, Point{3, 3}, Point{1, 3}});
+  ASSERT_FALSE(outer.IsCCW());
+  ASSERT_TRUE(hole.IsCCW());
+  const Polygon poly(outer, {hole});
+  EXPECT_TRUE(poly.Outer().IsCCW());
+  EXPECT_FALSE(poly.Holes()[0].IsCCW());
+}
+
+TEST(Polygon, AreaSubtractsHoles) {
+  const Polygon poly = test::SquareWithHole(0, 0, 4, 4, 1);
+  EXPECT_DOUBLE_EQ(poly.Area(), 16.0 - 4.0);
+}
+
+TEST(Polygon, VertexAndRingCounts) {
+  const Polygon poly = test::SquareWithHole(0, 0, 4, 4, 1);
+  EXPECT_EQ(poly.VertexCount(), 8u);
+  EXPECT_EQ(poly.RingCount(), 2u);
+}
+
+TEST(Polygon, ForEachEdgeVisitsAllRings) {
+  const Polygon poly = test::SquareWithHole(0, 0, 4, 4, 1);
+  size_t edges = 0;
+  poly.ForEachEdge([&](const Segment&) { ++edges; });
+  EXPECT_EQ(edges, 8u);
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,117 @@
+#include "src/geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{2, 2}, Point{0, 2},
+                                Point{2, 0}));
+}
+
+TEST(SegmentsIntersect, DisjointParallel) {
+  EXPECT_FALSE(SegmentsIntersect(Point{0, 0}, Point{1, 0}, Point{0, 1},
+                                 Point{1, 1}));
+}
+
+TEST(SegmentsIntersect, EndpointTouch) {
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{1, 1}, Point{1, 1},
+                                Point{2, 0}));
+  // T-junction: endpoint of one in the interior of the other.
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{2, 0}, Point{1, 0},
+                                Point{1, 5}));
+}
+
+TEST(SegmentsIntersect, CollinearCases) {
+  // Overlapping collinear.
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{2, 0}, Point{1, 0},
+                                Point{3, 0}));
+  // Touching collinear.
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{1, 0}, Point{1, 0},
+                                Point{2, 0}));
+  // Disjoint collinear.
+  EXPECT_FALSE(SegmentsIntersect(Point{0, 0}, Point{1, 0}, Point{2, 0},
+                                 Point{3, 0}));
+}
+
+TEST(IntersectSegments, ProperCrossingPoint) {
+  const SegIntersection isect =
+      IntersectSegments(Point{0, 0}, Point{2, 2}, Point{0, 2}, Point{2, 0});
+  ASSERT_EQ(isect.kind, SegIntersectKind::kPoint);
+  EXPECT_TRUE(isect.proper);
+  EXPECT_DOUBLE_EQ(isect.p0.x, 1.0);
+  EXPECT_DOUBLE_EQ(isect.p0.y, 1.0);
+}
+
+TEST(IntersectSegments, TouchIsNotProper) {
+  const SegIntersection isect =
+      IntersectSegments(Point{0, 0}, Point{2, 0}, Point{1, 0}, Point{1, 3});
+  ASSERT_EQ(isect.kind, SegIntersectKind::kPoint);
+  EXPECT_FALSE(isect.proper);
+  EXPECT_EQ(isect.p0, (Point{1, 0}));
+}
+
+TEST(IntersectSegments, CollinearOverlapReturnsExactEndpoints) {
+  const SegIntersection isect =
+      IntersectSegments(Point{0, 0}, Point{3, 3}, Point{1, 1}, Point{5, 5});
+  ASSERT_EQ(isect.kind, SegIntersectKind::kOverlap);
+  EXPECT_EQ(isect.p0, (Point{1, 1}));
+  EXPECT_EQ(isect.p1, (Point{3, 3}));
+}
+
+TEST(IntersectSegments, CollinearContainment) {
+  const SegIntersection isect =
+      IntersectSegments(Point{0, 0}, Point{10, 0}, Point{2, 0}, Point{5, 0});
+  ASSERT_EQ(isect.kind, SegIntersectKind::kOverlap);
+  EXPECT_EQ(isect.p0, (Point{2, 0}));
+  EXPECT_EQ(isect.p1, (Point{5, 0}));
+}
+
+TEST(IntersectSegments, CollinearSinglePointTouch) {
+  const SegIntersection isect =
+      IntersectSegments(Point{0, 0}, Point{1, 1}, Point{1, 1}, Point{2, 2});
+  ASSERT_EQ(isect.kind, SegIntersectKind::kPoint);
+  EXPECT_EQ(isect.p0, (Point{1, 1}));
+}
+
+TEST(IntersectSegments, CollinearDisjoint) {
+  const SegIntersection isect =
+      IntersectSegments(Point{0, 0}, Point{1, 0}, Point{2, 0}, Point{3, 0});
+  EXPECT_EQ(isect.kind, SegIntersectKind::kNone);
+}
+
+TEST(IntersectSegments, VerticalOverlapUsesYParam) {
+  const SegIntersection isect =
+      IntersectSegments(Point{0, 0}, Point{0, 4}, Point{0, 3}, Point{0, 9});
+  ASSERT_EQ(isect.kind, SegIntersectKind::kOverlap);
+  EXPECT_EQ(isect.p0, (Point{0, 3}));
+  EXPECT_EQ(isect.p1, (Point{0, 4}));
+}
+
+TEST(IntersectSegments, RandomisedCrossingsLieOnBothSupportLines) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Point p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Point q{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Point u{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Point v{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const SegIntersection isect = IntersectSegments(p, q, u, v);
+    EXPECT_EQ(isect.kind != SegIntersectKind::kNone,
+              SegmentsIntersect(p, q, u, v));
+    if (isect.kind == SegIntersectKind::kPoint && isect.proper) {
+      // The rounded crossing must be extremely close to both lines.
+      const double d1 = Orient2D(p, q, isect.p0);
+      const double d2 = Orient2D(u, v, isect.p0);
+      EXPECT_LT(d1 * d1 + d2 * d2, 1e-12);
+      // And within both bounding boxes (with a rounding allowance).
+      EXPECT_GE(isect.p0.x, std::min({p.x, q.x}) - 1e-9);
+      EXPECT_LE(isect.p0.x, std::max({p.x, q.x}) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,76 @@
+#include "src/geometry/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/validate.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+TEST(SimplifyRing, KeepsSquareCorners) {
+  // A square with redundant collinear midpoints on every edge.
+  const Ring ring({Point{0, 0}, Point{1, 0}, Point{2, 0}, Point{2, 1},
+                   Point{2, 2}, Point{1, 2}, Point{0, 2}, Point{0, 1}});
+  const Ring simplified = SimplifyRing(ring, 0.01);
+  EXPECT_EQ(simplified.Size(), 4u);
+  EXPECT_DOUBLE_EQ(simplified.Area(), 4.0);
+}
+
+TEST(SimplifyRing, ToleranceControlsDetail) {
+  // A noisy circle: higher tolerance keeps fewer vertices.
+  Rng rng(801);
+  std::vector<Point> pts;
+  const size_t n = 400;
+  for (size_t i = 0; i < n; ++i) {
+    const double theta = 2.0 * 3.14159265358979 * static_cast<double>(i) /
+                         static_cast<double>(n);
+    const double radius = 10.0 + rng.Uniform(-0.05, 0.05);
+    pts.push_back(Point{radius * std::cos(theta), radius * std::sin(theta)});
+  }
+  const Ring ring(std::move(pts));
+  const Ring fine = SimplifyRing(ring, 0.02);
+  const Ring coarse = SimplifyRing(ring, 0.5);
+  EXPECT_LT(coarse.Size(), fine.Size());
+  EXPECT_LE(fine.Size(), ring.Size());
+  EXPECT_GE(coarse.Size(), 3u);
+  // Area is approximately preserved at moderate tolerance.
+  EXPECT_NEAR(coarse.Area(), ring.Area(), ring.Area() * 0.05);
+}
+
+TEST(SimplifyRing, NeverBelowTriangle) {
+  const Ring tiny({Point{0, 0}, Point{1e-6, 0}, Point{1e-6, 1e-6},
+                   Point{0, 1e-6}});
+  const Ring simplified = SimplifyRing(tiny, 100.0);
+  EXPECT_GE(simplified.Size(), 3u);
+}
+
+TEST(SimplifyPolygon, DropsSubToleranceHoles) {
+  Ring outer({Point{0, 0}, Point{10, 0}, Point{10, 10}, Point{0, 10}});
+  Ring big_hole({Point{2, 2}, Point{5, 2}, Point{5, 5}, Point{2, 5}});
+  Ring tiny_hole({Point{7, 7}, Point{7.01, 7}, Point{7.01, 7.01},
+                  Point{7, 7.01}});
+  const Polygon poly(outer, {big_hole, tiny_hole});
+  const Polygon simplified = SimplifyPolygon(poly, 0.1);
+  EXPECT_EQ(simplified.Holes().size(), 1u);
+}
+
+TEST(SimplifyPolygonProperty, BlobsStayValidAtModerateTolerance) {
+  Rng rng(803);
+  for (int i = 0; i < 40; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{0, 0}, 10.0, static_cast<size_t>(rng.UniformInt(50, 500)),
+        0.3);
+    const Polygon simplified = SimplifyPolygon(blob, 0.05);
+    EXPECT_LE(simplified.VertexCount(), blob.VertexCount());
+    const ValidationResult res = ValidatePolygon(simplified);
+    EXPECT_TRUE(res.valid) << i << ": " << res.reason;
+    EXPECT_NEAR(simplified.Area(), blob.Area(), blob.Area() * 0.1) << i;
+  }
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,100 @@
+#include "src/geometry/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/tessellation.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+TEST(ValidateRing, AcceptsSimpleShapes) {
+  EXPECT_TRUE(ValidateRing(test::UnitSquare().Outer()).valid);
+  EXPECT_TRUE(
+      ValidateRing(test::Triangle(Point{0, 0}, Point{1, 0}, Point{0, 1})
+                       .Outer())
+          .valid);
+}
+
+TEST(ValidateRing, RejectsTooFewVertices) {
+  const ValidationResult res = ValidateRing(Ring({Point{0, 0}, Point{1, 1}}));
+  EXPECT_FALSE(res.valid);
+  EXPECT_NE(res.reason.find("fewer than 3"), std::string::npos);
+}
+
+TEST(ValidateRing, RejectsRepeatedConsecutiveVertices) {
+  const ValidationResult res = ValidateRing(
+      Ring({Point{0, 0}, Point{1, 0}, Point{1, 0}, Point{0, 1}}));
+  EXPECT_FALSE(res.valid);
+  EXPECT_NE(res.reason.find("repeated"), std::string::npos);
+}
+
+TEST(ValidateRing, RejectsBowtie) {
+  // The symmetric bowtie also has zero signed area, so either rejection
+  // reason is legitimate.
+  EXPECT_FALSE(ValidateRing(Ring({Point{0, 0}, Point{2, 2}, Point{2, 0},
+                                  Point{0, 2}}))
+                   .valid);
+  // An asymmetric bowtie with non-zero area must be caught by the
+  // self-intersection check specifically.
+  const ValidationResult res = ValidateRing(
+      Ring({Point{0, 0}, Point{4, 4}, Point{4, 0}, Point{0, 2}}));
+  EXPECT_FALSE(res.valid);
+  EXPECT_NE(res.reason.find("self-intersection"), std::string::npos);
+}
+
+TEST(ValidateRing, RejectsZeroArea) {
+  const ValidationResult res = ValidateRing(
+      Ring({Point{0, 0}, Point{1, 1}, Point{2, 2}}));
+  EXPECT_FALSE(res.valid);
+}
+
+TEST(ValidatePolygon, AcceptsPolygonWithHole) {
+  EXPECT_TRUE(ValidatePolygon(test::SquareWithHole(0, 0, 4, 4, 1)).valid);
+}
+
+TEST(ValidatePolygon, RejectsHoleOutsideOuter) {
+  Ring outer({Point{0, 0}, Point{4, 0}, Point{4, 4}, Point{0, 4}});
+  Ring hole({Point{10, 10}, Point{11, 10}, Point{11, 11}, Point{10, 11}});
+  const ValidationResult res = ValidatePolygon(Polygon(outer, {hole}));
+  EXPECT_FALSE(res.valid);
+  EXPECT_NE(res.reason.find("outside"), std::string::npos);
+}
+
+TEST(ValidatePolygon, RejectsHoleCrossingOuter) {
+  Ring outer({Point{0, 0}, Point{4, 0}, Point{4, 4}, Point{0, 4}});
+  Ring hole({Point{2, 2}, Point{6, 2}, Point{6, 3}, Point{2, 3}});
+  EXPECT_FALSE(ValidatePolygon(Polygon(outer, {hole})).valid);
+}
+
+TEST(ValidatePolygonProperty, GeneratedBlobsAreValid) {
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(0, 100), rng.Uniform(0, 100)},
+        rng.LogUniform(0.01, 3.0), static_cast<size_t>(rng.UniformInt(4, 400)),
+        /*hole_probability=*/0.5);
+    const ValidationResult res = ValidatePolygon(blob);
+    EXPECT_TRUE(res.valid) << "blob " << i << ": " << res.reason;
+  }
+}
+
+TEST(ValidatePolygonProperty, TessellationCellsAreValid) {
+  Rng rng(78);
+  TessellationParams params;
+  params.cols = 6;
+  params.rows = 6;
+  params.jitter = 0.35;
+  params.edge_points = 8;
+  params.edge_wiggle = 0.1;
+  const std::vector<Polygon> cells = MakeTessellation(&rng, params);
+  ASSERT_EQ(cells.size(), 36u);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ValidationResult res = ValidatePolygon(cells[i]);
+    EXPECT_TRUE(res.valid) << "cell " << i << ": " << res.reason;
+  }
+}
+
+}  // namespace
+}  // namespace stj

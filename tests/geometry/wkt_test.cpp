@@ -1,0 +1,74 @@
+#include "src/geometry/wkt.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+TEST(Wkt, PointRoundTrip) {
+  const Point p{1.5, -2.25};
+  const auto parsed = ParseWktPoint(ToWkt(p));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(Wkt, PolygonRoundTripPreservesEverything) {
+  const Polygon poly = test::SquareWithHole(0, 0, 4, 4, 1);
+  const auto parsed = ParseWktPolygon(ToWkt(poly));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Outer(), poly.Outer());
+  ASSERT_EQ(parsed->Holes().size(), 1u);
+  EXPECT_EQ(parsed->Holes()[0], poly.Holes()[0]);
+}
+
+TEST(Wkt, RoundTripIsExactForRandomCoordinates) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Polygon blob =
+        test::RandomBlob(&rng, Point{rng.Uniform(-100, 100),
+                                     rng.Uniform(-100, 100)},
+                         rng.LogUniform(0.001, 100.0), 24);
+    const auto parsed = ParseWktPolygon(ToWkt(blob));
+    ASSERT_TRUE(parsed.has_value());
+    // %.17g printing is lossless for doubles.
+    EXPECT_EQ(parsed->Outer(), blob.Outer());
+  }
+}
+
+TEST(Wkt, ParsesUnclosedAndClosedRings) {
+  const auto closed =
+      ParseWktPolygon("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  const auto unclosed = ParseWktPolygon("POLYGON ((0 0, 1 0, 1 1, 0 1))");
+  ASSERT_TRUE(closed.has_value());
+  ASSERT_TRUE(unclosed.has_value());
+  EXPECT_EQ(closed->Outer(), unclosed->Outer());
+  EXPECT_EQ(closed->Outer().Size(), 4u);
+}
+
+TEST(Wkt, CaseInsensitiveKeywordAndWhitespace) {
+  EXPECT_TRUE(ParseWktPolygon("polygon((0 0,1 0,1 1))").has_value());
+  EXPECT_TRUE(ParseWktPolygon("  PoLyGoN ( ( 0 0 , 1 0 , 1 1 ) ) ").has_value());
+  EXPECT_TRUE(ParseWktPoint("point(3 4)").has_value());
+}
+
+TEST(Wkt, PolygonEmpty) {
+  const auto empty = ParseWktPolygon("POLYGON EMPTY");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->Empty());
+  EXPECT_EQ(ToWkt(Polygon{}), "POLYGON EMPTY");
+}
+
+TEST(Wkt, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 0, 1 1)").has_value());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON (0 0, 1 0, 1 1)").has_value());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 zero, 1 0, 1 1))").has_value());
+  EXPECT_FALSE(ParseWktPolygon("LINESTRING (0 0, 1 1)").has_value());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 0, 1 1)) extra").has_value());
+  EXPECT_FALSE(ParseWktPoint("POINT ()").has_value());
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,151 @@
+// Degeneracy stress: polygons whose coordinates live on a small integer
+// lattice collide constantly — shared edges, shared vertices, collinear
+// overlaps, equal polygons. Every exact-arithmetic path in the engine and
+// every filter soundness guarantee must hold under this torture mix.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/datasets/scenarios.h"
+#include "src/de9im/relate_engine.h"
+#include "src/topology/find_relation.h"
+#include "src/topology/pipeline.h"
+#include "src/topology/relate_predicate.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+using de9im::Relation;
+
+// A random axis-aligned rectangle with corners on the 12x12 integer lattice.
+Polygon LatticeRect(Rng* rng) {
+  const int64_t x0 = rng->UniformInt(0, 10);
+  const int64_t y0 = rng->UniformInt(0, 10);
+  const int64_t x1 = rng->UniformInt(x0 + 1, 12);
+  const int64_t y1 = rng->UniformInt(y0 + 1, 12);
+  return test::Square(static_cast<double>(x0), static_cast<double>(y0),
+                      static_cast<double>(x1), static_cast<double>(y1));
+}
+
+// A random lattice L-shape (rectangle minus a corner quadrant).
+Polygon LatticeL(Rng* rng) {
+  const int64_t x0 = rng->UniformInt(0, 8);
+  const int64_t y0 = rng->UniformInt(0, 8);
+  const int64_t x1 = rng->UniformInt(x0 + 2, 12);
+  const int64_t y1 = rng->UniformInt(y0 + 2, 12);
+  const int64_t nx = rng->UniformInt(x0 + 1, x1 - 1);
+  const int64_t ny = rng->UniformInt(y0 + 1, y1 - 1);
+  const auto d = [](int64_t v) { return static_cast<double>(v); };
+  return Polygon(Ring({Point{d(x0), d(y0)}, Point{d(x1), d(y0)},
+                       Point{d(x1), d(ny)}, Point{d(nx), d(ny)},
+                       Point{d(nx), d(y1)}, Point{d(x0), d(y1)}}));
+}
+
+// A lattice rectangle with a lattice rectangular hole.
+Polygon LatticeDonut(Rng* rng) {
+  const int64_t x0 = rng->UniformInt(0, 6);
+  const int64_t y0 = rng->UniformInt(0, 6);
+  const int64_t x1 = rng->UniformInt(x0 + 4, 12);
+  const int64_t y1 = rng->UniformInt(y0 + 4, 12);
+  const int64_t hx0 = x0 + 1;
+  const int64_t hy0 = y0 + 1;
+  const int64_t hx1 = rng->UniformInt(hx0 + 1, x1 - 1);
+  const int64_t hy1 = rng->UniformInt(hy0 + 1, y1 - 1);
+  const auto d = [](int64_t v) { return static_cast<double>(v); };
+  Ring hole({Point{d(hx0), d(hy0)}, Point{d(hx1), d(hy0)},
+             Point{d(hx1), d(hy1)}, Point{d(hx0), d(hy1)}});
+  return Polygon(Ring({Point{d(x0), d(y0)}, Point{d(x1), d(y0)},
+                       Point{d(x1), d(y1)}, Point{d(x0), d(y1)}}),
+                 {std::move(hole)});
+}
+
+Polygon RandomLatticeShape(Rng* rng) {
+  switch (rng->NextBounded(3)) {
+    case 0: return LatticeRect(rng);
+    case 1: return LatticeL(rng);
+    default: return LatticeDonut(rng);
+  }
+}
+
+TEST(LatticeStress, EngineSymmetryAndFilterSoundness) {
+  Rng rng(701);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{12, 12}), 8);
+  const AprilBuilder builder(&grid);
+  for (int round = 0; round < 400; ++round) {
+    const Polygon a = RandomLatticeShape(&rng);
+    const Polygon b =
+        rng.Bernoulli(0.15) ? a : RandomLatticeShape(&rng);  // force equals
+
+    // Engine self-consistency.
+    const de9im::Matrix ab = de9im::RelateMatrix(a, b);
+    const de9im::Matrix ba = de9im::RelateMatrix(b, a);
+    ASSERT_EQ(ab.ToString(), ba.Transposed().ToString()) << round;
+    const Relation exact = de9im::MostSpecificRelation(ab);
+
+    // Filter soundness under heavy degeneracy.
+    const AprilApproximation aa = builder.Build(a);
+    const AprilApproximation bb = builder.Build(b);
+    const FilterDecision d =
+        FindRelationFilter(a.Bounds(), aa, b.Bounds(), bb);
+    if (d.definite) {
+      ASSERT_EQ(d.relation, exact)
+          << round << ": filter said " << ToString(d.relation)
+          << ", matrix " << ab.ToString();
+    } else {
+      ASSERT_TRUE(d.candidates.Contains(exact))
+          << round << ": " << ToString(exact) << " missing, matrix "
+          << ab.ToString();
+    }
+
+    // relate_p soundness for every predicate.
+    for (int p = 0; p < de9im::kNumRelations; ++p) {
+      const Relation predicate = static_cast<Relation>(p);
+      const RelateAnswer answer = RelatePredicateFilter(
+          predicate, a.Bounds(), aa, b.Bounds(), bb);
+      const bool holds = RelationHolds(predicate, ab);
+      if (answer == RelateAnswer::kYes) ASSERT_TRUE(holds) << round;
+      if (answer == RelateAnswer::kNo) ASSERT_FALSE(holds) << round;
+    }
+  }
+}
+
+TEST(LatticeStress, PipelinesAgreeOnLatticeSoup) {
+  Rng rng(703);
+  std::vector<SpatialObject> r_objects;
+  std::vector<SpatialObject> s_objects;
+  for (uint32_t i = 0; i < 40; ++i) {
+    r_objects.push_back(SpatialObject{i, RandomLatticeShape(&rng)});
+    s_objects.push_back(SpatialObject{i, RandomLatticeShape(&rng)});
+  }
+  // Seed some duplicates across the sides.
+  for (uint32_t i = 0; i < 6; ++i) {
+    s_objects[i].geometry = r_objects[i].geometry;
+  }
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{12, 12}), 8);
+  const AprilBuilder builder(&grid);
+  std::vector<AprilApproximation> r_april;
+  std::vector<AprilApproximation> s_april;
+  for (const auto& o : r_objects) r_april.push_back(builder.Build(o.geometry));
+  for (const auto& o : s_objects) s_april.push_back(builder.Build(o.geometry));
+  const DatasetView r_view{&r_objects, &r_april};
+  const DatasetView s_view{&s_objects, &s_april};
+
+  Pipeline st2(Method::kST2, r_view, s_view);
+  Pipeline op2(Method::kOP2, r_view, s_view);
+  Pipeline april(Method::kApril, r_view, s_view);
+  Pipeline pc(Method::kPC, r_view, s_view);
+  for (uint32_t i = 0; i < r_objects.size(); ++i) {
+    for (uint32_t j = 0; j < s_objects.size(); ++j) {
+      const Relation expected = st2.FindRelation(i, j);
+      ASSERT_EQ(op2.FindRelation(i, j), expected) << i << "," << j;
+      ASSERT_EQ(april.FindRelation(i, j), expected) << i << "," << j;
+      ASSERT_EQ(pc.FindRelation(i, j), expected) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,113 @@
+// Integration: Douglas-Peucker preprocessing vs the topology pipeline. GIS
+// pipelines often simplify geometry before joins; this suite documents what
+// that does (and does not) preserve, and checks the pipeline keeps working
+// on the reduced-complexity datasets.
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/scenarios.h"
+#include "src/de9im/relate_engine.h"
+#include "src/geometry/simplify.h"
+#include "src/topology/pipeline.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+using de9im::Relation;
+
+TEST(SimplifyTopology, DeepContainmentSurvivesSimplification) {
+  Rng rng(901);
+  for (int i = 0; i < 25; ++i) {
+    const Point c{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    BlobParams params;
+    params.center = c;
+    params.mean_radius = 10.0;
+    params.vertices = 300;
+    params.irregularity = 0.35;
+    const Polygon outer = MakeBlob(&rng, params);
+    const Polygon inner = ScaleAbout(outer, c, 0.3);
+    ASSERT_EQ(de9im::FindRelationExact(inner, outer), Relation::kInside);
+    // Simplify with a tolerance far below the gap between the shapes: the
+    // relation must survive.
+    const Polygon outer_simple = SimplifyPolygon(outer, 0.05);
+    const Polygon inner_simple = SimplifyPolygon(inner, 0.05);
+    ASSERT_LT(outer_simple.VertexCount(), outer.VertexCount());
+    EXPECT_EQ(de9im::FindRelationExact(inner_simple, outer_simple),
+              Relation::kInside)
+        << i;
+  }
+}
+
+TEST(SimplifyTopology, DisjointnessSurvivesSimplification) {
+  Rng rng(903);
+  for (int i = 0; i < 25; ++i) {
+    const Polygon a = test::RandomBlob(&rng, Point{0, 0}, 5.0, 200);
+    const Polygon b = test::RandomBlob(&rng, Point{30, 0}, 5.0, 200);
+    const Polygon a_simple = SimplifyPolygon(a, 0.1);
+    const Polygon b_simple = SimplifyPolygon(b, 0.1);
+    EXPECT_EQ(de9im::FindRelationExact(a_simple, b_simple),
+              Relation::kDisjoint)
+        << i;
+  }
+}
+
+TEST(SimplifyTopology, PipelinesAgreeOnSimplifiedDataset) {
+  // Simplify a whole scenario's polygons and re-run the agreement check:
+  // the filters must stay sound on the changed complexity profile.
+  ScenarioOptions options;
+  options.scale = 0.02;
+  options.grid_order = 10;
+  ScenarioData scenario = BuildScenario("OLE-OPE", options);
+  for (SpatialObject& o : scenario.r.objects) {
+    o.geometry = SimplifyPolygon(o.geometry, 0.01);
+  }
+  for (SpatialObject& o : scenario.s.objects) {
+    o.geometry = SimplifyPolygon(o.geometry, 0.01);
+  }
+  // Rebuild approximations and candidates for the new geometry.
+  const RasterGrid grid(scenario.dataspace, options.grid_order);
+  scenario.r_april = BuildAprilApproximations(scenario.r, grid);
+  scenario.s_april = BuildAprilApproximations(scenario.s, grid);
+  scenario.candidates = MbrJoin::Join(scenario.r.Mbrs(), scenario.s.Mbrs());
+  ASSERT_FALSE(scenario.candidates.empty());
+
+  Pipeline st2(Method::kST2, scenario.RView(), scenario.SView());
+  Pipeline pc(Method::kPC, scenario.RView(), scenario.SView());
+  Pipeline op2(Method::kOP2, scenario.RView(), scenario.SView());
+  Pipeline april(Method::kApril, scenario.RView(), scenario.SView());
+  for (const CandidatePair& pair : scenario.candidates) {
+    const Relation expected = st2.FindRelation(pair.r_idx, pair.s_idx);
+    ASSERT_EQ(pc.FindRelation(pair.r_idx, pair.s_idx), expected);
+    ASSERT_EQ(op2.FindRelation(pair.r_idx, pair.s_idx), expected);
+    ASSERT_EQ(april.FindRelation(pair.r_idx, pair.s_idx), expected);
+  }
+}
+
+TEST(SimplifyTopology, RelatePathAgreesAcrossMethodsOnPredicates) {
+  // Exercise the non-P+C Relate code paths (OP2/APRIL fall back to
+  // refinement) against P+C's predicate filters.
+  ScenarioOptions options;
+  options.scale = 0.08;
+  options.grid_order = 10;
+  const ScenarioData scenario = BuildScenario("TL-TW", options);
+  Pipeline op2(Method::kOP2, scenario.RView(), scenario.SView());
+  Pipeline april(Method::kApril, scenario.RView(), scenario.SView());
+  Pipeline pc(Method::kPC, scenario.RView(), scenario.SView());
+  size_t checked = 0;
+  for (size_t i = 0; i < scenario.candidates.size() && checked < 150;
+       i += 2, ++checked) {
+    const CandidatePair& pair = scenario.candidates[i];
+    for (const Relation p : {Relation::kIntersects, Relation::kMeets,
+                             Relation::kDisjoint, Relation::kCoveredBy}) {
+      const bool expected = pc.Relate(pair.r_idx, pair.s_idx, p);
+      ASSERT_EQ(op2.Relate(pair.r_idx, pair.s_idx, p), expected);
+      ASSERT_EQ(april.Relate(pair.r_idx, pair.s_idx, p), expected);
+    }
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+}  // namespace
+}  // namespace stj

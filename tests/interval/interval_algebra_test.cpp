@@ -1,0 +1,141 @@
+#include "src/interval/interval_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+// Reference implementations over explicit cell sets.
+std::set<CellId> CellsOf(const IntervalList& list) {
+  std::set<CellId> cells;
+  for (size_t i = 0; i < list.Size(); ++i) {
+    for (CellId c = list[i].begin; c < list[i].end; ++c) cells.insert(c);
+  }
+  return cells;
+}
+
+bool RefOverlap(const IntervalList& x, const IntervalList& y) {
+  const auto a = CellsOf(x);
+  for (const CellId c : CellsOf(y)) {
+    if (a.count(c) != 0) return true;
+  }
+  return false;
+}
+
+bool RefInside(const IntervalList& x, const IntervalList& y) {
+  const auto b = CellsOf(y);
+  for (const CellId c : CellsOf(x)) {
+    if (b.count(c) == 0) return false;
+  }
+  return true;
+}
+
+uint64_t RefCommon(const IntervalList& x, const IntervalList& y) {
+  const auto a = CellsOf(x);
+  uint64_t n = 0;
+  for (const CellId c : CellsOf(y)) n += a.count(c);
+  return n;
+}
+
+IntervalList RandomList(Rng* rng, CellId universe, double density) {
+  std::vector<CellId> cells;
+  for (CellId c = 0; c < universe; ++c) {
+    if (rng->Bernoulli(density)) cells.push_back(c);
+  }
+  return IntervalList::FromCells(std::move(cells));
+}
+
+TEST(IntervalAlgebra, OverlapBasics) {
+  const IntervalList a = IntervalList::FromCells({1, 2, 3});
+  const IntervalList b = IntervalList::FromCells({3, 4});
+  const IntervalList c = IntervalList::FromCells({4, 5});
+  EXPECT_TRUE(ListsOverlap(a, b));
+  EXPECT_TRUE(ListsOverlap(b, a));
+  EXPECT_FALSE(ListsOverlap(a, c));
+  EXPECT_FALSE(ListsOverlap(a, IntervalList()));
+  EXPECT_FALSE(ListsOverlap(IntervalList(), IntervalList()));
+}
+
+TEST(IntervalAlgebra, HalfOpenBoundariesDoNotOverlap) {
+  // [0,5) and [5,9) share no cell.
+  IntervalList a;
+  a.Append(0, 5);
+  IntervalList b;
+  b.Append(5, 9);
+  EXPECT_FALSE(ListsOverlap(a, b));
+}
+
+TEST(IntervalAlgebra, MatchIsExactEquality) {
+  const IntervalList a = IntervalList::FromCells({1, 2, 3, 7});
+  const IntervalList b = IntervalList::FromCells({1, 2, 3, 7});
+  const IntervalList c = IntervalList::FromCells({1, 2, 3});
+  EXPECT_TRUE(ListsMatch(a, b));
+  EXPECT_FALSE(ListsMatch(a, c));
+  EXPECT_TRUE(ListsMatch(IntervalList(), IntervalList()));
+}
+
+TEST(IntervalAlgebra, InsideBasics) {
+  const IntervalList big = IntervalList::FromCells({1, 2, 3, 4, 5, 8, 9});
+  const IntervalList small = IntervalList::FromCells({2, 3, 8});
+  EXPECT_TRUE(ListInside(small, big));
+  EXPECT_FALSE(ListInside(big, small));
+  EXPECT_TRUE(ListContains(big, small));
+  // A list is inside itself; the empty list is inside anything.
+  EXPECT_TRUE(ListInside(big, big));
+  EXPECT_TRUE(ListInside(IntervalList(), big));
+  EXPECT_FALSE(ListInside(big, IntervalList()));
+}
+
+TEST(IntervalAlgebra, InsideRequiresSingleCoveringInterval) {
+  // x = [0,10) is NOT inside y = [0,5) ∪ [6,12): cell 5 is missing.
+  IntervalList x;
+  x.Append(0, 10);
+  IntervalList y;
+  y.Append(0, 5);
+  y.Append(6, 12);
+  EXPECT_FALSE(ListInside(x, y));
+}
+
+TEST(IntervalAlgebra, CommonCellsCount) {
+  IntervalList a;
+  a.Append(0, 10);
+  IntervalList b;
+  b.Append(5, 7);
+  b.Append(9, 20);
+  EXPECT_EQ(ListsCommonCells(a, b), 2u + 1u);
+  EXPECT_EQ(ListsCommonCells(b, a), 3u);
+  EXPECT_EQ(ListsCommonCells(a, IntervalList()), 0u);
+}
+
+TEST(IntervalAlgebraProperty, AgreesWithSetModel) {
+  Rng rng(66);
+  for (int round = 0; round < 300; ++round) {
+    const IntervalList x = RandomList(&rng, 80, rng.Uniform(0.05, 0.7));
+    const IntervalList y = RandomList(&rng, 80, rng.Uniform(0.05, 0.7));
+    ASSERT_EQ(ListsOverlap(x, y), RefOverlap(x, y)) << round;
+    ASSERT_EQ(ListsOverlap(y, x), RefOverlap(x, y)) << round;
+    ASSERT_EQ(ListInside(x, y), RefInside(x, y)) << round;
+    ASSERT_EQ(ListContains(x, y), RefInside(y, x)) << round;
+    ASSERT_EQ(ListsCommonCells(x, y), RefCommon(x, y)) << round;
+    ASSERT_EQ(ListsMatch(x, y), CellsOf(x) == CellsOf(y)) << round;
+  }
+}
+
+TEST(IntervalAlgebraProperty, InsideImpliesOverlapUnlessEmpty) {
+  Rng rng(67);
+  for (int round = 0; round < 100; ++round) {
+    const IntervalList x = RandomList(&rng, 60, 0.3);
+    const IntervalList y = RandomList(&rng, 60, 0.5);
+    if (ListInside(x, y) && !x.Empty()) {
+      EXPECT_TRUE(ListsOverlap(x, y)) << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stj

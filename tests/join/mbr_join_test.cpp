@@ -1,0 +1,114 @@
+#include "src/join/mbr_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+std::vector<Box> RandomBoxes(Rng* rng, size_t n, double max_size,
+                             bool clustered = false) {
+  std::vector<Box> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double cx = rng->Uniform(0, 100);
+    double cy = rng->Uniform(0, 100);
+    if (clustered && i % 3 != 0) {
+      cx = 50 + rng->Normal() * 5;
+      cy = 50 + rng->Normal() * 5;
+    }
+    const double w = rng->LogUniform(0.01, max_size);
+    const double h = rng->LogUniform(0.01, max_size);
+    boxes.push_back(Box::Of(Point{cx, cy}, Point{cx + w, cy + h}));
+  }
+  return boxes;
+}
+
+void ExpectSameResult(std::vector<CandidatePair> got,
+                      std::vector<CandidatePair> want) {
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].r_idx, want[i].r_idx) << i;
+    EXPECT_EQ(got[i].s_idx, want[i].s_idx) << i;
+  }
+}
+
+TEST(MbrJoin, EmptyInputs) {
+  EXPECT_TRUE(MbrJoin::Join({}, {Box::Of(Point{0, 0}, Point{1, 1})}).empty());
+  EXPECT_TRUE(MbrJoin::Join({Box::Of(Point{0, 0}, Point{1, 1})}, {}).empty());
+}
+
+TEST(MbrJoin, SinglePairSharedEdge) {
+  const std::vector<Box> r = {Box::Of(Point{0, 0}, Point{1, 1})};
+  const std::vector<Box> s = {Box::Of(Point{1, 0}, Point{2, 1})};
+  const auto result = MbrJoin::Join(r, s);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], (CandidatePair{0, 0}));
+}
+
+TEST(MbrJoin, MatchesBruteForceOnRandomData) {
+  Rng rng(301);
+  for (int round = 0; round < 10; ++round) {
+    const auto r = RandomBoxes(&rng, 300, 8.0);
+    const auto s = RandomBoxes(&rng, 300, 8.0);
+    ExpectSameResult(MbrJoin::Join(r, s), MbrJoin::JoinBruteForce(r, s));
+  }
+}
+
+TEST(MbrJoin, MatchesBruteForceOnClusteredData) {
+  Rng rng(303);
+  const auto r = RandomBoxes(&rng, 500, 4.0, /*clustered=*/true);
+  const auto s = RandomBoxes(&rng, 500, 4.0, /*clustered=*/true);
+  ExpectSameResult(MbrJoin::Join(r, s), MbrJoin::JoinBruteForce(r, s));
+}
+
+TEST(MbrJoin, NoDuplicatesForLargeBoxesSpanningManyTiles) {
+  Rng rng(305);
+  // Large boxes replicate into many tiles; reference-point dedup must keep
+  // each pair exactly once.
+  const auto r = RandomBoxes(&rng, 100, 60.0);
+  const auto s = RandomBoxes(&rng, 100, 60.0);
+  MbrJoin::Options options;
+  options.tiles_per_side = 16;
+  auto result = MbrJoin::Join(r, s, options);
+  auto sorted = result;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end())
+      << "duplicate pair emitted";
+  ExpectSameResult(result, MbrJoin::JoinBruteForce(r, s));
+}
+
+TEST(MbrJoin, ExplicitTinyTileCount) {
+  Rng rng(307);
+  const auto r = RandomBoxes(&rng, 200, 10.0);
+  const auto s = RandomBoxes(&rng, 200, 10.0);
+  MbrJoin::Options options;
+  options.tiles_per_side = 1;  // degenerate: single tile = plain sweep
+  ExpectSameResult(MbrJoin::Join(r, s, options),
+                   MbrJoin::JoinBruteForce(r, s));
+}
+
+TEST(MbrJoin, IdenticalDatasets) {
+  Rng rng(309);
+  const auto r = RandomBoxes(&rng, 150, 6.0);
+  ExpectSameResult(MbrJoin::Join(r, r), MbrJoin::JoinBruteForce(r, r));
+}
+
+TEST(MbrJoin, PointLikeBoxes) {
+  // Degenerate zero-area boxes must still join by containment/touch.
+  const std::vector<Box> r = {Box::Of(Point{5, 5}, Point{5, 5})};
+  const std::vector<Box> s = {Box::Of(Point{0, 0}, Point{10, 10}),
+                              Box::Of(Point{5, 5}, Point{5, 5}),
+                              Box::Of(Point{6, 6}, Point{7, 7})};
+  const auto result = MbrJoin::Join(r, s);
+  EXPECT_EQ(result.size(), 2u);
+}
+
+}  // namespace
+}  // namespace stj

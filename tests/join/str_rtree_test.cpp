@@ -1,0 +1,98 @@
+#include "src/join/str_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+std::vector<Box> RandomBoxes(Rng* rng, size_t n, double max_size) {
+  std::vector<Box> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double cx = rng->Uniform(0, 100);
+    const double cy = rng->Uniform(0, 100);
+    boxes.push_back(Box::Of(
+        Point{cx, cy}, Point{cx + rng->LogUniform(0.01, max_size),
+                             cy + rng->LogUniform(0.01, max_size)}));
+  }
+  return boxes;
+}
+
+TEST(StrRTree, EmptyTree) {
+  const StrRTree tree((std::vector<Box>()));
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_TRUE(tree.QueryIndices(Box::Of(Point{0, 0}, Point{1, 1})).empty());
+}
+
+TEST(StrRTree, SingleBox) {
+  const StrRTree tree({Box::Of(Point{2, 2}, Point{4, 4})});
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_EQ(tree.Height(), 1u);
+  EXPECT_EQ(tree.QueryIndices(Box::Of(Point{3, 3}, Point{5, 5})).size(), 1u);
+  EXPECT_TRUE(tree.QueryIndices(Box::Of(Point{5, 5}, Point{6, 6})).empty());
+  // Shared-edge windows count as intersecting (closed boxes).
+  EXPECT_EQ(tree.QueryIndices(Box::Of(Point{4, 2}, Point{5, 4})).size(), 1u);
+}
+
+TEST(StrRTree, SkipsEmptyBoxesButKeepsIndices) {
+  std::vector<Box> boxes = {Box::Of(Point{0, 0}, Point{1, 1}), Box::Empty(),
+                            Box::Of(Point{2, 2}, Point{3, 3})};
+  const StrRTree tree(boxes);
+  EXPECT_EQ(tree.Size(), 2u);
+  const auto hits = tree.QueryIndices(Box::Of(Point{0, 0}, Point{10, 10}));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 2u);  // original index preserved
+}
+
+TEST(StrRTree, QueryMatchesLinearScan) {
+  Rng rng(1001);
+  const std::vector<Box> boxes = RandomBoxes(&rng, 2000, 6.0);
+  const StrRTree tree(boxes);
+  EXPECT_GT(tree.Height(), 1u);
+  for (int q = 0; q < 200; ++q) {
+    const double cx = rng.Uniform(0, 100);
+    const double cy = rng.Uniform(0, 100);
+    const Box window = Box::Of(
+        Point{cx, cy},
+        Point{cx + rng.LogUniform(0.1, 30.0), cy + rng.LogUniform(0.1, 30.0)});
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].Intersects(window)) expected.push_back(i);
+    }
+    ASSERT_EQ(tree.QueryIndices(window), expected) << "query " << q;
+  }
+}
+
+TEST(StrRTree, JoinMatchesGridJoin) {
+  Rng rng(1003);
+  const std::vector<Box> r = RandomBoxes(&rng, 800, 5.0);
+  const std::vector<Box> s = RandomBoxes(&rng, 700, 5.0);
+  const StrRTree tree(s);
+  std::vector<CandidatePair> via_tree = tree.JoinWith(r);
+  std::vector<CandidatePair> via_grid = MbrJoin::Join(r, s);
+  std::sort(via_tree.begin(), via_tree.end());
+  std::sort(via_grid.begin(), via_grid.end());
+  ASSERT_EQ(via_tree.size(), via_grid.size());
+  for (size_t i = 0; i < via_tree.size(); ++i) {
+    ASSERT_EQ(via_tree[i].r_idx, via_grid[i].r_idx) << i;
+    ASSERT_EQ(via_tree[i].s_idx, via_grid[i].s_idx) << i;
+  }
+}
+
+TEST(StrRTree, HeightGrowsLogarithmically) {
+  Rng rng(1005);
+  const StrRTree small(RandomBoxes(&rng, 16, 1.0));
+  EXPECT_EQ(small.Height(), 1u);
+  const StrRTree medium(RandomBoxes(&rng, 17, 1.0));
+  EXPECT_EQ(medium.Height(), 2u);
+  const StrRTree large(RandomBoxes(&rng, 5000, 1.0));
+  EXPECT_LE(large.Height(), 4u);  // 16^3 = 4096 < 5000 <= 16^4
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,175 @@
+#include "src/raster/april_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(AprilIo, RoundTripPreservesLists) {
+  Rng rng(41);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 8);
+  const AprilBuilder builder(&grid);
+  std::vector<AprilApproximation> originals;
+  for (int i = 0; i < 20; ++i) {
+    originals.push_back(builder.Build(test::RandomBlob(
+        &rng, Point{rng.Uniform(10, 90), rng.Uniform(10, 90)},
+        rng.LogUniform(0.5, 8.0), 32, 0.2)));
+  }
+  const std::string path = TempPath("april_roundtrip.bin");
+  ASSERT_TRUE(SaveAprilFile(path, originals));
+
+  std::vector<AprilApproximation> loaded;
+  ASSERT_TRUE(LoadAprilFile(path, &loaded));
+  ASSERT_EQ(loaded.size(), originals.size());
+  for (size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(loaded[i].conservative, originals[i].conservative) << i;
+    EXPECT_EQ(loaded[i].progressive, originals[i].progressive) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AprilIo, EmptyCollection) {
+  const std::string path = TempPath("april_empty.bin");
+  ASSERT_TRUE(SaveAprilFile(path, {}));
+  std::vector<AprilApproximation> loaded = {AprilApproximation{}};
+  ASSERT_TRUE(LoadAprilFile(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(AprilIo, RejectsMissingFile) {
+  std::vector<AprilApproximation> loaded;
+  EXPECT_FALSE(LoadAprilFile(TempPath("does_not_exist.bin"), &loaded));
+}
+
+TEST(AprilIo, RejectsBadMagic) {
+  const std::string path = TempPath("april_badmagic.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOPE", 1, 4, f);
+  std::fclose(f);
+  std::vector<AprilApproximation> loaded;
+  EXPECT_FALSE(LoadAprilFile(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(AprilIo, RejectsTruncatedFile) {
+  Rng rng(43);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{10, 10}), 6);
+  const AprilBuilder builder(&grid);
+  const std::vector<AprilApproximation> originals = {
+      builder.Build(test::Square(1, 1, 8, 8))};
+  const std::string path = TempPath("april_truncated.bin");
+  ASSERT_TRUE(SaveAprilFile(path, originals));
+  // Truncate the file to half its size.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
+  std::vector<AprilApproximation> loaded;
+  EXPECT_FALSE(LoadAprilFile(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(AprilIo, CompressedRoundTripPreservesLists) {
+  Rng rng(45);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 10);
+  const AprilBuilder builder(&grid);
+  std::vector<AprilApproximation> originals;
+  for (int i = 0; i < 15; ++i) {
+    originals.push_back(builder.Build(test::RandomBlob(
+        &rng, Point{rng.Uniform(10, 90), rng.Uniform(10, 90)},
+        rng.LogUniform(1.0, 12.0), 64, 0.2)));
+  }
+  const std::string path = TempPath("april_compressed.bin");
+  ASSERT_TRUE(SaveAprilFileCompressed(path, originals));
+
+  std::vector<AprilApproximation> loaded;
+  ASSERT_TRUE(LoadAprilFile(path, &loaded));
+  ASSERT_EQ(loaded.size(), originals.size());
+  for (size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(loaded[i].conservative, originals[i].conservative) << i;
+    EXPECT_EQ(loaded[i].progressive, originals[i].progressive) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AprilIo, CompressedFormatIsSubstantiallySmaller) {
+  Rng rng(47);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 12);
+  const AprilBuilder builder(&grid);
+  std::vector<AprilApproximation> originals;
+  for (int i = 0; i < 10; ++i) {
+    originals.push_back(builder.Build(test::RandomBlob(
+        &rng, Point{rng.Uniform(20, 80), rng.Uniform(20, 80)}, 10.0, 128)));
+  }
+  const std::string raw_path = TempPath("april_raw_size.bin");
+  const std::string compressed_path = TempPath("april_comp_size.bin");
+  ASSERT_TRUE(SaveAprilFile(raw_path, originals));
+  ASSERT_TRUE(SaveAprilFileCompressed(compressed_path, originals));
+  auto file_size = [](const std::string& p) {
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    return size;
+  };
+  const long raw = file_size(raw_path);
+  const long compressed = file_size(compressed_path);
+  EXPECT_LT(compressed * 3, raw)
+      << "compressed " << compressed << " vs raw " << raw;
+  std::remove(raw_path.c_str());
+  std::remove(compressed_path.c_str());
+}
+
+TEST(AprilIo, CompressedEmptyListsRoundTrip) {
+  // Slivers can have empty P lists; the compressed format must keep them.
+  std::vector<AprilApproximation> originals(2);
+  originals[0].conservative = IntervalList::FromCells({1, 2, 3, 99});
+  const std::string path = TempPath("april_comp_empty.bin");
+  ASSERT_TRUE(SaveAprilFileCompressed(path, originals));
+  std::vector<AprilApproximation> loaded;
+  ASSERT_TRUE(LoadAprilFile(path, &loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].conservative, originals[0].conservative);
+  EXPECT_TRUE(loaded[0].progressive.Empty());
+  EXPECT_TRUE(loaded[1].conservative.Empty());
+  std::remove(path.c_str());
+}
+
+TEST(AprilIo, RejectsNonCanonicalLists) {
+  // Hand-craft a file whose intervals overlap.
+  const std::string path = TempPath("april_noncanonical.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("APRL", 1, 4, f);
+  const uint32_t version = 1;
+  std::fwrite(&version, sizeof version, 1, f);
+  const uint64_t count = 1;
+  std::fwrite(&count, sizeof count, 1, f);
+  const uint64_t list_len = 2;
+  const uint64_t intervals[] = {0, 10, 5, 20};  // overlapping
+  std::fwrite(&list_len, sizeof list_len, 1, f);
+  std::fwrite(intervals, sizeof(uint64_t), 4, f);
+  std::fclose(f);
+  std::vector<AprilApproximation> loaded;
+  EXPECT_FALSE(LoadAprilFile(path, &loaded));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,118 @@
+#include "src/raster/april.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/point_in_polygon.h"
+#include "src/interval/interval_algebra.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+TEST(AprilBuilder, ProgressiveIsSubsetOfConservative) {
+  Rng rng(131);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 8);
+  const AprilBuilder builder(&grid);
+  for (int i = 0; i < 30; ++i) {
+    const Polygon blob = test::RandomBlob(
+        &rng, Point{rng.Uniform(10, 90), rng.Uniform(10, 90)},
+        rng.LogUniform(0.2, 10.0), static_cast<size_t>(rng.UniformInt(6, 150)),
+        0.25);
+    const AprilApproximation april = builder.Build(blob);
+    EXPECT_TRUE(april.conservative.Validate().empty());
+    EXPECT_TRUE(april.progressive.Validate().empty());
+    EXPECT_TRUE(ListInside(april.progressive, april.conservative)) << i;
+    EXPECT_FALSE(april.conservative.Empty()) << i;
+  }
+}
+
+TEST(AprilBuilder, IntervalCountIsFarBelowCellCount) {
+  // Hilbert locality: intervals should be on the order of sqrt(cells), not
+  // cells (Sec. 2.3).
+  Rng rng(133);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 10);
+  const AprilBuilder builder(&grid);
+  const Polygon blob =
+      test::RandomBlob(&rng, Point{50, 50}, 30.0, 200, 0.0);
+  const AprilApproximation april = builder.Build(blob);
+  const uint64_t cells = april.conservative.CellCount();
+  ASSERT_GT(cells, 10000u);
+  EXPECT_LT(april.conservative.Size(), cells / 10);
+}
+
+TEST(AprilBuilder, DisjointObjectsHaveDisjointConservativeLists) {
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 8);
+  const AprilBuilder builder(&grid);
+  const AprilApproximation a = builder.Build(test::Square(10, 10, 20, 20));
+  const AprilApproximation b = builder.Build(test::Square(60, 60, 80, 80));
+  EXPECT_FALSE(ListsOverlap(a.conservative, b.conservative));
+}
+
+TEST(AprilBuilder, ContainedObjectListsNest) {
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 9);
+  const AprilBuilder builder(&grid);
+  const AprilApproximation outer = builder.Build(test::Square(10, 10, 90, 90));
+  const AprilApproximation inner = builder.Build(test::Square(40, 40, 60, 60));
+  // The inner object lies deep inside the outer: every cell it touches is a
+  // full cell of the outer square.
+  EXPECT_TRUE(ListInside(inner.conservative, outer.progressive));
+  EXPECT_TRUE(ListInside(inner.conservative, outer.conservative));
+}
+
+TEST(AprilBuilder, IdenticalGeometryGivesIdenticalLists) {
+  Rng rng(135);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 8);
+  const AprilBuilder builder(&grid);
+  const Polygon blob = test::RandomBlob(&rng, Point{30, 40}, 8.0, 64, 0.3);
+  const AprilApproximation a = builder.Build(blob);
+  const AprilApproximation b = builder.Build(blob);
+  EXPECT_TRUE(ListsMatch(a.conservative, b.conservative));
+  EXPECT_TRUE(ListsMatch(a.progressive, b.progressive));
+}
+
+TEST(AprilBuilder, ConservativeCellsCoverInteriorSamples) {
+  Rng rng(137);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 8);
+  const AprilBuilder builder(&grid);
+  const Polygon blob = test::RandomBlob(&rng, Point{50, 50}, 20.0, 100, 0.0);
+  const AprilApproximation april = builder.Build(blob);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.Uniform(30, 70), rng.Uniform(30, 70)};
+    if (Locate(p, blob) != Location::kInterior) continue;
+    const CellId id = grid.CellIdOf(grid.CellX(p.x), grid.CellY(p.y));
+    EXPECT_TRUE(april.conservative.ContainsCell(id));
+  }
+}
+
+TEST(AprilBuilder, ProgressiveCellsAreTrulyInside) {
+  Rng rng(139);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 7);
+  const AprilBuilder builder(&grid);
+  const Polygon blob = test::RandomBlob(&rng, Point{50, 50}, 25.0, 80, 0.4);
+  const AprilApproximation april = builder.Build(blob);
+  // Walk every P cell and verify its centre is interior.
+  for (size_t i = 0; i < april.progressive.Size(); ++i) {
+    for (CellId id = april.progressive[i].begin;
+         id < april.progressive[i].end; ++id) {
+      uint32_t cx = 0;
+      uint32_t cy = 0;
+      HilbertDToXY(grid.Order(), id, &cx, &cy);
+      EXPECT_EQ(Locate(grid.CellBox(cx, cy).Center(), blob),
+                Location::kInterior)
+          << "cell " << id;
+    }
+  }
+}
+
+TEST(AprilBuilder, ByteSizeAccounting) {
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 6);
+  const AprilBuilder builder(&grid);
+  const AprilApproximation april = builder.Build(test::Square(10, 10, 50, 50));
+  EXPECT_EQ(april.ByteSize(),
+            (april.conservative.Size() + april.progressive.Size()) *
+                sizeof(CellInterval));
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,99 @@
+#include "src/raster/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+TEST(Hilbert, Order1Layout) {
+  // The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+  EXPECT_EQ(HilbertXYToD(1, 0, 0), 0u);
+  EXPECT_EQ(HilbertXYToD(1, 0, 1), 1u);
+  EXPECT_EQ(HilbertXYToD(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertXYToD(1, 1, 0), 3u);
+}
+
+TEST(Hilbert, RoundTripSmallOrders) {
+  for (uint32_t order = 1; order <= 6; ++order) {
+    const uint32_t side = 1u << order;
+    std::set<uint64_t> seen;
+    for (uint32_t y = 0; y < side; ++y) {
+      for (uint32_t x = 0; x < side; ++x) {
+        const uint64_t d = HilbertXYToD(order, x, y);
+        EXPECT_LT(d, static_cast<uint64_t>(side) * side);
+        EXPECT_TRUE(seen.insert(d).second) << "duplicate d at order " << order;
+        uint32_t rx = 0;
+        uint32_t ry = 0;
+        HilbertDToXY(order, d, &rx, &ry);
+        EXPECT_EQ(rx, x);
+        EXPECT_EQ(ry, y);
+      }
+    }
+  }
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreAdjacentCells) {
+  // The defining property of the curve: unit steps in d move to a
+  // 4-neighbour cell.
+  const uint32_t order = 5;
+  const uint32_t side = 1u << order;
+  uint32_t px = 0;
+  uint32_t py = 0;
+  HilbertDToXY(order, 0, &px, &py);
+  for (uint64_t d = 1; d < static_cast<uint64_t>(side) * side; ++d) {
+    uint32_t x = 0;
+    uint32_t y = 0;
+    HilbertDToXY(order, d, &x, &y);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py));
+    ASSERT_EQ(manhattan, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(Hilbert, RoundTripRandomAtOrder16) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBounded(1u << 16));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBounded(1u << 16));
+    const uint64_t d = HilbertXYToD(16, x, y);
+    EXPECT_LT(d, 1ull << 32);
+    uint32_t rx = 0;
+    uint32_t ry = 0;
+    HilbertDToXY(16, d, &rx, &ry);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+  }
+}
+
+TEST(Hilbert, LocalityBeatsRowMajorOnAverage) {
+  // Sanity check of the reason APRIL uses Hilbert enumeration: the average
+  // index distance between 4-neighbour cells is much smaller than for
+  // row-major order.
+  const uint32_t order = 6;
+  const uint32_t side = 1u << order;
+  double hilbert_sum = 0.0;
+  double rowmajor_sum = 0.0;
+  size_t count = 0;
+  for (uint32_t y = 0; y + 1 < side; ++y) {
+    for (uint32_t x = 0; x < side; ++x) {
+      const uint64_t d1 = HilbertXYToD(order, x, y);
+      const uint64_t d2 = HilbertXYToD(order, x, y + 1);
+      hilbert_sum += d1 > d2 ? static_cast<double>(d1 - d2)
+                             : static_cast<double>(d2 - d1);
+      rowmajor_sum += side;  // row-major vertical neighbour distance
+      ++count;
+    }
+  }
+  EXPECT_LT(hilbert_sum / static_cast<double>(count),
+            0.5 * rowmajor_sum / static_cast<double>(count));
+}
+
+}  // namespace
+}  // namespace stj

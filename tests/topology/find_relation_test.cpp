@@ -1,0 +1,164 @@
+// Soundness of the raster-only find-relation filter (Algorithm 1): a
+// definite answer must equal the exact DE-9IM relation, and a candidate set
+// must contain it. Exercised over thousands of generated pairs covering all
+// MBR configurations and relation types.
+
+#include "src/topology/find_relation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/datasets/tessellation.h"
+#include "src/de9im/relate_engine.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+using de9im::FindRelationExact;
+using de9im::Relation;
+
+class FindRelationTest : public ::testing::Test {
+ protected:
+  FindRelationTest()
+      : grid_(Box::Of(Point{0, 0}, Point{100, 100}), 9), builder_(&grid_) {}
+
+  // Asserts the filter decision is sound for the pair and returns whether it
+  // was definite.
+  bool CheckPair(const Polygon& r, const Polygon& s) {
+    const AprilApproximation ra = builder_.Build(r);
+    const AprilApproximation sa = builder_.Build(s);
+    const FilterDecision decision =
+        FindRelationFilter(r.Bounds(), ra, s.Bounds(), sa);
+    const Relation exact = FindRelationExact(r, s);
+    if (decision.definite) {
+      EXPECT_EQ(decision.relation, exact)
+          << "definite filter answer contradicts DE-9IM";
+      return true;
+    }
+    EXPECT_TRUE(decision.candidates.Contains(exact))
+        << "true relation " << ToString(exact) << " missing from candidates";
+    // Refinement with the narrowed candidates must reproduce the exact
+    // relation (the candidate order is specific-to-general).
+    EXPECT_EQ(de9im::MostSpecificRelation(de9im::RelateMatrix(r, s),
+                                          decision.candidates),
+              exact);
+    return false;
+  }
+
+  RasterGrid grid_;
+  AprilBuilder builder_;
+};
+
+TEST_F(FindRelationTest, MbrDisjointPairs) {
+  const Polygon a = test::Square(0, 0, 10, 10);
+  const Polygon b = test::Square(20, 20, 30, 30);
+  const FilterDecision d = FindRelationFilter(
+      a.Bounds(), builder_.Build(a), b.Bounds(), builder_.Build(b));
+  EXPECT_TRUE(d.definite);
+  EXPECT_EQ(d.relation, Relation::kDisjoint);
+  EXPECT_EQ(d.stage, DecisionStage::kMbrFilter);
+}
+
+TEST_F(FindRelationTest, CrossMbrsDecidedWithoutLists) {
+  const Polygon wide = test::Square(0, 40, 100, 60);
+  const Polygon tall = test::Square(40, 0, 60, 100);
+  const FilterDecision d = FindRelationFilter(
+      wide.Bounds(), builder_.Build(wide), tall.Bounds(), builder_.Build(tall));
+  EXPECT_TRUE(d.definite);
+  EXPECT_EQ(d.relation, Relation::kIntersects);
+  EXPECT_EQ(d.stage, DecisionStage::kMbrFilter);
+  EXPECT_EQ(FindRelationExact(wide, tall), Relation::kIntersects);
+}
+
+TEST_F(FindRelationTest, CanonicalFixturePairs) {
+  const Polygon square = test::Square(20, 20, 60, 60);
+  const Polygon inner = test::Square(30, 30, 50, 50);
+  const Polygon shifted = test::Square(40, 40, 80, 80);
+  const Polygon touching = test::Square(60, 20, 90, 60);
+  const Polygon donut = test::SquareWithHole(10, 10, 90, 90, 20);
+  const Polygon filler = test::Square(30, 30, 70, 70);  // fills the hole
+
+  CheckPair(square, square);
+  CheckPair(inner, square);
+  CheckPair(square, inner);
+  CheckPair(square, shifted);
+  CheckPair(square, touching);
+  CheckPair(filler, donut);
+  CheckPair(donut, filler);
+  CheckPair(donut, test::Square(10, 10, 90, 90));
+}
+
+TEST_F(FindRelationTest, PropertySweepRandomBlobs) {
+  Rng rng(201);
+  std::map<Relation, int> seen;
+  int definite = 0;
+  const int rounds = 400;
+  for (int i = 0; i < rounds; ++i) {
+    // Mix of configurations: random, nested, duplicated, touching.
+    const Point c1{rng.Uniform(20, 80), rng.Uniform(20, 80)};
+    const Polygon a = test::RandomBlob(
+        &rng, c1, rng.LogUniform(1.0, 15.0),
+        static_cast<size_t>(rng.UniformInt(6, 120)), 0.25);
+    Polygon b;
+    const double mix = rng.NextDouble();
+    if (mix < 0.2) {
+      b = test::RandomBlob(&rng, Point{rng.Uniform(20, 80), rng.Uniform(20, 80)},
+                           rng.LogUniform(1.0, 15.0),
+                           static_cast<size_t>(rng.UniformInt(6, 120)), 0.25);
+    } else if (mix < 0.4) {
+      // Nearby: likely overlapping or touching MBRs.
+      b = test::RandomBlob(
+          &rng, Point{c1.x + rng.Uniform(-5, 5), c1.y + rng.Uniform(-5, 5)},
+          rng.LogUniform(1.0, 10.0),
+          static_cast<size_t>(rng.UniformInt(6, 120)), 0.25);
+    } else if (mix < 0.55) {
+      b = ScaleAbout(a, c1, rng.Uniform(0.3, 0.9));  // nested
+    } else if (mix < 0.7) {
+      b = ScaleAbout(a, c1, rng.Uniform(1.1, 1.8));  // containing
+    } else if (mix < 0.8) {
+      b = a;  // equal
+    } else if (mix < 0.9 && !a.Holes().empty()) {
+      b = Polygon(a.Holes()[0]);  // hole filler: meets
+    } else {
+      b = FillHoles(a);  // covers twin (equals if no holes)
+    }
+    const Relation exact = FindRelationExact(a, b);
+    ++seen[exact];
+    if (CheckPair(a, b)) ++definite;
+  }
+  // The sweep must actually exercise a diverse relation mix.
+  EXPECT_GE(seen.size(), 5u) << "sweep degenerated";
+  // And the filter must decide a decent share without refinement.
+  EXPECT_GT(definite, rounds / 4);
+}
+
+TEST_F(FindRelationTest, PropertySweepTessellation) {
+  Rng rng(203);
+  TessellationParams params;
+  params.region = Box::Of(Point{5, 5}, Point{95, 95});
+  params.cols = 6;
+  params.rows = 6;
+  params.edge_points = 5;
+  const NestedTessellation nested = MakeNestedTessellation(&rng, params, 3);
+  // Fine vs coarse cells: inside / covered-by / meets / disjoint mix with
+  // bit-exact shared boundaries.
+  for (size_t f = 0; f < nested.fine.size(); f += 3) {
+    for (size_t c = 0; c < nested.coarse.size(); ++c) {
+      if (!nested.fine[f].Bounds().Intersects(nested.coarse[c].Bounds())) {
+        continue;
+      }
+      CheckPair(nested.fine[f], nested.coarse[c]);
+      CheckPair(nested.coarse[c], nested.fine[f]);
+    }
+  }
+  // Fine vs fine neighbours: meets.
+  for (size_t f = 0; f + 1 < nested.fine.size(); f += 5) {
+    CheckPair(nested.fine[f], nested.fine[f + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace stj

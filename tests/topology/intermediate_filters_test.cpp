@@ -1,0 +1,153 @@
+#include "src/topology/intermediate_filters.h"
+
+#include <gtest/gtest.h>
+
+#include "src/raster/april.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+using de9im::Relation;
+
+class IntermediateFilterTest : public ::testing::Test {
+ protected:
+  IntermediateFilterTest()
+      : grid_(Box::Of(Point{0, 0}, Point{100, 100}), 9), builder_(&grid_) {}
+
+  AprilApproximation April(const Polygon& poly) {
+    return builder_.Build(poly);
+  }
+
+  RasterGrid grid_;
+  AprilBuilder builder_;
+};
+
+TEST_F(IntermediateFilterTest, OutcomeHelpers) {
+  EXPECT_TRUE(IsDefinite(IFOutcome::kDisjoint));
+  EXPECT_TRUE(IsDefinite(IFOutcome::kCovers));
+  EXPECT_FALSE(IsDefinite(IFOutcome::kRefineEquals));
+  EXPECT_EQ(DefiniteRelation(IFOutcome::kInside), Relation::kInside);
+  EXPECT_EQ(CandidatesOf(IFOutcome::kDisjoint),
+            (de9im::RelationSet{Relation::kDisjoint}));
+  EXPECT_EQ(CandidatesOf(IFOutcome::kRefineCoveredBy),
+            (de9im::RelationSet{Relation::kCoveredBy, Relation::kIntersects}));
+  EXPECT_EQ(CandidatesOf(IFOutcome::kRefineAllContains).Count(), 5);
+}
+
+TEST_F(IntermediateFilterTest, IFEqualsIdenticalObject) {
+  const Polygon square = test::Square(10, 10, 60, 60);
+  const AprilApproximation april = April(square);
+  // Identical C lists: forwarded to refinement with the equals set.
+  EXPECT_EQ(IFEquals(april, april), IFOutcome::kRefineEquals);
+}
+
+TEST_F(IntermediateFilterTest, IFEqualsDetectsCoveredByDefinitely) {
+  // A plus-shape inside a square, equal MBRs: the plus's cells all sit in
+  // the square's full cells.
+  const Polygon square = test::Square(10, 10, 60, 60);
+  Ring plus({Point{30, 10}, Point{40, 10}, Point{40, 30}, Point{60, 30},
+             Point{60, 40}, Point{40, 40}, Point{40, 60}, Point{30, 60},
+             Point{30, 40}, Point{10, 40}, Point{10, 30}, Point{30, 30}});
+  const Polygon plus_poly{Ring(plus)};
+  ASSERT_EQ(plus_poly.Bounds(), square.Bounds());
+  const IFOutcome outcome = IFEquals(April(plus_poly), April(square));
+  // The plus touches its MBR boundary only at four arms; those cells are
+  // partial cells of the square too, so the filter may or may not decide.
+  // Both covered-by (definite) and its refinement are sound outcomes here;
+  // what is NOT acceptable is covers/intersects/meets.
+  EXPECT_TRUE(outcome == IFOutcome::kCoveredBy ||
+              outcome == IFOutcome::kRefineCoveredBy ||
+              outcome == IFOutcome::kRefineEquals)
+      << ToString(outcome);
+  const IFOutcome mirrored = IFEquals(April(square), April(plus_poly));
+  EXPECT_TRUE(mirrored == IFOutcome::kCovers ||
+              mirrored == IFOutcome::kRefineCovers ||
+              mirrored == IFOutcome::kRefineEquals)
+      << ToString(mirrored);
+}
+
+TEST_F(IntermediateFilterTest, IFInsideDeepContainmentIsDefinite) {
+  const Polygon outer = test::Square(10, 10, 90, 90);
+  const Polygon inner = test::Square(45, 45, 55, 55);
+  EXPECT_EQ(IFInside(April(inner), April(outer)), IFOutcome::kInside);
+  EXPECT_EQ(IFContains(April(outer), April(inner)), IFOutcome::kContains);
+}
+
+TEST_F(IntermediateFilterTest, IFInsideDisjointDetection) {
+  // MBR of r inside MBR of s, but r sits in s's (MBR-covered) empty corner.
+  Ring l_shape({Point{10, 10}, Point{90, 10}, Point{90, 20}, Point{20, 20},
+                Point{20, 90}, Point{10, 90}});
+  const Polygon l_poly{Ring(l_shape)};
+  const Polygon small = test::Square(60, 60, 70, 70);
+  ASSERT_TRUE(l_poly.Bounds().Contains(small.Bounds()));
+  EXPECT_EQ(IFInside(April(small), April(l_poly)), IFOutcome::kDisjoint);
+  EXPECT_EQ(IFContains(April(l_poly), April(small)), IFOutcome::kDisjoint);
+}
+
+TEST_F(IntermediateFilterTest, IFInsideIntersectionIsDefinite) {
+  // r pokes from s's interior across its boundary but stays in s's MBR.
+  Ring l_shape({Point{10, 10}, Point{90, 10}, Point{90, 20}, Point{20, 20},
+                Point{20, 90}, Point{10, 90}});
+  const Polygon l_poly{Ring(l_shape)};
+  const Polygon crossing = test::Square(15, 15, 40, 40);  // straddles the arm
+  ASSERT_TRUE(l_poly.Bounds().Contains(crossing.Bounds()));
+  EXPECT_EQ(IFInside(April(crossing), April(l_poly)), IFOutcome::kIntersects);
+}
+
+TEST_F(IntermediateFilterTest, IFIntersectsThreeOutcomes) {
+  const Polygon a = test::Square(10, 10, 50, 50);
+  const Polygon b = test::Square(30, 30, 70, 70);  // deep overlap
+  EXPECT_EQ(IFIntersects(April(a), April(b)), IFOutcome::kIntersects);
+
+  const Polygon far_apart = test::Square(49.9, 49.9, 90, 90);
+  // Shifted so MBRs overlap marginally but C lists may or may not overlap;
+  // just require soundness: never a definite wrong answer.
+  const IFOutcome outcome = IFIntersects(April(a), April(far_apart));
+  EXPECT_TRUE(outcome == IFOutcome::kIntersects ||
+              outcome == IFOutcome::kRefineDisjointMeetsIntersects ||
+              outcome == IFOutcome::kDisjoint)
+      << ToString(outcome);
+
+  // Clearly separated C lists within overlapping MBRs.
+  const Polygon tri1 =
+      test::Triangle(Point{10, 10}, Point{45, 10}, Point{10, 45});
+  const Polygon tri2 =
+      test::Triangle(Point{90, 90}, Point{55, 90}, Point{90, 55});
+  EXPECT_EQ(IFIntersects(April(tri1), April(tri2)), IFOutcome::kDisjoint);
+}
+
+TEST_F(IntermediateFilterTest, ThinObjectsWithEmptyPListsStayInconclusive) {
+  // Slivers produce no full cells, so P-based tests cannot fire.
+  const Polygon sliver_r =
+      test::Triangle(Point{20, 20}, Point{80, 20.02}, Point{20, 20.04});
+  const Polygon outer = test::Square(10, 10, 90, 90);
+  const AprilApproximation sliver_april = April(sliver_r);
+  ASSERT_TRUE(sliver_april.progressive.Empty());
+  const IFOutcome outcome = IFInside(sliver_april, April(outer));
+  // The sliver is truly inside, but only refinement can prove it.
+  EXPECT_TRUE(outcome == IFOutcome::kInside ||
+              outcome == IFOutcome::kRefineInside ||
+              outcome == IFOutcome::kRefineAllInside)
+      << ToString(outcome);
+}
+
+TEST_F(IntermediateFilterTest, EmptyProgressiveOfContainerForcesFullRefine) {
+  // s is a thin ring-like shape: s.P is empty, so IFInside cannot use it.
+  Ring thin_frame({Point{10, 10}, Point{90, 10}, Point{90, 90}, Point{10, 90}});
+  Ring frame_hole({Point{10.5, 10.5}, Point{89.5, 10.5}, Point{89.5, 89.5},
+                   Point{10.5, 89.5}});
+  const Polygon frame(thin_frame, {frame_hole});
+  const Polygon inner = test::Square(40, 40, 60, 60);
+  const AprilApproximation frame_april = April(frame);
+  const IFOutcome outcome = IFInside(April(inner), frame_april);
+  // inner is inside frame's MBR but actually in the hole: disjoint. The
+  // filter may detect it via C lists or leave it to refinement.
+  EXPECT_TRUE(outcome == IFOutcome::kDisjoint ||
+              outcome == IFOutcome::kRefineDisjointMeetsIntersects ||
+              outcome == IFOutcome::kRefineAllInside)
+      << ToString(outcome);
+}
+
+}  // namespace
+}  // namespace stj

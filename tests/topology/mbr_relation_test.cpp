@@ -1,0 +1,64 @@
+#include "src/topology/mbr_relation.h"
+
+#include <gtest/gtest.h>
+
+namespace stj {
+namespace {
+
+using de9im::Relation;
+using de9im::RelationSet;
+
+Box MakeBox(double x0, double y0, double x1, double y1) {
+  return Box::Of(Point{x0, y0}, Point{x1, y1});
+}
+
+TEST(MbrCandidates, DisjointAndCrossAreSingletons) {
+  EXPECT_EQ(MbrCandidates(BoxRelation::kDisjoint),
+            (RelationSet{Relation::kDisjoint}));
+  EXPECT_EQ(MbrCandidates(BoxRelation::kCross),
+            (RelationSet{Relation::kIntersects}));
+}
+
+TEST(MbrCandidates, EqualExcludesStrictContainmentAndDisjoint) {
+  const RelationSet set = MbrCandidates(BoxRelation::kEqual);
+  EXPECT_TRUE(set.Contains(Relation::kEquals));
+  EXPECT_TRUE(set.Contains(Relation::kCoveredBy));
+  EXPECT_TRUE(set.Contains(Relation::kCovers));
+  EXPECT_TRUE(set.Contains(Relation::kMeets));
+  EXPECT_TRUE(set.Contains(Relation::kIntersects));
+  EXPECT_FALSE(set.Contains(Relation::kInside));
+  EXPECT_FALSE(set.Contains(Relation::kContains));
+  EXPECT_FALSE(set.Contains(Relation::kDisjoint));
+}
+
+TEST(MbrCandidates, NestedMbrExcludesReverseContainment) {
+  const RelationSet r_in_s = MbrCandidates(BoxRelation::kRInsideS);
+  EXPECT_TRUE(r_in_s.Contains(Relation::kInside));
+  EXPECT_TRUE(r_in_s.Contains(Relation::kCoveredBy));
+  EXPECT_FALSE(r_in_s.Contains(Relation::kContains));
+  EXPECT_FALSE(r_in_s.Contains(Relation::kCovers));
+  EXPECT_FALSE(r_in_s.Contains(Relation::kEquals));
+
+  const RelationSet s_in_r = MbrCandidates(BoxRelation::kSInsideR);
+  EXPECT_TRUE(s_in_r.Contains(Relation::kContains));
+  EXPECT_FALSE(s_in_r.Contains(Relation::kInside));
+}
+
+TEST(MbrCandidates, OverlapKeepsOnlyNonContainment) {
+  const RelationSet set = MbrCandidates(BoxRelation::kOverlap);
+  EXPECT_EQ(set.Count(), 3);
+  EXPECT_TRUE(set.Contains(Relation::kDisjoint));
+  EXPECT_TRUE(set.Contains(Relation::kMeets));
+  EXPECT_TRUE(set.Contains(Relation::kIntersects));
+}
+
+TEST(MbrCandidates, ConcreteBoxOverloadMatchesClassification) {
+  const Box a = MakeBox(0, 0, 10, 10);
+  const Box b = MakeBox(2, 2, 8, 8);
+  EXPECT_EQ(MbrCandidates(a, b), MbrCandidates(BoxRelation::kSInsideR));
+  EXPECT_EQ(MbrCandidates(b, a), MbrCandidates(BoxRelation::kRInsideS));
+  EXPECT_EQ(MbrCandidates(a, a), MbrCandidates(BoxRelation::kEqual));
+}
+
+}  // namespace
+}  // namespace stj

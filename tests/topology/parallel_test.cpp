@@ -1,0 +1,84 @@
+#include "src/topology/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/scenarios.h"
+
+namespace stj {
+namespace {
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  ParallelTest() {
+    ScenarioOptions options;
+    options.scale = 0.05;
+    options.grid_order = 10;
+    scenario_ = BuildScenario("OLE-OPE", options);
+  }
+  ScenarioData scenario_;
+};
+
+TEST_F(ParallelTest, MatchesSerialFindRelation) {
+  ASSERT_FALSE(scenario_.candidates.empty());
+  const ParallelJoinResult serial = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      /*num_threads=*/1);
+  const ParallelJoinResult parallel = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      /*num_threads=*/4);
+  ASSERT_EQ(serial.relations.size(), parallel.relations.size());
+  for (size_t i = 0; i < serial.relations.size(); ++i) {
+    ASSERT_EQ(serial.relations[i], parallel.relations[i]) << i;
+  }
+  // Merged counters must add up regardless of the split.
+  EXPECT_EQ(parallel.stats.pairs, scenario_.candidates.size());
+  EXPECT_EQ(parallel.stats.decided_by_mbr + parallel.stats.decided_by_filter +
+                parallel.stats.refined,
+            scenario_.candidates.size());
+  EXPECT_EQ(parallel.stats.refined, serial.stats.refined);
+}
+
+TEST_F(ParallelTest, MatchesSerialRelate) {
+  const ParallelRelateResult serial = ParallelRelate(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      de9im::Relation::kInside, /*num_threads=*/1);
+  const ParallelRelateResult parallel = ParallelRelate(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      de9im::Relation::kInside, /*num_threads=*/3);
+  EXPECT_EQ(serial.matches, parallel.matches);
+}
+
+TEST_F(ParallelTest, EmptyPairListIsFine) {
+  const ParallelJoinResult result =
+      ParallelFindRelation(Method::kPC, scenario_.RView(), scenario_.SView(),
+                           {}, /*num_threads=*/8);
+  EXPECT_TRUE(result.relations.empty());
+  EXPECT_EQ(result.stats.pairs, 0u);
+}
+
+TEST_F(ParallelTest, MoreThreadsThanPairs) {
+  const std::vector<CandidatePair> few(scenario_.candidates.begin(),
+                                       scenario_.candidates.begin() + 3);
+  const ParallelJoinResult result = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), few,
+      /*num_threads=*/64);
+  EXPECT_EQ(result.relations.size(), 3u);
+  EXPECT_EQ(result.stats.pairs, 3u);
+}
+
+TEST_F(ParallelTest, AllMethodsWorkInParallel) {
+  const std::vector<CandidatePair> sample(
+      scenario_.candidates.begin(),
+      scenario_.candidates.begin() +
+          std::min<size_t>(scenario_.candidates.size(), 200));
+  const ParallelJoinResult reference = ParallelFindRelation(
+      Method::kST2, scenario_.RView(), scenario_.SView(), sample, 2);
+  for (const Method method : {Method::kOP2, Method::kApril, Method::kPC}) {
+    const ParallelJoinResult result = ParallelFindRelation(
+        method, scenario_.RView(), scenario_.SView(), sample, 2);
+    EXPECT_EQ(result.relations, reference.relations) << ToString(method);
+  }
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,89 @@
+#include "src/topology/progressive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/datasets/scenarios.h"
+
+namespace stj {
+namespace {
+
+class ProgressiveTest : public ::testing::Test {
+ protected:
+  ProgressiveTest() {
+    ScenarioOptions options;
+    options.scale = 0.08;
+    options.grid_order = 10;
+    scenario_ = BuildScenario("OLE-OPE", options);
+  }
+  ScenarioData scenario_;
+};
+
+TEST_F(ProgressiveTest, ScheduleIsAPermutation) {
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::kInputOrder, SchedulingPolicy::kMbrOverlapRatio,
+        SchedulingPolicy::kAprilOverlap}) {
+    const std::vector<size_t> order = ScheduleCandidates(
+        policy, scenario_.RView(), scenario_.SView(), scenario_.candidates);
+    ASSERT_EQ(order.size(), scenario_.candidates.size()) << ToString(policy);
+    std::vector<size_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      ASSERT_EQ(sorted[i], i) << ToString(policy);
+    }
+  }
+}
+
+TEST_F(ProgressiveTest, InputOrderIsIdentity) {
+  const std::vector<size_t> order =
+      ScheduleCandidates(SchedulingPolicy::kInputOrder, scenario_.RView(),
+                         scenario_.SView(), scenario_.candidates);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(ProgressiveTest, TotalLinksIndependentOfPolicy) {
+  size_t reference_links = 0;
+  bool first = true;
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::kInputOrder, SchedulingPolicy::kMbrOverlapRatio,
+        SchedulingPolicy::kAprilOverlap}) {
+    const auto curve = ProgressiveFindRelation(
+        Method::kPC, scenario_.RView(), scenario_.SView(),
+        scenario_.candidates, policy);
+    ASSERT_FALSE(curve.empty());
+    EXPECT_EQ(curve.back().processed, scenario_.candidates.size());
+    if (first) {
+      reference_links = curve.back().links_found;
+      first = false;
+    } else {
+      EXPECT_EQ(curve.back().links_found, reference_links) << ToString(policy);
+    }
+    // The curve is monotone.
+    for (size_t i = 1; i < curve.size(); ++i) {
+      EXPECT_GE(curve[i].links_found, curve[i - 1].links_found);
+      EXPECT_GT(curve[i].processed, curve[i - 1].processed);
+    }
+  }
+}
+
+TEST_F(ProgressiveTest, AprilSchedulingFrontLoadsLinks) {
+  // At the halfway checkpoint, the APRIL-overlap schedule must have found at
+  // least as many links as the unscheduled baseline (up to small noise —
+  // require at least 95%).
+  const auto baseline = ProgressiveFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      SchedulingPolicy::kInputOrder);
+  const auto scheduled = ProgressiveFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      SchedulingPolicy::kAprilOverlap);
+  ASSERT_GE(baseline.size(), 5u);
+  ASSERT_GE(scheduled.size(), 5u);
+  const size_t half = baseline.size() / 2;
+  EXPECT_GE(10 * scheduled[half].links_found,
+            9 * baseline[half].links_found);
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,155 @@
+// Soundness of relate_p (Sec. 3.3 / Fig. 6): a definite yes/no must agree
+// with the DE-9IM mask test; inconclusive is always allowed.
+
+#include "src/topology/relate_predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/de9im/relate_engine.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+using de9im::Relation;
+
+class RelatePredicateTest : public ::testing::Test {
+ protected:
+  RelatePredicateTest()
+      : grid_(Box::Of(Point{0, 0}, Point{100, 100}), 9), builder_(&grid_) {}
+
+  void CheckAllPredicates(const Polygon& r, const Polygon& s) {
+    const AprilApproximation ra = builder_.Build(r);
+    const AprilApproximation sa = builder_.Build(s);
+    const de9im::Matrix matrix = de9im::RelateMatrix(r, s);
+    for (int p = 0; p < de9im::kNumRelations; ++p) {
+      const Relation predicate = static_cast<Relation>(p);
+      const RelateAnswer answer = RelatePredicateFilter(
+          predicate, r.Bounds(), ra, s.Bounds(), sa);
+      const bool exact = RelationHolds(predicate, matrix);
+      if (answer == RelateAnswer::kYes) {
+        EXPECT_TRUE(exact) << "false positive for " << ToString(predicate);
+      } else if (answer == RelateAnswer::kNo) {
+        EXPECT_FALSE(exact) << "false negative for " << ToString(predicate);
+      }
+    }
+  }
+
+  RasterGrid grid_;
+  AprilBuilder builder_;
+};
+
+TEST_F(RelatePredicateTest, DeepContainmentAnswersInsideYes) {
+  const Polygon inner = test::Square(45, 45, 55, 55);
+  const Polygon outer = test::Square(10, 10, 90, 90);
+  const AprilApproximation ia = builder_.Build(inner);
+  const AprilApproximation oa = builder_.Build(outer);
+  EXPECT_EQ(RelatePredicateFilter(Relation::kInside, inner.Bounds(), ia,
+                                  outer.Bounds(), oa),
+            RelateAnswer::kYes);
+  EXPECT_EQ(RelatePredicateFilter(Relation::kCoveredBy, inner.Bounds(), ia,
+                                  outer.Bounds(), oa),
+            RelateAnswer::kYes);
+  EXPECT_EQ(RelatePredicateFilter(Relation::kContains, outer.Bounds(), oa,
+                                  inner.Bounds(), ia),
+            RelateAnswer::kYes);
+  EXPECT_EQ(RelatePredicateFilter(Relation::kCovers, outer.Bounds(), oa,
+                                  inner.Bounds(), ia),
+            RelateAnswer::kYes);
+  // And the impossible directions are immediate no's.
+  EXPECT_EQ(RelatePredicateFilter(Relation::kInside, outer.Bounds(), oa,
+                                  inner.Bounds(), ia),
+            RelateAnswer::kNo);
+  EXPECT_EQ(RelatePredicateFilter(Relation::kEquals, inner.Bounds(), ia,
+                                  outer.Bounds(), oa),
+            RelateAnswer::kNo);
+}
+
+TEST_F(RelatePredicateTest, MeetsFastNoOnInteriorOverlap) {
+  const Polygon a = test::Square(10, 10, 60, 60);
+  const Polygon b = test::Square(30, 30, 80, 80);
+  EXPECT_EQ(RelatePredicateFilter(Relation::kMeets, a.Bounds(),
+                                  builder_.Build(a), b.Bounds(),
+                                  builder_.Build(b)),
+            RelateAnswer::kNo);
+}
+
+TEST_F(RelatePredicateTest, MeetsFastNoOnDisjoint) {
+  const Polygon a = test::Square(10, 10, 20, 20);
+  const Polygon b = test::Square(70, 70, 90, 90);
+  EXPECT_EQ(RelatePredicateFilter(Relation::kMeets, a.Bounds(),
+                                  builder_.Build(a), b.Bounds(),
+                                  builder_.Build(b)),
+            RelateAnswer::kNo);
+}
+
+TEST_F(RelatePredicateTest, EqualsRequiresMatchingLists) {
+  const Polygon a = test::Square(10, 10, 60, 60);
+  const AprilApproximation aa = builder_.Build(a);
+  EXPECT_EQ(RelatePredicateFilter(Relation::kEquals, a.Bounds(), aa,
+                                  a.Bounds(), aa),
+            RelateAnswer::kInconclusive);  // rasters equal: must refine
+  const Polygon b = test::Square(10, 10, 60.5, 60);
+  EXPECT_EQ(RelatePredicateFilter(Relation::kEquals, a.Bounds(), aa,
+                                  b.Bounds(), builder_.Build(b)),
+            RelateAnswer::kNo);  // different MBRs: impossible
+}
+
+TEST_F(RelatePredicateTest, IntersectsAndDisjointAreNegations) {
+  Rng rng(211);
+  for (int i = 0; i < 100; ++i) {
+    const Polygon a = test::RandomBlob(
+        &rng, Point{rng.Uniform(20, 80), rng.Uniform(20, 80)},
+        rng.LogUniform(1, 10), 32);
+    const Polygon b = test::RandomBlob(
+        &rng, Point{rng.Uniform(20, 80), rng.Uniform(20, 80)},
+        rng.LogUniform(1, 10), 32);
+    const AprilApproximation aa = builder_.Build(a);
+    const AprilApproximation ba = builder_.Build(b);
+    const RelateAnswer yes = RelatePredicateFilter(
+        Relation::kIntersects, a.Bounds(), aa, b.Bounds(), ba);
+    const RelateAnswer no = RelatePredicateFilter(
+        Relation::kDisjoint, a.Bounds(), aa, b.Bounds(), ba);
+    if (yes == RelateAnswer::kYes) EXPECT_EQ(no, RelateAnswer::kNo);
+    if (yes == RelateAnswer::kNo) EXPECT_EQ(no, RelateAnswer::kYes);
+    if (yes == RelateAnswer::kInconclusive) {
+      EXPECT_EQ(no, RelateAnswer::kInconclusive);
+    }
+  }
+}
+
+TEST_F(RelatePredicateTest, PropertySweepAllPredicates) {
+  Rng rng(213);
+  for (int i = 0; i < 250; ++i) {
+    const Point c{rng.Uniform(20, 80), rng.Uniform(20, 80)};
+    const Polygon a = test::RandomBlob(
+        &rng, c, rng.LogUniform(1.0, 12.0),
+        static_cast<size_t>(rng.UniformInt(6, 100)), 0.25);
+    Polygon b;
+    const double mix = rng.NextDouble();
+    if (mix < 0.3) {
+      b = test::RandomBlob(&rng,
+                           Point{c.x + rng.Uniform(-8, 8),
+                                 c.y + rng.Uniform(-8, 8)},
+                           rng.LogUniform(1.0, 12.0),
+                           static_cast<size_t>(rng.UniformInt(6, 100)), 0.25);
+    } else if (mix < 0.5) {
+      b = ScaleAbout(a, c, rng.Uniform(0.4, 0.9));
+    } else if (mix < 0.65) {
+      b = ScaleAbout(a, c, rng.Uniform(1.1, 1.6));
+    } else if (mix < 0.75) {
+      b = a;
+    } else if (mix < 0.85 && !a.Holes().empty()) {
+      b = Polygon(a.Holes()[0]);
+    } else {
+      b = test::RandomBlob(&rng, Point{rng.Uniform(0, 100), rng.Uniform(0, 100)},
+                           rng.LogUniform(0.5, 5.0), 24);
+    }
+    CheckAllPredicates(a, b);
+    CheckAllPredicates(b, a);
+  }
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/timer.h"
+
+namespace stj {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+  Rng c(124);
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= (a2.NextU64() != c.NextU64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, UniformAndLogUniformRanges) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+    const double lu = rng.LogUniform(1.0, 1000.0);
+    EXPECT_GE(lu, 1.0);
+    EXPECT_LE(lu, 1000.0);
+    const int64_t n = rng.UniformInt(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RunningStats, TracksMinMaxMean) {
+  RunningStats stats;
+  EXPECT_EQ(stats.Count(), 0u);
+  EXPECT_EQ(stats.Mean(), 0.0);
+  for (const double v : {3.0, 1.0, 2.0}) stats.Add(v);
+  EXPECT_EQ(stats.Count(), 3u);
+  EXPECT_EQ(stats.Min(), 1.0);
+  EXPECT_EQ(stats.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.0);
+}
+
+TEST(EquiCountBuckets, SplitsEvenlyAndKeepsTiesTogether) {
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 100; ++i) values.push_back(i);
+  const auto buckets = EquiCountBuckets(values, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], (std::pair<uint64_t, uint64_t>{0, 24}));
+  EXPECT_EQ(buckets[3].second, 99u);
+
+  // Heavy ties: all-equal values collapse into one bucket.
+  const auto tied = EquiCountBuckets(std::vector<uint64_t>(50, 7), 5);
+  ASSERT_EQ(tied.size(), 1u);
+  EXPECT_EQ(tied[0], (std::pair<uint64_t, uint64_t>{7, 7}));
+}
+
+TEST(EquiCountBuckets, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(EquiCountBuckets({}, 5).empty());
+  EXPECT_TRUE(EquiCountBuckets({1, 2, 3}, 0).empty());
+  const auto one = EquiCountBuckets({5}, 3);
+  ASSERT_EQ(one.size(), 1u);
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+}
+
+TEST(Format, ApproxCount) {
+  EXPECT_EQ(FormatApproxCount(999), "999");
+  EXPECT_EQ(FormatApproxCount(63300), "63.3K");
+  EXPECT_EQ(FormatApproxCount(5180000), "5.18M");
+  EXPECT_EQ(FormatApproxCount(2250000000ull), "2.25B");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(timer.ElapsedNanos(), 0u);
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+TEST(StageTimer, AccumulatesAcrossSlices) {
+  StageTimer timer;
+  EXPECT_EQ(timer.TotalSeconds(), 0.0);
+  timer.Start();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  timer.Stop();
+  const double first = timer.TotalSeconds();
+  EXPECT_GT(first, 0.0);
+  timer.Start();
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  timer.Stop();
+  EXPECT_GT(timer.TotalSeconds(), first);
+  timer.Reset();
+  EXPECT_EQ(timer.TotalSeconds(), 0.0);
+  // Stop without start is a no-op; double start keeps the first slice.
+  timer.Stop();
+  EXPECT_EQ(timer.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,66 @@
+# End-to-end smoke test of stj_cli, driven by ctest:
+#   generate -> april -> relate -> join (find-relation and predicate modes).
+# Invoked as: cmake -DCLI=<path-to-stj_cli> -DWORK=<scratch-dir> -P cli_test.cmake
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK)
+  message(FATAL_ERROR "pass -DCLI=... and -DWORK=...")
+endif()
+file(MAKE_DIRECTORY ${WORK})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+# generate two small datasets
+run_checked(${CLI} generate OLE ${WORK}/ole.wkt --scale=0.01 --seed=3)
+run_checked(${CLI} generate OPE ${WORK}/ope.wkt --scale=0.01 --seed=3)
+foreach(f ole.wkt ope.wkt)
+  if(NOT EXISTS ${WORK}/${f})
+    message(FATAL_ERROR "missing ${f}")
+  endif()
+endforeach()
+
+# april precomputation
+run_checked(${CLI} april ${WORK}/ole.wkt ${WORK}/ole.april --grid-order=10)
+if(NOT EXISTS ${WORK}/ole.april)
+  message(FATAL_ERROR "missing ole.april")
+endif()
+
+# relate two inline polygons
+execute_process(
+  COMMAND ${CLI} relate "POLYGON ((0 0, 4 0, 4 4, 0 4))"
+          "POLYGON ((1 1, 2 1, 2 2, 1 2))"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "contains")
+  message(FATAL_ERROR "relate failed: ${out}")
+endif()
+
+# find-relation join, and a predicate join; both methods must agree on count
+execute_process(COMMAND ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt
+                --method=pc --grid-order=10
+                RESULT_VARIABLE rc OUTPUT_VARIABLE pc_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pc join failed")
+endif()
+execute_process(COMMAND ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt
+                --method=st2 --grid-order=10
+                RESULT_VARIABLE rc OUTPUT_VARIABLE st2_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "st2 join failed")
+endif()
+if(NOT pc_out STREQUAL st2_out)
+  message(FATAL_ERROR "P+C and ST2 joins disagree:\n--- P+C\n${pc_out}\n--- ST2\n${st2_out}")
+endif()
+
+execute_process(COMMAND ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt
+                --method=pc --predicate=inside --grid-order=10
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "predicate join failed")
+endif()
+
+message(STATUS "stj_cli end-to-end test passed")

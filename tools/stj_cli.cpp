@@ -1,0 +1,246 @@
+// stj_cli — command-line front end for the stjoin library, mirroring the
+// workflow of the paper's artifact repository:
+//
+//   stj_cli generate <dataset> <out.wkt> [--scale=X] [--seed=S]
+//       Generate one of the ten synthetic datasets (TL, TW, TC, TZ, OBE,
+//       OLE, OPE, OBN, OLN, OPN) as one WKT polygon per line.
+//
+//   stj_cli april <in.wkt> <out.april> [--grid-order=N]
+//       Precompute APRIL P/C interval lists for every polygon of a WKT file
+//       (grid over the file's own bounds) and store them in binary form.
+//
+//   stj_cli relate <wkt-polygon-1> <wkt-polygon-2>
+//       Print the DE-9IM matrix and the most specific relation of two
+//       polygons given inline as WKT strings.
+//
+//   stj_cli join <r.wkt> <s.wkt> [--method=pc|st2|op2|april]
+//                [--grid-order=N] [--predicate=<relation>] [--threads=T]
+//       Run the full topology join between two WKT files: MBR filter join,
+//       then find-relation (default) or a relate_p predicate join. Prints
+//       one "r_index s_index relation" line per non-disjoint pair plus a
+//       summary to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/datasets/dataset_io.h"
+#include "src/datasets/scenarios.h"
+#include "src/de9im/relate_engine.h"
+#include "src/geometry/wkt.h"
+#include "src/raster/april_io.h"
+#include "src/topology/parallel.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace stj;
+
+struct Flags {
+  double scale = 1.0;
+  uint64_t seed = 7;
+  uint32_t grid_order = 12;
+  std::string method = "pc";
+  std::string predicate;
+  unsigned threads = 0;
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      flags.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--grid-order=", 13) == 0) {
+      flags.grid_order = static_cast<uint32_t>(std::atoi(arg + 13));
+    } else if (std::strncmp(arg, "--method=", 9) == 0) {
+      flags.method = arg + 9;
+    } else if (std::strncmp(arg, "--predicate=", 12) == 0) {
+      flags.predicate = arg + 12;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      flags.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+std::optional<Method> ParseMethod(const std::string& name) {
+  if (name == "st2") return Method::kST2;
+  if (name == "op2") return Method::kOP2;
+  if (name == "april") return Method::kApril;
+  if (name == "pc") return Method::kPC;
+  return std::nullopt;
+}
+
+std::optional<de9im::Relation> ParseRelation(const std::string& name) {
+  for (int i = 0; i < de9im::kNumRelations; ++i) {
+    const auto rel = static_cast<de9im::Relation>(i);
+    if (name == ToString(rel)) return rel;
+  }
+  return std::nullopt;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: stj_cli <generate|april|relate|join> ... (see source "
+               "header for details)\n");
+  return 2;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const Flags flags = ParseFlags(argc, argv, 4);
+  const Dataset dataset = BuildDataset(argv[2], flags.scale, flags.seed);
+  if (dataset.objects.empty()) {
+    std::fprintf(stderr, "unknown dataset '%s' (expected one of", argv[2]);
+    for (const std::string& name : DatasetNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 1;
+  }
+  if (!SaveWktDataset(argv[3], dataset)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu polygons (%zu vertices) to %s\n",
+               dataset.objects.size(), dataset.TotalVertices(), argv[3]);
+  return 0;
+}
+
+int CmdApril(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const Flags flags = ParseFlags(argc, argv, 4);
+  Dataset dataset;
+  if (!LoadWktDataset(argv[2], "input", &dataset)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  Box bounds;
+  for (const SpatialObject& object : dataset.objects) {
+    bounds.Expand(object.geometry.Bounds());
+  }
+  const RasterGrid grid(bounds, flags.grid_order);
+  const std::vector<AprilApproximation> april =
+      BuildAprilApproximations(dataset, grid);
+  if (!SaveAprilFile(argv[3], april)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  size_t bytes = 0;
+  for (const AprilApproximation& a : april) bytes += a.ByteSize();
+  std::fprintf(stderr,
+               "wrote %zu approximations (%.2f MB of intervals) to %s\n",
+               april.size(), static_cast<double>(bytes) / 1e6, argv[3]);
+  return 0;
+}
+
+int CmdRelate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const auto a = ParseWktPolygon(argv[2]);
+  const auto b = ParseWktPolygon(argv[3]);
+  if (!a || !b) {
+    std::fprintf(stderr, "WKT parse error\n");
+    return 1;
+  }
+  const de9im::Matrix matrix = de9im::RelateMatrix(*a, *b);
+  std::printf("DE-9IM:   %s\n", matrix.ToString().c_str());
+  std::printf("relation: %s\n",
+              ToString(de9im::MostSpecificRelation(matrix)));
+  return 0;
+}
+
+int CmdJoin(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const Flags flags = ParseFlags(argc, argv, 4);
+  const auto method = ParseMethod(flags.method);
+  if (!method) {
+    std::fprintf(stderr, "unknown method '%s'\n", flags.method.c_str());
+    return 1;
+  }
+  Dataset r;
+  Dataset s;
+  if (!LoadWktDataset(argv[2], "R", &r) || !LoadWktDataset(argv[3], "S", &s)) {
+    std::fprintf(stderr, "cannot read input datasets\n");
+    return 1;
+  }
+  Box bounds;
+  for (const SpatialObject& object : r.objects) {
+    bounds.Expand(object.geometry.Bounds());
+  }
+  for (const SpatialObject& object : s.objects) {
+    bounds.Expand(object.geometry.Bounds());
+  }
+  const RasterGrid grid(bounds, flags.grid_order);
+  Timer timer;
+  const std::vector<AprilApproximation> r_april =
+      BuildAprilApproximations(r, grid);
+  const std::vector<AprilApproximation> s_april =
+      BuildAprilApproximations(s, grid);
+  std::fprintf(stderr, "[april] built in %.2fs\n", timer.ElapsedSeconds());
+
+  timer.Reset();
+  const std::vector<CandidatePair> pairs = MbrJoin::Join(r.Mbrs(), s.Mbrs());
+  std::fprintf(stderr, "[filter] %zu candidate pairs in %.2fs\n", pairs.size(),
+               timer.ElapsedSeconds());
+
+  const DatasetView r_view{&r.objects, &r_april};
+  const DatasetView s_view{&s.objects, &s_april};
+  timer.Reset();
+  if (!flags.predicate.empty()) {
+    const auto predicate = ParseRelation(flags.predicate);
+    if (!predicate) {
+      std::fprintf(stderr, "unknown predicate '%s'\n",
+                   flags.predicate.c_str());
+      return 1;
+    }
+    const ParallelRelateResult result = ParallelRelate(
+        *method, r_view, s_view, pairs, *predicate, flags.threads);
+    size_t matches = 0;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (result.matches[i] != 0) {
+        ++matches;
+        std::printf("%u %u %s\n", pairs[i].r_idx, pairs[i].s_idx,
+                    ToString(*predicate));
+      }
+    }
+    std::fprintf(stderr,
+                 "[join] %zu/%zu pairs satisfy %s in %.2fs (%.1f%% refined)\n",
+                 matches, pairs.size(), ToString(*predicate),
+                 timer.ElapsedSeconds(), result.stats.UndeterminedPercent());
+  } else {
+    const ParallelJoinResult result =
+        ParallelFindRelation(*method, r_view, s_view, pairs, flags.threads);
+    size_t links = 0;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (result.relations[i] == de9im::Relation::kDisjoint) continue;
+      ++links;
+      std::printf("%u %u %s\n", pairs[i].r_idx, pairs[i].s_idx,
+                  ToString(result.relations[i]));
+    }
+    std::fprintf(stderr,
+                 "[join] %zu links from %zu candidates in %.2fs "
+                 "(%.1f%% refined, method %s)\n",
+                 links, pairs.size(), timer.ElapsedSeconds(),
+                 result.stats.UndeterminedPercent(), ToString(*method));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(argc, argv);
+  if (std::strcmp(argv[1], "april") == 0) return CmdApril(argc, argv);
+  if (std::strcmp(argv[1], "relate") == 0) return CmdRelate(argc, argv);
+  if (std::strcmp(argv[1], "join") == 0) return CmdJoin(argc, argv);
+  return Usage();
+}
