@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_interval.dir/bench_micro_interval.cpp.o"
+  "CMakeFiles/bench_micro_interval.dir/bench_micro_interval.cpp.o.d"
+  "bench_micro_interval"
+  "bench_micro_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_raster.dir/bench_micro_raster.cpp.o"
+  "CMakeFiles/bench_micro_raster.dir/bench_micro_raster.cpp.o.d"
+  "bench_micro_raster"
+  "bench_micro_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_relate.dir/bench_micro_relate.cpp.o"
+  "CMakeFiles/bench_micro_relate.dir/bench_micro_relate.cpp.o.d"
+  "bench_micro_relate"
+  "bench_micro_relate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_relate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_progressive.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_progressive.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_progressive.dir/bench_progressive.cpp.o"
+  "CMakeFiles/bench_progressive.dir/bench_progressive.cpp.o.d"
+  "bench_progressive"
+  "bench_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_candidates.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table3_candidates.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table3_candidates.dir/bench_table3_candidates.cpp.o"
+  "CMakeFiles/bench_table3_candidates.dir/bench_table3_candidates.cpp.o.d"
+  "bench_table3_candidates"
+  "bench_table3_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

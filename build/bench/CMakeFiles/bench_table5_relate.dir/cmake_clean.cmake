@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_relate.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table5_relate.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table5_relate.dir/bench_table5_relate.cpp.o"
+  "CMakeFiles/bench_table5_relate.dir/bench_table5_relate.cpp.o.d"
+  "bench_table5_relate"
+  "bench_table5_relate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_relate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

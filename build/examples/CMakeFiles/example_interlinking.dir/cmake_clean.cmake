@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interlinking.dir/interlinking.cpp.o"
+  "CMakeFiles/example_interlinking.dir/interlinking.cpp.o.d"
+  "example_interlinking"
+  "example_interlinking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interlinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

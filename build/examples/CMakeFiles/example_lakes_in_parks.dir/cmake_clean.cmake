@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lakes_in_parks.dir/lakes_in_parks.cpp.o"
+  "CMakeFiles/example_lakes_in_parks.dir/lakes_in_parks.cpp.o.d"
+  "example_lakes_in_parks"
+  "example_lakes_in_parks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lakes_in_parks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_lakes_in_parks.
+# This may be replaced when dependencies are built.

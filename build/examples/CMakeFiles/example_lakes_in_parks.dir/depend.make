@@ -1,0 +1,2 @@
+# Empty dependencies file for example_lakes_in_parks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_relate_query.dir/relate_query.cpp.o"
+  "CMakeFiles/example_relate_query.dir/relate_query.cpp.o.d"
+  "example_relate_query"
+  "example_relate_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_relate_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/blob.cpp" "src/CMakeFiles/stj.dir/datasets/blob.cpp.o" "gcc" "src/CMakeFiles/stj.dir/datasets/blob.cpp.o.d"
+  "/root/repo/src/datasets/buildings.cpp" "src/CMakeFiles/stj.dir/datasets/buildings.cpp.o" "gcc" "src/CMakeFiles/stj.dir/datasets/buildings.cpp.o.d"
+  "/root/repo/src/datasets/dataset_io.cpp" "src/CMakeFiles/stj.dir/datasets/dataset_io.cpp.o" "gcc" "src/CMakeFiles/stj.dir/datasets/dataset_io.cpp.o.d"
+  "/root/repo/src/datasets/scenarios.cpp" "src/CMakeFiles/stj.dir/datasets/scenarios.cpp.o" "gcc" "src/CMakeFiles/stj.dir/datasets/scenarios.cpp.o.d"
+  "/root/repo/src/datasets/tessellation.cpp" "src/CMakeFiles/stj.dir/datasets/tessellation.cpp.o" "gcc" "src/CMakeFiles/stj.dir/datasets/tessellation.cpp.o.d"
+  "/root/repo/src/datasets/workload.cpp" "src/CMakeFiles/stj.dir/datasets/workload.cpp.o" "gcc" "src/CMakeFiles/stj.dir/datasets/workload.cpp.o.d"
+  "/root/repo/src/de9im/boundary_arrangement.cpp" "src/CMakeFiles/stj.dir/de9im/boundary_arrangement.cpp.o" "gcc" "src/CMakeFiles/stj.dir/de9im/boundary_arrangement.cpp.o.d"
+  "/root/repo/src/de9im/dimension.cpp" "src/CMakeFiles/stj.dir/de9im/dimension.cpp.o" "gcc" "src/CMakeFiles/stj.dir/de9im/dimension.cpp.o.d"
+  "/root/repo/src/de9im/mask.cpp" "src/CMakeFiles/stj.dir/de9im/mask.cpp.o" "gcc" "src/CMakeFiles/stj.dir/de9im/mask.cpp.o.d"
+  "/root/repo/src/de9im/matrix.cpp" "src/CMakeFiles/stj.dir/de9im/matrix.cpp.o" "gcc" "src/CMakeFiles/stj.dir/de9im/matrix.cpp.o.d"
+  "/root/repo/src/de9im/relate_engine.cpp" "src/CMakeFiles/stj.dir/de9im/relate_engine.cpp.o" "gcc" "src/CMakeFiles/stj.dir/de9im/relate_engine.cpp.o.d"
+  "/root/repo/src/de9im/relation.cpp" "src/CMakeFiles/stj.dir/de9im/relation.cpp.o" "gcc" "src/CMakeFiles/stj.dir/de9im/relation.cpp.o.d"
+  "/root/repo/src/geometry/box.cpp" "src/CMakeFiles/stj.dir/geometry/box.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/box.cpp.o.d"
+  "/root/repo/src/geometry/clip.cpp" "src/CMakeFiles/stj.dir/geometry/clip.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/clip.cpp.o.d"
+  "/root/repo/src/geometry/convex_hull.cpp" "src/CMakeFiles/stj.dir/geometry/convex_hull.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/convex_hull.cpp.o.d"
+  "/root/repo/src/geometry/locator.cpp" "src/CMakeFiles/stj.dir/geometry/locator.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/locator.cpp.o.d"
+  "/root/repo/src/geometry/point.cpp" "src/CMakeFiles/stj.dir/geometry/point.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/point.cpp.o.d"
+  "/root/repo/src/geometry/point_in_polygon.cpp" "src/CMakeFiles/stj.dir/geometry/point_in_polygon.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/point_in_polygon.cpp.o.d"
+  "/root/repo/src/geometry/point_on_surface.cpp" "src/CMakeFiles/stj.dir/geometry/point_on_surface.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/point_on_surface.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/CMakeFiles/stj.dir/geometry/polygon.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/polygon.cpp.o.d"
+  "/root/repo/src/geometry/predicates.cpp" "src/CMakeFiles/stj.dir/geometry/predicates.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/predicates.cpp.o.d"
+  "/root/repo/src/geometry/ring.cpp" "src/CMakeFiles/stj.dir/geometry/ring.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/ring.cpp.o.d"
+  "/root/repo/src/geometry/segment.cpp" "src/CMakeFiles/stj.dir/geometry/segment.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/segment.cpp.o.d"
+  "/root/repo/src/geometry/simplify.cpp" "src/CMakeFiles/stj.dir/geometry/simplify.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/simplify.cpp.o.d"
+  "/root/repo/src/geometry/validate.cpp" "src/CMakeFiles/stj.dir/geometry/validate.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/validate.cpp.o.d"
+  "/root/repo/src/geometry/wkt.cpp" "src/CMakeFiles/stj.dir/geometry/wkt.cpp.o" "gcc" "src/CMakeFiles/stj.dir/geometry/wkt.cpp.o.d"
+  "/root/repo/src/interval/interval_algebra.cpp" "src/CMakeFiles/stj.dir/interval/interval_algebra.cpp.o" "gcc" "src/CMakeFiles/stj.dir/interval/interval_algebra.cpp.o.d"
+  "/root/repo/src/interval/interval_list.cpp" "src/CMakeFiles/stj.dir/interval/interval_list.cpp.o" "gcc" "src/CMakeFiles/stj.dir/interval/interval_list.cpp.o.d"
+  "/root/repo/src/join/mbr_join.cpp" "src/CMakeFiles/stj.dir/join/mbr_join.cpp.o" "gcc" "src/CMakeFiles/stj.dir/join/mbr_join.cpp.o.d"
+  "/root/repo/src/join/str_rtree.cpp" "src/CMakeFiles/stj.dir/join/str_rtree.cpp.o" "gcc" "src/CMakeFiles/stj.dir/join/str_rtree.cpp.o.d"
+  "/root/repo/src/raster/april.cpp" "src/CMakeFiles/stj.dir/raster/april.cpp.o" "gcc" "src/CMakeFiles/stj.dir/raster/april.cpp.o.d"
+  "/root/repo/src/raster/april_io.cpp" "src/CMakeFiles/stj.dir/raster/april_io.cpp.o" "gcc" "src/CMakeFiles/stj.dir/raster/april_io.cpp.o.d"
+  "/root/repo/src/raster/grid.cpp" "src/CMakeFiles/stj.dir/raster/grid.cpp.o" "gcc" "src/CMakeFiles/stj.dir/raster/grid.cpp.o.d"
+  "/root/repo/src/raster/hilbert.cpp" "src/CMakeFiles/stj.dir/raster/hilbert.cpp.o" "gcc" "src/CMakeFiles/stj.dir/raster/hilbert.cpp.o.d"
+  "/root/repo/src/raster/rasterizer.cpp" "src/CMakeFiles/stj.dir/raster/rasterizer.cpp.o" "gcc" "src/CMakeFiles/stj.dir/raster/rasterizer.cpp.o.d"
+  "/root/repo/src/topology/find_relation.cpp" "src/CMakeFiles/stj.dir/topology/find_relation.cpp.o" "gcc" "src/CMakeFiles/stj.dir/topology/find_relation.cpp.o.d"
+  "/root/repo/src/topology/intermediate_filters.cpp" "src/CMakeFiles/stj.dir/topology/intermediate_filters.cpp.o" "gcc" "src/CMakeFiles/stj.dir/topology/intermediate_filters.cpp.o.d"
+  "/root/repo/src/topology/link_writer.cpp" "src/CMakeFiles/stj.dir/topology/link_writer.cpp.o" "gcc" "src/CMakeFiles/stj.dir/topology/link_writer.cpp.o.d"
+  "/root/repo/src/topology/mbr_relation.cpp" "src/CMakeFiles/stj.dir/topology/mbr_relation.cpp.o" "gcc" "src/CMakeFiles/stj.dir/topology/mbr_relation.cpp.o.d"
+  "/root/repo/src/topology/parallel.cpp" "src/CMakeFiles/stj.dir/topology/parallel.cpp.o" "gcc" "src/CMakeFiles/stj.dir/topology/parallel.cpp.o.d"
+  "/root/repo/src/topology/pipeline.cpp" "src/CMakeFiles/stj.dir/topology/pipeline.cpp.o" "gcc" "src/CMakeFiles/stj.dir/topology/pipeline.cpp.o.d"
+  "/root/repo/src/topology/progressive.cpp" "src/CMakeFiles/stj.dir/topology/progressive.cpp.o" "gcc" "src/CMakeFiles/stj.dir/topology/progressive.cpp.o.d"
+  "/root/repo/src/topology/relate_predicate.cpp" "src/CMakeFiles/stj.dir/topology/relate_predicate.cpp.o" "gcc" "src/CMakeFiles/stj.dir/topology/relate_predicate.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/stj.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/stj.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/stj.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/stj.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/stj.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/stj.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datasets/dataset_io_test.cpp" "tests/CMakeFiles/stj_tests.dir/datasets/dataset_io_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/datasets/dataset_io_test.cpp.o.d"
+  "/root/repo/tests/datasets/generators_test.cpp" "tests/CMakeFiles/stj_tests.dir/datasets/generators_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/datasets/generators_test.cpp.o.d"
+  "/root/repo/tests/datasets/scenarios_test.cpp" "tests/CMakeFiles/stj_tests.dir/datasets/scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/datasets/scenarios_test.cpp.o.d"
+  "/root/repo/tests/de9im/boundary_arrangement_test.cpp" "tests/CMakeFiles/stj_tests.dir/de9im/boundary_arrangement_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/de9im/boundary_arrangement_test.cpp.o.d"
+  "/root/repo/tests/de9im/matrix_mask_test.cpp" "tests/CMakeFiles/stj_tests.dir/de9im/matrix_mask_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/de9im/matrix_mask_test.cpp.o.d"
+  "/root/repo/tests/de9im/relate_engine_test.cpp" "tests/CMakeFiles/stj_tests.dir/de9im/relate_engine_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/de9im/relate_engine_test.cpp.o.d"
+  "/root/repo/tests/de9im/relate_oracle_test.cpp" "tests/CMakeFiles/stj_tests.dir/de9im/relate_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/de9im/relate_oracle_test.cpp.o.d"
+  "/root/repo/tests/de9im/relate_property_test.cpp" "tests/CMakeFiles/stj_tests.dir/de9im/relate_property_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/de9im/relate_property_test.cpp.o.d"
+  "/root/repo/tests/de9im/relation_test.cpp" "tests/CMakeFiles/stj_tests.dir/de9im/relation_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/de9im/relation_test.cpp.o.d"
+  "/root/repo/tests/geometry/box_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/box_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/box_test.cpp.o.d"
+  "/root/repo/tests/geometry/clip_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/clip_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/clip_test.cpp.o.d"
+  "/root/repo/tests/geometry/convex_hull_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/convex_hull_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/convex_hull_test.cpp.o.d"
+  "/root/repo/tests/geometry/locator_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/locator_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/locator_test.cpp.o.d"
+  "/root/repo/tests/geometry/point_in_polygon_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/point_in_polygon_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/point_in_polygon_test.cpp.o.d"
+  "/root/repo/tests/geometry/point_on_surface_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/point_on_surface_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/point_on_surface_test.cpp.o.d"
+  "/root/repo/tests/geometry/predicates_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/predicates_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/predicates_test.cpp.o.d"
+  "/root/repo/tests/geometry/ring_polygon_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/ring_polygon_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/ring_polygon_test.cpp.o.d"
+  "/root/repo/tests/geometry/segment_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/segment_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/segment_test.cpp.o.d"
+  "/root/repo/tests/geometry/simplify_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/simplify_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/simplify_test.cpp.o.d"
+  "/root/repo/tests/geometry/validate_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/validate_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/validate_test.cpp.o.d"
+  "/root/repo/tests/geometry/wkt_test.cpp" "tests/CMakeFiles/stj_tests.dir/geometry/wkt_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/geometry/wkt_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/stj_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/lattice_stress_test.cpp" "tests/CMakeFiles/stj_tests.dir/integration/lattice_stress_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/integration/lattice_stress_test.cpp.o.d"
+  "/root/repo/tests/integration/simplify_topology_test.cpp" "tests/CMakeFiles/stj_tests.dir/integration/simplify_topology_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/integration/simplify_topology_test.cpp.o.d"
+  "/root/repo/tests/interval/interval_algebra_test.cpp" "tests/CMakeFiles/stj_tests.dir/interval/interval_algebra_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/interval/interval_algebra_test.cpp.o.d"
+  "/root/repo/tests/interval/interval_list_test.cpp" "tests/CMakeFiles/stj_tests.dir/interval/interval_list_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/interval/interval_list_test.cpp.o.d"
+  "/root/repo/tests/join/mbr_join_test.cpp" "tests/CMakeFiles/stj_tests.dir/join/mbr_join_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/join/mbr_join_test.cpp.o.d"
+  "/root/repo/tests/join/str_rtree_test.cpp" "tests/CMakeFiles/stj_tests.dir/join/str_rtree_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/join/str_rtree_test.cpp.o.d"
+  "/root/repo/tests/raster/april_io_test.cpp" "tests/CMakeFiles/stj_tests.dir/raster/april_io_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/raster/april_io_test.cpp.o.d"
+  "/root/repo/tests/raster/april_test.cpp" "tests/CMakeFiles/stj_tests.dir/raster/april_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/raster/april_test.cpp.o.d"
+  "/root/repo/tests/raster/grid_test.cpp" "tests/CMakeFiles/stj_tests.dir/raster/grid_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/raster/grid_test.cpp.o.d"
+  "/root/repo/tests/raster/hilbert_test.cpp" "tests/CMakeFiles/stj_tests.dir/raster/hilbert_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/raster/hilbert_test.cpp.o.d"
+  "/root/repo/tests/raster/rasterizer_test.cpp" "tests/CMakeFiles/stj_tests.dir/raster/rasterizer_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/raster/rasterizer_test.cpp.o.d"
+  "/root/repo/tests/topology/find_relation_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/find_relation_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/find_relation_test.cpp.o.d"
+  "/root/repo/tests/topology/intermediate_filters_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/intermediate_filters_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/intermediate_filters_test.cpp.o.d"
+  "/root/repo/tests/topology/link_writer_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/link_writer_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/link_writer_test.cpp.o.d"
+  "/root/repo/tests/topology/mbr_relation_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/mbr_relation_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/mbr_relation_test.cpp.o.d"
+  "/root/repo/tests/topology/parallel_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/parallel_test.cpp.o.d"
+  "/root/repo/tests/topology/pipeline_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/pipeline_test.cpp.o.d"
+  "/root/repo/tests/topology/progressive_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/progressive_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/progressive_test.cpp.o.d"
+  "/root/repo/tests/topology/relate_predicate_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/relate_predicate_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/relate_predicate_test.cpp.o.d"
+  "/root/repo/tests/util/util_test.cpp" "tests/CMakeFiles/stj_tests.dir/util/util_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/util/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stj.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

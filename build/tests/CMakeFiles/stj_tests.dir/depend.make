@@ -1,0 +1,2 @@
+# Empty dependencies file for stj_tests.
+# This may be replaced when dependencies are built.

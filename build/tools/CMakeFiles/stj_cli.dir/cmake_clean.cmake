@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stj_cli.dir/stj_cli.cpp.o"
+  "CMakeFiles/stj_cli.dir/stj_cli.cpp.o.d"
+  "stj_cli"
+  "stj_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stj_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
