@@ -200,4 +200,5 @@ bench/CMakeFiles/bench_table2_datasets.dir/bench_table2_datasets.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/../src/raster/april_io.h \
- /root/repo/src/../src/util/stats.h
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/../src/util/stats.h

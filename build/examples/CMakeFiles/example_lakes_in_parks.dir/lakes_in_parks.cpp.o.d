@@ -201,4 +201,5 @@ examples/CMakeFiles/example_lakes_in_parks.dir/lakes_in_parks.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/../src/geometry/wkt.h
+ /root/repo/src/../src/geometry/wkt.h /root/repo/src/../src/util/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

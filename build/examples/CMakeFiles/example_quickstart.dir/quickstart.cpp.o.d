@@ -154,7 +154,8 @@ examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/../src/geometry/box.h \
  /root/repo/src/../src/geometry/segment.h \
  /root/repo/src/../src/geometry/predicates.h \
- /root/repo/src/../src/geometry/wkt.h \
+ /root/repo/src/../src/geometry/wkt.h /root/repo/src/../src/util/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/raster/april.h \
  /root/repo/src/../src/interval/interval_list.h \
  /root/repo/src/../src/raster/grid.h \

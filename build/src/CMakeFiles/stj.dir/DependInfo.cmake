@@ -53,6 +53,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/topology/relate_predicate.cpp" "src/CMakeFiles/stj.dir/topology/relate_predicate.cpp.o" "gcc" "src/CMakeFiles/stj.dir/topology/relate_predicate.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/CMakeFiles/stj.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/stj.dir/util/rng.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/CMakeFiles/stj.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/stj.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/stj.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/stj.dir/util/status.cpp.o.d"
   "/root/repo/src/util/timer.cpp" "src/CMakeFiles/stj.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/stj.dir/util/timer.cpp.o.d"
   )
 

@@ -41,6 +41,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/raster/grid_test.cpp" "tests/CMakeFiles/stj_tests.dir/raster/grid_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/raster/grid_test.cpp.o.d"
   "/root/repo/tests/raster/hilbert_test.cpp" "tests/CMakeFiles/stj_tests.dir/raster/hilbert_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/raster/hilbert_test.cpp.o.d"
   "/root/repo/tests/raster/rasterizer_test.cpp" "tests/CMakeFiles/stj_tests.dir/raster/rasterizer_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/raster/rasterizer_test.cpp.o.d"
+  "/root/repo/tests/robustness/april_fault_injection_test.cpp" "tests/CMakeFiles/stj_tests.dir/robustness/april_fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/robustness/april_fault_injection_test.cpp.o.d"
+  "/root/repo/tests/robustness/parallel_exception_test.cpp" "tests/CMakeFiles/stj_tests.dir/robustness/parallel_exception_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/robustness/parallel_exception_test.cpp.o.d"
+  "/root/repo/tests/robustness/pipeline_degraded_test.cpp" "tests/CMakeFiles/stj_tests.dir/robustness/pipeline_degraded_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/robustness/pipeline_degraded_test.cpp.o.d"
+  "/root/repo/tests/robustness/wkt_fault_injection_test.cpp" "tests/CMakeFiles/stj_tests.dir/robustness/wkt_fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/robustness/wkt_fault_injection_test.cpp.o.d"
   "/root/repo/tests/topology/find_relation_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/find_relation_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/find_relation_test.cpp.o.d"
   "/root/repo/tests/topology/intermediate_filters_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/intermediate_filters_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/intermediate_filters_test.cpp.o.d"
   "/root/repo/tests/topology/link_writer_test.cpp" "tests/CMakeFiles/stj_tests.dir/topology/link_writer_test.cpp.o" "gcc" "tests/CMakeFiles/stj_tests.dir/topology/link_writer_test.cpp.o.d"

@@ -294,5 +294,6 @@ tests/CMakeFiles/stj_tests.dir/util/util_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/../src/util/rng.h /root/repo/src/../src/util/stats.h \
- /root/repo/src/../src/util/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio
+ /root/repo/src/../src/util/status.h /root/repo/src/../src/util/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio

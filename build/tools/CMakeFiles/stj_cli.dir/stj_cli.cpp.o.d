@@ -124,12 +124,12 @@ tools/CMakeFiles/stj_cli.dir/stj_cli.cpp.o: /root/repo/tools/stj_cli.cpp \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/../src/datasets/dataset_io.h \
- /root/repo/src/../src/datasets/scenarios.h /usr/include/c++/12/vector \
+ /root/repo/src/../src/datasets/dataset_io.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/../src/datasets/scenarios.h \
  /root/repo/src/../src/geometry/polygon.h \
  /root/repo/src/../src/geometry/ring.h /usr/include/c++/12/cstddef \
  /root/repo/src/../src/geometry/box.h \
@@ -199,7 +199,8 @@ tools/CMakeFiles/stj_cli.dir/stj_cli.cpp.o: /root/repo/tools/stj_cli.cpp \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/../src/util/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/de9im/relate_engine.h \
  /root/repo/src/../src/geometry/locator.h \
  /root/repo/src/../src/geometry/point_in_polygon.h \

@@ -3,10 +3,26 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 
+#include "src/geometry/validate.h"
 #include "src/geometry/wkt.h"
 
 namespace stj {
+
+namespace {
+
+void RecordIssue(const LoadOptions& options, LoadReport* report, uint64_t line,
+                 LineIssue::Action action, std::string reason) {
+  if (report == nullptr) return;
+  if (report->issues.size() < options.max_issues) {
+    report->issues.push_back(LineIssue{line, action, std::move(reason)});
+  } else {
+    ++report->issues_dropped;
+  }
+}
+
+}  // namespace
 
 bool SaveWktDataset(const std::string& path, const Dataset& dataset) {
   std::ofstream out(path);
@@ -20,24 +36,104 @@ bool SaveWktDataset(const std::string& path, const Dataset& dataset) {
   return out.good();
 }
 
-bool LoadWktDataset(const std::string& path, const std::string& name,
-                    Dataset* out) {
+Status LoadWktDataset(const std::string& path, const std::string& name,
+                      const LoadOptions& options, Dataset* out,
+                      LoadReport* report) {
   out->objects.clear();
   out->name = name;
+  if (report != nullptr) *report = LoadReport{};
   std::ifstream in(path);
-  if (!in.is_open()) return false;
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open dataset file").WithFile(path);
+  }
+  const bool permissive = options.mode == LoadMode::kPermissive;
   std::string line;
+  uint64_t line_number = 0;
   uint32_t id = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
-    const auto polygon = ParseWktPolygon(line);
+    if (report != nullptr) ++report->lines;
+
+    Result<Polygon> polygon = ParseWktPolygon(line);
     if (!polygon.has_value()) {
-      out->objects.clear();
-      return false;
+      Status error = polygon.status();
+      error.WithFile(path).WithLine(line_number);
+      if (!permissive) {
+        RecordIssue(options, report, line_number, LineIssue::Action::kRejected,
+                    error.message());
+        out->objects.clear();
+        return error;
+      }
+      if (report != nullptr) ++report->skipped;
+      RecordIssue(options, report, line_number, LineIssue::Action::kSkipped,
+                  error.message());
+      continue;
+    }
+
+    // Structural soundness: strict mode accepts whatever parses (validation
+    // is opt-in below); permissive mode repairs what it can and skips the
+    // rest so one mangled row never discards the dataset.
+    bool was_repaired = false;
+    std::string repairs;
+    if (permissive) {
+      Polygon repaired;
+      switch (RepairPolygon(*polygon, &repaired, &repairs)) {
+        case RepairOutcome::kUnchanged:
+          break;
+        case RepairOutcome::kRepaired:
+          *polygon = std::move(repaired);
+          was_repaired = true;
+          break;
+        case RepairOutcome::kUnrepairable:
+          if (report != nullptr) ++report->skipped;
+          RecordIssue(options, report, line_number,
+                      LineIssue::Action::kSkipped,
+                      "degenerate outer ring (fewer than 3 distinct vertices "
+                      "or zero area)");
+          continue;
+      }
+    }
+
+    if (options.validate) {
+      const ValidationResult validity = ValidatePolygon(*polygon);
+      if (!validity.valid) {
+        Status error = Status::InvalidArgument("invalid polygon: " +
+                                               validity.reason)
+                           .WithFile(path)
+                           .WithLine(line_number);
+        if (!permissive) {
+          out->objects.clear();
+          return error;
+        }
+        if (report != nullptr) ++report->skipped;
+        RecordIssue(options, report, line_number, LineIssue::Action::kSkipped,
+                    error.message());
+        continue;
+      }
+    }
+
+    if (report != nullptr) {
+      if (was_repaired) {
+        ++report->repaired;
+        RecordIssue(options, report, line_number, LineIssue::Action::kRepaired,
+                    repairs);
+      } else {
+        ++report->accepted;
+      }
     }
     out->objects.push_back(SpatialObject{id++, std::move(*polygon)});
   }
-  return true;
+  if (in.bad()) {
+    out->objects.clear();
+    return Status::IoError("read error").WithFile(path).WithLine(line_number);
+  }
+  return Status::Ok();
+}
+
+bool LoadWktDataset(const std::string& path, const std::string& name,
+                    Dataset* out) {
+  return LoadWktDataset(path, name, LoadOptions{}, out).ok();
 }
 
 }  // namespace stj

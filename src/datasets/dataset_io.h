@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/datasets/scenarios.h"
+#include "src/util/status.h"
 
 namespace stj {
 
@@ -15,8 +18,63 @@ namespace stj {
 /// Returns false on I/O error.
 bool SaveWktDataset(const std::string& path, const Dataset& dataset);
 
+/// How LoadWktDataset reacts to lines that fail to parse or validate.
+enum class LoadMode : uint8_t {
+  /// The whole load fails on the first bad line; the Status names the file,
+  /// line number, and byte offset of the problem.
+  kStrict,
+  /// Bad lines are repaired when possible (RepairPolygon) and skipped
+  /// otherwise; the LoadReport records every decision. Real-world polygon
+  /// feeds (TIGER/OSM extracts) routinely contain a few mangled rows, and
+  /// one bad row must not discard millions of good ones.
+  kPermissive,
+};
+
+struct LoadOptions {
+  LoadMode mode = LoadMode::kStrict;
+  /// Additionally run ValidatePolygon (O(n^2) self-intersection check) on
+  /// every parsed polygon. Strict mode fails on an invalid polygon;
+  /// permissive mode repairs or skips it. Off by default — it dominates load
+  /// time on large inputs.
+  bool validate = false;
+  /// Cap on per-line issues retained in LoadReport::issues; counts beyond it
+  /// are still tallied in the aggregate counters.
+  size_t max_issues = 64;
+};
+
+/// What happened to one problematic input line.
+struct LineIssue {
+  enum class Action : uint8_t {
+    kRejected,  ///< Strict mode: this line aborted the load.
+    kRepaired,  ///< Permissive: loaded after structural repair.
+    kSkipped,   ///< Permissive: dropped.
+  };
+  uint64_t line = 0;  ///< 1-based line number in the file.
+  Action action = Action::kSkipped;
+  std::string reason;
+};
+
+/// Per-load accounting: every non-comment line lands in exactly one of
+/// accepted / repaired / skipped (strict loads abort instead of skipping).
+struct LoadReport {
+  uint64_t lines = 0;     ///< Non-comment, non-blank lines seen.
+  uint64_t accepted = 0;  ///< Lines loaded verbatim.
+  uint64_t repaired = 0;  ///< Lines loaded after repair (permissive only).
+  uint64_t skipped = 0;   ///< Lines dropped (permissive only).
+  std::vector<LineIssue> issues;  ///< First LoadOptions::max_issues issues.
+  uint64_t issues_dropped = 0;    ///< Issues beyond the cap (tallied only).
+};
+
 /// Reads a WKT-per-line file into a dataset named \p name. Blank lines and
-/// lines starting with '#' are skipped. Returns false on I/O error or if any
+/// lines starting with '#' are skipped. Object ids are assigned in file
+/// order over the lines actually loaded. On failure *out is cleared and the
+/// Status carries the file, 1-based line, and byte offset of the problem.
+/// \p report (optional) receives per-line accounting in either mode.
+Status LoadWktDataset(const std::string& path, const std::string& name,
+                      const LoadOptions& options, Dataset* out,
+                      LoadReport* report = nullptr);
+
+/// Strict-mode convenience wrapper. Returns false on I/O error or if any
 /// non-comment line fails to parse; in that case *out is left cleared.
 bool LoadWktDataset(const std::string& path, const std::string& name,
                     Dataset* out);

@@ -1,33 +1,13 @@
 #include "src/de9im/mask.h"
 
-#include <cstdlib>
-
 namespace stj::de9im {
 
-std::optional<Mask> Mask::Parse(std::string_view pattern) {
-  if (pattern.size() != 9) return std::nullopt;
-  Mask mask;
-  for (size_t i = 0; i < 9; ++i) {
-    switch (pattern[i]) {
-      case '*': mask.cells_[i] = Cell::kAny; break;
-      case 'T':
-      case 't': mask.cells_[i] = Cell::kTrue; break;
-      case 'F':
-      case 'f': mask.cells_[i] = Cell::kFalse; break;
-      case '0': mask.cells_[i] = Cell::kDim0; break;
-      case '1': mask.cells_[i] = Cell::kDim1; break;
-      case '2': mask.cells_[i] = Cell::kDim2; break;
-      default: return std::nullopt;
-    }
-  }
-  return mask;
-}
-
-Mask Mask::FromLiteral(std::string_view pattern) {
-  std::optional<Mask> mask = Parse(pattern);
-  if (!mask.has_value()) std::abort();  // programming error in a literal
-  return *mask;
-}
+// The Table 1 literals must stay well-formed; a regression here is a compile
+// error via consteval FromLiteral, but keep a cheap static check close to the
+// parser as documentation.
+static_assert(Mask::Parse("T*F**FFF*").has_value());
+static_assert(!Mask::Parse("T*F").has_value());
+static_assert(!Mask::Parse("T*F**F*3*").has_value());
 
 bool Mask::Matches(const Matrix& m) const {
   for (size_t i = 0; i < 9; ++i) {

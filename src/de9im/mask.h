@@ -18,12 +18,38 @@ namespace stj::de9im {
 class Mask {
  public:
   /// Parses a 9-character pattern; returns nullopt if any character is not in
-  /// {T, F, *, 0, 1, 2} (case-insensitive for T/F).
-  static std::optional<Mask> Parse(std::string_view pattern);
+  /// {T, F, *, 0, 1, 2} (case-insensitive for T/F). Usable in constant
+  /// expressions.
+  static constexpr std::optional<Mask> Parse(std::string_view pattern) {
+    if (pattern.size() != 9) return std::nullopt;
+    Mask mask;
+    for (size_t i = 0; i < 9; ++i) {
+      switch (pattern[i]) {
+        case '*': mask.cells_[i] = Cell::kAny; break;
+        case 'T':
+        case 't': mask.cells_[i] = Cell::kTrue; break;
+        case 'F':
+        case 'f': mask.cells_[i] = Cell::kFalse; break;
+        case '0': mask.cells_[i] = Cell::kDim0; break;
+        case '1': mask.cells_[i] = Cell::kDim1; break;
+        case '2': mask.cells_[i] = Cell::kDim2; break;
+        default: return std::nullopt;
+      }
+    }
+    return mask;
+  }
 
-  /// Compile-time-friendly constructor for known-good literals; terminates on
-  /// malformed input (used for the static Table 1 masks).
-  static Mask FromLiteral(std::string_view pattern);
+  /// Compile-time-checked constructor for literals: a malformed pattern is a
+  /// compile error (the throw below is unreachable at runtime because
+  /// consteval forces constant evaluation), so a bad mask literal can never
+  /// take down a serving process. For runtime patterns use Parse.
+  static consteval Mask FromLiteral(std::string_view pattern) {
+    const std::optional<Mask> mask = Parse(pattern);
+    if (!mask.has_value()) {
+      throw "malformed DE-9IM mask literal (need 9 chars from {T,F,*,0,1,2})";
+    }
+    return *mask;
+  }
 
   /// True iff \p m satisfies this pattern.
   bool Matches(const Matrix& m) const;

@@ -72,6 +72,68 @@ ValidationResult ValidateRing(const Ring& ring) {
   return ValidationResult::Ok();
 }
 
+namespace {
+
+// Removes repeated consecutive vertices, treating the ring as closed (so a
+// trailing vertex equal to the first is dropped too). Returns true if any
+// vertex was removed.
+bool DedupeRingVertices(const Ring& ring, std::vector<Point>* out) {
+  out->clear();
+  for (size_t i = 0; i < ring.Size(); ++i) {
+    if (!out->empty() && ring[i] == out->back()) continue;
+    out->push_back(ring[i]);
+  }
+  while (out->size() > 1 && out->back() == out->front()) out->pop_back();
+  return out->size() != ring.Size();
+}
+
+void AppendAction(std::string* what, const std::string& action) {
+  if (what == nullptr) return;
+  if (!what->empty()) what->append(", ");
+  what->append(action);
+}
+
+}  // namespace
+
+RepairOutcome RepairPolygon(const Polygon& poly, Polygon* out,
+                            std::string* what) {
+  if (what != nullptr) what->clear();
+  bool changed = false;
+
+  std::vector<Point> outer_pts;
+  if (DedupeRingVertices(poly.Outer(), &outer_pts)) {
+    changed = true;
+    AppendAction(what, "deduplicated outer-ring vertices");
+  }
+  Ring outer(std::move(outer_pts));
+  if (outer.Size() < 3 || outer.SignedArea2() == 0.0) {
+    return RepairOutcome::kUnrepairable;
+  }
+
+  std::vector<Ring> holes;
+  holes.reserve(poly.Holes().size());
+  for (size_t h = 0; h < poly.Holes().size(); ++h) {
+    std::vector<Point> hole_pts;
+    if (DedupeRingVertices(poly.Holes()[h], &hole_pts)) {
+      changed = true;
+      AppendAction(what,
+                   "deduplicated hole " + std::to_string(h) + " vertices");
+    }
+    Ring hole(std::move(hole_pts));
+    if (hole.Size() < 3 || hole.SignedArea2() == 0.0) {
+      changed = true;
+      AppendAction(what, "dropped degenerate hole " + std::to_string(h));
+      continue;
+    }
+    holes.push_back(std::move(hole));
+  }
+
+  // Polygon's constructor renormalises winding, so a backwards input ring is
+  // repaired implicitly and does not count as a change here.
+  *out = Polygon(std::move(outer), std::move(holes));
+  return changed ? RepairOutcome::kRepaired : RepairOutcome::kUnchanged;
+}
+
 ValidationResult ValidatePolygon(const Polygon& poly) {
   ValidationResult outer = ValidateRing(poly.Outer());
   if (!outer.valid) {

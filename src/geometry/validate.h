@@ -28,4 +28,23 @@ ValidationResult ValidateRing(const Ring& ring);
 /// the outer ring, and that rings do not cross each other.
 ValidationResult ValidatePolygon(const Polygon& poly);
 
+/// Outcome of RepairPolygon.
+enum class RepairOutcome : uint8_t {
+  kUnchanged,     ///< Already structurally sound; *out is a copy of the input.
+  kRepaired,      ///< One or more repairs applied; *out holds the result.
+  kUnrepairable,  ///< Outer ring beyond repair; *out untouched.
+};
+
+/// Applies the cheap structural repairs permissive ingestion relies on:
+/// dedupes repeated consecutive vertices (including the closing wraparound
+/// pair), drops holes that degenerate (< 3 distinct vertices or zero area),
+/// and renormalises winding via Polygon's constructor. Fails only when the
+/// outer ring itself degenerates. When \p what is non-null it receives a
+/// short comma-separated list of the repairs applied ("" when unchanged).
+///
+/// This is O(n) — it does NOT detect self-intersections; run ValidatePolygon
+/// afterwards when full validity matters.
+RepairOutcome RepairPolygon(const Polygon& poly, Polygon* out,
+                            std::string* what = nullptr);
+
 }  // namespace stj

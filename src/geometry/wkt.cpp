@@ -33,7 +33,8 @@ void AppendRing(std::string* out, const Ring& ring) {
   out->push_back(')');
 }
 
-/// Minimal recursive-descent scanner over a WKT string.
+/// Minimal recursive-descent scanner over a WKT string. Tracks the byte
+/// position so parse errors can name the exact offset that failed.
 class Scanner {
  public:
   explicit Scanner(std::string_view text) : text_(text) {}
@@ -66,11 +67,6 @@ class Scanner {
     return false;
   }
 
-  bool PeekChar(char c) {
-    SkipSpace();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
   bool ParseDouble(double* out) {
     SkipSpace();
     const char* begin = text_.data() + pos_;
@@ -86,22 +82,41 @@ class Scanner {
     return pos_ == text_.size();
   }
 
+  /// Current byte offset (after any skipped whitespace of the last call).
+  size_t Pos() const { return pos_; }
+
+  /// An InvalidArgument Status describing what was expected at the current
+  /// position, e.g. "expected ')' but found 'x'".
+  Status Error(std::string expected) {
+    SkipSpace();
+    std::string message = "expected " + std::move(expected);
+    if (pos_ < text_.size()) {
+      message += " but found '";
+      message += text_[pos_];
+      message += '\'';
+    } else {
+      message += " but input ended";
+    }
+    return Status::InvalidArgument(std::move(message)).WithOffset(pos_);
+  }
+
  private:
   std::string_view text_;
   size_t pos_ = 0;
 };
 
-bool ParseRing(Scanner* sc, Ring* out) {
-  if (!sc->ConsumeChar('(')) return false;
+Status ParseRing(Scanner* sc, Ring* out) {
+  if (!sc->ConsumeChar('(')) return sc->Error("'(' to open a ring");
   std::vector<Point> pts;
   do {
     Point p;
-    if (!sc->ParseDouble(&p.x) || !sc->ParseDouble(&p.y)) return false;
+    if (!sc->ParseDouble(&p.x)) return sc->Error("x coordinate");
+    if (!sc->ParseDouble(&p.y)) return sc->Error("y coordinate");
     pts.push_back(p);
   } while (sc->ConsumeChar(','));
-  if (!sc->ConsumeChar(')')) return false;
+  if (!sc->ConsumeChar(')')) return sc->Error("',' or ')' in ring");
   *out = Ring(std::move(pts));  // Ring() drops an explicit closing vertex.
-  return true;
+  return Status::Ok();
 }
 
 }  // namespace
@@ -127,32 +142,36 @@ std::string ToWkt(const Polygon& poly) {
   return out;
 }
 
-std::optional<Point> ParseWktPoint(std::string_view wkt) {
+Result<Point> ParseWktPoint(std::string_view wkt) {
   Scanner sc(wkt);
-  if (!sc.ConsumeKeyword("POINT")) return std::nullopt;
-  if (!sc.ConsumeChar('(')) return std::nullopt;
+  if (!sc.ConsumeKeyword("POINT")) return sc.Error("keyword POINT");
+  if (!sc.ConsumeChar('(')) return sc.Error("'('");
   Point p;
-  if (!sc.ParseDouble(&p.x) || !sc.ParseDouble(&p.y)) return std::nullopt;
-  if (!sc.ConsumeChar(')')) return std::nullopt;
-  if (!sc.AtEnd()) return std::nullopt;
+  if (!sc.ParseDouble(&p.x)) return sc.Error("x coordinate");
+  if (!sc.ParseDouble(&p.y)) return sc.Error("y coordinate");
+  if (!sc.ConsumeChar(')')) return sc.Error("')'");
+  if (!sc.AtEnd()) return sc.Error("end of input");
   return p;
 }
 
-std::optional<Polygon> ParseWktPolygon(std::string_view wkt) {
+Result<Polygon> ParseWktPolygon(std::string_view wkt) {
   Scanner sc(wkt);
-  if (!sc.ConsumeKeyword("POLYGON")) return std::nullopt;
-  if (sc.ConsumeKeyword("EMPTY")) return sc.AtEnd() ? std::optional<Polygon>(Polygon{}) : std::nullopt;
-  if (!sc.ConsumeChar('(')) return std::nullopt;
+  if (!sc.ConsumeKeyword("POLYGON")) return sc.Error("keyword POLYGON");
+  if (sc.ConsumeKeyword("EMPTY")) {
+    if (!sc.AtEnd()) return sc.Error("end of input after EMPTY");
+    return Polygon{};
+  }
+  if (!sc.ConsumeChar('(')) return sc.Error("'(' to open the ring list");
   Ring outer;
-  if (!ParseRing(&sc, &outer)) return std::nullopt;
+  if (Status st = ParseRing(&sc, &outer); !st.ok()) return st;
   std::vector<Ring> holes;
   while (sc.ConsumeChar(',')) {
     Ring hole;
-    if (!ParseRing(&sc, &hole)) return std::nullopt;
+    if (Status st = ParseRing(&sc, &hole); !st.ok()) return st;
     holes.push_back(std::move(hole));
   }
-  if (!sc.ConsumeChar(')')) return std::nullopt;
-  if (!sc.AtEnd()) return std::nullopt;
+  if (!sc.ConsumeChar(')')) return sc.Error("',' or ')' closing the ring list");
+  if (!sc.AtEnd()) return sc.Error("end of input");
   return Polygon(std::move(outer), std::move(holes));
 }
 

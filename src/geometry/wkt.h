@@ -1,11 +1,11 @@
 #pragma once
 
-#include <optional>
 #include <string>
 #include <string_view>
 
 #include "src/geometry/point.h"
 #include "src/geometry/polygon.h"
+#include "src/util/status.h"
 
 namespace stj {
 
@@ -16,11 +16,13 @@ std::string ToWkt(const Point& p);
 /// explicitly closed (first vertex repeated last), as OGC WKT requires.
 std::string ToWkt(const Polygon& poly);
 
-/// Parses a WKT POINT. Returns std::nullopt on malformed input.
-std::optional<Point> ParseWktPoint(std::string_view wkt);
+/// Parses a WKT POINT. On malformed input the Status pinpoints the problem
+/// with a message and the 0-based byte offset into \p wkt.
+Result<Point> ParseWktPoint(std::string_view wkt);
 
 /// Parses a WKT POLYGON (outer ring plus optional holes). Accepts both closed
-/// and unclosed rings. Returns std::nullopt on malformed input.
-std::optional<Polygon> ParseWktPolygon(std::string_view wkt);
+/// and unclosed rings. On malformed input the Status pinpoints the problem
+/// with a message and the 0-based byte offset into \p wkt.
+Result<Polygon> ParseWktPolygon(std::string_view wkt);
 
 }  // namespace stj

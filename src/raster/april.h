@@ -21,6 +21,14 @@ struct AprilApproximation {
   IntervalList conservative;  ///< C list.
   IntervalList progressive;   ///< P list.
 
+  /// False when corruption-safe I/O (april_io.h) flagged this record as
+  /// unusable (checksum mismatch, undecodable payload). The pipeline must
+  /// then treat the pair as undetermined and fall back to refinement rather
+  /// than filter on garbage intervals. Note an *empty* conservative list with
+  /// usable=true is legitimate (the object covers no cell at this grid
+  /// resolution is impossible, but slivers can have empty P lists).
+  bool usable = true;
+
   /// In-memory footprint of both lists in bytes (Table 2 reporting).
   size_t ByteSize() const {
     return conservative.ByteSize() + progressive.ByteSize();

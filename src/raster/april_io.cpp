@@ -1,7 +1,9 @@
 #include "src/raster/april_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 namespace stj {
@@ -10,7 +12,12 @@ namespace {
 
 constexpr char kMagic[4] = {'A', 'P', 'R', 'L'};
 constexpr char kMagicCompressed[4] = {'A', 'P', 'R', 'C'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionUnframed = 1;  ///< Legacy: no per-record frames.
+constexpr uint32_t kVersion = 2;          ///< Framed + checksummed records.
+constexpr uint64_t kMaxListSize = 1ull << 40;   // corrupt size guard
+constexpr uint64_t kMaxObjectCount = 1ull << 32;
+constexpr size_t kMaxReportedIndices = 1024;
+constexpr size_t kReserveCap = 4096;  // never trust an on-disk count for alloc
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -19,36 +26,111 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-bool WriteU32(std::FILE* f, uint32_t v) {
-  return std::fwrite(&v, sizeof v, 1, f) == 1;
-}
-bool WriteU64(std::FILE* f, uint64_t v) {
-  return std::fwrite(&v, sizeof v, 1, f) == 1;
-}
-bool ReadU32(std::FILE* f, uint32_t* v) {
-  return std::fread(v, sizeof *v, 1, f) == 1;
-}
-bool ReadU64(std::FILE* f, uint64_t* v) {
-  return std::fread(v, sizeof *v, 1, f) == 1;
-}
-
-bool WriteList(std::FILE* f, const IntervalList& list) {
-  if (!WriteU64(f, list.Size())) return false;
-  for (size_t i = 0; i < list.Size(); ++i) {
-    if (!WriteU64(f, list[i].begin) || !WriteU64(f, list[i].end)) return false;
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ull;
   }
-  return true;
+  return hash;
 }
 
-bool ReadList(std::FILE* f, IntervalList* out) {
+// ---- serialisation into a memory buffer (record payloads) ----
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+// LEB128 varint encoding.
+void AppendVarint(std::string* out, uint64_t v) {
+  do {
+    char byte = static_cast<char>(v & 0x7F);
+    v >>= 7;
+    if (v != 0) byte = static_cast<char>(byte | char(0x80));
+    out->push_back(byte);
+  } while (v != 0);
+}
+
+void AppendList(std::string* out, const IntervalList& list) {
+  AppendU64(out, list.Size());
+  for (size_t i = 0; i < list.Size(); ++i) {
+    AppendU64(out, list[i].begin);
+    AppendU64(out, list[i].end);
+  }
+}
+
+// Compressed list: varint count, then per interval the gap from the previous
+// interval's end (first interval: gap from 0) and the interval length minus
+// one (canonical intervals are non-empty).
+void AppendListCompressed(std::string* out, const IntervalList& list) {
+  AppendVarint(out, list.Size());
+  CellId cursor = 0;
+  for (size_t i = 0; i < list.Size(); ++i) {
+    AppendVarint(out, list[i].begin - cursor);
+    AppendVarint(out, list[i].Length() - 1);
+    cursor = list[i].end;
+  }
+}
+
+// ---- deserialisation from a memory buffer ----
+
+/// Bounded cursor over loaded file bytes. Reads never run past the end;
+/// a short read leaves the cursor untouched and returns false.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t Pos() const { return pos_; }
+  size_t Remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  bool ReadBytes(void* out, size_t n) {
+    if (Remaining() < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) { return ReadBytes(v, sizeof *v); }
+  bool ReadU64(uint64_t* v) { return ReadBytes(v, sizeof *v); }
+
+  bool ReadVarint(uint64_t* out) {
+    uint64_t value = 0;
+    size_t p = pos_;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (p == size_) return false;
+      const unsigned char c = static_cast<unsigned char>(data_[p++]);
+      value |= static_cast<uint64_t>(c & 0x7F) << shift;
+      if ((c & 0x80) == 0) {
+        *out = value;
+        pos_ = p;
+        return true;
+      }
+    }
+    return false;  // over-long varint
+  }
+
+  bool Skip(uint64_t n) {
+    if (Remaining() < n) return false;
+    pos_ += static_cast<size_t>(n);
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+bool ReadList(ByteReader* in, IntervalList* out) {
   uint64_t count = 0;
-  if (!ReadU64(f, &count)) return false;
-  if (count > (1ull << 40)) return false;  // corrupt size guard
+  if (!in->ReadU64(&count)) return false;
+  if (count > kMaxListSize) return false;
+  if (count * 2 * sizeof(uint64_t) > in->Remaining()) return false;
   std::vector<CellInterval> intervals;
   intervals.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     CellInterval iv;
-    if (!ReadU64(f, &iv.begin) || !ReadU64(f, &iv.end)) return false;
+    if (!in->ReadU64(&iv.begin) || !in->ReadU64(&iv.end)) return false;
     intervals.push_back(iv);
   }
   // Validate canonical form without asserting.
@@ -60,58 +142,17 @@ bool ReadList(std::FILE* f, IntervalList* out) {
   return true;
 }
 
-// LEB128 varint encoding.
-bool WriteVarint(std::FILE* f, uint64_t v) {
-  unsigned char buf[10];
-  size_t n = 0;
-  do {
-    unsigned char byte = static_cast<unsigned char>(v & 0x7F);
-    v >>= 7;
-    if (v != 0) byte |= 0x80;
-    buf[n++] = byte;
-  } while (v != 0);
-  return std::fwrite(buf, 1, n, f) == n;
-}
-
-bool ReadVarint(std::FILE* f, uint64_t* out) {
-  uint64_t value = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    const int c = std::fgetc(f);
-    if (c == EOF) return false;
-    value |= static_cast<uint64_t>(c & 0x7F) << shift;
-    if ((c & 0x80) == 0) {
-      *out = value;
-      return true;
-    }
-  }
-  return false;  // over-long varint
-}
-
-// Compressed list: varint count, then per interval the gap from the previous
-// interval's end (first interval: gap from 0) and the interval length minus
-// one (canonical intervals are non-empty).
-bool WriteListCompressed(std::FILE* f, const IntervalList& list) {
-  if (!WriteVarint(f, list.Size())) return false;
-  CellId cursor = 0;
-  for (size_t i = 0; i < list.Size(); ++i) {
-    if (!WriteVarint(f, list[i].begin - cursor)) return false;
-    if (!WriteVarint(f, list[i].Length() - 1)) return false;
-    cursor = list[i].end;
-  }
-  return true;
-}
-
-bool ReadListCompressed(std::FILE* f, IntervalList* out) {
+bool ReadListCompressed(ByteReader* in, IntervalList* out) {
   uint64_t count = 0;
-  if (!ReadVarint(f, &count)) return false;
-  if (count > (1ull << 40)) return false;
+  if (!in->ReadVarint(&count)) return false;
+  if (count > kMaxListSize || count * 2 > in->Remaining()) return false;
   std::vector<CellInterval> intervals;
   intervals.reserve(count);
   CellId cursor = 0;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t gap = 0;
     uint64_t length_minus_one = 0;
-    if (!ReadVarint(f, &gap) || !ReadVarint(f, &length_minus_one)) {
+    if (!in->ReadVarint(&gap) || !in->ReadVarint(&length_minus_one)) {
       return false;
     }
     // Canonical form needs a positive gap between intervals (but the first
@@ -119,7 +160,7 @@ bool ReadListCompressed(std::FILE* f, IntervalList* out) {
     if (i > 0 && gap == 0) return false;
     const CellId begin = cursor + gap;
     const CellId end = begin + length_minus_one + 1;
-    if (end <= begin) return false;  // overflow guard
+    if (end <= begin || begin < cursor) return false;  // overflow guard
     intervals.push_back(CellInterval{begin, end});
     cursor = end;
   }
@@ -127,71 +168,211 @@ bool ReadListCompressed(std::FILE* f, IntervalList* out) {
   return true;
 }
 
-}  // namespace
+/// Decodes one record payload (both lists) and requires it to be consumed
+/// exactly.
+bool DecodePayload(const char* data, size_t size, bool compressed,
+                   AprilApproximation* out) {
+  ByteReader in(data, size);
+  const bool ok = compressed
+                      ? (ReadListCompressed(&in, &out->conservative) &&
+                         ReadListCompressed(&in, &out->progressive))
+                      : (ReadList(&in, &out->conservative) &&
+                         ReadList(&in, &out->progressive));
+  return ok && in.AtEnd();
+}
 
-bool SaveAprilFile(const std::string& path,
-                   const std::vector<AprilApproximation>& approximations) {
+bool SaveImpl(const std::string& path,
+              const std::vector<AprilApproximation>& approximations,
+              bool compressed) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) return false;
-  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) return false;
-  if (!WriteU32(f.get(), kVersion)) return false;
-  if (!WriteU64(f.get(), approximations.size())) return false;
+  const char* magic = compressed ? kMagicCompressed : kMagic;
+  if (std::fwrite(magic, 1, 4, f.get()) != 4) return false;
+  if (std::fwrite(&kVersion, sizeof kVersion, 1, f.get()) != 1) return false;
+  const uint64_t count = approximations.size();
+  if (std::fwrite(&count, sizeof count, 1, f.get()) != 1) return false;
+  std::string payload;
   for (const AprilApproximation& april : approximations) {
-    if (!WriteList(f.get(), april.conservative)) return false;
-    if (!WriteList(f.get(), april.progressive)) return false;
+    payload.clear();
+    if (compressed) {
+      AppendListCompressed(&payload, april.conservative);
+      AppendListCompressed(&payload, april.progressive);
+    } else {
+      AppendList(&payload, april.conservative);
+      AppendList(&payload, april.progressive);
+    }
+    const uint64_t size = payload.size();
+    const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+    if (std::fwrite(&size, sizeof size, 1, f.get()) != 1) return false;
+    if (std::fwrite(&checksum, sizeof checksum, 1, f.get()) != 1) return false;
+    if (!payload.empty() &&
+        std::fwrite(payload.data(), 1, payload.size(), f.get()) !=
+            payload.size()) {
+      return false;
+    }
   }
   return std::fflush(f.get()) == 0;
 }
 
-bool LoadAprilFile(const std::string& path,
-                   std::vector<AprilApproximation>* out) {
-  out->clear();
+Status ReadWholeFile(const std::string& path, std::string* out) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return false;
-  char magic[4];
-  if (std::fread(magic, 1, 4, f.get()) != 4) return false;
-  bool compressed = true;
-  for (int i = 0; i < 4 && compressed; ++i) {
-    compressed = magic[i] == kMagicCompressed[i];
+  if (f == nullptr) {
+    return Status::NotFound("cannot open APRIL file").WithFile(path);
   }
-  if (!compressed) {
-    for (int i = 0; i < 4; ++i) {
-      if (magic[i] != kMagic[i]) return false;
-    }
+  out->clear();
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    out->append(buf, n);
   }
-  uint32_t version = 0;
-  if (!ReadU32(f.get(), &version) || version != kVersion) return false;
-  uint64_t count = 0;
-  if (!ReadU64(f.get(), &count)) return false;
-  if (count > (1ull << 32)) return false;
-  out->reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    AprilApproximation april;
-    const bool ok =
-        compressed
-            ? (ReadListCompressed(f.get(), &april.conservative) &&
-               ReadListCompressed(f.get(), &april.progressive))
-            : (ReadList(f.get(), &april.conservative) &&
-               ReadList(f.get(), &april.progressive));
-    if (!ok) return false;
-    out->push_back(std::move(april));
+  if (std::ferror(f.get()) != 0) {
+    return Status::IoError("read error").WithFile(path);
   }
-  return true;
+  return Status::Ok();
+}
+
+void ReportCorrupt(AprilLoadReport* report, uint64_t index) {
+  if (report == nullptr) return;
+  ++report->corrupt;
+  if (report->corrupt_indices.size() < kMaxReportedIndices) {
+    report->corrupt_indices.push_back(index);
+  }
+}
+
+}  // namespace
+
+bool SaveAprilFile(const std::string& path,
+                   const std::vector<AprilApproximation>& approximations) {
+  return SaveImpl(path, approximations, /*compressed=*/false);
 }
 
 bool SaveAprilFileCompressed(
     const std::string& path,
     const std::vector<AprilApproximation>& approximations) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) return false;
-  if (std::fwrite(kMagicCompressed, 1, 4, f.get()) != 4) return false;
-  if (!WriteU32(f.get(), kVersion)) return false;
-  if (!WriteU64(f.get(), approximations.size())) return false;
-  for (const AprilApproximation& april : approximations) {
-    if (!WriteListCompressed(f.get(), april.conservative)) return false;
-    if (!WriteListCompressed(f.get(), april.progressive)) return false;
+  return SaveImpl(path, approximations, /*compressed=*/true);
+}
+
+Status LoadAprilFileDetailed(const std::string& path,
+                             std::vector<AprilApproximation>* out,
+                             AprilLoadReport* report) {
+  out->clear();
+  if (report != nullptr) *report = AprilLoadReport{};
+  std::string bytes;
+  if (Status st = ReadWholeFile(path, &bytes); !st.ok()) return st;
+  ByteReader in(bytes.data(), bytes.size());
+
+  char magic[4];
+  if (!in.ReadBytes(magic, 4)) {
+    return Status::DataLoss("file too short for magic")
+        .WithFile(path)
+        .WithOffset(in.Pos());
   }
-  return std::fflush(f.get()) == 0;
+  bool compressed = std::memcmp(magic, kMagicCompressed, 4) == 0;
+  if (!compressed && std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not an APRIL file (bad magic)")
+        .WithFile(path)
+        .WithOffset(0);
+  }
+  uint32_t version = 0;
+  if (!in.ReadU32(&version)) {
+    return Status::DataLoss("file too short for version")
+        .WithFile(path)
+        .WithOffset(in.Pos());
+  }
+  if (version != kVersionUnframed && version != kVersion) {
+    return Status::InvalidArgument("unsupported APRIL format version " +
+                                   std::to_string(version))
+        .WithFile(path)
+        .WithOffset(4);
+  }
+  uint64_t count = 0;
+  if (!in.ReadU64(&count)) {
+    return Status::DataLoss("file too short for object count")
+        .WithFile(path)
+        .WithOffset(in.Pos());
+  }
+  if (count > kMaxObjectCount) {
+    return Status::DataLoss("implausible object count " +
+                            std::to_string(count))
+        .WithFile(path)
+        .WithOffset(8);
+  }
+  if (report != nullptr) {
+    report->version = version;
+    report->compressed = compressed;
+    report->declared_count = count;
+  }
+  out->reserve(static_cast<size_t>(std::min<uint64_t>(count, kReserveCap)));
+
+  if (version == kVersionUnframed) {
+    // Legacy format: records are not framed, so corruption cannot be skipped
+    // — the first bad byte fails the load, as it always did.
+    for (uint64_t i = 0; i < count; ++i) {
+      AprilApproximation april;
+      const size_t record_start = in.Pos();
+      const bool ok = compressed
+                          ? (ReadListCompressed(&in, &april.conservative) &&
+                             ReadListCompressed(&in, &april.progressive))
+                          : (ReadList(&in, &april.conservative) &&
+                             ReadList(&in, &april.progressive));
+      if (!ok) {
+        out->clear();
+        if (report != nullptr) {
+          report->truncated = true;
+          report->corrupt = count - i;
+        }
+        return Status::DataLoss("malformed or truncated record for object " +
+                                std::to_string(i))
+            .WithFile(path)
+            .WithOffset(record_start);
+      }
+      out->push_back(std::move(april));
+      if (report != nullptr) ++report->loaded;
+    }
+    return Status::Ok();
+  }
+
+  // Version 2: framed records. A bad frame costs one object; the reader
+  // resynchronises at the next frame. A frame that runs past the end of the
+  // file means the tail is gone — keep the verified prefix.
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t payload_size = 0;
+    uint64_t checksum = 0;
+    if (!in.ReadU64(&payload_size) || !in.ReadU64(&checksum) ||
+        payload_size > in.Remaining()) {
+      if (report != nullptr) {
+        report->truncated = true;
+        report->corrupt += count - i;
+      }
+      break;
+    }
+    const char* payload = bytes.data() + in.Pos();
+    in.Skip(payload_size);
+    AprilApproximation april;
+    const bool verified =
+        Fnv1a64(payload, static_cast<size_t>(payload_size)) == checksum &&
+        DecodePayload(payload, static_cast<size_t>(payload_size), compressed,
+                      &april);
+    if (!verified) {
+      april = AprilApproximation{};
+      april.usable = false;
+      ReportCorrupt(report, i);
+    } else if (report != nullptr) {
+      ++report->loaded;
+    }
+    out->push_back(std::move(april));
+  }
+  return Status::Ok();
+}
+
+bool LoadAprilFile(const std::string& path,
+                   std::vector<AprilApproximation>* out) {
+  AprilLoadReport report;
+  const Status status = LoadAprilFileDetailed(path, out, &report);
+  if (!status.ok() || report.Degraded()) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace stj

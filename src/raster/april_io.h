@@ -1,37 +1,78 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/raster/april.h"
+#include "src/util/status.h"
 
 namespace stj {
 
 /// Binary (de)serialisation of APRIL approximations. The paper precomputes
 /// the P and C lists once per dataset and loads them at join time; these
-/// helpers provide that persistence.
+/// helpers provide that persistence, hardened against truncated and
+/// bit-flipped files.
 ///
-/// Format: "APRL" magic, u32 version, u64 object count, then per object the
-/// C and P lists as (u64 interval count, followed by u64 begin/end pairs).
-/// All integers little-endian.
+/// Format (version 2): "APRL" (raw) or "APRC" (compressed) magic, u32
+/// version, u64 object count, then one framed record per object:
+///
+///   u64 payload_bytes | u64 fnv1a64(payload) | payload
+///
+/// The raw payload holds the C and P lists as (u64 interval count, u64
+/// begin/end pairs); the compressed payload varint-encodes gap/length deltas
+/// (canonical lists have strictly positive gaps and lengths, so the deltas
+/// are small and varints shrink them 3-5x over raw). The frame makes every
+/// record independently verifiable and skippable: a corrupt record is
+/// detected by its checksum and the reader resynchronises at the next frame,
+/// so one flipped byte costs one object, not the file. Version-1 files (no
+/// frames) are still read, but any corruption fails the whole load.
+/// All integers native-endian (little-endian on every supported target).
 
-/// Writes \p approximations to \p path. Returns false on any I/O error.
+/// Per-load accounting of what a (possibly corrupt) APRIL file yielded.
+struct AprilLoadReport {
+  uint32_t version = 0;        ///< Format version encountered.
+  bool compressed = false;     ///< "APRC" vs "APRL" payload encoding.
+  uint64_t declared_count = 0; ///< Object count claimed by the header.
+  uint64_t loaded = 0;         ///< Records decoded and verified.
+  uint64_t corrupt = 0;        ///< Records unusable (bad checksum, undecodable
+                               ///< payload, or missing due to truncation).
+  bool truncated = false;      ///< File ended before declared_count records.
+  /// Indices (into the declared object order) of unusable records that are
+  /// physically present in the output vector as usable=false placeholders.
+  /// A truncated tail is NOT enumerated here: every index >=
+  /// the output vector's size is missing (see truncated / declared_count).
+  std::vector<uint64_t> corrupt_indices;
+
+  /// True when anything at all was lost.
+  bool Degraded() const { return truncated || corrupt != 0; }
+};
+
+/// Writes \p approximations to \p path (version 2, raw payloads). Returns
+/// false on any I/O error.
 bool SaveAprilFile(const std::string& path,
                    const std::vector<AprilApproximation>& approximations);
 
-/// Reads approximations from \p path into \p out (cleared first). Detects
-/// both the raw ("APRL") and compressed ("APRC") formats. Returns false on
-/// I/O error or malformed content (including non-canonical lists).
-bool LoadAprilFile(const std::string& path,
-                   std::vector<AprilApproximation>* out);
-
-/// Writes \p approximations in the compressed format: "APRC" magic, then per
-/// list a varint interval count followed by varint-encoded gap/length deltas
-/// (canonical lists have strictly positive gaps and lengths, so the deltas
-/// are small and varints shrink them dramatically — typically 3-5x over the
-/// raw fixed-width format).
+/// Writes \p approximations in the compressed encoding (version 2, "APRC").
 bool SaveAprilFileCompressed(
     const std::string& path,
     const std::vector<AprilApproximation>& approximations);
+
+/// Reads approximations from \p path into \p out (cleared first), tolerating
+/// per-record corruption in version-2 files: a record whose checksum or
+/// payload fails verification is emitted as a usable=false placeholder (so
+/// later records keep their object index) and listed in the report; a
+/// truncated file yields the verified prefix with report.truncated set.
+/// Returns a non-ok Status only for structural failures — missing file,
+/// unreadable header, unknown magic/version, or (version-1 files) any
+/// malformed content. \p report may be null.
+Status LoadAprilFileDetailed(const std::string& path,
+                             std::vector<AprilApproximation>* out,
+                             AprilLoadReport* report = nullptr);
+
+/// Strict convenience wrapper: true only when the load succeeded with zero
+/// corrupt or missing records.
+bool LoadAprilFile(const std::string& path,
+                   std::vector<AprilApproximation>* out);
 
 }  // namespace stj

@@ -1,6 +1,8 @@
 #include "src/topology/parallel.h"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 namespace stj {
@@ -12,6 +14,7 @@ void MergeStats(const PipelineStats& from, PipelineStats* into) {
   into->decided_by_mbr += from.decided_by_mbr;
   into->decided_by_filter += from.decided_by_filter;
   into->refined += from.refined;
+  into->fallback_refined += from.fallback_refined;
   into->filter_seconds += from.filter_seconds;
   into->refine_seconds += from.refine_seconds;
 }
@@ -25,45 +28,65 @@ unsigned ResolveThreads(unsigned requested, size_t pairs) {
       std::min<size_t>(n, std::max<size_t>(1, max_useful)));
 }
 
-// Runs fn(worker_index, begin, end) on every chunk, in worker threads.
-template <typename Fn>
-void RunChunks(unsigned num_threads, size_t total, Fn&& fn) {
+}  // namespace
+
+namespace internal {
+
+unsigned RunChunks(unsigned num_threads, size_t total,
+                   const std::function<void(unsigned, size_t, size_t)>& fn) {
+  if (total == 0) return 0;
   if (num_threads <= 1) {
-    fn(0u, size_t{0}, total);
-    return;
+    fn(0u, size_t{0}, total);  // exceptions propagate directly
+    return 1;
   }
+  const size_t chunk = (total + num_threads - 1) / num_threads;
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
-  const size_t chunk = (total + num_threads - 1) / num_threads;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   for (unsigned t = 0; t < num_threads; ++t) {
     const size_t begin = std::min(total, static_cast<size_t>(t) * chunk);
     const size_t end = std::min(total, begin + chunk);
     if (begin >= end) break;
-    workers.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+    workers.emplace_back([&fn, &error_mutex, &first_error, t, begin, end] {
+      try {
+        fn(t, begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
   }
   for (std::thread& worker : workers) worker.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return static_cast<unsigned>(workers.size());
 }
 
-}  // namespace
+}  // namespace internal
 
 ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
                                         DatasetView s_view,
                                         const std::vector<CandidatePair>& pairs,
                                         unsigned num_threads) {
   ParallelJoinResult result;
+  if (pairs.empty()) return result;  // no workers, no per-worker state
   result.relations.resize(pairs.size());
   const unsigned threads = ResolveThreads(num_threads, pairs.size());
   std::vector<PipelineStats> per_worker(threads);
-  RunChunks(threads, pairs.size(), [&](unsigned worker, size_t begin, size_t end) {
-    Pipeline pipeline(method, r_view, s_view);
-    for (size_t i = begin; i < end; ++i) {
-      result.relations[i] =
-          pipeline.FindRelation(pairs[i].r_idx, pairs[i].s_idx);
-    }
-    per_worker[worker] = pipeline.Stats();
-  });
-  for (const PipelineStats& stats : per_worker) {
-    MergeStats(stats, &result.stats);
+  const unsigned used = internal::RunChunks(
+      threads, pairs.size(), [&](unsigned worker, size_t begin, size_t end) {
+        Pipeline pipeline(method, r_view, s_view);
+        for (size_t i = begin; i < end; ++i) {
+          result.relations[i] =
+              pipeline.FindRelation(pairs[i].r_idx, pairs[i].s_idx);
+        }
+        per_worker[worker] = pipeline.Stats();
+      });
+  // Merge only the workers that ran: chunks collapse to empty when there are
+  // more threads than pairs, and a default-initialised PipelineStats must
+  // not leak into the totals.
+  for (unsigned w = 0; w < used; ++w) {
+    MergeStats(per_worker[w], &result.stats);
   }
   return result;
 }
@@ -74,19 +97,22 @@ ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
                                     de9im::Relation predicate,
                                     unsigned num_threads) {
   ParallelRelateResult result;
+  if (pairs.empty()) return result;  // no workers, no per-worker state
   result.matches.resize(pairs.size(), 0);
   const unsigned threads = ResolveThreads(num_threads, pairs.size());
   std::vector<PipelineStats> per_worker(threads);
-  RunChunks(threads, pairs.size(), [&](unsigned worker, size_t begin, size_t end) {
-    Pipeline pipeline(method, r_view, s_view);
-    for (size_t i = begin; i < end; ++i) {
-      result.matches[i] =
-          pipeline.Relate(pairs[i].r_idx, pairs[i].s_idx, predicate) ? 1 : 0;
-    }
-    per_worker[worker] = pipeline.Stats();
-  });
-  for (const PipelineStats& stats : per_worker) {
-    MergeStats(stats, &result.stats);
+  const unsigned used = internal::RunChunks(
+      threads, pairs.size(), [&](unsigned worker, size_t begin, size_t end) {
+        Pipeline pipeline(method, r_view, s_view);
+        for (size_t i = begin; i < end; ++i) {
+          result.matches[i] =
+              pipeline.Relate(pairs[i].r_idx, pairs[i].s_idx, predicate) ? 1
+                                                                         : 0;
+        }
+        per_worker[worker] = pipeline.Stats();
+      });
+  for (unsigned w = 0; w < used; ++w) {
+    MergeStats(per_worker[w], &result.stats);
   }
   return result;
 }

@@ -1,11 +1,29 @@
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "src/join/mbr_join.h"
 #include "src/topology/pipeline.h"
 
 namespace stj {
+
+namespace internal {
+
+/// Splits [0, total) into up to \p num_threads contiguous chunks and runs
+/// fn(worker_index, begin, end) on each, in worker threads (inline on the
+/// calling thread when a single chunk suffices). Returns the number of
+/// workers that actually ran — always <= num_threads, 0 when total == 0 —
+/// so callers can merge exactly the per-worker state that was written.
+///
+/// Exception safety: if workers throw, every thread is still joined and the
+/// first exception (by completion order) is rethrown on the calling thread;
+/// the process never std::terminates because of a throwing worker.
+unsigned RunChunks(unsigned num_threads, size_t total,
+                   const std::function<void(unsigned, size_t, size_t)>& fn);
+
+}  // namespace internal
 
 /// Result of a (possibly multi-threaded) find-relation join.
 struct ParallelJoinResult {
@@ -22,7 +40,8 @@ struct ParallelJoinResult {
 /// Pairs are split into contiguous chunks; each worker owns a private
 /// Pipeline (the shared dataset views are read-only), so no synchronisation
 /// is needed beyond the final join. Results are deterministic and identical
-/// to the single-threaded run.
+/// to the single-threaded run. A worker exception propagates to the caller
+/// (see internal::RunChunks).
 ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
                                         DatasetView s_view,
                                         const std::vector<CandidatePair>& pairs,

@@ -48,6 +48,13 @@ Pipeline::Pipeline(Method method, DatasetView r_view, DatasetView s_view,
       s_view_(s_view),
       time_stages_(time_stages) {}
 
+const AprilApproximation* Pipeline::AprilFor(const DatasetView& view,
+                                             uint32_t idx) {
+  if (view.april == nullptr || idx >= view.april->size()) return nullptr;
+  const AprilApproximation& april = (*view.april)[idx];
+  return april.usable ? &april : nullptr;
+}
+
 Relation Pipeline::Refine(uint32_t r_idx, uint32_t s_idx,
                           RelationSet candidates) {
   ScopedStageTime timing(time_stages_, &stats_.refine_seconds);
@@ -111,30 +118,58 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
           ++stats_.decided_by_mbr;
           return Relation::kIntersects;
         }
-        const AprilApproximation& ra = (*r_view_.april)[r_idx];
-        const AprilApproximation& sa = (*s_view_.april)[s_idx];
         candidates = MbrCandidates(boxes);
-        if (!ListsOverlap(ra.conservative, sa.conservative)) {
-          ++stats_.decided_by_filter;
-          return Relation::kDisjoint;
-        }
-        if (ListsOverlap(ra.conservative, sa.progressive) ||
-            ListsOverlap(ra.progressive, sa.conservative)) {
-          // Definitely intersecting: drop disjoint and meets from the masks
-          // to check, but refinement is still required.
-          candidates.Remove(Relation::kDisjoint);
-          candidates.Remove(Relation::kMeets);
+        const AprilApproximation* ra = AprilFor(r_view_, r_idx);
+        const AprilApproximation* sa = AprilFor(s_view_, s_idx);
+        if (ra == nullptr || sa == nullptr) {
+          // Degraded mode: an approximation is missing or corrupt, so the
+          // raster filter cannot run — fall back to OP2-style refinement
+          // with the MBR-narrowed candidates (still exact, just slower).
+          ++stats_.fallback_refined;
+        } else {
+          if (!ListsOverlap(ra->conservative, sa->conservative)) {
+            ++stats_.decided_by_filter;
+            return Relation::kDisjoint;
+          }
+          if (ListsOverlap(ra->conservative, sa->progressive) ||
+              ListsOverlap(ra->progressive, sa->conservative)) {
+            // Definitely intersecting: drop disjoint and meets from the masks
+            // to check, but refinement is still required.
+            candidates.Remove(Relation::kDisjoint);
+            candidates.Remove(Relation::kMeets);
+          }
         }
       }
       return Refine(r_idx, s_idx, candidates);
     }
     case Method::kPC: {
+      const AprilApproximation* ra = AprilFor(r_view_, r_idx);
+      const AprilApproximation* sa = AprilFor(s_view_, s_idx);
+      if (ra == nullptr || sa == nullptr) {
+        // Degraded mode: without both approximations Algorithm 1 cannot run.
+        // The MBRs still decide the cheap cases; everything else falls back
+        // to refinement over the MBR-narrowed candidates (OP2-equivalent).
+        BoxRelation boxes;
+        {
+          ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+          boxes = ClassifyBoxes(r_mbr, s_mbr);
+          if (boxes == BoxRelation::kDisjoint) {
+            ++stats_.decided_by_mbr;
+            return Relation::kDisjoint;
+          }
+          if (boxes == BoxRelation::kCross) {
+            ++stats_.decided_by_mbr;
+            return Relation::kIntersects;
+          }
+        }
+        ++stats_.fallback_refined;
+        return Refine(r_idx, s_idx, MbrCandidates(boxes));
+      }
       // The paper's Algorithm 1.
       FilterDecision decision;
       {
         ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
-        decision = FindRelationFilter(r_mbr, (*r_view_.april)[r_idx], s_mbr,
-                                      (*s_view_.april)[s_idx]);
+        decision = FindRelationFilter(r_mbr, *ra, s_mbr, *sa);
         if (decision.definite) {
           if (decision.stage == DecisionStage::kMbrFilter) {
             ++stats_.decided_by_mbr;
@@ -164,22 +199,35 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
   const Box& s_mbr = (*s_view_.objects)[s_idx].geometry.Bounds();
 
   if (method_ == Method::kPC) {
-    RelateAnswer answer;
+    const AprilApproximation* ra = AprilFor(r_view_, r_idx);
+    const AprilApproximation* sa = AprilFor(s_view_, s_idx);
+    if (ra != nullptr && sa != nullptr) {
+      RelateAnswer answer;
+      {
+        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        answer = RelatePredicateFilter(p, r_mbr, *ra, s_mbr, *sa);
+      }
+      switch (answer) {
+        case RelateAnswer::kYes:
+          ++stats_.decided_by_filter;
+          return true;
+        case RelateAnswer::kNo:
+          ++stats_.decided_by_filter;
+          return false;
+        case RelateAnswer::kInconclusive:
+          return RefinePredicate(r_idx, s_idx, p);
+      }
+    }
+    // Degraded mode: fall through to the approximation-free path below.
     {
       ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
-      answer = RelatePredicateFilter(p, r_mbr, (*r_view_.april)[r_idx], s_mbr,
-                                     (*s_view_.april)[s_idx]);
+      if (!r_mbr.Intersects(s_mbr)) {
+        ++stats_.decided_by_mbr;
+        return p == Relation::kDisjoint;
+      }
     }
-    switch (answer) {
-      case RelateAnswer::kYes:
-        ++stats_.decided_by_filter;
-        return true;
-      case RelateAnswer::kNo:
-        ++stats_.decided_by_filter;
-        return false;
-      case RelateAnswer::kInconclusive:
-        return RefinePredicate(r_idx, s_idx, p);
-    }
+    ++stats_.fallback_refined;
+    return RefinePredicate(r_idx, s_idx, p);
   }
 
   // Other methods answer relate_p through their find-relation machinery:

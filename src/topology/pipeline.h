@@ -36,6 +36,12 @@ struct PipelineStats {
   uint64_t decided_by_mbr = 0;
   uint64_t decided_by_filter = 0;
   uint64_t refined = 0;  ///< "Undetermined" pairs that needed DE-9IM.
+  /// Pairs refined because an APRIL approximation was missing or flagged
+  /// corrupt (degraded mode) rather than because the filter was
+  /// inconclusive. Always <= refined. Zero on healthy runs; a nonzero value
+  /// means results are still exact but the intermediate filter was bypassed
+  /// for that many pairs.
+  uint64_t fallback_refined = 0;
   double filter_seconds = 0.0;  ///< MBR + intermediate filter time.
   double refine_seconds = 0.0;  ///< DE-9IM computation + mask matching time.
 
@@ -53,6 +59,12 @@ struct PipelineStats {
 /// scenario. Refinement computes the DE-9IM matrix with the from-scratch
 /// relate engine and matches it against the masks of the surviving candidate
 /// relations in specific-to-general order.
+///
+/// Degraded mode: when a pair's APRIL approximation is missing (no vector,
+/// short vector) or flagged corrupt by the I/O layer (usable == false), the
+/// kApril/kPC methods skip the raster filter for that pair and refine with
+/// the MBR-narrowed candidates instead — results stay exact, and the pair is
+/// counted in PipelineStats::fallback_refined.
 class Pipeline {
  public:
   /// \p time_stages enables per-pair stage timers (small overhead; used by
@@ -77,6 +89,12 @@ class Pipeline {
   de9im::Relation Refine(uint32_t r_idx, uint32_t s_idx,
                          de9im::RelationSet candidates);
   bool RefinePredicate(uint32_t r_idx, uint32_t s_idx, de9im::Relation p);
+
+  /// The approximation for \p idx, or nullptr when it is missing (no vector,
+  /// index past its end) or flagged corrupt — the degraded-mode signal that
+  /// the pair must fall back to refinement.
+  static const AprilApproximation* AprilFor(const DatasetView& view,
+                                            uint32_t idx);
 
   Method method_;
   DatasetView r_view_;

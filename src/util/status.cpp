@@ -1,0 +1,42 @@
+#include "src/util/status.h"
+
+namespace stj {
+
+const char* ToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = stj::ToString(code_);
+  out += ": ";
+  if (!file_.empty()) {
+    out += file_;
+    if (line_ != 0) {
+      out += ':';
+      out += std::to_string(line_);
+    }
+    if (offset_.has_value()) {
+      out += " @byte ";
+      out += std::to_string(*offset_);
+    }
+    out += ": ";
+  } else if (offset_.has_value()) {
+    out += "@byte ";
+    out += std::to_string(*offset_);
+    out += ": ";
+  }
+  out += message_;
+  return out;
+}
+
+}  // namespace stj

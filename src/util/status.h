@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace stj {
+
+/// Canonical error categories for fallible library operations. The set is
+/// deliberately small: callers branch on the category (retry? reject input?
+/// report corruption?) and read the message for detail.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,  ///< Malformed input content (parse/validation errors).
+  kNotFound,         ///< Missing file or unknown name.
+  kDataLoss,         ///< Corruption or truncation detected in stored data.
+  kIoError,          ///< OS-level read/write failure.
+  kFailedPrecondition,  ///< Operation not valid in the current state.
+  kInternal,            ///< Invariant violation; a bug, not bad input.
+};
+
+const char* ToString(StatusCode code);
+
+/// Error descriptor: a category, a human-readable message, and optional
+/// source context (which file, which line of it, which byte offset) so that
+/// ingestion errors name the exact spot that failed. An ok() Status carries
+/// no message and is cheap to copy.
+class [[nodiscard]] Status {
+ public:
+  /// Ok status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Attaches the path of the file the error refers to. Chainable.
+  Status& WithFile(std::string file) {
+    file_ = std::move(file);
+    return *this;
+  }
+  /// Attaches a 1-based line number within file(). Chainable.
+  Status& WithLine(uint64_t line) {
+    line_ = line;
+    return *this;
+  }
+  /// Attaches a 0-based byte offset (within the line for text formats,
+  /// within the file for binary formats). Chainable.
+  Status& WithOffset(uint64_t offset) {
+    offset_ = offset;
+    return *this;
+  }
+
+  const std::string& file() const { return file_; }
+  bool has_line() const { return line_ != 0; }
+  uint64_t line() const { return line_; }
+  bool has_offset() const { return offset_.has_value(); }
+  uint64_t offset() const { return offset_.value_or(0); }
+
+  /// "DATA_LOSS: things.april:1234: record checksum mismatch" — category,
+  /// then file[:line][ @byte N], then the message.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  std::string file_;
+  uint64_t line_ = 0;  ///< 0 = no line context.
+  std::optional<uint64_t> offset_;
+};
+
+/// A value or the Status explaining why there is none. The accessors mirror
+/// std::optional (has_value / operator* / operator->) so existing
+/// optional-based call sites keep working after a migration; status() adds
+/// the error detail optional could not carry.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    // A Result must be a value or an error, never an "ok but empty".
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from an ok Status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return value_.has_value(); }
+
+  /// The error; Ok() when a value is present.
+  const Status& status() const { return status_; }
+
+  T& value() { return value_.value(); }
+  const T& value() const { return value_.value(); }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace stj

@@ -66,5 +66,75 @@ TEST(DatasetIo, FailsOnMissingFile) {
   EXPECT_FALSE(LoadWktDataset(TempPath("nope.wkt"), "test", &loaded));
 }
 
+TEST(DatasetIo, StrictStatusNamesLineAndOffset) {
+  const std::string path = TempPath("strict_detail.wkt");
+  {
+    std::ofstream out(path);
+    out << "# comment\n"
+        << "POLYGON ((0 0, 1 0, 1 1))\n"
+        << "POLYGON ((0 0, 1 oops, 1 1))\n";
+  }
+  Dataset loaded;
+  const Status status =
+      LoadWktDataset(path, "test", LoadOptions{}, &loaded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(loaded.objects.empty());
+  EXPECT_EQ(status.file(), path);
+  EXPECT_EQ(status.line(), 3u);
+  EXPECT_TRUE(status.has_offset());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, PermissiveTriagesEveryLine) {
+  // Two clean lines, one repairable (duplicate consecutive vertex), one
+  // unreparable zero-area zig-zag, one parse error: permissive mode must
+  // land each in exactly one bucket and load accepted + repaired objects.
+  const std::string path = TempPath("permissive_counts.wkt");
+  {
+    std::ofstream out(path);
+    out << "POLYGON ((0 0, 4 0, 4 4, 0 4))\n"
+        << "POLYGON ((10 10, 12 10, 12 10, 12 12))\n"  // repairable
+        << "POLYGON ((5 5, 6 6, 5 5, 6 6))\n"          // zero area: skip
+        << "POLYGON ((not a polygon))\n"               // parse error: skip
+        << "POLYGON ((20 0, 21 0, 21 1, 20 1))\n";
+  }
+  Dataset loaded;
+  LoadOptions options;
+  options.mode = LoadMode::kPermissive;
+  LoadReport report;
+  ASSERT_TRUE(
+      LoadWktDataset(path, "test", options, &loaded, &report).ok());
+  EXPECT_EQ(report.lines, 5u);
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.repaired, 1u);
+  EXPECT_EQ(report.skipped, 2u);
+  EXPECT_EQ(report.issues_dropped, 0u);
+  ASSERT_EQ(report.issues.size(), 3u);
+  EXPECT_EQ(report.issues[0].line, 2u);
+  EXPECT_EQ(report.issues[0].action, LineIssue::Action::kRepaired);
+  EXPECT_EQ(report.issues[1].line, 3u);
+  EXPECT_EQ(report.issues[1].action, LineIssue::Action::kSkipped);
+  EXPECT_EQ(report.issues[2].line, 4u);
+  EXPECT_EQ(report.issues[2].action, LineIssue::Action::kSkipped);
+
+  ASSERT_EQ(loaded.objects.size(), 3u);
+  // The repaired polygon keeps its place in file order, ids are dense.
+  EXPECT_EQ(loaded.objects[1].geometry.Outer().Size(), 3u);
+  for (size_t i = 0; i < loaded.objects.size(); ++i) {
+    EXPECT_EQ(loaded.objects[i].id, static_cast<uint32_t>(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, PermissiveStillFailsOnIoError) {
+  Dataset loaded;
+  LoadOptions options;
+  options.mode = LoadMode::kPermissive;
+  const Status status =
+      LoadWktDataset(TempPath("still_nope.wkt"), "test", options, &loaded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace stj

@@ -151,6 +151,44 @@ TEST(AprilIo, CompressedEmptyListsRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(AprilIo, DetailedReportOnHealthyFile) {
+  Rng rng(49);
+  const RasterGrid grid(Box::Of(Point{0, 0}, Point{50, 50}), 7);
+  const AprilBuilder builder(&grid);
+  std::vector<AprilApproximation> originals;
+  for (int i = 0; i < 5; ++i) {
+    originals.push_back(builder.Build(test::RandomBlob(
+        &rng, Point{rng.Uniform(10, 40), rng.Uniform(10, 40)}, 4.0, 24)));
+  }
+  for (const bool compressed : {false, true}) {
+    const std::string path = TempPath("april_detailed.bin");
+    ASSERT_TRUE(compressed ? SaveAprilFileCompressed(path, originals)
+                           : SaveAprilFile(path, originals));
+    std::vector<AprilApproximation> loaded;
+    AprilLoadReport report;
+    const Status status = LoadAprilFileDetailed(path, &loaded, &report);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(report.version, 2u);
+    EXPECT_EQ(report.compressed, compressed);
+    EXPECT_EQ(report.declared_count, originals.size());
+    EXPECT_EQ(report.loaded, originals.size());
+    EXPECT_EQ(report.corrupt, 0u);
+    EXPECT_FALSE(report.truncated);
+    EXPECT_FALSE(report.Degraded());
+    EXPECT_TRUE(report.corrupt_indices.empty());
+    for (const AprilApproximation& a : loaded) EXPECT_TRUE(a.usable);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(AprilIo, MissingFileStatusNamesIt) {
+  std::vector<AprilApproximation> loaded;
+  const std::string path = TempPath("absent.april");
+  const Status status = LoadAprilFileDetailed(path, &loaded, nullptr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.file(), path);
+}
+
 TEST(AprilIo, RejectsNonCanonicalLists) {
   // Hand-craft a file whose intervals overlap.
   const std::string path = TempPath("april_noncanonical.bin");

@@ -1,0 +1,49 @@
+#pragma once
+
+// Deterministic corruption helpers for the fault-injection suite: read a
+// file into memory, damage specific bytes, write it back. No randomness —
+// every scenario is reproducible from the test source alone.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace stj::test {
+
+inline std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string bytes;
+  if (f != nullptr) {
+    char buf[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+  return bytes;
+}
+
+inline void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+/// The original bytes with byte \p index inverted (XOR 0xFF — guaranteed to
+/// change the byte, unlike XOR with a random mask).
+inline std::string WithFlippedByte(const std::string& bytes, size_t index) {
+  std::string damaged = bytes;
+  damaged[index] = static_cast<char>(~static_cast<unsigned char>(bytes[index]));
+  return damaged;
+}
+
+/// The first \p size bytes of the original.
+inline std::string TruncatedTo(const std::string& bytes, size_t size) {
+  return bytes.substr(0, size);
+}
+
+}  // namespace stj::test

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/topology/parallel.h"
+
+// Regression tests for exception propagation and edge behaviour of the
+// worker fan-out primitive behind ParallelFindRelation/ParallelRelate. Before
+// the Status/robustness work, a throwing worker thread took the whole process
+// down via std::terminate.
+
+namespace stj {
+namespace {
+
+struct WorkerFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+TEST(RunChunks, RethrowsWorkerExceptionAfterJoiningAll) {
+  std::atomic<unsigned> completed{0};
+  try {
+    internal::RunChunks(4, 100, [&](unsigned worker, size_t, size_t) {
+      if (worker == 2) throw WorkerFailure("worker 2 failed");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected WorkerFailure to propagate";
+  } catch (const WorkerFailure& e) {
+    // The dynamic type and message survive the thread hop.
+    EXPECT_STREQ(e.what(), "worker 2 failed");
+  }
+  // Every non-throwing worker ran to completion before the rethrow: the
+  // primitive joins all threads, it does not abandon them.
+  EXPECT_EQ(completed.load(), 3u);
+}
+
+TEST(RunChunks, SingleThreadedExceptionPropagatesDirectly) {
+  EXPECT_THROW(
+      internal::RunChunks(1, 10,
+                          [](unsigned, size_t, size_t) {
+                            throw WorkerFailure("inline");
+                          }),
+      WorkerFailure);
+}
+
+TEST(RunChunks, AllWorkersThrowingYieldsExactlyOneException) {
+  unsigned caught = 0;
+  try {
+    internal::RunChunks(8, 64, [](unsigned worker, size_t, size_t) {
+      throw WorkerFailure("worker " + std::to_string(worker));
+    });
+  } catch (const WorkerFailure&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1u);
+}
+
+TEST(RunChunks, ZeroTotalRunsNothing) {
+  std::atomic<unsigned> calls{0};
+  const unsigned used = internal::RunChunks(
+      8, 0, [&](unsigned, size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(used, 0u);
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(RunChunks, ReportsOnlyWorkersThatRan) {
+  // 10 items over 64 requested threads: only 10 single-item chunks exist.
+  // The returned count must match so callers merge exactly the per-worker
+  // state that was written, and the chunks must tile [0, total) exactly.
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  std::set<unsigned> workers;
+  const unsigned used =
+      internal::RunChunks(64, 10, [&](unsigned worker, size_t begin,
+                                      size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        workers.insert(worker);
+        chunks.emplace_back(begin, end);
+      });
+  EXPECT_EQ(used, 10u);
+  EXPECT_EQ(workers.size(), 10u);
+  EXPECT_EQ(*workers.begin(), 0u);
+  EXPECT_EQ(*workers.rbegin(), 9u);
+
+  std::sort(chunks.begin(), chunks.end());
+  size_t covered = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, covered);
+    EXPECT_LT(begin, end);
+    covered = end;
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(RunChunks, SingleChunkRunsInline) {
+  // With one thread the callback runs on the calling thread — observable via
+  // thread-local state without any synchronisation.
+  static thread_local int marker = 0;
+  marker = 41;
+  internal::RunChunks(1, 5, [](unsigned worker, size_t begin, size_t end) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+    ++marker;
+  });
+  EXPECT_EQ(marker, 42);
+}
+
+}  // namespace
+}  // namespace stj

@@ -1,13 +1,93 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "src/util/rng.h"
 #include "src/util/stats.h"
+#include "src/util/status.h"
 #include "src/util/timer.h"
 
 namespace stj {
 namespace {
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, FactoriesSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("gone").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::DataLoss("eaten").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::IoError("disk").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("early").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("oops").code(), StatusCode::kInternal);
+  EXPECT_FALSE(Status::DataLoss("eaten").ok());
+  EXPECT_EQ(Status::DataLoss("eaten").message(), "eaten");
+}
+
+TEST(Status, ContextChainsIntoToString) {
+  const Status status = Status::DataLoss("checksum mismatch")
+                            .WithFile("things.april")
+                            .WithLine(12)
+                            .WithOffset(345);
+  EXPECT_EQ(status.file(), "things.april");
+  ASSERT_TRUE(status.has_line());
+  EXPECT_EQ(status.line(), 12u);
+  ASSERT_TRUE(status.has_offset());
+  EXPECT_EQ(status.offset(), 345u);
+  const std::string rendered = status.ToString();
+  EXPECT_NE(rendered.find("DATA_LOSS"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("things.april:12"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("@byte 345"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("checksum mismatch"), std::string::npos) << rendered;
+}
+
+TEST(Status, ContextWithoutLineOmitsIt) {
+  const Status status = Status::IoError("unreadable").WithFile("data.wkt");
+  EXPECT_FALSE(status.has_line());
+  EXPECT_FALSE(status.has_offset());
+  EXPECT_NE(status.ToString().find("data.wkt"), std::string::npos);
+  EXPECT_EQ(status.ToString().find(":0"), std::string::npos);
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.has_value());
+  EXPECT_TRUE(static_cast<bool>(result));
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  const Result<std::string> result = Status::InvalidArgument("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.has_value());
+  EXPECT_FALSE(static_cast<bool>(result));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST(Result, ArrowOperatorReachesMembers) {
+  const Result<std::string> result = std::string("hello");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(Result, OkStatusIsNotAValidError) {
+  // Constructing a Result from an ok Status is a caller bug; it must still
+  // yield a valueless, non-ok Result rather than lie about having a value.
+  const Result<int> result = Status();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
 
 TEST(Rng, DeterministicUnderSeed) {
   Rng a(123);

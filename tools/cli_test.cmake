@@ -1,5 +1,7 @@
 # End-to-end smoke test of stj_cli, driven by ctest:
-#   generate -> april -> relate -> join (find-relation and predicate modes).
+#   generate -> april -> relate -> join (find-relation and predicate modes),
+#   plus the malformed-input exit paths (strict vs permissive loading,
+#   aprilcheck, distinct exit codes).
 # Invoked as: cmake -DCLI=<path-to-stj_cli> -DWORK=<scratch-dir> -P cli_test.cmake
 
 if(NOT DEFINED CLI OR NOT DEFINED WORK)
@@ -12,6 +14,21 @@ function(run_checked)
                   OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+# Runs a command that must exit with code ${expect_rc} and whose stderr must
+# match ${expect_err} (a regex; "" skips the check).
+function(run_expect expect_rc expect_err)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR
+            "expected exit ${expect_rc}, got ${rc}: ${ARGN}\n${out}\n${err}")
+  endif()
+  if(NOT expect_err STREQUAL "" AND NOT err MATCHES "${expect_err}")
+    message(FATAL_ERROR
+            "stderr of ${ARGN} does not match '${expect_err}':\n${err}")
   endif()
 endfunction()
 
@@ -62,5 +79,56 @@ execute_process(COMMAND ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "predicate join failed")
 endif()
+
+# ---- malformed-input exit paths ----
+
+# A dataset with one good line, one parse error, one repairable line
+# (duplicated consecutive vertex), and one unrepairable line (zero area).
+file(WRITE ${WORK}/dirty.wkt
+"POLYGON ((0 0, 4 0, 4 4, 0 4))
+POLYGON ((0 zero, 1 0, 1 1))
+POLYGON ((10 10, 12 10, 12 10, 12 12, 10 12))
+POLYGON ((5 5, 6 6, 5 5, 6 6))
+")
+
+# Strict load: exit 4 (bad data), message names file, line 2, and the offset.
+file(REMOVE ${WORK}/dirty.april)  # scratch dir is reused across runs
+run_expect(4 "dirty.wkt:2.*expected"
+           ${CLI} april ${WORK}/dirty.wkt ${WORK}/dirty.april)
+if(EXISTS ${WORK}/dirty.april)
+  message(FATAL_ERROR "strict load must not produce an output file")
+endif()
+
+# Permissive load: succeeds on the clean remainder and reports the triage.
+run_expect(0 "1 repaired, 2 skipped"
+           ${CLI} april ${WORK}/dirty.wkt ${WORK}/dirty.april --permissive)
+if(NOT EXISTS ${WORK}/dirty.april)
+  message(FATAL_ERROR "permissive load must produce an output file")
+endif()
+
+# Missing input file: exit 3 (I/O), message names the file.
+run_expect(3 "no_such_file.wkt"
+           ${CLI} april ${WORK}/no_such_file.wkt ${WORK}/x.april)
+
+# Inline WKT parse error: exit 4 with a byte offset.
+run_expect(4 "@byte" ${CLI} relate "POLYGON ((0 0, 1 0" "POINT (1 1)")
+
+# Unknown method / predicate names: exit 5.
+run_expect(5 "unknown method"
+           ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt --method=warp)
+run_expect(5 "unknown predicate"
+           ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt --predicate=touches-ish)
+
+# Unknown flag: exit 2 (usage).
+run_expect(2 "unknown flag"
+           ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt --frobnicate)
+
+# aprilcheck: healthy file passes, garbage and truncated headers are
+# structural errors (exit 4).
+run_expect(0 "0 corrupt" ${CLI} aprilcheck ${WORK}/ole.april)
+file(WRITE ${WORK}/garbage.april "this is not an april file at all")
+run_expect(4 "bad magic" ${CLI} aprilcheck ${WORK}/garbage.april)
+file(WRITE ${WORK}/short.april "APRL")
+run_expect(4 "too short" ${CLI} aprilcheck ${WORK}/short.april)
 
 message(STATUS "stj_cli end-to-end test passed")

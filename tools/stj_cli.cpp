@@ -5,9 +5,12 @@
 //       Generate one of the ten synthetic datasets (TL, TW, TC, TZ, OBE,
 //       OLE, OPE, OBN, OLN, OPN) as one WKT polygon per line.
 //
-//   stj_cli april <in.wkt> <out.april> [--grid-order=N]
+//   stj_cli april <in.wkt> <out.april> [--grid-order=N] [--permissive]
 //       Precompute APRIL P/C interval lists for every polygon of a WKT file
 //       (grid over the file's own bounds) and store them in binary form.
+//
+//   stj_cli aprilcheck <in.april>
+//       Verify an APRIL file record by record and report corruption.
 //
 //   stj_cli relate <wkt-polygon-1> <wkt-polygon-2>
 //       Print the DE-9IM matrix and the most specific relation of two
@@ -15,10 +18,21 @@
 //
 //   stj_cli join <r.wkt> <s.wkt> [--method=pc|st2|op2|april]
 //                [--grid-order=N] [--predicate=<relation>] [--threads=T]
+//                [--permissive]
 //       Run the full topology join between two WKT files: MBR filter join,
 //       then find-relation (default) or a relate_p predicate join. Prints
 //       one "r_index s_index relation" line per non-disjoint pair plus a
 //       summary to stderr.
+//
+// Input files are loaded strictly by default: the first malformed line
+// aborts with a message naming the file, line, and byte offset. With
+// --permissive, bad lines are repaired or skipped (reported to stderr) and
+// the run continues on the clean remainder.
+//
+// Exit codes: 0 success; 2 usage error; 3 missing/unreadable/unwritable
+// file; 4 malformed content (WKT parse error, APRIL structural corruption);
+// 5 unknown dataset/method/predicate name; 6 (aprilcheck) file loads but
+// contains corrupt or missing records.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,11 +46,40 @@
 #include "src/geometry/wkt.h"
 #include "src/raster/april_io.h"
 #include "src/topology/parallel.h"
+#include "src/util/status.h"
 #include "src/util/timer.h"
 
 namespace {
 
 using namespace stj;
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitUsage = 2,
+  kExitIo = 3,
+  kExitBadData = 4,
+  kExitBadName = 5,
+  kExitDegraded = 6,
+};
+
+/// Maps a library Status to the documented exit codes.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return kExitOk;
+    case StatusCode::kNotFound:
+    case StatusCode::kIoError: return kExitIo;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kDataLoss: return kExitBadData;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInternal: return 1;
+  }
+  return 1;
+}
+
+int FailWith(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
 
 struct Flags {
   double scale = 1.0;
@@ -45,6 +88,7 @@ struct Flags {
   std::string method = "pc";
   std::string predicate;
   unsigned threads = 0;
+  bool permissive = false;
 };
 
 Flags ParseFlags(int argc, char** argv, int first) {
@@ -63,9 +107,11 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.predicate = arg + 12;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       flags.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strcmp(arg, "--permissive") == 0) {
+      flags.permissive = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
-      std::exit(2);
+      std::exit(kExitUsage);
     }
   }
   return flags;
@@ -89,9 +135,41 @@ std::optional<de9im::Relation> ParseRelation(const std::string& name) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: stj_cli <generate|april|relate|join> ... (see source "
-               "header for details)\n");
-  return 2;
+               "usage: stj_cli <generate|april|aprilcheck|relate|join> ... "
+               "(see source header for details)\n");
+  return kExitUsage;
+}
+
+/// Loads a WKT dataset honouring --permissive; on success prints a summary
+/// of any repairs/skips, on failure prints the precise Status.
+Status LoadInput(const std::string& path, const std::string& name,
+                 bool permissive, Dataset* out) {
+  LoadOptions options;
+  options.mode = permissive ? LoadMode::kPermissive : LoadMode::kStrict;
+  LoadReport report;
+  Status status = LoadWktDataset(path, name, options, out, &report);
+  if (!status.ok()) return status;
+  if (report.repaired != 0 || report.skipped != 0) {
+    std::fprintf(stderr,
+                 "[load] %s: %llu lines — %llu accepted, %llu repaired, "
+                 "%llu skipped\n",
+                 path.c_str(), static_cast<unsigned long long>(report.lines),
+                 static_cast<unsigned long long>(report.accepted),
+                 static_cast<unsigned long long>(report.repaired),
+                 static_cast<unsigned long long>(report.skipped));
+    for (const LineIssue& issue : report.issues) {
+      const char* action =
+          issue.action == LineIssue::Action::kRepaired ? "repaired" : "skipped";
+      std::fprintf(stderr, "[load]   %s:%llu: %s (%s)\n", path.c_str(),
+                   static_cast<unsigned long long>(issue.line),
+                   issue.reason.c_str(), action);
+    }
+    if (report.issues_dropped != 0) {
+      std::fprintf(stderr, "[load]   ... and %llu more issues\n",
+                   static_cast<unsigned long long>(report.issues_dropped));
+    }
+  }
+  return status;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -104,24 +182,23 @@ int CmdGenerate(int argc, char** argv) {
       std::fprintf(stderr, " %s", name.c_str());
     }
     std::fprintf(stderr, ")\n");
-    return 1;
+    return kExitBadName;
   }
   if (!SaveWktDataset(argv[3], dataset)) {
-    std::fprintf(stderr, "cannot write %s\n", argv[3]);
-    return 1;
+    return FailWith(Status::IoError("cannot write dataset").WithFile(argv[3]));
   }
   std::fprintf(stderr, "wrote %zu polygons (%zu vertices) to %s\n",
                dataset.objects.size(), dataset.TotalVertices(), argv[3]);
-  return 0;
+  return kExitOk;
 }
 
 int CmdApril(int argc, char** argv) {
   if (argc < 4) return Usage();
   const Flags flags = ParseFlags(argc, argv, 4);
   Dataset dataset;
-  if (!LoadWktDataset(argv[2], "input", &dataset)) {
-    std::fprintf(stderr, "cannot read %s\n", argv[2]);
-    return 1;
+  if (Status st = LoadInput(argv[2], "input", flags.permissive, &dataset);
+      !st.ok()) {
+    return FailWith(st);
   }
   Box bounds;
   for (const SpatialObject& object : dataset.objects) {
@@ -131,30 +208,55 @@ int CmdApril(int argc, char** argv) {
   const std::vector<AprilApproximation> april =
       BuildAprilApproximations(dataset, grid);
   if (!SaveAprilFile(argv[3], april)) {
-    std::fprintf(stderr, "cannot write %s\n", argv[3]);
-    return 1;
+    return FailWith(
+        Status::IoError("cannot write APRIL file").WithFile(argv[3]));
   }
   size_t bytes = 0;
   for (const AprilApproximation& a : april) bytes += a.ByteSize();
   std::fprintf(stderr,
                "wrote %zu approximations (%.2f MB of intervals) to %s\n",
                april.size(), static_cast<double>(bytes) / 1e6, argv[3]);
-  return 0;
+  return kExitOk;
+}
+
+int CmdAprilCheck(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::vector<AprilApproximation> approximations;
+  AprilLoadReport report;
+  const Status status =
+      LoadAprilFileDetailed(argv[2], &approximations, &report);
+  if (!status.ok()) return FailWith(status);
+  std::fprintf(stderr,
+               "%s: version %u (%s), %llu declared, %llu verified, "
+               "%llu corrupt%s\n",
+               argv[2], report.version,
+               report.compressed ? "compressed" : "raw",
+               static_cast<unsigned long long>(report.declared_count),
+               static_cast<unsigned long long>(report.loaded),
+               static_cast<unsigned long long>(report.corrupt),
+               report.truncated ? ", TRUNCATED" : "");
+  for (const uint64_t index : report.corrupt_indices) {
+    std::fprintf(stderr, "  corrupt record: object %llu\n",
+                 static_cast<unsigned long long>(index));
+  }
+  return report.Degraded() ? kExitDegraded : kExitOk;
 }
 
 int CmdRelate(int argc, char** argv) {
   if (argc < 4) return Usage();
-  const auto a = ParseWktPolygon(argv[2]);
-  const auto b = ParseWktPolygon(argv[3]);
-  if (!a || !b) {
-    std::fprintf(stderr, "WKT parse error\n");
-    return 1;
+  const Result<Polygon> a = ParseWktPolygon(argv[2]);
+  if (!a.has_value()) {
+    return FailWith(Status(a.status()).WithFile("<argument 1>"));
+  }
+  const Result<Polygon> b = ParseWktPolygon(argv[3]);
+  if (!b.has_value()) {
+    return FailWith(Status(b.status()).WithFile("<argument 2>"));
   }
   const de9im::Matrix matrix = de9im::RelateMatrix(*a, *b);
   std::printf("DE-9IM:   %s\n", matrix.ToString().c_str());
   std::printf("relation: %s\n",
               ToString(de9im::MostSpecificRelation(matrix)));
-  return 0;
+  return kExitOk;
 }
 
 int CmdJoin(int argc, char** argv) {
@@ -163,13 +265,15 @@ int CmdJoin(int argc, char** argv) {
   const auto method = ParseMethod(flags.method);
   if (!method) {
     std::fprintf(stderr, "unknown method '%s'\n", flags.method.c_str());
-    return 1;
+    return kExitBadName;
   }
   Dataset r;
   Dataset s;
-  if (!LoadWktDataset(argv[2], "R", &r) || !LoadWktDataset(argv[3], "S", &s)) {
-    std::fprintf(stderr, "cannot read input datasets\n");
-    return 1;
+  if (Status st = LoadInput(argv[2], "R", flags.permissive, &r); !st.ok()) {
+    return FailWith(st);
+  }
+  if (Status st = LoadInput(argv[3], "S", flags.permissive, &s); !st.ok()) {
+    return FailWith(st);
   }
   Box bounds;
   for (const SpatialObject& object : r.objects) {
@@ -199,7 +303,7 @@ int CmdJoin(int argc, char** argv) {
     if (!predicate) {
       std::fprintf(stderr, "unknown predicate '%s'\n",
                    flags.predicate.c_str());
-      return 1;
+      return kExitBadName;
     }
     const ParallelRelateResult result = ParallelRelate(
         *method, r_view, s_view, pairs, *predicate, flags.threads);
@@ -230,8 +334,15 @@ int CmdJoin(int argc, char** argv) {
                  "(%.1f%% refined, method %s)\n",
                  links, pairs.size(), timer.ElapsedSeconds(),
                  result.stats.UndeterminedPercent(), ToString(*method));
+    if (result.stats.fallback_refined != 0) {
+      std::fprintf(stderr,
+                   "[join] degraded: %llu pairs fell back to refinement "
+                   "(missing/corrupt approximations)\n",
+                   static_cast<unsigned long long>(
+                       result.stats.fallback_refined));
+    }
   }
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -240,6 +351,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(argc, argv);
   if (std::strcmp(argv[1], "april") == 0) return CmdApril(argc, argv);
+  if (std::strcmp(argv[1], "aprilcheck") == 0) {
+    return CmdAprilCheck(argc, argv);
+  }
   if (std::strcmp(argv[1], "relate") == 0) return CmdRelate(argc, argv);
   if (std::strcmp(argv[1], "join") == 0) return CmdJoin(argc, argv);
   return Usage();
