@@ -3,9 +3,54 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/topology/parallel.h"
 #include "src/util/timer.h"
 
 namespace stj::bench {
+
+namespace {
+
+std::vector<unsigned> ParseThreadList(const char* arg) {
+  std::vector<unsigned> threads;
+  while (*arg != '\0') {
+    char* end = nullptr;
+    const long value = std::strtol(arg, &end, 10);
+    if (end == arg || value < 0) {
+      std::fprintf(stderr, "bad --threads list near '%s'\n", arg);
+      std::exit(1);
+    }
+    threads.push_back(static_cast<unsigned>(value));
+    arg = (*end == ',') ? end + 1 : end;
+  }
+  if (threads.empty()) threads.push_back(1);
+  return threads;
+}
+
+/// Minimal JSON string escaping: the keys and values we emit are bench,
+/// scenario, and method names, but stay correct for anything printable.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 BenchOptions BenchOptions::Parse(int argc, char** argv) {
   BenchOptions options;
@@ -17,12 +62,23 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.grid_order = static_cast<uint32_t>(std::atoi(arg + 13));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       options.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.threads = ParseThreadList(arg + 10);
+    } else if (std::strcmp(arg, "--time-stages") == 0) {
+      options.time_stages = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      options.json_path = arg + 7;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: %s [--scale=X] [--grid-order=N] [--seed=S]\n"
+          "          [--threads=T[,T2,...]] [--time-stages] [--json=PATH]\n"
           "  --scale       dataset size multiplier (default 1.0)\n"
           "  --grid-order  log2 of raster grid resolution (default 12)\n"
-          "  --seed        generator seed (default 7)\n",
+          "  --seed        generator seed (default 7)\n"
+          "  --threads     worker threads; a comma list sweeps (0 = all "
+          "cores)\n"
+          "  --time-stages per-pair stage timers (filter/refine seconds)\n"
+          "  --json        write machine-readable records to PATH\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -31,6 +87,66 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     }
   }
   return options;
+}
+
+JsonRecord& JsonRecord::Set(const std::string& key, const std::string& value) {
+  fields_.push_back("\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) +
+                    "\"");
+  return *this;
+}
+
+JsonRecord& JsonRecord::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+JsonRecord& JsonRecord::Set(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  fields_.push_back("\"" + JsonEscape(key) + "\":" + buf);
+  return *this;
+}
+
+JsonRecord& JsonRecord::Set(const std::string& key, uint64_t value) {
+  fields_.push_back("\"" + JsonEscape(key) + "\":" +
+                    std::to_string(value));
+  return *this;
+}
+
+std::string JsonRecord::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += fields_[i];
+  }
+  out += "}";
+  return out;
+}
+
+void JsonReporter::Add(const JsonRecord& record) {
+  if (!enabled()) return;
+  records_.push_back(record.ToJson());
+}
+
+bool JsonReporter::Write() const {
+  if (!enabled()) return true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[json] cannot write %s\n", path_.c_str());
+    return false;
+  }
+  std::fputs("[\n", f);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    std::fputs("  ", f);
+    std::fputs(records_[i].c_str(), f);
+    std::fputs(i + 1 < records_.size() ? ",\n" : "\n", f);
+  }
+  std::fputs("]\n", f);
+  const bool ok = std::fclose(f) == 0;
+  if (ok) {
+    std::fprintf(stderr, "[json] wrote %zu records to %s\n", records_.size(),
+                 path_.c_str());
+  }
+  return ok;
 }
 
 ScenarioData BuildScenarioVerbose(const std::string& name,
@@ -53,19 +169,29 @@ ScenarioData BuildScenarioVerbose(const std::string& name,
 
 FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
                                 const std::vector<CandidatePair>& pairs,
-                                bool time_stages) {
+                                bool time_stages, unsigned threads) {
   FindRelationRun run;
   run.relation_histogram.assign(de9im::kNumRelations, 0);
-  Pipeline pipeline(method, scenario.RView(), scenario.SView(), time_stages);
   Timer timer;
-  for (const CandidatePair& pair : pairs) {
-    const de9im::Relation rel = pipeline.FindRelation(pair.r_idx, pair.s_idx);
-    ++run.relation_histogram[static_cast<size_t>(rel)];
+  if (threads == 1) {
+    Pipeline pipeline(method, scenario.RView(), scenario.SView(), time_stages);
+    for (const CandidatePair& pair : pairs) {
+      const de9im::Relation rel = pipeline.FindRelation(pair.r_idx, pair.s_idx);
+      ++run.relation_histogram[static_cast<size_t>(rel)];
+    }
+    run.stats = pipeline.Stats();
+  } else {
+    const ParallelJoinResult result = ParallelFindRelation(
+        method, scenario.RView(), scenario.SView(), pairs, threads,
+        time_stages);
+    for (const de9im::Relation rel : result.relations) {
+      ++run.relation_histogram[static_cast<size_t>(rel)];
+    }
+    run.stats = result.stats;
   }
   run.seconds = timer.ElapsedSeconds();
   run.pairs_per_second =
       run.seconds > 0 ? static_cast<double>(pairs.size()) / run.seconds : 0.0;
-  run.stats = pipeline.Stats();
   return run;
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 
 // Shared plumbing for the paper-reproduction harnesses: command-line
-// options, scenario construction with progress output, and table printing.
+// options, scenario construction with progress output, table printing, and
+// the machine-readable JSON report (--json=PATH) that BENCH_*.json files at
+// the repo root are generated from.
 
 #include <cstdint>
 #include <cstdio>
@@ -19,9 +21,21 @@ struct BenchOptions {
   double scale = 1.0;
   uint32_t grid_order = 12;
   uint64_t seed = 7;
+  /// Worker threads per run (--threads=N or --threads=N1,N2,...; harnesses
+  /// that do not sweep use the first entry). 0 = hardware concurrency.
+  std::vector<unsigned> threads = {1};
+  /// Enables per-pair stage timers (--time-stages): fills
+  /// PipelineStats::filter_seconds / refine_seconds at a small per-pair
+  /// overhead, so throughput-focused runs leave it off.
+  bool time_stages = false;
+  /// When non-empty (--json=PATH), harnesses append records to a
+  /// JsonReporter and write them to this path on exit.
+  std::string json_path;
 
-  /// Parses --scale=X / --grid-order=N / --seed=S; exits on --help.
+  /// Parses the flags above; exits on --help or unknown arguments.
   static BenchOptions Parse(int argc, char** argv);
+
+  unsigned FirstThreads() const { return threads.empty() ? 1u : threads[0]; }
 
   ScenarioOptions ToScenarioOptions() const {
     ScenarioOptions options;
@@ -32,6 +46,45 @@ struct BenchOptions {
   }
 };
 
+/// One flat record of the JSON report: insertion-ordered key/value fields.
+/// Values are rendered immediately, so a record is cheap to copy and the
+/// reporter is just a list of strings.
+class JsonRecord {
+ public:
+  JsonRecord& Set(const std::string& key, const std::string& value);
+  JsonRecord& Set(const std::string& key, const char* value);
+  JsonRecord& Set(const std::string& key, double value);
+  JsonRecord& Set(const std::string& key, uint64_t value);
+  JsonRecord& Set(const std::string& key, unsigned value) {
+    return Set(key, static_cast<uint64_t>(value));
+  }
+
+  /// The record as a JSON object, e.g. {"bench":"fig7","threads":1}.
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::string> fields_;  // pre-rendered "key":value
+};
+
+/// Collects JsonRecords and writes them as one JSON array. Disabled (every
+/// call a no-op) when constructed with an empty path, so harnesses can
+/// always call Add/Write unconditionally.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+  void Add(const JsonRecord& record);
+
+  /// Writes `[record, record, ...]` to the path; true on success (and when
+  /// disabled). Prints the path and record count to stderr when enabled.
+  bool Write() const;
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
 /// Builds a scenario, printing build progress and summary statistics.
 ScenarioData BuildScenarioVerbose(const std::string& name,
                                   const BenchOptions& options);
@@ -39,6 +92,9 @@ ScenarioData BuildScenarioVerbose(const std::string& name,
 /// Runs find-relation over all candidate pairs with \p method and returns
 /// the throughput in pairs/second. Outcome counts land in \p pipeline's
 /// stats; the returned relation histogram is indexed by Relation value.
+/// With threads != 1 the run goes through ParallelFindRelation (work-
+/// stealing over Hilbert-ordered blocks); the relations, histogram, and
+/// stat counters are identical to the single-threaded run.
 struct FindRelationRun {
   double seconds = 0.0;
   double pairs_per_second = 0.0;
@@ -47,7 +103,8 @@ struct FindRelationRun {
 };
 FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
                                 const std::vector<CandidatePair>& pairs,
-                                bool time_stages = false);
+                                bool time_stages = false,
+                                unsigned threads = 1);
 
 /// Prints a horizontal rule and a centred title.
 void PrintTitle(const std::string& title);

@@ -18,10 +18,14 @@ struct ScenarioResult {
   std::string name;
   double throughput[4];
   double undetermined[4];
+  double filter_seconds[4];
+  double refine_seconds[4];
   std::vector<uint64_t> histogram;  // from the P+C run (all methods agree)
 };
 
 void Run(const BenchOptions& options) {
+  const unsigned threads = options.FirstThreads();
+  JsonReporter reporter(options.json_path);
   std::vector<ScenarioResult> results;
   for (const std::string& name : ScenarioNames()) {
     const ScenarioData scenario = BuildScenarioVerbose(name, options);
@@ -29,14 +33,31 @@ void Run(const BenchOptions& options) {
     result.name = name;
     for (size_t m = 0; m < AllMethods().size(); ++m) {
       const FindRelationRun run =
-          RunFindRelation(AllMethods()[m], scenario, scenario.candidates);
+          RunFindRelation(AllMethods()[m], scenario, scenario.candidates,
+                          options.time_stages, threads);
       result.throughput[m] = run.pairs_per_second;
       result.undetermined[m] = run.stats.UndeterminedPercent();
+      result.filter_seconds[m] = run.stats.filter_seconds;
+      result.refine_seconds[m] = run.stats.refine_seconds;
       if (AllMethods()[m] == Method::kPC) result.histogram = run.relation_histogram;
       std::printf("[run]   %-6s: %12.0f pairs/s, %5.1f%% undetermined\n",
                   ToString(AllMethods()[m]), run.pairs_per_second,
                   run.stats.UndeterminedPercent());
       std::fflush(stdout);
+      JsonRecord record;
+      record.Set("bench", "fig7")
+          .Set("scenario", name)
+          .Set("method", ToString(AllMethods()[m]))
+          .Set("threads", threads)
+          .Set("scale", options.scale)
+          .Set("pairs", static_cast<uint64_t>(scenario.candidates.size()))
+          .Set("pairs_per_sec", run.pairs_per_second)
+          .Set("undetermined_pct", run.stats.UndeterminedPercent());
+      if (options.time_stages) {
+        record.Set("filter_seconds", run.stats.filter_seconds)
+            .Set("refine_seconds", run.stats.refine_seconds);
+      }
+      reporter.Add(record);
     }
     results.push_back(std::move(result));
   }
@@ -60,6 +81,25 @@ void Run(const BenchOptions& options) {
                 r.undetermined[3]);
   }
 
+  if (options.time_stages) {
+    // The per-method stage split (filter vs refinement CPU seconds) — only
+    // meaningful when --time-stages armed the per-pair timers; before the
+    // time_stages plumbing, parallel runs silently reported zeros here.
+    PrintTitle("Stage seconds per scenario (filter / refine)");
+    std::printf("%-10s %17s %17s %17s %17s\n", "scenario", "ST2", "OP2",
+                "APRIL", "P+C");
+    for (const ScenarioResult& r : results) {
+      std::printf("%-10s", r.name.c_str());
+      for (size_t m = 0; m < AllMethods().size(); ++m) {
+        char cell[32];
+        std::snprintf(cell, sizeof cell, "%.3f/%.3f", r.filter_seconds[m],
+                      r.refine_seconds[m]);
+        std::printf(" %17s", cell);
+      }
+      std::printf("\n");
+    }
+  }
+
   PrintTitle("Relation mix per scenario (diagnostic, not in the paper)");
   std::printf("%-10s", "scenario");
   for (int rel = 0; rel < de9im::kNumRelations; ++rel) {
@@ -73,6 +113,8 @@ void Run(const BenchOptions& options) {
     }
     std::printf("\n");
   }
+
+  reporter.Write();
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+// Extension harness (no paper counterpart): thread-scaling of the two hot
+// stages around the paper's P+C filter on the OLE-OPE scenario.
+//
+//   1. MBR filter join (MbrJoin): CSR tile layout, parallel distribute +
+//      sweep, dynamic tile scheduling. Throughput = candidate pairs emitted
+//      per second; every run is verified set-equal to the single-threaded
+//      result.
+//   2. Find-relation refinement (ParallelFindRelation, method P+C):
+//      work-stealing over Hilbert-ordered pair blocks. Throughput =
+//      candidate pairs answered per second; every run is verified
+//      relation-identical to the single-threaded run.
+//
+// Default sweep: powers of two up to hardware_concurrency (always including
+// 1 and hardware_concurrency itself); override with --threads=1,2,4,8.
+// With --json=PATH, one record per (stage, thread-count) is written —
+// tools/bench_json.sh uses this to produce BENCH_PR2.json at the repo root.
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/topology/parallel.h"
+#include "src/util/timer.h"
+
+namespace stj::bench {
+namespace {
+
+constexpr int kRepetitions = 3;  // best-of to damp scheduler noise
+
+std::vector<unsigned> DefaultSweep() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<unsigned> sweep;
+  for (unsigned t = 1; t < hw; t *= 2) sweep.push_back(t);
+  sweep.push_back(hw);
+  return sweep;
+}
+
+bool SameCandidateSet(std::vector<CandidatePair> a,
+                      std::vector<CandidatePair> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+void Run(const BenchOptions& options) {
+  const std::string scenario_name = "OLE-OPE";
+  const ScenarioData scenario = BuildScenarioVerbose(scenario_name, options);
+  JsonReporter reporter(options.json_path);
+
+  // A user-provided --threads list overrides the default power-of-two sweep
+  // (the BenchOptions default is the single entry {1}).
+  std::vector<unsigned> sweep = options.threads;
+  if (sweep.size() == 1 && sweep[0] == 1) sweep = DefaultSweep();
+
+  const std::vector<Box> r_mbrs = scenario.r.Mbrs();
+  const std::vector<Box> s_mbrs = scenario.s.Mbrs();
+
+  auto base_record = [&](const char* stage, unsigned threads) {
+    JsonRecord record;
+    record.Set("bench", "parallel_scaling")
+        .Set("stage", stage)
+        .Set("scenario", scenario_name)
+        .Set("threads", threads)
+        .Set("scale", options.scale)
+        .Set("grid_order", static_cast<uint64_t>(options.grid_order))
+        .Set("seed", options.seed)
+        .Set("hardware_concurrency",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    return record;
+  };
+
+  PrintTitle("MBR filter join (MbrJoin) thread scaling");
+  std::printf("%-8s %12s %14s %10s %8s\n", "threads", "seconds", "cand/s",
+              "cands", "speedup");
+  const std::vector<CandidatePair> filter_reference =
+      MbrJoin::Join(r_mbrs, s_mbrs);
+  double filter_base = 0.0;
+  for (const unsigned threads : sweep) {
+    MbrJoin::Options join_options;
+    join_options.num_threads = threads;
+    double best = -1.0;
+    std::vector<CandidatePair> result;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      Timer timer;
+      result = MbrJoin::Join(r_mbrs, s_mbrs, join_options);
+      const double seconds = timer.ElapsedSeconds();
+      if (best < 0.0 || seconds < best) best = seconds;
+    }
+    if (!SameCandidateSet(result, filter_reference)) {
+      std::fprintf(stderr,
+                   "FATAL: %u-thread MbrJoin diverged from single-threaded "
+                   "candidate set\n",
+                   threads);
+      std::exit(1);
+    }
+    const double per_second =
+        best > 0 ? static_cast<double>(result.size()) / best : 0.0;
+    if (threads == sweep.front()) filter_base = best;
+    std::printf("%-8u %12.4f %14.0f %10zu %7.2fx\n", threads, best, per_second,
+                result.size(), best > 0 ? filter_base / best : 0.0);
+    std::fflush(stdout);
+    JsonRecord record = base_record("mbr_filter", threads);
+    record.Set("method", "grid-sweep")
+        .Set("seconds", best)
+        .Set("pairs_per_sec", per_second)
+        .Set("pairs", static_cast<uint64_t>(result.size()));
+    reporter.Add(record);
+  }
+
+  PrintTitle("Find-relation (P+C) thread scaling");
+  std::printf("%-8s %12s %14s %14s %8s\n", "threads", "seconds", "pairs/s",
+              "undetermined", "speedup");
+  const FindRelationRun reference = RunFindRelation(
+      Method::kPC, scenario, scenario.candidates, /*time_stages=*/false,
+      /*threads=*/1);
+  double refine_base = 0.0;
+  for (const unsigned threads : sweep) {
+    FindRelationRun best_run;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      FindRelationRun run =
+          RunFindRelation(Method::kPC, scenario, scenario.candidates,
+                          options.time_stages, threads);
+      if (best_run.seconds == 0.0 || run.seconds < best_run.seconds) {
+        best_run = run;
+      }
+    }
+    if (best_run.relation_histogram != reference.relation_histogram ||
+        best_run.stats.refined != reference.stats.refined) {
+      std::fprintf(stderr,
+                   "FATAL: %u-thread find-relation diverged from the "
+                   "single-threaded run\n",
+                   threads);
+      std::exit(1);
+    }
+    if (threads == sweep.front()) refine_base = best_run.seconds;
+    std::printf("%-8u %12.3f %14.0f %13.1f%% %7.2fx\n", threads,
+                best_run.seconds, best_run.pairs_per_second,
+                best_run.stats.UndeterminedPercent(),
+                best_run.seconds > 0 ? refine_base / best_run.seconds : 0.0);
+    std::fflush(stdout);
+    JsonRecord record = base_record("find_relation", threads);
+    record.Set("method", ToString(Method::kPC))
+        .Set("seconds", best_run.seconds)
+        .Set("pairs_per_sec", best_run.pairs_per_second)
+        .Set("pairs", static_cast<uint64_t>(scenario.candidates.size()))
+        .Set("undetermined_pct", best_run.stats.UndeterminedPercent());
+    if (options.time_stages) {
+      record.Set("filter_seconds", best_run.stats.filter_seconds)
+          .Set("refine_seconds", best_run.stats.refine_seconds);
+    }
+    reporter.Add(record);
+  }
+
+  if (!reporter.Write()) std::exit(1);
+}
+
+}  // namespace
+}  // namespace stj::bench
+
+int main(int argc, char** argv) {
+  stj::bench::Run(stj::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

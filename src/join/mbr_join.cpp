@@ -1,7 +1,12 @@
 #include "src/join/mbr_join.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <thread>
+
+#include "src/util/parallel_for.h"
 
 namespace stj {
 
@@ -30,28 +35,113 @@ struct TileGrid {
   }
 };
 
-void Distribute(const std::vector<Box>& boxes, const TileGrid& grid,
-                std::vector<std::vector<TileEntry>>* tiles) {
-  for (uint32_t i = 0; i < boxes.size(); ++i) {
-    const Box& b = boxes[i];
-    if (b.IsEmpty()) continue;
-    const uint32_t tx0 = grid.TileX(b.min.x);
-    const uint32_t tx1 = grid.TileX(b.max.x);
-    const uint32_t ty0 = grid.TileY(b.min.y);
-    const uint32_t ty1 = grid.TileY(b.max.y);
-    for (uint32_t ty = ty0; ty <= ty1; ++ty) {
-      for (uint32_t tx = tx0; tx <= tx1; ++tx) {
-        (*tiles)[ty * grid.tiles + tx].push_back(TileEntry{b.min.x, i});
-      }
+/// Calls fn(tile_index) for every tile the (non-empty) box overlaps.
+template <typename Fn>
+void ForEachTile(const Box& b, const TileGrid& grid, Fn&& fn) {
+  const uint32_t tx0 = grid.TileX(b.min.x);
+  const uint32_t tx1 = grid.TileX(b.max.x);
+  const uint32_t ty0 = grid.TileY(b.min.y);
+  const uint32_t ty1 = grid.TileY(b.max.y);
+  for (uint32_t ty = ty0; ty <= ty1; ++ty) {
+    for (uint32_t tx = tx0; tx <= tx1; ++tx) {
+      fn(static_cast<size_t>(ty) * grid.tiles + tx);
     }
   }
-  for (auto& tile : *tiles) {
-    std::sort(tile.begin(), tile.end(),
-              [](const TileEntry& a, const TileEntry& b) {
-                return a.xmin < b.xmin;
-              });
-  }
 }
+
+/// Tile buckets in CSR form: the entries of tile t occupy
+/// entries[offsets[t] .. offsets[t + 1]), sorted by (xmin, idx).
+struct TileCsr {
+  std::vector<size_t> offsets;     // tiles^2 + 1
+  std::vector<TileEntry> entries;  // one flat allocation for all tiles
+
+  const TileEntry* Begin(size_t tile) const { return entries.data() + offsets[tile]; }
+  size_t Size(size_t tile) const { return offsets[tile + 1] - offsets[tile]; }
+};
+
+/// Two-pass distribute: count replications per tile, prefix-sum into the
+/// offset table, then scatter entries through per-tile atomic cursors. Every
+/// pass fans out over \p threads workers; the final per-tile sort uses idx
+/// as tiebreaker so the layout is independent of scatter interleaving (and
+/// of the thread count).
+TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
+                 unsigned threads) {
+  const size_t tile_count = static_cast<size_t>(grid.tiles) * grid.tiles;
+  TileCsr csr;
+  csr.offsets.assign(tile_count + 1, 0);
+
+  std::unique_ptr<std::atomic<size_t>[]> cursors(
+      new std::atomic<size_t>[tile_count]);
+  for (size_t t = 0; t < tile_count; ++t) {
+    cursors[t].store(0, std::memory_order_relaxed);
+  }
+  internal::RunChunks(threads, boxes.size(),
+                      [&](unsigned, size_t begin, size_t end) {
+                        for (size_t i = begin; i < end; ++i) {
+                          if (boxes[i].IsEmpty()) continue;
+                          ForEachTile(boxes[i], grid, [&](size_t tile) {
+                            cursors[tile].fetch_add(1,
+                                                    std::memory_order_relaxed);
+                          });
+                        }
+                      });
+
+  size_t total = 0;
+  for (size_t t = 0; t < tile_count; ++t) {
+    csr.offsets[t] = total;
+    total += cursors[t].load(std::memory_order_relaxed);
+    // Reuse the count slot as the tile's write cursor for the scatter pass.
+    cursors[t].store(csr.offsets[t], std::memory_order_relaxed);
+  }
+  csr.offsets[tile_count] = total;
+  csr.entries.resize(total);
+
+  internal::RunChunks(
+      threads, boxes.size(), [&](unsigned, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if (boxes[i].IsEmpty()) continue;
+          ForEachTile(boxes[i], grid, [&](size_t tile) {
+            const size_t slot =
+                cursors[tile].fetch_add(1, std::memory_order_relaxed);
+            csr.entries[slot] =
+                TileEntry{boxes[i].min.x, static_cast<uint32_t>(i)};
+          });
+        }
+      });
+
+  internal::RunChunks(
+      threads, tile_count, [&](unsigned, size_t begin, size_t end) {
+        for (size_t t = begin; t < end; ++t) {
+          std::sort(csr.entries.begin() + static_cast<ptrdiff_t>(csr.offsets[t]),
+                    csr.entries.begin() +
+                        static_cast<ptrdiff_t>(csr.offsets[t + 1]),
+                    [](const TileEntry& a, const TileEntry& b) {
+                      if (a.xmin != b.xmin) return a.xmin < b.xmin;
+                      return a.idx < b.idx;  // reproducible order under ties
+                    });
+        }
+      });
+  return csr;
+}
+
+unsigned ResolveJoinThreads(unsigned requested, size_t work) {
+  if (requested != 0) {
+    // An explicit request is honoured (the concurrency tests rely on real
+    // worker threads), but never with more workers than input boxes.
+    return static_cast<unsigned>(
+        std::min<size_t>(requested, std::max<size_t>(1, work)));
+  }
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  // Auto mode: tiny inputs are not worth the thread spawn cost.
+  const size_t max_useful = std::max<size_t>(1, work / 2048);
+  return static_cast<unsigned>(std::min<size_t>(n, max_useful));
+}
+
+/// Number of consecutive tiles a worker claims per steal in dynamic mode:
+/// coarse enough to amortise the atomic, fine enough that one dense tile
+/// region cannot serialize the tail.
+constexpr size_t kTileBlock = 32;
 
 }  // namespace
 
@@ -79,51 +169,86 @@ std::vector<CandidatePair> MbrJoin::Join(const std::vector<Box>& r,
                    ? static_cast<double>(tiles) / grid.bounds.Height()
                    : 0.0;
 
-  std::vector<std::vector<TileEntry>> r_tiles(
-      static_cast<size_t>(tiles) * tiles);
-  std::vector<std::vector<TileEntry>> s_tiles(
-      static_cast<size_t>(tiles) * tiles);
-  Distribute(r, grid, &r_tiles);
-  Distribute(s, grid, &s_tiles);
+  const unsigned threads =
+      ResolveJoinThreads(options.num_threads, r.size() + s.size());
+  const TileCsr r_csr = BuildCsr(r, grid, threads);
+  const TileCsr s_csr = BuildCsr(s, grid, threads);
 
-  // Reports (a, b) if they intersect and this tile owns their reference
-  // point (the max of the two min-corners).
-  auto emit_if_owned = [&](uint32_t a, uint32_t b, uint32_t tx, uint32_t ty) {
-    const Box& ra = r[a];
-    const Box& sb = s[b];
-    if (ra.min.y > sb.max.y || sb.min.y > ra.max.y) return;  // y-overlap test
-    const double ref_x = std::max(ra.min.x, sb.min.x);
-    const double ref_y = std::max(ra.min.y, sb.min.y);
-    if (grid.TileX(ref_x) != tx || grid.TileY(ref_y) != ty) return;
-    out.push_back(CandidatePair{a, b});
-  };
-
-  for (uint32_t ty = 0; ty < tiles; ++ty) {
-    for (uint32_t tx = 0; tx < tiles; ++tx) {
-      const auto& rt = r_tiles[ty * tiles + tx];
-      const auto& st = s_tiles[ty * tiles + tx];
-      if (rt.empty() || st.empty()) continue;
-      // Forward scan: both sides sorted by xmin.
-      size_t i = 0;
-      size_t j = 0;
-      while (i < rt.size() && j < st.size()) {
-        if (rt[i].xmin <= st[j].xmin) {
-          const double xmax = r[rt[i].idx].max.x;
-          for (size_t k = j; k < st.size(); ++k) {
-            if (st[k].xmin > xmax) break;
-            emit_if_owned(rt[i].idx, st[k].idx, tx, ty);
-          }
-          ++i;
-        } else {
-          const double xmax = s[st[j].idx].max.x;
-          for (size_t k = i; k < rt.size(); ++k) {
-            if (rt[k].xmin > xmax) break;
-            emit_if_owned(rt[k].idx, st[j].idx, tx, ty);
-          }
-          ++j;
+  // Sweeps one tile: forward scan of the two xmin-sorted entry runs,
+  // reporting (a, b) if the boxes intersect and this tile owns their
+  // reference point (the max of the two min-corners).
+  auto sweep_tile = [&](size_t tile, std::vector<CandidatePair>* sink) {
+    const TileEntry* rt = r_csr.Begin(tile);
+    const TileEntry* st = s_csr.Begin(tile);
+    const size_t rn = r_csr.Size(tile);
+    const size_t sn = s_csr.Size(tile);
+    if (rn == 0 || sn == 0) return;
+    const auto tx = static_cast<uint32_t>(tile % grid.tiles);
+    const auto ty = static_cast<uint32_t>(tile / grid.tiles);
+    auto emit_if_owned = [&](uint32_t a, uint32_t b) {
+      const Box& ra = r[a];
+      const Box& sb = s[b];
+      if (ra.min.y > sb.max.y || sb.min.y > ra.max.y) return;  // y-overlap
+      const double ref_x = std::max(ra.min.x, sb.min.x);
+      const double ref_y = std::max(ra.min.y, sb.min.y);
+      if (grid.TileX(ref_x) != tx || grid.TileY(ref_y) != ty) return;
+      sink->push_back(CandidatePair{a, b});
+    };
+    size_t i = 0;
+    size_t j = 0;
+    while (i < rn && j < sn) {
+      if (rt[i].xmin <= st[j].xmin) {
+        const double xmax = r[rt[i].idx].max.x;
+        for (size_t k = j; k < sn; ++k) {
+          if (st[k].xmin > xmax) break;
+          emit_if_owned(rt[i].idx, st[k].idx);
         }
+        ++i;
+      } else {
+        const double xmax = s[st[j].idx].max.x;
+        for (size_t k = i; k < rn; ++k) {
+          if (rt[k].xmin > xmax) break;
+          emit_if_owned(rt[k].idx, st[j].idx);
+        }
+        ++j;
       }
     }
+  };
+
+  const size_t tile_count = static_cast<size_t>(tiles) * tiles;
+  std::vector<std::vector<CandidatePair>> per_worker(threads);
+  unsigned used = 0;
+  if (options.deterministic || threads <= 1) {
+    // Static contiguous tile chunks: worker w owns the w-th ascending tile
+    // range, so concatenating per-worker buffers in worker order reproduces
+    // the single-threaded tile-major pair order exactly.
+    used = internal::RunChunks(threads, tile_count,
+                               [&](unsigned worker, size_t begin, size_t end) {
+                                 for (size_t t = begin; t < end; ++t) {
+                                   sweep_tile(t, &per_worker[worker]);
+                                 }
+                               });
+  } else {
+    // Dynamic scheduling: idle workers steal the next block of tiles, so a
+    // few dense tiles cannot serialize the sweep tail.
+    std::atomic<size_t> next{0};
+    used = internal::RunWorkers(threads, [&](unsigned worker) {
+      for (;;) {
+        const size_t begin = next.fetch_add(kTileBlock);
+        if (begin >= tile_count) break;
+        const size_t end = std::min(tile_count, begin + kTileBlock);
+        for (size_t t = begin; t < end; ++t) {
+          sweep_tile(t, &per_worker[worker]);
+        }
+      }
+    });
+  }
+
+  size_t total_pairs = 0;
+  for (unsigned w = 0; w < used; ++w) total_pairs += per_worker[w].size();
+  out.reserve(total_pairs);
+  for (unsigned w = 0; w < used; ++w) {
+    out.insert(out.end(), per_worker[w].begin(), per_worker[w].end());
   }
   return out;
 }

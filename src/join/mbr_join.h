@@ -32,12 +32,30 @@ struct CandidatePair {
 /// replication are suppressed with the reference-point rule (a pair is
 /// reported only by the tile containing the top-right-most min-corner of the
 /// MBR intersection).
+///
+/// Layout: tile buckets are a CSR-style index — one flat entry array per
+/// side plus a per-tile offset table built with a count/prefix-sum/scatter
+/// pass — so the distribute phase does exactly two allocations per side no
+/// matter how many tiles the grid has. Both the distribute and the per-tile
+/// sweep phases run on Options::num_threads workers.
 class MbrJoin {
  public:
   struct Options {
-    Options() : tiles_per_side(0) {}
+    // Member-init-list constructor (not default member initializers): the
+    // defaults are needed by Join's default argument before this class is
+    // complete.
+    Options() : tiles_per_side(0), num_threads(1), deterministic(false) {}
     /// Tiles per side; 0 picks ~sqrt((|r|+|s|)/8) automatically.
     uint32_t tiles_per_side;
+    /// Worker threads for the distribute and sweep phases
+    /// (0 = hardware concurrency, 1 = fully serial).
+    unsigned num_threads;
+    /// When true, tiles are assigned to workers in static contiguous chunks
+    /// and per-worker outputs are concatenated in worker order, which makes
+    /// the emitted pair *order* byte-identical for every thread count. When
+    /// false, tiles are scheduled dynamically (better balance under skew)
+    /// and only the pair *set* is guaranteed stable.
+    bool deterministic;
   };
 
   /// Returns all pairs (i, j) with r[i] intersecting s[j].

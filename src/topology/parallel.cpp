@@ -1,13 +1,25 @@
 #include "src/topology/parallel.h"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
+#include <atomic>
+#include <numeric>
 #include <thread>
+
+#include "src/raster/hilbert.h"
 
 namespace stj {
 
 namespace {
+
+/// Pairs per work-stealing block: coarse enough that the shared cursor is
+/// touched rarely, fine enough that a run of complexity-heavy pairs cannot
+/// serialize the tail.
+constexpr size_t kPairBlock = 64;
+
+/// Grid order for the scheduling curve: 256x256 buckets is plenty to group
+/// pairs that share objects without the key computation showing up in
+/// profiles.
+constexpr uint32_t kScheduleOrder = 8;
 
 void MergeStats(const PipelineStats& from, PipelineStats* into) {
   into->pairs += from.pairs;
@@ -20,74 +32,110 @@ void MergeStats(const PipelineStats& from, PipelineStats* into) {
 }
 
 unsigned ResolveThreads(unsigned requested, size_t pairs) {
-  unsigned n = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (requested != 0) {
+    // An explicit request is honoured (the concurrency tests rely on real
+    // worker threads), but never with more workers than pairs.
+    return static_cast<unsigned>(
+        std::min<size_t>(requested, std::max<size_t>(1, pairs)));
+  }
+  unsigned n = std::thread::hardware_concurrency();
   if (n == 0) n = 1;
-  // No point spinning up workers for a handful of pairs each.
+  // Auto mode: no point spinning up workers for a handful of pairs each.
   const size_t max_useful = std::max<size_t>(1, pairs / 256);
-  return static_cast<unsigned>(
-      std::min<size_t>(n, std::max<size_t>(1, max_useful)));
+  return static_cast<unsigned>(std::min<size_t>(n, max_useful));
+}
+
+/// The processing schedule for the work-stealing loop: pair indices sorted
+/// by the Hilbert-curve position of each pair's reference point (the max of
+/// the two MBR min-corners — the same point the filter join's
+/// duplicate-avoidance rule uses), with the input index as tiebreaker.
+/// Consecutive blocks then touch spatially clustered pairs, so an object
+/// that appears in many pairs tends to be refined by one worker while its
+/// geometry is still cache-resident.
+std::vector<uint32_t> HilbertSchedule(DatasetView r_view, DatasetView s_view,
+                                      const std::vector<CandidatePair>& pairs) {
+  const std::vector<SpatialObject>& r = *r_view.objects;
+  const std::vector<SpatialObject>& s = *s_view.objects;
+  Box space;
+  for (const SpatialObject& object : r) space.Expand(object.geometry.Bounds());
+  for (const SpatialObject& object : s) space.Expand(object.geometry.Bounds());
+  const uint32_t cells = 1u << kScheduleOrder;
+  const double inv_w =
+      space.Width() > 0 ? static_cast<double>(cells) / space.Width() : 0.0;
+  const double inv_h =
+      space.Height() > 0 ? static_cast<double>(cells) / space.Height() : 0.0;
+  auto cell_of = [cells](double t) {
+    if (t <= 0.0) return 0u;
+    return std::min(static_cast<uint32_t>(t), cells - 1);
+  };
+
+  std::vector<uint64_t> keys(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const Box& rb = r[pairs[i].r_idx].geometry.Bounds();
+    const Box& sb = s[pairs[i].s_idx].geometry.Bounds();
+    const double ref_x = std::max(rb.min.x, sb.min.x);
+    const double ref_y = std::max(rb.min.y, sb.min.y);
+    keys[i] = HilbertXYToD(kScheduleOrder,
+                           cell_of((ref_x - space.min.x) * inv_w),
+                           cell_of((ref_y - space.min.y) * inv_h));
+  }
+  std::vector<uint32_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&keys](uint32_t a, uint32_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;  // deterministic schedule under key ties
+  });
+  return order;
+}
+
+/// Shared driver for both join flavours: \p process(pipeline, pair_index)
+/// answers one pair. Single-threaded runs keep the plain input-order loop
+/// (no schedule to build, no cursor); multi-threaded runs drain
+/// Hilbert-ordered blocks through an atomic cursor.
+template <typename Process>
+PipelineStats RunPairs(Method method, DatasetView r_view, DatasetView s_view,
+                       const std::vector<CandidatePair>& pairs,
+                       unsigned num_threads, bool time_stages,
+                       const Process& process) {
+  PipelineStats stats;
+  const unsigned threads = ResolveThreads(num_threads, pairs.size());
+  if (threads <= 1) {
+    Pipeline pipeline(method, r_view, s_view, time_stages);
+    for (size_t i = 0; i < pairs.size(); ++i) process(&pipeline, i);
+    return pipeline.Stats();
+  }
+  const std::vector<uint32_t> order = HilbertSchedule(r_view, s_view, pairs);
+  std::vector<PipelineStats> per_worker(threads);
+  std::atomic<size_t> next{0};
+  const unsigned used = internal::RunWorkers(threads, [&](unsigned worker) {
+    Pipeline pipeline(method, r_view, s_view, time_stages);
+    for (;;) {
+      const size_t begin = next.fetch_add(kPairBlock);
+      if (begin >= order.size()) break;
+      const size_t end = std::min(order.size(), begin + kPairBlock);
+      for (size_t i = begin; i < end; ++i) process(&pipeline, order[i]);
+    }
+    per_worker[worker] = pipeline.Stats();
+  });
+  for (unsigned w = 0; w < used; ++w) MergeStats(per_worker[w], &stats);
+  return stats;
 }
 
 }  // namespace
 
-namespace internal {
-
-unsigned RunChunks(unsigned num_threads, size_t total,
-                   const std::function<void(unsigned, size_t, size_t)>& fn) {
-  if (total == 0) return 0;
-  if (num_threads <= 1) {
-    fn(0u, size_t{0}, total);  // exceptions propagate directly
-    return 1;
-  }
-  const size_t chunk = (total + num_threads - 1) / num_threads;
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  for (unsigned t = 0; t < num_threads; ++t) {
-    const size_t begin = std::min(total, static_cast<size_t>(t) * chunk);
-    const size_t end = std::min(total, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&fn, &error_mutex, &first_error, t, begin, end] {
-      try {
-        fn(t, begin, end);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error == nullptr) first_error = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  if (first_error != nullptr) std::rethrow_exception(first_error);
-  return static_cast<unsigned>(workers.size());
-}
-
-}  // namespace internal
-
 ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
                                         DatasetView s_view,
                                         const std::vector<CandidatePair>& pairs,
-                                        unsigned num_threads) {
+                                        unsigned num_threads,
+                                        bool time_stages) {
   ParallelJoinResult result;
   if (pairs.empty()) return result;  // no workers, no per-worker state
   result.relations.resize(pairs.size());
-  const unsigned threads = ResolveThreads(num_threads, pairs.size());
-  std::vector<PipelineStats> per_worker(threads);
-  const unsigned used = internal::RunChunks(
-      threads, pairs.size(), [&](unsigned worker, size_t begin, size_t end) {
-        Pipeline pipeline(method, r_view, s_view);
-        for (size_t i = begin; i < end; ++i) {
-          result.relations[i] =
-              pipeline.FindRelation(pairs[i].r_idx, pairs[i].s_idx);
-        }
-        per_worker[worker] = pipeline.Stats();
-      });
-  // Merge only the workers that ran: chunks collapse to empty when there are
-  // more threads than pairs, and a default-initialised PipelineStats must
-  // not leak into the totals.
-  for (unsigned w = 0; w < used; ++w) {
-    MergeStats(per_worker[w], &result.stats);
-  }
+  result.stats = RunPairs(method, r_view, s_view, pairs, num_threads,
+                          time_stages, [&](Pipeline* pipeline, size_t i) {
+                            result.relations[i] = pipeline->FindRelation(
+                                pairs[i].r_idx, pairs[i].s_idx);
+                          });
   return result;
 }
 
@@ -95,25 +143,16 @@ ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
                                     DatasetView s_view,
                                     const std::vector<CandidatePair>& pairs,
                                     de9im::Relation predicate,
-                                    unsigned num_threads) {
+                                    unsigned num_threads, bool time_stages) {
   ParallelRelateResult result;
   if (pairs.empty()) return result;  // no workers, no per-worker state
   result.matches.resize(pairs.size(), 0);
-  const unsigned threads = ResolveThreads(num_threads, pairs.size());
-  std::vector<PipelineStats> per_worker(threads);
-  const unsigned used = internal::RunChunks(
-      threads, pairs.size(), [&](unsigned worker, size_t begin, size_t end) {
-        Pipeline pipeline(method, r_view, s_view);
-        for (size_t i = begin; i < end; ++i) {
-          result.matches[i] =
-              pipeline.Relate(pairs[i].r_idx, pairs[i].s_idx, predicate) ? 1
-                                                                         : 0;
-        }
-        per_worker[worker] = pipeline.Stats();
+  result.stats = RunPairs(
+      method, r_view, s_view, pairs, num_threads, time_stages,
+      [&](Pipeline* pipeline, size_t i) {
+        result.matches[i] =
+            pipeline->Relate(pairs[i].r_idx, pairs[i].s_idx, predicate) ? 1 : 0;
       });
-  for (unsigned w = 0; w < used; ++w) {
-    MergeStats(per_worker[w], &result.stats);
-  }
   return result;
 }
 

@@ -1,29 +1,13 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <vector>
 
 #include "src/join/mbr_join.h"
 #include "src/topology/pipeline.h"
+#include "src/util/parallel_for.h"  // internal::RunChunks / RunWorkers
 
 namespace stj {
-
-namespace internal {
-
-/// Splits [0, total) into up to \p num_threads contiguous chunks and runs
-/// fn(worker_index, begin, end) on each, in worker threads (inline on the
-/// calling thread when a single chunk suffices). Returns the number of
-/// workers that actually ran — always <= num_threads, 0 when total == 0 —
-/// so callers can merge exactly the per-worker state that was written.
-///
-/// Exception safety: if workers throw, every thread is still joined and the
-/// first exception (by completion order) is rethrown on the calling thread;
-/// the process never std::terminates because of a throwing worker.
-unsigned RunChunks(unsigned num_threads, size_t total,
-                   const std::function<void(unsigned, size_t, size_t)>& fn);
-
-}  // namespace internal
 
 /// Result of a (possibly multi-threaded) find-relation join.
 struct ParallelJoinResult {
@@ -37,15 +21,26 @@ struct ParallelJoinResult {
 /// Evaluates find-relation for every candidate pair with \p method, fanning
 /// the pairs out over \p num_threads workers (0 = hardware concurrency).
 ///
-/// Pairs are split into contiguous chunks; each worker owns a private
-/// Pipeline (the shared dataset views are read-only), so no synchronisation
-/// is needed beyond the final join. Results are deterministic and identical
-/// to the single-threaded run. A worker exception propagates to the caller
-/// (see internal::RunChunks).
+/// Scheduling: refinement cost is wildly skewed by polygon complexity
+/// (Fig. 8), so a static partition lets one unlucky chunk serialize the
+/// whole join. Instead the pairs are pre-sorted by the Hilbert-curve
+/// position of their reference tile (repeated objects stay cache-resident
+/// within a block) and workers claim fixed-size blocks of that schedule
+/// through a shared atomic cursor until the list is drained.
+///
+/// Each worker owns a private Pipeline (the shared dataset views are
+/// read-only), so no synchronisation is needed beyond the block cursor and
+/// the final join. relations[i] is written by exactly one worker; results
+/// are deterministic and identical to the single-threaded run regardless of
+/// thread count. \p time_stages enables per-pair stage timers in every
+/// worker (PipelineStats::filter_seconds / refine_seconds; summed CPU
+/// seconds across workers). A worker exception propagates to the caller
+/// (see internal::RunWorkers).
 ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
                                         DatasetView s_view,
                                         const std::vector<CandidatePair>& pairs,
-                                        unsigned num_threads = 0);
+                                        unsigned num_threads = 0,
+                                        bool time_stages = false);
 
 /// As above for a relate_p predicate join; returns one bool per pair.
 struct ParallelRelateResult {
@@ -56,6 +51,7 @@ ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
                                     DatasetView s_view,
                                     const std::vector<CandidatePair>& pairs,
                                     de9im::Relation predicate,
-                                    unsigned num_threads = 0);
+                                    unsigned num_threads = 0,
+                                    bool time_stages = false);
 
 }  // namespace stj

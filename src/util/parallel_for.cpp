@@ -1,0 +1,73 @@
+#include "src/util/parallel_for.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stj::internal {
+
+namespace {
+
+/// Spawns one thread per thunk, joins them all, and rethrows the first
+/// exception (by completion order) on the calling thread.
+void JoinAll(std::vector<std::function<void()>> thunks) {
+  std::vector<std::thread> workers;
+  workers.reserve(thunks.size());
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (std::function<void()>& thunk : thunks) {
+    workers.emplace_back([&error_mutex, &first_error,
+                          thunk = std::move(thunk)] {
+      try {
+        thunk();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+unsigned RunChunks(unsigned num_threads, size_t total,
+                   const std::function<void(unsigned, size_t, size_t)>& fn) {
+  if (total == 0) return 0;
+  if (num_threads <= 1) {
+    fn(0u, size_t{0}, total);  // exceptions propagate directly
+    return 1;
+  }
+  const size_t chunk = (total + num_threads - 1) / num_threads;
+  std::vector<std::function<void()>> thunks;
+  thunks.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const size_t begin = std::min(total, static_cast<size_t>(t) * chunk);
+    const size_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    thunks.push_back([&fn, t, begin, end] { fn(t, begin, end); });
+  }
+  const auto used = static_cast<unsigned>(thunks.size());
+  JoinAll(std::move(thunks));
+  return used;
+}
+
+unsigned RunWorkers(unsigned num_threads,
+                    const std::function<void(unsigned)>& fn) {
+  if (num_threads <= 1) {
+    fn(0u);  // exceptions propagate directly
+    return 1;
+  }
+  std::vector<std::function<void()>> thunks;
+  thunks.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    thunks.push_back([&fn, t] { fn(t); });
+  }
+  JoinAll(std::move(thunks));
+  return num_threads;
+}
+
+}  // namespace stj::internal

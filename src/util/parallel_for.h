@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace stj::internal {
+
+/// Splits [0, total) into up to \p num_threads contiguous chunks and runs
+/// fn(worker_index, begin, end) on each, in worker threads (inline on the
+/// calling thread when a single chunk suffices). Returns the number of
+/// workers that actually ran — always <= num_threads, 0 when total == 0 —
+/// so callers can merge exactly the per-worker state that was written.
+/// Worker w always owns the w-th chunk in ascending range order, so
+/// concatenating per-worker output by worker index reproduces the order a
+/// single-threaded pass would have produced.
+///
+/// Exception safety: if workers throw, every thread is still joined and the
+/// first exception (by completion order) is rethrown on the calling thread;
+/// the process never std::terminates because of a throwing worker.
+unsigned RunChunks(unsigned num_threads, size_t total,
+                   const std::function<void(unsigned, size_t, size_t)>& fn);
+
+/// Runs fn(worker_index) on \p num_threads workers (inline on the calling
+/// thread when num_threads <= 1) and returns the number of workers spawned.
+/// The building block for dynamic scheduling: callers pair it with a shared
+/// atomic cursor so idle workers steal the next block instead of waiting on
+/// a static partition. Same exception semantics as RunChunks.
+unsigned RunWorkers(unsigned num_threads,
+                    const std::function<void(unsigned)>& fn);
+
+}  // namespace stj::internal

@@ -100,6 +100,115 @@ TEST(MbrJoin, IdenticalDatasets) {
   ExpectSameResult(MbrJoin::Join(r, r), MbrJoin::JoinBruteForce(r, r));
 }
 
+MbrJoin::Options Opt(uint32_t tiles, unsigned threads,
+                     bool deterministic = false) {
+  MbrJoin::Options options;
+  options.tiles_per_side = tiles;
+  options.num_threads = threads;
+  options.deterministic = deterministic;
+  return options;
+}
+
+TEST(MbrJoin, MatchesBruteForceAcrossSeedsTilesAndThreads) {
+  for (const uint64_t seed : {311u, 313u, 317u}) {
+    Rng rng(seed);
+    const auto r = RandomBoxes(&rng, 250, 8.0);
+    const auto s = RandomBoxes(&rng, 250, 8.0);
+    const auto want = MbrJoin::JoinBruteForce(r, s);
+    for (const uint32_t tiles : {0u, 1u, 4u, 16u}) {
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(::testing::Message() << "seed=" << seed << " tiles="
+                                          << tiles << " threads=" << threads);
+        ExpectSameResult(MbrJoin::Join(r, s, Opt(tiles, threads)), want);
+      }
+    }
+  }
+}
+
+TEST(MbrJoin, AllIdenticalBoxes) {
+  // Every box equals every other: the worst case for both the sweep (all
+  // entries tie on xmin) and the reference-point rule (one tile owns all
+  // n^2 pairs).
+  const std::vector<Box> r(40, Box::Of(Point{10, 10}, Point{12, 12}));
+  const std::vector<Box> s(40, Box::Of(Point{10, 10}, Point{12, 12}));
+  const auto want = MbrJoin::JoinBruteForce(r, s);
+  ASSERT_EQ(want.size(), 1600u);
+  for (const unsigned threads : {1u, 8u}) {
+    ExpectSameResult(MbrJoin::Join(r, s, Opt(8, threads)), want);
+  }
+}
+
+TEST(MbrJoin, ZeroAreaBoxesAcrossThreads) {
+  Rng rng(319);
+  std::vector<Box> r;
+  std::vector<Box> s;
+  for (int i = 0; i < 120; ++i) {
+    const double x = rng.Uniform(0, 50);
+    const double y = rng.Uniform(0, 50);
+    // Points, horizontal segments, vertical segments.
+    r.push_back(Box::Of(Point{x, y}, Point{x, y}));
+    s.push_back(i % 2 == 0 ? Box::Of(Point{x - 1, y}, Point{x + 1, y})
+                           : Box::Of(Point{x, y - 1}, Point{x, y + 1}));
+  }
+  const auto want = MbrJoin::JoinBruteForce(r, s);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ExpectSameResult(MbrJoin::Join(r, s, Opt(8, threads)), want);
+  }
+}
+
+TEST(MbrJoin, EmptyBoxesInInputAreIgnored) {
+  Rng rng(321);
+  auto r = RandomBoxes(&rng, 60, 6.0);
+  auto s = RandomBoxes(&rng, 60, 6.0);
+  for (size_t i = 0; i < r.size(); i += 5) r[i] = Box::Empty();
+  for (size_t i = 0; i < s.size(); i += 7) s[i] = Box::Empty();
+  // Empty boxes intersect nothing in both the grid join and brute force.
+  ExpectSameResult(MbrJoin::Join(r, s, Opt(4, 2)),
+                   MbrJoin::JoinBruteForce(r, s));
+}
+
+TEST(MbrJoin, EmptySidesWithManyThreads) {
+  Rng rng(323);
+  const auto r = RandomBoxes(&rng, 50, 5.0);
+  EXPECT_TRUE(MbrJoin::Join(r, {}, Opt(0, 8)).empty());
+  EXPECT_TRUE(MbrJoin::Join({}, r, Opt(0, 8)).empty());
+}
+
+TEST(MbrJoin, DeterministicModeIsByteIdenticalAcrossThreadCounts) {
+  Rng rng(325);
+  const auto r = RandomBoxes(&rng, 400, 10.0, /*clustered=*/true);
+  const auto s = RandomBoxes(&rng, 400, 10.0, /*clustered=*/true);
+  const auto baseline = MbrJoin::Join(r, s, Opt(16, 1, /*deterministic=*/true));
+  ASSERT_FALSE(baseline.empty());
+  for (const unsigned threads : {2u, 3u, 8u}) {
+    const auto result = MbrJoin::Join(r, s, Opt(16, threads, true));
+    // Exact sequence equality, not just the same set.
+    ASSERT_EQ(result.size(), baseline.size()) << threads;
+    for (size_t i = 0; i < result.size(); ++i) {
+      ASSERT_EQ(result[i], baseline[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(MbrJoin, RunToRunReproducible) {
+  // Tied xmin values used to leave the per-tile order unspecified; the idx
+  // tiebreaker makes repeated runs identical, pair by pair.
+  Rng rng(327);
+  std::vector<Box> r;
+  std::vector<Box> s;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i % 10);  // many ties on xmin
+    r.push_back(Box::Of(Point{x, 0}, Point{x + 2, 50}));
+    s.push_back(Box::Of(Point{x + 1, 0}, Point{x + 3, 50}));
+  }
+  const auto first = MbrJoin::Join(r, s, Opt(8, 1));
+  const auto second = MbrJoin::Join(r, s, Opt(8, 1));
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i], second[i]) << i;
+  }
+}
+
 TEST(MbrJoin, PointLikeBoxes) {
   // Degenerate zero-area boxes must still join by containment/touch.
   const std::vector<Box> r = {Box::Of(Point{5, 5}, Point{5, 5})};

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/datasets/scenarios.h"
+#include "src/join/mbr_join.h"
+#include "src/topology/parallel.h"
+
+// Fast smoke tests for the parallel hot stages (ctest label: perf_smoke).
+// They assert the one property the perf work must never trade away — the
+// parallel paths return exactly what the single-threaded paths return — on
+// a scenario small enough to run inside sanitizer presets. The tsan preset
+// picks these up via its name filter, so every data-race-prone code path
+// here is exercised under TSan on each sanitize run.
+
+namespace stj {
+namespace {
+
+class PerfSmoke : public ::testing::Test {
+ protected:
+  PerfSmoke() {
+    ScenarioOptions options;
+    options.scale = 0.02;
+    options.grid_order = 10;
+    scenario_ = BuildScenario("OLE-OPE", options);
+  }
+  ScenarioData scenario_;
+};
+
+TEST_F(PerfSmoke, ParallelFilterMatchesSingleThread) {
+  const std::vector<Box> r = scenario_.r.Mbrs();
+  const std::vector<Box> s = scenario_.s.Mbrs();
+  auto want = MbrJoin::JoinBruteForce(r, s);
+  std::sort(want.begin(), want.end());
+  ASSERT_FALSE(want.empty());
+  for (const bool deterministic : {false, true}) {
+    MbrJoin::Options options;
+    options.num_threads = 4;
+    options.deterministic = deterministic;
+    auto got = MbrJoin::Join(r, s, options);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "deterministic=" << deterministic;
+  }
+}
+
+TEST_F(PerfSmoke, ParallelFindRelationMatchesSingleThread) {
+  ASSERT_FALSE(scenario_.candidates.empty());
+  const ParallelJoinResult serial = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      /*num_threads=*/1);
+  const ParallelJoinResult parallel = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      /*num_threads=*/4);
+  EXPECT_EQ(serial.relations, parallel.relations);
+  EXPECT_EQ(serial.stats.refined, parallel.stats.refined);
+}
+
+TEST_F(PerfSmoke, ParallelRelateMatchesSingleThread) {
+  const ParallelRelateResult serial = ParallelRelate(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      de9im::Relation::kIntersects, /*num_threads=*/1);
+  const ParallelRelateResult parallel = ParallelRelate(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      de9im::Relation::kIntersects, /*num_threads=*/4);
+  EXPECT_EQ(serial.matches, parallel.matches);
+}
+
+}  // namespace
+}  // namespace stj

@@ -66,6 +66,45 @@ TEST_F(ParallelTest, MoreThreadsThanPairs) {
   EXPECT_EQ(result.stats.pairs, 3u);
 }
 
+TEST_F(ParallelTest, ManyThreadsMatchSerialWithWorkStealing) {
+  // With 8 workers and 64-pair blocks the candidate list splits into many
+  // dynamically claimed blocks; results must still land at the original
+  // pair positions.
+  const ParallelJoinResult serial = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      /*num_threads=*/1);
+  const ParallelJoinResult parallel = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      /*num_threads=*/8);
+  EXPECT_EQ(serial.relations, parallel.relations);
+  EXPECT_EQ(serial.stats.refined, parallel.stats.refined);
+  EXPECT_EQ(serial.stats.decided_by_filter, parallel.stats.decided_by_filter);
+}
+
+TEST_F(ParallelTest, TimeStagesPlumbedThroughWorkers) {
+  // Workers used to construct Pipeline with the default flag, so parallel
+  // stage timings were silently zero. With the flag plumbed, a parallel
+  // timed run must report nonzero stage seconds...
+  const ParallelJoinResult timed = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      /*num_threads=*/2, /*time_stages=*/true);
+  EXPECT_GT(timed.stats.filter_seconds + timed.stats.refine_seconds, 0.0);
+  // ...and an untimed run must stay at exactly zero (timers off).
+  const ParallelJoinResult untimed = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      /*num_threads=*/2);
+  EXPECT_EQ(untimed.stats.filter_seconds, 0.0);
+  EXPECT_EQ(untimed.stats.refine_seconds, 0.0);
+  EXPECT_EQ(timed.stats.refined, untimed.stats.refined);
+}
+
+TEST_F(ParallelTest, TimeStagesPlumbedThroughRelate) {
+  const ParallelRelateResult timed = ParallelRelate(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      de9im::Relation::kInside, /*num_threads=*/2, /*time_stages=*/true);
+  EXPECT_GT(timed.stats.filter_seconds + timed.stats.refine_seconds, 0.0);
+}
+
 TEST_F(ParallelTest, AllMethodsWorkInParallel) {
   const std::vector<CandidatePair> sample(
       scenario_.candidates.begin(),

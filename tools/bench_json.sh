@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Produces the checked-in BENCH_PR2.json at the repo root: a Release build,
+# the bench_parallel_scaling thread sweep (MBR filter + P+C find-relation on
+# OLE-OPE), and a structural validation of the emitted JSON. Extra arguments
+# are forwarded to the bench binary, e.g.:
+#
+#   tools/bench_json.sh                     # default sweep, default scale
+#   tools/bench_json.sh --threads=1,2,4,8   # fixed sweep
+#
+# EXPERIMENTS.md explains how to read the numbers (and on what hardware the
+# committed file was produced).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_PR2.json"
+
+echo "==== configure + build (Release) ===="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$(nproc)" --target bench_parallel_scaling
+
+echo "==== run bench_parallel_scaling ===="
+build/bench/bench_parallel_scaling --json="$OUT" "$@"
+
+echo "==== validate $OUT ===="
+python3 -c "
+import json, sys
+records = json.load(open('$OUT'))
+assert isinstance(records, list) and records, 'empty report'
+required = {'bench', 'stage', 'scenario', 'threads', 'seconds', 'pairs_per_sec'}
+for r in records:
+    missing = required - set(r)
+    assert not missing, f'record missing {missing}: {r}'
+stages = {r['stage'] for r in records}
+assert stages == {'mbr_filter', 'find_relation'}, stages
+print(f'{len(records)} records OK ({sorted(stages)})')
+"
+
+echo "bench_json: wrote and validated $OUT"

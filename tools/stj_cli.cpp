@@ -291,7 +291,10 @@ int CmdJoin(int argc, char** argv) {
   std::fprintf(stderr, "[april] built in %.2fs\n", timer.ElapsedSeconds());
 
   timer.Reset();
-  const std::vector<CandidatePair> pairs = MbrJoin::Join(r.Mbrs(), s.Mbrs());
+  MbrJoin::Options filter_options;
+  filter_options.num_threads = flags.threads;  // 0 = hardware concurrency
+  const std::vector<CandidatePair> pairs =
+      MbrJoin::Join(r.Mbrs(), s.Mbrs(), filter_options);
   std::fprintf(stderr, "[filter] %zu candidate pairs in %.2fs\n", pairs.size(),
                timer.ElapsedSeconds());
 
