@@ -1,0 +1,215 @@
+// Extension harness (no paper counterpart): APRIL preprocessing throughput.
+//
+// Measures the cost of building the P/C interval approximations for a blob
+// dataset (TW — independent water-area blobs, the heaviest rasterisation
+// load per object) two ways:
+//
+//   per_cell   the oracle path: enumerate every covered cell id, sort, and
+//              coalesce (O(cells log cells) per object);
+//   run_based  the production path: decompose each covered column run
+//              directly into sorted Hilbert interval segments and merge the
+//              segment streams (output-sensitive, never materialises cells).
+//
+// Two stages are reported:
+//
+//   construct  interval construction alone, single-threaded, over
+//              pre-rasterised coverages — this isolates exactly the stage
+//              the run-based decomposition replaces, so its speedup is the
+//              honest measure of the optimisation (rasterisation cost is
+//              identical on both paths and would otherwise dilute it);
+//   build      end-to-end BuildAprilApproximations (rasterise + construct),
+//              per mode across the --threads sweep (default: powers of two
+//              up to hardware_concurrency) through the chunked parallel
+//              builder.
+//
+// Every measured configuration is cross-checked byte-identical to the
+// serial run-based build via the arena store before its row is accepted, so
+// a reported speedup can never come from diverging output.
+//
+// With --json=PATH one record per (stage, mode, threads) is written —
+// tools/bench_json.sh runs this harness at grid order 16 to produce the
+// april_build records of BENCH_PR3.json.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/raster/april_store.h"
+#include "src/raster/rasterizer.h"
+#include "src/util/timer.h"
+
+namespace stj::bench {
+namespace {
+
+constexpr int kRepetitions = 3;  // best-of to damp scheduler noise
+
+std::vector<unsigned> DefaultSweep() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<unsigned> sweep;
+  for (unsigned t = 1; t < hw; t *= 2) sweep.push_back(t);
+  sweep.push_back(hw);
+  return sweep;
+}
+
+void Run(const BenchOptions& options) {
+  const char* dataset_name = "TW";
+  std::printf("[build] dataset %s (scale=%.3g, seed=%llu)...\n", dataset_name,
+              options.scale, static_cast<unsigned long long>(options.seed));
+  std::fflush(stdout);
+  const Dataset dataset = BuildDataset(dataset_name, options.scale,
+                                       options.seed);
+  Box bounds;
+  for (const SpatialObject& object : dataset.objects) {
+    bounds.Expand(object.geometry.Bounds());
+  }
+  const RasterGrid grid(bounds, options.grid_order);
+  std::printf("[build]   %s: %zu objects (%zu vtx), grid 2^%u\n", dataset_name,
+              dataset.objects.size(), dataset.TotalVertices(),
+              options.grid_order);
+  std::fflush(stdout);
+
+  std::vector<unsigned> sweep = options.threads;
+  if (sweep.size() == 1 && sweep[0] == 1) sweep = DefaultSweep();
+
+  JsonReporter reporter(options.json_path);
+
+  // Reference: serial run-based build. Every measured configuration must
+  // reproduce this byte for byte (canonical interval form is unique, so the
+  // arena stores compare exactly).
+  const AprilStore reference = AprilStore::FromApproximations(
+      BuildAprilApproximations(dataset, grid, /*num_threads=*/1));
+  const uint64_t total_intervals = reference.IntervalByteSize() /
+                                   sizeof(CellInterval);
+
+  // ---- Stage 1: interval construction alone over shared coverages.
+  PrintTitle("Interval construction (pre-rasterised coverages, 1 thread)");
+  std::printf("%-10s %12s %12s %14s %9s\n", "mode", "seconds", "objects/s",
+              "intervals/s", "speedup");
+  std::vector<RasterCoverage> coverages;
+  coverages.reserve(dataset.objects.size());
+  {
+    const Rasterizer rasterizer(&grid);
+    for (const SpatialObject& object : dataset.objects) {
+      coverages.push_back(rasterizer.Rasterize(object.geometry));
+    }
+  }
+  double construct_per_cell = 0.0;
+  for (const bool per_cell : {true, false}) {
+    const char* mode = per_cell ? "per_cell" : "run_based";
+    const AprilBuilder builder(&grid, per_cell);
+    double best = -1.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      std::vector<AprilApproximation> april;
+      april.reserve(coverages.size());
+      Timer timer;
+      for (const RasterCoverage& coverage : coverages) {
+        april.push_back(per_cell ? builder.FromCoverage(coverage)
+                                 : builder.FromCoverageRuns(coverage));
+      }
+      const double seconds = timer.ElapsedSeconds();
+      if (best < 0.0 || seconds < best) best = seconds;
+      if (rep == 0 && !(AprilStore::FromApproximations(april) == reference)) {
+        std::fprintf(stderr,
+                     "FATAL: %s construction diverged from the serial "
+                     "run-based reference\n",
+                     mode);
+        std::exit(1);
+      }
+    }
+    if (per_cell) construct_per_cell = best;
+    const double objects_per_sec =
+        best > 0 ? static_cast<double>(coverages.size()) / best : 0.0;
+    const double intervals_per_sec =
+        best > 0 ? static_cast<double>(total_intervals) / best : 0.0;
+    std::printf("%-10s %12.4f %12.0f %14.0f %8.2fx\n", mode, best,
+                objects_per_sec, intervals_per_sec,
+                best > 0 ? construct_per_cell / best : 0.0);
+    std::fflush(stdout);
+    JsonRecord record;
+    record.Set("bench", "april_build")
+        .Set("stage", "construct")
+        .Set("mode", mode)
+        .Set("dataset", dataset_name)
+        .Set("threads", 1u)
+        .Set("scale", options.scale)
+        .Set("grid_order", static_cast<uint64_t>(options.grid_order))
+        .Set("seed", options.seed)
+        .Set("objects", static_cast<uint64_t>(coverages.size()))
+        .Set("intervals", total_intervals)
+        .Set("seconds", best)
+        .Set("objects_per_sec", objects_per_sec)
+        .Set("intervals_per_sec", intervals_per_sec)
+        .Set("speedup_vs_per_cell", best > 0 ? construct_per_cell / best : 0.0)
+        .Set("hardware_concurrency",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    reporter.Add(record);
+  }
+  coverages.clear();
+  coverages.shrink_to_fit();
+
+  // ---- Stage 2: end-to-end build (rasterise + construct) thread sweep.
+  PrintTitle("End-to-end APRIL build (rasterise + construct)");
+  std::printf("%-10s %-8s %12s %12s %14s %9s\n", "mode", "threads", "seconds",
+              "objects/s", "intervals/s", "speedup");
+  double build_per_cell_serial = 0.0;
+  for (const bool per_cell : {true, false}) {
+    const char* mode = per_cell ? "per_cell" : "run_based";
+    for (const unsigned threads : sweep) {
+      double best = -1.0;
+      std::vector<AprilApproximation> april;
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        Timer timer;
+        april = BuildAprilApproximations(dataset, grid, threads, per_cell);
+        const double seconds = timer.ElapsedSeconds();
+        if (best < 0.0 || seconds < best) best = seconds;
+      }
+      if (!(AprilStore::FromApproximations(april) == reference)) {
+        std::fprintf(stderr,
+                     "FATAL: %s build with %u threads diverged from the "
+                     "serial run-based reference\n",
+                     mode, threads);
+        std::exit(1);
+      }
+      const double objects_per_sec =
+          best > 0 ? static_cast<double>(dataset.objects.size()) / best : 0.0;
+      const double intervals_per_sec =
+          best > 0 ? static_cast<double>(total_intervals) / best : 0.0;
+      if (per_cell && threads == sweep.front()) build_per_cell_serial = best;
+      std::printf("%-10s %-8u %12.4f %12.0f %14.0f %8.2fx\n", mode, threads,
+                  best, objects_per_sec, intervals_per_sec,
+                  best > 0 ? build_per_cell_serial / best : 0.0);
+      std::fflush(stdout);
+      JsonRecord record;
+      record.Set("bench", "april_build")
+          .Set("stage", "build")
+          .Set("mode", mode)
+          .Set("dataset", dataset_name)
+          .Set("threads", threads)
+          .Set("scale", options.scale)
+          .Set("grid_order", static_cast<uint64_t>(options.grid_order))
+          .Set("seed", options.seed)
+          .Set("objects", static_cast<uint64_t>(dataset.objects.size()))
+          .Set("intervals", total_intervals)
+          .Set("seconds", best)
+          .Set("objects_per_sec", objects_per_sec)
+          .Set("intervals_per_sec", intervals_per_sec)
+          .Set("speedup_vs_per_cell",
+               best > 0 ? build_per_cell_serial / best : 0.0)
+          .Set("hardware_concurrency",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()));
+      reporter.Add(record);
+    }
+  }
+
+  if (!reporter.Write()) std::exit(1);
+}
+
+}  // namespace
+}  // namespace stj::bench
+
+int main(int argc, char** argv) {
+  stj::bench::Run(stj::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -159,10 +159,11 @@ ScenarioData BuildScenarioVerbose(const std::string& name,
   ScenarioData scenario = BuildScenario(name, options.ToScenarioOptions());
   std::printf(
       "[build]   %s: |R|=%zu (%zu vtx), |S|=%zu (%zu vtx), candidates=%zu "
-      "(%.1fs)\n",
+      "(%.1fs, %.2fs APRIL preprocess)\n",
       name.c_str(), scenario.r.objects.size(), scenario.r.TotalVertices(),
       scenario.s.objects.size(), scenario.s.TotalVertices(),
-      scenario.candidates.size(), timer.ElapsedSeconds());
+      scenario.candidates.size(), timer.ElapsedSeconds(),
+      scenario.preprocess_seconds);
   std::fflush(stdout);
   return scenario;
 }

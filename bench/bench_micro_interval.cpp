@@ -49,6 +49,24 @@ void BM_ListsOverlapDisjointLists(benchmark::State& state) {
 }
 BENCHMARK(BM_ListsOverlapDisjointLists)->Range(8, 64 << 10);
 
+void BM_ListsOverlapDisjointRanges(benchmark::State& state) {
+  // Best case for overlap: the lists' Hilbert cell ranges do not intersect,
+  // so the range quick-reject answers in O(1) regardless of list length.
+  Rng rng(11);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalList x = MakeList(&rng, n, 8, 16);
+  IntervalList y;
+  CellId cursor = x.BackEnd() + 64;
+  for (size_t i = 0; i < n; ++i) {
+    y.Append(cursor, cursor + 4);
+    cursor += 8;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListsOverlap(x, y));
+  }
+}
+BENCHMARK(BM_ListsOverlapDisjointRanges)->Range(8, 64 << 10);
+
 void BM_ListInside(benchmark::State& state) {
   Rng rng(2);
   const size_t n = static_cast<size_t>(state.range(0));
@@ -64,6 +82,23 @@ void BM_ListInside(benchmark::State& state) {
 }
 BENCHMARK(BM_ListInside)->Range(8, 64 << 10);
 
+void BM_ListInsideOutsideRange(benchmark::State& state) {
+  // x's last cell lies beyond y's range: the endpoint pre-check refutes
+  // containment without scanning either list.
+  Rng rng(12);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalList y = MakeList(&rng, n, 4, 64);
+  IntervalList x;
+  for (size_t i = 0; i < y.Size(); i += 2) {
+    if (y[i].Length() >= 2) x.Append(y[i].begin, y[i].begin + 1);
+  }
+  x.Append(y.BackEnd() + 8, y.BackEnd() + 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListInside(x, y));
+  }
+}
+BENCHMARK(BM_ListInsideOutsideRange)->Range(8, 64 << 10);
+
 void BM_ListsMatch(benchmark::State& state) {
   Rng rng(3);
   const size_t n = static_cast<size_t>(state.range(0));
@@ -75,6 +110,23 @@ void BM_ListsMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ListsMatch)->Range(8, 64 << 10);
 
+void BM_ListsMatchEndpointMismatch(benchmark::State& state) {
+  // Identical lists except for the very last cell: the size and endpoint
+  // pre-checks answer in O(1) instead of scanning to the final interval.
+  Rng rng(13);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalList x = MakeList(&rng, n, 8, 16);
+  IntervalList y;
+  for (size_t i = 0; i < x.Size(); ++i) {
+    const CellId extend = (i + 1 == x.Size()) ? 1 : 0;
+    y.Append(x[i].begin, x[i].end + extend);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListsMatch(x, y));
+  }
+}
+BENCHMARK(BM_ListsMatchEndpointMismatch)->Range(8, 64 << 10);
+
 void BM_ListsCommonCells(benchmark::State& state) {
   Rng rng(4);
   const size_t n = static_cast<size_t>(state.range(0));
@@ -85,6 +137,24 @@ void BM_ListsCommonCells(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ListsCommonCells)->Range(8, 16 << 10);
+
+void BM_ListsCommonCellsDisjointRanges(benchmark::State& state) {
+  // Disjoint Hilbert ranges: the quick-reject returns 0 common cells in
+  // O(1) regardless of list length.
+  Rng rng(14);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalList x = MakeList(&rng, n, 4, 32);
+  IntervalList y;
+  CellId cursor = x.BackEnd() + 64;
+  for (size_t i = 0; i < n; ++i) {
+    y.Append(cursor, cursor + 4);
+    cursor += 8;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListsCommonCells(x, y));
+  }
+}
+BENCHMARK(BM_ListsCommonCellsDisjointRanges)->Range(8, 16 << 10);
 
 }  // namespace
 }  // namespace stj

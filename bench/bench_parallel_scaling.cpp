@@ -13,7 +13,8 @@
 // Default sweep: powers of two up to hardware_concurrency (always including
 // 1 and hardware_concurrency itself); override with --threads=1,2,4,8.
 // With --json=PATH, one record per (stage, thread-count) is written —
-// tools/bench_json.sh uses this to produce BENCH_PR2.json at the repo root.
+// tools/bench_json.sh merges these with the bench_april_build records to
+// produce BENCH_PR3.json at the repo root.
 
 #include <algorithm>
 #include <cstdio>
@@ -67,6 +68,7 @@ void Run(const BenchOptions& options) {
         .Set("scale", options.scale)
         .Set("grid_order", static_cast<uint64_t>(options.grid_order))
         .Set("seed", options.seed)
+        .Set("preprocess_seconds", scenario.preprocess_seconds)
         .Set("hardware_concurrency",
              static_cast<uint64_t>(std::thread::hardware_concurrency()));
     return record;

@@ -1,13 +1,16 @@
 #include "src/datasets/scenarios.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numbers>
+#include <thread>
 
 #include "src/datasets/blob.h"
 #include "src/datasets/buildings.h"
 #include "src/datasets/tessellation.h"
 #include "src/geometry/point_on_surface.h"
+#include "src/util/parallel_for.h"
 #include "src/util/rng.h"
 
 namespace stj {
@@ -418,13 +421,24 @@ Dataset BuildDataset(std::string_view name, double scale, uint64_t seed) {
 }
 
 std::vector<AprilApproximation> BuildAprilApproximations(
-    const Dataset& dataset, const RasterGrid& grid) {
-  const AprilBuilder builder(&grid);
-  std::vector<AprilApproximation> out;
-  out.reserve(dataset.objects.size());
-  for (const SpatialObject& object : dataset.objects) {
-    out.push_back(builder.Build(object.geometry));
+    const Dataset& dataset, const RasterGrid& grid, unsigned num_threads,
+    bool per_cell_oracle) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  // Pre-sized output + static chunking: worker w owns the w-th contiguous
+  // object range (RunChunks contract) and writes each result at its object
+  // index, so the vector is identical for every thread count. Each worker
+  // constructs its own AprilBuilder because a builder's scratch buffers are
+  // not shareable across threads.
+  std::vector<AprilApproximation> out(dataset.objects.size());
+  internal::RunChunks(num_threads, dataset.objects.size(),
+                      [&](unsigned /*worker*/, size_t begin, size_t end) {
+                        const AprilBuilder builder(&grid, per_cell_oracle);
+                        for (size_t i = begin; i < end; ++i) {
+                          out[i] = builder.Build(dataset.objects[i].geometry);
+                        }
+                      });
   return out;
 }
 
@@ -446,8 +460,14 @@ ScenarioData BuildScenario(std::string_view name,
 
   if (options.build_april) {
     const RasterGrid grid(scenario.dataspace, options.grid_order);
-    scenario.r_april = BuildAprilApproximations(scenario.r, grid);
-    scenario.s_april = BuildAprilApproximations(scenario.s, grid);
+    const auto t0 = std::chrono::steady_clock::now();
+    scenario.r_april =
+        BuildAprilApproximations(scenario.r, grid, options.april_threads);
+    scenario.s_april =
+        BuildAprilApproximations(scenario.s, grid, options.april_threads);
+    scenario.preprocess_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   }
   if (options.run_join) {
     scenario.candidates = MbrJoin::Join(scenario.r.Mbrs(), scenario.s.Mbrs());

@@ -43,6 +43,9 @@ struct ScenarioData {
   std::vector<AprilApproximation> r_april;
   std::vector<AprilApproximation> s_april;
   std::vector<CandidatePair> candidates;
+  /// Wall time spent building the APRIL approximations (both datasets); the
+  /// paper's preprocessing-throughput experiments report from this.
+  double preprocess_seconds = 0.0;
 
   DatasetView RView() const { return DatasetView{&r.objects, &r_april}; }
   DatasetView SView() const { return DatasetView{&s.objects, &s_april}; }
@@ -65,6 +68,9 @@ struct ScenarioOptions {
   /// need the raw polygons).
   bool build_april = true;
   bool run_join = true;
+  /// Worker threads for APRIL preprocessing: 0 = hardware concurrency,
+  /// 1 = serial. Results are byte-identical for every thread count.
+  unsigned april_threads = 0;
 };
 
 /// The ten dataset names of Table 2 (TL, TW, TC, TZ, OBE, OLE, OPE, OBN,
@@ -86,8 +92,15 @@ Dataset BuildDataset(std::string_view name, double scale, uint64_t seed);
 ScenarioData BuildScenario(std::string_view name,
                            const ScenarioOptions& options = ScenarioOptions());
 
-/// Builds APRIL approximations for every object of \p dataset on \p grid.
+/// Builds APRIL approximations for every object of \p dataset on \p grid,
+/// fanning the objects out over \p num_threads workers (0 = hardware
+/// concurrency, 1 = serial). Each worker owns its own AprilBuilder — and so
+/// its own rasterizer and merge scratch — and writes results index-aligned
+/// into a pre-sized output, so the returned vector is byte-identical
+/// regardless of thread count. \p per_cell_oracle selects the per-cell
+/// construction path (differential testing and the build benchmark).
 std::vector<AprilApproximation> BuildAprilApproximations(
-    const Dataset& dataset, const RasterGrid& grid);
+    const Dataset& dataset, const RasterGrid& grid, unsigned num_threads = 1,
+    bool per_cell_oracle = false);
 
 }  // namespace stj

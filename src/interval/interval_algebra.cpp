@@ -4,7 +4,19 @@
 
 namespace stj {
 
-bool ListsOverlap(const IntervalList& x, const IntervalList& y) {
+namespace {
+
+/// O(1) pre-check: true when the views' covered cell ranges cannot share a
+/// cell, so any merge-join that needs a common cell can answer immediately.
+inline bool RangesDisjoint(IntervalView x, IntervalView y) {
+  return x.Empty() || y.Empty() || x.BackEnd() <= y.FrontCell() ||
+         y.BackEnd() <= x.FrontCell();
+}
+
+}  // namespace
+
+bool ListsOverlap(IntervalView x, IntervalView y) {
+  if (RangesDisjoint(x, y)) return false;
   size_t i = 0;
   size_t j = 0;
   while (i < x.Size() && j < y.Size()) {
@@ -20,9 +32,22 @@ bool ListsOverlap(const IntervalList& x, const IntervalList& y) {
   return false;
 }
 
-bool ListsMatch(const IntervalList& x, const IntervalList& y) { return x == y; }
+bool ListsMatch(IntervalView x, IntervalView y) {
+  if (x.Size() != y.Size()) return false;
+  if (x.Empty()) return true;
+  // Endpoint pre-check: canonical lists that differ usually differ at the
+  // extremes, so compare those before the element-wise scan.
+  if (x.FrontCell() != y.FrontCell() || x.BackEnd() != y.BackEnd()) {
+    return false;
+  }
+  return std::equal(x.begin(), x.end(), y.begin());
+}
 
-bool ListInside(const IntervalList& x, const IntervalList& y) {
+bool ListInside(IntervalView x, IntervalView y) {
+  if (x.Empty()) return true;
+  if (y.Empty()) return false;
+  // Containment needs y's range to cover x's range end to end.
+  if (x.FrontCell() < y.FrontCell() || x.BackEnd() > y.BackEnd()) return false;
   size_t j = 0;
   for (size_t i = 0; i < x.Size(); ++i) {
     const CellInterval& a = x[i];
@@ -34,11 +59,10 @@ bool ListInside(const IntervalList& x, const IntervalList& y) {
   return true;
 }
 
-bool ListContains(const IntervalList& x, const IntervalList& y) {
-  return ListInside(y, x);
-}
+bool ListContains(IntervalView x, IntervalView y) { return ListInside(y, x); }
 
-uint64_t ListsCommonCells(const IntervalList& x, const IntervalList& y) {
+uint64_t ListsCommonCells(IntervalView x, IntervalView y) {
+  if (RangesDisjoint(x, y)) return 0;
   uint64_t total = 0;
   size_t i = 0;
   size_t j = 0;

@@ -5,6 +5,19 @@
 
 namespace stj {
 
+IntervalView::IntervalView(const IntervalList& list)
+    : data_(list.Intervals().data()), size_(list.Size()) {}
+
+uint64_t IntervalView::CellCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < size_; ++i) total += data_[i].Length();
+  return total;
+}
+
+bool operator==(IntervalView a, IntervalView b) {
+  return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+}
+
 IntervalList IntervalList::FromSorted(std::vector<CellInterval> intervals) {
   IntervalList list;
   list.intervals_ = std::move(intervals);
@@ -14,9 +27,27 @@ IntervalList IntervalList::FromSorted(std::vector<CellInterval> intervals) {
 
 IntervalList IntervalList::FromCells(std::vector<CellId> cells) {
   std::sort(cells.begin(), cells.end());
-  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
   IntervalList list;
-  for (const CellId cell : cells) list.Append(cell, cell + 1);
+  if (cells.empty()) return list;
+  // First pass: count maximal runs (duplicates and +1 neighbours extend the
+  // current run) so the second pass fills an exactly-sized vector.
+  size_t runs = 1;
+  for (size_t i = 1; i < cells.size(); ++i) {
+    if (cells[i] > cells[i - 1] + 1) ++runs;
+  }
+  list.intervals_.reserve(runs);
+  CellId begin = cells[0];
+  CellId end = cells[0] + 1;
+  for (size_t i = 1; i < cells.size(); ++i) {
+    if (cells[i] <= end) {
+      end = std::max(end, cells[i] + 1);
+    } else {
+      list.intervals_.push_back(CellInterval{begin, end});
+      begin = cells[i];
+      end = cells[i] + 1;
+    }
+  }
+  list.intervals_.push_back(CellInterval{begin, end});
   return list;
 }
 

@@ -23,6 +23,41 @@ struct CellInterval {
   }
 };
 
+class IntervalList;
+
+/// Non-owning view of a canonical interval sequence — an IntervalList's
+/// contents or one record of an arena-backed AprilStore (april_store.h).
+/// Cheap to copy (pointer + size); the interval algebra operates on views so
+/// heap-backed and arena-backed lists share one implementation.
+class IntervalView {
+ public:
+  constexpr IntervalView() = default;
+  constexpr IntervalView(const CellInterval* data, size_t size)
+      : data_(data), size_(size) {}
+  IntervalView(const IntervalList& list);  // NOLINT: implicit by design
+
+  size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+  const CellInterval& operator[](size_t i) const { return data_[i]; }
+  const CellInterval* begin() const { return data_; }
+  const CellInterval* end() const { return data_ + size_; }
+
+  /// First cell id covered; view must be non-empty.
+  CellId FrontCell() const { return data_[0].begin; }
+
+  /// One past the last cell id covered; view must be non-empty.
+  CellId BackEnd() const { return data_[size_ - 1].end; }
+
+  /// Total number of cells covered.
+  uint64_t CellCount() const;
+
+  friend bool operator==(IntervalView a, IntervalView b);
+
+ private:
+  const CellInterval* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// A sorted list of disjoint, non-adjacent, non-empty half-open intervals of
 /// Hilbert cell ids — the representation of APRIL's Progressive (P) and
 /// Conservative (C) object approximations.
@@ -38,7 +73,8 @@ class IntervalList {
   static IntervalList FromSorted(std::vector<CellInterval> intervals);
 
   /// Builds the canonical list covering exactly the given cells. The input
-  /// is sorted and deduplicated internally; consecutive ids coalesce.
+  /// is sorted internally; duplicate and consecutive ids coalesce in a
+  /// single post-sort pass with an exact reservation (no per-cell growth).
   static IntervalList FromCells(std::vector<CellId> cells);
 
   /// Appends [begin, end), which must start at or after the current end;

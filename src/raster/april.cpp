@@ -1,11 +1,222 @@
 #include "src/raster/april.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <utility>
 #include <vector>
+
+#include "src/raster/hilbert.h"
 
 namespace stj {
 
+namespace {
+
+/// Coverages with at most this many cells use the per-run construction; the
+/// quadrant block decomposition only pays off once the interior is large
+/// enough that whole quadrants collapse to single intervals (a row-run of
+/// length L fragments into ~L/2 curve intervals, so per-run work is Θ(cells)
+/// while the block path is O(perimeter · order)).
+constexpr uint64_t kBlockDecompositionCutoff = 1024;
+
+/// Merges two sorted canonical segments of \p src into \p dst (appending).
+/// Coalescing only looks back at intervals this call appended: dst may end
+/// with an unrelated earlier segment whose cell range is above this pair's —
+/// comparing against it would silently swallow intervals.
+void MergePair(const std::vector<CellInterval>& src, size_t lo, size_t mid,
+               size_t hi, std::vector<CellInterval>* dst) {
+  const size_t base = dst->size();
+  // Inputs cover disjoint cell sets, so touching means exact adjacency
+  // (back().end == iv.begin), never overlap; max() keeps the invariant
+  // robust regardless.
+  auto append = [dst, base](CellInterval iv) {
+    if (dst->size() > base && dst->back().end >= iv.begin) {
+      dst->back().end = std::max(dst->back().end, iv.end);
+    } else {
+      dst->push_back(iv);
+    }
+  };
+  size_t i = lo;
+  size_t j = mid;
+  while (i < mid && j < hi) {
+    if (src[i].begin <= src[j].begin) {
+      append(src[i++]);
+    } else {
+      append(src[j++]);
+    }
+  }
+  while (i < mid) append(src[i++]);
+  while (j < hi) append(src[j++]);
+}
+
+using RowRuns = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/// Coalesces one row's partial columns (width-1 ranges) and full runs into
+/// maximal column ranges. They interleave — full runs sit strictly between
+/// partials, abutting them — so a single two-pointer pass suffices.
+void MergeRowRanges(const std::vector<uint32_t>& partial, const RowRuns& full,
+                    RowRuns* out) {
+  out->clear();
+  auto add = [out](uint32_t lo, uint32_t hi) {
+    if (!out->empty() &&
+        static_cast<uint64_t>(out->back().second) + 1 >= lo) {
+      out->back().second = std::max(out->back().second, hi);
+    } else {
+      out->emplace_back(lo, hi);
+    }
+  };
+  size_t pi = 0;
+  size_t fi = 0;
+  while (pi < partial.size() || fi < full.size()) {
+    if (fi == full.size() ||
+        (pi < partial.size() && partial[pi] < full[fi].first)) {
+      add(partial[pi], partial[pi]);
+      ++pi;
+    } else {
+      add(full[fi].first, full[fi].second);
+      ++fi;
+    }
+  }
+}
+
+/// Recursive quadrant decomposition of a row-range region into sorted
+/// canonical Hilbert intervals.
+///
+/// Any grid-aligned quadrant of size 2^m is a contiguous segment of the
+/// Hilbert curve, aligned to a multiple of 4^m in curve space. The recursion
+/// classifies each quadrant against the region (empty / fully covered /
+/// mixed): empty quadrants are skipped, full ones emit their whole curve
+/// segment as ONE interval, and mixed ones split into their four
+/// subquadrants, visited in curve order — so the emitted stream is globally
+/// sorted and exact-adjacency coalescing yields the canonical form directly,
+/// with no merge pass. Cost is O(visited quadrants · rows-per-check), i.e.
+/// output-sensitive: interiors collapse to their quadtree blocks instead of
+/// fragmenting into Θ(cells) per-row curve intervals.
+class BlockDecomposer {
+ public:
+  BlockDecomposer(uint32_t order, const RowRuns* rows, size_t num_rows,
+                  uint32_t y0, std::vector<CellInterval>* out)
+      : order_(order), rows_(rows), num_rows_(num_rows), y0_(y0), out_(out) {}
+
+  void Run() {
+    // Bounding box over the row ranges; empty regions never recurse.
+    bool any = false;
+    min_x_ = 0;
+    max_x_ = 0;
+    y_end_ = y0_;
+    for (size_t row = 0; row < num_rows_; ++row) {
+      if (rows_[row].empty()) continue;
+      const uint32_t lo = rows_[row].front().first;
+      const uint32_t hi = rows_[row].back().second;
+      if (!any) {
+        min_x_ = lo;
+        max_x_ = hi;
+      } else {
+        min_x_ = std::min(min_x_, lo);
+        max_x_ = std::max(max_x_, hi);
+      }
+      y_end_ = y0_ + static_cast<uint32_t>(row);
+      any = true;
+    }
+    if (any) Visit(order_, 0, 0, 0);
+  }
+
+ private:
+  enum class Cover { kEmpty, kFull, kMixed };
+
+  /// Classifies the cell rectangle [x_lo, x_hi] × [y_lo, y_hi] against the
+  /// region. Row ranges are sorted and non-adjacent, so a row either misses
+  /// the column range (empty), has one range spanning all of it (full), or
+  /// contains both covered and uncovered cells (mixed, early exit).
+  Cover Classify(uint32_t x_lo, uint32_t x_hi, uint32_t y_lo,
+                 uint32_t y_hi) const {
+    if (x_hi < min_x_ || x_lo > max_x_ || y_hi < y0_ || y_lo > y_end_) {
+      return Cover::kEmpty;
+    }
+    // Cells outside the bounding box are uncovered: a quadrant that sticks
+    // out of it can at best be mixed.
+    bool seen_empty =
+        x_lo < min_x_ || x_hi > max_x_ || y_lo < y0_ || y_hi > y_end_;
+    bool seen_full = false;
+    const uint32_t row_lo = std::max(y_lo, y0_);
+    const uint32_t row_hi = std::min(y_hi, y_end_);
+    for (uint32_t y = row_lo; y <= row_hi; ++y) {
+      const RowRuns& runs = rows_[y - y0_];
+      const auto it = std::partition_point(
+          runs.begin(), runs.end(),
+          [x_lo](const std::pair<uint32_t, uint32_t>& run) {
+            return run.second < x_lo;
+          });
+      if (it == runs.end() || it->first > x_hi) {
+        seen_empty = true;
+      } else if (it->first <= x_lo && it->second >= x_hi) {
+        seen_full = true;
+      } else {
+        return Cover::kMixed;
+      }
+      if (seen_full && seen_empty) return Cover::kMixed;
+    }
+    return seen_full ? Cover::kFull : Cover::kEmpty;
+  }
+
+  void Emit(uint64_t begin, uint64_t end) {
+    if (!out_->empty() && out_->back().end == begin) {
+      out_->back().end = end;
+    } else {
+      out_->push_back({begin, end});
+    }
+  }
+
+  /// \p dbase is the first curve position of the quadrant of size 2^m whose
+  /// bottom-left cell is (x, y).
+  void Visit(uint32_t m, uint32_t x, uint32_t y, uint64_t dbase) {
+    const uint32_t span = (1u << m) - 1;
+    switch (Classify(x, x + span, y, y + span)) {
+      case Cover::kEmpty:
+        return;
+      case Cover::kFull:
+        Emit(dbase, dbase + (uint64_t{1} << (2 * m)));
+        return;
+      case Cover::kMixed:
+        break;  // m >= 1: a single cell is never mixed.
+    }
+    const uint32_t half = 1u << (m - 1);
+    const uint64_t quarter = uint64_t{1} << (2 * (m - 1));
+    struct Child {
+      uint64_t dbase;
+      uint32_t x, y;
+    } children[4];
+    size_t n = 0;
+    for (const uint32_t dy : {0u, half}) {
+      for (const uint32_t dx : {0u, half}) {
+        const uint32_t cx = x + dx;
+        const uint32_t cy = y + dy;
+        children[n++] = {HilbertXYToD(order_, cx, cy) & ~(quarter - 1), cx,
+                         cy};
+      }
+    }
+    std::sort(children, children + 4,
+              [](const Child& a, const Child& b) { return a.dbase < b.dbase; });
+    for (const Child& child : children) {
+      Visit(m - 1, child.x, child.y, child.dbase);
+    }
+  }
+
+  const uint32_t order_;
+  const RowRuns* rows_;
+  const size_t num_rows_;
+  const uint32_t y0_;
+  std::vector<CellInterval>* out_;
+  uint32_t min_x_ = 0;
+  uint32_t max_x_ = 0;
+  uint32_t y_end_ = 0;
+};
+
+}  // namespace
+
 AprilApproximation AprilBuilder::Build(const Polygon& poly) const {
-  return FromCoverage(rasterizer_.Rasterize(poly));
+  rasterizer_.Rasterize(poly, &coverage_);
+  return per_cell_oracle_ ? FromCoverage(coverage_)
+                          : FromCoverageRuns(coverage_);
 }
 
 AprilApproximation AprilBuilder::FromCoverage(
@@ -29,6 +240,109 @@ AprilApproximation AprilBuilder::FromCoverage(
   april.progressive = IntervalList::FromCells(std::move(full_cells));
   april.conservative = IntervalList::FromCells(std::move(all_cells));
   return april;
+}
+
+AprilApproximation AprilBuilder::FromCoverageRuns(
+    const RasterCoverage& coverage) const {
+  return coverage.PartialCount() + coverage.FullCount() >
+                 kBlockDecompositionCutoff
+             ? FromCoverageBlocks(coverage)
+             : FromCoverageRowRuns(coverage);
+}
+
+AprilApproximation AprilBuilder::FromCoverageRowRuns(
+    const RasterCoverage& coverage) const {
+  const uint32_t order = grid_->Order();
+  AprilApproximation april;
+
+  // ---- P list: each full run decomposes into one sorted interval segment.
+  stream_.clear();
+  bounds_.clear();
+  bounds_.push_back(0);
+  for (size_t row = 0; row < coverage.full_runs_by_row.size(); ++row) {
+    const uint32_t cy = coverage.y0 + static_cast<uint32_t>(row);
+    for (const auto& [first, last] : coverage.full_runs_by_row[row]) {
+      AppendHilbertRunIntervals(order, first, last, cy, &stream_);
+      // A run whose intervals all coalesced into the previous segment's tail
+      // adds no boundary (the tail only grew; the segment stays sorted).
+      if (stream_.size() > bounds_.back()) bounds_.push_back(stream_.size());
+    }
+  }
+  april.progressive = MergeStreams();
+
+  // ---- C list: per row, partial columns and full runs coalesce into maximal
+  // column ranges, and each maximal range decomposes as one segment.
+  stream_.clear();
+  bounds_.clear();
+  bounds_.push_back(0);
+  for (size_t row = 0; row < coverage.partial_by_row.size(); ++row) {
+    const uint32_t cy = coverage.y0 + static_cast<uint32_t>(row);
+    MergeRowRanges(coverage.partial_by_row[row], coverage.full_runs_by_row[row],
+                   &ranges_);
+    for (const auto& [lo, hi] : ranges_) {
+      AppendHilbertRunIntervals(order, lo, hi, cy, &stream_);
+      if (stream_.size() > bounds_.back()) bounds_.push_back(stream_.size());
+    }
+  }
+  april.conservative = MergeStreams();
+  return april;
+}
+
+AprilApproximation AprilBuilder::FromCoverageBlocks(
+    const RasterCoverage& coverage) const {
+  AprilApproximation april;
+  const size_t num_rows = coverage.full_runs_by_row.size();
+  april.progressive =
+      DecomposeBlocks(coverage.full_runs_by_row.data(), num_rows, coverage.y0);
+
+  // Merged C rows (partial ∪ full) feed the same decomposition. The scratch
+  // only ever grows, keeping row buffers warm across Build() calls.
+  if (c_rows_.size() < num_rows) c_rows_.resize(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    MergeRowRanges(coverage.partial_by_row[row], coverage.full_runs_by_row[row],
+                   &c_rows_[row]);
+  }
+  april.conservative = DecomposeBlocks(c_rows_.data(), num_rows, coverage.y0);
+  return april;
+}
+
+IntervalList AprilBuilder::DecomposeBlocks(const RowRuns* rows,
+                                           size_t num_rows, uint32_t y0) const {
+  stream_.clear();
+  BlockDecomposer(grid_->Order(), rows, num_rows, y0, &stream_).Run();
+  return IntervalList::FromSorted(stream_);
+}
+
+IntervalList AprilBuilder::MergeStreams() const {
+  size_t num_segs = bounds_.size() - 1;
+  if (num_segs == 0) return IntervalList();
+  std::vector<CellInterval>* src = &stream_;
+  std::vector<CellInterval>* dst = &merge_scratch_;
+  std::vector<size_t>* sb = &bounds_;
+  std::vector<size_t>* db = &bounds_scratch_;
+  while (num_segs > 1) {
+    dst->clear();
+    db->clear();
+    db->push_back(0);
+    for (size_t s = 0; s + 1 < num_segs; s += 2) {
+      MergePair(*src, (*sb)[s], (*sb)[s + 1], (*sb)[s + 2], dst);
+      db->push_back(dst->size());
+    }
+    if ((num_segs & 1) != 0) {
+      // Odd segment out: copy through verbatim (it is already canonical, and
+      // coalescing against the preceding unrelated segment would be wrong).
+      dst->insert(dst->end(),
+                  src->begin() + static_cast<std::ptrdiff_t>((*sb)[num_segs - 1]),
+                  src->begin() + static_cast<std::ptrdiff_t>((*sb)[num_segs]));
+      db->push_back(dst->size());
+    }
+    std::swap(src, dst);
+    std::swap(sb, db);
+    num_segs = sb->size() - 1;
+  }
+  std::vector<CellInterval> result(
+      src->begin(), src->begin() + static_cast<std::ptrdiff_t>((*sb)[1]));
+  return IntervalList::FromSorted(std::move(result));
 }
 
 }  // namespace stj

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <memory>
 
+#include "src/raster/april_store.h"
+
 namespace stj {
 
 namespace {
@@ -51,7 +53,7 @@ void AppendVarint(std::string* out, uint64_t v) {
   } while (v != 0);
 }
 
-void AppendList(std::string* out, const IntervalList& list) {
+void AppendList(std::string* out, IntervalView list) {
   AppendU64(out, list.Size());
   for (size_t i = 0; i < list.Size(); ++i) {
     AppendU64(out, list[i].begin);
@@ -62,7 +64,7 @@ void AppendList(std::string* out, const IntervalList& list) {
 // Compressed list: varint count, then per interval the gap from the previous
 // interval's end (first interval: gap from 0) and the interval length minus
 // one (canonical intervals are non-empty).
-void AppendListCompressed(std::string* out, const IntervalList& list) {
+void AppendListCompressed(std::string* out, IntervalView list) {
   AppendVarint(out, list.Size());
   CellId cursor = 0;
   for (size_t i = 0; i < list.Size(); ++i) {
@@ -121,33 +123,36 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
-bool ReadList(ByteReader* in, IntervalList* out) {
+/// Decodes one raw list into \p out (cleared first) and validates canonical
+/// form. Writing into a caller-owned scratch vector instead of a fresh
+/// IntervalList is what lets the arena loader run allocation-free in steady
+/// state.
+bool ReadIntervals(ByteReader* in, std::vector<CellInterval>* out) {
+  out->clear();
   uint64_t count = 0;
   if (!in->ReadU64(&count)) return false;
   if (count > kMaxListSize) return false;
   if (count * 2 * sizeof(uint64_t) > in->Remaining()) return false;
-  std::vector<CellInterval> intervals;
-  intervals.reserve(count);
+  out->reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     CellInterval iv;
     if (!in->ReadU64(&iv.begin) || !in->ReadU64(&iv.end)) return false;
-    intervals.push_back(iv);
+    out->push_back(iv);
   }
   // Validate canonical form without asserting.
-  for (size_t i = 0; i < intervals.size(); ++i) {
-    if (intervals[i].Empty()) return false;
-    if (i > 0 && intervals[i].begin <= intervals[i - 1].end) return false;
+  for (size_t i = 0; i < out->size(); ++i) {
+    if ((*out)[i].Empty()) return false;
+    if (i > 0 && (*out)[i].begin <= (*out)[i - 1].end) return false;
   }
-  *out = IntervalList::FromSorted(std::move(intervals));
   return true;
 }
 
-bool ReadListCompressed(ByteReader* in, IntervalList* out) {
+bool ReadIntervalsCompressed(ByteReader* in, std::vector<CellInterval>* out) {
+  out->clear();
   uint64_t count = 0;
   if (!in->ReadVarint(&count)) return false;
   if (count > kMaxListSize || count * 2 > in->Remaining()) return false;
-  std::vector<CellInterval> intervals;
-  intervals.reserve(count);
+  out->reserve(count);
   CellId cursor = 0;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t gap = 0;
@@ -161,38 +166,41 @@ bool ReadListCompressed(ByteReader* in, IntervalList* out) {
     const CellId begin = cursor + gap;
     const CellId end = begin + length_minus_one + 1;
     if (end <= begin || begin < cursor) return false;  // overflow guard
-    intervals.push_back(CellInterval{begin, end});
+    out->push_back(CellInterval{begin, end});
     cursor = end;
   }
-  *out = IntervalList::FromSorted(std::move(intervals));
   return true;
 }
 
-/// Decodes one record payload (both lists) and requires it to be consumed
-/// exactly.
+/// Decodes one record payload (both lists) into scratch vectors and requires
+/// it to be consumed exactly.
 bool DecodePayload(const char* data, size_t size, bool compressed,
-                   AprilApproximation* out) {
+                   std::vector<CellInterval>* conservative,
+                   std::vector<CellInterval>* progressive) {
   ByteReader in(data, size);
   const bool ok = compressed
-                      ? (ReadListCompressed(&in, &out->conservative) &&
-                         ReadListCompressed(&in, &out->progressive))
-                      : (ReadList(&in, &out->conservative) &&
-                         ReadList(&in, &out->progressive));
+                      ? (ReadIntervalsCompressed(&in, conservative) &&
+                         ReadIntervalsCompressed(&in, progressive))
+                      : (ReadIntervals(&in, conservative) &&
+                         ReadIntervals(&in, progressive));
   return ok && in.AtEnd();
 }
 
-bool SaveImpl(const std::string& path,
-              const std::vector<AprilApproximation>& approximations,
+/// Shared writer: \p view_of(i) yields record i's lists, whatever they are
+/// stored in (legacy vector or arena store).
+template <typename ViewFn>
+bool SaveImpl(const std::string& path, size_t count, const ViewFn& view_of,
               bool compressed) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) return false;
   const char* magic = compressed ? kMagicCompressed : kMagic;
   if (std::fwrite(magic, 1, 4, f.get()) != 4) return false;
   if (std::fwrite(&kVersion, sizeof kVersion, 1, f.get()) != 1) return false;
-  const uint64_t count = approximations.size();
-  if (std::fwrite(&count, sizeof count, 1, f.get()) != 1) return false;
+  const uint64_t declared = count;
+  if (std::fwrite(&declared, sizeof declared, 1, f.get()) != 1) return false;
   std::string payload;
-  for (const AprilApproximation& april : approximations) {
+  for (size_t i = 0; i < count; ++i) {
+    const AprilView april = view_of(i);
     payload.clear();
     if (compressed) {
       AppendListCompressed(&payload, april.conservative);
@@ -243,19 +251,37 @@ void ReportCorrupt(AprilLoadReport* report, uint64_t index) {
 
 bool SaveAprilFile(const std::string& path,
                    const std::vector<AprilApproximation>& approximations) {
-  return SaveImpl(path, approximations, /*compressed=*/false);
+  return SaveImpl(
+      path, approximations.size(),
+      [&](size_t i) { return AprilView(approximations[i]); },
+      /*compressed=*/false);
 }
 
 bool SaveAprilFileCompressed(
     const std::string& path,
     const std::vector<AprilApproximation>& approximations) {
-  return SaveImpl(path, approximations, /*compressed=*/true);
+  return SaveImpl(
+      path, approximations.size(),
+      [&](size_t i) { return AprilView(approximations[i]); },
+      /*compressed=*/true);
 }
 
-Status LoadAprilFileDetailed(const std::string& path,
-                             std::vector<AprilApproximation>* out,
-                             AprilLoadReport* report) {
-  out->clear();
+bool SaveAprilStore(const std::string& path, const AprilStore& store) {
+  return SaveImpl(
+      path, store.Count(), [&](size_t i) { return store.View(i); },
+      /*compressed=*/false);
+}
+
+bool SaveAprilStoreCompressed(const std::string& path,
+                              const AprilStore& store) {
+  return SaveImpl(
+      path, store.Count(), [&](size_t i) { return store.View(i); },
+      /*compressed=*/true);
+}
+
+Status LoadAprilStore(const std::string& path, AprilStore* out,
+                      AprilLoadReport* report) {
+  out->Clear();
   if (report != nullptr) *report = AprilLoadReport{};
   std::string bytes;
   if (Status st = ReadWholeFile(path, &bytes); !st.ok()) return st;
@@ -302,21 +328,32 @@ Status LoadAprilFileDetailed(const std::string& path,
     report->compressed = compressed;
     report->declared_count = count;
   }
-  out->reserve(static_cast<size_t>(std::min<uint64_t>(count, kReserveCap)));
+  // Raw intervals occupy 2 u64s each, which bounds how many the file can
+  // hold; compressed files stay unreserved (a varint can claim anything).
+  out->Reserve(static_cast<size_t>(std::min<uint64_t>(count, kReserveCap)),
+               compressed ? 0 : in.Remaining() / (2 * sizeof(uint64_t)));
+
+  // Record-decoding scratch, reused across all records of the load.
+  std::vector<CellInterval> conservative;
+  std::vector<CellInterval> progressive;
+  auto append_record = [&] {
+    out->AppendRecord(
+        IntervalView(conservative.data(), conservative.size()),
+        IntervalView(progressive.data(), progressive.size()));
+  };
 
   if (version == kVersionUnframed) {
     // Legacy format: records are not framed, so corruption cannot be skipped
     // — the first bad byte fails the load, as it always did.
     for (uint64_t i = 0; i < count; ++i) {
-      AprilApproximation april;
       const size_t record_start = in.Pos();
       const bool ok = compressed
-                          ? (ReadListCompressed(&in, &april.conservative) &&
-                             ReadListCompressed(&in, &april.progressive))
-                          : (ReadList(&in, &april.conservative) &&
-                             ReadList(&in, &april.progressive));
+                          ? (ReadIntervalsCompressed(&in, &conservative) &&
+                             ReadIntervalsCompressed(&in, &progressive))
+                          : (ReadIntervals(&in, &conservative) &&
+                             ReadIntervals(&in, &progressive));
       if (!ok) {
-        out->clear();
+        out->Clear();
         if (report != nullptr) {
           report->truncated = true;
           report->corrupt = count - i;
@@ -326,7 +363,7 @@ Status LoadAprilFileDetailed(const std::string& path,
             .WithFile(path)
             .WithOffset(record_start);
       }
-      out->push_back(std::move(april));
+      append_record();
       if (report != nullptr) ++report->loaded;
     }
     return Status::Ok();
@@ -348,18 +385,37 @@ Status LoadAprilFileDetailed(const std::string& path,
     }
     const char* payload = bytes.data() + in.Pos();
     in.Skip(payload_size);
-    AprilApproximation april;
     const bool verified =
         Fnv1a64(payload, static_cast<size_t>(payload_size)) == checksum &&
         DecodePayload(payload, static_cast<size_t>(payload_size), compressed,
-                      &april);
+                      &conservative, &progressive);
     if (!verified) {
-      april = AprilApproximation{};
-      april.usable = false;
+      out->AppendCorruptPlaceholder();
       ReportCorrupt(report, i);
-    } else if (report != nullptr) {
-      ++report->loaded;
+    } else {
+      append_record();
+      if (report != nullptr) ++report->loaded;
     }
+  }
+  return Status::Ok();
+}
+
+Status LoadAprilFileDetailed(const std::string& path,
+                             std::vector<AprilApproximation>* out,
+                             AprilLoadReport* report) {
+  out->clear();
+  AprilStore store;
+  if (Status st = LoadAprilStore(path, &store, report); !st.ok()) return st;
+  out->reserve(store.Count());
+  for (size_t i = 0; i < store.Count(); ++i) {
+    AprilApproximation april;
+    const IntervalView c = store.Conservative(i);
+    const IntervalView p = store.Progressive(i);
+    april.conservative =
+        IntervalList::FromSorted(std::vector<CellInterval>(c.begin(), c.end()));
+    april.progressive =
+        IntervalList::FromSorted(std::vector<CellInterval>(p.begin(), p.end()));
+    april.usable = store.Usable(i);
     out->push_back(std::move(april));
   }
   return Status::Ok();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/raster/april.h"
+#include "src/raster/april_store.h"
 #include "src/util/status.h"
 
 namespace stj {
@@ -57,6 +58,20 @@ bool SaveAprilFile(const std::string& path,
 bool SaveAprilFileCompressed(
     const std::string& path,
     const std::vector<AprilApproximation>& approximations);
+
+/// Store overloads: same file format, fed straight from the arena. A store
+/// and the vector it was built from write byte-identical files.
+bool SaveAprilStore(const std::string& path, const AprilStore& store);
+bool SaveAprilStoreCompressed(const std::string& path, const AprilStore& store);
+
+/// Reads approximations from \p path straight into an arena-backed store in
+/// one pass (no per-object heap lists). Same tolerance and reporting
+/// semantics as LoadAprilFileDetailed: corrupt version-2 records become
+/// usable=false placeholder records so later records keep their object
+/// index; truncation keeps the verified prefix; structural failures (and any
+/// version-1 corruption) clear the store and return non-ok.
+Status LoadAprilStore(const std::string& path, AprilStore* out,
+                      AprilLoadReport* report = nullptr);
 
 /// Reads approximations from \p path into \p out (cleared first), tolerating
 /// per-record corruption in version-2 files: a record whose checksum or

@@ -1,0 +1,48 @@
+#include "src/raster/april_store.h"
+
+namespace stj {
+
+void AprilStore::AppendRecord(IntervalView conservative,
+                              IntervalView progressive, bool usable) {
+  arena_.insert(arena_.end(), conservative.begin(), conservative.end());
+  p_begin_.push_back(arena_.size());
+  arena_.insert(arena_.end(), progressive.begin(), progressive.end());
+  rec_begin_.push_back(arena_.size());
+  usable_.push_back(usable ? 1 : 0);
+}
+
+void AprilStore::Reserve(size_t records, size_t intervals) {
+  arena_.reserve(intervals);
+  rec_begin_.reserve(records + 1);
+  p_begin_.reserve(records);
+  usable_.reserve(records);
+}
+
+void AprilStore::Clear() {
+  arena_.clear();
+  rec_begin_.assign(1, 0);
+  p_begin_.clear();
+  usable_.clear();
+}
+
+AprilStore AprilStore::FromApproximations(
+    const std::vector<AprilApproximation>& approximations) {
+  AprilStore store;
+  size_t intervals = 0;
+  for (const AprilApproximation& a : approximations) {
+    intervals += a.conservative.Size() + a.progressive.Size();
+  }
+  store.Reserve(approximations.size(), intervals);
+  for (const AprilApproximation& a : approximations) {
+    store.AppendRecord(a.conservative, a.progressive, a.usable);
+  }
+  return store;
+}
+
+size_t AprilStore::ByteSize() const {
+  return arena_.size() * sizeof(CellInterval) +
+         rec_begin_.size() * sizeof(uint64_t) +
+         p_begin_.size() * sizeof(uint64_t) + usable_.size() * sizeof(uint8_t);
+}
+
+}  // namespace stj

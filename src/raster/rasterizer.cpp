@@ -5,6 +5,20 @@
 
 namespace stj {
 
+namespace {
+
+/// Resizes a vector-of-vectors to \p n rows, clearing (but keeping the heap
+/// buffers of) every row that survives the resize. This is what makes the
+/// scratch-reusing Rasterize overload allocation-free in steady state.
+template <typename Row>
+void ResetRows(std::vector<Row>* rows, size_t n) {
+  const size_t keep = std::min(rows->size(), n);
+  rows->resize(n);
+  for (size_t i = 0; i < keep; ++i) (*rows)[i].clear();
+}
+
+}  // namespace
+
 uint64_t RasterCoverage::PartialCount() const {
   uint64_t total = 0;
   for (const auto& row : partial_by_row) total += row.size();
@@ -21,7 +35,25 @@ uint64_t RasterCoverage::FullCount() const {
 
 RasterCoverage Rasterizer::Rasterize(const Polygon& poly) const {
   RasterCoverage out;
-  if (poly.Empty()) return out;
+  std::vector<std::vector<double>> crossings;
+  RasterizeInto(poly, &crossings, &out);
+  return out;
+}
+
+void Rasterizer::Rasterize(const Polygon& poly, RasterCoverage* out) {
+  RasterizeInto(poly, &crossings_, out);
+}
+
+void Rasterizer::RasterizeInto(const Polygon& poly,
+                               std::vector<std::vector<double>>* crossings,
+                               RasterCoverage* out) const {
+  out->x0 = 0;
+  out->y0 = 0;
+  if (poly.Empty()) {
+    ResetRows(&out->partial_by_row, 0);
+    ResetRows(&out->full_runs_by_row, 0);
+    return;
+  }
   const Box& bounds = poly.Bounds();
 
   // Raster window (with closed-boundary widening so that geometry exactly on
@@ -31,15 +63,15 @@ RasterCoverage Rasterizer::Rasterize(const Polygon& poly) const {
   const uint32_t wy1 = grid_->CellY(bounds.max.y);
   if (wx0 > 0 && bounds.min.x == grid_->ColumnX(wx0)) --wx0;
   if (wy0 > 0 && bounds.min.y == grid_->RowY(wy0)) --wy0;
-  out.x0 = wx0;
-  out.y0 = wy0;
+  out->x0 = wx0;
+  out->y0 = wy0;
   const uint32_t num_rows = wy1 - wy0 + 1;
-  out.partial_by_row.resize(num_rows);
-  out.full_runs_by_row.resize(num_rows);
+  ResetRows(&out->partial_by_row, num_rows);
+  ResetRows(&out->full_runs_by_row, num_rows);
 
   // Crossings of the polygon boundary with each row's centre line, used for
   // the parity fill. Half-open vertex rule keeps parity consistent.
-  std::vector<std::vector<double>> crossings(num_rows);
+  ResetRows(crossings, num_rows);
 
   poly.ForEachEdge([&](const Segment& e) {
     const double ylo = std::min(e.a.y, e.b.y);
@@ -68,7 +100,7 @@ RasterCoverage Rasterizer::Rasterize(const Polygon& poly) const {
       uint32_t cx_lo = grid_->CellX(seg_xlo);
       const uint32_t cx_hi = grid_->CellX(seg_xhi);
       if (cx_lo > 0 && seg_xlo == grid_->ColumnX(cx_lo)) --cx_lo;
-      auto& row_cells = out.partial_by_row[row - wy0];
+      auto& row_cells = out->partial_by_row[row - wy0];
       for (uint32_t cx = cx_lo; cx <= cx_hi; ++cx) row_cells.push_back(cx);
     }
 
@@ -91,17 +123,17 @@ RasterCoverage Rasterizer::Rasterize(const Polygon& poly) const {
         if (row < wy0) continue;
         const double yc = grid_->RowCenterY(row);
         const double x = e.a.x + dx * ((yc - e.a.y) / dy);
-        crossings[row - wy0].push_back(x);
+        (*crossings)[row - wy0].push_back(x);
       }
     }
   });
 
   // Canonicalise partial cells and fill interior runs per row.
   for (uint32_t row = 0; row < num_rows; ++row) {
-    auto& partial = out.partial_by_row[row];
+    auto& partial = out->partial_by_row[row];
     std::sort(partial.begin(), partial.end());
     partial.erase(std::unique(partial.begin(), partial.end()), partial.end());
-    auto& xs = crossings[row];
+    auto& xs = (*crossings)[row];
     std::sort(xs.begin(), xs.end());
 
     auto gap_is_inside = [&](uint32_t first_col) {
@@ -112,7 +144,7 @@ RasterCoverage Rasterizer::Rasterize(const Polygon& poly) const {
       return (count & 1) != 0;
     };
 
-    auto& full_runs = out.full_runs_by_row[row];
+    auto& full_runs = out->full_runs_by_row[row];
     if (partial.empty()) continue;  // no boundary here: nothing inside either
     // Gaps strictly between consecutive partial cells can be interior; the
     // window margins (left of the first / right of the last partial cell)
@@ -124,7 +156,6 @@ RasterCoverage Rasterizer::Rasterize(const Polygon& poly) const {
       if (gap_is_inside(gap_first)) full_runs.emplace_back(gap_first, gap_last);
     }
   }
-  return out;
 }
 
 }  // namespace stj

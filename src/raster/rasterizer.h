@@ -38,11 +38,23 @@ class Rasterizer {
  public:
   explicit Rasterizer(const RasterGrid* grid) : grid_(grid) {}
 
-  /// Computes the polygon's partial cells and full-cell runs.
+  /// Computes the polygon's partial cells and full-cell runs into a freshly
+  /// allocated coverage. Thread-safe on a shared instance.
   RasterCoverage Rasterize(const Polygon& poly) const;
 
+  /// Allocation-lean overload for tight preprocessing loops: clears and
+  /// reuses *out's row vectors and this rasterizer's internal crossing
+  /// buffers. NOT safe to call concurrently on one instance — the parallel
+  /// APRIL builder gives each worker its own Rasterizer.
+  void Rasterize(const Polygon& poly, RasterCoverage* out);
+
  private:
+  void RasterizeInto(const Polygon& poly,
+                     std::vector<std::vector<double>>* crossings,
+                     RasterCoverage* out) const;
+
   const RasterGrid* grid_;
+  std::vector<std::vector<double>> crossings_;  ///< Overload scratch.
 };
 
 }  // namespace stj

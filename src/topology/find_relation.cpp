@@ -29,9 +29,9 @@ FilterDecision FromOutcome(IFOutcome outcome) {
 }  // namespace
 
 FilterDecision FindRelationFilter(const Box& r_mbr,
-                                  const AprilApproximation& r_april,
+                                  const AprilView& r_april,
                                   const Box& s_mbr,
-                                  const AprilApproximation& s_april) {
+                                  const AprilView& s_april) {
   // Algorithm 1: dispatch on the MBR intersection case.
   switch (ClassifyBoxes(r_mbr, s_mbr)) {
     case BoxRelation::kDisjoint:

@@ -29,8 +29,8 @@ struct FilterDecision {
 /// Algorithm 1 on one pair, without touching exact geometry. The candidate
 /// set of a non-definite decision always contains the true relation.
 FilterDecision FindRelationFilter(const Box& r_mbr,
-                                  const AprilApproximation& r_april,
+                                  const AprilView& r_april,
                                   const Box& s_mbr,
-                                  const AprilApproximation& s_april);
+                                  const AprilView& s_april);
 
 }  // namespace stj

@@ -71,7 +71,7 @@ de9im::RelationSet CandidatesOf(IFOutcome outcome) {
   return RelationSet::All();
 }
 
-IFOutcome IFEquals(const AprilApproximation& r, const AprilApproximation& s) {
+IFOutcome IFEquals(const AprilView& r, const AprilView& s) {
   // Equal MBRs: the objects certainly intersect (each spans the shared MBR in
   // both axes), so no disjointness checks appear here.
   if (ListsMatch(r.conservative, s.conservative)) {
@@ -95,7 +95,7 @@ IFOutcome IFEquals(const AprilApproximation& r, const AprilApproximation& s) {
   return IFOutcome::kRefineMeetsIntersects;
 }
 
-IFOutcome IFInside(const AprilApproximation& r, const AprilApproximation& s) {
+IFOutcome IFInside(const AprilView& r, const AprilView& s) {
   if (ListInside(r.conservative, s.conservative)) {
     if (!s.progressive.Empty()) {
       if (ListInside(r.conservative, s.progressive)) {
@@ -122,7 +122,7 @@ IFOutcome IFInside(const AprilApproximation& r, const AprilApproximation& s) {
   return IFOutcome::kRefineDisjointMeetsIntersects;
 }
 
-IFOutcome IFContains(const AprilApproximation& r, const AprilApproximation& s) {
+IFOutcome IFContains(const AprilView& r, const AprilView& s) {
   if (ListContains(r.conservative, s.conservative)) {
     if (!r.progressive.Empty()) {
       if (ListContains(r.progressive, s.conservative)) {
@@ -144,8 +144,8 @@ IFOutcome IFContains(const AprilApproximation& r, const AprilApproximation& s) {
   return IFOutcome::kRefineDisjointMeetsIntersects;
 }
 
-IFOutcome IFIntersects(const AprilApproximation& r,
-                       const AprilApproximation& s) {
+IFOutcome IFIntersects(const AprilView& r,
+                       const AprilView& s) {
   if (!ListsOverlap(r.conservative, s.conservative)) {
     return IFOutcome::kDisjoint;
   }

@@ -40,20 +40,20 @@ de9im::RelationSet CandidatesOf(IFOutcome outcome);
 
 /// Intermediate filter for pairs with equal MBRs (Fig. 4(c) / Fig. 5
 /// IFEquals). Can definitely decide covered by and covers.
-IFOutcome IFEquals(const AprilApproximation& r, const AprilApproximation& s);
+IFOutcome IFEquals(const AprilView& r, const AprilView& s);
 
 /// Intermediate filter for MBR(r) inside MBR(s) (Fig. 4(a) / Fig. 5
 /// IFInside). Can definitely decide disjoint, inside, and intersects.
-IFOutcome IFInside(const AprilApproximation& r, const AprilApproximation& s);
+IFOutcome IFInside(const AprilView& r, const AprilView& s);
 
 /// Intermediate filter for MBR(r) containing MBR(s) (Fig. 4(b) / Fig. 5
 /// IFContains). Can definitely decide disjoint, contains, and intersects.
-IFOutcome IFContains(const AprilApproximation& r, const AprilApproximation& s);
+IFOutcome IFContains(const AprilView& r, const AprilView& s);
 
 /// Intermediate filter for partially overlapping MBRs (Fig. 4(e) / Fig. 5
 /// IFIntersects). Can definitely decide disjoint and intersects.
-IFOutcome IFIntersects(const AprilApproximation& r,
-                       const AprilApproximation& s);
+IFOutcome IFIntersects(const AprilView& r,
+                       const AprilView& s);
 
 const char* ToString(IFOutcome outcome);
 

@@ -48,11 +48,18 @@ Pipeline::Pipeline(Method method, DatasetView r_view, DatasetView s_view,
       s_view_(s_view),
       time_stages_(time_stages) {}
 
-const AprilApproximation* Pipeline::AprilFor(const DatasetView& view,
-                                             uint32_t idx) {
-  if (view.april == nullptr || idx >= view.april->size()) return nullptr;
+bool Pipeline::AprilFor(const DatasetView& view, uint32_t idx,
+                        AprilView* out) {
+  if (view.store != nullptr) {
+    if (idx >= view.store->Count() || !view.store->Usable(idx)) return false;
+    *out = view.store->View(idx);
+    return true;
+  }
+  if (view.april == nullptr || idx >= view.april->size()) return false;
   const AprilApproximation& april = (*view.april)[idx];
-  return april.usable ? &april : nullptr;
+  if (!april.usable) return false;
+  *out = AprilView(april);
+  return true;
 }
 
 Relation Pipeline::Refine(uint32_t r_idx, uint32_t s_idx,
@@ -119,20 +126,20 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
           return Relation::kIntersects;
         }
         candidates = MbrCandidates(boxes);
-        const AprilApproximation* ra = AprilFor(r_view_, r_idx);
-        const AprilApproximation* sa = AprilFor(s_view_, s_idx);
-        if (ra == nullptr || sa == nullptr) {
+        AprilView ra;
+        AprilView sa;
+        if (!AprilFor(r_view_, r_idx, &ra) || !AprilFor(s_view_, s_idx, &sa)) {
           // Degraded mode: an approximation is missing or corrupt, so the
           // raster filter cannot run — fall back to OP2-style refinement
           // with the MBR-narrowed candidates (still exact, just slower).
           ++stats_.fallback_refined;
         } else {
-          if (!ListsOverlap(ra->conservative, sa->conservative)) {
+          if (!ListsOverlap(ra.conservative, sa.conservative)) {
             ++stats_.decided_by_filter;
             return Relation::kDisjoint;
           }
-          if (ListsOverlap(ra->conservative, sa->progressive) ||
-              ListsOverlap(ra->progressive, sa->conservative)) {
+          if (ListsOverlap(ra.conservative, sa.progressive) ||
+              ListsOverlap(ra.progressive, sa.conservative)) {
             // Definitely intersecting: drop disjoint and meets from the masks
             // to check, but refinement is still required.
             candidates.Remove(Relation::kDisjoint);
@@ -143,9 +150,9 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
       return Refine(r_idx, s_idx, candidates);
     }
     case Method::kPC: {
-      const AprilApproximation* ra = AprilFor(r_view_, r_idx);
-      const AprilApproximation* sa = AprilFor(s_view_, s_idx);
-      if (ra == nullptr || sa == nullptr) {
+      AprilView ra;
+      AprilView sa;
+      if (!AprilFor(r_view_, r_idx, &ra) || !AprilFor(s_view_, s_idx, &sa)) {
         // Degraded mode: without both approximations Algorithm 1 cannot run.
         // The MBRs still decide the cheap cases; everything else falls back
         // to refinement over the MBR-narrowed candidates (OP2-equivalent).
@@ -169,7 +176,7 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
       FilterDecision decision;
       {
         ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
-        decision = FindRelationFilter(r_mbr, *ra, s_mbr, *sa);
+        decision = FindRelationFilter(r_mbr, ra, s_mbr, sa);
         if (decision.definite) {
           if (decision.stage == DecisionStage::kMbrFilter) {
             ++stats_.decided_by_mbr;
@@ -199,13 +206,13 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
   const Box& s_mbr = (*s_view_.objects)[s_idx].geometry.Bounds();
 
   if (method_ == Method::kPC) {
-    const AprilApproximation* ra = AprilFor(r_view_, r_idx);
-    const AprilApproximation* sa = AprilFor(s_view_, s_idx);
-    if (ra != nullptr && sa != nullptr) {
+    AprilView ra;
+    AprilView sa;
+    if (AprilFor(r_view_, r_idx, &ra) && AprilFor(s_view_, s_idx, &sa)) {
       RelateAnswer answer;
       {
         ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
-        answer = RelatePredicateFilter(p, r_mbr, *ra, s_mbr, *sa);
+        answer = RelatePredicateFilter(p, r_mbr, ra, s_mbr, sa);
       }
       switch (answer) {
         case RelateAnswer::kYes:

@@ -6,6 +6,7 @@
 #include "src/de9im/relation.h"
 #include "src/geometry/polygon.h"
 #include "src/raster/april.h"
+#include "src/raster/april_store.h"
 #include "src/topology/find_relation.h"
 #include "src/util/timer.h"
 
@@ -22,11 +23,16 @@ enum class Method : uint8_t {
 const char* ToString(Method method);
 
 /// One side of a join: objects plus (for kApril/kPC) their approximations.
-/// Both vectors are index-aligned; `april` may be empty for methods that do
-/// not use approximations.
+/// Approximations come from exactly one of two storages, index-aligned with
+/// `objects` either way: a legacy vector<AprilApproximation>, or an
+/// arena-backed AprilStore (april_store.h). When `store` is set it takes
+/// precedence over `april`; both may be null for methods that do not use
+/// approximations. The pipeline reads records as AprilViews, so join results
+/// are identical across storages.
 struct DatasetView {
   const std::vector<SpatialObject>* objects = nullptr;
   const std::vector<AprilApproximation>* april = nullptr;
+  const AprilStore* store = nullptr;
 };
 
 /// Per-run pipeline counters and stage timings, the raw material of
@@ -90,11 +96,12 @@ class Pipeline {
                          de9im::RelationSet candidates);
   bool RefinePredicate(uint32_t r_idx, uint32_t s_idx, de9im::Relation p);
 
-  /// The approximation for \p idx, or nullptr when it is missing (no vector,
-  /// index past its end) or flagged corrupt — the degraded-mode signal that
-  /// the pair must fall back to refinement.
-  static const AprilApproximation* AprilFor(const DatasetView& view,
-                                            uint32_t idx);
+  /// Fetches the approximation view for \p idx into \p out and returns true,
+  /// or returns false when it is missing (no storage, index past its end) or
+  /// flagged corrupt — the degraded-mode signal that the pair must fall back
+  /// to refinement. Reads the arena store when the view carries one, the
+  /// legacy vector otherwise.
+  static bool AprilFor(const DatasetView& view, uint32_t idx, AprilView* out);
 
   Method method_;
   DatasetView r_view_;

@@ -10,8 +10,8 @@ namespace {
 
 // relate_intersects: intersects is the negation of disjoint, so the APRIL
 // tests answer it directly.
-RelateAnswer RelateIntersects(BoxRelation boxes, const AprilApproximation& r,
-                              const AprilApproximation& s) {
+RelateAnswer RelateIntersects(BoxRelation boxes, const AprilView& r,
+                              const AprilView& s) {
   if (boxes == BoxRelation::kDisjoint) return RelateAnswer::kNo;
   if (boxes == BoxRelation::kCross || boxes == BoxRelation::kEqual) {
     // Fig. 4(c)/(d): every candidate relation of these MBR cases implies
@@ -38,8 +38,8 @@ RelateAnswer Negate(RelateAnswer a) {
 // relate_inside / relate_covered_by (Fig. 6 left): both require r not to
 // stick out of s. `strict` distinguishes inside (no boundary contact, MBR
 // strictly nested) from covered by (equal MBRs allowed).
-RelateAnswer RelateWithin(BoxRelation boxes, const AprilApproximation& r,
-                          const AprilApproximation& s, bool strict) {
+RelateAnswer RelateWithin(BoxRelation boxes, const AprilView& r,
+                          const AprilView& s, bool strict) {
   const bool box_ok = boxes == BoxRelation::kRInsideS ||
                       (!strict && boxes == BoxRelation::kEqual);
   if (!box_ok) return RelateAnswer::kNo;  // impossible relation (Fig. 6)
@@ -53,8 +53,8 @@ RelateAnswer RelateWithin(BoxRelation boxes, const AprilApproximation& r,
 }
 
 // relate_meets (Fig. 6 middle).
-RelateAnswer RelateMeets(BoxRelation boxes, const AprilApproximation& r,
-                         const AprilApproximation& s) {
+RelateAnswer RelateMeets(BoxRelation boxes, const AprilView& r,
+                         const AprilView& s) {
   if (boxes == BoxRelation::kDisjoint) return RelateAnswer::kNo;
   if (boxes == BoxRelation::kCross) return RelateAnswer::kNo;  // Fig. 4(d)
   if (!ListsOverlap(r.conservative, s.conservative)) {
@@ -68,8 +68,8 @@ RelateAnswer RelateMeets(BoxRelation boxes, const AprilApproximation& r,
 }
 
 // relate_equals (Fig. 6 right).
-RelateAnswer RelateEquals(BoxRelation boxes, const AprilApproximation& r,
-                          const AprilApproximation& s) {
+RelateAnswer RelateEquals(BoxRelation boxes, const AprilView& r,
+                          const AprilView& s) {
   if (boxes != BoxRelation::kEqual) return RelateAnswer::kNo;
   if (!ListsMatch(r.conservative, s.conservative)) return RelateAnswer::kNo;
   if (!ListsMatch(r.progressive, s.progressive)) return RelateAnswer::kNo;
@@ -79,9 +79,9 @@ RelateAnswer RelateEquals(BoxRelation boxes, const AprilApproximation& r,
 }  // namespace
 
 RelateAnswer RelatePredicateFilter(de9im::Relation p, const Box& r_mbr,
-                                   const AprilApproximation& r_april,
+                                   const AprilView& r_april,
                                    const Box& s_mbr,
-                                   const AprilApproximation& s_april) {
+                                   const AprilView& s_april) {
   const BoxRelation boxes = ClassifyBoxes(r_mbr, s_mbr);
   switch (p) {
     case Relation::kIntersects:

@@ -20,9 +20,9 @@ enum class RelateAnswer : uint8_t {
 /// Fig. 6 (inside/covered-by, meets, equals), their mirror images for
 /// contains/covers, and the APRIL-style tests for intersects/disjoint.
 RelateAnswer RelatePredicateFilter(de9im::Relation p, const Box& r_mbr,
-                                   const AprilApproximation& r_april,
+                                   const AprilView& r_april,
                                    const Box& s_mbr,
-                                   const AprilApproximation& s_april);
+                                   const AprilView& s_april);
 
 const char* ToString(RelateAnswer answer);
 

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Produces the checked-in BENCH_PR2.json at the repo root: a Release build,
-# the bench_parallel_scaling thread sweep (MBR filter + P+C find-relation on
-# OLE-OPE), and a structural validation of the emitted JSON. Extra arguments
-# are forwarded to the bench binary, e.g.:
+# Produces the checked-in BENCH_PR3.json at the repo root: a Release build,
+# then two harness runs whose record arrays are merged and validated —
 #
-#   tools/bench_json.sh                     # default sweep, default scale
-#   tools/bench_json.sh --threads=1,2,4,8   # fixed sweep
+#   bench_parallel_scaling  thread sweep of the MBR filter and P+C
+#                           find-relation on OLE-OPE (as in BENCH_PR2);
+#   bench_april_build       APRIL preprocessing throughput, per-cell oracle
+#                           vs run-based Hilbert interval construction, at
+#                           grid order 16 on the TW blob dataset.
+#
+# Extra arguments are forwarded to BOTH bench binaries, e.g.:
+#
+#   tools/bench_json.sh                     # default sweeps, default scale
+#   tools/bench_json.sh --threads=1,2,4,8   # fixed thread sweep
 #
 # EXPERIMENTS.md explains how to read the numbers (and on what hardware the
 # committed file was produced).
@@ -13,27 +19,67 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_PR2.json"
+OUT="BENCH_PR3.json"
+SCALING_OUT="$(mktemp)"
+APRIL_OUT="$(mktemp)"
+trap 'rm -f "$SCALING_OUT" "$APRIL_OUT"' EXIT
 
 echo "==== configure + build (Release) ===="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$(nproc)" --target bench_parallel_scaling
+cmake --build build -j "$(nproc)" --target bench_parallel_scaling \
+  bench_april_build
 
 echo "==== run bench_parallel_scaling ===="
-build/bench/bench_parallel_scaling --json="$OUT" "$@"
+build/bench/bench_parallel_scaling --json="$SCALING_OUT" "$@"
 
-echo "==== validate $OUT ===="
-python3 -c "
+echo "==== run bench_april_build (grid order 16) ===="
+# Scale keeps the per-cell oracle affordable at order 16: the oracle
+# materialises every covered cell id, which is exactly the cost the
+# run-based path exists to avoid.
+build/bench/bench_april_build --grid-order=16 --scale=0.1 \
+  --json="$APRIL_OUT" "$@"
+
+echo "==== merge + validate $OUT ===="
+python3 - "$SCALING_OUT" "$APRIL_OUT" "$OUT" <<'PY'
 import json, sys
-records = json.load(open('$OUT'))
+
+scaling = json.load(open(sys.argv[1]))
+april = json.load(open(sys.argv[2]))
+records = scaling + april
 assert isinstance(records, list) and records, 'empty report'
-required = {'bench', 'stage', 'scenario', 'threads', 'seconds', 'pairs_per_sec'}
+
+scaling_required = {'bench', 'stage', 'scenario', 'threads', 'seconds',
+                    'pairs_per_sec', 'preprocess_seconds'}
+april_required = {'bench', 'stage', 'mode', 'dataset', 'threads',
+                  'grid_order', 'objects', 'intervals', 'seconds',
+                  'objects_per_sec', 'intervals_per_sec',
+                  'speedup_vs_per_cell'}
 for r in records:
+    required = (april_required if r.get('bench') == 'april_build'
+                else scaling_required)
     missing = required - set(r)
     assert not missing, f'record missing {missing}: {r}'
-stages = {r['stage'] for r in records}
+
+stages = {r['stage'] for r in scaling}
 assert stages == {'mbr_filter', 'find_relation'}, stages
-print(f'{len(records)} records OK ({sorted(stages)})')
-"
+april_stages = {r['stage'] for r in april}
+assert april_stages == {'construct', 'build'}, april_stages
+modes = {r['mode'] for r in april}
+assert modes == {'per_cell', 'run_based'}, modes
+
+# The acceptance number: single-thread run-based interval construction at
+# order 16 must beat the per-cell oracle by >= 5x.
+construct = [r for r in april
+             if r['stage'] == 'construct' and r['mode'] == 'run_based']
+assert construct, 'no run_based construct record'
+speedup = construct[0]['speedup_vs_per_cell']
+assert speedup >= 5.0, f'run-based construction speedup {speedup:.2f}x < 5x'
+
+with open(sys.argv[3], 'w') as f:
+    json.dump(records, f, indent=1)
+    f.write('\n')
+print(f'{len(records)} records OK ({sorted(stages)} + april_build '
+      f'{sorted(modes)}, run-based construction speedup {speedup:.1f}x)')
+PY
 
 echo "bench_json: wrote and validated $OUT"
