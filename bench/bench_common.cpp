@@ -66,6 +66,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.threads = ParseThreadList(arg + 10);
     } else if (std::strcmp(arg, "--time-stages") == 0) {
       options.time_stages = true;
+    } else if (std::strncmp(arg, "--prepared-cache-mb=", 20) == 0) {
+      options.prepared_cache_bytes =
+          static_cast<size_t>(std::atoll(arg + 20)) << 20;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       options.json_path = arg + 7;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -78,6 +81,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
           "  --threads     worker threads; a comma list sweeps (0 = all "
           "cores)\n"
           "  --time-stages per-pair stage timers (filter/refine seconds)\n"
+          "  --prepared-cache-mb  per-worker prepared-geometry cache budget\n"
+          "                in MB (default 32; 0 disables the cache)\n"
           "  --json        write machine-readable records to PATH\n",
           argv[0]);
       std::exit(0);
@@ -170,21 +175,29 @@ ScenarioData BuildScenarioVerbose(const std::string& name,
 
 FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
                                 const std::vector<CandidatePair>& pairs,
-                                bool time_stages, unsigned threads) {
+                                bool time_stages, unsigned threads,
+                                size_t prepared_cache_bytes) {
   FindRelationRun run;
   run.relation_histogram.assign(de9im::kNumRelations, 0);
   Timer timer;
   if (threads == 1) {
-    Pipeline pipeline(method, scenario.RView(), scenario.SView(), time_stages);
+    const PipelineOptions pipeline_options{
+        .time_stages = time_stages,
+        .prepared_cache_bytes = prepared_cache_bytes};
+    Pipeline pipeline(method, scenario.RView(), scenario.SView(),
+                      pipeline_options);
     for (const CandidatePair& pair : pairs) {
       const de9im::Relation rel = pipeline.FindRelation(pair.r_idx, pair.s_idx);
       ++run.relation_histogram[static_cast<size_t>(rel)];
     }
     run.stats = pipeline.Stats();
   } else {
+    const JoinOptions join_options{
+        .num_threads = threads,
+        .time_stages = time_stages,
+        .prepared_cache_bytes = prepared_cache_bytes};
     const ParallelJoinResult result = ParallelFindRelation(
-        method, scenario.RView(), scenario.SView(), pairs, threads,
-        time_stages);
+        method, scenario.RView(), scenario.SView(), pairs, join_options);
     for (const de9im::Relation rel : result.relations) {
       ++run.relation_histogram[static_cast<size_t>(rel)];
     }
@@ -194,6 +207,28 @@ FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
   run.pairs_per_second =
       run.seconds > 0 ? static_cast<double>(pairs.size()) / run.seconds : 0.0;
   return run;
+}
+
+double RefinedPerSecond(const FindRelationRun& run) {
+  return run.seconds > 0
+             ? static_cast<double>(run.stats.refined) / run.seconds
+             : 0.0;
+}
+
+void SetPreparedStats(JsonRecord* record, const PipelineStats& stats,
+                      size_t prepared_cache_bytes, bool time_stages) {
+  const uint64_t lookups = stats.prepared_hits + stats.prepared_misses;
+  record->Set("prepared_cache_mb",
+              static_cast<uint64_t>(prepared_cache_bytes >> 20))
+      .Set("prepared_hits", stats.prepared_hits)
+      .Set("prepared_misses", stats.prepared_misses)
+      .Set("prepared_hit_rate",
+           lookups == 0 ? 0.0
+                        : static_cast<double>(stats.prepared_hits) /
+                              static_cast<double>(lookups));
+  if (time_stages) {
+    record->Set("prepared_build_seconds", stats.prepared_build_seconds);
+  }
 }
 
 void PrintTitle(const std::string& title) {

@@ -28,6 +28,9 @@ struct BenchOptions {
   /// PipelineStats::filter_seconds / refine_seconds at a small per-pair
   /// overhead, so throughput-focused runs leave it off.
   bool time_stages = false;
+  /// Per-worker PreparedPolygon cache budget (--prepared-cache-mb=N, in
+  /// megabytes; 0 disables the cache and restores one-shot refinement).
+  size_t prepared_cache_bytes = kDefaultPreparedCacheBytes;
   /// When non-empty (--json=PATH), harnesses append records to a
   /// JsonReporter and write them to this path on exit.
   std::string json_path;
@@ -104,7 +107,22 @@ struct FindRelationRun {
 FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
                                 const std::vector<CandidatePair>& pairs,
                                 bool time_stages = false,
-                                unsigned threads = 1);
+                                unsigned threads = 1,
+                                size_t prepared_cache_bytes =
+                                    kDefaultPreparedCacheBytes);
+
+/// Refined-pair throughput of a run: DE-9IM computations per second. The
+/// prepared cache only touches refinement, so this is the metric its
+/// speedups are quoted in (candidate-pair throughput dilutes them with
+/// filter-decided pairs).
+double RefinedPerSecond(const FindRelationRun& run);
+
+/// Adds the prepared-geometry cache telemetry of a run to a JSON record:
+/// prepared_cache_mb, prepared_hits, prepared_misses, prepared_hit_rate
+/// (0 when no lookups happened), and — when stage timing was on —
+/// prepared_build_seconds.
+void SetPreparedStats(JsonRecord* record, const PipelineStats& stats,
+                      size_t prepared_cache_bytes, bool time_stages);
 
 /// Prints a horizontal rule and a centred title.
 void PrintTitle(const std::string& title);

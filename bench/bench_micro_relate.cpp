@@ -5,8 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/datasets/blob.h"
 #include "src/de9im/relate_engine.h"
+#include "src/geometry/prepared_polygon.h"
 #include "src/raster/april.h"
 #include "src/topology/find_relation.h"
 #include "src/util/rng.h"
@@ -67,6 +70,92 @@ void BM_PCFilterSamePairs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PCFilterSamePairs)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_RelatePreparedSinglePair(benchmark::State& state) {
+  // The overlapping-blobs pair of BM_RelateOverlappingBlobs, but with both
+  // sides prepared and warmed outside the loop: the per-pair cost once all
+  // index construction is amortised away. The gap to the cold benchmark is
+  // the bound on what the pipeline's prepared cache can save per pair.
+  Rng rng(11);
+  const size_t vertices = static_cast<size_t>(state.range(0));
+  const Polygon a = Blob(&rng, Point{50, 50}, 20.0, vertices);
+  const Polygon b = Blob(&rng, Point{62, 50}, 20.0, vertices);
+  const PreparedPolygon pa(a);
+  const PreparedPolygon pb(b);
+  pa.Warm();
+  pb.Warm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(de9im::RelateEngine::Relate(pa, pb));
+  }
+  state.SetComplexityN(static_cast<int64_t>(vertices));
+}
+BENCHMARK(BM_RelatePreparedSinglePair)->RangeMultiplier(4)->Range(16, 16384)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_PreparedBuildOnly(benchmark::State& state) {
+  // The cost the cache saves: constructing and warming one side's prepared
+  // indexes (locator, edge array, edge slab index) from scratch.
+  Rng rng(11);
+  const size_t vertices = static_cast<size_t>(state.range(0));
+  const Polygon a = Blob(&rng, Point{50, 50}, 20.0, vertices);
+  for (auto _ : state) {
+    PreparedPolygon prepared(a);
+    prepared.Warm();
+    benchmark::DoNotOptimize(&prepared.EdgeIndex());
+  }
+  state.SetComplexityN(static_cast<int64_t>(vertices));
+}
+BENCHMARK(BM_PreparedBuildOnly)->RangeMultiplier(4)->Range(16, 16384)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_RepeatedObjectColdRelate(benchmark::State& state) {
+  // One pivot object refined against 8 partners, rebuilding the pivot's
+  // indexes for every pair — the pipeline's access pattern without the
+  // prepared cache (tessellations put every cell in many candidate pairs).
+  Rng rng(19);
+  const size_t vertices = static_cast<size_t>(state.range(0));
+  const Polygon pivot = Blob(&rng, Point{50, 50}, 20.0, vertices);
+  std::vector<Polygon> partners;
+  for (int i = 0; i < 8; ++i) {
+    partners.push_back(
+        Blob(&rng, Point{50 + 3.0 * (i - 4), 50}, 18.0, vertices));
+  }
+  for (auto _ : state) {
+    for (const Polygon& partner : partners) {
+      benchmark::DoNotOptimize(de9im::RelateMatrix(pivot, partner));
+    }
+  }
+  state.SetComplexityN(static_cast<int64_t>(vertices));
+}
+BENCHMARK(BM_RepeatedObjectColdRelate)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_RepeatedObjectPreparedRelate(benchmark::State& state) {
+  // The same pairs with every object prepared once up front — what the
+  // pipeline's cache achieves at a 100% hit rate.
+  Rng rng(19);
+  const size_t vertices = static_cast<size_t>(state.range(0));
+  const Polygon pivot = Blob(&rng, Point{50, 50}, 20.0, vertices);
+  std::vector<Polygon> partners;
+  for (int i = 0; i < 8; ++i) {
+    partners.push_back(
+        Blob(&rng, Point{50 + 3.0 * (i - 4), 50}, 18.0, vertices));
+  }
+  const PreparedPolygon prepared_pivot(pivot);
+  prepared_pivot.Warm();
+  std::vector<PreparedPolygon> prepared_partners;
+  for (const Polygon& partner : partners) {
+    prepared_partners.emplace_back(partner);
+    prepared_partners.back().Warm();
+  }
+  for (auto _ : state) {
+    for (const PreparedPolygon& partner : prepared_partners) {
+      benchmark::DoNotOptimize(
+          de9im::RelateEngine::Relate(prepared_pivot, partner));
+    }
+  }
+  state.SetComplexityN(static_cast<int64_t>(vertices));
+}
+BENCHMARK(BM_RepeatedObjectPreparedRelate)->RangeMultiplier(4)->Range(64, 4096);
 
 void BM_RelateSharedBoundary(benchmark::State& state) {
   // Tessellation-style shared boundaries stress the collinear-overlap path

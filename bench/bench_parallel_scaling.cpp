@@ -117,14 +117,15 @@ void Run(const BenchOptions& options) {
               "undetermined", "speedup");
   const FindRelationRun reference = RunFindRelation(
       Method::kPC, scenario, scenario.candidates, /*time_stages=*/false,
-      /*threads=*/1);
+      /*threads=*/1, options.prepared_cache_bytes);
   double refine_base = 0.0;
   for (const unsigned threads : sweep) {
     FindRelationRun best_run;
     for (int rep = 0; rep < kRepetitions; ++rep) {
       FindRelationRun run =
           RunFindRelation(Method::kPC, scenario, scenario.candidates,
-                          options.time_stages, threads);
+                          options.time_stages, threads,
+                          options.prepared_cache_bytes);
       if (best_run.seconds == 0.0 || run.seconds < best_run.seconds) {
         best_run = run;
       }
@@ -148,7 +149,10 @@ void Run(const BenchOptions& options) {
         .Set("seconds", best_run.seconds)
         .Set("pairs_per_sec", best_run.pairs_per_second)
         .Set("pairs", static_cast<uint64_t>(scenario.candidates.size()))
-        .Set("undetermined_pct", best_run.stats.UndeterminedPercent());
+        .Set("undetermined_pct", best_run.stats.UndeterminedPercent())
+        .Set("refined_per_sec", RefinedPerSecond(best_run));
+    SetPreparedStats(&record, best_run.stats, options.prepared_cache_bytes,
+                     options.time_stages);
     if (options.time_stages) {
       record.Set("filter_seconds", best_run.stats.filter_seconds)
           .Set("refine_seconds", best_run.stats.refine_seconds);

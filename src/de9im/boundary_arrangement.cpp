@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/geometry/box.h"
+#include "src/geometry/edge_slab_index.h"
+#include "src/geometry/prepared_polygon.h"
 #include "src/geometry/segment.h"
 
 namespace stj::de9im {
@@ -24,74 +26,11 @@ double ParamOnSegment(const Point& p, const Point& a, const Point& b) {
 }
 
 // Per-edge split bookkeeping accumulated during intersection discovery.
+// This is the only per-pair state of the arrangement; the edge arrays and
+// slab index come from the (possibly cached) PreparedPolygons.
 struct EdgeSplits {
   std::vector<std::pair<double, Point>> cuts;            // t in (0,1)
   std::vector<std::pair<double, double>> shared_ranges;  // collinear overlaps
-};
-
-// All edges of a polygon flattened into one array.
-struct EdgeSoup {
-  std::vector<Segment> edges;
-  std::vector<EdgeSplits> splits;
-
-  explicit EdgeSoup(const Polygon& poly) {
-    edges.reserve(poly.VertexCount());
-    poly.ForEachEdge([this](const Segment& e) { edges.push_back(e); });
-    splits.resize(edges.size());
-  }
-};
-
-// Y-slab index over an edge soup, for finding candidate intersecting edges.
-class EdgeSlabIndex {
- public:
-  explicit EdgeSlabIndex(const EdgeSoup& soup, const Box& bounds)
-      : y_lo_(bounds.min.y) {
-    const size_t n = soup.edges.size();
-    num_slabs_ = std::max<size_t>(1, n / 4);
-    const double height = bounds.Height();
-    inv_height_ = (height > 0.0 && num_slabs_ > 1)
-                      ? static_cast<double>(num_slabs_) / height
-                      : 0.0;
-    if (inv_height_ == 0.0) num_slabs_ = 1;
-    slabs_.resize(num_slabs_);
-    for (size_t i = 0; i < n; ++i) {
-      const Segment& e = soup.edges[i];
-      const size_t lo = SlabOf(std::min(e.a.y, e.b.y));
-      const size_t hi = SlabOf(std::max(e.a.y, e.b.y));
-      for (size_t s = lo; s <= hi; ++s) slabs_[s].push_back(static_cast<uint32_t>(i));
-    }
-    visited_.assign(n, 0);
-  }
-
-  // Invokes fn(edge_index) once per edge whose slab range overlaps [ylo, yhi].
-  template <typename Fn>
-  void Probe(double ylo, double yhi, Fn&& fn) {
-    ++stamp_;
-    const size_t lo = SlabOf(ylo);
-    const size_t hi = SlabOf(yhi);
-    for (size_t s = lo; s <= hi; ++s) {
-      for (const uint32_t idx : slabs_[s]) {
-        if (visited_[idx] == stamp_) continue;
-        visited_[idx] = stamp_;
-        fn(idx);
-      }
-    }
-  }
-
- private:
-  size_t SlabOf(double y) const {
-    if (num_slabs_ == 1) return 0;
-    const double t = (y - y_lo_) * inv_height_;
-    if (t <= 0.0) return 0;
-    return std::min(static_cast<size_t>(t), num_slabs_ - 1);
-  }
-
-  double y_lo_;
-  double inv_height_ = 0.0;
-  size_t num_slabs_ = 1;
-  std::vector<std::vector<uint32_t>> slabs_;
-  std::vector<uint32_t> visited_;
-  uint32_t stamp_ = 0;
 };
 
 void RecordCut(EdgeSplits* splits, double t, const Point& p) {
@@ -109,12 +48,13 @@ void RecordShared(EdgeSplits* splits, double t0, const Point& p0, double t1,
   splits->shared_ranges.emplace_back(t0, t1);
 }
 
-// Emits the sub-edge midpoints of one soup into `side`.
-void EmitSide(EdgeSoup* soup, ArrangementSide* side) {
+// Emits the sub-edge midpoints of one side's edges into `side`.
+void EmitSide(const std::vector<Segment>& edges,
+              std::vector<EdgeSplits>* splits, ArrangementSide* side) {
   std::vector<std::pair<double, Point>> cuts;
-  for (size_t i = 0; i < soup->edges.size(); ++i) {
-    const Segment& e = soup->edges[i];
-    EdgeSplits& sp = soup->splits[i];
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const Segment& e = edges[i];
+    EdgeSplits& sp = (*splits)[i];
     if (sp.cuts.empty() && sp.shared_ranges.empty()) {
       side->midpoints.push_back(e.Mid());
       continue;
@@ -169,45 +109,65 @@ void EmitSide(EdgeSoup* soup, ArrangementSide* side) {
 
 }  // namespace
 
-Arrangement ComputeArrangement(const Polygon& r, const Polygon& s) {
+Arrangement ComputeArrangement(const PreparedPolygon& r,
+                               const PreparedPolygon& s) {
   Arrangement out;
-  EdgeSoup r_soup(r);
-  EdgeSoup s_soup(s);
+  const std::vector<Segment>& r_edges = r.Edges();
+  const std::vector<Segment>& s_edges = s.Edges();
+  std::vector<EdgeSplits> r_splits(r_edges.size());
+  std::vector<EdgeSplits> s_splits(s_edges.size());
 
   const Box overlap = r.Bounds().Intersection(s.Bounds());
   if (!overlap.IsEmpty()) {
-    EdgeSlabIndex s_index(s_soup, s.Bounds());
-    for (size_t i = 0; i < r_soup.edges.size(); ++i) {
-      const Segment& re = r_soup.edges[i];
-      const Box re_box = re.Bounds();
-      if (!re_box.Intersects(s.Bounds())) continue;
-      s_index.Probe(std::min(re.a.y, re.b.y), std::max(re.a.y, re.b.y),
-                    [&](uint32_t j) {
-        const Segment& se = s_soup.edges[j];
-        if (!re_box.Intersects(se.Bounds())) return;
-        const SegIntersection isect = IntersectSegments(re.a, re.b, se.a, se.b);
-        if (isect.kind == SegIntersectKind::kNone) return;
-        out.boundaries_touch = true;
-        if (isect.kind == SegIntersectKind::kPoint) {
-          RecordCut(&r_soup.splits[i], ParamOnSegment(isect.p0, re.a, re.b),
-                    isect.p0);
-          RecordCut(&s_soup.splits[j], ParamOnSegment(isect.p0, se.a, se.b),
-                    isect.p0);
-        } else {
-          RecordShared(&r_soup.splits[i],
-                       ParamOnSegment(isect.p0, re.a, re.b), isect.p0,
-                       ParamOnSegment(isect.p1, re.a, re.b), isect.p1);
-          RecordShared(&s_soup.splits[j],
-                       ParamOnSegment(isect.p0, se.a, se.b), isect.p0,
-                       ParamOnSegment(isect.p1, se.a, se.b), isect.p1);
-        }
-      });
+    const Box& s_bounds = s.Bounds();
+    const EdgeSlabIndex& s_index = s.EdgeIndex();
+    for (const PreparedPolygon::RingRange& ring : r.Rings()) {
+      // Ring-level quick reject: a ring whose MBR misses the other polygon
+      // cannot contribute intersections. Skipping it records no cuts, which
+      // is exactly what probing each of its edges would have recorded, so
+      // the arrangement is unchanged.
+      if (!ring.bounds.Intersects(s_bounds)) continue;
+      for (uint32_t i = ring.begin; i < ring.end; ++i) {
+        const Segment& re = r_edges[i];
+        const Box re_box = re.Bounds();
+        if (!re_box.Intersects(s_bounds)) continue;
+        s_index.Probe(std::min(re.a.y, re.b.y), std::max(re.a.y, re.b.y),
+                      [&](uint32_t j) {
+          const Segment& se = s_edges[j];
+          if (!re_box.Intersects(se.Bounds())) return;
+          const SegIntersection isect =
+              IntersectSegments(re.a, re.b, se.a, se.b);
+          if (isect.kind == SegIntersectKind::kNone) return;
+          out.boundaries_touch = true;
+          if (isect.kind == SegIntersectKind::kPoint) {
+            RecordCut(&r_splits[i], ParamOnSegment(isect.p0, re.a, re.b),
+                      isect.p0);
+            RecordCut(&s_splits[j], ParamOnSegment(isect.p0, se.a, se.b),
+                      isect.p0);
+          } else {
+            RecordShared(&r_splits[i],
+                         ParamOnSegment(isect.p0, re.a, re.b), isect.p0,
+                         ParamOnSegment(isect.p1, re.a, re.b), isect.p1);
+            RecordShared(&s_splits[j],
+                         ParamOnSegment(isect.p0, se.a, se.b), isect.p0,
+                         ParamOnSegment(isect.p1, se.a, se.b), isect.p1);
+          }
+        });
+      }
     }
   }
 
-  EmitSide(&r_soup, &out.r);
-  EmitSide(&s_soup, &out.s);
+  EmitSide(r_edges, &r_splits, &out.r);
+  EmitSide(s_edges, &s_splits, &out.s);
   return out;
+}
+
+Arrangement ComputeArrangement(const Polygon& r, const Polygon& s) {
+  // One-shot prepared wrappers: components build lazily, so this costs what
+  // the pre-prepared implementation cost, and both paths share one body.
+  const PreparedPolygon pr(r);
+  const PreparedPolygon ps(s);
+  return ComputeArrangement(pr, ps);
 }
 
 }  // namespace stj::de9im

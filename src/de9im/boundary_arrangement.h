@@ -5,6 +5,10 @@
 #include "src/geometry/point.h"
 #include "src/geometry/polygon.h"
 
+namespace stj {
+class PreparedPolygon;
+}
+
 namespace stj::de9im {
 
 /// One side's view of the mutual boundary arrangement of a polygon pair.
@@ -37,6 +41,15 @@ struct Arrangement {
 /// which keeps shared-boundary datasets (tessellations, equal polygons)
 /// robust. Cost: O((|r| + |s| + k) * slab) where k is the number of
 /// boundary intersections, via a y-slab index over the edges of s.
+/// Delegates through one-shot PreparedPolygons, so the result is identical
+/// to the prepared overload below by construction.
 Arrangement ComputeArrangement(const Polygon& r, const Polygon& s);
+
+/// As above, consuming each side's cached edge array, per-ring MBRs, and
+/// EdgeSlabIndex instead of rebuilding them — the amortised path refinement
+/// takes when an object participates in many candidate pairs. Only the
+/// per-pair split bookkeeping is allocated per call.
+Arrangement ComputeArrangement(const PreparedPolygon& r,
+                               const PreparedPolygon& s);
 
 }  // namespace stj::de9im

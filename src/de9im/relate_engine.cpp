@@ -1,10 +1,7 @@
 #include "src/de9im/relate_engine.h"
 
-#include <optional>
-#include <vector>
-
 #include "src/de9im/boundary_arrangement.h"
-#include "src/geometry/point_on_surface.h"
+#include "src/geometry/prepared_polygon.h"
 
 namespace stj::de9im {
 
@@ -37,26 +34,6 @@ SideFlags ClassifySide(const ArrangementSide& side,
   return flags;
 }
 
-// Lazily computed representative interior point of a polygon.
-class InteriorPoint {
- public:
-  explicit InteriorPoint(const Polygon& poly) : poly_(&poly) {}
-
-  const Point* Get() {
-    if (!computed_) {
-      computed_ = true;
-      Point p;
-      if (PointOnSurface(*poly_, &p)) value_ = p;
-    }
-    return value_.has_value() ? &*value_ : nullptr;
-  }
-
- private:
-  const Polygon* poly_;
-  bool computed_ = false;
-  std::optional<Point> value_;
-};
-
 Matrix DisjointMatrix() {
   // Two disjoint polygons: each boundary and interior meets only the other's
   // exterior.
@@ -72,22 +49,28 @@ Matrix DisjointMatrix() {
 }  // namespace
 
 Matrix RelateEngine::Relate(const Polygon& r, const Polygon& s) {
-  if (!r.Bounds().Intersects(s.Bounds())) return DisjointMatrix();
-  const PolygonLocator r_locator(r);
-  const PolygonLocator s_locator(s);
-  return Relate(r, r_locator, s, s_locator);
+  // One-shot prepared wrappers (components build lazily on first use): the
+  // cold path and the cached path run the same code, so their matrices are
+  // byte-identical by construction.
+  const PreparedPolygon pr(r);
+  const PreparedPolygon ps(s);
+  return Relate(pr, ps);
 }
 
 Matrix RelateEngine::Relate(const Polygon& r, const PolygonLocator& r_locator,
                             const Polygon& s, const PolygonLocator& s_locator) {
+  const PreparedPolygon pr(r, &r_locator);
+  const PreparedPolygon ps(s, &s_locator);
+  return Relate(pr, ps);
+}
+
+Matrix RelateEngine::Relate(const PreparedPolygon& r,
+                            const PreparedPolygon& s) {
   if (!r.Bounds().Intersects(s.Bounds())) return DisjointMatrix();
 
   const Arrangement arr = ComputeArrangement(r, s);
-  const SideFlags rb = ClassifySide(arr.r, s_locator);  // B(r) vs s
-  const SideFlags sb = ClassifySide(arr.s, r_locator);  // B(s) vs r
-
-  InteriorPoint r_interior(r);
-  InteriorPoint s_interior(s);
+  const SideFlags rb = ClassifySide(arr.r, s.Locator());  // B(r) vs s
+  const SideFlags sb = ClassifySide(arr.s, r.Locator());  // B(s) vs r
 
   Matrix m;
   m.Set(Part::kExterior, Part::kExterior, Dim::k2);
@@ -107,15 +90,19 @@ Matrix RelateEngine::Relate(const Polygon& r, const PolygonLocator& r_locator,
 
   // Interior/interior: boundary-in-interior evidence implies open overlap.
   // Otherwise each connected interior is wholly inside, wholly outside, or
-  // equal — decided by one representative point per side.
+  // equal — decided by one (memoized) representative point per side.
   bool ii = rb.in_interior || sb.in_interior;
   if (!ii) {
-    const Point* pr = r_interior.Get();
-    if (pr != nullptr && s_locator.Locate(*pr) == Location::kInterior) ii = true;
+    const Point* pr = r.InteriorPoint();
+    if (pr != nullptr && s.Locator().Locate(*pr) == Location::kInterior) {
+      ii = true;
+    }
   }
   if (!ii) {
-    const Point* ps = s_interior.Get();
-    if (ps != nullptr && r_locator.Locate(*ps) == Location::kInterior) ii = true;
+    const Point* ps = s.InteriorPoint();
+    if (ps != nullptr && r.Locator().Locate(*ps) == Location::kInterior) {
+      ii = true;
+    }
   }
   if (ii) m.Set(Part::kInterior, Part::kInterior, Dim::k2);
 
@@ -124,16 +111,20 @@ Matrix RelateEngine::Relate(const Polygon& r, const PolygonLocator& r_locator,
   // outside s.
   bool ie = rb.in_exterior || sb.in_interior;
   if (!ie) {
-    const Point* pr = r_interior.Get();
-    if (pr != nullptr && s_locator.Locate(*pr) == Location::kExterior) ie = true;
+    const Point* pr = r.InteriorPoint();
+    if (pr != nullptr && s.Locator().Locate(*pr) == Location::kExterior) {
+      ie = true;
+    }
   }
   if (ie) m.Set(Part::kInterior, Part::kExterior, Dim::k2);
 
   // Exterior(r) vs interior(s): symmetric.
   bool ei = sb.in_exterior || rb.in_interior;
   if (!ei) {
-    const Point* ps = s_interior.Get();
-    if (ps != nullptr && r_locator.Locate(*ps) == Location::kExterior) ei = true;
+    const Point* ps = s.InteriorPoint();
+    if (ps != nullptr && r.Locator().Locate(*ps) == Location::kExterior) {
+      ei = true;
+    }
   }
   if (ei) m.Set(Part::kExterior, Part::kInterior, Dim::k2);
 

@@ -4,6 +4,7 @@
 #include "src/de9im/relation.h"
 #include "src/geometry/locator.h"
 #include "src/geometry/polygon.h"
+#include "src/geometry/prepared_polygon.h"
 
 namespace stj::de9im {
 
@@ -26,14 +27,20 @@ namespace stj::de9im {
 /// with polygon complexity that motivates the paper's intermediate filter.
 class RelateEngine {
  public:
-  /// Computes the DE-9IM matrix of (r, s), building point locators
-  /// internally.
+  /// Computes the DE-9IM matrix of (r, s), building all per-object indexes
+  /// internally (one-shot PreparedPolygon wrappers; see the overload below).
   static Matrix Relate(const Polygon& r, const Polygon& s);
 
   /// As above but with caller-provided locators (reused across pairs that
-  /// share a polygon).
+  /// share a polygon). The edge arrays and intersection index are still
+  /// built per call; prefer the PreparedPolygon overload for full reuse.
   static Matrix Relate(const Polygon& r, const PolygonLocator& r_locator,
                        const Polygon& s, const PolygonLocator& s_locator);
+
+  /// The amortised path: consumes each side's cached locator, edge array,
+  /// edge index, and memoized representative point. All overloads share this
+  /// body, so cold and prepared results are byte-identical by construction.
+  static Matrix Relate(const PreparedPolygon& r, const PreparedPolygon& s);
 };
 
 /// Convenience: the DE-9IM matrix of (r, s).

@@ -1,0 +1,43 @@
+#include "src/geometry/edge_slab_index.h"
+
+#include <algorithm>
+
+namespace stj {
+
+EdgeSlabIndex::EdgeSlabIndex(const std::vector<Segment>& edges,
+                             const Box& bounds)
+    : y_lo_(bounds.min.y) {
+  const size_t n = edges.size();
+  num_slabs_ = std::max<size_t>(1, n / 4);
+  const double height = bounds.Height();
+  inv_height_ = (height > 0.0 && num_slabs_ > 1)
+                    ? static_cast<double>(num_slabs_) / height
+                    : 0.0;
+  if (inv_height_ == 0.0) num_slabs_ = 1;
+  slabs_.resize(num_slabs_);
+  for (size_t i = 0; i < n; ++i) {
+    const Segment& e = edges[i];
+    const size_t lo = SlabOf(std::min(e.a.y, e.b.y));
+    const size_t hi = SlabOf(std::max(e.a.y, e.b.y));
+    for (size_t s = lo; s <= hi; ++s) {
+      slabs_[s].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  visited_.assign(n, 0);
+}
+
+void EdgeSlabIndex::BeginProbe() const {
+  if (++stamp_ == 0) {
+    std::fill(visited_.begin(), visited_.end(), 0u);
+    stamp_ = 1;
+  }
+}
+
+size_t EdgeSlabIndex::SlabOf(double y) const {
+  if (num_slabs_ == 1) return 0;
+  const double t = (y - y_lo_) * inv_height_;
+  if (t <= 0.0) return 0;
+  return std::min(static_cast<size_t>(t), num_slabs_ - 1);
+}
+
+}  // namespace stj

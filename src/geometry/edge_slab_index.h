@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/box.h"
+#include "src/geometry/segment.h"
+
+namespace stj {
+
+/// Y-slab index over a flat edge array: buckets edges by the horizontal
+/// slabs their y-span overlaps, so a probe for a y-range only visits edges
+/// that could intersect it. This is the intersection-discovery index of the
+/// DE-9IM boundary arrangement (historically an implementation detail of
+/// boundary_arrangement.cpp); it is a standalone class so a PreparedPolygon
+/// can build it once per object and reuse it across every candidate pair the
+/// object participates in.
+///
+/// Probe() is const but keeps mutable de-duplication scratch (an edge
+/// spanning several slabs must be reported once per probe), so a single
+/// index must not be probed from two threads at once. PreparedPolygons are
+/// per-worker state, which guarantees exactly that.
+class EdgeSlabIndex {
+ public:
+  /// Builds the index over \p edges, slabbing the y-extent of \p bounds
+  /// (the owning polygon's MBR). The edge array must outlive the index.
+  EdgeSlabIndex(const std::vector<Segment>& edges, const Box& bounds);
+
+  /// Invokes fn(edge_index) once per edge whose slab range overlaps
+  /// [ylo, yhi] — a superset of the edges whose y-span overlaps it.
+  template <typename Fn>
+  void Probe(double ylo, double yhi, Fn&& fn) const {
+    BeginProbe();
+    const size_t lo = SlabOf(ylo);
+    const size_t hi = SlabOf(yhi);
+    for (size_t s = lo; s <= hi; ++s) {
+      for (const uint32_t idx : slabs_[s]) {
+        if (visited_[idx] == stamp_) continue;
+        visited_[idx] = stamp_;
+        fn(idx);
+      }
+    }
+  }
+
+ private:
+  /// Starts a probe generation, clearing the visited stamps on wrap-around
+  /// (a cached index can serve billions of probes over its lifetime).
+  void BeginProbe() const;
+
+  size_t SlabOf(double y) const;
+
+  double y_lo_;
+  double inv_height_ = 0.0;
+  size_t num_slabs_ = 1;
+  std::vector<std::vector<uint32_t>> slabs_;
+  mutable std::vector<uint32_t> visited_;
+  mutable uint32_t stamp_ = 0;
+};
+
+}  // namespace stj

@@ -1,0 +1,74 @@
+#include "src/geometry/prepared_polygon.h"
+
+#include "src/geometry/point_on_surface.h"
+#include "src/geometry/ring.h"
+
+namespace stj {
+
+const PolygonLocator& PreparedPolygon::Locator() const {
+  if (external_locator_ != nullptr) return *external_locator_;
+  if (locator_ == nullptr) locator_ = std::make_unique<PolygonLocator>(*poly_);
+  return *locator_;
+}
+
+void PreparedPolygon::BuildEdges() const {
+  if (edges_built_) return;
+  edges_built_ = true;
+  edges_.reserve(poly_->VertexCount());
+  rings_.reserve(poly_->RingCount());
+  const auto add_ring = [this](const Ring& ring) {
+    RingRange range;
+    range.begin = static_cast<uint32_t>(edges_.size());
+    for (size_t i = 0; i < ring.Size(); ++i) edges_.push_back(ring.Edge(i));
+    range.end = static_cast<uint32_t>(edges_.size());
+    range.bounds = ring.Bounds();
+    rings_.push_back(range);
+  };
+  add_ring(poly_->Outer());
+  for (const Ring& hole : poly_->Holes()) add_ring(hole);
+}
+
+const std::vector<Segment>& PreparedPolygon::Edges() const {
+  BuildEdges();
+  return edges_;
+}
+
+const std::vector<PreparedPolygon::RingRange>& PreparedPolygon::Rings() const {
+  BuildEdges();
+  return rings_;
+}
+
+const EdgeSlabIndex& PreparedPolygon::EdgeIndex() const {
+  if (index_ == nullptr) {
+    BuildEdges();
+    index_ = std::make_unique<EdgeSlabIndex>(edges_, poly_->Bounds());
+  }
+  return *index_;
+}
+
+const Point* PreparedPolygon::InteriorPoint() const {
+  if (!interior_computed_) {
+    interior_computed_ = true;
+    Point p;
+    if (PointOnSurface(*poly_, &p)) interior_ = p;
+  }
+  return interior_.has_value() ? &*interior_ : nullptr;
+}
+
+void PreparedPolygon::Warm() const {
+  Locator();
+  EdgeIndex();
+}
+
+size_t PreparedPolygon::EstimateBytes(const Polygon& poly) {
+  // Per vertex: one Segment in the edge array (32 B), one Edge{a, b} in a
+  // locator slab (32 B, edges spanning slabs counted once), one uint32 slab
+  // entry + one uint32 visited stamp in the edge index (8 B), plus ~24 B of
+  // slab-vector overhead across both indexes at ~4 edges per slab.
+  constexpr size_t kBytesPerVertex = 96;
+  constexpr size_t kFixedOverhead = 512;
+  return sizeof(PreparedPolygon) + kFixedOverhead +
+         poly.VertexCount() * kBytesPerVertex;
+}
+
+}  // namespace stj

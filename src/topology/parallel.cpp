@@ -27,8 +27,11 @@ void MergeStats(const PipelineStats& from, PipelineStats* into) {
   into->decided_by_filter += from.decided_by_filter;
   into->refined += from.refined;
   into->fallback_refined += from.fallback_refined;
+  into->prepared_hits += from.prepared_hits;
+  into->prepared_misses += from.prepared_misses;
   into->filter_seconds += from.filter_seconds;
   into->refine_seconds += from.refine_seconds;
+  into->prepared_build_seconds += from.prepared_build_seconds;
 }
 
 unsigned ResolveThreads(unsigned requested, size_t pairs) {
@@ -95,12 +98,14 @@ std::vector<uint32_t> HilbertSchedule(DatasetView r_view, DatasetView s_view,
 template <typename Process>
 PipelineStats RunPairs(Method method, DatasetView r_view, DatasetView s_view,
                        const std::vector<CandidatePair>& pairs,
-                       unsigned num_threads, bool time_stages,
-                       const Process& process) {
+                       const JoinOptions& options, const Process& process) {
   PipelineStats stats;
-  const unsigned threads = ResolveThreads(num_threads, pairs.size());
+  const PipelineOptions pipeline_options{
+      .time_stages = options.time_stages,
+      .prepared_cache_bytes = options.prepared_cache_bytes};
+  const unsigned threads = ResolveThreads(options.num_threads, pairs.size());
   if (threads <= 1) {
-    Pipeline pipeline(method, r_view, s_view, time_stages);
+    Pipeline pipeline(method, r_view, s_view, pipeline_options);
     for (size_t i = 0; i < pairs.size(); ++i) process(&pipeline, i);
     return pipeline.Stats();
   }
@@ -108,7 +113,7 @@ PipelineStats RunPairs(Method method, DatasetView r_view, DatasetView s_view,
   std::vector<PipelineStats> per_worker(threads);
   std::atomic<size_t> next{0};
   const unsigned used = internal::RunWorkers(threads, [&](unsigned worker) {
-    Pipeline pipeline(method, r_view, s_view, time_stages);
+    Pipeline pipeline(method, r_view, s_view, pipeline_options);
     for (;;) {
       const size_t begin = next.fetch_add(kPairBlock);
       if (begin >= order.size()) break;
@@ -126,16 +131,42 @@ PipelineStats RunPairs(Method method, DatasetView r_view, DatasetView s_view,
 ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
                                         DatasetView s_view,
                                         const std::vector<CandidatePair>& pairs,
-                                        unsigned num_threads,
-                                        bool time_stages) {
+                                        const JoinOptions& options) {
   ParallelJoinResult result;
   if (pairs.empty()) return result;  // no workers, no per-worker state
   result.relations.resize(pairs.size());
-  result.stats = RunPairs(method, r_view, s_view, pairs, num_threads,
-                          time_stages, [&](Pipeline* pipeline, size_t i) {
+  result.stats = RunPairs(method, r_view, s_view, pairs, options,
+                          [&](Pipeline* pipeline, size_t i) {
                             result.relations[i] = pipeline->FindRelation(
                                 pairs[i].r_idx, pairs[i].s_idx);
                           });
+  return result;
+}
+
+ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
+                                        DatasetView s_view,
+                                        const std::vector<CandidatePair>& pairs,
+                                        unsigned num_threads,
+                                        bool time_stages) {
+  return ParallelFindRelation(
+      method, r_view, s_view, pairs,
+      JoinOptions{.num_threads = num_threads, .time_stages = time_stages});
+}
+
+ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
+                                    DatasetView s_view,
+                                    const std::vector<CandidatePair>& pairs,
+                                    de9im::Relation predicate,
+                                    const JoinOptions& options) {
+  ParallelRelateResult result;
+  if (pairs.empty()) return result;  // no workers, no per-worker state
+  result.matches.resize(pairs.size(), 0);
+  result.stats = RunPairs(
+      method, r_view, s_view, pairs, options,
+      [&](Pipeline* pipeline, size_t i) {
+        result.matches[i] =
+            pipeline->Relate(pairs[i].r_idx, pairs[i].s_idx, predicate) ? 1 : 0;
+      });
   return result;
 }
 
@@ -144,16 +175,9 @@ ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
                                     const std::vector<CandidatePair>& pairs,
                                     de9im::Relation predicate,
                                     unsigned num_threads, bool time_stages) {
-  ParallelRelateResult result;
-  if (pairs.empty()) return result;  // no workers, no per-worker state
-  result.matches.resize(pairs.size(), 0);
-  result.stats = RunPairs(
-      method, r_view, s_view, pairs, num_threads, time_stages,
-      [&](Pipeline* pipeline, size_t i) {
-        result.matches[i] =
-            pipeline->Relate(pairs[i].r_idx, pairs[i].s_idx, predicate) ? 1 : 0;
-      });
-  return result;
+  return ParallelRelate(
+      method, r_view, s_view, pairs, predicate,
+      JoinOptions{.num_threads = num_threads, .time_stages = time_stages});
 }
 
 }  // namespace stj

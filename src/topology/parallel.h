@@ -9,6 +9,18 @@
 
 namespace stj {
 
+/// Execution knobs shared by the parallel join drivers. Every worker's
+/// Pipeline inherits time_stages and the prepared-cache budget; the budget
+/// is per worker (total prepared memory scales with the thread count).
+struct JoinOptions {
+  unsigned num_threads = 0;  ///< 0 = hardware concurrency.
+  bool time_stages = false;
+  /// Per-worker PreparedPolygon cache budget in bytes; 0 disables the cache
+  /// (see PipelineOptions::prepared_cache_bytes). A pure performance knob:
+  /// results are identical for every value.
+  size_t prepared_cache_bytes = kDefaultPreparedCacheBytes;
+};
+
 /// Result of a (possibly multi-threaded) find-relation join.
 struct ParallelJoinResult {
   /// relations[i] answers pairs[i], in input order.
@@ -39,6 +51,12 @@ struct ParallelJoinResult {
 ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
                                         DatasetView s_view,
                                         const std::vector<CandidatePair>& pairs,
+                                        const JoinOptions& options);
+
+/// Compatibility overload: default options apart from the two legacy knobs.
+ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
+                                        DatasetView s_view,
+                                        const std::vector<CandidatePair>& pairs,
                                         unsigned num_threads = 0,
                                         bool time_stages = false);
 
@@ -47,6 +65,13 @@ struct ParallelRelateResult {
   std::vector<char> matches;  ///< 1 where the predicate holds.
   PipelineStats stats;
 };
+ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
+                                    DatasetView s_view,
+                                    const std::vector<CandidatePair>& pairs,
+                                    de9im::Relation predicate,
+                                    const JoinOptions& options);
+
+/// Compatibility overload: default options apart from the two legacy knobs.
 ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
                                     DatasetView s_view,
                                     const std::vector<CandidatePair>& pairs,

@@ -43,10 +43,17 @@ class ScopedStageTime {
 
 Pipeline::Pipeline(Method method, DatasetView r_view, DatasetView s_view,
                    bool time_stages)
+    : Pipeline(method, r_view, s_view,
+               PipelineOptions{.time_stages = time_stages}) {}
+
+Pipeline::Pipeline(Method method, DatasetView r_view, DatasetView s_view,
+                   const PipelineOptions& options)
     : method_(method),
       r_view_(r_view),
       s_view_(s_view),
-      time_stages_(time_stages) {}
+      options_(options),
+      r_prepared_(options.prepared_cache_bytes),
+      s_prepared_(options.prepared_cache_bytes) {}
 
 bool Pipeline::AprilFor(const DatasetView& view, uint32_t idx,
                         AprilView* out) {
@@ -62,12 +69,39 @@ bool Pipeline::AprilFor(const DatasetView& view, uint32_t idx,
   return true;
 }
 
+const PreparedPolygon& Pipeline::PreparedFor(PreparedCache* cache,
+                                             const DatasetView& view,
+                                             uint32_t idx,
+                                             PreparedPolygon* scratch) {
+  const Polygon& poly = (*view.objects)[idx].geometry;
+  if (options_.prepared_cache_bytes == 0) {
+    // Caching disabled: a lazy one-shot wrapper — exactly the cold path.
+    *scratch = PreparedPolygon(poly);
+    return *scratch;
+  }
+  if (const PreparedPolygon* hit = cache->Find(idx)) {
+    ++stats_.prepared_hits;
+    return *hit;
+  }
+  ++stats_.prepared_misses;
+  ScopedStageTime timing(options_.time_stages,
+                         &stats_.prepared_build_seconds);
+  PreparedPolygon prepared(poly);
+  prepared.Warm();
+  return *cache->Insert(idx, std::move(prepared),
+                        PreparedPolygon::EstimateBytes(poly));
+}
+
 Relation Pipeline::Refine(uint32_t r_idx, uint32_t s_idx,
                           RelationSet candidates) {
-  ScopedStageTime timing(time_stages_, &stats_.refine_seconds);
+  ScopedStageTime timing(options_.time_stages, &stats_.refine_seconds);
   ++stats_.refined;
-  const Polygon& r = (*r_view_.objects)[r_idx].geometry;
-  const Polygon& s = (*s_view_.objects)[s_idx].geometry;
+  PreparedPolygon r_scratch;
+  PreparedPolygon s_scratch;
+  const PreparedPolygon& r =
+      PreparedFor(&r_prepared_, r_view_, r_idx, &r_scratch);
+  const PreparedPolygon& s =
+      PreparedFor(&s_prepared_, s_view_, s_idx, &s_scratch);
   const de9im::Matrix matrix = de9im::RelateEngine::Relate(r, s);
   return MostSpecificRelation(matrix, candidates);
 }
@@ -82,7 +116,7 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
       // Plain 2-phase: MBR disjointness, then refinement with all masks.
       RelationSet candidates = RelationSet::All();
       {
-        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
         if (!r_mbr.Intersects(s_mbr)) {
           ++stats_.decided_by_mbr;
           return Relation::kDisjoint;
@@ -95,7 +129,7 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
       // masks (Sec. 3.1); the cross case even decides outright.
       BoxRelation boxes;
       {
-        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
         boxes = ClassifyBoxes(r_mbr, s_mbr);
         if (boxes == BoxRelation::kDisjoint) {
           ++stats_.decided_by_mbr;
@@ -115,7 +149,7 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
       BoxRelation boxes;
       RelationSet candidates;
       {
-        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
         boxes = ClassifyBoxes(r_mbr, s_mbr);
         if (boxes == BoxRelation::kDisjoint) {
           ++stats_.decided_by_mbr;
@@ -158,7 +192,7 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
         // to refinement over the MBR-narrowed candidates (OP2-equivalent).
         BoxRelation boxes;
         {
-          ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+          ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
           boxes = ClassifyBoxes(r_mbr, s_mbr);
           if (boxes == BoxRelation::kDisjoint) {
             ++stats_.decided_by_mbr;
@@ -175,7 +209,7 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
       // The paper's Algorithm 1.
       FilterDecision decision;
       {
-        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
         decision = FindRelationFilter(r_mbr, ra, s_mbr, sa);
         if (decision.definite) {
           if (decision.stage == DecisionStage::kMbrFilter) {
@@ -193,10 +227,14 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
 }
 
 bool Pipeline::RefinePredicate(uint32_t r_idx, uint32_t s_idx, Relation p) {
-  ScopedStageTime timing(time_stages_, &stats_.refine_seconds);
+  ScopedStageTime timing(options_.time_stages, &stats_.refine_seconds);
   ++stats_.refined;
-  const Polygon& r = (*r_view_.objects)[r_idx].geometry;
-  const Polygon& s = (*s_view_.objects)[s_idx].geometry;
+  PreparedPolygon r_scratch;
+  PreparedPolygon s_scratch;
+  const PreparedPolygon& r =
+      PreparedFor(&r_prepared_, r_view_, r_idx, &r_scratch);
+  const PreparedPolygon& s =
+      PreparedFor(&s_prepared_, s_view_, s_idx, &s_scratch);
   return RelationHolds(p, de9im::RelateEngine::Relate(r, s));
 }
 
@@ -211,7 +249,7 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
     if (AprilFor(r_view_, r_idx, &ra) && AprilFor(s_view_, s_idx, &sa)) {
       RelateAnswer answer;
       {
-        ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+        ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
         answer = RelatePredicateFilter(p, r_mbr, ra, s_mbr, sa);
       }
       switch (answer) {
@@ -227,7 +265,7 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
     }
     // Degraded mode: fall through to the approximation-free path below.
     {
-      ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+      ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
       if (!r_mbr.Intersects(s_mbr)) {
         ++stats_.decided_by_mbr;
         return p == Relation::kDisjoint;
@@ -240,7 +278,7 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
   // Other methods answer relate_p through their find-relation machinery:
   // the MBR filter handles disjointness, everything else refines.
   {
-    ScopedStageTime timing(time_stages_, &stats_.filter_seconds);
+    ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
     if (!r_mbr.Intersects(s_mbr)) {
       ++stats_.decided_by_mbr;
       return p == Relation::kDisjoint;

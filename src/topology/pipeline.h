@@ -5,9 +5,11 @@
 
 #include "src/de9im/relation.h"
 #include "src/geometry/polygon.h"
+#include "src/geometry/prepared_polygon.h"
 #include "src/raster/april.h"
 #include "src/raster/april_store.h"
 #include "src/topology/find_relation.h"
+#include "src/topology/prepared_cache.h"
 #include "src/util/timer.h"
 
 namespace stj {
@@ -35,6 +37,26 @@ struct DatasetView {
   const AprilStore* store = nullptr;
 };
 
+/// Default per-worker prepared-geometry cache budget. Sized so the working
+/// set of a Hilbert-ordered refinement schedule (the objects of a few
+/// consecutive blocks) stays resident: at the ~96 B/vertex estimate this
+/// holds roughly 300k polygon vertices per worker.
+inline constexpr size_t kDefaultPreparedCacheBytes = size_t{32} << 20;
+
+/// Execution knobs of one Pipeline (one refinement worker).
+struct PipelineOptions {
+  /// Enables per-pair stage timers (small overhead; used by the Fig. 8(b)
+  /// harness, off for pure throughput runs).
+  bool time_stages = false;
+  /// Byte budget of the per-worker PreparedPolygon cache that amortises
+  /// locator/edge-index/representative-point construction across the
+  /// candidate pairs an object participates in. 0 disables caching: every
+  /// refinement builds one-shot prepared wrappers, exactly the pre-cache
+  /// behaviour. The cache is a pure performance layer — results are
+  /// byte-identical for every budget.
+  size_t prepared_cache_bytes = kDefaultPreparedCacheBytes;
+};
+
 /// Per-run pipeline counters and stage timings, the raw material of
 /// Fig. 7(b) (undetermined %) and Fig. 8(b) (stage costs).
 struct PipelineStats {
@@ -48,8 +70,17 @@ struct PipelineStats {
   /// means results are still exact but the intermediate filter was bypassed
   /// for that many pairs.
   uint64_t fallback_refined = 0;
+  /// Prepared-geometry cache telemetry: each refined pair performs two
+  /// lookups (one per side), each counted as a hit (cached PreparedPolygon
+  /// reused) or a miss (built and inserted). Both stay zero when the cache
+  /// is disabled (prepared_cache_bytes == 0).
+  uint64_t prepared_hits = 0;
+  uint64_t prepared_misses = 0;
   double filter_seconds = 0.0;  ///< MBR + intermediate filter time.
   double refine_seconds = 0.0;  ///< DE-9IM computation + mask matching time.
+  /// Time spent building PreparedPolygon indexes on cache misses — a subset
+  /// of refine_seconds. Only filled when time_stages is on.
+  double prepared_build_seconds = 0.0;
 
   double UndeterminedPercent() const {
     return pairs == 0 ? 0.0
@@ -64,7 +95,13 @@ struct PipelineStats {
 /// The pipeline owns no data; it references the two datasets of a join
 /// scenario. Refinement computes the DE-9IM matrix with the from-scratch
 /// relate engine and matches it against the masks of the surviving candidate
-/// relations in specific-to-general order.
+/// relations in specific-to-general order. Per-object refinement indexes
+/// (locator, edge index, representative point) are served from two bounded
+/// per-worker PreparedPolygon caches, so objects that participate in many
+/// candidate pairs — which the Hilbert-ordered parallel schedule keeps
+/// adjacent — pay index construction once instead of once per pair. The
+/// cache changes no result: every path funnels into the same prepared
+/// relate body.
 ///
 /// Degraded mode: when a pair's APRIL approximation is missing (no vector,
 /// short vector) or flagged corrupt by the I/O layer (usable == false), the
@@ -73,10 +110,13 @@ struct PipelineStats {
 /// counted in PipelineStats::fallback_refined.
 class Pipeline {
  public:
-  /// \p time_stages enables per-pair stage timers (small overhead; used by
-  /// the Fig. 8(b) harness, off for pure throughput runs).
+  /// Compatibility constructor: default options apart from \p time_stages
+  /// (the prepared cache is on at its default budget).
   Pipeline(Method method, DatasetView r_view, DatasetView s_view,
            bool time_stages = false);
+
+  Pipeline(Method method, DatasetView r_view, DatasetView s_view,
+           const PipelineOptions& options);
 
   /// The most specific topological relation of pair (r_idx, s_idx).
   de9im::Relation FindRelation(uint32_t r_idx, uint32_t s_idx);
@@ -96,6 +136,14 @@ class Pipeline {
                          de9im::RelationSet candidates);
   bool RefinePredicate(uint32_t r_idx, uint32_t s_idx, de9im::Relation p);
 
+  /// The PreparedPolygon for object \p idx of \p view: the cached instance
+  /// when the cache holds it (hit), a freshly built-and-inserted one on a
+  /// miss, or a lazy one-shot wrapper placed in \p scratch when caching is
+  /// disabled. The reference is valid for the current pair only.
+  const PreparedPolygon& PreparedFor(PreparedCache* cache,
+                                     const DatasetView& view, uint32_t idx,
+                                     PreparedPolygon* scratch);
+
   /// Fetches the approximation view for \p idx into \p out and returns true,
   /// or returns false when it is missing (no storage, index past its end) or
   /// flagged corrupt — the degraded-mode signal that the pair must fall back
@@ -106,7 +154,11 @@ class Pipeline {
   Method method_;
   DatasetView r_view_;
   DatasetView s_view_;
-  bool time_stages_;
+  PipelineOptions options_;
+  /// Per-side prepared caches (an object index means different things on
+  /// the two sides, hence two maps; each side's key space is dense).
+  PreparedCache r_prepared_;
+  PreparedCache s_prepared_;
   PipelineStats stats_;
 };
 

@@ -1,0 +1,144 @@
+#include "src/topology/prepared_cache.h"
+
+#include <utility>
+
+namespace stj {
+
+namespace {
+/// Initial table capacity (power of two) and the load factor that triggers
+/// growth. The budget bounds the entry count, so the table stops growing
+/// once it can hold the working set at this load.
+constexpr size_t kInitialSlots = 64;
+constexpr size_t kLoadNumerator = 7;    // grow above 7/10 load
+constexpr size_t kLoadDenominator = 10;
+}  // namespace
+
+size_t PreparedCache::FindSlot(uint32_t key) const {
+  const size_t mask = table_.size() - 1;
+  size_t slot = HomeSlot(key);
+  while (table_[slot] != kNil && pool_[table_[slot]]->key != key) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+const PreparedPolygon* PreparedCache::Find(uint32_t key) {
+  if (size_ == 0) return nullptr;
+  const size_t slot = FindSlot(key);
+  if (table_[slot] == kNil) return nullptr;
+  const uint32_t handle = table_[slot];
+  if (handle != lru_head_) {
+    Unlink(handle);
+    PushFront(handle);
+  }
+  return &pool_[handle]->prepared;
+}
+
+const PreparedPolygon* PreparedCache::Insert(uint32_t key,
+                                             PreparedPolygon prepared,
+                                             size_t bytes) {
+  if (table_.empty()) table_.assign(kInitialSlots, kNil);
+  if ((size_ + 1) * kLoadDenominator > table_.size() * kLoadNumerator) {
+    GrowTable();
+  }
+
+  uint32_t handle;
+  if (!free_.empty()) {
+    handle = free_.back();
+    free_.pop_back();
+    pool_[handle] = std::make_unique<Entry>();
+  } else {
+    handle = static_cast<uint32_t>(pool_.size());
+    pool_.push_back(std::make_unique<Entry>());
+  }
+  Entry& entry = *pool_[handle];
+  entry.key = key;
+  entry.bytes = bytes;
+  entry.prepared = std::move(prepared);
+
+  const size_t slot = FindSlot(key);
+  table_[slot] = handle;
+  PushFront(handle);
+  bytes_ += bytes;
+  ++size_;
+
+  // Evict from the cold end until the budget holds, but always keep the
+  // entry just inserted (it is the LRU head, never the tail while size > 1).
+  while (bytes_ > budget_ && size_ > 1) EvictTail();
+  return &pool_[handle]->prepared;
+}
+
+void PreparedCache::Unlink(uint32_t handle) {
+  Entry& entry = *pool_[handle];
+  if (entry.lru_prev != kNil) {
+    pool_[entry.lru_prev]->lru_next = entry.lru_next;
+  } else {
+    lru_head_ = entry.lru_next;
+  }
+  if (entry.lru_next != kNil) {
+    pool_[entry.lru_next]->lru_prev = entry.lru_prev;
+  } else {
+    lru_tail_ = entry.lru_prev;
+  }
+  entry.lru_prev = kNil;
+  entry.lru_next = kNil;
+}
+
+void PreparedCache::PushFront(uint32_t handle) {
+  Entry& entry = *pool_[handle];
+  entry.lru_prev = kNil;
+  entry.lru_next = lru_head_;
+  if (lru_head_ != kNil) pool_[lru_head_]->lru_prev = handle;
+  lru_head_ = handle;
+  if (lru_tail_ == kNil) lru_tail_ = handle;
+}
+
+void PreparedCache::EvictTail() {
+  const uint32_t handle = lru_tail_;
+  const uint32_t key = pool_[handle]->key;
+  Unlink(handle);
+  EraseSlot(FindSlot(key));
+  bytes_ -= pool_[handle]->bytes;
+  --size_;
+  pool_[handle].reset();  // frees the PreparedPolygon's indexes now
+  free_.push_back(handle);
+}
+
+void PreparedCache::EraseSlot(size_t slot) {
+  const size_t mask = table_.size() - 1;
+  size_t hole = slot;
+  size_t probe = slot;
+  for (;;) {
+    table_[hole] = kNil;
+    for (;;) {
+      probe = (probe + 1) & mask;
+      if (table_[probe] == kNil) return;
+      const size_t home = HomeSlot(pool_[table_[probe]]->key);
+      // Move the entry at `probe` into the hole iff its home slot is not
+      // cyclically within (hole, probe] — i.e. the hole interrupted its
+      // probe sequence.
+      const bool movable = (probe > hole)
+                               ? (home <= hole || home > probe)
+                               : (home <= hole && home > probe);
+      if (movable) {
+        table_[hole] = table_[probe];
+        hole = probe;
+        break;
+      }
+    }
+  }
+}
+
+void PreparedCache::GrowTable() {
+  std::vector<uint32_t> old = std::move(table_);
+  table_.assign(old.size() * 2, kNil);
+  const size_t mask = table_.size() - 1;
+  for (const uint32_t handle : old) {
+    if (handle == kNil) continue;
+    size_t slot = HomeSlot(pool_[handle]->key);
+    while (table_[slot] != kNil) slot = (slot + 1) & mask;
+    table_[slot] = handle;
+  }
+}
+
+}  // namespace stj

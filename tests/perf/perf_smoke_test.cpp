@@ -55,6 +55,34 @@ TEST_F(PerfSmoke, ParallelFindRelationMatchesSingleThread) {
   EXPECT_EQ(serial.stats.refined, parallel.stats.refined);
 }
 
+TEST_F(PerfSmoke, PreparedCacheMatchesUncachedRefinement) {
+  // The prepared-geometry cache is a refinement-only perf layer; this pins
+  // its no-result-change contract under the sanitizer presets (asan/ubsan
+  // see the open-addressed table, LRU relinking, and eviction churn; the
+  // 1-byte budget maximises that churn).
+  ASSERT_FALSE(scenario_.candidates.empty());
+  const JoinOptions uncached{.num_threads = 1,
+                             .time_stages = false,
+                             .prepared_cache_bytes = 0};
+  const ParallelJoinResult reference = ParallelFindRelation(
+      Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,
+      uncached);
+  for (const size_t budget : {size_t{1}, kDefaultPreparedCacheBytes}) {
+    for (const unsigned threads : {1u, 4u}) {
+      const JoinOptions cached{.num_threads = threads,
+                               .time_stages = false,
+                               .prepared_cache_bytes = budget};
+      const ParallelJoinResult run = ParallelFindRelation(
+          Method::kPC, scenario_.RView(), scenario_.SView(),
+          scenario_.candidates, cached);
+      EXPECT_EQ(run.relations, reference.relations)
+          << "budget=" << budget << " threads=" << threads;
+      EXPECT_EQ(run.stats.refined, reference.stats.refined)
+          << "budget=" << budget << " threads=" << threads;
+    }
+  }
+}
+
 TEST_F(PerfSmoke, ParallelRelateMatchesSingleThread) {
   const ParallelRelateResult serial = ParallelRelate(
       Method::kPC, scenario_.RView(), scenario_.SView(), scenario_.candidates,

@@ -1,33 +1,42 @@
 #!/usr/bin/env bash
-# Produces the checked-in BENCH_PR3.json at the repo root: a Release build,
-# then two harness runs whose record arrays are merged and validated —
+# Produces the checked-in BENCH_*.json files at the repo root: a Release
+# build, then three harness runs whose record arrays are validated —
 #
 #   bench_parallel_scaling  thread sweep of the MBR filter and P+C
 #                           find-relation on OLE-OPE (as in BENCH_PR2);
+#                           merged with bench_april_build into BENCH_PR3.json
 #   bench_april_build       APRIL preprocessing throughput, per-cell oracle
 #                           vs run-based Hilbert interval construction, at
-#                           grid order 16 on the TW blob dataset.
+#                           grid order 16 on the TW blob dataset
+#   bench_prepared_cache    prepared-geometry cache on/off find-relation
+#                           refinement on the TC-TZ nested tessellation at
+#                           1/2/4 threads -> BENCH_PR4.json
 #
-# Extra arguments are forwarded to BOTH bench binaries, e.g.:
+# Extra arguments are forwarded to the PR3 bench binaries, e.g.:
 #
 #   tools/bench_json.sh                     # default sweeps, default scale
 #   tools/bench_json.sh --threads=1,2,4,8   # fixed thread sweep
 #
+# (bench_prepared_cache always runs its fixed 1,2,4 thread sweep: the PR4
+# acceptance check below needs the 1- and 4-thread records.)
+#
 # EXPERIMENTS.md explains how to read the numbers (and on what hardware the
-# committed file was produced).
+# committed files were produced).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="BENCH_PR3.json"
+PREPARED_OUT_FINAL="BENCH_PR4.json"
 SCALING_OUT="$(mktemp)"
 APRIL_OUT="$(mktemp)"
-trap 'rm -f "$SCALING_OUT" "$APRIL_OUT"' EXIT
+PREPARED_OUT="$(mktemp)"
+trap 'rm -f "$SCALING_OUT" "$APRIL_OUT" "$PREPARED_OUT"' EXIT
 
 echo "==== configure + build (Release) ===="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$(nproc)" --target bench_parallel_scaling \
-  bench_april_build
+  bench_april_build bench_prepared_cache
 
 echo "==== run bench_parallel_scaling ===="
 build/bench/bench_parallel_scaling --json="$SCALING_OUT" "$@"
@@ -82,4 +91,45 @@ print(f'{len(records)} records OK ({sorted(stages)} + april_build '
       f'{sorted(modes)}, run-based construction speedup {speedup:.1f}x)')
 PY
 
-echo "bench_json: wrote and validated $OUT"
+echo "==== run bench_prepared_cache (TC-TZ, threads 1/2/4) ===="
+build/bench/bench_prepared_cache --threads=1,2,4 --json="$PREPARED_OUT"
+
+echo "==== validate $PREPARED_OUT_FINAL ===="
+python3 - "$PREPARED_OUT" "$PREPARED_OUT_FINAL" <<'PY'
+import json, sys
+
+records = json.load(open(sys.argv[1]))
+assert isinstance(records, list) and records, 'empty report'
+
+required = {'bench', 'stage', 'scenario', 'method', 'threads', 'cache',
+            'seconds', 'pairs', 'pairs_per_sec', 'refined',
+            'refined_per_sec', 'speedup_vs_off', 'prepared_cache_mb',
+            'prepared_hits', 'prepared_misses', 'prepared_hit_rate'}
+for r in records:
+    missing = required - set(r)
+    assert not missing, f'record missing {missing}: {r}'
+    assert r['bench'] == 'prepared_cache' and r['stage'] == 'find_relation', r
+
+by_key = {(r['threads'], r['cache']): r for r in records}
+assert set(by_key) >= {(t, c) for t in (1, 2, 4) for c in ('off', 'on')}, \
+    f'missing (threads, cache) combinations: {sorted(by_key)}'
+
+# The acceptance number: cache-on refinement throughput (refined pairs/s)
+# must be >= 2x cache-off on the TC-TZ tessellation at 1 and 4 threads.
+speedups = {}
+for t in (1, 4):
+    off = by_key[(t, 'off')]['refined_per_sec']
+    on = by_key[(t, 'on')]['refined_per_sec']
+    assert off > 0, f'zero cache-off throughput at {t} threads'
+    speedups[t] = on / off
+    assert speedups[t] >= 2.0, \
+        f'prepared-cache speedup {speedups[t]:.2f}x < 2x at {t} threads'
+
+with open(sys.argv[2], 'w') as f:
+    json.dump(records, f, indent=1)
+    f.write('\n')
+print(f'{len(records)} records OK (prepared-cache refinement speedup '
+      + ', '.join(f'{t}T {s:.1f}x' for t, s in sorted(speedups.items())) + ')')
+PY
+
+echo "bench_json: wrote and validated $OUT and $PREPARED_OUT_FINAL"
