@@ -23,6 +23,4 @@ bool FromChar(char c, Dim* out) {
   }
 }
 
-Dim Max(Dim a, Dim b) { return static_cast<int8_t>(a) >= static_cast<int8_t>(b) ? a : b; }
-
 }  // namespace stj::de9im

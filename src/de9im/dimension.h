@@ -20,6 +20,8 @@ char ToChar(Dim d);
 bool FromChar(char c, Dim* out);
 
 /// The larger of two dimensions (used when merging evidence).
-Dim Max(Dim a, Dim b);
+constexpr Dim Max(Dim a, Dim b) {
+  return static_cast<int8_t>(a) >= static_cast<int8_t>(b) ? a : b;
+}
 
 }  // namespace stj::de9im

@@ -9,33 +9,6 @@ static_assert(Mask::Parse("T*F**FFF*").has_value());
 static_assert(!Mask::Parse("T*F").has_value());
 static_assert(!Mask::Parse("T*F**F*3*").has_value());
 
-bool Mask::Matches(const Matrix& m) const {
-  for (size_t i = 0; i < 9; ++i) {
-    const Part row = static_cast<Part>(i / 3);
-    const Part col = static_cast<Part>(i % 3);
-    const Dim d = m.At(row, col);
-    switch (cells_[i]) {
-      case Cell::kAny: break;
-      case Cell::kTrue:
-        if (d == Dim::kFalse) return false;
-        break;
-      case Cell::kFalse:
-        if (d != Dim::kFalse) return false;
-        break;
-      case Cell::kDim0:
-        if (d != Dim::k0) return false;
-        break;
-      case Cell::kDim1:
-        if (d != Dim::k1) return false;
-        break;
-      case Cell::kDim2:
-        if (d != Dim::k2) return false;
-        break;
-    }
-  }
-  return true;
-}
-
 std::string Mask::ToString() const {
   std::string out(9, '*');
   for (size_t i = 0; i < 9; ++i) {

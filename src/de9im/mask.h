@@ -51,8 +51,35 @@ class Mask {
     return *mask;
   }
 
-  /// True iff \p m satisfies this pattern.
-  bool Matches(const Matrix& m) const;
+  /// True iff \p m satisfies this pattern. Constexpr so the compile-time
+  /// model checks (model.h / model_check.cpp) can evaluate the shipped mask
+  /// tables against every realizable matrix at build time.
+  constexpr bool Matches(const Matrix& m) const {
+    for (size_t i = 0; i < 9; ++i) {
+      const Part row = static_cast<Part>(i / 3);
+      const Part col = static_cast<Part>(i % 3);
+      const Dim d = m.At(row, col);
+      switch (cells_[i]) {
+        case Cell::kAny: break;
+        case Cell::kTrue:
+          if (d == Dim::kFalse) return false;
+          break;
+        case Cell::kFalse:
+          if (d != Dim::kFalse) return false;
+          break;
+        case Cell::kDim0:
+          if (d != Dim::k0) return false;
+          break;
+        case Cell::kDim1:
+          if (d != Dim::k1) return false;
+          break;
+        case Cell::kDim2:
+          if (d != Dim::k2) return false;
+          break;
+      }
+    }
+    return true;
+  }
 
   /// The original 9-character pattern.
   std::string ToString() const;

@@ -19,14 +19,4 @@ std::optional<Matrix> Matrix::FromString(std::string_view code) {
   return m;
 }
 
-Matrix Matrix::Transposed() const {
-  Matrix t;
-  for (size_t row = 0; row < 3; ++row) {
-    for (size_t col = 0; col < 3; ++col) {
-      t.entries_[col * 3 + row] = entries_[row * 3 + col];
-    }
-  }
-  return t;
-}
-
 }  // namespace stj::de9im

@@ -21,19 +21,20 @@ enum class Part : uint8_t { kInterior = 0, kBoundary = 1, kExterior = 2 };
 /// polygons.
 class Matrix {
  public:
-  /// All entries F.
-  Matrix() { entries_.fill(Dim::kFalse); }
+  /// All entries F. Usable in constant expressions: the compile-time model
+  /// (model.h) builds and inspects matrices entirely at compile time.
+  constexpr Matrix() { entries_.fill(Dim::kFalse); }
 
-  Dim At(Part row, Part col) const {
+  constexpr Dim At(Part row, Part col) const {
     return entries_[static_cast<size_t>(row) * 3 + static_cast<size_t>(col)];
   }
 
-  void Set(Part row, Part col, Dim d) {
+  constexpr void Set(Part row, Part col, Dim d) {
     entries_[static_cast<size_t>(row) * 3 + static_cast<size_t>(col)] = d;
   }
 
   /// Raises entry (row, col) to at least \p d (never lowers).
-  void Merge(Part row, Part col, Dim d) {
+  constexpr void Merge(Part row, Part col, Dim d) {
     Dim& e = entries_[static_cast<size_t>(row) * 3 + static_cast<size_t>(col)];
     e = Max(e, d);
   }
@@ -46,9 +47,17 @@ class Matrix {
   static std::optional<Matrix> FromString(std::string_view code);
 
   /// The matrix of the pair (s, r): rows and columns swapped.
-  Matrix Transposed() const;
+  constexpr Matrix Transposed() const {
+    Matrix t;
+    for (size_t row = 0; row < 3; ++row) {
+      for (size_t col = 0; col < 3; ++col) {
+        t.entries_[col * 3 + row] = entries_[row * 3 + col];
+      }
+    }
+    return t;
+  }
 
-  friend bool operator==(const Matrix& a, const Matrix& b) {
+  friend constexpr bool operator==(const Matrix& a, const Matrix& b) {
     return a.entries_ == b.entries_;
   }
 

@@ -1,0 +1,278 @@
+#pragma once
+
+#include "src/de9im/matrix.h"
+#include "src/de9im/relation.h"
+#include "src/geometry/box.h"
+
+namespace stj::de9im {
+
+/// Compile-time model of DE-9IM matrices for valid areal geometry pairs.
+///
+/// The paper's correctness rests on hand-derived tables: the Table 1 masks,
+/// the Fig. 4 MBR-relationship candidate sets, and the Fig. 5/Fig. 6
+/// decision sequences. This header re-derives all of them from first
+/// principles — the point-set topology of two valid polygons — as constexpr
+/// predicates, and model_check.cpp / topology/static_checks.cpp
+/// static_assert the shipped tables against these derivations over every
+/// realizable matrix. A corrupted table bit becomes a compile error instead
+/// of a silently wrong join (see the tripwire in relation_masks.h).
+///
+/// "Realizable" means: achievable as the DE-9IM matrix of two valid
+/// polygons, i.e. non-empty regular closed 2-D sets r, s in the plane, with
+/// I/B/E the interior, boundary (a 1-D curve arrangement), and exterior.
+/// The constraints below are each justified by a short topological argument;
+/// the runtime differential test (tests/de9im/mask_consistency_test.cpp)
+/// additionally checks that every matrix the RelateEngine produces on a
+/// generated corpus satisfies them.
+
+/// Dimension domains and structural constraints of a realizable matrix:
+///
+///  D1. II, IE, EI in {F, 2}: the intersection of an open 2-D set with an
+///      open set (interior or exterior) is open, so non-empty => 2-D.
+///  D2. IB, BI, BE, EB in {F, 1}: a polygon boundary is a curve arrangement;
+///      its intersection with an open set is open *in the curve*, so
+///      non-empty => 1-D. BB in {F, 0, 1} (boundaries can cross in points or
+///      share segments). EE = 2 always (the plane minus two compact sets).
+///  R1. II=2 or IE=2: I_r is non-empty, open, 2-D; it cannot be covered by
+///      the 1-D set B_s, so it meets I_s or E_s.
+///  R2. II=2 or EI=2: mirror of R1.
+///  R3. IB=1 => II=2 and IE=2: a boundary point of s inside the open set
+///      I_r has points of I_s and E_s arbitrarily close, all inside I_r.
+///  R4. BI=1 => II=2 and EI=2: mirror of R3.
+///  R5. IE=F => BE=F: I_r inside the closed set s means
+///      closure(I_r) = r (regular) is inside s, so B_r misses E_s.
+///  R6. EI=F => EB=F: mirror of R5.
+///  R7. BI=1 or BB!=F or BE=1: B_r is non-empty and {I,B,E}_s partitions
+///      the plane.
+///  R8. IB=1 or BB!=F or EB=1: mirror of R7.
+///  R9. BI=F and BE=F => BB=1: B_r inside the 1-D set B_s is the whole
+///      non-empty 1-D curve B_r, so the intersection has dimension 1.
+/// R10. IB=F and EB=F => BB=1: mirror of R9.
+constexpr bool IsRealizablePolygonMatrix(const Matrix& m) {
+  const Dim ii = m.At(Part::kInterior, Part::kInterior);
+  const Dim ib = m.At(Part::kInterior, Part::kBoundary);
+  const Dim ie = m.At(Part::kInterior, Part::kExterior);
+  const Dim bi = m.At(Part::kBoundary, Part::kInterior);
+  const Dim bb = m.At(Part::kBoundary, Part::kBoundary);
+  const Dim be = m.At(Part::kBoundary, Part::kExterior);
+  const Dim ei = m.At(Part::kExterior, Part::kInterior);
+  const Dim eb = m.At(Part::kExterior, Part::kBoundary);
+  const Dim ee = m.At(Part::kExterior, Part::kExterior);
+  const Dim F = Dim::kFalse;
+
+  // D1/D2: dimension domains.
+  if (ii != F && ii != Dim::k2) return false;
+  if (ie != F && ie != Dim::k2) return false;
+  if (ei != F && ei != Dim::k2) return false;
+  if (ib != F && ib != Dim::k1) return false;
+  if (bi != F && bi != Dim::k1) return false;
+  if (be != F && be != Dim::k1) return false;
+  if (eb != F && eb != Dim::k1) return false;
+  if (bb != F && bb != Dim::k0 && bb != Dim::k1) return false;
+  if (ee != Dim::k2) return false;
+
+  if (ii == F && ie == F) return false;                     // R1
+  if (ii == F && ei == F) return false;                     // R2
+  if (ib != F && (ii == F || ie == F)) return false;        // R3
+  if (bi != F && (ii == F || ei == F)) return false;        // R4
+  if (ie == F && be != F) return false;                     // R5
+  if (ei == F && eb != F) return false;                     // R6
+  if (bi == F && bb == F && be == F) return false;          // R7
+  if (ib == F && bb == F && eb == F) return false;          // R8
+  if (bi == F && be == F && bb != Dim::k1) return false;    // R9
+  if (ib == F && eb == F && bb != Dim::k1) return false;    // R10
+  return true;
+}
+
+/// First-principles definition of each relation as a set-topology statement
+/// about the matrix — independent of the Table 1 mask encodings, which
+/// model_check.cpp proves equivalent over the realizable matrices:
+///
+///  - intersects: the closed sets share a point, i.e. some cell of the
+///    upper-left 2x2 block (II, IB, BI, BB) is non-empty.
+///  - disjoint: not intersects.
+///  - covered by (r in s as closed sets): no part of r in E_s, i.e. IE=F
+///    and BE=F. covers is the mirror (EI=F and EB=F).
+///  - equals: both containments, i.e. IE=BE=EI=EB=F.
+///  - inside / contains: the boundary-contact-free specialisations
+///    (covered by / covers with BB=F) — the repo's Fig. 1(a)/Fig. 2 reading,
+///    see the comment in relation.cpp.
+///  - meets: interiors disjoint but the sets touch: II=F and intersects.
+constexpr bool ModelHolds(Relation rel, const Matrix& m) {
+  const Dim F = Dim::kFalse;
+  const bool intersects = m.At(Part::kInterior, Part::kInterior) != F ||
+                          m.At(Part::kInterior, Part::kBoundary) != F ||
+                          m.At(Part::kBoundary, Part::kInterior) != F ||
+                          m.At(Part::kBoundary, Part::kBoundary) != F;
+  const bool r_in_s = m.At(Part::kInterior, Part::kExterior) == F &&
+                      m.At(Part::kBoundary, Part::kExterior) == F;
+  const bool s_in_r = m.At(Part::kExterior, Part::kInterior) == F &&
+                      m.At(Part::kExterior, Part::kBoundary) == F;
+  const bool boundary_free = m.At(Part::kBoundary, Part::kBoundary) == F;
+  switch (rel) {
+    case Relation::kIntersects: return intersects;
+    case Relation::kDisjoint: return !intersects;
+    case Relation::kCoveredBy: return r_in_s;
+    case Relation::kCovers: return s_in_r;
+    case Relation::kEquals: return r_in_s && s_in_r;
+    case Relation::kInside: return r_in_s && boundary_free;
+    case Relation::kContains: return s_in_r && boundary_free;
+    case Relation::kMeets:
+      return m.At(Part::kInterior, Part::kInterior) == F && intersects;
+  }
+  return false;
+}
+
+/// The Fig. 2 implication lattice: every relation that necessarily holds
+/// whenever \p rel is the most specific one. model_check.cpp proves, for
+/// every realizable matrix, that the set of relations holding is exactly the
+/// upward closure of its minimum — i.e. that the enum order of Relation is a
+/// valid most-specific-first linearisation of this lattice.
+constexpr RelationSet UpwardClosure(Relation rel) {
+  switch (rel) {
+    case Relation::kEquals:
+      return RelationSet{Relation::kEquals, Relation::kCoveredBy,
+                         Relation::kCovers, Relation::kIntersects};
+    case Relation::kInside:
+      return RelationSet{Relation::kInside, Relation::kCoveredBy,
+                         Relation::kIntersects};
+    case Relation::kContains:
+      return RelationSet{Relation::kContains, Relation::kCovers,
+                         Relation::kIntersects};
+    case Relation::kCoveredBy:
+      return RelationSet{Relation::kCoveredBy, Relation::kIntersects};
+    case Relation::kCovers:
+      return RelationSet{Relation::kCovers, Relation::kIntersects};
+    case Relation::kMeets:
+      return RelationSet{Relation::kMeets, Relation::kIntersects};
+    case Relation::kIntersects:
+      return RelationSet{Relation::kIntersects};
+    case Relation::kDisjoint:
+      return RelationSet{Relation::kDisjoint};
+  }
+  return RelationSet{};
+}
+
+/// The relations whose being most-specific implies predicate \p p holds at
+/// mask level — the down-set of p in the lattice. Used to derive the
+/// relate_p fast-path feasibility table (topology/relate_tables.h).
+constexpr RelationSet ImplicantsOf(Relation p) {
+  RelationSet implicants;
+  for (int i = 0; i < kNumRelations; ++i) {
+    const Relation rel = static_cast<Relation>(i);
+    if (UpwardClosure(rel).Contains(p)) implicants.Add(rel);
+  }
+  return implicants;
+}
+
+/// Enumerates every realizable matrix and calls check(matrix); returns false
+/// as soon as a check fails. The loop bounds are the D1/D2 domains; the
+/// callee-visible set is further narrowed by IsRealizablePolygonMatrix.
+template <typename Check>
+constexpr bool AllRealizableMatrices(const Check& check) {
+  constexpr Dim kAreal[] = {Dim::kFalse, Dim::k2};
+  constexpr Dim kLineal[] = {Dim::kFalse, Dim::k1};
+  constexpr Dim kBoundary[] = {Dim::kFalse, Dim::k0, Dim::k1};
+  for (Dim ii : kAreal) {
+    for (Dim ib : kLineal) {
+      for (Dim ie : kAreal) {
+        for (Dim bi : kLineal) {
+          for (Dim bb : kBoundary) {
+            for (Dim be : kLineal) {
+              for (Dim ei : kAreal) {
+                for (Dim eb : kLineal) {
+                  Matrix m;
+                  m.Set(Part::kInterior, Part::kInterior, ii);
+                  m.Set(Part::kInterior, Part::kBoundary, ib);
+                  m.Set(Part::kInterior, Part::kExterior, ie);
+                  m.Set(Part::kBoundary, Part::kInterior, bi);
+                  m.Set(Part::kBoundary, Part::kBoundary, bb);
+                  m.Set(Part::kBoundary, Part::kExterior, be);
+                  m.Set(Part::kExterior, Part::kInterior, ei);
+                  m.Set(Part::kExterior, Part::kBoundary, eb);
+                  m.Set(Part::kExterior, Part::kExterior, Dim::k2);
+                  if (!IsRealizablePolygonMatrix(m)) continue;
+                  if (!check(m)) return false;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Number of realizable matrices (pinned by a static_assert so a constraint
+/// change is a conscious, reviewed decision).
+constexpr int CountRealizableMatrices() {
+  int count = 0;
+  AllRealizableMatrices([&count](const Matrix&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+/// First-principles Fig. 4 facts: can \p rel be the most specific relation
+/// of a pair whose MBRs relate as \p boxes? Each case is a short geometric
+/// argument about MBRs, proved in the comments; topology/static_checks.cpp
+/// asserts the shipped MbrCandidates table equals this predicate exactly.
+constexpr bool MbrPossible(BoxRelation boxes, Relation rel) {
+  switch (boxes) {
+    case BoxRelation::kDisjoint:
+      // Disjoint MBRs separate the objects.
+      return rel == Relation::kDisjoint;
+    case BoxRelation::kEqual:
+      // Fig. 4(c). Impossible:
+      //  - inside/contains: if closure(r) were in the open set I_s, any
+      //    point of r on the shared MBR boundary would need a
+      //    neighbourhood inside I_s, which exits the MBR that contains s.
+      //  - disjoint: both objects touch all four sides of the common MBR,
+      //    so r connects left-right and s connects top-bottom; two compact
+      //    connected sets doing that inside one rectangle must meet (the
+      //    Hex/crossing lemma).
+      return rel == Relation::kEquals || rel == Relation::kCoveredBy ||
+             rel == Relation::kCovers || rel == Relation::kMeets ||
+             rel == Relation::kIntersects;
+    case BoxRelation::kRInsideS:
+      // Fig. 4(a): MBR(r) strictly inside MBR(s), so r cannot equal,
+      // contain, or cover s (any of those needs MBR(s) inside MBR(r)).
+      return rel == Relation::kDisjoint || rel == Relation::kInside ||
+             rel == Relation::kCoveredBy || rel == Relation::kMeets ||
+             rel == Relation::kIntersects;
+    case BoxRelation::kSInsideR:
+      // Fig. 4(b): mirror of kRInsideS.
+      return rel == Relation::kDisjoint || rel == Relation::kContains ||
+             rel == Relation::kCovers || rel == Relation::kMeets ||
+             rel == Relation::kIntersects;
+    case BoxRelation::kCross:
+      // Fig. 4(d): r spans the full x-extent of the MBR intersection and s
+      // the full y-extent (or mirrored), so r connects its left-right sides
+      // and s its top-bottom sides: the crossing lemma forces interior
+      // overlap (disjoint/meets impossible), and each MBR sticks out of the
+      // other (equality and containment impossible).
+      return rel == Relation::kIntersects;
+    case BoxRelation::kOverlap:
+      // Fig. 4(e): each MBR sticks out of the other, so equality and
+      // containment in either direction are impossible; nothing else is.
+      return rel == Relation::kDisjoint || rel == Relation::kMeets ||
+             rel == Relation::kIntersects;
+  }
+  return true;
+}
+
+/// The candidate set Fig. 4 permits for an MBR case, derived from
+/// MbrPossible (NOT from the shipped table — static_checks.cpp compares the
+/// two).
+constexpr RelationSet MbrPossibleSet(BoxRelation boxes) {
+  RelationSet possible;
+  for (int i = 0; i < kNumRelations; ++i) {
+    const Relation rel = static_cast<Relation>(i);
+    if (MbrPossible(boxes, rel)) possible.Add(rel);
+  }
+  return possible;
+}
+
+}  // namespace stj::de9im

@@ -1,0 +1,123 @@
+// Compile-time proof that the shipped Table 1 mask tables agree with the
+// first-principles relation model (model.h) on every realizable polygon-pair
+// matrix. This translation unit emits no code: it exists so that a corrupted
+// mask bit, a reordered Relation enum, or a botched edit to the tables fails
+// the build instead of silently changing join answers. It is deliberately
+// self-contained below the topology layer (the Fig. 4/Fig. 5 table checks
+// live in src/topology/static_checks.cpp) and is also compiled standalone by
+// `tools/lint.sh --self-test` with -DSTJ_MODEL_CORRUPT_BIT to demonstrate
+// the tripwire in relation_masks.h.
+
+#include "src/de9im/matrix.h"
+#include "src/de9im/model.h"
+#include "src/de9im/relation.h"
+#include "src/de9im/relation_masks.h"
+
+namespace stj::de9im {
+namespace {
+
+// The realizability constraints admit exactly 53 matrices. Pinning the count
+// makes any change to the D/R constraints in model.h a conscious, reviewed
+// decision: loosening them silently would weaken every check below.
+static_assert(CountRealizableMatrices() == 53,
+              "realizable-matrix enumeration changed; re-derive the model");
+
+// Non-vacuity: every relation is the most specific one for at least one
+// realizable matrix. Without this, an over-constrained model would make the
+// equivalence checks below pass trivially.
+constexpr bool EveryRelationRealized() {
+  for (int i = 0; i < kNumRelations; ++i) {
+    const Relation rel = static_cast<Relation>(i);
+    bool found = false;
+    AllRealizableMatrices([&](const Matrix& m) {
+      if (MostSpecificRelationCx(m, RelationSet::All()) == rel) found = true;
+      return !found;  // stop early once witnessed
+    });
+    if (!found) return false;
+  }
+  return true;
+}
+static_assert(EveryRelationRealized(),
+              "some relation is unreachable under the model constraints");
+
+// Core equivalence: for every realizable matrix and every relation, the
+// shipped mask table answers exactly as the set-topology definition does.
+// This is the check the STJ_MODEL_CORRUPT_BIT tripwire trips.
+constexpr bool MasksMatchModel() {
+  return AllRealizableMatrices([](const Matrix& m) {
+    for (int i = 0; i < kNumRelations; ++i) {
+      const Relation rel = static_cast<Relation>(i);
+      if (RelationHoldsCx(rel, m) != ModelHolds(rel, m)) return false;
+    }
+    return true;
+  });
+}
+static_assert(MasksMatchModel(),
+              "a Table 1 mask disagrees with the first-principles relation "
+              "model (see src/de9im/model.h)");
+
+// Lattice soundness and most-specific ordering: on every realizable matrix,
+// the set of relations that hold is exactly the upward closure (Fig. 2) of
+// the minimum-enum relation that holds — so (a) the declared implication
+// lattice is correct, (b) relations are mutually exclusive modulo that
+// lattice, and (c) scanning candidates in enum order really does return the
+// most specific holding relation.
+constexpr bool LatticeMatchesMasks() {
+  return AllRealizableMatrices([](const Matrix& m) {
+    RelationSet holding;
+    for (int i = 0; i < kNumRelations; ++i) {
+      const Relation rel = static_cast<Relation>(i);
+      if (RelationHoldsCx(rel, m)) holding.Add(rel);
+    }
+    const Relation most_specific =
+        MostSpecificRelationCx(m, RelationSet::All());
+    if (!holding.Contains(most_specific)) return false;
+    return holding == UpwardClosure(most_specific);
+  });
+}
+static_assert(LatticeMatchesMasks(),
+              "the holding-relation sets do not form the Fig. 2 implication "
+              "lattice under enum (most-specific-first) order");
+
+// Exactly one of intersects/disjoint holds on every realizable matrix, and
+// the runtime fallback in MostSpecificRelationCx (used when candidate
+// narrowing was wrong) therefore always has a valid answer.
+constexpr bool IntersectsDisjointPartition() {
+  return AllRealizableMatrices([](const Matrix& m) {
+    return RelationHoldsCx(Relation::kIntersects, m) !=
+           RelationHoldsCx(Relation::kDisjoint, m);
+  });
+}
+static_assert(IntersectsDisjointPartition(),
+              "intersects/disjoint must partition the realizable matrices");
+
+// Converse duality: transposing the matrix swaps the roles of r and s, so
+// rel holds on M iff Converse-at-compile-time holds on M^T. Checked
+// structurally here (inside<->contains, covered-by<->covers, rest
+// self-converse) against the mask tables.
+constexpr Relation ConverseCx(Relation rel) {
+  switch (rel) {
+    case Relation::kInside: return Relation::kContains;
+    case Relation::kContains: return Relation::kInside;
+    case Relation::kCoveredBy: return Relation::kCovers;
+    case Relation::kCovers: return Relation::kCoveredBy;
+    default: return rel;
+  }
+}
+constexpr bool ConverseMatchesTranspose() {
+  return AllRealizableMatrices([](const Matrix& m) {
+    const Matrix t = m.Transposed();
+    for (int i = 0; i < kNumRelations; ++i) {
+      const Relation rel = static_cast<Relation>(i);
+      if (RelationHoldsCx(rel, m) != RelationHoldsCx(ConverseCx(rel), t))
+        return false;
+    }
+    return true;
+  });
+}
+static_assert(ConverseMatchesTranspose(),
+              "Converse() disagrees with matrix transposition on the mask "
+              "tables");
+
+}  // namespace
+}  // namespace stj::de9im

@@ -1,100 +1,35 @@
 #include "src/de9im/relation.h"
 
-#include <array>
-#include <vector>
+#include "src/de9im/relation_masks.h"
 
 namespace stj::de9im {
 
-namespace {
+// Table 1 of the paper lives in relation_masks.h as constexpr arrays — the
+// runtime accessors below serve those same arrays, and model_check.cpp
+// proves them equivalent to the first-principles definitions at compile
+// time. Note that `contains`/`inside` do not use the OGC within/contains
+// masks (T*F**F*** / T*****FF*): those also match covered-by/covers pairs
+// whose boundaries touch, which would contradict the paper's own Fig. 2
+// hierarchy (inside strictly inside covered-by) and its IFEquals filter
+// (which reports `covered by` for MBR-equal pairs — pairs for which strict
+// inside is impossible). We therefore add the strictness condition BB = F,
+// making inside/contains the boundary-contact-free specialisations of
+// covered by/covers, exactly as Fig. 1(a) depicts them.
 
-// Table 1 of the paper. Note that `contains`/`inside` use the first mask of
-// `covers`/`covered by`: the OGC definitions include boundary-coincident
-// containment; specific-to-general ordering resolves the overlap.
-const std::vector<Mask>& DisjointMasks() {
-  static const std::vector<Mask> kMasks = {Mask::FromLiteral("FF*FF****")};
-  return kMasks;
-}
-const std::vector<Mask>& IntersectsMasks() {
-  static const std::vector<Mask> kMasks = {
-      Mask::FromLiteral("T********"), Mask::FromLiteral("*T*******"),
-      Mask::FromLiteral("***T*****"), Mask::FromLiteral("****T****")};
-  return kMasks;
-}
-const std::vector<Mask>& CoversMasks() {
-  static const std::vector<Mask> kMasks = {
-      Mask::FromLiteral("T*****FF*"), Mask::FromLiteral("*T****FF*"),
-      Mask::FromLiteral("***T**FF*"), Mask::FromLiteral("****T*FF*")};
-  return kMasks;
-}
-const std::vector<Mask>& CoveredByMasks() {
-  static const std::vector<Mask> kMasks = {
-      Mask::FromLiteral("T*F**F***"), Mask::FromLiteral("*TF**F***"),
-      Mask::FromLiteral("**FT*F***"), Mask::FromLiteral("**F*TF***")};
-  return kMasks;
-}
-const std::vector<Mask>& EqualsMasks() {
-  static const std::vector<Mask> kMasks = {Mask::FromLiteral("T*F**FFF*")};
-  return kMasks;
-}
-// `inside` / `contains` masks: Table 1 prints the OGC within/contains masks
-// (T*F**F*** / T*****FF*), but those also match covered-by/covers pairs whose
-// boundaries touch, which would contradict the paper's own Fig. 2 hierarchy
-// (inside strictly inside covered-by) and its IFEquals filter (which reports
-// `covered by` for MBR-equal pairs — pairs for which strict inside is
-// impossible). We therefore add the strictness condition BB = F, making
-// inside/contains the boundary-contact-free specialisations of covered
-// by/covers, exactly as Fig. 1(a) depicts them.
-const std::vector<Mask>& ContainsMasks() {
-  static const std::vector<Mask> kMasks = {Mask::FromLiteral("T***F*FF*")};
-  return kMasks;
-}
-const std::vector<Mask>& InsideMasks() {
-  static const std::vector<Mask> kMasks = {Mask::FromLiteral("T*F*FF***")};
-  return kMasks;
-}
-const std::vector<Mask>& MeetsMasks() {
-  static const std::vector<Mask> kMasks = {Mask::FromLiteral("FT*******"),
-                                           Mask::FromLiteral("F**T*****"),
-                                           Mask::FromLiteral("F***T****")};
-  return kMasks;
-}
-
-}  // namespace
-
-std::span<const Mask> MasksOf(Relation rel) {
-  switch (rel) {
-    case Relation::kDisjoint: return DisjointMasks();
-    case Relation::kIntersects: return IntersectsMasks();
-    case Relation::kCovers: return CoversMasks();
-    case Relation::kCoveredBy: return CoveredByMasks();
-    case Relation::kEquals: return EqualsMasks();
-    case Relation::kContains: return ContainsMasks();
-    case Relation::kInside: return InsideMasks();
-    case Relation::kMeets: return MeetsMasks();
-  }
-  return {};
-}
+std::span<const Mask> MasksOf(Relation rel) { return MasksOfCx(rel); }
 
 bool RelationHolds(Relation rel, const Matrix& m) {
-  for (const Mask& mask : MasksOf(rel)) {
-    if (mask.Matches(m)) return true;
-  }
-  return false;
+  return RelationHoldsCx(rel, m);
 }
 
 Relation MostSpecificRelation(const Matrix& m, RelationSet candidates) {
-  for (int i = 0; i < kNumRelations; ++i) {
-    const Relation rel = static_cast<Relation>(i);
-    if (candidates.Contains(rel) && RelationHolds(rel, m)) return rel;
-  }
   // Candidate narrowing should always keep the true relation; the fallback
-  // below keeps the result total regardless.
-  return RelationHolds(Relation::kIntersects, m) ? Relation::kIntersects
-                                                 : Relation::kDisjoint;
+  // inside MostSpecificRelationCx keeps the result total regardless.
+  return MostSpecificRelationCx(m, candidates);
 }
 
 Relation MostSpecificRelation(const Matrix& m) {
-  return MostSpecificRelation(m, RelationSet::All());
+  return MostSpecificRelationCx(m, RelationSet::All());
 }
 
 const char* ToString(Relation rel) {

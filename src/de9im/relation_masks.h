@@ -1,0 +1,99 @@
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "src/de9im/relation.h"
+
+namespace stj::de9im {
+
+/// The shipped DE-9IM mask tables of Table 1 — the single source of truth.
+///
+/// These arrays are what the runtime mask matcher (relation.cpp) serves
+/// through MasksOf() AND what the compile-time model checker
+/// (de9im/model_check.cpp) proves equivalent to the first-principles
+/// relation definitions of model.h over every realizable polygon-pair
+/// matrix. A typo in any pattern is therefore a *compile error*, not a
+/// silently changed join semantics: either the consteval FromLiteral rejects
+/// the literal, or the model equivalence static_asserts fail.
+///
+/// Note `contains`/`inside` are the boundary-contact-free specialisations of
+/// `covers`/`covered by` (extra BB = F condition versus the OGC masks); see
+/// the derivation comment in relation.cpp and DESIGN.md §11.
+
+// Corruption tripwire (negative compile check): building with
+// -DSTJ_MODEL_CORRUPT_BIT flips one cell of the equals mask (EB: F -> T).
+// The model-equivalence static_asserts in model_check.cpp then fail the
+// build — `tools/lint.sh --self-test` compiles model_check.cpp both ways and
+// requires exactly that outcome, demonstrating that a corrupted mask bit
+// cannot survive to runtime.
+#ifdef STJ_MODEL_CORRUPT_BIT
+inline constexpr std::array<Mask, 1> kEqualsMasks = {
+    Mask::FromLiteral("T*F**FFT*")};
+#else
+inline constexpr std::array<Mask, 1> kEqualsMasks = {
+    Mask::FromLiteral("T*F**FFF*")};
+#endif
+
+inline constexpr std::array<Mask, 1> kDisjointMasks = {
+    Mask::FromLiteral("FF*FF****")};
+
+inline constexpr std::array<Mask, 4> kIntersectsMasks = {
+    Mask::FromLiteral("T********"), Mask::FromLiteral("*T*******"),
+    Mask::FromLiteral("***T*****"), Mask::FromLiteral("****T****")};
+
+inline constexpr std::array<Mask, 4> kCoversMasks = {
+    Mask::FromLiteral("T*****FF*"), Mask::FromLiteral("*T****FF*"),
+    Mask::FromLiteral("***T**FF*"), Mask::FromLiteral("****T*FF*")};
+
+inline constexpr std::array<Mask, 4> kCoveredByMasks = {
+    Mask::FromLiteral("T*F**F***"), Mask::FromLiteral("*TF**F***"),
+    Mask::FromLiteral("**FT*F***"), Mask::FromLiteral("**F*TF***")};
+
+inline constexpr std::array<Mask, 1> kContainsMasks = {
+    Mask::FromLiteral("T***F*FF*")};
+
+inline constexpr std::array<Mask, 1> kInsideMasks = {
+    Mask::FromLiteral("T*F*FF***")};
+
+inline constexpr std::array<Mask, 3> kMeetsMasks = {
+    Mask::FromLiteral("FT*******"), Mask::FromLiteral("F**T*****"),
+    Mask::FromLiteral("F***T****")};
+
+/// Compile-time counterpart of MasksOf (relation.h) over the same arrays.
+constexpr std::span<const Mask> MasksOfCx(Relation rel) {
+  switch (rel) {
+    case Relation::kDisjoint: return kDisjointMasks;
+    case Relation::kIntersects: return kIntersectsMasks;
+    case Relation::kCovers: return kCoversMasks;
+    case Relation::kCoveredBy: return kCoveredByMasks;
+    case Relation::kEquals: return kEqualsMasks;
+    case Relation::kContains: return kContainsMasks;
+    case Relation::kInside: return kInsideMasks;
+    case Relation::kMeets: return kMeetsMasks;
+  }
+  return {};
+}
+
+/// Compile-time counterpart of RelationHolds (relation.h).
+constexpr bool RelationHoldsCx(Relation rel, const Matrix& m) {
+  for (const Mask& mask : MasksOfCx(rel)) {
+    if (mask.Matches(m)) return true;
+  }
+  return false;
+}
+
+/// Compile-time counterpart of MostSpecificRelation (relation.h): the
+/// smallest (most specific) candidate that holds, with the same exhaustive
+/// intersects/disjoint fallback.
+constexpr Relation MostSpecificRelationCx(const Matrix& m,
+                                          RelationSet candidates) {
+  for (int i = 0; i < kNumRelations; ++i) {
+    const Relation rel = static_cast<Relation>(i);
+    if (candidates.Contains(rel) && RelationHoldsCx(rel, m)) return rel;
+  }
+  return RelationHoldsCx(Relation::kIntersects, m) ? Relation::kIntersects
+                                                   : Relation::kDisjoint;
+}
+
+}  // namespace stj::de9im

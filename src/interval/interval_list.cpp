@@ -1,7 +1,8 @@
 #include "src/interval/interval_list.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/util/check.h"
 
 namespace stj {
 
@@ -21,7 +22,7 @@ bool operator==(IntervalView a, IntervalView b) {
 IntervalList IntervalList::FromSorted(std::vector<CellInterval> intervals) {
   IntervalList list;
   list.intervals_ = std::move(intervals);
-  assert(list.Validate().empty());
+  STJ_IF_INVARIANTS(list.ValidateInvariants());
   return list;
 }
 
@@ -54,7 +55,7 @@ IntervalList IntervalList::FromCells(std::vector<CellId> cells) {
 void IntervalList::Append(CellId begin, CellId end) {
   if (begin >= end) return;
   if (!intervals_.empty() && begin <= intervals_.back().end) {
-    assert(begin >= intervals_.back().begin);
+    STJ_DCHECK_GE(begin, intervals_.back().begin);
     intervals_.back().end = std::max(intervals_.back().end, end);
     return;
   }
@@ -86,6 +87,11 @@ std::string IntervalList::Validate() const {
     }
   }
   return "";
+}
+
+void IntervalList::ValidateInvariants() const {
+  const std::string explanation = Validate();
+  STJ_CHECK_MSG(explanation.empty(), explanation.c_str());
 }
 
 }  // namespace stj

@@ -105,6 +105,11 @@ class IntervalList {
   /// gap between consecutive intervals. Returns an explanation or "".
   std::string Validate() const;
 
+  /// Aborts (STJ_CHECK) if the list is not canonical. Always compiled so
+  /// tests can call it in any build; automatic invocation from construction
+  /// paths is gated behind STJ_IF_INVARIANTS.
+  void ValidateInvariants() const;
+
   friend bool operator==(const IntervalList& a, const IntervalList& b) {
     return a.intervals_ == b.intervals_;
   }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <thread>
 
+#include "src/util/check.h"
 #include "src/util/parallel_for.h"
 
 namespace stj {
@@ -57,6 +58,34 @@ struct TileCsr {
 
   const TileEntry* Begin(size_t tile) const { return entries.data() + offsets[tile]; }
   size_t Size(size_t tile) const { return offsets[tile + 1] - offsets[tile]; }
+
+  /// Aborts (STJ_CHECK) if the prefix-sum layout or the per-tile sort is
+  /// inconsistent: offsets must be a monotone [0 .. entries.size()] ramp of
+  /// tile_count+1 entries, every entry index must address an input box, and
+  /// each tile's run must be (xmin, idx)-sorted — the order both the sweep
+  /// and the deterministic-mode guarantee depend on. O(entries).
+  void ValidateInvariants(size_t tile_count, size_t num_boxes) const {
+    STJ_CHECK_MSG(offsets.size() == tile_count + 1,
+                  "offset table must have tile_count+1 entries");
+    STJ_CHECK_MSG(offsets.front() == 0 && offsets.back() == entries.size(),
+                  "offset ramp must span exactly the entry array");
+    for (size_t t = 0; t < tile_count; ++t) {
+      STJ_CHECK_MSG(offsets[t] <= offsets[t + 1],
+                    "tile offsets must be monotone");
+      const TileEntry* run = Begin(t);
+      const size_t n = Size(t);
+      for (size_t i = 0; i < n; ++i) {
+        STJ_CHECK_MSG(run[i].idx < num_boxes,
+                      "tile entry must reference an input box");
+        if (i > 0) {
+          const bool sorted = run[i - 1].xmin < run[i].xmin ||
+                              (run[i - 1].xmin == run[i].xmin &&
+                               run[i - 1].idx < run[i].idx);
+          STJ_CHECK_MSG(sorted, "tile run must be (xmin, idx)-sorted");
+        }
+      }
+    }
+  }
 };
 
 /// Two-pass distribute: count replications per tile, prefix-sum into the
@@ -70,8 +99,7 @@ TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
   TileCsr csr;
   csr.offsets.assign(tile_count + 1, 0);
 
-  std::unique_ptr<std::atomic<size_t>[]> cursors(
-      new std::atomic<size_t>[tile_count]);
+  const auto cursors = std::make_unique<std::atomic<size_t>[]>(tile_count);
   for (size_t t = 0; t < tile_count; ++t) {
     cursors[t].store(0, std::memory_order_relaxed);
   }
@@ -121,6 +149,7 @@ TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
                     });
         }
       });
+  STJ_IF_INVARIANTS(csr.ValidateInvariants(tile_count, boxes.size()));
   return csr;
 }
 

@@ -5,7 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/interval/interval_algebra.h"
 #include "src/raster/hilbert.h"
+#include "src/util/check.h"
 
 namespace stj {
 
@@ -213,10 +215,19 @@ class BlockDecomposer {
 
 }  // namespace
 
+void AprilApproximation::ValidateInvariants() const {
+  conservative.ValidateInvariants();
+  progressive.ValidateInvariants();
+  STJ_CHECK_MSG(ListInside(progressive, conservative),
+                "P must be a subset of C");
+}
+
 AprilApproximation AprilBuilder::Build(const Polygon& poly) const {
   rasterizer_.Rasterize(poly, &coverage_);
-  return per_cell_oracle_ ? FromCoverage(coverage_)
-                          : FromCoverageRuns(coverage_);
+  AprilApproximation april = per_cell_oracle_ ? FromCoverage(coverage_)
+                                              : FromCoverageRuns(coverage_);
+  STJ_IF_INVARIANTS(april.ValidateInvariants());
+  return april;
 }
 
 AprilApproximation AprilBuilder::FromCoverage(

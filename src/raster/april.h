@@ -36,6 +36,11 @@ struct AprilApproximation {
   size_t ByteSize() const {
     return conservative.ByteSize() + progressive.ByteSize();
   }
+
+  /// Aborts (STJ_CHECK) unless both lists are canonical and P ⊆ C — the two
+  /// inequalities every filter conclusion rests on. Always compiled; invoked
+  /// automatically from AprilBuilder::Build under STJ_IF_INVARIANTS.
+  void ValidateInvariants() const;
 };
 
 /// Non-owning view of one object's APRIL approximation. This is the type the

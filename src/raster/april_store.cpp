@@ -1,6 +1,24 @@
 #include "src/raster/april_store.h"
 
+#include "src/interval/interval_algebra.h"
+#include "src/util/check.h"
+
 namespace stj {
+
+namespace {
+
+// Canonical-form check for an arena-backed view (the IntervalList validator
+// is not reachable from a raw view).
+void CheckCanonical(IntervalView view, const char* what) {
+  for (size_t i = 0; i < view.Size(); ++i) {
+    STJ_CHECK_MSG(!view[i].Empty(), what);
+    if (i > 0) {
+      STJ_CHECK_MSG(view[i].begin > view[i - 1].end, what);
+    }
+  }
+}
+
+}  // namespace
 
 void AprilStore::AppendRecord(IntervalView conservative,
                               IntervalView progressive, bool usable) {
@@ -36,7 +54,32 @@ AprilStore AprilStore::FromApproximations(
   for (const AprilApproximation& a : approximations) {
     store.AppendRecord(a.conservative, a.progressive, a.usable);
   }
+  STJ_IF_INVARIANTS(store.ValidateInvariants());
   return store;
+}
+
+void AprilStore::ValidateInvariants() const {
+  const size_t count = Count();
+  STJ_CHECK_MSG(rec_begin_.size() == count + 1,
+                "rec_begin must have Count()+1 entries");
+  STJ_CHECK_MSG(usable_.size() == count, "one usable flag per record");
+  STJ_CHECK_MSG(rec_begin_.front() == 0, "arena must start at offset 0");
+  STJ_CHECK_MSG(rec_begin_.back() == arena_.size(),
+                "rec_begin.back() must cover the whole arena");
+  for (size_t i = 0; i < count; ++i) {
+    STJ_CHECK_MSG(rec_begin_[i] <= p_begin_[i] &&
+                      p_begin_[i] <= rec_begin_[i + 1],
+                  "record offsets must be monotone and nested");
+    const IntervalView c = Conservative(i);
+    const IntervalView p = Progressive(i);
+    CheckCanonical(c, "conservative list must be canonical");
+    CheckCanonical(p, "progressive list must be canonical");
+    STJ_CHECK_MSG(ListInside(p, c), "P must be a subset of C");
+    if (!Usable(i)) {
+      STJ_CHECK_MSG(c.Empty() && p.Empty(),
+                    "corruption placeholders must carry no intervals");
+    }
+  }
 }
 
 size_t AprilStore::ByteSize() const {

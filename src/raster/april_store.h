@@ -72,6 +72,15 @@ class AprilStore {
   static AprilStore FromApproximations(
       const std::vector<AprilApproximation>& approximations);
 
+  /// Aborts (STJ_CHECK) if the CSR structure is inconsistent: offset-table
+  /// sizes must agree with Count(), rec_begin/p_begin must be monotone and
+  /// bracket each record inside the arena, rec_begin.back() must equal the
+  /// arena size, every record's C and P lists must be canonical with P ⊆ C,
+  /// and corruption placeholders must be empty. Always compiled (tests call
+  /// it directly); automatic invocation sits behind STJ_IF_INVARIANTS in the
+  /// bulk construction paths. O(arena size).
+  void ValidateInvariants() const;
+
   /// Total in-memory footprint: arena + offset tables + flags. The interval
   /// payload alone (comparable to AprilApproximation::ByteSize sums) is
   /// IntervalByteSize().

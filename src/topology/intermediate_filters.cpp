@@ -7,70 +7,6 @@ namespace stj {
 using de9im::Relation;
 using de9im::RelationSet;
 
-bool IsDefinite(IFOutcome outcome) {
-  switch (outcome) {
-    case IFOutcome::kDisjoint:
-    case IFOutcome::kInside:
-    case IFOutcome::kContains:
-    case IFOutcome::kCoveredBy:
-    case IFOutcome::kCovers:
-    case IFOutcome::kIntersects:
-      return true;
-    default:
-      return false;
-  }
-}
-
-de9im::Relation DefiniteRelation(IFOutcome outcome) {
-  switch (outcome) {
-    case IFOutcome::kDisjoint: return Relation::kDisjoint;
-    case IFOutcome::kInside: return Relation::kInside;
-    case IFOutcome::kContains: return Relation::kContains;
-    case IFOutcome::kCoveredBy: return Relation::kCoveredBy;
-    case IFOutcome::kCovers: return Relation::kCovers;
-    default: return Relation::kIntersects;
-  }
-}
-
-de9im::RelationSet CandidatesOf(IFOutcome outcome) {
-  switch (outcome) {
-    case IFOutcome::kDisjoint:
-    case IFOutcome::kInside:
-    case IFOutcome::kContains:
-    case IFOutcome::kCoveredBy:
-    case IFOutcome::kCovers:
-    case IFOutcome::kIntersects:
-      return RelationSet{DefiniteRelation(outcome)};
-    case IFOutcome::kRefineEquals:
-      return RelationSet{Relation::kEquals, Relation::kCoveredBy,
-                         Relation::kCovers, Relation::kIntersects};
-    case IFOutcome::kRefineCoveredBy:
-      return RelationSet{Relation::kCoveredBy, Relation::kIntersects};
-    case IFOutcome::kRefineCovers:
-      return RelationSet{Relation::kCovers, Relation::kIntersects};
-    case IFOutcome::kRefineInside:
-      return RelationSet{Relation::kInside, Relation::kCoveredBy,
-                         Relation::kIntersects};
-    case IFOutcome::kRefineContains:
-      return RelationSet{Relation::kContains, Relation::kCovers,
-                         Relation::kIntersects};
-    case IFOutcome::kRefineMeetsIntersects:
-      return RelationSet{Relation::kMeets, Relation::kIntersects};
-    case IFOutcome::kRefineDisjointMeetsIntersects:
-      return RelationSet{Relation::kDisjoint, Relation::kMeets,
-                         Relation::kIntersects};
-    case IFOutcome::kRefineAllInside:
-      return RelationSet{Relation::kDisjoint, Relation::kInside,
-                         Relation::kCoveredBy, Relation::kMeets,
-                         Relation::kIntersects};
-    case IFOutcome::kRefineAllContains:
-      return RelationSet{Relation::kDisjoint, Relation::kContains,
-                         Relation::kCovers, Relation::kMeets,
-                         Relation::kIntersects};
-  }
-  return RelationSet::All();
-}
-
 IFOutcome IFEquals(const AprilView& r, const AprilView& s) {
   // Equal MBRs: the objects certainly intersect (each spans the shared MBR in
   // both axes), so no disjointness checks appear here.

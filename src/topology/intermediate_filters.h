@@ -29,14 +29,78 @@ enum class IFOutcome : uint8_t {
 };
 
 /// True when the outcome is a definite relation (left column above).
-bool IsDefinite(IFOutcome outcome);
+/// Constexpr (with the two accessors below) so topology/static_checks.cpp
+/// can verify every Fig. 5 decision sequence against the Fig. 4 candidate
+/// sets at compile time.
+constexpr bool IsDefinite(IFOutcome outcome) {
+  switch (outcome) {
+    case IFOutcome::kDisjoint:
+    case IFOutcome::kInside:
+    case IFOutcome::kContains:
+    case IFOutcome::kCoveredBy:
+    case IFOutcome::kCovers:
+    case IFOutcome::kIntersects:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// The definite relation of a definite outcome.
-de9im::Relation DefiniteRelation(IFOutcome outcome);
+constexpr de9im::Relation DefiniteRelation(IFOutcome outcome) {
+  using de9im::Relation;
+  switch (outcome) {
+    case IFOutcome::kDisjoint: return Relation::kDisjoint;
+    case IFOutcome::kInside: return Relation::kInside;
+    case IFOutcome::kContains: return Relation::kContains;
+    case IFOutcome::kCoveredBy: return Relation::kCoveredBy;
+    case IFOutcome::kCovers: return Relation::kCovers;
+    default: return Relation::kIntersects;
+  }
+}
 
 /// The candidate set a refinement outcome carries (the definite outcomes map
 /// to their singleton).
-de9im::RelationSet CandidatesOf(IFOutcome outcome);
+constexpr de9im::RelationSet CandidatesOf(IFOutcome outcome) {
+  using de9im::Relation;
+  using de9im::RelationSet;
+  switch (outcome) {
+    case IFOutcome::kDisjoint:
+    case IFOutcome::kInside:
+    case IFOutcome::kContains:
+    case IFOutcome::kCoveredBy:
+    case IFOutcome::kCovers:
+    case IFOutcome::kIntersects:
+      return RelationSet{DefiniteRelation(outcome)};
+    case IFOutcome::kRefineEquals:
+      return RelationSet{Relation::kEquals, Relation::kCoveredBy,
+                         Relation::kCovers, Relation::kIntersects};
+    case IFOutcome::kRefineCoveredBy:
+      return RelationSet{Relation::kCoveredBy, Relation::kIntersects};
+    case IFOutcome::kRefineCovers:
+      return RelationSet{Relation::kCovers, Relation::kIntersects};
+    case IFOutcome::kRefineInside:
+      return RelationSet{Relation::kInside, Relation::kCoveredBy,
+                         Relation::kIntersects};
+    case IFOutcome::kRefineContains:
+      return RelationSet{Relation::kContains, Relation::kCovers,
+                         Relation::kIntersects};
+    case IFOutcome::kRefineMeetsIntersects:
+      return RelationSet{Relation::kMeets, Relation::kIntersects};
+    case IFOutcome::kRefineDisjointMeetsIntersects:
+      return RelationSet{Relation::kDisjoint, Relation::kMeets,
+                         Relation::kIntersects};
+    case IFOutcome::kRefineAllInside:
+      return RelationSet{Relation::kDisjoint, Relation::kInside,
+                         Relation::kCoveredBy, Relation::kMeets,
+                         Relation::kIntersects};
+    case IFOutcome::kRefineAllContains:
+      return RelationSet{Relation::kDisjoint, Relation::kContains,
+                         Relation::kCovers, Relation::kMeets,
+                         Relation::kIntersects};
+  }
+  return RelationSet::All();
+}
 
 /// Intermediate filter for pairs with equal MBRs (Fig. 4(c) / Fig. 5
 /// IFEquals). Can definitely decide covered by and covers.

@@ -2,43 +2,7 @@
 
 namespace stj {
 
-using de9im::Relation;
-using de9im::RelationSet;
-
-RelationSet MbrCandidates(BoxRelation rel) {
-  switch (rel) {
-    case BoxRelation::kDisjoint:
-      return RelationSet{Relation::kDisjoint};
-    case BoxRelation::kEqual:
-      // Fig. 4(c). Strict inside/contains require an MBR strictly inside the
-      // other; disjoint is impossible because both objects span the common
-      // MBR in both axes and must therefore cross.
-      return RelationSet{Relation::kEquals, Relation::kCoveredBy,
-                         Relation::kCovers, Relation::kMeets,
-                         Relation::kIntersects};
-    case BoxRelation::kRInsideS:
-      // Fig. 4(a): r cannot equal, contain, or cover s.
-      return RelationSet{Relation::kDisjoint, Relation::kInside,
-                         Relation::kCoveredBy, Relation::kMeets,
-                         Relation::kIntersects};
-    case BoxRelation::kSInsideR:
-      // Fig. 4(b): mirror of the above.
-      return RelationSet{Relation::kDisjoint, Relation::kContains,
-                         Relation::kCovers, Relation::kMeets,
-                         Relation::kIntersects};
-    case BoxRelation::kCross:
-      // Fig. 4(d): each object pierces the other's MBR, so their interiors
-      // are forced to overlap; the most specific relation is intersects.
-      return RelationSet{Relation::kIntersects};
-    case BoxRelation::kOverlap:
-      // Fig. 4(e): containment and equality are impossible.
-      return RelationSet{Relation::kDisjoint, Relation::kMeets,
-                         Relation::kIntersects};
-  }
-  return RelationSet::All();
-}
-
-RelationSet MbrCandidates(const Box& r, const Box& s) {
+de9im::RelationSet MbrCandidates(const Box& r, const Box& s) {
   return MbrCandidates(ClassifyBoxes(r, s));
 }
 

@@ -8,8 +8,43 @@ namespace stj {
 /// Candidate topological relations implied by how two MBRs intersect
 /// (Fig. 4 of the paper). The returned set always contains the pair's true
 /// relation; for BoxRelation::kCross it is the singleton {intersects} and for
-/// kDisjoint the singleton {disjoint}.
-de9im::RelationSet MbrCandidates(BoxRelation rel);
+/// kDisjoint the singleton {disjoint}. Constexpr so that
+/// topology/static_checks.cpp can prove, at compile time, that each case
+/// equals the set derived from first principles in de9im/model.h.
+constexpr de9im::RelationSet MbrCandidates(BoxRelation rel) {
+  using de9im::Relation;
+  using de9im::RelationSet;
+  switch (rel) {
+    case BoxRelation::kDisjoint:
+      return RelationSet{Relation::kDisjoint};
+    case BoxRelation::kEqual:
+      // Fig. 4(c). Strict inside/contains require an MBR strictly inside the
+      // other; disjoint is impossible because both objects span the common
+      // MBR in both axes and must therefore cross.
+      return RelationSet{Relation::kEquals, Relation::kCoveredBy,
+                         Relation::kCovers, Relation::kMeets,
+                         Relation::kIntersects};
+    case BoxRelation::kRInsideS:
+      // Fig. 4(a): r cannot equal, contain, or cover s.
+      return RelationSet{Relation::kDisjoint, Relation::kInside,
+                         Relation::kCoveredBy, Relation::kMeets,
+                         Relation::kIntersects};
+    case BoxRelation::kSInsideR:
+      // Fig. 4(b): mirror of the above.
+      return RelationSet{Relation::kDisjoint, Relation::kContains,
+                         Relation::kCovers, Relation::kMeets,
+                         Relation::kIntersects};
+    case BoxRelation::kCross:
+      // Fig. 4(d): each object pierces the other's MBR, so their interiors
+      // are forced to overlap; the most specific relation is intersects.
+      return RelationSet{Relation::kIntersects};
+    case BoxRelation::kOverlap:
+      // Fig. 4(e): containment and equality are impossible.
+      return RelationSet{Relation::kDisjoint, Relation::kMeets,
+                         Relation::kIntersects};
+  }
+  return RelationSet::All();
+}
 
 /// Convenience: candidates for a concrete MBR pair.
 de9im::RelationSet MbrCandidates(const Box& r, const Box& s);

@@ -108,6 +108,13 @@ struct PipelineStats {
 /// kApril/kPC methods skip the raster filter for that pair and refine with
 /// the MBR-narrowed candidates instead — results stay exact, and the pair is
 /// counted in PipelineStats::fallback_refined.
+///
+/// Threading contract: a Pipeline is confined to one thread. Its mutable
+/// state (stats counters, the two PreparedPolygon caches and their lazily
+/// built components) is unsynchronised by design — the parallel drivers in
+/// parallel.h give every worker a private Pipeline over the shared
+/// read-only DatasetViews and merge stats after the join. Sharing one
+/// Pipeline across threads is a data race.
 class Pipeline {
  public:
   /// Compatibility constructor: default options apart from \p time_stages

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/util/check.h"
+
 namespace stj {
 
 namespace {
@@ -65,7 +67,54 @@ const PreparedPolygon* PreparedCache::Insert(uint32_t key,
   // Evict from the cold end until the budget holds, but always keep the
   // entry just inserted (it is the LRU head, never the tail while size > 1).
   while (bytes_ > budget_ && size_ > 1) EvictTail();
+  STJ_IF_INVARIANTS(ValidateInvariants());
   return &pool_[handle]->prepared;
+}
+
+void PreparedCache::ValidateInvariants() const {
+  // Walk the LRU chain head-to-tail, checking link symmetry and summing the
+  // accounting as we go.
+  size_t live = 0;
+  size_t bytes = 0;
+  uint32_t prev = kNil;
+  for (uint32_t handle = lru_head_; handle != kNil;) {
+    STJ_CHECK_MSG(handle < pool_.size() && pool_[handle] != nullptr,
+                  "LRU link must reference a live pool entry");
+    const Entry& entry = *pool_[handle];
+    STJ_CHECK_MSG(entry.lru_prev == prev, "LRU links must be symmetric");
+    ++live;
+    STJ_CHECK_MSG(live <= size_, "LRU chain longer than size_ (cycle?)");
+    bytes += entry.bytes;
+    prev = handle;
+    handle = entry.lru_next;
+  }
+  STJ_CHECK_MSG(lru_tail_ == prev, "LRU tail must end the chain");
+  STJ_CHECK_MSG(live == size_, "LRU chain must cover every live entry");
+  STJ_CHECK_MSG(bytes == bytes_, "byte accounting must match live entries");
+
+  // Table consistency: every non-empty slot resolves its entry's key back to
+  // itself (probe sequences are unbroken), and slots cover the live entries
+  // exactly once.
+  size_t occupied = 0;
+  for (size_t slot = 0; slot < table_.size(); ++slot) {
+    const uint32_t handle = table_[slot];
+    if (handle == kNil) continue;
+    ++occupied;
+    STJ_CHECK_MSG(handle < pool_.size() && pool_[handle] != nullptr,
+                  "table slot must reference a live pool entry");
+    STJ_CHECK_MSG(FindSlot(pool_[handle]->key) == slot,
+                  "entry must be findable at its slot (broken probe chain)");
+  }
+  STJ_CHECK_MSG(occupied == size_, "table occupancy must equal size_");
+
+  // Live and freed handles partition the pool.
+  size_t freed = 0;
+  for (const std::unique_ptr<Entry>& entry : pool_) {
+    if (entry == nullptr) ++freed;
+  }
+  STJ_CHECK_MSG(freed == free_.size(), "free list must track freed entries");
+  STJ_CHECK_MSG(live + freed == pool_.size(),
+                "live and freed handles must partition the pool");
 }
 
 void PreparedCache::Unlink(uint32_t handle) {

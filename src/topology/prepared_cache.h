@@ -43,6 +43,15 @@ class PreparedCache {
   const PreparedPolygon* Insert(uint32_t key, PreparedPolygon prepared,
                                 size_t bytes);
 
+  /// Aborts (STJ_CHECK) on structural inconsistency: the LRU list must be a
+  /// well-formed doubly-linked chain over exactly the live entries, the
+  /// byte/count accounting must equal the sum over live entries, every table
+  /// slot must point at a live pool entry that probes back to that slot, and
+  /// live + free handles must partition the pool. Always compiled (the
+  /// stress test drives it directly through eviction churn); automatic
+  /// invocation is gated behind STJ_IF_INVARIANTS in Insert. O(pool + table).
+  void ValidateInvariants() const;
+
  private:
   struct Entry {
     uint32_t key = 0;

@@ -1,6 +1,7 @@
 #include "src/topology/relate_predicate.h"
 
 #include "src/interval/interval_algebra.h"
+#include "src/topology/relate_tables.h"
 
 namespace stj {
 
@@ -8,16 +9,14 @@ using de9im::Relation;
 
 namespace {
 
+// The helpers below implement only the interval-list (APRIL) part of each
+// Fig. 6 flow; the MBR early exits common to all predicates live in the
+// RelateFeasible/RelateCertain tables (relate_tables.h), applied once in
+// RelatePredicateFilter and proved against the model by static_checks.cpp.
+
 // relate_intersects: intersects is the negation of disjoint, so the APRIL
 // tests answer it directly.
-RelateAnswer RelateIntersects(BoxRelation boxes, const AprilView& r,
-                              const AprilView& s) {
-  if (boxes == BoxRelation::kDisjoint) return RelateAnswer::kNo;
-  if (boxes == BoxRelation::kCross || boxes == BoxRelation::kEqual) {
-    // Fig. 4(c)/(d): every candidate relation of these MBR cases implies
-    // intersects.
-    return RelateAnswer::kYes;
-  }
+RelateAnswer IntersectsFromLists(const AprilView& r, const AprilView& s) {
   if (!ListsOverlap(r.conservative, s.conservative)) return RelateAnswer::kNo;
   if (ListsOverlap(r.conservative, s.progressive) ||
       ListsOverlap(r.progressive, s.conservative)) {
@@ -35,14 +34,10 @@ RelateAnswer Negate(RelateAnswer a) {
   return RelateAnswer::kInconclusive;
 }
 
-// relate_inside / relate_covered_by (Fig. 6 left): both require r not to
-// stick out of s. `strict` distinguishes inside (no boundary contact, MBR
-// strictly nested) from covered by (equal MBRs allowed).
-RelateAnswer RelateWithin(BoxRelation boxes, const AprilView& r,
-                          const AprilView& s, bool strict) {
-  const bool box_ok = boxes == BoxRelation::kRInsideS ||
-                      (!strict && boxes == BoxRelation::kEqual);
-  if (!box_ok) return RelateAnswer::kNo;  // impossible relation (Fig. 6)
+// relate_inside / relate_covered_by (Fig. 6 left), r within s: both require
+// r not to stick out of s. The strict/non-strict distinction is purely an
+// MBR condition (RelateFeasible), so the list tests are shared.
+RelateAnswer WithinFromLists(const AprilView& r, const AprilView& s) {
   if (!ListInside(r.conservative, s.conservative)) return RelateAnswer::kNo;
   if (ListInside(r.conservative, s.progressive)) {
     // r lies within cells fully interior to s: strict inside holds, and
@@ -53,10 +48,7 @@ RelateAnswer RelateWithin(BoxRelation boxes, const AprilView& r,
 }
 
 // relate_meets (Fig. 6 middle).
-RelateAnswer RelateMeets(BoxRelation boxes, const AprilView& r,
-                         const AprilView& s) {
-  if (boxes == BoxRelation::kDisjoint) return RelateAnswer::kNo;
-  if (boxes == BoxRelation::kCross) return RelateAnswer::kNo;  // Fig. 4(d)
+RelateAnswer MeetsFromLists(const AprilView& r, const AprilView& s) {
   if (!ListsOverlap(r.conservative, s.conservative)) {
     return RelateAnswer::kNo;  // definitely disjoint
   }
@@ -68,9 +60,7 @@ RelateAnswer RelateMeets(BoxRelation boxes, const AprilView& r,
 }
 
 // relate_equals (Fig. 6 right).
-RelateAnswer RelateEquals(BoxRelation boxes, const AprilView& r,
-                          const AprilView& s) {
-  if (boxes != BoxRelation::kEqual) return RelateAnswer::kNo;
+RelateAnswer EqualsFromLists(const AprilView& r, const AprilView& s) {
   if (!ListsMatch(r.conservative, s.conservative)) return RelateAnswer::kNo;
   if (!ListsMatch(r.progressive, s.progressive)) return RelateAnswer::kNo;
   return RelateAnswer::kInconclusive;
@@ -83,27 +73,24 @@ RelateAnswer RelatePredicateFilter(de9im::Relation p, const Box& r_mbr,
                                    const Box& s_mbr,
                                    const AprilView& s_april) {
   const BoxRelation boxes = ClassifyBoxes(r_mbr, s_mbr);
+  if (!RelateFeasible(p, boxes)) return RelateAnswer::kNo;
+  if (RelateCertain(p, boxes)) return RelateAnswer::kYes;
   switch (p) {
     case Relation::kIntersects:
-      return RelateIntersects(boxes, r_april, s_april);
+      return IntersectsFromLists(r_april, s_april);
     case Relation::kDisjoint:
-      return Negate(RelateIntersects(boxes, r_april, s_april));
+      return Negate(IntersectsFromLists(r_april, s_april));
     case Relation::kInside:
-      return RelateWithin(boxes, r_april, s_april, /*strict=*/true);
     case Relation::kCoveredBy:
-      return RelateWithin(boxes, r_april, s_april, /*strict=*/false);
-    case Relation::kContains: {
-      const BoxRelation mirrored = ClassifyBoxes(s_mbr, r_mbr);
-      return RelateWithin(mirrored, s_april, r_april, /*strict=*/true);
-    }
-    case Relation::kCovers: {
-      const BoxRelation mirrored = ClassifyBoxes(s_mbr, r_mbr);
-      return RelateWithin(mirrored, s_april, r_april, /*strict=*/false);
-    }
+      return WithinFromLists(r_april, s_april);
+    case Relation::kContains:
+    case Relation::kCovers:
+      // Mirror image of the within flows: s within r.
+      return WithinFromLists(s_april, r_april);
     case Relation::kMeets:
-      return RelateMeets(boxes, r_april, s_april);
+      return MeetsFromLists(r_april, s_april);
     case Relation::kEquals:
-      return RelateEquals(boxes, r_april, s_april);
+      return EqualsFromLists(r_april, s_april);
   }
   return RelateAnswer::kInconclusive;
 }

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "src/de9im/relation.h"
+#include "src/geometry/box.h"
+
+namespace stj {
+
+/// The shipped relate_p MBR fast-path tables (the early exits of the Fig. 6
+/// flow diagrams), factored out of relate_predicate.cpp so that
+/// static_checks.cpp can prove them against first principles: for every
+/// predicate p and MBR case,
+///
+///   RelateFeasible(p, boxes)  ==  some Fig. 4 candidate of `boxes` implies p
+///   RelateCertain(p, boxes)   ==  every Fig. 4 candidate of `boxes` implies p
+///
+/// where "rel implies p" is the Fig. 2 lattice (de9im::UpwardClosure). A
+/// stale entry here — say, allowing `inside` for equal MBRs — is a compile
+/// error, not a subtly wrong fast path.
+
+/// False when no candidate relation of the MBR case can make p hold, so the
+/// filter may answer No without touching interval lists.
+constexpr bool RelateFeasible(de9im::Relation p, BoxRelation boxes) {
+  using de9im::Relation;
+  switch (p) {
+    case Relation::kInside:
+      return boxes == BoxRelation::kRInsideS;
+    case Relation::kCoveredBy:
+      return boxes == BoxRelation::kRInsideS || boxes == BoxRelation::kEqual;
+    case Relation::kContains:
+      return boxes == BoxRelation::kSInsideR;
+    case Relation::kCovers:
+      return boxes == BoxRelation::kSInsideR || boxes == BoxRelation::kEqual;
+    case Relation::kEquals:
+      return boxes == BoxRelation::kEqual;
+    case Relation::kMeets:
+      return boxes != BoxRelation::kDisjoint && boxes != BoxRelation::kCross;
+    case Relation::kIntersects:
+      return boxes != BoxRelation::kDisjoint;
+    case Relation::kDisjoint:
+      return boxes != BoxRelation::kCross && boxes != BoxRelation::kEqual;
+  }
+  return true;
+}
+
+/// True when the MBR case alone certifies p (all candidates imply it), so
+/// the filter may answer Yes without touching interval lists.
+constexpr bool RelateCertain(de9im::Relation p, BoxRelation boxes) {
+  using de9im::Relation;
+  switch (p) {
+    case Relation::kIntersects:
+      // Fig. 4(c)/(d): every candidate of equal or crossing MBRs implies
+      // intersects.
+      return boxes == BoxRelation::kCross || boxes == BoxRelation::kEqual;
+    case Relation::kDisjoint:
+      return boxes == BoxRelation::kDisjoint;
+    default:
+      return false;
+  }
+}
+
+}  // namespace stj

@@ -1,0 +1,169 @@
+// Compile-time proof that the shipped topology-layer tables — the Fig. 4
+// MBR candidate sets (mbr_relation.h), the Fig. 5 intermediate-filter
+// outcome sets (intermediate_filters.h), and the Fig. 6 relate_p fast-path
+// tables (relate_tables.h) — are consistent with the first-principles DE-9IM
+// model of src/de9im/model.h. This translation unit emits no code. The
+// de9im-layer checks (mask tables, implication lattice) live one layer down
+// in src/de9im/model_check.cpp.
+
+#include "src/de9im/model.h"
+#include "src/de9im/relation.h"
+#include "src/geometry/box.h"
+#include "src/topology/intermediate_filters.h"
+#include "src/topology/mbr_relation.h"
+#include "src/topology/relate_tables.h"
+
+namespace stj {
+namespace {
+
+using de9im::ImplicantsOf;
+using de9im::MbrPossibleSet;
+using de9im::Relation;
+using de9im::RelationSet;
+using de9im::kNumRelations;
+
+constexpr BoxRelation kAllBoxRelations[] = {
+    BoxRelation::kDisjoint, BoxRelation::kEqual,  BoxRelation::kRInsideS,
+    BoxRelation::kSInsideR, BoxRelation::kCross,  BoxRelation::kOverlap};
+
+constexpr bool IsSubset(RelationSet a, RelationSet b) {
+  return (a.Bits() & ~b.Bits()) == 0;
+}
+
+constexpr RelationSet Intersect(RelationSet a, RelationSet b) {
+  RelationSet out;
+  for (int i = 0; i < kNumRelations; ++i) {
+    const Relation rel = static_cast<Relation>(i);
+    if (a.Contains(rel) && b.Contains(rel)) out.Add(rel);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4: the shipped MBR candidate table is exactly the set of relations
+// that are geometrically possible for each MBR case — no candidate missing
+// (which would drop true results), none extra (which would waste refinement).
+constexpr bool MbrTableMatchesModel() {
+  for (BoxRelation boxes : kAllBoxRelations) {
+    if (!(MbrCandidates(boxes) == MbrPossibleSet(boxes))) return false;
+  }
+  return true;
+}
+static_assert(MbrTableMatchesModel(),
+              "MbrCandidates (Fig. 4) disagrees with the candidate sets "
+              "derived in de9im/model.h");
+
+// FindRelationFilter answers kDisjoint / kCross MBR cases without running an
+// intermediate filter; that is sound only while those candidate sets are
+// singletons.
+static_assert(MbrCandidates(BoxRelation::kDisjoint) ==
+                  RelationSet{Relation::kDisjoint},
+              "MBR-disjoint fast path needs a singleton candidate set");
+static_assert(MbrCandidates(BoxRelation::kCross) ==
+                  RelationSet{Relation::kIntersects},
+              "MBR-cross fast path needs a singleton candidate set");
+
+// ---------------------------------------------------------------------------
+// Fig. 5: each intermediate filter can only return a fixed set of outcomes
+// (the return statements in intermediate_filters.cpp). For the filter run on
+// MBR case B, every reachable outcome must (a) carry candidates that are a
+// subset of MbrCandidates(B) — a filter may narrow, never widen; (b) if
+// definite, decide a relation possible under B; and (c) jointly cover
+// MbrCandidates(B) — otherwise some reachable relation could never be
+// reported and the filter bank would be unsound for some input.
+struct FilterCase {
+  BoxRelation boxes;
+  IFOutcome outcomes[6];
+  int num_outcomes;
+};
+
+constexpr FilterCase kFilterCases[] = {
+    {BoxRelation::kEqual,
+     {IFOutcome::kRefineEquals, IFOutcome::kCoveredBy,
+      IFOutcome::kRefineCoveredBy, IFOutcome::kCovers,
+      IFOutcome::kRefineCovers, IFOutcome::kRefineMeetsIntersects},
+     6},
+    {BoxRelation::kRInsideS,
+     {IFOutcome::kInside, IFOutcome::kRefineInside,
+      IFOutcome::kRefineAllInside, IFOutcome::kDisjoint,
+      IFOutcome::kIntersects, IFOutcome::kRefineDisjointMeetsIntersects},
+     6},
+    {BoxRelation::kSInsideR,
+     {IFOutcome::kContains, IFOutcome::kRefineContains,
+      IFOutcome::kRefineAllContains, IFOutcome::kDisjoint,
+      IFOutcome::kIntersects, IFOutcome::kRefineDisjointMeetsIntersects},
+     6},
+    {BoxRelation::kOverlap,
+     {IFOutcome::kDisjoint, IFOutcome::kIntersects,
+      IFOutcome::kRefineDisjointMeetsIntersects, IFOutcome::kDisjoint,
+      IFOutcome::kDisjoint, IFOutcome::kDisjoint},
+     3},
+};
+
+constexpr bool FilterOutcomesSoundAndComplete() {
+  for (const FilterCase& fc : kFilterCases) {
+    const RelationSet possible = MbrCandidates(fc.boxes);
+    RelationSet covered;
+    for (int i = 0; i < fc.num_outcomes; ++i) {
+      const IFOutcome outcome = fc.outcomes[i];
+      const RelationSet candidates = CandidatesOf(outcome);
+      if (!IsSubset(candidates, possible)) return false;       // (a)
+      if (IsDefinite(outcome) &&
+          !possible.Contains(DefiniteRelation(outcome))) {
+        return false;                                          // (b)
+      }
+      for (int r = 0; r < kNumRelations; ++r) {
+        const Relation rel = static_cast<Relation>(r);
+        if (candidates.Contains(rel)) covered.Add(rel);
+      }
+    }
+    if (!(covered == possible)) return false;                  // (c)
+  }
+  return true;
+}
+static_assert(FilterOutcomesSoundAndComplete(),
+              "a Fig. 5 intermediate-filter outcome widens, escapes, or "
+              "fails to cover its MBR case's Fig. 4 candidate set");
+
+// Definite outcomes must be definite in the DefiniteRelation sense too:
+// their candidate set is the singleton of their relation.
+constexpr bool DefiniteOutcomesAreSingletons() {
+  constexpr IFOutcome kDefinites[] = {
+      IFOutcome::kDisjoint,  IFOutcome::kInside, IFOutcome::kContains,
+      IFOutcome::kCoveredBy, IFOutcome::kCovers, IFOutcome::kIntersects};
+  for (IFOutcome outcome : kDefinites) {
+    if (!IsDefinite(outcome)) return false;
+    if (!(CandidatesOf(outcome) == RelationSet{DefiniteRelation(outcome)}))
+      return false;
+  }
+  return true;
+}
+static_assert(DefiniteOutcomesAreSingletons(),
+              "IsDefinite/DefiniteRelation/CandidatesOf disagree");
+
+// ---------------------------------------------------------------------------
+// Fig. 6 relate_p fast paths: the shipped feasibility/certainty tables must
+// coincide with what the model derives. p is answerable-No from MBRs alone
+// iff no Fig. 4 candidate implies p (lattice down-set ImplicantsOf); it is
+// answerable-Yes iff every candidate implies p.
+constexpr bool RelateTablesMatchModel() {
+  for (BoxRelation boxes : kAllBoxRelations) {
+    const RelationSet candidates = MbrPossibleSet(boxes);
+    for (int i = 0; i < kNumRelations; ++i) {
+      const Relation p = static_cast<Relation>(i);
+      const RelationSet implicants = ImplicantsOf(p);
+      const bool feasible = !Intersect(candidates, implicants).Empty();
+      if (RelateFeasible(p, boxes) != feasible) return false;
+      const bool certain = !candidates.Empty() &&
+                           IsSubset(candidates, implicants);
+      if (RelateCertain(p, boxes) != certain) return false;
+    }
+  }
+  return true;
+}
+static_assert(RelateTablesMatchModel(),
+              "a relate_p MBR fast path (relate_tables.h) disagrees with the "
+              "Fig. 2 lattice over the Fig. 4 candidate sets");
+
+}  // namespace
+}  // namespace stj

@@ -1,0 +1,20 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stj::internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* message) {
+  if (message != nullptr) {
+    std::fprintf(stderr, "%s:%d: check failed: %s (%s)\n", file, line, expr,
+                 message);
+  } else {
+    std::fprintf(stderr, "%s:%d: check failed: %s\n", file, line, expr);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace stj::internal

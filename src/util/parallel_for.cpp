@@ -1,8 +1,6 @@
 #include "src/util/parallel_for.h"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,21 +13,18 @@ namespace {
 void JoinAll(std::vector<std::function<void()>> thunks) {
   std::vector<std::thread> workers;
   workers.reserve(thunks.size());
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  FirstError first_error;
   for (std::function<void()>& thunk : thunks) {
-    workers.emplace_back([&error_mutex, &first_error,
-                          thunk = std::move(thunk)] {
+    workers.emplace_back([&first_error, thunk = std::move(thunk)] {
       try {
         thunk();
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error == nullptr) first_error = std::current_exception();
+        first_error.Capture();
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  first_error.RethrowIfAny();
 }
 
 }  // namespace

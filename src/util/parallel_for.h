@@ -1,9 +1,43 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
 
 namespace stj::internal {
+
+/// Collects the first exception thrown by any worker of a parallel region so
+/// it can be rethrown on the calling thread after all workers joined. The
+/// mutex/flag discipline is expressed with thread-safety annotations, so a
+/// clang -Wthread-safety build statically rejects unlocked access to the
+/// captured exception.
+class FirstError {
+ public:
+  /// Records std::current_exception() if no earlier worker already did.
+  /// Called from worker catch blocks; must not throw.
+  void Capture() noexcept STJ_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (error_ == nullptr) error_ = std::current_exception();
+  }
+
+  /// Rethrows the captured exception, if any. Call only after every worker
+  /// that might Capture() has been joined.
+  void RethrowIfAny() STJ_EXCLUDES(mutex_) {
+    std::exception_ptr error;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      error = error_;
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_ STJ_GUARDED_BY(mutex_);
+};
 
 /// Splits [0, total) into up to \p num_threads contiguous chunks and runs
 /// fn(worker_index, begin, end) on each, in worker threads (inline on the

@@ -1,0 +1,58 @@
+#pragma once
+
+/// Clang thread-safety-analysis attributes (DESIGN.md §11).
+///
+/// Under clang these expand to the static-analysis attributes checked by
+/// -Wthread-safety (which CMake promotes to an error for clang builds, see
+/// the stj_warnings target); under other compilers they vanish. The macros
+/// carry the STJ_ prefix so the no-op fallback cannot collide with other
+/// libraries' definitions.
+///
+/// Annotation policy:
+///  - Every mutex-protected member is STJ_GUARDED_BY(its mutex); accessor
+///    methods that expect the caller to hold the lock are STJ_REQUIRES.
+///  - std::atomic members need no annotation (their safety is in the type);
+///    the work-stealing loops in topology/parallel.cpp and join/mbr_join.cpp
+///    share only atomics and disjointly-indexed per-worker slots.
+///  - Classes that are intentionally single-threaded (Pipeline and its
+///    PreparedCaches: one instance per worker) say so in their class comment
+///    instead of carrying lock annotations they do not need.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define STJ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define STJ_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability (mutexes, custom locks).
+#define STJ_CAPABILITY(x) STJ_THREAD_ANNOTATION(capability(x))
+
+/// Marks a RAII lock holder (acquires in ctor, releases in dtor).
+#define STJ_SCOPED_CAPABILITY STJ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding \p x.
+#define STJ_GUARDED_BY(x) STJ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is protected by \p x.
+#define STJ_PT_GUARDED_BY(x) STJ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define STJ_REQUIRES(...) \
+  STJ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability; caller must not already hold it.
+#define STJ_ACQUIRE(...) STJ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability; caller must hold it.
+#define STJ_RELEASE(...) STJ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must be called without the listed capabilities held.
+#define STJ_EXCLUDES(...) STJ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to data guarded by the capability.
+#define STJ_RETURN_CAPABILITY(x) STJ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Use only with a comment
+/// explaining why the analysis cannot see the safety argument.
+#define STJ_NO_THREAD_SAFETY_ANALYSIS \
+  STJ_THREAD_ANNOTATION(no_thread_safety_analysis)

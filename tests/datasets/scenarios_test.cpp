@@ -114,7 +114,9 @@ TEST(Workload, ComplexityLevelsAreBalancedAndOrdered) {
   size_t total = 0;
   for (size_t i = 0; i < levels; ++i) {
     EXPECT_LE(grouped.ranges[i].first, grouped.ranges[i].second);
-    if (i > 0) EXPECT_GT(grouped.ranges[i].first, grouped.ranges[i - 1].second);
+    if (i > 0) {
+      EXPECT_GT(grouped.ranges[i].first, grouped.ranges[i - 1].second);
+    }
     total += grouped.pairs[i].size();
     // Every pair in the bucket matches the bucket's range.
     for (const CandidatePair& pair : grouped.pairs[i]) {

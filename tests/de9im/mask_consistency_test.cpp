@@ -1,0 +1,135 @@
+// Runtime differential check of the compile-time DE-9IM model (model.h)
+// against the exact RelateEngine. The static_asserts in model_check.cpp
+// prove "mask tables == model" over every *realizable* matrix; this test
+// closes the remaining gap by checking that matrices the engine actually
+// produces on real polygon pairs (i) satisfy the realizability constraints
+// the model enumerates and (ii) agree with the model's relation predicates —
+// so the model's notion of "realizable" is not a fiction of the proofs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/de9im/model.h"
+#include "src/de9im/relate_engine.h"
+#include "src/de9im/relation.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace stj::de9im {
+namespace {
+
+using test::RandomBlob;
+using test::Square;
+using test::SquareWithHole;
+using test::Triangle;
+
+struct NamedPair {
+  const char* name;
+  Polygon r;
+  Polygon s;
+};
+
+// Hand-picked pairs witnessing every one of the eight relations, plus shapes
+// with holes and boundary contact in both directions.
+std::vector<NamedPair> CuratedPairs() {
+  std::vector<NamedPair> pairs;
+  pairs.push_back({"equals", Square(0, 0, 4, 4), Square(0, 0, 4, 4)});
+  pairs.push_back({"equals-hole", SquareWithHole(0, 0, 4, 4, 1),
+                   SquareWithHole(0, 0, 4, 4, 1)});
+  pairs.push_back({"inside", Square(1, 1, 2, 2), Square(0, 0, 4, 4)});
+  pairs.push_back({"contains", Square(0, 0, 4, 4), Square(1, 1, 2, 2)});
+  pairs.push_back({"covered-by", Square(1, 0, 2, 2), Square(0, 0, 4, 4)});
+  pairs.push_back({"covers", Square(0, 0, 4, 4), Square(1, 0, 2, 2)});
+  pairs.push_back({"meets-edge", Square(0, 0, 1, 1), Square(1, 0, 2, 1)});
+  pairs.push_back({"meets-corner", Square(0, 0, 1, 1), Square(1, 1, 2, 2)});
+  pairs.push_back(
+      {"meets-in-hole", Square(1.5, 1.5, 2.5, 2.5), SquareWithHole(0, 0, 4, 4, 1)});
+  pairs.push_back({"intersects", Square(0, 0, 2, 2), Square(1, 1, 3, 3)});
+  pairs.push_back({"intersects-cross", Square(1, 0, 2, 4), Square(0, 1, 4, 2)});
+  pairs.push_back({"disjoint", Square(0, 0, 1, 1), Square(5, 5, 6, 6)});
+  pairs.push_back({"disjoint-overlapping-mbrs",
+                   Triangle(Point{0, 0}, Point{10, 0}, Point{0, 1}),
+                   Triangle(Point{10, 10}, Point{10, 9}, Point{1, 10})});
+  return pairs;
+}
+
+void CheckAgainstModel(const char* name, const Matrix& m,
+                       RelationSet* observed) {
+  // (i) Engine matrices must lie inside the model's realizable set — this is
+  // what licenses quantifying the compile-time proofs over that set only.
+  EXPECT_TRUE(IsRealizablePolygonMatrix(m))
+      << name << ": engine matrix " << m.ToString()
+      << " violates a realizability constraint of de9im/model.h";
+
+  // (ii) The runtime mask matcher and the first-principles predicates agree
+  // relation by relation.
+  for (int i = 0; i < kNumRelations; ++i) {
+    const Relation rel = static_cast<Relation>(i);
+    EXPECT_EQ(RelationHolds(rel, m), ModelHolds(rel, m))
+        << name << ": masks and model disagree on " << ToString(rel)
+        << " for matrix " << m.ToString();
+  }
+
+  // (iii) The holding set is the upward closure of the most specific
+  // relation (Fig. 2 lattice), as the compile-time lattice check promises.
+  const Relation most_specific = MostSpecificRelation(m);
+  RelationSet holding;
+  for (int i = 0; i < kNumRelations; ++i) {
+    const Relation rel = static_cast<Relation>(i);
+    if (RelationHolds(rel, m)) holding.Add(rel);
+  }
+  EXPECT_EQ(holding.Bits(), UpwardClosure(most_specific).Bits())
+      << name << ": holding set is not the upward closure of "
+      << ToString(most_specific) << " for matrix " << m.ToString();
+
+  observed->Add(most_specific);
+}
+
+TEST(MaskConsistency, CuratedPairsCoverAllRelationsAndMatchModel) {
+  RelationSet observed;
+  for (const NamedPair& pair : CuratedPairs()) {
+    CheckAgainstModel(pair.name, RelateMatrix(pair.r, pair.s), &observed);
+  }
+  // The corpus must witness every relation, or the differential check would
+  // be vacuous for the missing ones.
+  EXPECT_EQ(observed.Bits(), RelationSet::All().Bits())
+      << "curated corpus fails to witness some relation";
+}
+
+TEST(MaskConsistency, RandomBlobPairsMatchModel) {
+  Rng rng(20260806);
+  RelationSet observed;
+  for (int i = 0; i < 200; ++i) {
+    // Overlapping placement ranges so the corpus hits containment, boundary
+    // contact, and disjointness, not just generic overlap.
+    const Polygon r = RandomBlob(&rng, Point{rng.Uniform(0, 4), rng.Uniform(0, 4)},
+                                 rng.Uniform(0.5, 3.0), 24,
+                                 /*hole_probability=*/0.3);
+    const Polygon s = RandomBlob(&rng, Point{rng.Uniform(0, 4), rng.Uniform(0, 4)},
+                                 rng.Uniform(0.5, 3.0), 24,
+                                 /*hole_probability=*/0.3);
+    CheckAgainstModel("random-blob", RelateMatrix(r, s), &observed);
+  }
+  // Generic position yields at least these three; the curated corpus covers
+  // the measure-zero relations.
+  EXPECT_TRUE(observed.Contains(Relation::kIntersects));
+  EXPECT_TRUE(observed.Contains(Relation::kDisjoint));
+}
+
+// Self-duality: the model must satisfy the same converse/transpose symmetry
+// the mask tables were proven to have at compile time, on engine matrices.
+TEST(MaskConsistency, EngineMatricesRespectConverseDuality) {
+  for (const NamedPair& pair : CuratedPairs()) {
+    const Matrix forward = RelateMatrix(pair.r, pair.s);
+    const Matrix backward = RelateMatrix(pair.s, pair.r);
+    EXPECT_EQ(forward.Transposed().ToString(), backward.ToString())
+        << pair.name;
+    EXPECT_EQ(Converse(MostSpecificRelation(forward)),
+              MostSpecificRelation(backward))
+        << pair.name;
+  }
+}
+
+}  // namespace
+}  // namespace stj::de9im

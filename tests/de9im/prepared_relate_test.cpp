@@ -137,7 +137,9 @@ TEST(PreparedCacheTest, OneEntryBudgetKeepsExactlyOneEntry) {
     ASSERT_NE(inserted, nullptr);
     EXPECT_EQ(cache.size(), 1u);           // newest always admitted, alone
     EXPECT_NE(cache.Find(i), nullptr);     // and findable
-    if (i > 0) EXPECT_EQ(cache.Find(i - 1), nullptr);  // predecessor evicted
+    if (i > 0) {
+      EXPECT_EQ(cache.Find(i - 1), nullptr);  // predecessor evicted
+    }
   }
 }
 

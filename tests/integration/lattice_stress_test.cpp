@@ -106,8 +106,12 @@ TEST(LatticeStress, EngineSymmetryAndFilterSoundness) {
       const RelateAnswer answer = RelatePredicateFilter(
           predicate, a.Bounds(), aa, b.Bounds(), bb);
       const bool holds = RelationHolds(predicate, ab);
-      if (answer == RelateAnswer::kYes) ASSERT_TRUE(holds) << round;
-      if (answer == RelateAnswer::kNo) ASSERT_FALSE(holds) << round;
+      if (answer == RelateAnswer::kYes) {
+        ASSERT_TRUE(holds) << round;
+      }
+      if (answer == RelateAnswer::kNo) {
+        ASSERT_FALSE(holds) << round;
+      }
     }
   }
 }

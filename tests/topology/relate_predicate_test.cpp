@@ -111,8 +111,12 @@ TEST_F(RelatePredicateTest, IntersectsAndDisjointAreNegations) {
         Relation::kIntersects, a.Bounds(), aa, b.Bounds(), ba);
     const RelateAnswer no = RelatePredicateFilter(
         Relation::kDisjoint, a.Bounds(), aa, b.Bounds(), ba);
-    if (yes == RelateAnswer::kYes) EXPECT_EQ(no, RelateAnswer::kNo);
-    if (yes == RelateAnswer::kNo) EXPECT_EQ(no, RelateAnswer::kYes);
+    if (yes == RelateAnswer::kYes) {
+      EXPECT_EQ(no, RelateAnswer::kNo);
+    }
+    if (yes == RelateAnswer::kNo) {
+      EXPECT_EQ(no, RelateAnswer::kYes);
+    }
     if (yes == RelateAnswer::kInconclusive) {
       EXPECT_EQ(no, RelateAnswer::kInconclusive);
     }

@@ -1,0 +1,59 @@
+#include "src/util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stj {
+namespace {
+
+TEST(Check, PassingChecksAreSilent) {
+  STJ_CHECK(1 + 1 == 2);
+  STJ_CHECK_MSG(true, "never printed");
+  STJ_DCHECK(true);
+  STJ_DCHECK_EQ(2, 2);
+  STJ_DCHECK_NE(1, 2);
+  STJ_DCHECK_LE(1, 1);
+  STJ_DCHECK_LT(1, 2);
+  STJ_DCHECK_GE(2, 1);
+  const std::vector<int> sorted = {1, 2, 2, 3};
+  STJ_DCHECK_SORTED(sorted.begin(), sorted.end(),
+                    [](int a, int b) { return a < b; });
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(STJ_CHECK(1 + 1 == 3), "check failed: 1 \\+ 1 == 3");
+  EXPECT_DEATH(STJ_CHECK_MSG(false, "broken widget"), "broken widget");
+}
+
+TEST(Check, DisabledDchecksDoNotEvaluate) {
+#if !STJ_INVARIANTS_ENABLED
+  // In non-invariants builds DCHECK arguments must never run: the sizeof
+  // no-op keeps names odr-used without evaluation.
+  int calls = 0;
+  auto side_effect = [&calls]() {
+    ++calls;
+    return true;
+  };
+  STJ_DCHECK(side_effect());
+  EXPECT_EQ(calls, 0);
+#else
+  // In invariants builds a failing DCHECK aborts like a CHECK.
+  EXPECT_DEATH(STJ_DCHECK(false), "check failed");
+  const std::vector<int> unsorted = {3, 1, 2};
+  EXPECT_DEATH(STJ_DCHECK_SORTED(unsorted.begin(), unsorted.end(),
+                                 [](int a, int b) { return a < b; }),
+               "not sorted");
+#endif
+}
+
+TEST(Check, InvariantsFlagMatchesCompileMode) {
+#if defined(STJ_ENABLE_INVARIANTS)
+  EXPECT_EQ(STJ_INVARIANTS_ENABLED, 1);
+#else
+  EXPECT_EQ(STJ_INVARIANTS_ENABLED, 0);
+#endif
+}
+
+}  // namespace
+}  // namespace stj

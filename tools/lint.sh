@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Repository lint gate. Usage:
+#
+#   tools/lint.sh              # lint the tree (CI runs this)
+#   tools/lint.sh --self-test  # verify the lint actually catches violations
+#
+# Three layers, strongest available always runs:
+#   1. tools/project_lint.py — compiler-free project rules (include layer
+#      order, no naked new in src/, commented (void) discards). Always runs.
+#   2. Negative-compile tripwire — src/de9im/model_check.cpp must compile
+#      cleanly as-is and must FAIL to compile with -DSTJ_MODEL_CORRUPT_BIT
+#      (which flips one bit of the `equals` DE-9IM mask). Proves the
+#      static_assert layer really gates mask-table corruption. Always runs.
+#   3. clang-tidy over compile_commands.json per .clang-tidy. Runs only when
+#      clang-tidy is installed; CI installs it, dev machines may not.
+#
+# Exit status is non-zero if any layer finds a problem.
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+CXX_BIN="${CXX:-c++}"
+fail=0
+
+say() { printf '==== %s ====\n' "$*"; }
+
+run_project_lint() {
+  say "project lint (python)"
+  if ! python3 tools/project_lint.py; then
+    fail=1
+  fi
+}
+
+run_model_tripwire() {
+  say "DE-9IM model tripwire (negative compile)"
+  if ! "$CXX_BIN" -std=c++20 -fsyntax-only -I. src/de9im/model_check.cpp; then
+    echo "lint: model_check.cpp does not compile clean — the mask tables" \
+         "or the first-principles model are broken" >&2
+    fail=1
+  fi
+  if "$CXX_BIN" -std=c++20 -fsyntax-only -I. -DSTJ_MODEL_CORRUPT_BIT \
+       src/de9im/model_check.cpp 2>/dev/null; then
+    echo "lint: corrupting a mask bit DID NOT fail the build — the" \
+         "static_assert layer is not guarding the tables" >&2
+    fail=1
+  else
+    echo "tripwire ok: corrupt mask bit fails to compile, pristine compiles"
+  fi
+}
+
+run_clang_tidy() {
+  say "clang-tidy"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping (project lint + tripwire still ran)"
+    return
+  fi
+  local build_dir=build
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "configuring $build_dir to produce compile_commands.json"
+    if ! cmake --preset default >/dev/null; then
+      echo "lint: cmake configure failed" >&2
+      fail=1
+      return
+    fi
+  fi
+  # Lint every first-party TU in the compilation database.
+  local tus
+  tus=$(python3 - "$build_dir/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if "/_deps/" not in f and "/googletest" not in f:
+        print(f)
+EOF
+  )
+  # shellcheck disable=SC2086
+  if ! clang-tidy -p "$build_dir" --quiet $tus; then
+    fail=1
+  fi
+}
+
+self_test() {
+  say "lint self-test"
+  if ! python3 tools/project_lint.py --self-test; then
+    fail=1
+  fi
+  # The tripwire's negative compile is itself the self-test for layer 2:
+  # it must fail on the seeded corruption and pass on the pristine tree.
+  run_model_tripwire
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+  self_test
+else
+  run_project_lint
+  run_model_tripwire
+  run_clang_tidy
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Project-specific lint checks for the stj tree.
+
+These are the checks that need no compiler, so they run everywhere —
+including CI images and dev machines without clang-tidy. tools/lint.sh
+invokes this script and layers clang-tidy on top when it is available.
+
+Checks:
+  layer-order   #include "src/X/..." from src/Y must not point up the layer
+                stack. The layering (lower may never include higher):
+                    util < {geometry, interval} < {de9im, raster, join}
+                         < topology < datasets
+                Same-rank sibling includes (e.g. de9im -> raster) are also
+                forbidden: a file may include its own layer or any strictly
+                lower rank.
+  naked-new     No `new` expressions in src/. Ownership goes through
+                std::make_unique/containers; the one historical exception
+                (mbr_join's atomic cursor array) was migrated.
+  void-discard  A `(void)expr;` cast that throws away a value must carry a
+                justification comment on the same or the preceding line.
+                `(void)sizeof(...)` is exempt (unevaluated no-op idiom used
+                by the disabled STJ_DCHECK macros).
+
+Usage:
+  tools/project_lint.py             # lint the repo, exit 1 on findings
+  tools/project_lint.py --self-test # verify each check flags a seeded
+                                    # violation and passes a clean file
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Rank table for the layer-order check. A file under src/<dir>/ may include
+# src/<other>/ only when rank[other] < rank[dir] or other == dir.
+LAYER_RANK = {
+    "util": 0,
+    "geometry": 1,
+    "interval": 1,
+    "de9im": 2,
+    "raster": 2,
+    "join": 2,
+    "topology": 3,
+    "datasets": 4,
+}
+
+SOURCE_DIRS = ("src", "bench", "examples", "tools", "tests")
+SOURCE_EXTS = (".cpp", ".h")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"src/([a-z0-9_]+)/')
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` would still match Type
+VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*(?!sizeof\b)[A-Za-z_:(]")
+
+
+def strip_comments_and_strings(line, state):
+    """Blanks out comment and string-literal bodies, preserving length.
+
+    `state` is True while inside a /* block comment that started on an
+    earlier line. Returns (code_line, had_comment, new_state).
+    """
+    out = []
+    had_comment = state
+    i = 0
+    in_block = state
+    while i < len(line):
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < len(line) else ""
+        if in_block:
+            had_comment = True
+            if c == "*" and nxt == "/":
+                in_block = False
+                i += 2
+            else:
+                i += 1
+            out.append(" ")
+            if c == "*" and nxt == "/":
+                out.append(" ")
+            continue
+        if c == "/" and nxt == "/":
+            had_comment = True
+            break  # rest of line is a comment
+        if c == "/" and nxt == "*":
+            in_block = True
+            had_comment = True
+            out.append("  ")
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < len(line):
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), had_comment, in_block
+
+
+def lint_file(path, rel, errors):
+    layer = None
+    parts = rel.parts
+    if parts[0] == "src" and len(parts) > 2 and parts[1] in LAYER_RANK:
+        layer = parts[1]
+
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        errors.append(f"{rel}: unreadable: {e}")
+        return
+
+    in_block = False
+    prev_had_comment = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        was_in_block = in_block
+        code, had_comment, in_block = strip_comments_and_strings(raw, in_block)
+
+        # Includes are matched on the raw line: the stripper blanks string
+        # bodies, which would erase the quoted include path. Lines that start
+        # inside a block comment are skipped; `// #include` never matches the
+        # anchored pattern.
+        m = INCLUDE_RE.match(raw) if not was_in_block else None
+        if m and layer is not None:
+            target = m.group(1)
+            if target in LAYER_RANK and target != layer and (
+                LAYER_RANK[target] >= LAYER_RANK[layer]
+            ):
+                errors.append(
+                    f"{rel}:{lineno}: [layer-order] src/{layer}/ (rank "
+                    f"{LAYER_RANK[layer]}) must not include src/{target}/ "
+                    f"(rank {LAYER_RANK[target]})"
+                )
+
+        if parts[0] == "src" and NEW_RE.search(code):
+            errors.append(
+                f"{rel}:{lineno}: [naked-new] `new` expression in src/; use "
+                f"std::make_unique or a container"
+            )
+
+        if VOID_CAST_RE.search(code) and not had_comment and not prev_had_comment:
+            errors.append(
+                f"{rel}:{lineno}: [void-discard] `(void)` discard without a "
+                f"justification comment on this or the preceding line"
+            )
+
+        prev_had_comment = had_comment
+
+    if in_block:
+        errors.append(f"{rel}: unterminated block comment")
+
+
+def collect_files():
+    files = []
+    for top in SOURCE_DIRS:
+        root = REPO / top
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in SOURCE_EXTS and path.is_file():
+                files.append(path)
+    return files
+
+
+def run_lint():
+    errors = []
+    files = collect_files()
+    for path in files:
+        lint_file(path, path.relative_to(REPO), errors)
+    for e in errors:
+        print(e)
+    print(
+        f"project_lint: {len(files)} files, {len(errors)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+def self_test():
+    """Each check must flag its seeded violation and pass a clean file."""
+    import tempfile
+
+    cases = [
+        (
+            "layer-order",
+            "src/util/bad.h",
+            '#include "src/topology/pipeline.h"\n',
+        ),
+        (
+            "naked-new",
+            "src/join/bad.cpp",
+            "void F() { int* p = new int[4]; delete[] p; }\n",
+        ),
+        (
+            "void-discard",
+            "src/util/bad2.cpp",
+            "void F() { (void)G(); }\n",
+        ),
+    ]
+    clean = (
+        "src/raster/good.cpp",
+        "// fine: includes down-stack, commented discard, sizeof no-op\n"
+        '#include "src/interval/interval_list.h"\n'
+        "void F() {\n"
+        "  (void)sizeof(int);\n"
+        "  // Discarded: probe for side effects only.\n"
+        "  (void)G();\n"
+        "}\n",
+    )
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        global REPO
+        real_repo = REPO
+        REPO = Path(tmp)
+        try:
+            for tag, rel, content in cases:
+                path = Path(tmp) / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(content)
+                errors = []
+                lint_file(path, path.relative_to(Path(tmp)), errors)
+                if not any(f"[{tag}]" in e for e in errors):
+                    failures.append(f"seeded {tag} violation not flagged")
+                path.unlink()
+
+            rel, content = clean
+            path = Path(tmp) / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+            errors = []
+            lint_file(path, path.relative_to(Path(tmp)), errors)
+            if errors:
+                failures.append(f"clean file flagged: {errors}")
+        finally:
+            REPO = real_repo
+
+    for f in failures:
+        print(f"project_lint self-test FAILED: {f}", file=sys.stderr)
+    if not failures:
+        print("project_lint self-test passed", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    return run_lint()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
