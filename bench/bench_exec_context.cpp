@@ -1,0 +1,139 @@
+// Extension harness (no paper counterpart): cost of the ExecContext
+// cancellation layer on the unbounded join path.
+//
+// Every candidate pair of a cancellable join performs one check-in — a
+// relaxed atomic load of the stop flag plus, every
+// ExecContext::kDeadlinePollPeriod check-ins, a steady-clock read. This
+// harness measures what that costs when the query never trips: method P+C
+// on OLE-OPE (mostly filter-decided pairs, so the per-pair work is small
+// and the check-in is proportionally at its *worst*), best-of-N per thread
+// count, run once without an ExecContext and once with one armed with a
+// far-future deadline and an ample memory budget. Both runs must produce
+// identical relations; the acceptance gate in tools/bench_json.sh holds the
+// throughput overhead to <= 2%.
+//
+// With --json=PATH one record per (thread count, exec setting) is written;
+// tools/bench_json.sh turns them into BENCH_PR6.json at the repo root.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/topology/parallel.h"
+#include "src/util/exec_context.h"
+#include "src/util/timer.h"
+
+namespace stj::bench {
+namespace {
+
+constexpr int kRepetitions = 5;  // best-of to damp scheduler noise
+
+struct ExecRun {
+  double seconds = 0.0;
+  ParallelJoinResult result;
+};
+
+ExecRun RunOnce(const ScenarioData& scenario, unsigned threads,
+                ExecContext* exec) {
+  JoinOptions options;
+  options.num_threads = threads;
+  options.exec = exec;
+  Timer timer;
+  ExecRun run;
+  run.result = ParallelFindRelation(Method::kPC, scenario.RView(),
+                                    scenario.SView(), scenario.candidates,
+                                    options);
+  run.seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+void Run(const BenchOptions& options) {
+  const std::string scenario_name = "OLE-OPE";
+  const ScenarioData scenario = BuildScenarioVerbose(scenario_name, options);
+  JsonReporter reporter(options.json_path);
+
+  PrintTitle("ExecContext check-in overhead: find-relation (P+C)");
+  std::printf("%-8s %-6s %12s %14s %14s %10s\n", "threads", "exec", "seconds",
+              "pairs/s", "checkins", "overhead");
+
+  for (const unsigned threads : options.threads) {
+    double off_seconds = 0.0;
+    std::vector<de9im::Relation> off_relations;
+    for (const bool exec_on : {false, true}) {
+      // The bounded run arms a real deadline and budget that never trip, so
+      // the hot path includes the periodic clock poll, not just the flag
+      // load.
+      ExecRun best;
+      uint64_t checkins = 0;
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        ExecContext exec;
+        if (exec_on) {
+          exec.SetDeadlineAfter(std::chrono::hours(24));
+          exec.SetMemoryBudget(size_t{1} << 40);
+        }
+        ExecRun run =
+            RunOnce(scenario, threads, exec_on ? &exec : nullptr);
+        if (!run.result.status.ok() || !run.result.partial.Complete()) {
+          std::fprintf(stderr, "FATAL: unbounded run tripped (%s)\n",
+                       run.result.status.ToString().c_str());
+          std::exit(1);
+        }
+        if (best.seconds == 0.0 || run.seconds < best.seconds) {
+          checkins = run.result.stats.checkins;
+          best = std::move(run);
+        }
+      }
+      if (!exec_on) {
+        off_seconds = best.seconds;
+        off_relations = best.result.relations;
+      } else if (best.result.relations != off_relations) {
+        std::fprintf(stderr,
+                     "FATAL: %u-thread exec-on run diverged from exec-off\n",
+                     threads);
+        std::exit(1);
+      }
+      const double pairs_per_sec =
+          best.seconds > 0
+              ? static_cast<double>(scenario.candidates.size()) / best.seconds
+              : 0.0;
+      const double overhead_pct =
+          exec_on && off_seconds > 0
+              ? 100.0 * (best.seconds - off_seconds) / off_seconds
+              : 0.0;
+      std::printf("%-8u %-6s %12.3f %14.0f %14llu %9.2f%%\n", threads,
+                  exec_on ? "on" : "off", best.seconds, pairs_per_sec,
+                  static_cast<unsigned long long>(checkins), overhead_pct);
+      std::fflush(stdout);
+
+      JsonRecord record;
+      record.Set("bench", "exec_context")
+          .Set("stage", "find_relation")
+          .Set("scenario", scenario_name)
+          .Set("method", ToString(Method::kPC))
+          .Set("threads", threads)
+          .Set("exec", exec_on ? "on" : "off")
+          .Set("scale", options.scale)
+          .Set("grid_order", static_cast<uint64_t>(options.grid_order))
+          .Set("seed", options.seed)
+          .Set("seconds", best.seconds)
+          .Set("pairs", static_cast<uint64_t>(scenario.candidates.size()))
+          .Set("pairs_per_sec", pairs_per_sec)
+          .Set("checkins", checkins)
+          .Set("overhead_pct", overhead_pct);
+      reporter.Add(record);
+    }
+  }
+
+  if (!reporter.Write()) std::exit(1);
+}
+
+}  // namespace
+}  // namespace stj::bench
+
+int main(int argc, char** argv) {
+  stj::bench::Run(stj::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -422,7 +422,7 @@ Dataset BuildDataset(std::string_view name, double scale, uint64_t seed) {
 
 std::vector<AprilApproximation> BuildAprilApproximations(
     const Dataset& dataset, const RasterGrid& grid, unsigned num_threads,
-    bool per_cell_oracle) {
+    bool per_cell_oracle, ExecContext* exec) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -432,11 +432,32 @@ std::vector<AprilApproximation> BuildAprilApproximations(
   // constructs its own AprilBuilder because a builder's scratch buffers are
   // not shareable across threads.
   std::vector<AprilApproximation> out(dataset.objects.size());
+  if (exec != nullptr) {
+    // Cancellable build: pre-flag every slot unusable so records abandoned
+    // by a trip read as degraded (the pipeline then refines those pairs
+    // instead of filtering on empty interval lists). Build() overwrites the
+    // flag for every record it completes.
+    for (AprilApproximation& a : out) a.usable = false;
+  }
+  // Rasterising one object is the expensive work unit here, so each worker
+  // checks in on every object; the builder (and its scratch) stays one per
+  // chunk as before.
   internal::RunChunks(num_threads, dataset.objects.size(),
                       [&](unsigned /*worker*/, size_t begin, size_t end) {
                         const AprilBuilder builder(&grid, per_cell_oracle);
+                        ExecContext::Scope scope(exec);
                         for (size_t i = begin; i < end; ++i) {
+                          if (scope.CheckIn()) return;
                           out[i] = builder.Build(dataset.objects[i].geometry);
+                          if (exec != nullptr &&
+                              !exec->TryCharge(out[i].ByteSize())) {
+                            // Budget trip: drop the record that overflowed
+                            // the budget; the next check-in stops the other
+                            // workers.
+                            out[i] = AprilApproximation{};
+                            out[i].usable = false;
+                            return;
+                          }
                         }
                       });
   return out;

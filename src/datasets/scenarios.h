@@ -9,6 +9,7 @@
 #include "src/raster/april.h"
 #include "src/raster/grid.h"
 #include "src/topology/pipeline.h"
+#include "src/util/exec_context.h"
 
 namespace stj {
 
@@ -99,8 +100,16 @@ ScenarioData BuildScenario(std::string_view name,
 /// into a pre-sized output, so the returned vector is byte-identical
 /// regardless of thread count. \p per_cell_oracle selects the per-cell
 /// construction path (differential testing and the build benchmark).
+///
+/// \p exec (optional) makes the build cancellable: workers check in once
+/// per rasterised object and charge each record's interval payload against
+/// the soft memory budget. On a trip the vector keeps every record built
+/// before the cut and flags the unbuilt remainder usable=false — exactly
+/// the shape of a degraded APRIL load, so a join over the partial build
+/// stays exact via refinement fallback. Consult exec->StopRequested() /
+/// ToStatus() to distinguish a partial build from a complete one.
 std::vector<AprilApproximation> BuildAprilApproximations(
     const Dataset& dataset, const RasterGrid& grid, unsigned num_threads = 1,
-    bool per_cell_oracle = false);
+    bool per_cell_oracle = false, ExecContext* exec = nullptr);
 
 }  // namespace stj

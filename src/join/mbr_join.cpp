@@ -93,8 +93,13 @@ struct TileCsr {
 /// pass fans out over \p threads workers; the final per-tile sort uses idx
 /// as tiebreaker so the layout is independent of scatter interleaving (and
 /// of the thread count).
+/// Items per cancellation check-in for the distribute passes. Counting or
+/// scattering one box costs nanoseconds, so a coarse grain keeps check-in
+/// overhead invisible while still bounding trip latency to microseconds.
+constexpr size_t kDistributeGrain = 4096;
+
 TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
-                 unsigned threads) {
+                 unsigned threads, ExecContext* exec) {
   const size_t tile_count = static_cast<size_t>(grid.tiles) * grid.tiles;
   TileCsr csr;
   csr.offsets.assign(tile_count + 1, 0);
@@ -103,7 +108,7 @@ TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
   for (size_t t = 0; t < tile_count; ++t) {
     cursors[t].store(0, std::memory_order_relaxed);
   }
-  internal::RunChunks(threads, boxes.size(),
+  internal::RunChunks(exec, kDistributeGrain, threads, boxes.size(),
                       [&](unsigned, size_t begin, size_t end) {
                         for (size_t i = begin; i < end; ++i) {
                           if (boxes[i].IsEmpty()) continue;
@@ -113,6 +118,7 @@ TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
                           });
                         }
                       });
+  if (exec != nullptr && exec->StopRequested()) return csr;
 
   size_t total = 0;
   for (size_t t = 0; t < tile_count; ++t) {
@@ -122,10 +128,17 @@ TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
     cursors[t].store(csr.offsets[t], std::memory_order_relaxed);
   }
   csr.offsets[tile_count] = total;
+  if (exec != nullptr && !exec->TryCharge(total * sizeof(TileEntry))) {
+    // Budget trip: leave the CSR empty (offsets all zero) — Join returns no
+    // pairs and the caller reads the cause from exec->ToStatus().
+    csr.offsets.assign(tile_count + 1, 0);
+    return csr;
+  }
   csr.entries.resize(total);
 
   internal::RunChunks(
-      threads, boxes.size(), [&](unsigned, size_t begin, size_t end) {
+      exec, kDistributeGrain, threads, boxes.size(),
+      [&](unsigned, size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
           if (boxes[i].IsEmpty()) continue;
           ForEachTile(boxes[i], grid, [&](size_t tile) {
@@ -136,9 +149,16 @@ TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
           });
         }
       });
+  if (exec != nullptr && exec->StopRequested()) {
+    // A partially scattered layout is not a valid CSR; drop it.
+    csr.offsets.assign(tile_count + 1, 0);
+    csr.entries.clear();
+    return csr;
+  }
 
   internal::RunChunks(
-      threads, tile_count, [&](unsigned, size_t begin, size_t end) {
+      exec, /*grain=*/64, threads, tile_count,
+      [&](unsigned, size_t begin, size_t end) {
         for (size_t t = begin; t < end; ++t) {
           std::sort(csr.entries.begin() + static_cast<ptrdiff_t>(csr.offsets[t]),
                     csr.entries.begin() +
@@ -149,6 +169,11 @@ TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
                     });
         }
       });
+  if (exec != nullptr && exec->StopRequested()) {
+    csr.offsets.assign(tile_count + 1, 0);
+    csr.entries.clear();
+    return csr;
+  }
   STJ_IF_INVARIANTS(csr.ValidateInvariants(tile_count, boxes.size()));
   return csr;
 }
@@ -198,10 +223,12 @@ std::vector<CandidatePair> MbrJoin::Join(const std::vector<Box>& r,
                    ? static_cast<double>(tiles) / grid.bounds.Height()
                    : 0.0;
 
+  ExecContext* exec = options.exec;
   const unsigned threads =
       ResolveJoinThreads(options.num_threads, r.size() + s.size());
-  const TileCsr r_csr = BuildCsr(r, grid, threads);
-  const TileCsr s_csr = BuildCsr(s, grid, threads);
+  const TileCsr r_csr = BuildCsr(r, grid, threads, exec);
+  const TileCsr s_csr = BuildCsr(s, grid, threads, exec);
+  if (exec != nullptr && exec->StopRequested()) return out;
 
   // Sweeps one tile: forward scan of the two xmin-sorted entry runs,
   // reporting (a, b) if the boxes intersect and this tile owns their
@@ -250,8 +277,9 @@ std::vector<CandidatePair> MbrJoin::Join(const std::vector<Box>& r,
   if (options.deterministic || threads <= 1) {
     // Static contiguous tile chunks: worker w owns the w-th ascending tile
     // range, so concatenating per-worker buffers in worker order reproduces
-    // the single-threaded tile-major pair order exactly.
-    used = internal::RunChunks(threads, tile_count,
+    // the single-threaded tile-major pair order exactly. One check-in per
+    // swept tile bounds cancel latency to a single tile's sweep.
+    used = internal::RunChunks(exec, /*grain=*/1, threads, tile_count,
                                [&](unsigned worker, size_t begin, size_t end) {
                                  for (size_t t = begin; t < end; ++t) {
                                    sweep_tile(t, &per_worker[worker]);
@@ -262,11 +290,13 @@ std::vector<CandidatePair> MbrJoin::Join(const std::vector<Box>& r,
     // few dense tiles cannot serialize the sweep tail.
     std::atomic<size_t> next{0};
     used = internal::RunWorkers(threads, [&](unsigned worker) {
-      for (;;) {
+      ExecContext::Scope scope(exec);
+      while (!scope.stopped()) {
         const size_t begin = next.fetch_add(kTileBlock);
         if (begin >= tile_count) break;
         const size_t end = std::min(tile_count, begin + kTileBlock);
         for (size_t t = begin; t < end; ++t) {
+          if (scope.CheckIn()) break;
           sweep_tile(t, &per_worker[worker]);
         }
       }

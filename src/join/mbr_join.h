@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/geometry/box.h"
+#include "src/util/exec_context.h"
 
 namespace stj {
 
@@ -44,7 +45,11 @@ class MbrJoin {
     // Member-init-list constructor (not default member initializers): the
     // defaults are needed by Join's default argument before this class is
     // complete.
-    Options() : tiles_per_side(0), num_threads(1), deterministic(false) {}
+    Options()
+        : tiles_per_side(0),
+          num_threads(1),
+          deterministic(false),
+          exec(nullptr) {}
     /// Tiles per side; 0 picks ~sqrt((|r|+|s|)/8) automatically.
     uint32_t tiles_per_side;
     /// Worker threads for the distribute and sweep phases
@@ -56,6 +61,14 @@ class MbrJoin {
     /// false, tiles are scheduled dynamically (better balance under skew)
     /// and only the pair *set* is guaranteed stable.
     bool deterministic;
+    /// Optional deadline/cancel/budget carrier. Workers check in per swept
+    /// tile (and per distribute slice); a trip makes Join return early with
+    /// only the pairs discovered so far. The filter's candidate set is only
+    /// complete when !exec->StopRequested() afterwards — a cut-short filter
+    /// result must be treated as "query stopped during the filter stage",
+    /// not as a smaller join. The tile-entry tables are charged against the
+    /// exec memory budget before allocation.
+    ExecContext* exec;
   };
 
   /// Returns all pairs (i, j) with r[i] intersecting s[j].

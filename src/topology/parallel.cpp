@@ -29,9 +29,24 @@ void MergeStats(const PipelineStats& from, PipelineStats* into) {
   into->fallback_refined += from.fallback_refined;
   into->prepared_hits += from.prepared_hits;
   into->prepared_misses += from.prepared_misses;
+  into->checkins += from.checkins;
+  into->deadline_hits += from.deadline_hits;
+  into->cancel_latency_us =
+      std::max(into->cancel_latency_us, from.cancel_latency_us);
   into->filter_seconds += from.filter_seconds;
   into->refine_seconds += from.refine_seconds;
   into->prepared_build_seconds += from.prepared_build_seconds;
+}
+
+/// Copies one worker scope's watchdog observations into its stage stats
+/// (merged across workers by MergeStats exactly like the prepared_*
+/// telemetry).
+void RecordScope(const ExecContext::Scope& scope, PipelineStats* stats) {
+  stats->checkins = scope.checkins();
+  if (scope.stopped() && scope.observed_cause() == StopCause::kDeadlineExceeded) {
+    stats->deadline_hits = 1;
+  }
+  stats->cancel_latency_us = scope.observed_latency_us();
 }
 
 unsigned ResolveThreads(unsigned requested, size_t pairs) {
@@ -95,34 +110,68 @@ std::vector<uint32_t> HilbertSchedule(DatasetView r_view, DatasetView s_view,
 /// answers one pair. Single-threaded runs keep the plain input-order loop
 /// (no schedule to build, no cursor); multi-threaded runs drain
 /// Hilbert-ordered blocks through an atomic cursor.
+///
+/// Cancellation (options.exec != nullptr): every worker checks in before
+/// each pair and, on a trip, stops at that pair boundary — completed pairs
+/// stay valid, abandoned pairs are recorded as not-done. \p partial is then
+/// filled with the done bitmap (cleared again when the run completed, so
+/// unbounded callers pay nothing for it); \p status carries the trip cause.
 template <typename Process>
 PipelineStats RunPairs(Method method, DatasetView r_view, DatasetView s_view,
                        const std::vector<CandidatePair>& pairs,
-                       const JoinOptions& options, const Process& process) {
+                       const JoinOptions& options, const Process& process,
+                       Status* status, PartialResult* partial) {
   PipelineStats stats;
   const PipelineOptions pipeline_options{
       .time_stages = options.time_stages,
       .prepared_cache_bytes = options.prepared_cache_bytes};
+  ExecContext* ctx = options.exec;
+  partial->total = pairs.size();
+  if (ctx != nullptr) partial->done.assign(pairs.size(), 0);
   const unsigned threads = ResolveThreads(options.num_threads, pairs.size());
   if (threads <= 1) {
     Pipeline pipeline(method, r_view, s_view, pipeline_options);
-    for (size_t i = 0; i < pairs.size(); ++i) process(&pipeline, i);
-    return pipeline.Stats();
-  }
-  const std::vector<uint32_t> order = HilbertSchedule(r_view, s_view, pairs);
-  std::vector<PipelineStats> per_worker(threads);
-  std::atomic<size_t> next{0};
-  const unsigned used = internal::RunWorkers(threads, [&](unsigned worker) {
-    Pipeline pipeline(method, r_view, s_view, pipeline_options);
-    for (;;) {
-      const size_t begin = next.fetch_add(kPairBlock);
-      if (begin >= order.size()) break;
-      const size_t end = std::min(order.size(), begin + kPairBlock);
-      for (size_t i = begin; i < end; ++i) process(&pipeline, order[i]);
+    {
+      ExecContext::Scope scope(ctx);
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        if (scope.CheckIn()) break;
+        process(&pipeline, i);
+        if (ctx != nullptr) partial->done[i] = 1;
+      }
+      stats = pipeline.Stats();
+      if (ctx != nullptr) RecordScope(scope, &stats);
     }
-    per_worker[worker] = pipeline.Stats();
-  });
-  for (unsigned w = 0; w < used; ++w) MergeStats(per_worker[w], &stats);
+  } else {
+    const std::vector<uint32_t> order = HilbertSchedule(r_view, s_view, pairs);
+    std::vector<PipelineStats> per_worker(threads);
+    std::atomic<size_t> next{0};
+    const unsigned used = internal::RunWorkers(threads, [&](unsigned worker) {
+      Pipeline pipeline(method, r_view, s_view, pipeline_options);
+      ExecContext::Scope scope(ctx);
+      while (!scope.stopped()) {
+        const size_t begin = next.fetch_add(kPairBlock);
+        if (begin >= order.size()) break;
+        const size_t end = std::min(order.size(), begin + kPairBlock);
+        for (size_t i = begin; i < end; ++i) {
+          if (scope.CheckIn()) break;
+          process(&pipeline, order[i]);
+          if (ctx != nullptr) partial->done[order[i]] = 1;
+        }
+      }
+      per_worker[worker] = pipeline.Stats();
+      if (ctx != nullptr) RecordScope(scope, &per_worker[worker]);
+    });
+    for (unsigned w = 0; w < used; ++w) MergeStats(per_worker[w], &stats);
+  }
+  if (ctx != nullptr && ctx->StopRequested()) {
+    *status = ctx->ToStatus();
+    partial->completed = 0;
+    for (const char d : partial->done) partial->completed += (d != 0) ? 1 : 0;
+  } else {
+    *status = Status::Ok();
+    partial->completed = partial->total;
+    partial->done.clear();  // complete: the bitmap carries no information
+  }
   return stats;
 }
 
@@ -135,11 +184,13 @@ ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
   ParallelJoinResult result;
   if (pairs.empty()) return result;  // no workers, no per-worker state
   result.relations.resize(pairs.size());
-  result.stats = RunPairs(method, r_view, s_view, pairs, options,
-                          [&](Pipeline* pipeline, size_t i) {
-                            result.relations[i] = pipeline->FindRelation(
-                                pairs[i].r_idx, pairs[i].s_idx);
-                          });
+  result.stats = RunPairs(
+      method, r_view, s_view, pairs, options,
+      [&](Pipeline* pipeline, size_t i) {
+        result.relations[i] =
+            pipeline->FindRelation(pairs[i].r_idx, pairs[i].s_idx);
+      },
+      &result.status, &result.partial);
   return result;
 }
 
@@ -166,7 +217,8 @@ ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
       [&](Pipeline* pipeline, size_t i) {
         result.matches[i] =
             pipeline->Relate(pairs[i].r_idx, pairs[i].s_idx, predicate) ? 1 : 0;
-      });
+      },
+      &result.status, &result.partial);
   return result;
 }
 

@@ -5,7 +5,9 @@
 
 #include "src/join/mbr_join.h"
 #include "src/topology/pipeline.h"
+#include "src/util/exec_context.h"
 #include "src/util/parallel_for.h"  // internal::RunChunks / RunWorkers
+#include "src/util/status.h"
 
 namespace stj {
 
@@ -19,15 +21,45 @@ struct JoinOptions {
   /// (see PipelineOptions::prepared_cache_bytes). A pure performance knob:
   /// results are identical for every value.
   size_t prepared_cache_bytes = kDefaultPreparedCacheBytes;
+  /// Optional per-query deadline/cancel/budget carrier (exec_context.h).
+  /// When set, every worker checks in once per pair; a trip stops the join
+  /// cooperatively with a loss-less PartialResult. Null (the default) keeps
+  /// the unbounded run-to-completion behaviour at zero overhead.
+  ExecContext* exec = nullptr;
+};
+
+/// Which pairs of a cancellable join were fully verified before the cut.
+/// Loss-less cancellation contract: an answered pair's result is final and
+/// identical to what the unbounded run would have produced (the pipelines
+/// are deterministic per pair), so a caller can keep the partial answer,
+/// report it, or re-run exactly the unanswered remainder — merging the two
+/// runs by pair index reproduces the full result byte-for-byte.
+struct PartialResult {
+  uint64_t completed = 0;  ///< Pairs fully verified before the cut.
+  uint64_t total = 0;      ///< Pairs requested.
+  /// done[i] != 0 iff pairs[i] was answered (relations[i] / matches[i] is
+  /// valid). Empty on complete runs — completed == total is the cheap test.
+  std::vector<char> done;
+
+  bool Complete() const { return completed == total; }
+  bool Answered(size_t i) const {
+    return Complete() || (i < done.size() && done[i] != 0);
+  }
 };
 
 /// Result of a (possibly multi-threaded) find-relation join.
 struct ParallelJoinResult {
-  /// relations[i] answers pairs[i], in input order.
+  /// relations[i] answers pairs[i], in input order. On a cut-short run only
+  /// the entries with partial.Answered(i) are meaningful.
   std::vector<de9im::Relation> relations;
   /// Stage counters merged across all workers (timings are summed CPU time,
   /// not wall time).
   PipelineStats stats;
+  /// Ok on complete runs; kCancelled / kDeadlineExceeded /
+  /// kResourceExhausted when JoinOptions::exec tripped mid-join.
+  Status status;
+  /// Which pairs were answered before a trip (all of them when status.ok()).
+  PartialResult partial;
 };
 
 /// Evaluates find-relation for every candidate pair with \p method, fanning
@@ -64,6 +96,9 @@ ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
 struct ParallelRelateResult {
   std::vector<char> matches;  ///< 1 where the predicate holds.
   PipelineStats stats;
+  /// Same cancellation surface as ParallelJoinResult.
+  Status status;
+  PartialResult partial;
 };
 ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
                                     DatasetView s_view,

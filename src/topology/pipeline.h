@@ -76,6 +76,16 @@ struct PipelineStats {
   /// is disabled (prepared_cache_bytes == 0).
   uint64_t prepared_hits = 0;
   uint64_t prepared_misses = 0;
+  /// ExecContext watchdog counters for this stage (exec_context.h), merged
+  /// across workers like the prepared_* telemetry. All zero when the join
+  /// ran without an ExecContext.
+  uint64_t checkins = 0;  ///< Cancellation check-ins (one per pair).
+  /// Workers that stopped because the deadline tripped (summed; each worker
+  /// scope reports at most once).
+  uint64_t deadline_hits = 0;
+  /// Worst observed trip-to-worker-stop latency in microseconds (max across
+  /// workers) — the realised cooperative-cancellation latency of the stage.
+  uint64_t cancel_latency_us = 0;
   double filter_seconds = 0.0;  ///< MBR + intermediate filter time.
   double refine_seconds = 0.0;  ///< DE-9IM computation + mask matching time.
   /// Time spent building PreparedPolygon indexes on cache misses — a subset

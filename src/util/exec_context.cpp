@@ -1,0 +1,123 @@
+#include "src/util/exec_context.h"
+
+namespace stj {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* ToString(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone: return "none";
+    case StopCause::kCancelled: return "cancelled";
+    case StopCause::kDeadlineExceeded: return "deadline-exceeded";
+    case StopCause::kMemoryExceeded: return "memory-exceeded";
+  }
+  return "?";
+}
+
+bool ExecContext::RequestStop(StopCause cause) {
+  if (cause == StopCause::kNone) return false;
+  uint8_t expected = static_cast<uint8_t>(StopCause::kNone);
+  if (!stop_.compare_exchange_strong(expected, static_cast<uint8_t>(cause),
+                                     std::memory_order_acq_rel)) {
+    return false;  // an earlier trip already decided the stop cause
+  }
+  trip_time_us_.store(NowMicros(), std::memory_order_release);
+  return true;
+}
+
+Status ExecContext::ToStatus() const {
+  switch (cause()) {
+    case StopCause::kNone:
+      return Status::Ok();
+    case StopCause::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case StopCause::kDeadlineExceeded:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case StopCause::kMemoryExceeded:
+      return Status::ResourceExhausted("query memory budget exhausted");
+  }
+  return Status::Internal("unknown stop cause");
+}
+
+bool ExecContext::TryCharge(size_t bytes) {
+  if (charge_hook_ != nullptr) {
+    const uint64_t ordinal =
+        charge_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!charge_hook_(*this, bytes, ordinal)) {
+      RequestStop(StopCause::kMemoryExceeded);
+      return false;
+    }
+    charged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return true;
+  }
+  if (!has_budget_) return true;
+  if (StopRequested()) return false;
+  const int64_t remaining =
+      budget_remaining_.fetch_sub(static_cast<int64_t>(bytes),
+                                  std::memory_order_relaxed) -
+      static_cast<int64_t>(bytes);
+  if (remaining < 0) {
+    // Return the failed charge so concurrent small charges are not starved
+    // by one oversized request racing the trip.
+    budget_remaining_.fetch_add(static_cast<int64_t>(bytes),
+                                std::memory_order_relaxed);
+    RequestStop(StopCause::kMemoryExceeded);
+    return false;
+  }
+  charged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  return true;
+}
+
+bool ExecContext::PollDeadline() {
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    RequestStop(StopCause::kDeadlineExceeded);
+  }
+  return StopRequested();
+}
+
+void ExecContext::RunCheckInHook() {
+  const uint64_t ordinal =
+      checkin_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+  checkin_hook_(*this, ordinal);
+}
+
+void ExecContext::NoteStopObserved(uint64_t latency_us) {
+  stop_observations_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = max_cancel_latency_us_.load(std::memory_order_relaxed);
+  while (seen < latency_us &&
+         !max_cancel_latency_us_.compare_exchange_weak(
+             seen, latency_us, std::memory_order_relaxed)) {
+  }
+}
+
+bool ExecContext::Scope::ObserveStop() {
+  observed_stop_ = true;
+  observed_cause_ = ctx_->cause();
+  const int64_t tripped_at = ctx_->trip_time_us_.load(std::memory_order_acquire);
+  const int64_t now = NowMicros();
+  observed_latency_us_ =
+      now > tripped_at ? static_cast<uint64_t>(now - tripped_at) : 0;
+  ctx_->NoteStopObserved(observed_latency_us_);
+  return true;
+}
+
+void ExecContext::Scope::Flush() {
+  if (ctx_ == nullptr) return;
+  if (checkins_ != 0) {
+    ctx_->checkins_.fetch_add(checkins_, std::memory_order_relaxed);
+  }
+  if (deadline_polls_ != 0) {
+    ctx_->deadline_polls_.fetch_add(deadline_polls_,
+                                    std::memory_order_relaxed);
+  }
+}
+
+}  // namespace stj

@@ -1,10 +1,31 @@
 #include "src/util/parallel_for.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
 namespace stj::internal {
+
+void FirstError::RethrowIfAny() {
+  std::exception_ptr error;
+  uint64_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    error = error_;
+    dropped = dropped_errors_;
+  }
+  if (error == nullptr) return;
+  if (dropped != 0) {
+    std::fprintf(stderr,
+                 "[parallel] %" PRIu64
+                 " additional worker exception(s) dropped; rethrowing the "
+                 "first\n",
+                 dropped);
+  }
+  std::rethrow_exception(error);
+}
 
 namespace {
 
@@ -48,6 +69,25 @@ unsigned RunChunks(unsigned num_threads, size_t total,
   const auto used = static_cast<unsigned>(thunks.size());
   JoinAll(std::move(thunks));
   return used;
+}
+
+unsigned RunChunks(ExecContext* ctx, size_t grain, unsigned num_threads,
+                   size_t total,
+                   const std::function<void(unsigned, size_t, size_t)>& fn) {
+  if (ctx == nullptr) return RunChunks(num_threads, total, fn);
+  if (grain == 0) grain = 1;
+  // Slice each worker's chunk: one check-in buys `grain` items of progress,
+  // so a trip is noticed within one slice and the completed items form a
+  // prefix of the chunk.
+  const auto sliced = [&fn, ctx, grain](unsigned worker, size_t begin,
+                                        size_t end) {
+    ExecContext::Scope scope(ctx);
+    for (size_t at = begin; at < end; at += grain) {
+      if (scope.CheckIn()) break;
+      fn(worker, at, std::min(end, at + grain));
+    }
+  };
+  return RunChunks(num_threads, total, sliced);
 }
 
 unsigned RunWorkers(unsigned num_threads,

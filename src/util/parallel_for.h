@@ -1,42 +1,53 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
 
+#include "src/util/exec_context.h"
 #include "src/util/thread_annotations.h"
 
 namespace stj::internal {
 
 /// Collects the first exception thrown by any worker of a parallel region so
-/// it can be rethrown on the calling thread after all workers joined. The
-/// mutex/flag discipline is expressed with thread-safety annotations, so a
-/// clang -Wthread-safety build statically rejects unlocked access to the
-/// captured exception.
+/// it can be rethrown on the calling thread after all workers joined; later
+/// exceptions are counted rather than silently discarded, and RethrowIfAny
+/// reports the drop count before rethrowing. The mutex/flag discipline is
+/// expressed with thread-safety annotations, so a clang -Wthread-safety
+/// build statically rejects unlocked access to the captured exception.
 class FirstError {
  public:
-  /// Records std::current_exception() if no earlier worker already did.
-  /// Called from worker catch blocks; must not throw.
+  /// Records std::current_exception() if no earlier worker already did;
+  /// otherwise counts the exception as dropped. Called from worker catch
+  /// blocks; must not throw.
   void Capture() noexcept STJ_EXCLUDES(mutex_) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (error_ == nullptr) error_ = std::current_exception();
+    if (error_ == nullptr) {
+      error_ = std::current_exception();
+    } else {
+      ++dropped_errors_;
+    }
   }
 
-  /// Rethrows the captured exception, if any. Call only after every worker
-  /// that might Capture() has been joined.
-  void RethrowIfAny() STJ_EXCLUDES(mutex_) {
-    std::exception_ptr error;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      error = error_;
-    }
-    if (error != nullptr) std::rethrow_exception(error);
+  /// Rethrows the captured exception, if any. When later workers also threw,
+  /// logs how many of their exceptions were dropped (to stderr — the one
+  /// rethrown exception is the caller's to handle, the drop count would
+  /// otherwise vanish without a trace). Call only after every worker that
+  /// might Capture() has been joined.
+  void RethrowIfAny() STJ_EXCLUDES(mutex_);
+
+  /// Exceptions Capture() discarded because an earlier one was already held.
+  uint64_t dropped_errors() const STJ_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_errors_;
   }
 
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::exception_ptr error_ STJ_GUARDED_BY(mutex_);
+  uint64_t dropped_errors_ STJ_GUARDED_BY(mutex_) = 0;
 };
 
 /// Splits [0, total) into up to \p num_threads contiguous chunks and runs
@@ -52,6 +63,20 @@ class FirstError {
 /// first exception (by completion order) is rethrown on the calling thread;
 /// the process never std::terminates because of a throwing worker.
 unsigned RunChunks(unsigned num_threads, size_t total,
+                   const std::function<void(unsigned, size_t, size_t)>& fn);
+
+/// Cancellable RunChunks: each worker's chunk is processed in slices of at
+/// most \p grain items with an ExecContext check-in between slices, so a
+/// deadline, cancel, or budget trip stops the fan-out at the next slice
+/// boundary. Cancellation is loss-less per slice: a stopping worker has
+/// completed a prefix of its chunk and abandoned the rest untouched —
+/// callers that need to know *which* items ran must record that inside fn.
+/// ctx == nullptr degrades to plain RunChunks (identical behaviour and
+/// cost). grain == 0 is treated as 1. Returns the worker count like
+/// RunChunks; consult ctx->StopRequested() to learn whether the pass was
+/// cut short.
+unsigned RunChunks(ExecContext* ctx, size_t grain, unsigned num_threads,
+                   size_t total,
                    const std::function<void(unsigned, size_t, size_t)>& fn);
 
 /// Runs fn(worker_index) on \p num_threads workers (inline on the calling

@@ -18,6 +18,9 @@ enum class StatusCode : uint8_t {
   kIoError,          ///< OS-level read/write failure.
   kFailedPrecondition,  ///< Operation not valid in the current state.
   kInternal,            ///< Invariant violation; a bug, not bad input.
+  kCancelled,           ///< Query stopped by a cooperative cancel request.
+  kDeadlineExceeded,    ///< Query stopped by its deadline (exec_context.h).
+  kResourceExhausted,   ///< Query stopped by a resource budget (memory).
 };
 
 const char* ToString(StatusCode code);
@@ -51,6 +54,15 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

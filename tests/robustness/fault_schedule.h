@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/exec_context.h"
+
+// Deterministic fault schedules for the cancellation/budget layer: instead of
+// racing a wall-clock deadline against the scheduler, tests pin the fault to
+// an exact point in the cooperative schedule — "trip at the Nth check-in",
+// "fail the Mth tracked allocation" — so a cut-short run is reproducible and
+// its partial result can be compared against ground truth.
+
+namespace stj::test {
+
+/// Declarative fault plan for one ExecContext. Ordinals are 1-based and
+/// *global* across all workers — ExecContext allocates them atomically, so
+/// exactly one check-in observes "the 50th" even in a multi-threaded run.
+/// Which pairs land before that instant varies with scheduling, which is
+/// exactly what the prefix-consistency tests must be robust to.
+struct FaultSchedule {
+  /// Request a cooperative cancel at this global check-in (0 = never).
+  uint64_t cancel_at_checkin = 0;
+  /// Trip the deadline cause at this global check-in (0 = never). Simulates
+  /// "the clock poll fired here" without depending on real elapsed time.
+  uint64_t deadline_at_checkin = 0;
+  /// Fail this global TryCharge (0 = never): the allocation is refused and
+  /// the context trips kMemoryExceeded, exactly as a budget overflow would.
+  uint64_t fail_charge_at = 0;
+
+  /// Installs the schedule's hooks on \p ctx. Call before workers start.
+  void Install(ExecContext* ctx) const {
+    if (cancel_at_checkin != 0 || deadline_at_checkin != 0) {
+      const uint64_t cancel_at = cancel_at_checkin;
+      const uint64_t deadline_at = deadline_at_checkin;
+      ctx->SetCheckInHook([cancel_at, deadline_at](ExecContext& c,
+                                                   uint64_t ordinal) {
+        if (cancel_at != 0 && ordinal == cancel_at) {
+          c.RequestStop(StopCause::kCancelled);
+        }
+        if (deadline_at != 0 && ordinal == deadline_at) {
+          c.RequestStop(StopCause::kDeadlineExceeded);
+        }
+      });
+    }
+    if (fail_charge_at != 0) {
+      const uint64_t fail_at = fail_charge_at;
+      ctx->SetChargeHook([fail_at](ExecContext&, size_t /*bytes*/,
+                                   uint64_t ordinal) {
+        return ordinal != fail_at;
+      });
+    }
+  }
+};
+
+}  // namespace stj::test

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <barrier>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -59,6 +61,50 @@ TEST(RunChunks, AllWorkersThrowingYieldsExactlyOneException) {
     ++caught;
   }
   EXPECT_EQ(caught, 1u);
+}
+
+TEST(FirstError, CountsExceptionsDroppedByConcurrentWorkers) {
+  // Three workers throw at the same instant (the barrier guarantees all are
+  // in flight before any Capture runs): exactly one exception is held, the
+  // other two are counted instead of vanishing.
+  internal::FirstError error;
+  std::barrier sync(3);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&error, &sync, w] {
+      sync.arrive_and_wait();
+      try {
+        throw WorkerFailure("worker " + std::to_string(w));
+      } catch (...) {
+        error.Capture();
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(error.dropped_errors(), 2u);
+  EXPECT_THROW(error.RethrowIfAny(), WorkerFailure);
+}
+
+TEST(RunChunks, ConcurrentWorkerFailuresReportTheDropCount) {
+  // End-to-end flavour of the same regression: RethrowIfAny must surface
+  // how many sibling exceptions were discarded (they are invisible to the
+  // caller, who only sees the one rethrown failure).
+  std::barrier sync(3);
+  ::testing::internal::CaptureStderr();
+  unsigned caught = 0;
+  try {
+    internal::RunChunks(3, 3, [&sync](unsigned worker, size_t, size_t) {
+      sync.arrive_and_wait();
+      throw WorkerFailure("worker " + std::to_string(worker));
+    });
+  } catch (const WorkerFailure&) {
+    ++caught;
+  }
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(caught, 1u);
+  EXPECT_NE(log.find("2 additional worker exception(s) dropped"),
+            std::string::npos)
+      << "log was: " << log;
 }
 
 TEST(RunChunks, ZeroTotalRunsNothing) {

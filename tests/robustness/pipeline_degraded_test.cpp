@@ -140,6 +140,54 @@ TEST_F(PipelineDegradedTest, DiskCorruptionEndToEnd) {
   std::remove(path.c_str());
 }
 
+TEST_F(PipelineDegradedTest, PermissiveStoreLoadKeepsFilterDecisionsActive) {
+  // Degradation must stay *isolated*: after a permissive load of a store
+  // with a few corrupt records, the healthy majority still decides pairs at
+  // the APRIL filter stage — corruption must not silently push the whole
+  // join onto the refinement path. Save the R store, flip one payload byte
+  // in every 7th record, reload through the permissive arena loader, and
+  // join straight from the repaired store.
+  const std::string path = TempPath("pipeline_store_degraded.april");
+  ASSERT_TRUE(SaveAprilStoreCompressed(
+      path, AprilStore::FromApproximations(scenario_.r_april)));
+  std::string bytes = test::ReadFileBytes(path);
+
+  constexpr size_t kHeaderSize = 16;
+  size_t off = kHeaderSize;
+  size_t flipped = 0;
+  for (size_t i = 0; i < scenario_.r_april.size(); ++i) {
+    uint64_t payload_size = 0;
+    ASSERT_LE(off + 16, bytes.size());
+    std::memcpy(&payload_size, bytes.data() + off, sizeof payload_size);
+    if (i % 7 == 0 && payload_size > 0) {
+      bytes = test::WithFlippedByte(bytes, off + 16);
+      ++flipped;
+    }
+    off += 16 + payload_size;
+  }
+  ASSERT_GT(flipped, 0u);
+  test::WriteFileBytes(path, bytes);
+
+  AprilStore store;
+  AprilLoadReport report;
+  const Status status = LoadAprilStore(path, &store, &report);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(report.Degraded());
+  EXPECT_EQ(report.corrupt, flipped);
+  ASSERT_EQ(store.Count(), scenario_.r_april.size());
+
+  const DatasetView r_view{&scenario_.r.objects, nullptr, &store};
+  for (const Method method : {Method::kApril, Method::kPC}) {
+    const ParallelJoinResult result = ParallelFindRelation(
+        method, r_view, scenario_.SView(), scenario_.candidates,
+        /*num_threads=*/2);
+    ExpectMatchesGroundTruthWithFallback(result, ToString(method));
+    // The healthy records kept the filter stage in play.
+    EXPECT_GT(result.stats.decided_by_filter, 0u) << ToString(method);
+  }
+  std::remove(path.c_str());
+}
+
 TEST_F(PipelineDegradedTest, RelatePredicateDegradesExactly) {
   std::vector<AprilApproximation> r_april = scenario_.r_april;
   for (size_t i = 0; i < r_april.size(); i += 2) r_april[i].usable = false;

@@ -11,6 +11,10 @@
 #   bench_prepared_cache    prepared-geometry cache on/off find-relation
 #                           refinement on the TC-TZ nested tessellation at
 #                           1/2/4 threads -> BENCH_PR4.json
+#   bench_exec_context      ExecContext check-in overhead: P+C find-relation
+#                           on OLE-OPE with and without a (never-tripping)
+#                           deadline + memory budget armed, 1/4 threads
+#                           -> BENCH_PR6.json
 #
 # Extra arguments are forwarded to the PR3 bench binaries, e.g.:
 #
@@ -28,15 +32,17 @@ cd "$(dirname "$0")/.."
 
 OUT="BENCH_PR3.json"
 PREPARED_OUT_FINAL="BENCH_PR4.json"
+EXEC_OUT_FINAL="BENCH_PR6.json"
 SCALING_OUT="$(mktemp)"
 APRIL_OUT="$(mktemp)"
 PREPARED_OUT="$(mktemp)"
-trap 'rm -f "$SCALING_OUT" "$APRIL_OUT" "$PREPARED_OUT"' EXIT
+EXEC_OUT="$(mktemp)"
+trap 'rm -f "$SCALING_OUT" "$APRIL_OUT" "$PREPARED_OUT" "$EXEC_OUT"' EXIT
 
 echo "==== configure + build (Release) ===="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$(nproc)" --target bench_parallel_scaling \
-  bench_april_build bench_prepared_cache
+  bench_april_build bench_prepared_cache bench_exec_context
 
 echo "==== run bench_parallel_scaling ===="
 build/bench/bench_parallel_scaling --json="$SCALING_OUT" "$@"
@@ -132,4 +138,46 @@ print(f'{len(records)} records OK (prepared-cache refinement speedup '
       + ', '.join(f'{t}T {s:.1f}x' for t, s in sorted(speedups.items())) + ')')
 PY
 
-echo "bench_json: wrote and validated $OUT and $PREPARED_OUT_FINAL"
+echo "==== run bench_exec_context (OLE-OPE, threads 1/4) ===="
+build/bench/bench_exec_context --threads=1,4 --json="$EXEC_OUT"
+
+echo "==== validate $EXEC_OUT_FINAL ===="
+python3 - "$EXEC_OUT" "$EXEC_OUT_FINAL" <<'PY'
+import json, sys
+
+records = json.load(open(sys.argv[1]))
+assert isinstance(records, list) and records, 'empty report'
+
+required = {'bench', 'stage', 'scenario', 'method', 'threads', 'exec',
+            'seconds', 'pairs', 'pairs_per_sec', 'checkins', 'overhead_pct'}
+for r in records:
+    missing = required - set(r)
+    assert not missing, f'record missing {missing}: {r}'
+    assert r['bench'] == 'exec_context' and r['stage'] == 'find_relation', r
+
+by_key = {(r['threads'], r['exec']): r for r in records}
+assert set(by_key) >= {(t, e) for t in (1, 4) for e in ('off', 'on')}, \
+    f'missing (threads, exec) combinations: {sorted(by_key)}'
+
+# The acceptance number: with an armed-but-never-tripping ExecContext the
+# join throughput must stay within 2% of the context-free run.
+overheads = {}
+for t in (1, 4):
+    off = by_key[(t, 'off')]['pairs_per_sec']
+    on = by_key[(t, 'on')]['pairs_per_sec']
+    assert off > 0, f'zero exec-off throughput at {t} threads'
+    overheads[t] = 100.0 * (off - on) / off
+    assert overheads[t] <= 2.0, \
+        f'exec-context overhead {overheads[t]:.2f}% > 2% at {t} threads'
+    assert by_key[(t, 'on')]['checkins'] >= by_key[(t, 'on')]['pairs'], \
+        'bounded run must check in at least once per pair'
+
+with open(sys.argv[2], 'w') as f:
+    json.dump(records, f, indent=1)
+    f.write('\n')
+print(f'{len(records)} records OK (exec-context overhead '
+      + ', '.join(f'{t}T {o:+.2f}%' for t, o in sorted(overheads.items()))
+      + ')')
+PY
+
+echo "bench_json: wrote and validated $OUT, $PREPARED_OUT_FINAL and $EXEC_OUT_FINAL"

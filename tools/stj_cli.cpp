@@ -22,13 +22,19 @@
 //   stj_cli join <r.wkt> <s.wkt> [--method=pc|st2|op2|april]
 //                [--grid-order=N] [--predicate=<relation>] [--threads=T]
 //                [--prepared-cache-mb=M] [--permissive]
+//                [--deadline-ms=D] [--max-memory-mb=B]
 //       Run the full topology join between two WKT files: MBR filter join,
 //       then find-relation (default) or a relate_p predicate join. Prints
 //       one "r_index s_index relation" line per non-disjoint pair plus a
 //       summary to stderr. --prepared-cache-mb sizes the per-worker
 //       prepared-geometry cache that amortises refinement index
 //       construction across pairs (default 32; 0 disables it — results are
-//       identical either way).
+//       identical either way). --deadline-ms bounds the query's wall time
+//       and --max-memory-mb its APRIL/tile-table memory; either flag makes
+//       the run cancellable (Ctrl-C stops it cooperatively too). A tripped
+//       run still prints every pair that was fully verified before the cut,
+//       reports how much of the join was answered, and exits with the
+//       matching code below.
 //
 // Input files are loaded strictly by default: the first malformed line
 // aborts with a message naming the file, line, and byte offset. With
@@ -38,8 +44,12 @@
 // Exit codes: 0 success; 2 usage error; 3 missing/unreadable/unwritable
 // file; 4 malformed content (WKT parse error, APRIL structural corruption);
 // 5 unknown dataset/method/predicate name; 6 (aprilcheck) file loads but
-// contains corrupt or missing records.
+// contains corrupt or missing records; 7 query deadline exceeded
+// (--deadline-ms); 8 query cancelled (SIGINT); 9 query memory budget
+// exhausted (--max-memory-mb).
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +62,7 @@
 #include "src/geometry/wkt.h"
 #include "src/raster/april_io.h"
 #include "src/topology/parallel.h"
+#include "src/util/exec_context.h"
 #include "src/util/status.h"
 #include "src/util/timer.h"
 
@@ -66,6 +77,9 @@ enum ExitCode : int {
   kExitBadData = 4,
   kExitBadName = 5,
   kExitDegraded = 6,
+  kExitDeadline = 7,
+  kExitCancelled = 8,
+  kExitBudget = 9,
 };
 
 /// Maps a library Status to the documented exit codes.
@@ -76,6 +90,9 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kIoError: return kExitIo;
     case StatusCode::kInvalidArgument:
     case StatusCode::kDataLoss: return kExitBadData;
+    case StatusCode::kDeadlineExceeded: return kExitDeadline;
+    case StatusCode::kCancelled: return kExitCancelled;
+    case StatusCode::kResourceExhausted: return kExitBudget;
     case StatusCode::kFailedPrecondition:
     case StatusCode::kInternal: return 1;
   }
@@ -96,6 +113,10 @@ struct Flags {
   unsigned threads = 0;
   size_t prepared_cache_mb = kDefaultPreparedCacheBytes >> 20;
   bool permissive = false;
+  uint64_t deadline_ms = 0;    ///< 0 = no deadline.
+  size_t max_memory_mb = 0;    ///< 0 = no memory budget.
+
+  bool Bounded() const { return deadline_ms != 0 || max_memory_mb != 0; }
 };
 
 Flags ParseFlags(int argc, char** argv, int first) {
@@ -118,6 +139,10 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.prepared_cache_mb = static_cast<size_t>(std::atoll(arg + 20));
     } else if (std::strcmp(arg, "--permissive") == 0) {
       flags.permissive = true;
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      flags.deadline_ms = static_cast<uint64_t>(std::atoll(arg + 14));
+    } else if (std::strncmp(arg, "--max-memory-mb=", 16) == 0) {
+      flags.max_memory_mb = static_cast<size_t>(std::atoll(arg + 16));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       std::exit(kExitUsage);
@@ -272,6 +297,18 @@ int CmdRelate(int argc, char** argv) {
   return kExitOk;
 }
 
+/// The join command's ExecContext, reachable from the SIGINT handler. The
+/// handler only performs a lock-free CAS plus clock_gettime (both
+/// async-signal-safe), which is exactly what cooperative cancellation is
+/// for: the workers notice at their next check-in and stop at a pair
+/// boundary.
+ExecContext* g_join_exec = nullptr;
+
+void HandleInterrupt(int) {
+  if (g_join_exec != nullptr) g_join_exec->Cancel();
+  std::signal(SIGINT, SIG_DFL);  // a second Ctrl-C kills the process
+}
+
 /// Prints the prepared-geometry cache summary for a join (hits/misses are
 /// per-side lookups: two per refined pair). Silent when the cache was
 /// disabled or nothing was refined.
@@ -285,6 +322,22 @@ void ReportPreparedStats(const PipelineStats& stats) {
                static_cast<unsigned long long>(stats.prepared_misses),
                100.0 * static_cast<double>(stats.prepared_hits) /
                    static_cast<double>(lookups));
+}
+
+/// Reports a cut-short refinement stage. Every printed pair was fully
+/// verified before the cut (loss-less cancellation), so the partial output
+/// is a correct subset of the full answer.
+int ReportStopped(const Status& status, const PartialResult& partial,
+                  const PipelineStats& stats) {
+  std::fprintf(stderr,
+               "[join] stopped early: %s — %llu/%llu pairs answered "
+               "(cancel latency %llu us, %llu check-ins)\n",
+               status.ToString().c_str(),
+               static_cast<unsigned long long>(partial.completed),
+               static_cast<unsigned long long>(partial.total),
+               static_cast<unsigned long long>(stats.cancel_latency_us),
+               static_cast<unsigned long long>(stats.checkins));
+  return ExitCodeFor(status);
 }
 
 int CmdJoin(int argc, char** argv) {
@@ -311,29 +364,62 @@ int CmdJoin(int argc, char** argv) {
     bounds.Expand(object.geometry.Bounds());
   }
   const RasterGrid grid(bounds, flags.grid_order);
+
+  // Either bounding flag makes the whole query cancellable; Ctrl-C then
+  // cancels cooperatively instead of killing the process mid-write.
+  ExecContext exec;
+  ExecContext* exec_ptr = nullptr;
+  if (flags.Bounded()) {
+    if (flags.deadline_ms != 0) {
+      exec.SetDeadlineAfter(std::chrono::milliseconds(flags.deadline_ms));
+    }
+    if (flags.max_memory_mb != 0) {
+      exec.SetMemoryBudget(flags.max_memory_mb << 20);
+    }
+    exec_ptr = &exec;
+    g_join_exec = &exec;
+    std::signal(SIGINT, HandleInterrupt);
+  }
+
   Timer timer;
   const std::vector<AprilApproximation> r_april =
-      BuildAprilApproximations(r, grid, flags.threads);
+      BuildAprilApproximations(r, grid, flags.threads,
+                               /*per_cell_oracle=*/false, exec_ptr);
   const std::vector<AprilApproximation> s_april =
-      BuildAprilApproximations(s, grid, flags.threads);
+      BuildAprilApproximations(s, grid, flags.threads,
+                               /*per_cell_oracle=*/false, exec_ptr);
   std::fprintf(stderr, "[april] built %zu+%zu approximations (preprocess "
                "%.2fs)\n",
                r_april.size(), s_april.size(), timer.ElapsedSeconds());
+  if (exec_ptr != nullptr && exec_ptr->StopRequested()) {
+    std::fprintf(stderr, "[join] stopped during preprocessing: no pairs "
+                 "answered\n");
+    return FailWith(exec_ptr->ToStatus());
+  }
 
   timer.Reset();
   MbrJoin::Options filter_options;
   filter_options.num_threads = flags.threads;  // 0 = hardware concurrency
+  filter_options.exec = exec_ptr;
   const std::vector<CandidatePair> pairs =
       MbrJoin::Join(r.Mbrs(), s.Mbrs(), filter_options);
   std::fprintf(stderr, "[filter] %zu candidate pairs in %.2fs\n", pairs.size(),
                timer.ElapsedSeconds());
+  if (exec_ptr != nullptr && exec_ptr->StopRequested()) {
+    // A cut-short filter result is an incomplete candidate set, not a
+    // smaller join — nothing downstream of it may be reported.
+    std::fprintf(stderr, "[join] stopped during the filter stage: no pairs "
+                 "answered\n");
+    return FailWith(exec_ptr->ToStatus());
+  }
 
   const DatasetView r_view{&r.objects, &r_april};
   const DatasetView s_view{&s.objects, &s_april};
   const JoinOptions join_options{
       .num_threads = flags.threads,
       .time_stages = false,
-      .prepared_cache_bytes = flags.prepared_cache_mb << 20};
+      .prepared_cache_bytes = flags.prepared_cache_mb << 20,
+      .exec = exec_ptr};
   timer.Reset();
   if (!flags.predicate.empty()) {
     const auto predicate = ParseRelation(flags.predicate);
@@ -346,7 +432,7 @@ int CmdJoin(int argc, char** argv) {
         *method, r_view, s_view, pairs, *predicate, join_options);
     size_t matches = 0;
     for (size_t i = 0; i < pairs.size(); ++i) {
-      if (result.matches[i] != 0) {
+      if (result.partial.Answered(i) && result.matches[i] != 0) {
         ++matches;
         std::printf("%u %u %s\n", pairs[i].r_idx, pairs[i].s_idx,
                     ToString(*predicate));
@@ -357,11 +443,15 @@ int CmdJoin(int argc, char** argv) {
                  matches, pairs.size(), ToString(*predicate),
                  timer.ElapsedSeconds(), result.stats.UndeterminedPercent());
     ReportPreparedStats(result.stats);
+    if (!result.status.ok()) {
+      return ReportStopped(result.status, result.partial, result.stats);
+    }
   } else {
     const ParallelJoinResult result =
         ParallelFindRelation(*method, r_view, s_view, pairs, join_options);
     size_t links = 0;
     for (size_t i = 0; i < pairs.size(); ++i) {
+      if (!result.partial.Answered(i)) continue;
       if (result.relations[i] == de9im::Relation::kDisjoint) continue;
       ++links;
       std::printf("%u %u %s\n", pairs[i].r_idx, pairs[i].s_idx,
@@ -379,6 +469,9 @@ int CmdJoin(int argc, char** argv) {
                    "(missing/corrupt approximations)\n",
                    static_cast<unsigned long long>(
                        result.stats.fallback_refined));
+    }
+    if (!result.status.ok()) {
+      return ReportStopped(result.status, result.partial, result.stats);
     }
   }
   return kExitOk;
