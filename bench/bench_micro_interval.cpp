@@ -1,10 +1,36 @@
 // Micro-benchmarks for the interval-list merge-joins — the primitive the
-// P+C intermediate filters are built from. All four relations must be
-// linear in the list lengths.
+// P+C intermediate filters are built from — plus the PR7 JSON harness.
+//
+// Two modes:
+//  - default: google-benchmark micro suite. The classic per-relation
+//    benchmarks run at the active SIMD level; a registered sweep additionally
+//    runs all four relations over dense / sparse / adversarial list shapes at
+//    every available kernel level (scalar vs AVX2/NEON), so a regression in
+//    either table is visible in isolation.
+//  - --json=PATH: the BENCH_PR7.json harness. Builds the dense TC-TZ
+//    tessellation scenario and times the full intermediate-filter stage
+//    (FindRelationFilter over all MBR-join candidates) in three
+//    configurations — scalar kernels on flat lists, SIMD kernels on flat
+//    lists, SIMD kernels fused into the blocked codec — at 1 and 4 threads,
+//    verifying that all configurations produce identical decisions and
+//    reporting the scalar-vs-SIMD speedup and the codec compression ratio.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "src/interval/interval_algebra.h"
+#include "src/interval/simd.h"
+#include "src/raster/april_compressed.h"
+#include "src/raster/april_store.h"
+#include "src/topology/find_relation.h"
+#include "src/util/cpuid.h"
+#include "src/util/parallel_for.h"
 #include "src/util/rng.h"
 
 namespace stj {
@@ -156,5 +182,295 @@ void BM_ListsCommonCellsDisjointRanges(benchmark::State& state) {
 }
 BENCHMARK(BM_ListsCommonCellsDisjointRanges)->Range(8, 16 << 10);
 
+// ---- relation x shape x kernel-level sweep ------------------------------
+
+enum class RelationOp { kOverlap, kInside, kMatch, kCommonCells };
+enum class ListShape { kDense, kSparse, kManyTinyVsHuge, kHeavyOverlap };
+
+struct ListPair {
+  IntervalList x;
+  IntervalList y;
+};
+
+/// Builds an (x, y) pair of the given shape whose evaluation reaches the
+/// kernel merge loop of \p op (pre-checks must not answer in O(1)).
+ListPair MakeShapePair(RelationOp op, ListShape shape, size_t n) {
+  Rng rng(static_cast<uint64_t>(op) * 101 + static_cast<uint64_t>(shape) + 1);
+  ListPair pair;
+  switch (shape) {
+    case ListShape::kDense:
+      pair.x = MakeList(&rng, n, 4, 24);
+      pair.y = MakeList(&rng, n, 4, 24);
+      break;
+    case ListShape::kSparse:
+      pair.x = MakeList(&rng, n, 512, 4);
+      pair.y = MakeList(&rng, n, 512, 4);
+      break;
+    case ListShape::kManyTinyVsHuge:
+      // x: n single-cell intervals; y: a few huge intervals spanning them.
+      for (size_t i = 0; i < n; ++i) pair.x.Append(8 * i, 8 * i + 1);
+      for (size_t i = 0; i < n; i += 256) {
+        pair.y.Append(8 * i + 1, 8 * (i + 255) + 7);
+      }
+      break;
+    case ListShape::kHeavyOverlap:
+      // Same grid, half-offset: every interval partially overlaps one of
+      // the other list's.
+      for (size_t i = 0; i < n; ++i) {
+        pair.x.Append(8 * i, 8 * i + 5);
+        pair.y.Append(8 * i + 3, 8 * i + 7);
+      }
+      break;
+  }
+  if (op == RelationOp::kInside) {
+    // Positive containment: x becomes sub-intervals of y.
+    IntervalList sub;
+    for (size_t i = 0; i < pair.y.Size(); i += 2) {
+      if (pair.y[i].Length() >= 2) sub.Append(pair.y[i].begin,
+                                              pair.y[i].begin + 1);
+    }
+    pair.x = std::move(sub);
+  } else if (op == RelationOp::kMatch) {
+    pair.y = pair.x;
+  }
+  return pair;
+}
+
+const char* ToString(RelationOp op) {
+  switch (op) {
+    case RelationOp::kOverlap: return "overlap";
+    case RelationOp::kInside: return "inside";
+    case RelationOp::kMatch: return "match";
+    case RelationOp::kCommonCells: return "common_cells";
+  }
+  return "?";
+}
+
+const char* ToString(ListShape shape) {
+  switch (shape) {
+    case ListShape::kDense: return "dense";
+    case ListShape::kSparse: return "sparse";
+    case ListShape::kManyTinyVsHuge: return "many_tiny_vs_huge";
+    case ListShape::kHeavyOverlap: return "heavy_overlap";
+  }
+  return "?";
+}
+
+void BM_RelationShapeLevel(benchmark::State& state, RelationOp op,
+                           ListShape shape, SimdLevel level) {
+  if (!simd::ForceLevel(level)) {
+    state.SkipWithError("kernel level unavailable");
+    return;
+  }
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ListPair pair = MakeShapePair(op, shape, n);
+  for (auto _ : state) {
+    switch (op) {
+      case RelationOp::kOverlap:
+        benchmark::DoNotOptimize(ListsOverlap(pair.x, pair.y));
+        break;
+      case RelationOp::kInside:
+        benchmark::DoNotOptimize(ListInside(pair.x, pair.y));
+        break;
+      case RelationOp::kMatch:
+        benchmark::DoNotOptimize(ListsMatch(pair.x, pair.y));
+        break;
+      case RelationOp::kCommonCells:
+        benchmark::DoNotOptimize(ListsCommonCells(pair.x, pair.y));
+        break;
+    }
+  }
+  simd::ForceLevel(DetectSimdLevel());
+}
+
+void RegisterSweepBenchmarks() {
+  for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2,
+                                SimdLevel::kNeon}) {
+    if (simd::KernelsFor(level) == nullptr) continue;
+    for (const RelationOp op :
+         {RelationOp::kOverlap, RelationOp::kInside, RelationOp::kMatch,
+          RelationOp::kCommonCells}) {
+      for (const ListShape shape :
+           {ListShape::kDense, ListShape::kSparse,
+            ListShape::kManyTinyVsHuge, ListShape::kHeavyOverlap}) {
+        const std::string name = std::string("BM_Interval/") + ToString(op) +
+                                 "/" + ToString(shape) + "/" +
+                                 ToString(level);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [op, shape, level](benchmark::State& state) {
+              BM_RelationShapeLevel(state, op, shape, level);
+            })
+            ->Range(1 << 8, 64 << 10);
+      }
+    }
+  }
+}
+
+// ---- BENCH_PR7.json harness ---------------------------------------------
+
+/// A FilterDecision packed into one word for cross-configuration equality.
+uint32_t EncodeDecision(const FilterDecision& d) {
+  return (d.definite ? 1u : 0u) | (static_cast<uint32_t>(d.stage) << 1) |
+         (static_cast<uint32_t>(d.relation) << 3) |
+         (static_cast<uint32_t>(d.candidates.Bits()) << 8);
+}
+
+struct HarnessData {
+  ScenarioData scenario;
+  std::vector<Box> r_mbrs;
+  std::vector<Box> s_mbrs;
+  AprilStore r_store;
+  AprilStore s_store;
+  CompressedAprilStore r_cstore;
+  CompressedAprilStore s_cstore;
+};
+
+/// One timed pass of the intermediate-filter stage over every candidate.
+/// Decisions land index-aligned in \p decisions regardless of threading.
+double TimedPass(const HarnessData& data, bool compressed, unsigned threads,
+                 std::vector<uint32_t>* decisions) {
+  const std::vector<CandidatePair>& pairs = data.scenario.candidates;
+  const auto start = std::chrono::steady_clock::now();
+  internal::RunChunks(threads, pairs.size(),
+            [&](unsigned, size_t begin, size_t end) {
+              for (size_t i = begin; i < end; ++i) {
+                const CandidatePair& p = pairs[i];
+                FilterDecision d;
+                if (compressed) {
+                  d = FindRelationFilter(data.r_mbrs[p.r_idx],
+                                         data.r_cstore.View(p.r_idx),
+                                         data.s_mbrs[p.s_idx],
+                                         data.s_cstore.View(p.s_idx));
+                } else {
+                  d = FindRelationFilter(data.r_mbrs[p.r_idx],
+                                         data.r_store.View(p.r_idx),
+                                         data.s_mbrs[p.s_idx],
+                                         data.s_store.View(p.s_idx));
+                }
+                (*decisions)[i] = EncodeDecision(d);
+              }
+            });
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Best-of-N pass time; N grows until ~0.6 s of total measurement.
+double BestPassSeconds(const HarnessData& data, bool compressed,
+                       unsigned threads, std::vector<uint32_t>* decisions) {
+  double best = 1e30;
+  double total = 0.0;
+  int passes = 0;
+  while (passes < 3 || total < 0.6) {
+    const double s = TimedPass(data, compressed, threads, decisions);
+    if (s < best) best = s;
+    total += s;
+    ++passes;
+  }
+  return best;
+}
+
+int RunJsonHarness(const bench::BenchOptions& options) {
+  using bench::JsonRecord;
+  const SimdLevel best_level = DetectSimdLevel();
+  if (best_level == SimdLevel::kScalar) {
+    std::fprintf(stderr,
+                 "bench_micro_interval: no SIMD kernel available on this "
+                 "CPU/build; speedup records would be vacuous\n");
+  }
+
+  HarnessData data;
+  data.scenario = bench::BuildScenarioVerbose("TC-TZ", options);
+  data.r_mbrs = data.scenario.r.Mbrs();
+  data.s_mbrs = data.scenario.s.Mbrs();
+  data.r_store = AprilStore::FromApproximations(data.scenario.r_april);
+  data.s_store = AprilStore::FromApproximations(data.scenario.s_april);
+  data.r_cstore = CompressedAprilStore::FromStore(data.r_store);
+  data.s_cstore = CompressedAprilStore::FromStore(data.s_store);
+
+  const size_t flat_bytes =
+      data.r_store.IntervalByteSize() + data.s_store.IntervalByteSize();
+  const size_t blocked_bytes =
+      data.r_cstore.PayloadByteSize() + data.s_cstore.PayloadByteSize();
+
+  bench::JsonReporter reporter(options.json_path);
+  reporter.Add(JsonRecord()
+                   .Set("bench", "interval_simd")
+                   .Set("stage", "codec")
+                   .Set("scenario", data.scenario.name)
+                   .Set("grid_order", options.grid_order)
+                   .Set("flat_bytes", static_cast<uint64_t>(flat_bytes))
+                   .Set("blocked_bytes", static_cast<uint64_t>(blocked_bytes))
+                   .Set("compression_ratio",
+                        static_cast<double>(flat_bytes) /
+                            static_cast<double>(blocked_bytes)));
+
+  struct Mode {
+    const char* name;
+    SimdLevel level;
+    bool compressed;
+  };
+  const Mode modes[] = {
+      {"scalar", SimdLevel::kScalar, false},
+      {"simd", best_level, false},
+      {"simd_compressed", best_level, true},
+  };
+  const std::vector<unsigned> threads_sweep =
+      options.threads.size() > 1 ? options.threads
+                                 : std::vector<unsigned>{1, 4};
+
+  const size_t num_pairs = data.scenario.candidates.size();
+  std::vector<uint32_t> scalar_decisions(num_pairs);
+  std::vector<uint32_t> decisions(num_pairs);
+  for (const unsigned threads : threads_sweep) {
+    double scalar_pps = 0.0;
+    for (const Mode& mode : modes) {
+      if (!simd::ForceLevel(mode.level)) continue;
+      std::vector<uint32_t>* out =
+          std::strcmp(mode.name, "scalar") == 0 ? &scalar_decisions
+                                                : &decisions;
+      const double best = BestPassSeconds(data, mode.compressed, threads, out);
+      const double pps = static_cast<double>(num_pairs) / best;
+      const bool identical = *out == scalar_decisions;
+      if (std::strcmp(mode.name, "scalar") == 0) scalar_pps = pps;
+      std::printf("  %-16s %u thread(s): %10.0f pairs/s  (%.2fx scalar%s)\n",
+                  mode.name, threads, pps,
+                  scalar_pps > 0 ? pps / scalar_pps : 0.0,
+                  identical ? "" : ", DECISIONS DIFFER");
+      reporter.Add(
+          JsonRecord()
+              .Set("bench", "interval_simd")
+              .Set("stage", "find_relation_filter")
+              .Set("scenario", data.scenario.name)
+              .Set("mode", mode.name)
+              .Set("simd_level", ToString(simd::ActiveLevel()))
+              .Set("threads", threads)
+              .Set("pairs", static_cast<uint64_t>(num_pairs))
+              .Set("seconds", best)
+              .Set("pairs_per_sec", pps)
+              .Set("speedup_vs_scalar",
+                   scalar_pps > 0 ? pps / scalar_pps : 0.0)
+              .Set("identical", static_cast<uint64_t>(identical ? 1 : 0)));
+    }
+  }
+  simd::ForceLevel(best_level);
+  return reporter.Write() ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace stj
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return stj::RunJsonHarness(stj::bench::BenchOptions::Parse(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  stj::RegisterSweepBenchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,35 +1,19 @@
 #include "src/interval/interval_algebra.h"
 
-#include <algorithm>
+#include "src/interval/interval_prechecks.h"
+#include "src/interval/simd.h"
+
+// The relations keep their scalar merge-join semantics but split each into
+// the shared O(1) range pre-check (interval_prechecks.h) followed by a call
+// through the runtime-dispatched kernel table (simd.h): AVX2 on x86, NEON on
+// arm64, portable scalar otherwise. Call sites are untouched — dispatch is
+// entirely behind this translation unit.
 
 namespace stj {
 
-namespace {
-
-/// O(1) pre-check: true when the views' covered cell ranges cannot share a
-/// cell, so any merge-join that needs a common cell can answer immediately.
-inline bool RangesDisjoint(IntervalView x, IntervalView y) {
-  return x.Empty() || y.Empty() || x.BackEnd() <= y.FrontCell() ||
-         y.BackEnd() <= x.FrontCell();
-}
-
-}  // namespace
-
 bool ListsOverlap(IntervalView x, IntervalView y) {
   if (RangesDisjoint(x, y)) return false;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < x.Size() && j < y.Size()) {
-    const CellInterval& a = x[i];
-    const CellInterval& b = y[j];
-    if (a.begin < b.end && b.begin < a.end) return true;
-    if (a.end <= b.end) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return false;
+  return simd::Active().overlap(x, y);
 }
 
 bool ListsMatch(IntervalView x, IntervalView y) {
@@ -40,45 +24,23 @@ bool ListsMatch(IntervalView x, IntervalView y) {
   if (x.FrontCell() != y.FrontCell() || x.BackEnd() != y.BackEnd()) {
     return false;
   }
-  return std::equal(x.begin(), x.end(), y.begin());
+  return simd::Active().match(x, y);
 }
 
 bool ListInside(IntervalView x, IntervalView y) {
   if (x.Empty()) return true;
   if (y.Empty()) return false;
-  // Containment needs y's range to cover x's range end to end.
-  if (x.FrontCell() < y.FrontCell() || x.BackEnd() > y.BackEnd()) return false;
-  size_t j = 0;
-  for (size_t i = 0; i < x.Size(); ++i) {
-    const CellInterval& a = x[i];
-    // Advance to the first y interval that could contain a.
-    while (j < y.Size() && y[j].end < a.end) ++j;
-    if (j == y.Size() || y[j].begin > a.begin) return false;
-    // y[j].begin <= a.begin and a.end <= y[j].end: contained.
-  }
-  return true;
+  // Containment needs y's range to cover x's range end to end; failing that
+  // covers the disjoint-ranges reject as a special case.
+  if (!RangeCovers(y, x)) return false;
+  return simd::Active().inside(x, y);
 }
 
 bool ListContains(IntervalView x, IntervalView y) { return ListInside(y, x); }
 
 uint64_t ListsCommonCells(IntervalView x, IntervalView y) {
   if (RangesDisjoint(x, y)) return 0;
-  uint64_t total = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < x.Size() && j < y.Size()) {
-    const CellInterval& a = x[i];
-    const CellInterval& b = y[j];
-    const CellId lo = std::max(a.begin, b.begin);
-    const CellId hi = std::min(a.end, b.end);
-    if (lo < hi) total += hi - lo;
-    if (a.end <= b.end) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return total;
+  return simd::Active().common_cells(x, y);
 }
 
 }  // namespace stj

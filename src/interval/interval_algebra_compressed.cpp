@@ -1,0 +1,188 @@
+#include <cstring>
+
+#include "src/interval/interval_algebra.h"
+#include "src/interval/interval_prechecks.h"
+#include "src/interval/simd.h"
+#include "src/util/check.h"
+
+// Fused decode + merge over the block codec (interval_codec.h). Every loop
+// below walks the fixed-size skip headers first and decodes a block's
+// payload only when its cell range survives the per-block quick reject —
+// the compressed generalization of the flat relations' RangesDisjoint
+// pre-check. Decoded blocks land in stack buffers and run through the same
+// simd::Active() kernels as the flat path, so the two paths cannot diverge
+// on kernel selection.
+//
+// Merge safety argument (overlap/common_cells): canonical lists make block
+// cell ranges strictly increasing and non-touching, so when
+// X_p.last_end <= Y_q.last_end every interval of X_p ends before
+// Y_{q+1}.first_cell and X_p can be discarded — each overlapping interval
+// pair therefore lives in exactly one processed block pair (no misses for
+// overlap, no double counting for common cells).
+
+namespace stj {
+
+namespace {
+
+/// Decode cache for one side of a merge: a block stays decoded while it is
+/// compared against several blocks of the other side.
+class BlockCursor {
+ public:
+  explicit BlockCursor(const CompressedIntervalView& view) : view_(&view) {}
+
+  IntervalView Decode(size_t b) {
+    if (decoded_ != b) {
+      count_ = view_->DecodeBlock(b, buf_);
+      // Loaders validate records before handing out views (april_io /
+      // CompressedAprilStore), so a malformed block here is a programming
+      // error or in-memory corruption, not bad input.
+      STJ_CHECK_MSG(count_ > 0, "malformed compressed interval block");
+      decoded_ = b;
+    }
+    return IntervalView(buf_, count_);
+  }
+
+ private:
+  const CompressedIntervalView* view_;
+  CellInterval buf_[kCodecBlockIntervals];
+  size_t decoded_ = static_cast<size_t>(-1);
+  size_t count_ = 0;
+};
+
+}  // namespace
+
+bool ListsOverlap(const CompressedIntervalView& x,
+                  const CompressedIntervalView& y) {
+  if (x.Empty() || y.Empty()) return false;
+  if (CellRangesDisjoint(x.FrontCell(), x.BackEnd(), y.FrontCell(),
+                         y.BackEnd())) {
+    return false;
+  }
+  BlockCursor cx(x);
+  BlockCursor cy(y);
+  size_t bi = 0;
+  size_t bj = 0;
+  while (bi < x.Blocks() && bj < y.Blocks()) {
+    const IntervalBlockHeader& hx = x.Header(bi);
+    const IntervalBlockHeader& hy = y.Header(bj);
+    if (hx.last_end <= hy.first_cell) {
+      ++bi;  // skipped without decoding
+      continue;
+    }
+    if (hy.last_end <= hx.first_cell) {
+      ++bj;
+      continue;
+    }
+    // Block ranges intersect: decode and run the flat kernel.
+    if (simd::Active().overlap(cx.Decode(bi), cy.Decode(bj))) return true;
+    if (hx.last_end <= hy.last_end) {
+      ++bi;
+    } else {
+      ++bj;
+    }
+  }
+  return false;
+}
+
+bool ListsMatch(const CompressedIntervalView& x,
+                const CompressedIntervalView& y) {
+  if (x.Intervals() != y.Intervals()) return false;
+  if (x.Intervals() == 0) return true;
+  if (x.Blocks() != y.Blocks()) return false;
+  if (x.FrontCell() != y.FrontCell() || x.BackEnd() != y.BackEnd()) {
+    return false;
+  }
+  BlockCursor cx(x);
+  BlockCursor cy(y);
+  for (size_t b = 0; b < x.Blocks(); ++b) {
+    const IntervalBlockHeader& hx = x.Header(b);
+    const IntervalBlockHeader& hy = y.Header(b);
+    // Header reject first: differing lists usually differ in some block's
+    // range or count, which answers without decoding either payload.
+    if (hx.first_cell != hy.first_cell || hx.last_end != hy.last_end ||
+        hx.count != hy.count) {
+      return false;
+    }
+    const IntervalView xs = cx.Decode(b);
+    const IntervalView ys = cy.Decode(b);
+    if (std::memcmp(xs.begin(), ys.begin(),
+                    xs.Size() * sizeof(CellInterval)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ListInside(const CompressedIntervalView& x,
+                const CompressedIntervalView& y) {
+  if (x.Empty()) return true;
+  if (y.Empty()) return false;
+  if (!CellRangeCovers(y.FrontCell(), y.BackEnd(), x.FrontCell(),
+                       x.BackEnd())) {
+    return false;
+  }
+  BlockCursor cx(x);
+  BlockCursor cy(y);
+  size_t bj = 0;
+  size_t j = 0;  // interval cursor within the decoded y block
+  for (size_t bi = 0; bi < x.Blocks(); ++bi) {
+    const IntervalView xs = cx.Decode(bi);
+    for (size_t k = 0; k < xs.Size(); ++k) {
+      const CellInterval& a = xs[k];
+      // Whole y blocks ending below a.end cannot contain a (or any later x
+      // interval — x ends are increasing): skip them without decoding.
+      while (bj < y.Blocks() && y.Header(bj).last_end < a.end) {
+        ++bj;
+        j = 0;
+      }
+      if (bj == y.Blocks()) return false;
+      const IntervalView ys = cy.Decode(bj);
+      while (j < ys.Size() && ys[j].end < a.end) ++j;
+      // j < ys.Size() is guaranteed: the block's last end is its
+      // header.last_end >= a.end. Containment needs one y interval spanning
+      // a on both sides.
+      if (ys[j].begin > a.begin) return false;
+    }
+  }
+  return true;
+}
+
+bool ListContains(const CompressedIntervalView& x,
+                  const CompressedIntervalView& y) {
+  return ListInside(y, x);
+}
+
+uint64_t ListsCommonCells(const CompressedIntervalView& x,
+                          const CompressedIntervalView& y) {
+  if (x.Empty() || y.Empty()) return 0;
+  if (CellRangesDisjoint(x.FrontCell(), x.BackEnd(), y.FrontCell(),
+                         y.BackEnd())) {
+    return 0;
+  }
+  BlockCursor cx(x);
+  BlockCursor cy(y);
+  uint64_t total = 0;
+  size_t bi = 0;
+  size_t bj = 0;
+  while (bi < x.Blocks() && bj < y.Blocks()) {
+    const IntervalBlockHeader& hx = x.Header(bi);
+    const IntervalBlockHeader& hy = y.Header(bj);
+    if (hx.last_end <= hy.first_cell) {
+      ++bi;
+      continue;
+    }
+    if (hy.last_end <= hx.first_cell) {
+      ++bj;
+      continue;
+    }
+    total += simd::Active().common_cells(cx.Decode(bi), cy.Decode(bj));
+    if (hx.last_end <= hy.last_end) {
+      ++bi;
+    } else {
+      ++bj;
+    }
+  }
+  return total;
+}
+
+}  // namespace stj

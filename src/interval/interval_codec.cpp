@@ -1,0 +1,185 @@
+#include "src/interval/interval_codec.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace stj {
+
+namespace codec {
+
+void AppendVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+bool ReadVarint(const uint8_t** p, const uint8_t* end, uint64_t* value) {
+  uint64_t result = 0;
+  unsigned shift = 0;
+  const uint8_t* cur = *p;
+  while (cur < end) {
+    const uint8_t byte = *cur++;
+    if (shift == 63 && byte > 1) return false;  // would overflow 64 bits
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = cur;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+    if (shift > 63) return false;
+  }
+  return false;  // truncated
+}
+
+}  // namespace codec
+
+CompressedIntervalList CompressedIntervalList::Encode(IntervalView list) {
+  CompressedIntervalList out;
+  out.num_intervals_ = list.Size();
+  if (list.Empty()) return out;
+  const size_t num_blocks =
+      (list.Size() + kCodecBlockIntervals - 1) / kCodecBlockIntervals;
+  out.headers_.reserve(num_blocks);
+  // Canonical gaps/lengths are small on real rasters; 2 bytes per interval
+  // is the common case, so reserve that and let outliers grow the vector.
+  out.bytes_.reserve(list.Size() * 2);
+  for (size_t base = 0; base < list.Size(); base += kCodecBlockIntervals) {
+    const size_t count =
+        std::min(kCodecBlockIntervals, list.Size() - base);
+    IntervalBlockHeader header;
+    header.first_cell = list[base].begin;
+    header.last_end = list[base + count - 1].end;
+    header.count = static_cast<uint32_t>(count);
+    STJ_CHECK_MSG(
+        out.bytes_.size() <= std::numeric_limits<uint32_t>::max(),
+        "compressed interval payload exceeds 32-bit per-list offsets");
+    header.byte_offset = static_cast<uint32_t>(out.bytes_.size());
+    for (size_t k = 0; k < count; ++k) {
+      const CellInterval& iv = list[base + k];
+      STJ_CHECK_MSG(iv.begin < iv.end, "non-canonical interval in Encode");
+      if (k > 0) {
+        const CellId prev_end = list[base + k - 1].end;
+        STJ_CHECK_MSG(iv.begin > prev_end,
+                      "non-canonical interval order in Encode");
+        codec::AppendVarint(&out.bytes_, iv.begin - prev_end - 1);
+      }
+      codec::AppendVarint(&out.bytes_, iv.end - iv.begin - 1);
+    }
+    out.headers_.push_back(header);
+  }
+  return out;
+}
+
+size_t CompressedIntervalView::DecodeBlock(size_t b, CellInterval* out) const {
+  if (b >= num_blocks_) return 0;
+  const IntervalBlockHeader& header = headers_[b];
+  const size_t count = header.count;
+  if (count == 0 || count > kCodecBlockIntervals) return 0;
+  if (header.byte_offset > byte_size_) return 0;
+  const uint8_t* p = bytes_ + header.byte_offset;
+  // A block's payload may end before the next block's offset only by being
+  // exactly consumed; reading past `end` is the malformed case we reject.
+  const uint8_t* end = bytes_ + (b + 1 < num_blocks_
+                                     ? std::min<size_t>(
+                                           headers_[b + 1].byte_offset,
+                                           byte_size_)
+                                     : byte_size_);
+  CellId begin = header.first_cell;
+  for (size_t k = 0; k < count; ++k) {
+    if (k > 0) {
+      uint64_t gap_minus_one = 0;
+      if (!codec::ReadVarint(&p, end, &gap_minus_one)) return 0;
+      const CellId prev_end = out[k - 1].end;
+      if (gap_minus_one >=
+          std::numeric_limits<CellId>::max() - prev_end) {
+        return 0;  // begin would overflow
+      }
+      begin = prev_end + 1 + gap_minus_one;
+    }
+    uint64_t len_minus_one = 0;
+    if (!codec::ReadVarint(&p, end, &len_minus_one)) return 0;
+    if (len_minus_one >= std::numeric_limits<CellId>::max() - begin) {
+      return 0;  // end would overflow
+    }
+    out[k] = CellInterval{begin, begin + 1 + len_minus_one};
+  }
+  if (out[0].begin != header.first_cell) return 0;
+  if (out[count - 1].end != header.last_end) return 0;
+  return count;
+}
+
+IntervalList CompressedIntervalList::Decode() const {
+  std::vector<CellInterval> intervals;
+  STJ_CHECK_MSG(DecodeCompressed(View(), &intervals),
+                "malformed compressed interval list");
+  return IntervalList::FromSorted(std::move(intervals));
+}
+
+bool DecodeCompressed(const CompressedIntervalView& view,
+                      std::vector<CellInterval>* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(view.Intervals()));
+  CellInterval block[kCodecBlockIntervals];
+  for (size_t b = 0; b < view.Blocks(); ++b) {
+    const size_t count = view.DecodeBlock(b, block);
+    if (count == 0) return false;
+    out->insert(out->end(), block, block + count);
+  }
+  return true;
+}
+
+std::string ValidateCompressed(const CompressedIntervalView& view) {
+  uint64_t intervals = 0;
+  CellId prev_end = 0;
+  CellInterval block[kCodecBlockIntervals];
+  for (size_t b = 0; b < view.Blocks(); ++b) {
+    const IntervalBlockHeader& header = view.Header(b);
+    const std::string at = "block " + std::to_string(b);
+    if (header.count == 0 || header.count > kCodecBlockIntervals) {
+      return at + ": count " + std::to_string(header.count) +
+             " out of range";
+    }
+    if (b + 1 < view.Blocks() && header.count != kCodecBlockIntervals) {
+      return at + ": only the last block may be short";
+    }
+    if (header.first_cell >= header.last_end) {
+      return at + ": empty or inverted cell range";
+    }
+    if (b > 0 && header.first_cell <= prev_end) {
+      return at + ": range overlaps or touches previous block";
+    }
+    if (header.byte_offset > view.ByteSize()) {
+      return at + ": byte offset past payload";
+    }
+    if (b > 0 && header.byte_offset <= view.Header(b - 1).byte_offset) {
+      return at + ": byte offsets not increasing";
+    }
+    const size_t count = view.DecodeBlock(b, block);
+    if (count == 0) return at + ": malformed payload";
+    if (count != header.count) return at + ": decoded count mismatch";
+    for (size_t k = 0; k < count; ++k) {
+      if (block[k].begin >= block[k].end) {
+        return at + ": decoded interval not canonical";
+      }
+      const CellId prev = (k == 0) ? prev_end : block[k - 1].end;
+      if ((b > 0 || k > 0) && block[k].begin <= prev) {
+        return at + ": decoded intervals overlap or touch";
+      }
+    }
+    // DecodeBlock already pinned first_cell/last_end to the decoded data.
+    prev_end = block[count - 1].end;
+    intervals += count;
+  }
+  if (intervals != view.Intervals()) {
+    return "interval total " + std::to_string(view.Intervals()) +
+           " does not match decoded " + std::to_string(intervals);
+  }
+  return "";
+}
+
+}  // namespace stj

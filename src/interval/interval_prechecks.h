@@ -1,0 +1,43 @@
+#pragma once
+
+#include "src/interval/interval_list.h"
+
+namespace stj {
+
+/// The O(1) range pre-checks shared by every interval relation — flat views
+/// here, per-block quick rejects in the compressed merge loops
+/// (interval_algebra_compressed.cpp), which apply the same two predicates to
+/// block skip-headers instead of whole lists.
+
+/// True when the half-open cell ranges [x_front, x_back_end) and
+/// [y_front, y_back_end) cannot share a cell.
+inline bool CellRangesDisjoint(CellId x_front, CellId x_back_end,
+                               CellId y_front, CellId y_back_end) {
+  return x_back_end <= y_front || y_back_end <= x_front;
+}
+
+/// True when [outer_front, outer_back_end) covers [inner_front,
+/// inner_back_end) end to end — the necessary condition for list containment.
+/// Note !CellRangeCovers subsumes CellRangesDisjoint for non-empty ranges, so
+/// containment needs no separate disjointness test.
+inline bool CellRangeCovers(CellId outer_front, CellId outer_back_end,
+                            CellId inner_front, CellId inner_back_end) {
+  return outer_front <= inner_front && inner_back_end <= outer_back_end;
+}
+
+/// True when the views' covered cell ranges cannot share a cell, so any
+/// merge-join that needs a common cell can answer immediately.
+inline bool RangesDisjoint(IntervalView x, IntervalView y) {
+  return x.Empty() || y.Empty() ||
+         CellRangesDisjoint(x.FrontCell(), x.BackEnd(), y.FrontCell(),
+                            y.BackEnd());
+}
+
+/// True when y's total range covers x's total range; both views must be
+/// non-empty. A false result proves ListInside(x, y) is false.
+inline bool RangeCovers(IntervalView y, IntervalView x) {
+  return CellRangeCovers(y.FrontCell(), y.BackEnd(), x.FrontCell(),
+                         x.BackEnd());
+}
+
+}  // namespace stj

@@ -1,0 +1,67 @@
+#include "src/interval/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/interval/simd_tables.h"
+
+namespace stj::simd {
+
+namespace {
+
+/// Active kernel table; resolved lazily on first use. The resolve race is
+/// benign (every thread computes the same pointer) and the atomic keeps the
+/// publication clean under tsan.
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* Resolve() {
+  SimdLevel level = DetectSimdLevel();
+#if !defined(STJ_DISABLE_SIMD)
+  if (const char* env = std::getenv("STJ_SIMD")) {
+    SimdLevel forced = SimdLevel::kScalar;
+    if (ParseSimdLevel(env, &forced) && KernelsFor(forced) != nullptr) {
+      level = forced;
+    }
+  }
+#endif
+  const Kernels* table = KernelsFor(level);
+  return table != nullptr ? table : &ScalarKernels();
+}
+
+}  // namespace
+
+const Kernels* KernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &ScalarKernels();
+    case SimdLevel::kAvx2:
+      // Compiled in AND runnable on this CPU; never hand out a table the
+      // machine would fault on.
+      return DetectSimdLevel() == SimdLevel::kAvx2 ? Avx2KernelsOrNull()
+                                                   : nullptr;
+    case SimdLevel::kNeon:
+      return DetectSimdLevel() == SimdLevel::kNeon ? NeonKernelsOrNull()
+                                                   : nullptr;
+  }
+  return nullptr;
+}
+
+const Kernels& Active() {
+  const Kernels* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = Resolve();
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+bool ForceLevel(SimdLevel level) {
+  const Kernels* table = KernelsFor(level);
+  if (table == nullptr) return false;
+  g_active.store(table, std::memory_order_release);
+  return true;
+}
+
+SimdLevel ActiveLevel() { return Active().level; }
+
+}  // namespace stj::simd

@@ -1,0 +1,233 @@
+#include "src/interval/simd_tables.h"
+
+// Compiled with -mavx2 on x86-64 (src/CMakeLists.txt) and reached only after
+// runtime dispatch confirms AVX2 (simd.cpp), so the intrinsics below never
+// execute on a CPU without them. On other targets — or under
+// -DSTJ_DISABLE_SIMD=ON — this TU compiles to the nullptr accessor only.
+#if defined(__AVX2__) && !defined(STJ_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace stj::simd {
+
+namespace {
+
+/// Lane order note: LoadBegins/LoadEnds unpack two CellInterval pairs into a
+/// (0,2,1,3) lane permutation. Every use below is order-free — masks are
+/// combined lane-wise (both operands equally permuted), and counts of
+/// monotone columns ("how many ends <= t") are permutation-invariant, which
+/// is exactly the prefix length because ends are strictly increasing.
+
+inline __m256i Set1(CellId v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/// Unsigned 64-bit a > b per lane via the sign-bias trick: AVX2 only has a
+/// signed compare, and XOR with 2^63 maps unsigned order onto signed order.
+inline __m256i UGreater(__m256i a, __m256i b) {
+  const __m256i bias = Set1(CellId{1} << 63);
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(a, bias),
+                            _mm256_xor_si256(b, bias));
+}
+
+/// One bit per 64-bit lane (sign bit), low bit = lane 0.
+inline int MoveMask4(__m256i m) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(m));
+}
+
+inline size_t CountLanes(int mask) {
+  return static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(mask)));
+}
+
+inline __m256i LoadRaw(const CellInterval* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+/// begins of p[0..3] in (0,2,1,3) lane order.
+inline __m256i LoadBegins(const CellInterval* p) {
+  return _mm256_unpacklo_epi64(LoadRaw(p), LoadRaw(p + 2));
+}
+
+/// ends of p[0..3] in (0,2,1,3) lane order.
+inline __m256i LoadEnds(const CellInterval* p) {
+  return _mm256_unpackhi_epi64(LoadRaw(p), LoadRaw(p + 2));
+}
+
+/// First index k >= i with v[k].end > t: a scalar probe ladder for advances
+/// of 0-2 (where a vector block would cost more than it saves), one 4-wide
+/// block for mid-range advances (the lane count with end <= t is the
+/// in-order prefix length; see lane order note), then a doubling gallop +
+/// binary search so long skips stay O(log n) — a linear vector scan here
+/// would lose to the scalar table's gallop on exactly the skewed list pairs
+/// (short list inside a huge one) the filters hit most.
+size_t ScanEndAbove(IntervalView v, size_t i, CellId t) {
+  const size_t n = v.Size();
+  if (i >= n || v[i].end > t) return i;
+  ++i;
+  if (i < n && v[i].end > t) return i;
+  ++i;
+  if (i < n && v[i].end > t) return i;
+  if (i + 4 > n) {
+    while (i < n && v[i].end <= t) ++i;
+    return i;
+  }
+  const int above = MoveMask4(UGreater(LoadEnds(&v[i]), Set1(t)));
+  if (above != 0) return i + CountLanes(~above & 0xF);
+  i += 4;
+  // Everything below i ends at or before t; gallop over the remainder.
+  size_t lo = i - 1;
+  size_t step = 1;
+  size_t hi = i;
+  while (hi < n && v[hi].end <= t) {
+    lo = hi;
+    step <<= 1;
+    hi = lo + step;
+  }
+  hi = std::min(hi, n);
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (v[mid].end <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+/// First index k >= i with v[k].end >= t; t is an interval end, so t >= 1.
+size_t ScanEndAtLeast(IntervalView v, size_t i, CellId t) {
+  return ScanEndAbove(v, i, t - 1);
+}
+
+bool OverlapAvx2(IntervalView x, IntervalView y) {
+  // Scalar merge skeleton: both advances go through the hybrid ScanEndAbove,
+  // so short steps retire via one 4-wide block and long skips gallop. An
+  // earlier variant walked x linearly four lanes at a time against one y
+  // interval; that is O(nx/4) when x is the big list and lost badly to the
+  // scalar table's gallop on skewed tessellation pairs.
+  const size_t nx = x.Size();
+  const size_t ny = y.Size();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nx && j < ny) {
+    const CellInterval& a = x[i];
+    const CellInterval& b = y[j];
+    if (a.begin < b.end && b.begin < a.end) return true;
+    if (a.end <= b.end) {
+      i = ScanEndAbove(x, i, b.begin);
+    } else {
+      j = ScanEndAbove(y, j, a.begin);
+    }
+  }
+  return false;
+}
+
+bool MatchAvx2(IntervalView x, IntervalView y) {
+  const size_t n = x.Size();
+  size_t i = 0;
+  // Two intervals = one 32-byte block; compare begin/end lanes directly (no
+  // unpack needed for equality).
+  for (; i + 2 <= n; i += 2) {
+    const __m256i eq = _mm256_cmpeq_epi64(LoadRaw(&x[i]), LoadRaw(&y[i]));
+    if (MoveMask4(eq) != 0xF) return false;
+  }
+  for (; i < n; ++i) {
+    if (!(x[i] == y[i])) return false;
+  }
+  return true;
+}
+
+bool InsideAvx2(IntervalView x, IntervalView y) {
+  const size_t nx = x.Size();
+  const size_t ny = y.Size();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nx) {
+    const CellInterval& a = x[i];
+    j = ScanEndAtLeast(y, j, a.end);
+    if (j == ny || y[j].begin > a.begin) return false;
+    // y[j].begin <= a.begin and a.end <= y[j].end: contained. Consume the
+    // run of following x intervals also inside y[j] — begins are strictly
+    // increasing and already >= y[j].begin, so containment reduces to
+    // end <= y[j].end. That is exactly ScanEndAbove's predicate; the inline
+    // probe keeps run-length-1 shapes to one compare with no call, while
+    // longer runs amortize the helper's block-and-gallop ladder.
+    ++i;
+    if (i < nx && x[i].end <= y[j].end) {
+      i = ScanEndAbove(x, i + 1, y[j].end);
+    }
+  }
+  return true;
+}
+
+uint64_t CommonCellsAvx2(IntervalView x, IntervalView y) {
+  const size_t nx = x.Size();
+  const size_t ny = y.Size();
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t total = 0;
+  __m256i acc = _mm256_setzero_si256();
+  while (i < nx && j < ny) {
+    if (y[j].end <= x[i].begin) {
+      j = ScanEndAbove(y, j, x[i].begin);
+      continue;
+    }
+    if (x[i].end <= y[j].begin) {
+      i = ScanEndAbove(x, i, y[j].begin);
+      continue;
+    }
+    // Here x[i].end > b.begin, and ends are increasing, so every x lane
+    // consumed below overlaps b: its contribution is end - max(begin,
+    // b.begin), summed per lane and masked to lanes ending within b. The
+    // vector loop is gated on a full block ending within b (one scalar
+    // lookahead) — short runs fall through to the scalar tail instead of
+    // paying broadcast/unpack setup to retire one or two lanes.
+    const CellInterval b = y[j];
+    const __m256i vbbeg = Set1(b.begin);
+    while (i + 4 <= nx && x[i + 3].end <= b.end) {
+      // Ends increase, so the lookahead proves all four lanes end within b:
+      // every lane contributes end - max(begin, b.begin) unmasked.
+      const __m256i begins = LoadBegins(&x[i]);
+      const __m256i ends = LoadEnds(&x[i]);
+      const __m256i maxb =
+          _mm256_blendv_epi8(vbbeg, begins, UGreater(begins, vbbeg));
+      acc = _mm256_add_epi64(acc, _mm256_sub_epi64(ends, maxb));
+      i += 4;
+    }
+    while (i < nx && x[i].end <= b.end) {
+      total += x[i].end - std::max(x[i].begin, b.begin);
+      ++i;
+    }
+    // Straddler: the first x interval ending beyond b may still overlap its
+    // [*, b.end) suffix; it is not consumed, so the next y sees it again.
+    if (i < nx && x[i].begin < b.end) {
+      total += b.end - std::max(x[i].begin, b.begin);
+    }
+    ++j;
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return total + lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+constexpr Kernels kAvx2Kernels = {&OverlapAvx2, &MatchAvx2, &InsideAvx2,
+                                  &CommonCellsAvx2, SimdLevel::kAvx2};
+
+}  // namespace
+
+const Kernels* Avx2KernelsOrNull() { return &kAvx2Kernels; }
+
+}  // namespace stj::simd
+
+#else  // !__AVX2__ || STJ_DISABLE_SIMD
+
+namespace stj::simd {
+
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace stj::simd
+
+#endif

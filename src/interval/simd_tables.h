@@ -1,0 +1,15 @@
+#pragma once
+
+#include "src/interval/simd.h"
+
+namespace stj::simd {
+
+/// Internal wiring between the per-level kernel translation units and the
+/// dispatcher (simd.cpp). Each accessor lives in its own TU so the AVX2 one
+/// can be compiled with -mavx2 while everything else stays baseline; the
+/// *_OrNull accessors return nullptr when their ISA was not compiled in.
+const Kernels& ScalarKernels();
+const Kernels* Avx2KernelsOrNull();
+const Kernels* NeonKernelsOrNull();
+
+}  // namespace stj::simd

@@ -1,0 +1,178 @@
+#include "src/raster/april_compressed.h"
+
+#include <cstring>
+
+#include "src/interval/interval_algebra.h"
+#include "src/util/check.h"
+
+namespace stj {
+
+namespace {
+
+void AppendList(const CompressedIntervalList& list,
+                std::vector<IntervalBlockHeader>* headers,
+                std::vector<uint8_t>* bytes) {
+  headers->insert(headers->end(), list.Headers().begin(),
+                  list.Headers().end());
+  bytes->insert(bytes->end(), list.Bytes().begin(), list.Bytes().end());
+}
+
+}  // namespace
+
+void CompressedAprilStore::AppendRecord(
+    const CompressedIntervalList& conservative,
+    const CompressedIntervalList& progressive, bool usable) {
+  AppendList(conservative, &headers_, &bytes_);
+  p_hdr_begin_.push_back(headers_.size());
+  p_byte_begin_.push_back(bytes_.size());
+  AppendList(progressive, &headers_, &bytes_);
+  hdr_begin_.push_back(headers_.size());
+  byte_begin_.push_back(bytes_.size());
+  c_intervals_.push_back(conservative.Intervals());
+  p_intervals_.push_back(progressive.Intervals());
+  usable_.push_back(usable ? 1 : 0);
+}
+
+void CompressedAprilStore::AppendEncoded(IntervalView conservative,
+                                         IntervalView progressive,
+                                         bool usable) {
+  AppendRecord(CompressedIntervalList::Encode(conservative),
+               CompressedIntervalList::Encode(progressive), usable);
+}
+
+void CompressedAprilStore::Reserve(size_t records, size_t blocks,
+                                   size_t payload_bytes) {
+  headers_.reserve(blocks);
+  bytes_.reserve(payload_bytes);
+  hdr_begin_.reserve(records + 1);
+  p_hdr_begin_.reserve(records);
+  byte_begin_.reserve(records + 1);
+  p_byte_begin_.reserve(records);
+  c_intervals_.reserve(records);
+  p_intervals_.reserve(records);
+  usable_.reserve(records);
+}
+
+void CompressedAprilStore::Clear() {
+  headers_.clear();
+  bytes_.clear();
+  hdr_begin_.assign(1, 0);
+  p_hdr_begin_.clear();
+  byte_begin_.assign(1, 0);
+  p_byte_begin_.clear();
+  c_intervals_.clear();
+  p_intervals_.clear();
+  usable_.clear();
+}
+
+CompressedAprilStore CompressedAprilStore::FromStore(const AprilStore& store) {
+  CompressedAprilStore out;
+  out.Reserve(store.Count(), /*blocks=*/0, /*payload_bytes=*/0);
+  for (size_t i = 0; i < store.Count(); ++i) {
+    if (!store.Usable(i)) {
+      out.AppendCorruptPlaceholder();
+    } else {
+      out.AppendEncoded(store.Conservative(i), store.Progressive(i));
+    }
+  }
+  return out;
+}
+
+bool CompressedAprilStore::DecodeRecord(
+    size_t i, std::vector<CellInterval>* conservative,
+    std::vector<CellInterval>* progressive) const {
+  return DecodeCompressed(Conservative(i), conservative) &&
+         DecodeCompressed(Progressive(i), progressive);
+}
+
+std::string CompressedAprilStore::DeepValidateRecord(size_t i) const {
+  const CompressedIntervalView c = Conservative(i);
+  const CompressedIntervalView p = Progressive(i);
+  if (std::string err = ValidateCompressed(c); !err.empty()) {
+    return "conservative: " + err;
+  }
+  if (std::string err = ValidateCompressed(p); !err.empty()) {
+    return "progressive: " + err;
+  }
+  if (!ListInside(p, c)) {
+    return "progressive list not contained in conservative list";
+  }
+  // Round-trip audit: the encoder is deterministic, so re-encoding the
+  // decoded record must reproduce the stored headers and payload bytes
+  // exactly. This catches corruption the structural checks cannot, e.g.
+  // non-minimal varints that decode to the right values.
+  std::vector<CellInterval> flat_c;
+  std::vector<CellInterval> flat_p;
+  if (!DecodeRecord(i, &flat_c, &flat_p)) return "undecodable record";
+  const CompressedIntervalList rc = CompressedIntervalList::Encode(
+      IntervalView(flat_c.data(), flat_c.size()));
+  const CompressedIntervalList rp = CompressedIntervalList::Encode(
+      IntervalView(flat_p.data(), flat_p.size()));
+  const auto RoundTripMatches = [](const CompressedIntervalView& stored,
+                                   const CompressedIntervalList& redo) {
+    if (stored.Blocks() != redo.Headers().size()) return false;
+    for (size_t b = 0; b < stored.Blocks(); ++b) {
+      if (!(stored.Header(b) == redo.Headers()[b])) return false;
+    }
+    if (stored.ByteSize() != redo.Bytes().size()) return false;
+    return stored.ByteSize() == 0 ||
+           std::memcmp(stored.Bytes(), redo.Bytes().data(),
+                       stored.ByteSize()) == 0;
+  };
+  if (!RoundTripMatches(c, rc)) {
+    return "conservative: re-encode round trip differs";
+  }
+  if (!RoundTripMatches(p, rp)) {
+    return "progressive: re-encode round trip differs";
+  }
+  return "";
+}
+
+void CompressedAprilStore::ValidateInvariants() const {
+  const size_t n = Count();
+  STJ_CHECK(hdr_begin_.size() == n + 1);
+  STJ_CHECK(p_hdr_begin_.size() == n);
+  STJ_CHECK(byte_begin_.size() == n + 1);
+  STJ_CHECK(p_byte_begin_.size() == n);
+  STJ_CHECK(c_intervals_.size() == n);
+  STJ_CHECK(p_intervals_.size() == n);
+  STJ_CHECK(usable_.size() == n);
+  STJ_CHECK(hdr_begin_.front() == 0);
+  STJ_CHECK(hdr_begin_.back() == headers_.size());
+  STJ_CHECK(byte_begin_.front() == 0);
+  STJ_CHECK(byte_begin_.back() == bytes_.size());
+  for (size_t i = 0; i < n; ++i) {
+    STJ_CHECK(hdr_begin_[i] <= p_hdr_begin_[i]);
+    STJ_CHECK(p_hdr_begin_[i] <= hdr_begin_[i + 1]);
+    STJ_CHECK(byte_begin_[i] <= p_byte_begin_[i]);
+    STJ_CHECK(p_byte_begin_[i] <= byte_begin_[i + 1]);
+    if (!Usable(i)) {
+      STJ_CHECK_MSG(hdr_begin_[i] == hdr_begin_[i + 1] &&
+                        byte_begin_[i] == byte_begin_[i + 1] &&
+                        c_intervals_[i] == 0 && p_intervals_[i] == 0,
+                    "corrupt placeholder record must be empty");
+      continue;
+    }
+    const std::string err = DeepValidateRecord(i);
+    STJ_CHECK_MSG(err.empty(), "compressed APRIL record invalid");
+  }
+}
+
+size_t CompressedAprilStore::ByteSize() const {
+  return PayloadByteSize() +
+         (hdr_begin_.size() + p_hdr_begin_.size() + byte_begin_.size() +
+          p_byte_begin_.size() + c_intervals_.size() + p_intervals_.size()) *
+             sizeof(uint64_t) +
+         usable_.size() * sizeof(uint8_t);
+}
+
+bool operator==(const CompressedAprilStore& a, const CompressedAprilStore& b) {
+  return a.headers_ == b.headers_ && a.bytes_ == b.bytes_ &&
+         a.hdr_begin_ == b.hdr_begin_ && a.p_hdr_begin_ == b.p_hdr_begin_ &&
+         a.byte_begin_ == b.byte_begin_ &&
+         a.p_byte_begin_ == b.p_byte_begin_ &&
+         a.c_intervals_ == b.c_intervals_ &&
+         a.p_intervals_ == b.p_intervals_ && a.usable_ == b.usable_;
+}
+
+}  // namespace stj

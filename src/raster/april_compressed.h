@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/interval/interval_codec.h"
+#include "src/interval/interval_list.h"
+#include "src/raster/april_store.h"
+
+namespace stj {
+
+/// Non-owning view of one record's compressed APRIL approximation — the
+/// codec counterpart of AprilView, consumed by the compressed overloads of
+/// the intermediate filters. Usability is decided before construction, as
+/// with AprilView.
+struct CompressedAprilView {
+  CompressedIntervalView conservative;  ///< C list (blocked codec).
+  CompressedIntervalView progressive;   ///< P list (blocked codec).
+
+  CompressedAprilView() = default;
+  CompressedAprilView(CompressedIntervalView c, CompressedIntervalView p)
+      : conservative(c), progressive(p) {}
+};
+
+/// Arena-backed storage for a dataset's APRIL approximations in the blocked
+/// codec (interval_codec.h) — the APRIL v3 in-memory form.
+///
+/// Mirrors AprilStore's CSR design with two arenas instead of one: all block
+/// skip-headers live in one flat array and all payload bytes in another;
+/// per-record offset tables bracket each record's Conservative and
+/// Progressive spans in both. Record i occupies:
+///
+///   C_i headers = headers[hdr_begin[i] .. p_hdr_begin[i])
+///   P_i headers = headers[p_hdr_begin[i] .. hdr_begin[i+1])
+///
+/// and the same shape over the byte arena. Block byte offsets are relative
+/// to their list's byte span, so views hand the codec self-contained spans.
+///
+/// Corruption isolation matches AprilStore: records can be appended as
+/// usable=false placeholders and Usable(i) gates every view.
+class CompressedAprilStore {
+ public:
+  CompressedAprilStore() = default;
+
+  size_t Count() const { return p_hdr_begin_.size(); }
+  bool Empty() const { return p_hdr_begin_.empty(); }
+
+  /// False when the record is a corruption placeholder; its views are then
+  /// empty and must not feed the filters.
+  bool Usable(size_t i) const { return usable_[i] != 0; }
+
+  CompressedIntervalView Conservative(size_t i) const {
+    return CompressedIntervalView(
+        headers_.data() + hdr_begin_[i],
+        static_cast<size_t>(p_hdr_begin_[i] - hdr_begin_[i]),
+        bytes_.data() + byte_begin_[i],
+        static_cast<size_t>(p_byte_begin_[i] - byte_begin_[i]),
+        c_intervals_[i]);
+  }
+
+  CompressedIntervalView Progressive(size_t i) const {
+    return CompressedIntervalView(
+        headers_.data() + p_hdr_begin_[i],
+        static_cast<size_t>(hdr_begin_[i + 1] - p_hdr_begin_[i]),
+        bytes_.data() + p_byte_begin_[i],
+        static_cast<size_t>(byte_begin_[i + 1] - p_byte_begin_[i]),
+        p_intervals_[i]);
+  }
+
+  CompressedAprilView View(size_t i) const {
+    return CompressedAprilView(Conservative(i), Progressive(i));
+  }
+
+  /// Appends one record; header and payload data is copied into the arenas.
+  void AppendRecord(const CompressedIntervalList& conservative,
+                    const CompressedIntervalList& progressive,
+                    bool usable = true);
+
+  /// Encodes two flat canonical lists and appends them as one record.
+  void AppendEncoded(IntervalView conservative, IntervalView progressive,
+                     bool usable = true);
+
+  /// Appends a usable=false placeholder with empty lists (degraded loads).
+  void AppendCorruptPlaceholder() {
+    AppendRecord(CompressedIntervalList(), CompressedIntervalList(),
+                 /*usable=*/false);
+  }
+
+  void Reserve(size_t records, size_t blocks, size_t payload_bytes);
+
+  void Clear();
+
+  /// Encodes every record of a flat store (usable flags preserved; corrupt
+  /// placeholders stay placeholders).
+  static CompressedAprilStore FromStore(const AprilStore& store);
+
+  /// Decodes record i back to flat canonical form. Returns false on any
+  /// malformed block (cannot happen for records built by AppendEncoded).
+  bool DecodeRecord(size_t i, std::vector<CellInterval>* conservative,
+                    std::vector<CellInterval>* progressive) const;
+
+  /// Full audit of record i for the aprilcheck codec validation: deep codec
+  /// validation of both lists (ValidateCompressed), P ⊆ C, and re-encode
+  /// round-trip byte equality (the encoder is deterministic, so any stored
+  /// byte the re-encoding does not reproduce is codec corruption even when
+  /// the frame checksum matches). Returns an explanation or "".
+  std::string DeepValidateRecord(size_t i) const;
+
+  /// Aborts (STJ_CHECK) if the CSR structure is inconsistent or any record
+  /// fails deep codec validation / P ⊆ C / placeholder-emptiness. Always
+  /// compiled; automatic invocation sits behind STJ_IF_INVARIANTS in bulk
+  /// construction paths. O(total payload).
+  void ValidateInvariants() const;
+
+  /// Total in-memory footprint (arenas + offset tables + flags); the codec
+  /// payload alone is PayloadByteSize() — compare with
+  /// AprilStore::IntervalByteSize() for the compression ratio.
+  size_t ByteSize() const;
+  size_t PayloadByteSize() const {
+    return headers_.size() * sizeof(IntervalBlockHeader) + bytes_.size();
+  }
+
+  friend bool operator==(const CompressedAprilStore& a,
+                         const CompressedAprilStore& b);
+
+ private:
+  std::vector<IntervalBlockHeader> headers_;
+  std::vector<uint8_t> bytes_;
+  /// hdr_begin_[i] = header index of record i's C blocks; hdr_begin_.back()
+  /// = headers_.size() always, so hdr_begin_ has Count()+1 entries (same
+  /// convention as AprilStore::rec_begin_). byte_begin_ mirrors it over the
+  /// byte arena.
+  std::vector<uint64_t> hdr_begin_{0};
+  std::vector<uint64_t> p_hdr_begin_;
+  std::vector<uint64_t> byte_begin_{0};
+  std::vector<uint64_t> p_byte_begin_;
+  std::vector<uint64_t> c_intervals_;
+  std::vector<uint64_t> p_intervals_;
+  std::vector<uint8_t> usable_;
+};
+
+}  // namespace stj

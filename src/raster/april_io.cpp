@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 
+#include "src/interval/interval_codec.h"
 #include "src/raster/april_store.h"
 
 namespace stj {
@@ -14,9 +16,13 @@ namespace {
 
 constexpr char kMagic[4] = {'A', 'P', 'R', 'L'};
 constexpr char kMagicCompressed[4] = {'A', 'P', 'R', 'C'};
+constexpr char kMagicBlocked[4] = {'A', 'P', 'R', 'B'};
 constexpr uint32_t kVersionUnframed = 1;  ///< Legacy: no per-record frames.
 constexpr uint32_t kVersion = 2;          ///< Framed + checksummed records.
+constexpr uint32_t kVersionBlocked = 3;   ///< Framed block-codec records.
 constexpr uint64_t kMaxListSize = 1ull << 40;   // corrupt size guard
+constexpr uint64_t kMaxBlockCount =
+    kMaxListSize / kCodecBlockIntervals + 1;
 constexpr uint64_t kMaxObjectCount = 1ull << 32;
 constexpr size_t kMaxReportedIndices = 1024;
 constexpr size_t kReserveCap = 4096;  // never trust an on-disk count for alloc
@@ -186,29 +192,23 @@ bool DecodePayload(const char* data, size_t size, bool compressed,
   return ok && in.AtEnd();
 }
 
-/// Shared writer: \p view_of(i) yields record i's lists, whatever they are
-/// stored in (legacy vector or arena store).
-template <typename ViewFn>
-bool SaveImpl(const std::string& path, size_t count, const ViewFn& view_of,
-              bool compressed) {
+/// Shared framed writer: \p payload_of(i, &payload) serialises record i into
+/// the cleared payload buffer; this wraps it in the u64-size/u64-checksum
+/// frame shared by versions 2 and 3.
+template <typename PayloadFn>
+bool SaveFramedImpl(const std::string& path, const char* magic,
+                    uint32_t version, size_t count,
+                    const PayloadFn& payload_of) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) return false;
-  const char* magic = compressed ? kMagicCompressed : kMagic;
   if (std::fwrite(magic, 1, 4, f.get()) != 4) return false;
-  if (std::fwrite(&kVersion, sizeof kVersion, 1, f.get()) != 1) return false;
+  if (std::fwrite(&version, sizeof version, 1, f.get()) != 1) return false;
   const uint64_t declared = count;
   if (std::fwrite(&declared, sizeof declared, 1, f.get()) != 1) return false;
   std::string payload;
   for (size_t i = 0; i < count; ++i) {
-    const AprilView april = view_of(i);
     payload.clear();
-    if (compressed) {
-      AppendListCompressed(&payload, april.conservative);
-      AppendListCompressed(&payload, april.progressive);
-    } else {
-      AppendList(&payload, april.conservative);
-      AppendList(&payload, april.progressive);
-    }
+    payload_of(i, &payload);
     const uint64_t size = payload.size();
     const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
     if (std::fwrite(&size, sizeof size, 1, f.get()) != 1) return false;
@@ -220,6 +220,135 @@ bool SaveImpl(const std::string& path, size_t count, const ViewFn& view_of,
     }
   }
   return std::fflush(f.get()) == 0;
+}
+
+/// Shared writer: \p view_of(i) yields record i's lists, whatever they are
+/// stored in (legacy vector or arena store).
+template <typename ViewFn>
+bool SaveImpl(const std::string& path, size_t count, const ViewFn& view_of,
+              bool compressed) {
+  return SaveFramedImpl(
+      path, compressed ? kMagicCompressed : kMagic, kVersion, count,
+      [&](size_t i, std::string* payload) {
+        const AprilView april = view_of(i);
+        if (compressed) {
+          AppendListCompressed(payload, april.conservative);
+          AppendListCompressed(payload, april.progressive);
+        } else {
+          AppendList(payload, april.conservative);
+          AppendList(payload, april.progressive);
+        }
+      });
+}
+
+// ---- version 3: blocked codec payloads ----
+
+/// Serialises one compressed list: varint interval and block counts, the
+/// skip headers (first_cell, range span, count, payload length — byte
+/// offsets are implicit prefix sums), then the concatenated block payloads.
+void AppendListBlocked(std::string* out, const CompressedIntervalView& view) {
+  AppendVarint(out, view.Intervals());
+  AppendVarint(out, view.Blocks());
+  for (size_t b = 0; b < view.Blocks(); ++b) {
+    const IntervalBlockHeader& header = view.Header(b);
+    const size_t next = b + 1 < view.Blocks() ? view.Header(b + 1).byte_offset
+                                              : view.ByteSize();
+    AppendVarint(out, header.first_cell);
+    AppendVarint(out, header.last_end - header.first_cell);
+    AppendVarint(out, header.count);
+    AppendVarint(out, next - header.byte_offset);
+  }
+  out->append(reinterpret_cast<const char*>(view.Bytes()), view.ByteSize());
+}
+
+/// One parsed v3 record; buffers are reused across records of a load.
+struct BlockedRecord {
+  std::vector<IntervalBlockHeader> c_headers;
+  std::vector<IntervalBlockHeader> p_headers;
+  std::vector<uint8_t> c_bytes;
+  std::vector<uint8_t> p_bytes;
+  uint64_t c_intervals = 0;
+  uint64_t p_intervals = 0;
+
+  CompressedIntervalView Conservative() const {
+    return CompressedIntervalView(c_headers.data(), c_headers.size(),
+                                  c_bytes.data(), c_bytes.size(),
+                                  c_intervals);
+  }
+  CompressedIntervalView Progressive() const {
+    return CompressedIntervalView(p_headers.data(), p_headers.size(),
+                                  p_bytes.data(), p_bytes.size(),
+                                  p_intervals);
+  }
+};
+
+/// Parses one blocked list. Structural guards only (counts and byte spans in
+/// range, offsets reconstructible); canonical-form validation happens via
+/// ValidateCompressed on the assembled view.
+bool ReadListBlocked(ByteReader* in,
+                     std::vector<IntervalBlockHeader>* headers,
+                     std::vector<uint8_t>* bytes, uint64_t* intervals) {
+  headers->clear();
+  bytes->clear();
+  uint64_t num_intervals = 0;
+  uint64_t num_blocks = 0;
+  if (!in->ReadVarint(&num_intervals) || !in->ReadVarint(&num_blocks)) {
+    return false;
+  }
+  if (num_intervals > kMaxListSize || num_blocks > kMaxBlockCount) {
+    return false;
+  }
+  // Each block needs at least 4 header bytes; cheap plausibility bound
+  // before reserving.
+  if (num_blocks * 4 > in->Remaining()) return false;
+  headers->reserve(static_cast<size_t>(num_blocks));
+  uint64_t payload_total = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint64_t first_cell = 0;
+    uint64_t span = 0;
+    uint64_t count = 0;
+    uint64_t payload_len = 0;
+    if (!in->ReadVarint(&first_cell) || !in->ReadVarint(&span) ||
+        !in->ReadVarint(&count) || !in->ReadVarint(&payload_len)) {
+      return false;
+    }
+    if (span == 0 || first_cell > ~uint64_t{0} - span) return false;
+    if (count == 0 || count > kCodecBlockIntervals) return false;
+    if (payload_len == 0 || payload_len > in->Remaining()) return false;
+    if (payload_total > std::numeric_limits<uint32_t>::max() - payload_len) {
+      return false;
+    }
+    IntervalBlockHeader header;
+    header.first_cell = first_cell;
+    header.last_end = first_cell + span;
+    header.count = static_cast<uint32_t>(count);
+    header.byte_offset = static_cast<uint32_t>(payload_total);
+    payload_total += payload_len;
+    headers->push_back(header);
+  }
+  if (payload_total > in->Remaining()) return false;
+  bytes->resize(static_cast<size_t>(payload_total));
+  if (payload_total != 0 &&
+      !in->ReadBytes(bytes->data(), static_cast<size_t>(payload_total))) {
+    return false;
+  }
+  *intervals = num_intervals;
+  return true;
+}
+
+/// Parses and deep-validates one v3 record payload. Must consume the payload
+/// exactly; both lists must pass ValidateCompressed.
+bool DecodeBlockedPayload(const char* data, size_t size, BlockedRecord* rec) {
+  ByteReader in(data, size);
+  if (!ReadListBlocked(&in, &rec->c_headers, &rec->c_bytes,
+                       &rec->c_intervals) ||
+      !ReadListBlocked(&in, &rec->p_headers, &rec->p_bytes,
+                       &rec->p_intervals) ||
+      !in.AtEnd()) {
+    return false;
+  }
+  return ValidateCompressed(rec->Conservative()).empty() &&
+         ValidateCompressed(rec->Progressive()).empty();
 }
 
 Status ReadWholeFile(const std::string& path, std::string* out) {
@@ -245,6 +374,62 @@ void ReportCorrupt(AprilLoadReport* report, uint64_t index) {
   if (report->corrupt_indices.size() < kMaxReportedIndices) {
     report->corrupt_indices.push_back(index);
   }
+}
+
+void ReportCodecCorrupt(AprilLoadReport* report, uint64_t index) {
+  if (report == nullptr) return;
+  ++report->codec_corrupt;
+  if (report->corrupt_indices.size() < kMaxReportedIndices) {
+    report->corrupt_indices.push_back(index);
+  }
+}
+
+/// Shared header parse for the framed loaders. On success fills \p blocked /
+/// \p compressed / \p count and positions \p in at the first frame.
+Status ParseFileHeader(const std::string& path, ByteReader* in, bool* blocked,
+                       bool* compressed, uint32_t* version, uint64_t* count) {
+  char magic[4];
+  if (!in->ReadBytes(magic, 4)) {
+    return Status::DataLoss("file too short for magic")
+        .WithFile(path)
+        .WithOffset(in->Pos());
+  }
+  *compressed = std::memcmp(magic, kMagicCompressed, 4) == 0;
+  *blocked = std::memcmp(magic, kMagicBlocked, 4) == 0;
+  if (!*compressed && !*blocked && std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not an APRIL file (bad magic)")
+        .WithFile(path)
+        .WithOffset(0);
+  }
+  if (!in->ReadU32(version)) {
+    return Status::DataLoss("file too short for version")
+        .WithFile(path)
+        .WithOffset(in->Pos());
+  }
+  // The blocked magic and version 3 imply each other; the flat magics cap at
+  // version 2.
+  const bool version_ok = *blocked
+                              ? *version == kVersionBlocked
+                              : (*version == kVersionUnframed ||
+                                 *version == kVersion);
+  if (!version_ok) {
+    return Status::InvalidArgument("unsupported APRIL format version " +
+                                   std::to_string(*version))
+        .WithFile(path)
+        .WithOffset(4);
+  }
+  if (!in->ReadU64(count)) {
+    return Status::DataLoss("file too short for object count")
+        .WithFile(path)
+        .WithOffset(in->Pos());
+  }
+  if (*count > kMaxObjectCount) {
+    return Status::DataLoss("implausible object count " +
+                            std::to_string(*count))
+        .WithFile(path)
+        .WithOffset(8);
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -287,45 +472,18 @@ Status LoadAprilStore(const std::string& path, AprilStore* out,
   if (Status st = ReadWholeFile(path, &bytes); !st.ok()) return st;
   ByteReader in(bytes.data(), bytes.size());
 
-  char magic[4];
-  if (!in.ReadBytes(magic, 4)) {
-    return Status::DataLoss("file too short for magic")
-        .WithFile(path)
-        .WithOffset(in.Pos());
-  }
-  bool compressed = std::memcmp(magic, kMagicCompressed, 4) == 0;
-  if (!compressed && std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::InvalidArgument("not an APRIL file (bad magic)")
-        .WithFile(path)
-        .WithOffset(0);
-  }
+  bool blocked = false;
+  bool compressed = false;
   uint32_t version = 0;
-  if (!in.ReadU32(&version)) {
-    return Status::DataLoss("file too short for version")
-        .WithFile(path)
-        .WithOffset(in.Pos());
-  }
-  if (version != kVersionUnframed && version != kVersion) {
-    return Status::InvalidArgument("unsupported APRIL format version " +
-                                   std::to_string(version))
-        .WithFile(path)
-        .WithOffset(4);
-  }
   uint64_t count = 0;
-  if (!in.ReadU64(&count)) {
-    return Status::DataLoss("file too short for object count")
-        .WithFile(path)
-        .WithOffset(in.Pos());
-  }
-  if (count > kMaxObjectCount) {
-    return Status::DataLoss("implausible object count " +
-                            std::to_string(count))
-        .WithFile(path)
-        .WithOffset(8);
+  if (Status st = ParseFileHeader(path, &in, &blocked, &compressed, &version,
+                                  &count);
+      !st.ok()) {
+    return st;
   }
   if (report != nullptr) {
     report->version = version;
-    report->compressed = compressed;
+    report->compressed = compressed || blocked;
     report->declared_count = count;
   }
   // Raw intervals occupy 2 u64s each, which bounds how many the file can
@@ -369,9 +527,13 @@ Status LoadAprilStore(const std::string& path, AprilStore* out,
     return Status::Ok();
   }
 
-  // Version 2: framed records. A bad frame costs one object; the reader
-  // resynchronises at the next frame. A frame that runs past the end of the
-  // file means the tail is gone — keep the verified prefix.
+  // Versions 2 and 3: framed records. A bad frame costs one object; the
+  // reader resynchronises at the next frame. A frame that runs past the end
+  // of the file means the tail is gone — keep the verified prefix. Version-3
+  // payloads additionally pass deep codec validation; a record whose
+  // checksum holds but whose codec is invalid is isolated the same way and
+  // reported as codec_corrupt.
+  BlockedRecord rec;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t payload_size = 0;
     uint64_t checksum = 0;
@@ -385,17 +547,105 @@ Status LoadAprilStore(const std::string& path, AprilStore* out,
     }
     const char* payload = bytes.data() + in.Pos();
     in.Skip(payload_size);
-    const bool verified =
-        Fnv1a64(payload, static_cast<size_t>(payload_size)) == checksum &&
-        DecodePayload(payload, static_cast<size_t>(payload_size), compressed,
-                      &conservative, &progressive);
-    if (!verified) {
+    if (Fnv1a64(payload, static_cast<size_t>(payload_size)) != checksum) {
       out->AppendCorruptPlaceholder();
       ReportCorrupt(report, i);
-    } else {
-      append_record();
-      if (report != nullptr) ++report->loaded;
+      continue;
     }
+    if (blocked) {
+      if (!DecodeBlockedPayload(payload, static_cast<size_t>(payload_size),
+                                &rec) ||
+          !DecodeCompressed(rec.Conservative(), &conservative) ||
+          !DecodeCompressed(rec.Progressive(), &progressive)) {
+        out->AppendCorruptPlaceholder();
+        ReportCodecCorrupt(report, i);
+        continue;
+      }
+    } else if (!DecodePayload(payload, static_cast<size_t>(payload_size),
+                              compressed, &conservative, &progressive)) {
+      out->AppendCorruptPlaceholder();
+      ReportCorrupt(report, i);
+      continue;
+    }
+    append_record();
+    if (report != nullptr) ++report->loaded;
+  }
+  return Status::Ok();
+}
+
+bool SaveAprilStoreBlocked(const std::string& path,
+                           const CompressedAprilStore& store) {
+  return SaveFramedImpl(path, kMagicBlocked, kVersionBlocked, store.Count(),
+                        [&](size_t i, std::string* payload) {
+                          AppendListBlocked(payload, store.Conservative(i));
+                          AppendListBlocked(payload, store.Progressive(i));
+                        });
+}
+
+Status LoadCompressedAprilStore(const std::string& path,
+                                CompressedAprilStore* out,
+                                AprilLoadReport* report) {
+  out->Clear();
+  if (report != nullptr) *report = AprilLoadReport{};
+  std::string bytes;
+  if (Status st = ReadWholeFile(path, &bytes); !st.ok()) return st;
+  ByteReader in(bytes.data(), bytes.size());
+
+  bool blocked = false;
+  bool compressed = false;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (Status st = ParseFileHeader(path, &in, &blocked, &compressed, &version,
+                                  &count);
+      !st.ok()) {
+    return st;
+  }
+  if (!blocked) {
+    return Status::InvalidArgument(
+               "not a blocked (version 3) APRIL file; load it into an "
+               "AprilStore instead")
+        .WithFile(path)
+        .WithOffset(0);
+  }
+  if (report != nullptr) {
+    report->version = version;
+    report->compressed = true;
+    report->declared_count = count;
+  }
+  out->Reserve(static_cast<size_t>(std::min<uint64_t>(count, kReserveCap)),
+               /*blocks=*/0, /*payload_bytes=*/0);
+
+  BlockedRecord rec;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t payload_size = 0;
+    uint64_t checksum = 0;
+    if (!in.ReadU64(&payload_size) || !in.ReadU64(&checksum) ||
+        payload_size > in.Remaining()) {
+      if (report != nullptr) {
+        report->truncated = true;
+        report->corrupt += count - i;
+      }
+      break;
+    }
+    const char* payload = bytes.data() + in.Pos();
+    in.Skip(payload_size);
+    if (Fnv1a64(payload, static_cast<size_t>(payload_size)) != checksum) {
+      out->AppendCorruptPlaceholder();
+      ReportCorrupt(report, i);
+      continue;
+    }
+    if (!DecodeBlockedPayload(payload, static_cast<size_t>(payload_size),
+                              &rec)) {
+      out->AppendCorruptPlaceholder();
+      ReportCodecCorrupt(report, i);
+      continue;
+    }
+    out->AppendRecord(
+        CompressedIntervalList::FromParts(rec.c_headers, rec.c_bytes,
+                                          rec.c_intervals),
+        CompressedIntervalList::FromParts(rec.p_headers, rec.p_bytes,
+                                          rec.p_intervals));
+    if (report != nullptr) ++report->loaded;
   }
   return Status::Ok();
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/raster/april.h"
+#include "src/raster/april_compressed.h"
 #include "src/raster/april_store.h"
 #include "src/util/status.h"
 
@@ -29,6 +30,19 @@ namespace stj {
 /// so one flipped byte costs one object, not the file. Version-1 files (no
 /// frames) are still read, but any corruption fails the whole load.
 /// All integers native-endian (little-endian on every supported target).
+///
+/// Version 3 ("APRB" magic) keeps the version-2 frame layout — u64 size, u64
+/// fnv1a64 checksum, payload — but the payload is the block codec of
+/// interval_codec.h: per list a varint interval count and block count, the
+/// skip headers (varint first_cell, range span, count, payload length), then
+/// the concatenated block payloads. A v3 file loads either into a flat
+/// AprilStore (records are decoded, so every existing consumer reads v3
+/// transparently) or into a CompressedAprilStore that keeps the blocks for
+/// the fused filter path. Beyond the checksum, every v3 record passes deep
+/// codec validation at load; a record that verifies its checksum but fails
+/// codec validation is isolated as a placeholder and counted separately
+/// (codec_corrupt), since it indicates a writer bug or targeted corruption
+/// rather than bit rot.
 
 /// Per-load accounting of what a (possibly corrupt) APRIL file yielded.
 struct AprilLoadReport {
@@ -38,15 +52,22 @@ struct AprilLoadReport {
   uint64_t loaded = 0;         ///< Records decoded and verified.
   uint64_t corrupt = 0;        ///< Records unusable (bad checksum, undecodable
                                ///< payload, or missing due to truncation).
+  /// Version-3 records whose frame checksum verified but whose blocked
+  /// payload failed deep codec validation (interval_codec.h). Disjoint from
+  /// `corrupt`; such records also become usable=false placeholders.
+  uint64_t codec_corrupt = 0;
   bool truncated = false;      ///< File ended before declared_count records.
-  /// Indices (into the declared object order) of unusable records that are
-  /// physically present in the output vector as usable=false placeholders.
-  /// A truncated tail is NOT enumerated here: every index >=
-  /// the output vector's size is missing (see truncated / declared_count).
+  /// Indices (into the declared object order) of unusable records (checksum
+  /// or codec failures) that are physically present in the output as
+  /// usable=false placeholders. A truncated tail is NOT enumerated here:
+  /// every index >= the output's size is missing (see truncated /
+  /// declared_count).
   std::vector<uint64_t> corrupt_indices;
 
   /// True when anything at all was lost.
-  bool Degraded() const { return truncated || corrupt != 0; }
+  bool Degraded() const {
+    return truncated || corrupt != 0 || codec_corrupt != 0;
+  }
 };
 
 /// Writes \p approximations to \p path (version 2, raw payloads). Returns
@@ -64,8 +85,24 @@ bool SaveAprilFileCompressed(
 bool SaveAprilStore(const std::string& path, const AprilStore& store);
 bool SaveAprilStoreCompressed(const std::string& path, const AprilStore& store);
 
+/// Writes \p store in the version-3 blocked codec ("APRB"). Corruption
+/// placeholders are written as empty records, as the v2 writers do.
+bool SaveAprilStoreBlocked(const std::string& path,
+                           const CompressedAprilStore& store);
+
+/// Reads a version-3 ("APRB") file into a CompressedAprilStore, keeping the
+/// block codec intact for the fused filter path. Same tolerance semantics as
+/// LoadAprilStore: checksum failures and codec-validation failures each cost
+/// one record (placeholder + report entry); truncation keeps the verified
+/// prefix. Returns InvalidArgument for non-v3 files.
+Status LoadCompressedAprilStore(const std::string& path,
+                                CompressedAprilStore* out,
+                                AprilLoadReport* report = nullptr);
+
 /// Reads approximations from \p path straight into an arena-backed store in
-/// one pass (no per-object heap lists). Same tolerance and reporting
+/// one pass (no per-object heap lists). Version-3 records are decoded to
+/// flat intervals, so callers need not know which codec wrote the file.
+/// Same tolerance and reporting
 /// semantics as LoadAprilFileDetailed: corrupt version-2 records become
 /// usable=false placeholder records so later records keep their object
 /// index; truncation keeps the verified prefix; structural failures (and any

@@ -69,6 +69,16 @@ bool Pipeline::AprilFor(const DatasetView& view, uint32_t idx,
   return true;
 }
 
+bool Pipeline::CompressedAprilFor(const DatasetView& view, uint32_t idx,
+                                  CompressedAprilView* out) {
+  if (view.cstore == nullptr || idx >= view.cstore->Count() ||
+      !view.cstore->Usable(idx)) {
+    return false;
+  }
+  *out = view.cstore->View(idx);
+  return true;
+}
+
 const PreparedPolygon& Pipeline::PreparedFor(PreparedCache* cache,
                                              const DatasetView& view,
                                              uint32_t idx,
@@ -160,18 +170,12 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
           return Relation::kIntersects;
         }
         candidates = MbrCandidates(boxes);
-        AprilView ra;
-        AprilView sa;
-        if (!AprilFor(r_view_, r_idx, &ra) || !AprilFor(s_view_, s_idx, &sa)) {
-          // Degraded mode: an approximation is missing or corrupt, so the
-          // raster filter cannot run — fall back to OP2-style refinement
-          // with the MBR-narrowed candidates (still exact, just slower).
-          ++stats_.fallback_refined;
-        } else {
-          if (!ListsOverlap(ra.conservative, sa.conservative)) {
-            ++stats_.decided_by_filter;
-            return Relation::kDisjoint;
-          }
+        // Generic over the storage form: the List* relations overload on the
+        // view's member type, so the flat and compressed branches run the
+        // same tests. Returns true when the pair is definitely disjoint.
+        const auto april_decides_disjoint = [&](const auto& ra,
+                                                const auto& sa) {
+          if (!ListsOverlap(ra.conservative, sa.conservative)) return true;
           if (ListsOverlap(ra.conservative, sa.progressive) ||
               ListsOverlap(ra.progressive, sa.conservative)) {
             // Definitely intersecting: drop disjoint and meets from the masks
@@ -179,14 +183,63 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
             candidates.Remove(Relation::kDisjoint);
             candidates.Remove(Relation::kMeets);
           }
+          return false;
+        };
+        bool have = false;
+        bool disjoint = false;
+        if (UseCompressed()) {
+          CompressedAprilView ra;
+          CompressedAprilView sa;
+          if (CompressedAprilFor(r_view_, r_idx, &ra) &&
+              CompressedAprilFor(s_view_, s_idx, &sa)) {
+            have = true;
+            disjoint = april_decides_disjoint(ra, sa);
+          }
+        } else {
+          AprilView ra;
+          AprilView sa;
+          if (AprilFor(r_view_, r_idx, &ra) && AprilFor(s_view_, s_idx, &sa)) {
+            have = true;
+            disjoint = april_decides_disjoint(ra, sa);
+          }
+        }
+        if (!have) {
+          // Degraded mode: an approximation is missing or corrupt, so the
+          // raster filter cannot run — fall back to OP2-style refinement
+          // with the MBR-narrowed candidates (still exact, just slower).
+          ++stats_.fallback_refined;
+        } else if (disjoint) {
+          ++stats_.decided_by_filter;
+          return Relation::kDisjoint;
         }
       }
       return Refine(r_idx, s_idx, candidates);
     }
     case Method::kPC: {
-      AprilView ra;
-      AprilView sa;
-      if (!AprilFor(r_view_, r_idx, &ra) || !AprilFor(s_view_, s_idx, &sa)) {
+      // The paper's Algorithm 1, over whichever storage form the views
+      // carry: both FindRelationFilter overloads run the same decision
+      // sequence, so the storage form cannot change the answer.
+      FilterDecision decision;
+      bool have = false;
+      if (UseCompressed()) {
+        CompressedAprilView ra;
+        CompressedAprilView sa;
+        if (CompressedAprilFor(r_view_, r_idx, &ra) &&
+            CompressedAprilFor(s_view_, s_idx, &sa)) {
+          have = true;
+          ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
+          decision = FindRelationFilter(r_mbr, ra, s_mbr, sa);
+        }
+      } else {
+        AprilView ra;
+        AprilView sa;
+        if (AprilFor(r_view_, r_idx, &ra) && AprilFor(s_view_, s_idx, &sa)) {
+          have = true;
+          ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
+          decision = FindRelationFilter(r_mbr, ra, s_mbr, sa);
+        }
+      }
+      if (!have) {
         // Degraded mode: without both approximations Algorithm 1 cannot run.
         // The MBRs still decide the cheap cases; everything else falls back
         // to refinement over the MBR-narrowed candidates (OP2-equivalent).
@@ -206,19 +259,13 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
         ++stats_.fallback_refined;
         return Refine(r_idx, s_idx, MbrCandidates(boxes));
       }
-      // The paper's Algorithm 1.
-      FilterDecision decision;
-      {
-        ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
-        decision = FindRelationFilter(r_mbr, ra, s_mbr, sa);
-        if (decision.definite) {
-          if (decision.stage == DecisionStage::kMbrFilter) {
-            ++stats_.decided_by_mbr;
-          } else {
-            ++stats_.decided_by_filter;
-          }
-          return decision.relation;
+      if (decision.definite) {
+        if (decision.stage == DecisionStage::kMbrFilter) {
+          ++stats_.decided_by_mbr;
+        } else {
+          ++stats_.decided_by_filter;
         }
+        return decision.relation;
       }
       return Refine(r_idx, s_idx, decision.candidates);
     }
@@ -244,14 +291,27 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
   const Box& s_mbr = (*s_view_.objects)[s_idx].geometry.Bounds();
 
   if (method_ == Method::kPC) {
-    AprilView ra;
-    AprilView sa;
-    if (AprilFor(r_view_, r_idx, &ra) && AprilFor(s_view_, s_idx, &sa)) {
-      RelateAnswer answer;
-      {
+    bool have = false;
+    RelateAnswer answer = RelateAnswer::kInconclusive;
+    if (UseCompressed()) {
+      CompressedAprilView ra;
+      CompressedAprilView sa;
+      if (CompressedAprilFor(r_view_, r_idx, &ra) &&
+          CompressedAprilFor(s_view_, s_idx, &sa)) {
+        have = true;
         ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
         answer = RelatePredicateFilter(p, r_mbr, ra, s_mbr, sa);
       }
+    } else {
+      AprilView ra;
+      AprilView sa;
+      if (AprilFor(r_view_, r_idx, &ra) && AprilFor(s_view_, s_idx, &sa)) {
+        have = true;
+        ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
+        answer = RelatePredicateFilter(p, r_mbr, ra, s_mbr, sa);
+      }
+    }
+    if (have) {
       switch (answer) {
         case RelateAnswer::kYes:
           ++stats_.decided_by_filter;

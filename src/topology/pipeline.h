@@ -7,6 +7,7 @@
 #include "src/geometry/polygon.h"
 #include "src/geometry/prepared_polygon.h"
 #include "src/raster/april.h"
+#include "src/raster/april_compressed.h"
 #include "src/raster/april_store.h"
 #include "src/topology/find_relation.h"
 #include "src/topology/prepared_cache.h"
@@ -25,16 +26,21 @@ enum class Method : uint8_t {
 const char* ToString(Method method);
 
 /// One side of a join: objects plus (for kApril/kPC) their approximations.
-/// Approximations come from exactly one of two storages, index-aligned with
-/// `objects` either way: a legacy vector<AprilApproximation>, or an
-/// arena-backed AprilStore (april_store.h). When `store` is set it takes
-/// precedence over `april`; both may be null for methods that do not use
-/// approximations. The pipeline reads records as AprilViews, so join results
-/// are identical across storages.
+/// Approximations come from exactly one of three storages, index-aligned
+/// with `objects` either way: a legacy vector<AprilApproximation>, an
+/// arena-backed AprilStore (april_store.h), or a blocked-codec
+/// CompressedAprilStore (april_compressed.h). When `store` is set it takes
+/// precedence over `april`; all may be null for methods that do not use
+/// approximations. The compressed storage is used only when BOTH sides of
+/// the join carry a `cstore` (the filters need one storage form per pair);
+/// it then takes precedence over the flat storages. Join results are
+/// identical across all storages — the compressed filter path computes the
+/// same relations block-by-block.
 struct DatasetView {
   const std::vector<SpatialObject>* objects = nullptr;
   const std::vector<AprilApproximation>* april = nullptr;
   const AprilStore* store = nullptr;
+  const CompressedAprilStore* cstore = nullptr;
 };
 
 /// Default per-worker prepared-geometry cache budget. Sized so the working
@@ -167,6 +173,16 @@ class Pipeline {
   /// to refinement. Reads the arena store when the view carries one, the
   /// legacy vector otherwise.
   static bool AprilFor(const DatasetView& view, uint32_t idx, AprilView* out);
+
+  /// Compressed counterpart of AprilFor, reading the blocked-codec store.
+  static bool CompressedAprilFor(const DatasetView& view, uint32_t idx,
+                                 CompressedAprilView* out);
+
+  /// True when the join runs on the compressed storage form (both sides
+  /// carry a CompressedAprilStore).
+  bool UseCompressed() const {
+    return r_view_.cstore != nullptr && s_view_.cstore != nullptr;
+  }
 
   Method method_;
   DatasetView r_view_;

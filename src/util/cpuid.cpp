@@ -1,0 +1,51 @@
+#include "src/util/cpuid.h"
+
+#include <cstring>
+
+namespace stj {
+
+const char* ToString(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectSimdLevel() {
+#if defined(STJ_DISABLE_SIMD)
+  return SimdLevel::kScalar;
+#elif defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults CPUID and XGETBV, so it is false when the
+  // OS does not preserve the ymm state even if the CPU advertises AVX2.
+  return __builtin_cpu_supports("avx2") ? SimdLevel::kAvx2
+                                        : SimdLevel::kScalar;
+#elif defined(__aarch64__)
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+bool ParseSimdLevel(const char* name, SimdLevel* out) {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+    return true;
+  }
+  if (std::strcmp(name, "neon") == 0) {
+    *out = SimdLevel::kNeon;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace stj

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace stj {
+
+/// Vector instruction tiers the interval kernels can target (simd.h). The
+/// enum is a tier ladder, not a feature bitmap: each level fully determines
+/// one kernel table, and dispatch picks exactly one level at startup.
+enum class SimdLevel : uint8_t {
+  kScalar = 0,  ///< Portable C++ (always available; the differential oracle).
+  kAvx2 = 1,    ///< x86-64 with AVX2 (4x64-bit lanes).
+  kNeon = 2,    ///< AArch64 Advanced SIMD (2x64-bit lanes; baseline on arm64).
+};
+
+const char* ToString(SimdLevel level);
+
+/// Best level the running CPU supports. On x86 this queries CPUID (via
+/// __builtin_cpu_supports, which also checks OS ymm-state support); on
+/// AArch64 Advanced SIMD is architecturally guaranteed. Builds configured
+/// with -DSTJ_DISABLE_SIMD=ON report kScalar unconditionally so the portable
+/// path is the only one that can run.
+SimdLevel DetectSimdLevel();
+
+/// Parses "scalar" / "avx2" / "neon" (as accepted in the STJ_SIMD
+/// environment override). Returns false on unknown names.
+bool ParseSimdLevel(const char* name, SimdLevel* out);
+
+}  // namespace stj

@@ -1,0 +1,354 @@
+// Version-3 ("APRB", blocked codec) APRIL file robustness: round trips into
+// both store forms, transparent decode through the flat loader, per-record
+// corruption isolation, and the codec_corrupt taxonomy — records whose frame
+// checksum verifies but whose blocked payload fails deep validation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/raster/april.h"
+#include "src/raster/april_compressed.h"
+#include "src/raster/april_io.h"
+#include "src/util/rng.h"
+#include "tests/robustness/corrupter.h"
+#include "tests/test_support.h"
+
+namespace stj {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// Mirrors the writer's frame checksum (april_io.cpp).
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// Offsets of the record frames (shared v2/v3 frame layout), plus the end
+// offset of the last frame.
+std::vector<size_t> FrameOffsets(const std::string& bytes, size_t count) {
+  constexpr size_t kHeaderSize = 4 + 4 + 8;  // magic, u32 version, u64 count
+  std::vector<size_t> offsets;
+  size_t off = kHeaderSize;
+  for (size_t i = 0; i < count; ++i) {
+    offsets.push_back(off);
+    uint64_t payload_size = 0;
+    EXPECT_LE(off + 16, bytes.size());
+    std::memcpy(&payload_size, bytes.data() + off, sizeof payload_size);
+    off += 16 + payload_size;  // size, checksum, payload
+  }
+  offsets.push_back(off);
+  return offsets;
+}
+
+// Flips one payload byte of frame \p record and REPAIRS the frame checksum,
+// so the damage is invisible to the integrity layer and only the codec
+// validation can catch it.
+std::string WithCodecCorruptRecord(const std::string& bytes,
+                                   const std::vector<size_t>& offsets,
+                                   size_t record, size_t payload_byte) {
+  std::string damaged = bytes;
+  const size_t frame = offsets[record];
+  uint64_t payload_size = 0;
+  std::memcpy(&payload_size, damaged.data() + frame, sizeof payload_size);
+  EXPECT_LT(payload_byte, payload_size);
+  const size_t payload_begin = frame + 16;
+  damaged[payload_begin + payload_byte] = static_cast<char>(
+      ~static_cast<unsigned char>(damaged[payload_begin + payload_byte]));
+  const uint64_t checksum = Fnv1a64(damaged.data() + payload_begin,
+                                    static_cast<size_t>(payload_size));
+  std::memcpy(damaged.data() + frame + 8, &checksum, sizeof checksum);
+  return damaged;
+}
+
+class AprilBlockedTest : public ::testing::Test {
+ protected:
+  AprilBlockedTest() {
+    Rng rng(73);
+    const RasterGrid grid(Box::Of(Point{0, 0}, Point{100, 100}), 9);
+    const AprilBuilder builder(&grid);
+    std::vector<AprilApproximation> approximations;
+    for (int i = 0; i < 8; ++i) {
+      approximations.push_back(builder.Build(test::RandomBlob(
+          &rng, Point{rng.Uniform(10, 90), rng.Uniform(10, 90)},
+          rng.LogUniform(2.0, 15.0), 48, 0.25)));
+    }
+    flat_ = AprilStore::FromApproximations(approximations);
+    store_ = CompressedAprilStore::FromStore(flat_);
+  }
+
+  // The saved v3 file's bytes.
+  std::string SavedBytes() {
+    const std::string path = TempPath("april_blocked_scratch.bin");
+    EXPECT_TRUE(SaveAprilStoreBlocked(path, store_));
+    std::string bytes = test::ReadFileBytes(path);
+    std::remove(path.c_str());
+    return bytes;
+  }
+
+  AprilStore flat_;
+  CompressedAprilStore store_;
+};
+
+TEST_F(AprilBlockedTest, RoundTripsIntoCompressedStore) {
+  const std::string path = TempPath("april_blocked_rt.bin");
+  ASSERT_TRUE(SaveAprilStoreBlocked(path, store_));
+
+  CompressedAprilStore loaded;
+  AprilLoadReport report;
+  const Status status = LoadCompressedAprilStore(path, &loaded, &report);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(report.version, 3u);
+  EXPECT_TRUE(report.compressed);
+  EXPECT_FALSE(report.Degraded());
+  EXPECT_EQ(report.codec_corrupt, 0u);
+  EXPECT_TRUE(loaded == store_);
+  loaded.ValidateInvariants();
+  std::remove(path.c_str());
+}
+
+TEST_F(AprilBlockedTest, FlatLoaderDecodesVersion3Transparently) {
+  const std::string path = TempPath("april_blocked_flat.bin");
+  ASSERT_TRUE(SaveAprilStoreBlocked(path, store_));
+
+  AprilStore loaded;
+  AprilLoadReport report;
+  const Status status = LoadAprilStore(path, &loaded, &report);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(report.version, 3u);
+  EXPECT_FALSE(report.Degraded());
+  ASSERT_EQ(loaded.Count(), flat_.Count());
+  for (size_t i = 0; i < flat_.Count(); ++i) {
+    EXPECT_TRUE(loaded.Conservative(i) == flat_.Conservative(i)) << i;
+    EXPECT_TRUE(loaded.Progressive(i) == flat_.Progressive(i)) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AprilBlockedTest, FromStoreAndDecodeRecordAreInverse) {
+  ASSERT_EQ(store_.Count(), flat_.Count());
+  std::vector<CellInterval> c;
+  std::vector<CellInterval> p;
+  for (size_t i = 0; i < store_.Count(); ++i) {
+    ASSERT_TRUE(store_.DecodeRecord(i, &c, &p)) << i;
+    EXPECT_TRUE(IntervalView(c.data(), c.size()) == flat_.Conservative(i))
+        << i;
+    EXPECT_TRUE(IntervalView(p.data(), p.size()) == flat_.Progressive(i))
+        << i;
+    EXPECT_EQ(store_.DeepValidateRecord(i), "") << i;
+  }
+}
+
+TEST_F(AprilBlockedTest, ChecksumCorruptionIsolatesOneRecord) {
+  const std::string bytes = SavedBytes();
+  const std::vector<size_t> offsets = FrameOffsets(bytes, store_.Count());
+  const std::string damaged =
+      test::WithFlippedByte(bytes, offsets[2] + 16 + 3);
+
+  const std::string path = TempPath("april_blocked_crc.bin");
+  test::WriteFileBytes(path, damaged);
+  for (const bool via_compressed : {false, true}) {
+    AprilLoadReport report;
+    size_t count = 0;
+    std::vector<bool> usable;
+    if (via_compressed) {
+      CompressedAprilStore loaded;
+      ASSERT_TRUE(LoadCompressedAprilStore(path, &loaded, &report).ok());
+      count = loaded.Count();
+      for (size_t i = 0; i < count; ++i) usable.push_back(loaded.Usable(i));
+    } else {
+      AprilStore loaded;
+      ASSERT_TRUE(LoadAprilStore(path, &loaded, &report).ok());
+      count = loaded.Count();
+      for (size_t i = 0; i < count; ++i) usable.push_back(loaded.Usable(i));
+    }
+    EXPECT_EQ(report.corrupt, 1u) << via_compressed;
+    EXPECT_EQ(report.codec_corrupt, 0u) << via_compressed;
+    ASSERT_EQ(report.corrupt_indices, std::vector<uint64_t>{2});
+    ASSERT_EQ(count, store_.Count());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(usable[i], i != 2) << via_compressed << " record " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AprilBlockedTest, CodecCorruptionWithValidChecksumIsCaught) {
+  // The adversarial case the checksum cannot see: payload damaged AND the
+  // frame checksum recomputed. Deep codec validation must catch it, count it
+  // separately from bit-rot corruption, and isolate the record.
+  const std::string bytes = SavedBytes();
+  const std::vector<size_t> offsets = FrameOffsets(bytes, store_.Count());
+  // Damage the final payload byte: it belongs to the last block's varint
+  // stream, where any flip breaks the header-pinned block endpoint (data
+  // bits change the delta sum, the continuation bit truncates the varint).
+  uint64_t payload_size = 0;
+  std::memcpy(&payload_size, bytes.data() + offsets[3], sizeof payload_size);
+  const std::string damaged = WithCodecCorruptRecord(
+      bytes, offsets, /*record=*/3,
+      /*payload_byte=*/static_cast<size_t>(payload_size) - 1);
+
+  const std::string path = TempPath("april_blocked_codec.bin");
+  test::WriteFileBytes(path, damaged);
+  for (const bool via_compressed : {false, true}) {
+    AprilLoadReport report;
+    size_t count = 0;
+    std::vector<bool> usable;
+    if (via_compressed) {
+      CompressedAprilStore loaded;
+      ASSERT_TRUE(LoadCompressedAprilStore(path, &loaded, &report).ok());
+      count = loaded.Count();
+      for (size_t i = 0; i < count; ++i) usable.push_back(loaded.Usable(i));
+    } else {
+      AprilStore loaded;
+      ASSERT_TRUE(LoadAprilStore(path, &loaded, &report).ok());
+      count = loaded.Count();
+      for (size_t i = 0; i < count; ++i) usable.push_back(loaded.Usable(i));
+    }
+    EXPECT_EQ(report.corrupt, 0u) << via_compressed;
+    EXPECT_EQ(report.codec_corrupt, 1u) << via_compressed;
+    EXPECT_TRUE(report.Degraded()) << via_compressed;
+    ASSERT_EQ(report.corrupt_indices, std::vector<uint64_t>{3});
+    ASSERT_EQ(count, store_.Count());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(usable[i], i != 3) << via_compressed << " record " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AprilBlockedTest, CodecFlipSweepNeverEscapesTheRecord) {
+  // Sweep a checksum-repaired flip across every payload byte of one record.
+  // Detection is not guaranteed for every position (a flip in a skip
+  // header's first_cell varint can shift one block consistently — that is
+  // what the frame checksum exists for), but corruption must never escape
+  // the record: either it is flagged codec-corrupt and isolated, or the
+  // record still loads as a self-consistent canonical list. All other
+  // records must come through untouched either way.
+  const std::string bytes = SavedBytes();
+  const std::vector<size_t> offsets = FrameOffsets(bytes, store_.Count());
+  uint64_t payload_size = 0;
+  std::memcpy(&payload_size, bytes.data() + offsets[1], sizeof payload_size);
+  const std::string path = TempPath("april_blocked_sweep.bin");
+  size_t detected = 0;
+  for (size_t b = 0; b < payload_size; ++b) {
+    test::WriteFileBytes(path, WithCodecCorruptRecord(bytes, offsets, 1, b));
+    AprilStore loaded;
+    AprilLoadReport report;
+    ASSERT_TRUE(LoadAprilStore(path, &loaded, &report).ok()) << "flip @" << b;
+    ASSERT_EQ(loaded.Count(), store_.Count()) << "flip @" << b;
+    EXPECT_EQ(report.corrupt, 0u) << "flip @" << b;
+    if (report.codec_corrupt != 0) {
+      ++detected;
+      EXPECT_EQ(report.codec_corrupt, 1u) << "flip @" << b;
+      EXPECT_FALSE(loaded.Usable(1)) << "flip @" << b;
+    } else {
+      // Undetected flips must still yield a canonical (if different) list.
+      ASSERT_TRUE(loaded.Usable(1)) << "flip @" << b;
+      const IntervalView survived = loaded.Conservative(1);
+      for (size_t k = 0; k < survived.Size(); ++k) {
+        EXPECT_LT(survived[k].begin, survived[k].end) << "flip @" << b;
+        if (k > 0) {
+          EXPECT_LT(survived[k - 1].end, survived[k].begin) << "flip @" << b;
+        }
+      }
+    }
+    // Every other record survives untouched.
+    for (size_t i = 0; i < loaded.Count(); ++i) {
+      if (i == 1) continue;
+      EXPECT_TRUE(loaded.Conservative(i) == flat_.Conservative(i))
+          << "flip @" << b << " record " << i;
+    }
+  }
+  // The overwhelming majority of positions are block payload bytes, where
+  // the pinned block endpoints make any flip detectable.
+  EXPECT_GT(detected, payload_size / 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(AprilBlockedTest, TruncationKeepsVerifiedPrefix) {
+  const std::string bytes = SavedBytes();
+  const std::vector<size_t> offsets = FrameOffsets(bytes, store_.Count());
+  ASSERT_EQ(offsets.back(), bytes.size());
+  const std::string path = TempPath("april_blocked_trunc.bin");
+  for (size_t k = 0; k < store_.Count(); ++k) {
+    test::WriteFileBytes(path, test::TruncatedTo(bytes, offsets[k]));
+    CompressedAprilStore loaded;
+    AprilLoadReport report;
+    ASSERT_TRUE(LoadCompressedAprilStore(path, &loaded, &report).ok());
+    EXPECT_TRUE(report.truncated);
+    EXPECT_EQ(report.loaded, k);
+    ASSERT_EQ(loaded.Count(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_TRUE(loaded.Usable(i)) << i;
+      EXPECT_EQ(loaded.DeepValidateRecord(i), "") << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AprilBlockedTest, CompressedLoaderRejectsVersion2Files) {
+  std::vector<AprilApproximation> approximations(2);
+  approximations[0].conservative = IntervalList::FromCells({1, 2, 3});
+  const std::string path = TempPath("april_blocked_v2.bin");
+  ASSERT_TRUE(SaveAprilFile(path, approximations));
+  CompressedAprilStore loaded;
+  const Status status = LoadCompressedAprilStore(path, &loaded, nullptr);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(AprilBlockedTest, BlockedFileIsSmallerThanRaw) {
+  const std::string raw_path = TempPath("april_blocked_raw.bin");
+  const std::string blocked_path = TempPath("april_blocked_small.bin");
+  ASSERT_TRUE(SaveAprilStore(raw_path, flat_));
+  ASSERT_TRUE(SaveAprilStoreBlocked(blocked_path, store_));
+  const std::string raw = test::ReadFileBytes(raw_path);
+  const std::string blocked = test::ReadFileBytes(blocked_path);
+  EXPECT_LT(blocked.size() * 2, raw.size())
+      << "blocked " << blocked.size() << " vs raw " << raw.size();
+  std::remove(raw_path.c_str());
+  std::remove(blocked_path.c_str());
+}
+
+TEST(AprilBlocked, EmptyAndPlaceholderRecordsRoundTrip) {
+  CompressedAprilStore store;
+  store.AppendEncoded(IntervalView(), IntervalView());  // fully empty record
+  store.AppendCorruptPlaceholder();
+  IntervalList c = IntervalList::FromCells({5, 6, 7, 20});
+  store.AppendEncoded(c, IntervalView());  // empty P list
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/april_blocked_empty.bin";
+  ASSERT_TRUE(SaveAprilStoreBlocked(path, store));
+  CompressedAprilStore loaded;
+  AprilLoadReport report;
+  ASSERT_TRUE(LoadCompressedAprilStore(path, &loaded, &report).ok());
+  ASSERT_EQ(loaded.Count(), 3u);
+  EXPECT_TRUE(loaded.Usable(0));
+  EXPECT_TRUE(loaded.Conservative(0).Empty());
+  // Placeholders are written as empty records, which load as usable empties
+  // (the v2 writers behave the same way — the usable flag is not persisted).
+  EXPECT_TRUE(loaded.Conservative(1).Empty());
+  EXPECT_TRUE(loaded.Usable(2));
+  std::vector<CellInterval> flat_c;
+  std::vector<CellInterval> flat_p;
+  ASSERT_TRUE(loaded.DecodeRecord(2, &flat_c, &flat_p));
+  EXPECT_TRUE(IntervalView(flat_c.data(), flat_c.size()) == IntervalView(c));
+  EXPECT_TRUE(flat_p.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stj

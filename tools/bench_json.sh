@@ -15,6 +15,11 @@
 #                           on OLE-OPE with and without a (never-tripping)
 #                           deadline + memory budget armed, 1/4 threads
 #                           -> BENCH_PR6.json
+#   bench_micro_interval    --json mode: intermediate-filter throughput on
+#                           the TC-TZ dense tessellation under forced scalar
+#                           vs runtime-dispatched SIMD kernels, flat and
+#                           block-compressed APRIL, 1/4 threads
+#                           -> BENCH_PR7.json
 #
 # Extra arguments are forwarded to the PR3 bench binaries, e.g.:
 #
@@ -33,16 +38,19 @@ cd "$(dirname "$0")/.."
 OUT="BENCH_PR3.json"
 PREPARED_OUT_FINAL="BENCH_PR4.json"
 EXEC_OUT_FINAL="BENCH_PR6.json"
+INTERVAL_OUT_FINAL="BENCH_PR7.json"
 SCALING_OUT="$(mktemp)"
 APRIL_OUT="$(mktemp)"
 PREPARED_OUT="$(mktemp)"
 EXEC_OUT="$(mktemp)"
-trap 'rm -f "$SCALING_OUT" "$APRIL_OUT" "$PREPARED_OUT" "$EXEC_OUT"' EXIT
+INTERVAL_OUT="$(mktemp)"
+trap 'rm -f "$SCALING_OUT" "$APRIL_OUT" "$PREPARED_OUT" "$EXEC_OUT" "$INTERVAL_OUT"' EXIT
 
 echo "==== configure + build (Release) ===="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$(nproc)" --target bench_parallel_scaling \
-  bench_april_build bench_prepared_cache bench_exec_context
+  bench_april_build bench_prepared_cache bench_exec_context \
+  bench_micro_interval
 
 echo "==== run bench_parallel_scaling ===="
 build/bench/bench_parallel_scaling --json="$SCALING_OUT" "$@"
@@ -180,4 +188,63 @@ print(f'{len(records)} records OK (exec-context overhead '
       + ')')
 PY
 
-echo "bench_json: wrote and validated $OUT, $PREPARED_OUT_FINAL and $EXEC_OUT_FINAL"
+echo "==== run bench_micro_interval --json (TC-TZ, grid order 14, threads 1/4) ===="
+# Grid order 14 keeps the tessellation lists long (thousands of intervals per
+# TC object), which is the dense-list regime the SIMD kernels target; the
+# scale keeps the scenario build affordable.
+build/bench/bench_micro_interval --scale=0.05 --grid-order=14 --threads=1,4 \
+  --json="$INTERVAL_OUT"
+
+echo "==== validate $INTERVAL_OUT_FINAL ===="
+python3 - "$INTERVAL_OUT" "$INTERVAL_OUT_FINAL" <<'PY'
+import json, sys
+
+records = json.load(open(sys.argv[1]))
+assert isinstance(records, list) and records, 'empty report'
+
+codec_required = {'bench', 'stage', 'scenario', 'grid_order', 'flat_bytes',
+                  'blocked_bytes', 'compression_ratio'}
+filter_required = {'bench', 'stage', 'scenario', 'mode', 'simd_level',
+                   'threads', 'pairs', 'seconds', 'pairs_per_sec',
+                   'speedup_vs_scalar', 'identical'}
+codec = [r for r in records if r['stage'] == 'codec']
+filt = [r for r in records if r['stage'] == 'find_relation_filter']
+assert len(codec) == 1, f'expected one codec record, got {len(codec)}'
+assert filt, 'no find_relation_filter records'
+for r in codec:
+    missing = codec_required - set(r)
+    assert not missing, f'codec record missing {missing}: {r}'
+for r in filt:
+    missing = filter_required - set(r)
+    assert not missing, f'filter record missing {missing}: {r}'
+    assert r['bench'] == 'interval_simd', r
+    # Decision vectors must agree bit-for-bit across scalar/SIMD and
+    # flat/compressed: the kernels may only change speed, never answers.
+    assert r['identical'] == 1, f'divergent decisions: {r}'
+
+ratio = codec[0]['compression_ratio']
+assert ratio >= 2.0, f'codec compression ratio {ratio:.2f}x < 2x'
+
+by_key = {(r['mode'], r['threads']): r for r in filt}
+assert set(by_key) >= {(m, t) for m in ('scalar', 'simd', 'simd_compressed')
+                       for t in (1, 4)}, \
+    f'missing (mode, threads) combinations: {sorted(by_key)}'
+
+# The acceptance number: runtime-dispatched SIMD kernels must deliver >=
+# 1.5x intermediate-filter throughput over the forced-scalar baseline on
+# the dense tessellation at 1 and 4 threads.
+speedups = {}
+for t in (1, 4):
+    s = by_key[('simd', t)]['speedup_vs_scalar']
+    speedups[t] = s
+    assert s >= 1.5, f'SIMD filter speedup {s:.2f}x < 1.5x at {t} threads'
+
+with open(sys.argv[2], 'w') as f:
+    json.dump(records, f, indent=1)
+    f.write('\n')
+print(f'{len(records)} records OK (SIMD filter speedup '
+      + ', '.join(f'{t}T {s:.1f}x' for t, s in sorted(speedups.items()))
+      + f', codec ratio {ratio:.1f}x)')
+PY
+
+echo "bench_json: wrote and validated $OUT, $PREPARED_OUT_FINAL, $EXEC_OUT_FINAL and $INTERVAL_OUT_FINAL"

@@ -126,6 +126,23 @@ run_expect(2 "unknown flag"
 # aprilcheck: healthy file passes, garbage and truncated headers are
 # structural errors (exit 4).
 run_expect(0 "0 corrupt" ${CLI} aprilcheck ${WORK}/ole.april)
+
+# ---- codec variants ----
+
+# Every codec round-trips through aprilcheck cleanly; the blocked (version 3)
+# file additionally passes the deep codec audit.
+run_checked(${CLI} april ${WORK}/ole.wkt ${WORK}/ole_compact.april
+            --grid-order=10 --codec=compact)
+run_expect(0 "version 2 \\(compressed\\)"
+           ${CLI} aprilcheck ${WORK}/ole_compact.april)
+run_checked(${CLI} april ${WORK}/ole.wkt ${WORK}/ole_blocked.april
+            --grid-order=10 --codec=blocked)
+run_expect(0 "version 3 \\(blocked\\).*0 corrupt, 0 codec-corrupt"
+           ${CLI} aprilcheck ${WORK}/ole_blocked.april)
+
+# Unknown codec name: exit 5.
+run_expect(5 "unknown codec"
+           ${CLI} april ${WORK}/ole.wkt ${WORK}/x.april --codec=zip)
 file(WRITE ${WORK}/garbage.april "this is not an april file at all")
 run_expect(4 "bad magic" ${CLI} aprilcheck ${WORK}/garbage.april)
 file(WRITE ${WORK}/short.april "APRL")

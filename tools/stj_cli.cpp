@@ -6,14 +6,20 @@
 //       OLE, OPE, OBN, OLN, OPN) as one WKT polygon per line.
 //
 //   stj_cli april <in.wkt> <out.april> [--grid-order=N] [--threads=T]
-//                 [--permissive]
+//                 [--permissive] [--codec=raw|compact|blocked]
 //       Precompute APRIL P/C interval lists for every polygon of a WKT file
 //       (grid over the file's own bounds) and store them in binary form.
 //       --threads fans the build out over T workers (0 = all cores); the
-//       output is identical for every thread count.
+//       output is identical for every thread count. --codec picks the file
+//       encoding: raw (version 2, plain u64 pairs, default), compact
+//       (version 2, varint deltas), or blocked (version 3, the block codec
+//       with skip headers that the fused filter path consumes directly).
 //
 //   stj_cli aprilcheck <in.april>
-//       Verify an APRIL file record by record and report corruption.
+//       Verify an APRIL file record by record and report corruption. For
+//       version-3 files this additionally runs the deep codec audit on every
+//       record (block-header consistency, P inside C, re-encode round-trip
+//       byte equality).
 //
 //   stj_cli relate <wkt-polygon-1> <wkt-polygon-2>
 //       Print the DE-9IM matrix and the most specific relation of two
@@ -43,10 +49,12 @@
 //
 // Exit codes: 0 success; 2 usage error; 3 missing/unreadable/unwritable
 // file; 4 malformed content (WKT parse error, APRIL structural corruption);
-// 5 unknown dataset/method/predicate name; 6 (aprilcheck) file loads but
-// contains corrupt or missing records; 7 query deadline exceeded
+// 5 unknown dataset/method/predicate/codec name; 6 (aprilcheck) file loads
+// but contains corrupt or missing records; 7 query deadline exceeded
 // (--deadline-ms); 8 query cancelled (SIGINT); 9 query memory budget
-// exhausted (--max-memory-mb).
+// exhausted (--max-memory-mb); 10 (aprilcheck) version-3 file whose frames
+// verify but whose block codec fails validation — a writer bug or targeted
+// corruption rather than bit rot.
 
 #include <chrono>
 #include <csignal>
@@ -80,6 +88,7 @@ enum ExitCode : int {
   kExitDeadline = 7,
   kExitCancelled = 8,
   kExitBudget = 9,
+  kExitCodecCorrupt = 10,
 };
 
 /// Maps a library Status to the documented exit codes.
@@ -110,6 +119,7 @@ struct Flags {
   uint32_t grid_order = 12;
   std::string method = "pc";
   std::string predicate;
+  std::string codec = "raw";
   unsigned threads = 0;
   size_t prepared_cache_mb = kDefaultPreparedCacheBytes >> 20;
   bool permissive = false;
@@ -133,6 +143,8 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.method = arg + 9;
     } else if (std::strncmp(arg, "--predicate=", 12) == 0) {
       flags.predicate = arg + 12;
+    } else if (std::strncmp(arg, "--codec=", 8) == 0) {
+      flags.codec = arg + 8;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       flags.threads = static_cast<unsigned>(std::atoi(arg + 10));
     } else if (std::strncmp(arg, "--prepared-cache-mb=", 20) == 0) {
@@ -243,7 +255,29 @@ int CmdApril(int argc, char** argv) {
   const std::vector<AprilApproximation> april =
       BuildAprilApproximations(dataset, grid, flags.threads);
   const double preprocess_seconds = timer.ElapsedSeconds();
-  if (!SaveAprilFile(argv[3], april)) {
+  bool saved = false;
+  if (flags.codec == "raw") {
+    saved = SaveAprilFile(argv[3], april);
+  } else if (flags.codec == "compact") {
+    saved = SaveAprilFileCompressed(argv[3], april);
+  } else if (flags.codec == "blocked") {
+    CompressedAprilStore cstore;
+    cstore.Reserve(april.size(), /*blocks=*/0, /*payload_bytes=*/0);
+    for (const AprilApproximation& a : april) {
+      if (!a.usable) {
+        cstore.AppendCorruptPlaceholder();
+        continue;
+      }
+      const AprilView view(a);
+      cstore.AppendEncoded(view.conservative, view.progressive);
+    }
+    saved = SaveAprilStoreBlocked(argv[3], cstore);
+  } else {
+    std::fprintf(stderr, "unknown codec '%s' (expected raw, compact, or "
+                 "blocked)\n", flags.codec.c_str());
+    return kExitBadName;
+  }
+  if (!saved) {
     return FailWith(
         Status::IoError("cannot write APRIL file").WithFile(argv[3]));
   }
@@ -251,9 +285,9 @@ int CmdApril(int argc, char** argv) {
   for (const AprilApproximation& a : april) bytes += a.ByteSize();
   std::fprintf(stderr,
                "wrote %zu approximations (%.2f MB of intervals) to %s "
-               "(preprocess %.2fs)\n",
+               "(codec %s, preprocess %.2fs)\n",
                april.size(), static_cast<double>(bytes) / 1e6, argv[3],
-               preprocess_seconds);
+               flags.codec.c_str(), preprocess_seconds);
   return kExitOk;
 }
 
@@ -264,19 +298,46 @@ int CmdAprilCheck(int argc, char** argv) {
   const Status status =
       LoadAprilFileDetailed(argv[2], &approximations, &report);
   if (!status.ok()) return FailWith(status);
+  const char* encoding = report.version == 3     ? "blocked"
+                         : report.compressed     ? "compressed"
+                                                 : "raw";
   std::fprintf(stderr,
                "%s: version %u (%s), %llu declared, %llu verified, "
-               "%llu corrupt%s\n",
-               argv[2], report.version,
-               report.compressed ? "compressed" : "raw",
+               "%llu corrupt, %llu codec-corrupt%s\n",
+               argv[2], report.version, encoding,
                static_cast<unsigned long long>(report.declared_count),
                static_cast<unsigned long long>(report.loaded),
                static_cast<unsigned long long>(report.corrupt),
+               static_cast<unsigned long long>(report.codec_corrupt),
                report.truncated ? ", TRUNCATED" : "");
   for (const uint64_t index : report.corrupt_indices) {
     std::fprintf(stderr, "  corrupt record: object %llu\n",
                  static_cast<unsigned long long>(index));
   }
+  uint64_t deep_bad = 0;
+  if (report.version == 3) {
+    // Deep codec audit: reload keeping the block codec and re-verify every
+    // usable record beyond what the loader already validated (P inside C and
+    // re-encode round-trip byte equality, which catches valid-but-non-
+    // minimal varint encodings a tampered writer could produce).
+    CompressedAprilStore cstore;
+    if (Status st = LoadCompressedAprilStore(argv[2], &cstore); !st.ok()) {
+      return FailWith(st);
+    }
+    for (size_t i = 0; i < cstore.Count(); ++i) {
+      if (!cstore.Usable(i)) continue;
+      if (const std::string err = cstore.DeepValidateRecord(i); !err.empty()) {
+        ++deep_bad;
+        std::fprintf(stderr, "  codec corrupt record: object %zu: %s\n", i,
+                     err.c_str());
+      }
+    }
+    if (deep_bad != 0) {
+      std::fprintf(stderr, "  deep codec audit: %llu record(s) failed\n",
+                   static_cast<unsigned long long>(deep_bad));
+    }
+  }
+  if (report.codec_corrupt != 0 || deep_bad != 0) return kExitCodecCorrupt;
   return report.Degraded() ? kExitDegraded : kExitOk;
 }
 
