@@ -26,6 +26,22 @@ std::vector<unsigned> ParseThreadList(const char* arg) {
   return threads;
 }
 
+std::vector<size_t> ParseBatchList(const char* arg) {
+  std::vector<size_t> batches;
+  while (*arg != '\0') {
+    char* end = nullptr;
+    const long long value = std::strtoll(arg, &end, 10);
+    if (end == arg || value < 1) {
+      std::fprintf(stderr, "bad --batch-size list near '%s'\n", arg);
+      std::exit(1);
+    }
+    batches.push_back(static_cast<size_t>(value));
+    arg = (*end == ',') ? end + 1 : end;
+  }
+  if (batches.empty()) batches.push_back(1);
+  return batches;
+}
+
 /// Minimal JSON string escaping: the keys and values we emit are bench,
 /// scenario, and method names, but stay correct for anything printable.
 std::string JsonEscape(const std::string& text) {
@@ -69,6 +85,12 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     } else if (std::strncmp(arg, "--prepared-cache-mb=", 20) == 0) {
       options.prepared_cache_bytes =
           static_cast<size_t>(std::atoll(arg + 20)) << 20;
+    } else if (std::strncmp(arg, "--batch-size=", 13) == 0) {
+      options.batch_sizes = ParseBatchList(arg + 13);
+    } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
+      options.queue_depth = static_cast<size_t>(std::atoll(arg + 14));
+    } else if (std::strcmp(arg, "--compressed") == 0) {
+      options.compressed = true;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       options.json_path = arg + 7;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -83,6 +105,11 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
           "  --time-stages per-pair stage timers (filter/refine seconds)\n"
           "  --prepared-cache-mb  per-worker prepared-geometry cache budget\n"
           "                in MB (default 32; 0 disables the cache)\n"
+          "  --batch-size  staged-executor SoA batch size; a comma list\n"
+          "                sweeps (default 1 = pair-at-a-time)\n"
+          "  --queue-depth stage-queue capacity in batches (default 8)\n"
+          "  --compressed  serve approximations from the blocked-codec\n"
+          "                CompressedAprilStore instead of flat vectors\n"
           "  --json        write machine-readable records to PATH\n",
           argv[0]);
       std::exit(0);
@@ -191,15 +218,33 @@ FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
                                 const std::vector<CandidatePair>& pairs,
                                 bool time_stages, unsigned threads,
                                 size_t prepared_cache_bytes) {
+  RunConfig config;
+  config.time_stages = time_stages;
+  config.threads = threads;
+  config.prepared_cache_bytes = prepared_cache_bytes;
+  return RunFindRelation(method, scenario, pairs, config);
+}
+
+FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
+                                const std::vector<CandidatePair>& pairs,
+                                const RunConfig& config) {
+  DatasetView r_view = scenario.RView();
+  DatasetView s_view = scenario.SView();
+  if (config.r_cstore != nullptr && config.s_cstore != nullptr) {
+    r_view = DatasetView{&scenario.r.objects, nullptr, nullptr,
+                         config.r_cstore};
+    s_view = DatasetView{&scenario.s.objects, nullptr, nullptr,
+                         config.s_cstore};
+  }
   FindRelationRun run;
   run.relation_histogram.assign(de9im::kNumRelations, 0);
   Timer timer;
-  if (threads == 1) {
+  if (config.threads == 1 && config.batch_size <= 1) {
     const PipelineOptions pipeline_options{
-        .time_stages = time_stages,
-        .prepared_cache_bytes = prepared_cache_bytes};
-    Pipeline pipeline(method, scenario.RView(), scenario.SView(),
-                      pipeline_options);
+        .time_stages = config.time_stages,
+        .prepared_cache_bytes = config.prepared_cache_bytes,
+        .decoded_cache_bytes = config.decoded_cache_bytes};
+    Pipeline pipeline(method, r_view, s_view, pipeline_options);
     for (const CandidatePair& pair : pairs) {
       const de9im::Relation rel = pipeline.FindRelation(pair.r_idx, pair.s_idx);
       ++run.relation_histogram[static_cast<size_t>(rel)];
@@ -207,11 +252,14 @@ FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
     run.stats = pipeline.Stats();
   } else {
     const JoinOptions join_options{
-        .num_threads = threads,
-        .time_stages = time_stages,
-        .prepared_cache_bytes = prepared_cache_bytes};
-    const ParallelJoinResult result = ParallelFindRelation(
-        method, scenario.RView(), scenario.SView(), pairs, join_options);
+        .num_threads = config.threads,
+        .time_stages = config.time_stages,
+        .prepared_cache_bytes = config.prepared_cache_bytes,
+        .batch_size = config.batch_size,
+        .queue_depth = config.queue_depth,
+        .decoded_cache_bytes = config.decoded_cache_bytes};
+    const ParallelJoinResult result =
+        ParallelFindRelation(method, r_view, s_view, pairs, join_options);
     for (const de9im::Relation rel : result.relations) {
       ++run.relation_histogram[static_cast<size_t>(rel)];
     }
@@ -221,6 +269,15 @@ FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
   run.pairs_per_second =
       run.seconds > 0 ? static_cast<double>(pairs.size()) / run.seconds : 0.0;
   return run;
+}
+
+CompressedScenarioStores BuildCompressedStores(const ScenarioData& scenario) {
+  CompressedScenarioStores stores;
+  stores.r_store = AprilStore::FromApproximations(scenario.r_april);
+  stores.s_store = AprilStore::FromApproximations(scenario.s_april);
+  stores.r_cstore = CompressedAprilStore::FromStore(stores.r_store);
+  stores.s_cstore = CompressedAprilStore::FromStore(stores.s_store);
+  return stores;
 }
 
 double RefinedPerSecond(const FindRelationRun& run) {

@@ -31,6 +31,17 @@ struct BenchOptions {
   /// Per-worker PreparedPolygon cache budget (--prepared-cache-mb=N, in
   /// megabytes; 0 disables the cache and restores one-shot refinement).
   size_t prepared_cache_bytes = kDefaultPreparedCacheBytes;
+  /// SoA batch sizes for the staged executor (--batch-size=N or
+  /// --batch-size=N1,N2,...; harnesses that do not sweep use the first
+  /// entry). 1 = the pair-at-a-time oracle path.
+  std::vector<size_t> batch_sizes = {1};
+  /// Stage-queue capacity in batches (--queue-depth=N; ignored by
+  /// pair-at-a-time runs).
+  size_t queue_depth = 8;
+  /// Serve approximations from the blocked-codec CompressedAprilStore
+  /// instead of flat vectors (--compressed); harnesses that support it run
+  /// their sweep against the compressed storage form.
+  bool compressed = false;
   /// When non-empty (--json=PATH), harnesses append records to a
   /// JsonReporter and write them to this path on exit.
   std::string json_path;
@@ -39,6 +50,9 @@ struct BenchOptions {
   static BenchOptions Parse(int argc, char** argv);
 
   unsigned FirstThreads() const { return threads.empty() ? 1u : threads[0]; }
+  size_t FirstBatchSize() const {
+    return batch_sizes.empty() ? size_t{1} : batch_sizes[0];
+  }
 
   ScenarioOptions ToScenarioOptions() const {
     ScenarioOptions options;
@@ -110,6 +124,39 @@ FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
                                 unsigned threads = 1,
                                 size_t prepared_cache_bytes =
                                     kDefaultPreparedCacheBytes);
+
+/// Full-knob configuration for RunFindRelation: the staged-executor batch
+/// settings and, optionally, a compressed storage form for either side.
+struct RunConfig {
+  bool time_stages = false;
+  unsigned threads = 1;
+  size_t prepared_cache_bytes = kDefaultPreparedCacheBytes;
+  /// > 1 routes through the staged batch executor (batch_executor.h); <= 1
+  /// is the pair-at-a-time oracle.
+  size_t batch_size = 1;
+  size_t queue_depth = 8;
+  /// Per-worker decoded-record cache budget for compressed inputs.
+  size_t decoded_cache_bytes = kDefaultDecodedCacheBytes;
+  /// When both are set, the run reads approximations from the compressed
+  /// stores instead of the scenario's flat vectors (results identical).
+  const CompressedAprilStore* r_cstore = nullptr;
+  const CompressedAprilStore* s_cstore = nullptr;
+};
+FindRelationRun RunFindRelation(Method method, const ScenarioData& scenario,
+                                const std::vector<CandidatePair>& pairs,
+                                const RunConfig& config);
+
+/// The blocked-codec storage form of a scenario's approximations, for
+/// compressed-store bench legs. Keeps the intermediate AprilStores alive —
+/// CompressedAprilStore arenas are self-contained, but the flat stores are
+/// handy for size reporting.
+struct CompressedScenarioStores {
+  AprilStore r_store;
+  AprilStore s_store;
+  CompressedAprilStore r_cstore;
+  CompressedAprilStore s_cstore;
+};
+CompressedScenarioStores BuildCompressedStores(const ScenarioData& scenario);
 
 /// Refined-pair throughput of a run: DE-9IM computations per second. The
 /// prepared cache only touches refinement, so this is the metric its

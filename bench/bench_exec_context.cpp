@@ -6,15 +6,19 @@
 // ExecContext::kDeadlinePollPeriod check-ins, a steady-clock read. This
 // harness measures what that costs when the query never trips: method P+C
 // on OLE-OPE (mostly filter-decided pairs, so the per-pair work is small
-// and the check-in is proportionally at its *worst*), best-of-N per thread
-// count, run once without an ExecContext and once with one armed with a
-// far-future deadline and an ample memory budget. Both runs must produce
-// identical relations; the acceptance gate in tools/bench_json.sh holds the
-// throughput overhead to <= 2%.
+// and the check-in is proportionally at its *worst*), run without an
+// ExecContext and with one armed with a far-future deadline and an ample
+// memory budget. The two settings alternate repetition by repetition so
+// both sample the same host-load windows, and each reports its
+// median-seconds run — an overhead gate of a few percent is meaningless if
+// slow background-load drift can land on one leg only. Both runs must
+// produce identical relations; the acceptance gate in tools/bench_json.sh
+// holds the throughput overhead to <= 2%.
 //
 // With --json=PATH one record per (thread count, exec setting) is written;
 // tools/bench_json.sh turns them into BENCH_PR6.json at the repo root.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +33,7 @@
 namespace stj::bench {
 namespace {
 
-constexpr int kRepetitions = 5;  // best-of to damp scheduler noise
+constexpr int kRepetitions = 7;  // median-of, interleaved across settings
 
 struct ExecRun {
   double seconds = 0.0;
@@ -60,41 +64,56 @@ void Run(const BenchOptions& options) {
               "pairs/s", "checkins", "overhead");
 
   for (const unsigned threads : options.threads) {
-    double off_seconds = 0.0;
-    std::vector<de9im::Relation> off_relations;
-    for (const bool exec_on : {false, true}) {
-      // The bounded run arms a real deadline and budget that never trip, so
-      // the hot path includes the periodic clock poll, not just the flag
-      // load.
-      ExecRun best;
-      uint64_t checkins = 0;
-      for (int rep = 0; rep < kRepetitions; ++rep) {
+    // Repetition-outer, setting-inner: the off and on legs alternate so a
+    // shift in background load moves both medians together instead of
+    // biasing whichever leg ran in the quieter window.
+    std::vector<double> leg_seconds[2];
+    ExecRun median_runs[2];
+    uint64_t leg_checkins[2] = {0, 0};
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      for (const bool exec_on : {false, true}) {
+        // The bounded run arms a real deadline and budget that never trip,
+        // so the hot path includes the periodic clock poll, not just the
+        // flag load.
         ExecContext exec;
         if (exec_on) {
           exec.SetDeadlineAfter(std::chrono::hours(24));
           exec.SetMemoryBudget(size_t{1} << 40);
         }
-        ExecRun run =
-            RunOnce(scenario, threads, exec_on ? &exec : nullptr);
+        ExecRun run = RunOnce(scenario, threads, exec_on ? &exec : nullptr);
         if (!run.result.status.ok() || !run.result.partial.Complete()) {
           std::fprintf(stderr, "FATAL: unbounded run tripped (%s)\n",
                        run.result.status.ToString().c_str());
           std::exit(1);
         }
-        if (best.seconds == 0.0 || run.seconds < best.seconds) {
-          checkins = run.result.stats.checkins;
-          best = std::move(run);
+        leg_seconds[exec_on ? 1 : 0].push_back(run.seconds);
+        if (exec_on) leg_checkins[1] = run.result.stats.checkins;
+        if (rep == 0) {
+          median_runs[exec_on ? 1 : 0] = std::move(run);
+        } else if (exec_on &&
+                   run.result.relations != median_runs[0].result.relations) {
+          std::fprintf(stderr,
+                       "FATAL: %u-thread exec-on run diverged from exec-off\n",
+                       threads);
+          std::exit(1);
         }
       }
-      if (!exec_on) {
-        off_seconds = best.seconds;
-        off_relations = best.result.relations;
-      } else if (best.result.relations != off_relations) {
+      if (median_runs[1].result.relations != median_runs[0].result.relations) {
         std::fprintf(stderr,
                      "FATAL: %u-thread exec-on run diverged from exec-off\n",
                      threads);
         std::exit(1);
       }
+    }
+
+    double off_seconds = 0.0;
+    for (const bool exec_on : {false, true}) {
+      std::vector<double>& samples = leg_seconds[exec_on ? 1 : 0];
+      std::sort(samples.begin(), samples.end());
+      ExecRun best;  // the leg's median-seconds summary
+      best.seconds = samples[samples.size() / 2];
+      const uint64_t checkins = leg_checkins[exec_on ? 1 : 0];
+      if (!exec_on) off_seconds = best.seconds;
       const double pairs_per_sec =
           best.seconds > 0
               ? static_cast<double>(scenario.candidates.size()) / best.seconds

@@ -9,11 +9,16 @@
 // runs method P+C with the cache off (budget 0, the pre-cache behaviour) and
 // on (default budget), best-of-N, and reports refined-pairs/s — the DE-9IM
 // computations per second, the stage the cache accelerates — plus the
-// on/off speedup. Every run is verified relation-identical to an uncached
-// single-threaded reference.
+// on/off speedup. Each (threads, cache) combination runs against both
+// approximation storage forms — flat AprilStore vectors and the blocked-
+// codec CompressedAprilStore — so the cache's effect is measured on the
+// compressed input path too, not just at the micro-kernel level. Every run
+// is verified relation-identical to an uncached single-threaded flat
+// reference.
 //
-// With --json=PATH one record per (thread count, cache setting) is written;
-// tools/bench_json.sh turns them into BENCH_PR4.json at the repo root.
+// With --json=PATH one record per (thread count, cache setting, store) is
+// written; tools/bench_json.sh turns them into BENCH_PR4.json at the repo
+// root.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,72 +41,89 @@ void Run(const BenchOptions& options) {
       Method::kPC, scenario, scenario.candidates, /*time_stages=*/false,
       /*threads=*/1, /*prepared_cache_bytes=*/0);
 
+  const CompressedScenarioStores stores = BuildCompressedStores(scenario);
+
   PrintTitle("Prepared-geometry cache: find-relation refinement (P+C)");
-  std::printf("%-8s %-6s %12s %14s %14s %10s %8s\n", "threads", "cache",
-              "seconds", "pairs/s", "refined/s", "hit-rate", "speedup");
+  std::printf("%-8s %-11s %-6s %12s %14s %14s %10s %8s\n", "threads", "store",
+              "cache", "seconds", "pairs/s", "refined/s", "hit-rate",
+              "speedup");
 
   for (const unsigned threads : options.threads) {
-    double off_refined_per_sec = 0.0;
-    for (const bool cache_on : {false, true}) {
-      const size_t budget = cache_on ? options.prepared_cache_bytes : 0;
-      FindRelationRun best_run;
-      for (int rep = 0; rep < kRepetitions; ++rep) {
-        FindRelationRun run =
-            RunFindRelation(Method::kPC, scenario, scenario.candidates,
-                            options.time_stages, threads, budget);
-        if (best_run.seconds == 0.0 || run.seconds < best_run.seconds) {
-          best_run = run;
+    for (const bool compressed : {false, true}) {
+      double off_refined_per_sec = 0.0;
+      for (const bool cache_on : {false, true}) {
+        const size_t budget = cache_on ? options.prepared_cache_bytes : 0;
+        RunConfig config;
+        config.time_stages = options.time_stages;
+        config.threads = threads;
+        config.prepared_cache_bytes = budget;
+        if (compressed) {
+          config.r_cstore = &stores.r_cstore;
+          config.s_cstore = &stores.s_cstore;
         }
-      }
-      if (best_run.relation_histogram != reference.relation_histogram ||
-          best_run.stats.refined != reference.stats.refined) {
-        std::fprintf(stderr,
-                     "FATAL: %u-thread cache-%s run diverged from the "
-                     "uncached single-threaded reference\n",
-                     threads, cache_on ? "on" : "off");
-        std::exit(1);
-      }
-      const double refined_per_sec = RefinedPerSecond(best_run);
-      if (!cache_on) off_refined_per_sec = refined_per_sec;
-      const double speedup = cache_on && off_refined_per_sec > 0
-                                 ? refined_per_sec / off_refined_per_sec
-                                 : 1.0;
-      const uint64_t lookups =
-          best_run.stats.prepared_hits + best_run.stats.prepared_misses;
-      std::printf("%-8u %-6s %12.3f %14.0f %14.0f %9.1f%% %7.2fx\n", threads,
-                  cache_on ? "on" : "off", best_run.seconds,
-                  best_run.pairs_per_second, refined_per_sec,
-                  lookups == 0
-                      ? 0.0
-                      : 100.0 * static_cast<double>(
-                                    best_run.stats.prepared_hits) /
-                            static_cast<double>(lookups),
-                  speedup);
-      std::fflush(stdout);
+        FindRelationRun best_run;
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+          FindRelationRun run = RunFindRelation(Method::kPC, scenario,
+                                                scenario.candidates, config);
+          if (best_run.seconds == 0.0 || run.seconds < best_run.seconds) {
+            best_run = run;
+          }
+        }
+        if (best_run.relation_histogram != reference.relation_histogram ||
+            best_run.stats.refined != reference.stats.refined) {
+          std::fprintf(stderr,
+                       "FATAL: %u-thread %s cache-%s run diverged from the "
+                       "uncached single-threaded flat reference\n",
+                       threads, compressed ? "compressed" : "flat",
+                       cache_on ? "on" : "off");
+          std::exit(1);
+        }
+        const double refined_per_sec = RefinedPerSecond(best_run);
+        if (!cache_on) off_refined_per_sec = refined_per_sec;
+        const double speedup = cache_on && off_refined_per_sec > 0
+                                   ? refined_per_sec / off_refined_per_sec
+                                   : 1.0;
+        const uint64_t lookups =
+            best_run.stats.prepared_hits + best_run.stats.prepared_misses;
+        std::printf(
+            "%-8u %-11s %-6s %12.3f %14.0f %14.0f %9.1f%% %7.2fx\n", threads,
+            compressed ? "compressed" : "flat", cache_on ? "on" : "off",
+            best_run.seconds, best_run.pairs_per_second, refined_per_sec,
+            lookups == 0 ? 0.0
+                         : 100.0 *
+                               static_cast<double>(
+                                   best_run.stats.prepared_hits) /
+                               static_cast<double>(lookups),
+            speedup);
+        std::fflush(stdout);
 
-      JsonRecord record;
-      record.Set("bench", "prepared_cache")
-          .Set("stage", "find_relation")
-          .Set("scenario", scenario_name)
-          .Set("method", ToString(Method::kPC))
-          .Set("threads", threads)
-          .Set("cache", cache_on ? "on" : "off")
-          .Set("scale", options.scale)
-          .Set("grid_order", static_cast<uint64_t>(options.grid_order))
-          .Set("seed", options.seed)
-          .Set("seconds", best_run.seconds)
-          .Set("pairs", static_cast<uint64_t>(scenario.candidates.size()))
-          .Set("pairs_per_sec", best_run.pairs_per_second)
-          .Set("refined", best_run.stats.refined)
-          .Set("refined_per_sec", refined_per_sec)
-          .Set("undetermined_pct", best_run.stats.UndeterminedPercent())
-          .Set("speedup_vs_off", speedup);
-      SetPreparedStats(&record, best_run.stats, budget, options.time_stages);
-      if (options.time_stages) {
-        record.Set("filter_seconds", best_run.stats.filter_seconds)
-            .Set("refine_seconds", best_run.stats.refine_seconds);
+        JsonRecord record;
+        record.Set("bench", "prepared_cache")
+            .Set("stage", "find_relation")
+            .Set("scenario", scenario_name)
+            .Set("method", ToString(Method::kPC))
+            .Set("threads", threads)
+            .Set("store", compressed ? "compressed" : "flat")
+            .Set("cache", cache_on ? "on" : "off")
+            .Set("scale", options.scale)
+            .Set("grid_order", static_cast<uint64_t>(options.grid_order))
+            .Set("seed", options.seed)
+            .Set("seconds", best_run.seconds)
+            .Set("pairs", static_cast<uint64_t>(scenario.candidates.size()))
+            .Set("pairs_per_sec", best_run.pairs_per_second)
+            .Set("refined", best_run.stats.refined)
+            .Set("refined_per_sec", refined_per_sec)
+            .Set("undetermined_pct", best_run.stats.UndeterminedPercent())
+            .Set("speedup_vs_off", speedup)
+            .Set("decoded_hits", best_run.stats.decoded_hits)
+            .Set("decoded_misses", best_run.stats.decoded_misses);
+        SetPreparedStats(&record, best_run.stats, budget, options.time_stages);
+        if (options.time_stages) {
+          record.Set("filter_seconds", best_run.stats.filter_seconds)
+              .Set("refine_seconds", best_run.stats.refine_seconds);
+        }
+        reporter.Add(record);
       }
-      reporter.Add(record);
     }
   }
 

@@ -323,4 +323,15 @@ std::vector<CandidatePair> MbrJoin::JoinBruteForce(const std::vector<Box>& r,
   return out;
 }
 
+CandidateSoA MbrJoin::ToSoA(const std::vector<CandidatePair>& pairs) {
+  CandidateSoA soa;
+  soa.r_idx.reserve(pairs.size());
+  soa.s_idx.reserve(pairs.size());
+  for (const CandidatePair& pair : pairs) {
+    soa.r_idx.push_back(pair.r_idx);
+    soa.s_idx.push_back(pair.s_idx);
+  }
+  return soa;
+}
+
 }  // namespace stj

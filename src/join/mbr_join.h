@@ -23,6 +23,18 @@ struct CandidatePair {
   }
 };
 
+/// Structure-of-arrays transpose of a candidate pair list: two flat,
+/// index-aligned id columns. The staged batch executor (topology layer)
+/// gathers pair ids through a permuted schedule, and columnar storage keeps
+/// those gathers on dense cache lines — it is also the layout a GPU or
+/// wide-SIMD filter stage would consume as flat buffers.
+struct CandidateSoA {
+  std::vector<uint32_t> r_idx;
+  std::vector<uint32_t> s_idx;
+
+  size_t Size() const { return r_idx.size(); }
+};
+
 /// In-memory MBR intersection join: the filter step of the pipeline
 /// (the paper delegates this to [39]; its cost is excluded from all
 /// measurements, only the candidate set matters).
@@ -79,6 +91,10 @@ class MbrJoin {
   /// Reference quadratic join for verification in tests.
   static std::vector<CandidatePair> JoinBruteForce(const std::vector<Box>& r,
                                                    const std::vector<Box>& s);
+
+  /// Transposes a pair list into the SoA column layout (exact reservation,
+  /// one pass).
+  static CandidateSoA ToSoA(const std::vector<CandidatePair>& pairs);
 };
 
 }  // namespace stj

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stj {
+
+/// SoA batch of candidate pairs flowing through the staged executor
+/// (batch_executor.h). The filter stage fills it with the pairs its filters
+/// could not decide; the refinement stage consumes it after re-sorting for
+/// PreparedCache locality. Columns, not an array of structs, so a future
+/// wider-SIMD or GPU refinement backend can consume the ids and candidate
+/// bits as flat device buffers (ROADMAP item 4's "drop-in stage" goal).
+///
+/// Columns are index-aligned; entry i of the batch is
+///   pairs[pair_index[i]] == (r_idx[i], s_idx[i]),
+/// candidates[i] the RelationSet::Bits() image of its surviving relation
+/// masks, and sort_key[i] the pair's Hilbert schedule key.
+struct RefineBatch {
+  std::vector<uint32_t> pair_index;  ///< Index into the input pair array.
+  std::vector<uint32_t> r_idx;
+  std::vector<uint32_t> s_idx;
+  std::vector<uint8_t> candidates;   ///< RelationSet bits per pair.
+  std::vector<uint64_t> sort_key;    ///< Hilbert schedule key per pair.
+
+  size_t Size() const { return pair_index.size(); }
+  bool Empty() const { return pair_index.empty(); }
+
+  /// Empties all columns, keeping their capacity (the BatchArena recycling
+  /// contract).
+  void Clear() {
+    pair_index.clear();
+    r_idx.clear();
+    s_idx.clear();
+    candidates.clear();
+    sort_key.clear();
+  }
+
+  void Push(uint32_t pair, uint32_t r, uint32_t s, uint8_t candidate_bits,
+            uint64_t key) {
+    pair_index.push_back(pair);
+    r_idx.push_back(r);
+    s_idx.push_back(s);
+    candidates.push_back(candidate_bits);
+    sort_key.push_back(key);
+  }
+};
+
+}  // namespace stj

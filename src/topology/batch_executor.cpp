@@ -1,0 +1,264 @@
+#include "src/topology/batch_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "src/topology/parallel.h"  // RecordScope
+#include "src/util/batch_arena.h"
+#include "src/util/mpmc_queue.h"
+#include "src/util/parallel_for.h"
+#include "src/util/timer.h"
+
+namespace stj {
+
+namespace {
+
+using BatchPtr = std::unique_ptr<RefineBatch>;
+using StageQueue = BoundedMpmcQueue<BatchPtr>;
+
+/// Find-relation stage operations over the shared executor skeleton.
+struct FindRelationOps {
+  de9im::Relation* relations;
+
+  /// Returns true when the filter stage decided the pair (result written);
+  /// false leaves the candidate bits for the refinement stage.
+  bool Filter(Pipeline* pipeline, uint32_t pair, uint32_t r, uint32_t s,
+              uint8_t* candidate_bits) const {
+    const Pipeline::FilterOutcome out = pipeline->FilterStage(r, s);
+    if (out.definite) {
+      relations[pair] = out.relation;
+      return true;
+    }
+    *candidate_bits = out.candidates.Bits();
+    return false;
+  }
+
+  void Refine(Pipeline* pipeline, uint32_t pair, uint32_t r, uint32_t s,
+              uint8_t candidate_bits) const {
+    relations[pair] = pipeline->RefineStage(
+        r, s, de9im::RelationSet::FromBits(candidate_bits));
+  }
+};
+
+/// relate_p stage operations: the candidate-bits column rides along unused
+/// (the predicate is fixed per run).
+struct RelateOps {
+  char* matches;
+  de9im::Relation predicate;
+
+  bool Filter(Pipeline* pipeline, uint32_t pair, uint32_t r, uint32_t s,
+              uint8_t* candidate_bits) const {
+    switch (pipeline->FilterStagePredicate(r, s, predicate)) {
+      case RelateAnswer::kYes:
+        matches[pair] = 1;
+        return true;
+      case RelateAnswer::kNo:
+        matches[pair] = 0;
+        return true;
+      case RelateAnswer::kInconclusive:
+        *candidate_bits = 0;
+        return false;
+    }
+    return false;
+  }
+
+  void Refine(Pipeline* pipeline, uint32_t pair, uint32_t r, uint32_t s,
+              uint8_t /*candidate_bits*/) const {
+    matches[pair] = pipeline->RefineStagePredicate(r, s, predicate) ? 1 : 0;
+  }
+};
+
+/// The staged executor skeleton shared by both join flavours; see the
+/// header comment on BatchedFindRelation for the architecture.
+template <typename Ops>
+PipelineStats RunBatched(Method method, DatasetView r_view, DatasetView s_view,
+                         const std::vector<CandidatePair>& pairs,
+                         const std::vector<uint32_t>& order,
+                         const std::vector<uint64_t>& keys,
+                         const BatchExecOptions& options, const Ops& ops,
+                         char* done) {
+  const size_t batch_size = std::max<size_t>(1, options.batch_size);
+  const size_t num_batches = (order.size() + batch_size - 1) / batch_size;
+  const unsigned threads = std::max(1u, options.threads);
+  ExecContext* ctx = options.exec;
+
+  // Columnar pair ids: the filter loop gathers through the schedule, and
+  // two flat id columns keep those gathers on dense cache lines (and are
+  // the layout a device backend would consume directly).
+  const CandidateSoA soa = MbrJoin::ToSoA(pairs);
+
+  StageQueue queue(std::max<size_t>(1, options.queue_depth));
+  BatchArena<RefineBatch> arena;
+  std::atomic<size_t> next_batch{0};
+  std::atomic<size_t> filtered_batches{0};
+  std::vector<PipelineStats> per_worker(threads);
+
+  const unsigned used = internal::RunWorkers(threads, [&](unsigned worker) {
+    Pipeline pipeline(method, r_view, s_view, options.pipeline);
+    PipelineStats* stats = pipeline.MutableStats();
+    ExecContext::Scope scope(ctx);
+    bool stopped = false;
+    std::vector<uint32_t> perm;  // refinement sort scratch, reused
+
+    // Runs one refinement batch; false means the scope tripped mid-batch
+    // (the remaining pairs of the batch are abandoned, not done).
+    const auto refine_batch = [&](RefineBatch* batch) {
+      // Re-sort for PreparedCache locality: group by r-object so one
+      // prepared R polygon serves its whole group, Hilbert order within the
+      // group so the S side stays spatially clustered, input index as the
+      // deterministic tiebreak. Pure scheduling — per-pair results do not
+      // depend on processing order.
+      perm.resize(batch->Size());
+      std::iota(perm.begin(), perm.end(), 0u);
+      std::sort(perm.begin(), perm.end(), [batch](uint32_t a, uint32_t b) {
+        if (batch->r_idx[a] != batch->r_idx[b]) {
+          return batch->r_idx[a] < batch->r_idx[b];
+        }
+        if (batch->sort_key[a] != batch->sort_key[b]) {
+          return batch->sort_key[a] < batch->sort_key[b];
+        }
+        return batch->pair_index[a] < batch->pair_index[b];
+      });
+      for (const uint32_t i : perm) {
+        if (scope.CheckIn()) return false;
+        ops.Refine(&pipeline, batch->pair_index[i], batch->r_idx[i],
+                   batch->s_idx[i], batch->candidates[i]);
+        if (done != nullptr) done[batch->pair_index[i]] = 1;
+      }
+      return true;
+    };
+
+    // Pops and refines one queued batch; false when the queue had nothing.
+    const auto pop_and_refine = [&]() {
+      BatchPtr batch;
+      if (!queue.TryPop(&batch)) return false;
+      if (!refine_batch(batch.get())) stopped = true;
+      arena.Recycle(std::move(batch));
+      return true;
+    };
+
+    try {
+      while (!stopped) {
+        // Prefer queued refinement work: this is what overlaps the
+        // refinement of batch k with the filtering of batch k+1.
+        if (pop_and_refine()) continue;
+        const size_t b = next_batch.fetch_add(1);
+        if (b >= num_batches) break;  // nothing left to filter: drain below
+
+        BatchPtr out = arena.Acquire();
+        const size_t begin = b * batch_size;
+        const size_t end = std::min(order.size(), begin + batch_size);
+        for (size_t i = begin; i < end; ++i) {
+          if (scope.CheckIn()) {
+            stopped = true;
+            break;
+          }
+          const uint32_t pair = order[i];
+          uint8_t candidate_bits = 0;
+          if (ops.Filter(&pipeline, pair, soa.r_idx[pair], soa.s_idx[pair],
+                         &candidate_bits)) {
+            if (done != nullptr) done[pair] = 1;
+          } else {
+            out->Push(pair, soa.r_idx[pair], soa.s_idx[pair], candidate_bits,
+                      keys[pair]);
+          }
+        }
+        ++stats->batches;
+        if (stopped) break;  // this batch's survivors are abandoned
+
+        if (!out->Empty()) {
+          // Bounded push with help: on back-pressure the producer drains a
+          // batch itself instead of blocking, so the stage graph cannot
+          // deadlock even with every worker producing.
+          while (!queue.TryPush(out)) {
+            if (queue.aborted()) {
+              stopped = true;
+              break;
+            }
+            if (pop_and_refine()) {
+              if (stopped) break;
+              continue;
+            }
+            // Full but momentarily nothing poppable (a peer grabbed it):
+            // count the wait as stall and retry.
+            Timer wait;
+            std::this_thread::yield();
+            stats->queue_stall_seconds += wait.ElapsedSeconds();
+          }
+          if (stopped) break;
+        }
+        arena.Recycle(std::move(out));  // no-op for a pushed (null) batch
+        if (filtered_batches.fetch_add(1) + 1 == num_batches) queue.Close();
+      }
+
+      if (stopped) {
+        // Trip observed: wake any peers blocked on the queue; queued
+        // batches are dropped — their pairs stay not-done.
+        queue.Abort();
+      } else {
+        // Drain phase: every batch is claimed; block for queued refinement
+        // work until the last producer closes the stream.
+        for (;;) {
+          BatchPtr batch;
+          Timer wait;
+          const StageQueue::PopOutcome outcome = queue.Pop(&batch);
+          stats->queue_stall_seconds += wait.ElapsedSeconds();
+          if (outcome != StageQueue::PopOutcome::kItem) break;
+          if (!refine_batch(batch.get())) stopped = true;
+          arena.Recycle(std::move(batch));
+          if (stopped) {
+            queue.Abort();
+            break;
+          }
+        }
+      }
+    } catch (...) {
+      // A throwing worker must not leave peers blocked on the stage queue;
+      // RunWorkers rethrows this exception after joining everyone.
+      queue.Abort();
+      throw;
+    }
+    per_worker[worker] = pipeline.Stats();
+    if (ctx != nullptr) RecordScope(scope, &per_worker[worker]);
+  });
+
+  PipelineStats total;
+  for (unsigned w = 0; w < used; ++w) MergeStats(per_worker[w], &total);
+  // Queue telemetry is stream-global (one queue per run), added once.
+  const QueueTelemetry telemetry = queue.Telemetry();
+  total.batches_enqueued += telemetry.pushed;
+  total.batches_dequeued += telemetry.popped;
+  total.queue_max_depth = std::max(total.queue_max_depth, telemetry.max_depth);
+  return total;
+}
+
+}  // namespace
+
+PipelineStats BatchedFindRelation(Method method, DatasetView r_view,
+                                  DatasetView s_view,
+                                  const std::vector<CandidatePair>& pairs,
+                                  const std::vector<uint32_t>& order,
+                                  const std::vector<uint64_t>& keys,
+                                  const BatchExecOptions& options,
+                                  de9im::Relation* relations, char* done) {
+  return RunBatched(method, r_view, s_view, pairs, order, keys, options,
+                    FindRelationOps{relations}, done);
+}
+
+PipelineStats BatchedRelate(Method method, DatasetView r_view,
+                            DatasetView s_view,
+                            const std::vector<CandidatePair>& pairs,
+                            const std::vector<uint32_t>& order,
+                            const std::vector<uint64_t>& keys,
+                            de9im::Relation predicate,
+                            const BatchExecOptions& options, char* matches,
+                            char* done) {
+  return RunBatched(method, r_view, s_view, pairs, order, keys, options,
+                    RelateOps{matches, predicate}, done);
+}
+
+}  // namespace stj

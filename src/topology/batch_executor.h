@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/join/mbr_join.h"
+#include "src/topology/batch.h"
+#include "src/topology/pipeline.h"
+#include "src/util/exec_context.h"
+
+namespace stj {
+
+/// Knobs of one staged batched join run. The parallel drivers (parallel.h)
+/// construct this from JoinOptions after resolving the worker count.
+struct BatchExecOptions {
+  unsigned threads = 1;    ///< Resolved worker count (>= 1).
+  size_t batch_size = 256; ///< Pairs per SoA filter batch (>= 1).
+  size_t queue_depth = 8;  ///< Refinement-queue capacity in batches (>= 1).
+  PipelineOptions pipeline;
+  ExecContext* exec = nullptr;  ///< Optional deadline/cancel/budget carrier.
+};
+
+/// Staged batched find-relation executor: the pipelined alternative to the
+/// pair-at-a-time loop in parallel.cpp (selected by JoinOptions::batch_size
+/// > 1; the pair-at-a-time path remains the differential oracle).
+///
+/// Architecture (DESIGN.md §14): the Hilbert schedule \p order is cut into
+/// SoA batches of batch_size pairs. Every worker runs both stages —
+///   filter:  claim the next batch through an atomic cursor, run
+///            Pipeline::FilterStage per pair (decided pairs are written
+///            immediately), collect the undetermined pairs into a RefineBatch;
+///   refine:  pop a RefineBatch from the bounded stage queue, re-sort it by
+///            (r-object, Hilbert key) for PreparedCache locality, run
+///            Pipeline::RefineStage per pair —
+/// preferring refinement when queued work exists, so the intermediate filter
+/// of batch k+1 overlaps the refinement of batch k across workers. The
+/// bounded queue provides back-pressure without deadlock: a producer whose
+/// push fails helps drain instead of blocking.
+///
+/// Determinism: each pair is processed exactly once by some worker through
+/// the same FilterStage/RefineStage code the pair-at-a-time path runs, and
+/// every Pipeline decision depends only on the pair itself (caches change
+/// timing, never answers) — so \p relations is byte-identical for every
+/// batch size, queue depth, and thread count.
+///
+/// Cancellation: workers check in per pair in both stages; a trip abandons
+/// work at pair granularity (in-flight batch remainders and all queued
+/// batches are dropped) and the tripping worker aborts the queue so blocked
+/// peers wake. Completed pairs stay valid — with \p done != nullptr,
+/// done[i] = 1 exactly for the answered pairs (the loss-less PartialResult
+/// contract of parallel.h, at batch granularity).
+///
+/// \p relations must point at pairs.size() slots; \p done may be nullptr
+/// when no ExecContext is armed. \p order and \p keys come from the Hilbert
+/// schedule (order is a permutation of [0, pairs.size()), keys is indexed
+/// by input pair position). Returns the merged per-worker PipelineStats
+/// including the queue telemetry fields.
+PipelineStats BatchedFindRelation(Method method, DatasetView r_view,
+                                  DatasetView s_view,
+                                  const std::vector<CandidatePair>& pairs,
+                                  const std::vector<uint32_t>& order,
+                                  const std::vector<uint64_t>& keys,
+                                  const BatchExecOptions& options,
+                                  de9im::Relation* relations, char* done);
+
+/// relate_p flavour of the staged executor: FilterStagePredicate decides or
+/// defers, RefineStagePredicate answers the deferred pairs. Same queueing,
+/// determinism, and cancellation contract; matches[i] is 1 where \p
+/// predicate holds.
+PipelineStats BatchedRelate(Method method, DatasetView r_view,
+                            DatasetView s_view,
+                            const std::vector<CandidatePair>& pairs,
+                            const std::vector<uint32_t>& order,
+                            const std::vector<uint64_t>& keys,
+                            de9im::Relation predicate,
+                            const BatchExecOptions& options, char* matches,
+                            char* done);
+
+}  // namespace stj

@@ -6,8 +6,17 @@
 #include <thread>
 
 #include "src/raster/hilbert.h"
+#include "src/topology/batch_executor.h"
 
 namespace stj {
+
+void RecordScope(const ExecContext::Scope& scope, PipelineStats* stats) {
+  stats->checkins = scope.checkins();
+  if (scope.stopped() && scope.observed_cause() == StopCause::kDeadlineExceeded) {
+    stats->deadline_hits = 1;
+  }
+  stats->cancel_latency_us = scope.observed_latency_us();
+}
 
 namespace {
 
@@ -20,34 +29,6 @@ constexpr size_t kPairBlock = 64;
 /// pairs that share objects without the key computation showing up in
 /// profiles.
 constexpr uint32_t kScheduleOrder = 8;
-
-void MergeStats(const PipelineStats& from, PipelineStats* into) {
-  into->pairs += from.pairs;
-  into->decided_by_mbr += from.decided_by_mbr;
-  into->decided_by_filter += from.decided_by_filter;
-  into->refined += from.refined;
-  into->fallback_refined += from.fallback_refined;
-  into->prepared_hits += from.prepared_hits;
-  into->prepared_misses += from.prepared_misses;
-  into->checkins += from.checkins;
-  into->deadline_hits += from.deadline_hits;
-  into->cancel_latency_us =
-      std::max(into->cancel_latency_us, from.cancel_latency_us);
-  into->filter_seconds += from.filter_seconds;
-  into->refine_seconds += from.refine_seconds;
-  into->prepared_build_seconds += from.prepared_build_seconds;
-}
-
-/// Copies one worker scope's watchdog observations into its stage stats
-/// (merged across workers by MergeStats exactly like the prepared_*
-/// telemetry).
-void RecordScope(const ExecContext::Scope& scope, PipelineStats* stats) {
-  stats->checkins = scope.checkins();
-  if (scope.stopped() && scope.observed_cause() == StopCause::kDeadlineExceeded) {
-    stats->deadline_hits = 1;
-  }
-  stats->cancel_latency_us = scope.observed_latency_us();
-}
 
 unsigned ResolveThreads(unsigned requested, size_t pairs) {
   if (requested != 0) {
@@ -63,15 +44,22 @@ unsigned ResolveThreads(unsigned requested, size_t pairs) {
   return static_cast<unsigned>(std::min<size_t>(n, max_useful));
 }
 
-/// The processing schedule for the work-stealing loop: pair indices sorted
-/// by the Hilbert-curve position of each pair's reference point (the max of
+/// The processing schedule of the parallel drivers: pair indices sorted by
+/// the Hilbert-curve position of each pair's reference point (the max of
 /// the two MBR min-corners — the same point the filter join's
 /// duplicate-avoidance rule uses), with the input index as tiebreaker.
 /// Consecutive blocks then touch spatially clustered pairs, so an object
 /// that appears in many pairs tends to be refined by one worker while its
-/// geometry is still cache-resident.
-std::vector<uint32_t> HilbertSchedule(DatasetView r_view, DatasetView s_view,
-                                      const std::vector<CandidatePair>& pairs) {
+/// geometry is still cache-resident. `keys` (indexed by input pair
+/// position) rides along for the batch executor, whose refinement re-sort
+/// reuses the curve position within an r-object group.
+struct PairSchedule {
+  std::vector<uint32_t> order;
+  std::vector<uint64_t> keys;
+};
+
+PairSchedule HilbertSchedule(DatasetView r_view, DatasetView s_view,
+                             const std::vector<CandidatePair>& pairs) {
   const std::vector<SpatialObject>& r = *r_view.objects;
   const std::vector<SpatialObject>& s = *s_view.objects;
   Box space;
@@ -87,29 +75,65 @@ std::vector<uint32_t> HilbertSchedule(DatasetView r_view, DatasetView s_view,
     return std::min(static_cast<uint32_t>(t), cells - 1);
   };
 
-  std::vector<uint64_t> keys(pairs.size());
+  PairSchedule schedule;
+  schedule.keys.resize(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
     const Box& rb = r[pairs[i].r_idx].geometry.Bounds();
     const Box& sb = s[pairs[i].s_idx].geometry.Bounds();
     const double ref_x = std::max(rb.min.x, sb.min.x);
     const double ref_y = std::max(rb.min.y, sb.min.y);
-    keys[i] = HilbertXYToD(kScheduleOrder,
-                           cell_of((ref_x - space.min.x) * inv_w),
-                           cell_of((ref_y - space.min.y) * inv_h));
+    schedule.keys[i] = HilbertXYToD(kScheduleOrder,
+                                    cell_of((ref_x - space.min.x) * inv_w),
+                                    cell_of((ref_y - space.min.y) * inv_h));
   }
-  std::vector<uint32_t> order(pairs.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&keys](uint32_t a, uint32_t b) {
-    if (keys[a] != keys[b]) return keys[a] < keys[b];
-    return a < b;  // deterministic schedule under key ties
-  });
-  return order;
+  schedule.order.resize(pairs.size());
+  std::iota(schedule.order.begin(), schedule.order.end(), 0u);
+  const std::vector<uint64_t>& keys = schedule.keys;
+  std::sort(schedule.order.begin(), schedule.order.end(),
+            [&keys](uint32_t a, uint32_t b) {
+              if (keys[a] != keys[b]) return keys[a] < keys[b];
+              return a < b;  // deterministic schedule under key ties
+            });
+  return schedule;
 }
 
-/// Shared driver for both join flavours: \p process(pipeline, pair_index)
-/// answers one pair. Single-threaded runs keep the plain input-order loop
-/// (no schedule to build, no cursor); multi-threaded runs drain
-/// Hilbert-ordered blocks through an atomic cursor.
+PipelineOptions MakePipelineOptions(const JoinOptions& options) {
+  return PipelineOptions{.time_stages = options.time_stages,
+                         .prepared_cache_bytes = options.prepared_cache_bytes,
+                         .decoded_cache_bytes = options.decoded_cache_bytes};
+}
+
+/// Shared tail of every driver: maps a tripped ExecContext onto the status
+/// and the loss-less PartialResult (parallel.h contract).
+void FinalizeRun(ExecContext* ctx, Status* status, PartialResult* partial) {
+  if (ctx != nullptr && ctx->StopRequested()) {
+    *status = ctx->ToStatus();
+    partial->completed = 0;
+    for (const char d : partial->done) partial->completed += (d != 0) ? 1 : 0;
+  } else {
+    *status = Status::Ok();
+    partial->completed = partial->total;
+    partial->done.clear();  // complete: the bitmap carries no information
+  }
+}
+
+BatchExecOptions MakeBatchOptions(const JoinOptions& options,
+                                  size_t num_pairs) {
+  BatchExecOptions exec_options;
+  exec_options.threads = ResolveThreads(options.num_threads, num_pairs);
+  exec_options.batch_size = options.batch_size;
+  exec_options.queue_depth = options.queue_depth;
+  exec_options.pipeline = MakePipelineOptions(options);
+  exec_options.exec = options.exec;
+  return exec_options;
+}
+
+/// Shared pair-at-a-time driver for both join flavours: \p process(pipeline,
+/// pair_index) answers one pair. Single-threaded runs keep the plain
+/// input-order loop (no schedule to build, no cursor); multi-threaded runs
+/// drain Hilbert-ordered blocks through an atomic cursor. The batched
+/// executor path (JoinOptions::batch_size > 1) is routed before this driver
+/// is reached — this loop is the differential oracle it is tested against.
 ///
 /// Cancellation (options.exec != nullptr): every worker checks in before
 /// each pair and, on a trip, stops at that pair boundary — completed pairs
@@ -122,9 +146,7 @@ PipelineStats RunPairs(Method method, DatasetView r_view, DatasetView s_view,
                        const JoinOptions& options, const Process& process,
                        Status* status, PartialResult* partial) {
   PipelineStats stats;
-  const PipelineOptions pipeline_options{
-      .time_stages = options.time_stages,
-      .prepared_cache_bytes = options.prepared_cache_bytes};
+  const PipelineOptions pipeline_options = MakePipelineOptions(options);
   ExecContext* ctx = options.exec;
   partial->total = pairs.size();
   if (ctx != nullptr) partial->done.assign(pairs.size(), 0);
@@ -142,7 +164,8 @@ PipelineStats RunPairs(Method method, DatasetView r_view, DatasetView s_view,
       if (ctx != nullptr) RecordScope(scope, &stats);
     }
   } else {
-    const std::vector<uint32_t> order = HilbertSchedule(r_view, s_view, pairs);
+    const PairSchedule schedule = HilbertSchedule(r_view, s_view, pairs);
+    const std::vector<uint32_t>& order = schedule.order;
     std::vector<PipelineStats> per_worker(threads);
     std::atomic<size_t> next{0};
     const unsigned used = internal::RunWorkers(threads, [&](unsigned worker) {
@@ -163,15 +186,7 @@ PipelineStats RunPairs(Method method, DatasetView r_view, DatasetView s_view,
     });
     for (unsigned w = 0; w < used; ++w) MergeStats(per_worker[w], &stats);
   }
-  if (ctx != nullptr && ctx->StopRequested()) {
-    *status = ctx->ToStatus();
-    partial->completed = 0;
-    for (const char d : partial->done) partial->completed += (d != 0) ? 1 : 0;
-  } else {
-    *status = Status::Ok();
-    partial->completed = partial->total;
-    partial->done.clear();  // complete: the bitmap carries no information
-  }
+  FinalizeRun(ctx, status, partial);
   return stats;
 }
 
@@ -184,6 +199,18 @@ ParallelJoinResult ParallelFindRelation(Method method, DatasetView r_view,
   ParallelJoinResult result;
   if (pairs.empty()) return result;  // no workers, no per-worker state
   result.relations.resize(pairs.size());
+  if (options.batch_size > 1) {
+    ExecContext* ctx = options.exec;
+    result.partial.total = pairs.size();
+    if (ctx != nullptr) result.partial.done.assign(pairs.size(), 0);
+    const PairSchedule schedule = HilbertSchedule(r_view, s_view, pairs);
+    result.stats = BatchedFindRelation(
+        method, r_view, s_view, pairs, schedule.order, schedule.keys,
+        MakeBatchOptions(options, pairs.size()), result.relations.data(),
+        ctx != nullptr ? result.partial.done.data() : nullptr);
+    FinalizeRun(ctx, &result.status, &result.partial);
+    return result;
+  }
   result.stats = RunPairs(
       method, r_view, s_view, pairs, options,
       [&](Pipeline* pipeline, size_t i) {
@@ -212,6 +239,19 @@ ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
   ParallelRelateResult result;
   if (pairs.empty()) return result;  // no workers, no per-worker state
   result.matches.resize(pairs.size(), 0);
+  if (options.batch_size > 1) {
+    ExecContext* ctx = options.exec;
+    result.partial.total = pairs.size();
+    if (ctx != nullptr) result.partial.done.assign(pairs.size(), 0);
+    const PairSchedule schedule = HilbertSchedule(r_view, s_view, pairs);
+    result.stats = BatchedRelate(
+        method, r_view, s_view, pairs, schedule.order, schedule.keys,
+        predicate, MakeBatchOptions(options, pairs.size()),
+        result.matches.data(),
+        ctx != nullptr ? result.partial.done.data() : nullptr);
+    FinalizeRun(ctx, &result.status, &result.partial);
+    return result;
+  }
   result.stats = RunPairs(
       method, r_view, s_view, pairs, options,
       [&](Pipeline* pipeline, size_t i) {

@@ -26,6 +26,22 @@ struct JoinOptions {
   /// cooperatively with a loss-less PartialResult. Null (the default) keeps
   /// the unbounded run-to-completion behaviour at zero overhead.
   ExecContext* exec = nullptr;
+  /// Pairs per SoA batch of the staged executor (batch_executor.h). Values
+  /// > 1 route the join through the pipelined filter → refinement executor
+  /// (batches stream through a bounded queue, refinement re-sorted for
+  /// PreparedCache locality); <= 1 (the default) keeps the pair-at-a-time
+  /// loops — the differential oracle, and the path whose single-threaded
+  /// cancellation cut is an exact input-order prefix. Decisions are
+  /// byte-identical for every value; only throughput changes.
+  size_t batch_size = 1;
+  /// Refinement-queue capacity in batches between the executor stages
+  /// (ignored when batch_size <= 1). Bounds in-flight memory and provides
+  /// the back-pressure that keeps filter and refinement overlapped.
+  size_t queue_depth = 8;
+  /// Per-worker decoded-record cache budget for CompressedAprilStore inputs
+  /// (see PipelineOptions::decoded_cache_bytes); 0 disables. Applies to
+  /// both executors. A pure performance knob — decisions are identical.
+  size_t decoded_cache_bytes = kDefaultDecodedCacheBytes;
 };
 
 /// Which pairs of a cancellable join were fully verified before the cut.
@@ -113,5 +129,10 @@ ParallelRelateResult ParallelRelate(Method method, DatasetView r_view,
                                     de9im::Relation predicate,
                                     unsigned num_threads = 0,
                                     bool time_stages = false);
+
+/// Copies one worker scope's watchdog observations into its stage stats
+/// (merged across workers by MergeStats exactly like the prepared_*
+/// telemetry). Shared by the pair-at-a-time drivers and the batch executor.
+void RecordScope(const ExecContext::Scope& scope, PipelineStats* stats);
 
 }  // namespace stj

@@ -1,9 +1,10 @@
 #include "src/topology/pipeline.h"
 
+#include <algorithm>
+
 #include "src/de9im/relate_engine.h"
 #include "src/interval/interval_algebra.h"
 #include "src/topology/mbr_relation.h"
-#include "src/topology/relate_predicate.h"
 
 namespace stj {
 
@@ -18,6 +19,31 @@ const char* ToString(Method method) {
     case Method::kPC: return "P+C";
   }
   return "?";
+}
+
+void MergeStats(const PipelineStats& from, PipelineStats* into) {
+  into->pairs += from.pairs;
+  into->decided_by_mbr += from.decided_by_mbr;
+  into->decided_by_filter += from.decided_by_filter;
+  into->refined += from.refined;
+  into->fallback_refined += from.fallback_refined;
+  into->prepared_hits += from.prepared_hits;
+  into->prepared_misses += from.prepared_misses;
+  into->checkins += from.checkins;
+  into->deadline_hits += from.deadline_hits;
+  into->cancel_latency_us =
+      std::max(into->cancel_latency_us, from.cancel_latency_us);
+  into->decoded_hits += from.decoded_hits;
+  into->decoded_misses += from.decoded_misses;
+  into->decoded_corrupt += from.decoded_corrupt;
+  into->batches += from.batches;
+  into->batches_enqueued += from.batches_enqueued;
+  into->batches_dequeued += from.batches_dequeued;
+  into->queue_max_depth = std::max(into->queue_max_depth, from.queue_max_depth);
+  into->queue_stall_seconds += from.queue_stall_seconds;
+  into->filter_seconds += from.filter_seconds;
+  into->refine_seconds += from.refine_seconds;
+  into->prepared_build_seconds += from.prepared_build_seconds;
 }
 
 namespace {
@@ -53,7 +79,9 @@ Pipeline::Pipeline(Method method, DatasetView r_view, DatasetView s_view,
       s_view_(s_view),
       options_(options),
       r_prepared_(options.prepared_cache_bytes),
-      s_prepared_(options.prepared_cache_bytes) {}
+      s_prepared_(options.prepared_cache_bytes),
+      r_decoded_(options.decoded_cache_bytes),
+      s_decoded_(options.decoded_cache_bytes) {}
 
 bool Pipeline::AprilFor(const DatasetView& view, uint32_t idx,
                         AprilView* out) {
@@ -77,6 +105,25 @@ bool Pipeline::CompressedAprilFor(const DatasetView& view, uint32_t idx,
   }
   *out = view.cstore->View(idx);
   return true;
+}
+
+bool Pipeline::DecodedAprilFor(const DatasetView& view,
+                               DecodedAprilCache* cache, uint32_t idx,
+                               AprilView* out) {
+  switch (cache->Fetch(*view.cstore, idx, out)) {
+    case DecodedAprilCache::FetchOutcome::kHit:
+      ++stats_.decoded_hits;
+      return true;
+    case DecodedAprilCache::FetchOutcome::kMiss:
+      ++stats_.decoded_misses;
+      return true;
+    case DecodedAprilCache::FetchOutcome::kCorrupt:
+      ++stats_.decoded_corrupt;
+      return false;
+    case DecodedAprilCache::FetchOutcome::kAbsent:
+      return false;
+  }
+  return false;
 }
 
 const PreparedPolygon& Pipeline::PreparedFor(PreparedCache* cache,
@@ -116,23 +163,32 @@ Relation Pipeline::Refine(uint32_t r_idx, uint32_t s_idx,
   return MostSpecificRelation(matrix, candidates);
 }
 
-Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
+Pipeline::FilterOutcome Pipeline::FilterStage(uint32_t r_idx, uint32_t s_idx) {
   ++stats_.pairs;
   const Box& r_mbr = (*r_view_.objects)[r_idx].geometry.Bounds();
   const Box& s_mbr = (*s_view_.objects)[s_idx].geometry.Bounds();
 
+  const auto decided = [](Relation relation) {
+    return FilterOutcome{
+        .definite = true, .relation = relation, .candidates = RelationSet()};
+  };
+  const auto undetermined = [](RelationSet candidates) {
+    return FilterOutcome{.definite = false,
+                         .relation = Relation::kDisjoint,
+                         .candidates = candidates};
+  };
+
   switch (method_) {
     case Method::kST2: {
       // Plain 2-phase: MBR disjointness, then refinement with all masks.
-      RelationSet candidates = RelationSet::All();
       {
         ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
         if (!r_mbr.Intersects(s_mbr)) {
           ++stats_.decided_by_mbr;
-          return Relation::kDisjoint;
+          return decided(Relation::kDisjoint);
         }
       }
-      return Refine(r_idx, s_idx, candidates);
+      return undetermined(RelationSet::All());
     }
     case Method::kOP2: {
       // Optimised 2-phase: the MBR intersection case narrows the candidate
@@ -143,14 +199,14 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
         boxes = ClassifyBoxes(r_mbr, s_mbr);
         if (boxes == BoxRelation::kDisjoint) {
           ++stats_.decided_by_mbr;
-          return Relation::kDisjoint;
+          return decided(Relation::kDisjoint);
         }
         if (boxes == BoxRelation::kCross) {
           ++stats_.decided_by_mbr;
-          return Relation::kIntersects;
+          return decided(Relation::kIntersects);
         }
       }
-      return Refine(r_idx, s_idx, MbrCandidates(boxes));
+      return undetermined(MbrCandidates(boxes));
     }
     case Method::kApril: {
       // OP2 + intersection-only raster filter [14]: can decide disjoint, but
@@ -163,11 +219,11 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
         boxes = ClassifyBoxes(r_mbr, s_mbr);
         if (boxes == BoxRelation::kDisjoint) {
           ++stats_.decided_by_mbr;
-          return Relation::kDisjoint;
+          return decided(Relation::kDisjoint);
         }
         if (boxes == BoxRelation::kCross) {
           ++stats_.decided_by_mbr;
-          return Relation::kIntersects;
+          return decided(Relation::kIntersects);
         }
         candidates = MbrCandidates(boxes);
         // Generic over the storage form: the List* relations overload on the
@@ -188,12 +244,25 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
         bool have = false;
         bool disjoint = false;
         if (UseCompressed()) {
-          CompressedAprilView ra;
-          CompressedAprilView sa;
-          if (CompressedAprilFor(r_view_, r_idx, &ra) &&
-              CompressedAprilFor(s_view_, s_idx, &sa)) {
-            have = true;
-            disjoint = april_decides_disjoint(ra, sa);
+          if (UseDecodedCache()) {
+            // Decoded-record path: flat SIMD kernels over cached decodes —
+            // same tests, same answers (and PR 7 pins flat/compressed
+            // filter agreement).
+            AprilView ra;
+            AprilView sa;
+            if (DecodedAprilFor(r_view_, &r_decoded_, r_idx, &ra) &&
+                DecodedAprilFor(s_view_, &s_decoded_, s_idx, &sa)) {
+              have = true;
+              disjoint = april_decides_disjoint(ra, sa);
+            }
+          } else {
+            CompressedAprilView ra;
+            CompressedAprilView sa;
+            if (CompressedAprilFor(r_view_, r_idx, &ra) &&
+                CompressedAprilFor(s_view_, s_idx, &sa)) {
+              have = true;
+              disjoint = april_decides_disjoint(ra, sa);
+            }
           }
         } else {
           AprilView ra;
@@ -210,25 +279,38 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
           ++stats_.fallback_refined;
         } else if (disjoint) {
           ++stats_.decided_by_filter;
-          return Relation::kDisjoint;
+          return decided(Relation::kDisjoint);
         }
       }
-      return Refine(r_idx, s_idx, candidates);
+      return undetermined(candidates);
     }
     case Method::kPC: {
       // The paper's Algorithm 1, over whichever storage form the views
-      // carry: both FindRelationFilter overloads run the same decision
+      // carry: all FindRelationFilter overloads run the same decision
       // sequence, so the storage form cannot change the answer.
       FilterDecision decision;
       bool have = false;
       if (UseCompressed()) {
-        CompressedAprilView ra;
-        CompressedAprilView sa;
-        if (CompressedAprilFor(r_view_, r_idx, &ra) &&
-            CompressedAprilFor(s_view_, s_idx, &sa)) {
-          have = true;
-          ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
-          decision = FindRelationFilter(r_mbr, ra, s_mbr, sa);
+        if (UseDecodedCache()) {
+          AprilView ra;
+          AprilView sa;
+          if (DecodedAprilFor(r_view_, &r_decoded_, r_idx, &ra) &&
+              DecodedAprilFor(s_view_, &s_decoded_, s_idx, &sa)) {
+            have = true;
+            ScopedStageTime timing(options_.time_stages,
+                                   &stats_.filter_seconds);
+            decision = FindRelationFilter(r_mbr, ra, s_mbr, sa);
+          }
+        } else {
+          CompressedAprilView ra;
+          CompressedAprilView sa;
+          if (CompressedAprilFor(r_view_, r_idx, &ra) &&
+              CompressedAprilFor(s_view_, s_idx, &sa)) {
+            have = true;
+            ScopedStageTime timing(options_.time_stages,
+                                   &stats_.filter_seconds);
+            decision = FindRelationFilter(r_mbr, ra, s_mbr, sa);
+          }
         }
       } else {
         AprilView ra;
@@ -249,15 +331,15 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
           boxes = ClassifyBoxes(r_mbr, s_mbr);
           if (boxes == BoxRelation::kDisjoint) {
             ++stats_.decided_by_mbr;
-            return Relation::kDisjoint;
+            return decided(Relation::kDisjoint);
           }
           if (boxes == BoxRelation::kCross) {
             ++stats_.decided_by_mbr;
-            return Relation::kIntersects;
+            return decided(Relation::kIntersects);
           }
         }
         ++stats_.fallback_refined;
-        return Refine(r_idx, s_idx, MbrCandidates(boxes));
+        return undetermined(MbrCandidates(boxes));
       }
       if (decision.definite) {
         if (decision.stage == DecisionStage::kMbrFilter) {
@@ -265,15 +347,22 @@ Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
         } else {
           ++stats_.decided_by_filter;
         }
-        return decision.relation;
+        return decided(decision.relation);
       }
-      return Refine(r_idx, s_idx, decision.candidates);
+      return undetermined(decision.candidates);
     }
   }
-  return Relation::kDisjoint;
+  return decided(Relation::kDisjoint);
 }
 
-bool Pipeline::RefinePredicate(uint32_t r_idx, uint32_t s_idx, Relation p) {
+Relation Pipeline::FindRelation(uint32_t r_idx, uint32_t s_idx) {
+  const FilterOutcome outcome = FilterStage(r_idx, s_idx);
+  if (outcome.definite) return outcome.relation;
+  return Refine(r_idx, s_idx, outcome.candidates);
+}
+
+bool Pipeline::RefineStagePredicate(uint32_t r_idx, uint32_t s_idx,
+                                    Relation p) {
   ScopedStageTime timing(options_.time_stages, &stats_.refine_seconds);
   ++stats_.refined;
   PreparedPolygon r_scratch;
@@ -285,7 +374,8 @@ bool Pipeline::RefinePredicate(uint32_t r_idx, uint32_t s_idx, Relation p) {
   return RelationHolds(p, de9im::RelateEngine::Relate(r, s));
 }
 
-bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
+RelateAnswer Pipeline::FilterStagePredicate(uint32_t r_idx, uint32_t s_idx,
+                                            Relation p) {
   ++stats_.pairs;
   const Box& r_mbr = (*r_view_.objects)[r_idx].geometry.Bounds();
   const Box& s_mbr = (*s_view_.objects)[s_idx].geometry.Bounds();
@@ -294,13 +384,24 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
     bool have = false;
     RelateAnswer answer = RelateAnswer::kInconclusive;
     if (UseCompressed()) {
-      CompressedAprilView ra;
-      CompressedAprilView sa;
-      if (CompressedAprilFor(r_view_, r_idx, &ra) &&
-          CompressedAprilFor(s_view_, s_idx, &sa)) {
-        have = true;
-        ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
-        answer = RelatePredicateFilter(p, r_mbr, ra, s_mbr, sa);
+      if (UseDecodedCache()) {
+        AprilView ra;
+        AprilView sa;
+        if (DecodedAprilFor(r_view_, &r_decoded_, r_idx, &ra) &&
+            DecodedAprilFor(s_view_, &s_decoded_, s_idx, &sa)) {
+          have = true;
+          ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
+          answer = RelatePredicateFilter(p, r_mbr, ra, s_mbr, sa);
+        }
+      } else {
+        CompressedAprilView ra;
+        CompressedAprilView sa;
+        if (CompressedAprilFor(r_view_, r_idx, &ra) &&
+            CompressedAprilFor(s_view_, s_idx, &sa)) {
+          have = true;
+          ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
+          answer = RelatePredicateFilter(p, r_mbr, ra, s_mbr, sa);
+        }
       }
     } else {
       AprilView ra;
@@ -314,13 +415,11 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
     if (have) {
       switch (answer) {
         case RelateAnswer::kYes:
-          ++stats_.decided_by_filter;
-          return true;
         case RelateAnswer::kNo:
           ++stats_.decided_by_filter;
-          return false;
+          return answer;
         case RelateAnswer::kInconclusive:
-          return RefinePredicate(r_idx, s_idx, p);
+          return RelateAnswer::kInconclusive;
       }
     }
     // Degraded mode: fall through to the approximation-free path below.
@@ -328,11 +427,12 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
       ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
       if (!r_mbr.Intersects(s_mbr)) {
         ++stats_.decided_by_mbr;
-        return p == Relation::kDisjoint;
+        return p == Relation::kDisjoint ? RelateAnswer::kYes
+                                        : RelateAnswer::kNo;
       }
     }
     ++stats_.fallback_refined;
-    return RefinePredicate(r_idx, s_idx, p);
+    return RelateAnswer::kInconclusive;
   }
 
   // Other methods answer relate_p through their find-relation machinery:
@@ -341,10 +441,19 @@ bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
     ScopedStageTime timing(options_.time_stages, &stats_.filter_seconds);
     if (!r_mbr.Intersects(s_mbr)) {
       ++stats_.decided_by_mbr;
-      return p == Relation::kDisjoint;
+      return p == Relation::kDisjoint ? RelateAnswer::kYes : RelateAnswer::kNo;
     }
   }
-  return RefinePredicate(r_idx, s_idx, p);
+  return RelateAnswer::kInconclusive;
+}
+
+bool Pipeline::Relate(uint32_t r_idx, uint32_t s_idx, Relation p) {
+  switch (FilterStagePredicate(r_idx, s_idx, p)) {
+    case RelateAnswer::kYes: return true;
+    case RelateAnswer::kNo: return false;
+    case RelateAnswer::kInconclusive: break;
+  }
+  return RefineStagePredicate(r_idx, s_idx, p);
 }
 
 }  // namespace stj

@@ -9,8 +9,10 @@
 #include "src/raster/april.h"
 #include "src/raster/april_compressed.h"
 #include "src/raster/april_store.h"
+#include "src/raster/decoded_block_cache.h"
 #include "src/topology/find_relation.h"
 #include "src/topology/prepared_cache.h"
+#include "src/topology/relate_predicate.h"
 #include "src/util/timer.h"
 
 namespace stj {
@@ -61,6 +63,14 @@ struct PipelineOptions {
   /// behaviour. The cache is a pure performance layer — results are
   /// byte-identical for every budget.
   size_t prepared_cache_bytes = kDefaultPreparedCacheBytes;
+  /// Byte budget of the per-worker decoded-record LRU used when the join
+  /// runs on CompressedAprilStore inputs: hot records are decoded to flat
+  /// canonical form once and the filter stage runs the flat (SIMD) interval
+  /// kernels over them instead of the fused block-decoding merges. 0
+  /// disables the cache (every pair uses the compressed filter overloads,
+  /// the pre-PR8 behaviour). Decisions are identical either way — the PR 7
+  /// differential suite pins flat/compressed filter agreement.
+  size_t decoded_cache_bytes = kDefaultDecodedCacheBytes;
 };
 
 /// Per-run pipeline counters and stage timings, the raw material of
@@ -92,6 +102,25 @@ struct PipelineStats {
   /// Worst observed trip-to-worker-stop latency in microseconds (max across
   /// workers) — the realised cooperative-cancellation latency of the stage.
   uint64_t cancel_latency_us = 0;
+  /// Decoded-record cache telemetry (CompressedAprilStore inputs with
+  /// PipelineOptions::decoded_cache_bytes > 0; zero otherwise). Two lookups
+  /// per filtered pair, one per side; `decoded_corrupt` counts lookups that
+  /// hit a record whose payload failed to decode — those pairs degrade to
+  /// refinement exactly like usable=false placeholders.
+  uint64_t decoded_hits = 0;
+  uint64_t decoded_misses = 0;
+  uint64_t decoded_corrupt = 0;
+  /// Staged-executor queue telemetry (batch_executor.h; all zero on
+  /// pair-at-a-time runs). Batch counts are scheduling artifacts — they vary
+  /// with thread count and timing while the join's decisions stay
+  /// byte-identical.
+  uint64_t batches = 0;           ///< SoA batches formed by the filter stage.
+  uint64_t batches_enqueued = 0;  ///< Refinement batches pushed to the queue.
+  uint64_t batches_dequeued = 0;  ///< Refinement batches drained.
+  uint64_t queue_max_depth = 0;   ///< High-water queue occupancy (merge: max).
+  /// Wall time workers spent waiting on the stage queue (push back-pressure
+  /// help loops + drain-phase blocking pops), summed across workers.
+  double queue_stall_seconds = 0.0;
   double filter_seconds = 0.0;  ///< MBR + intermediate filter time.
   double refine_seconds = 0.0;  ///< DE-9IM computation + mask matching time.
   /// Time spent building PreparedPolygon indexes on cache misses — a subset
@@ -104,6 +133,12 @@ struct PipelineStats {
                             static_cast<double>(pairs);
   }
 };
+
+/// Accumulates one worker's stage counters into a run total: counts and CPU
+/// timings sum; worst-case observations (cancel latency, queue high-water)
+/// merge by max. Shared by the pair-at-a-time drivers (parallel.cpp) and
+/// the staged batch executor (batch_executor.cpp).
+void MergeStats(const PipelineStats& from, PipelineStats* into);
 
 /// Executes find-relation and relate_p queries over candidate pairs with one
 /// of the four methods, accumulating stage statistics.
@@ -141,6 +176,40 @@ class Pipeline {
   Pipeline(Method method, DatasetView r_view, DatasetView s_view,
            const PipelineOptions& options);
 
+  /// Outcome of the filter stage (MBR + intermediate filters) for one pair:
+  /// either a definite relation or the narrowed candidate set refinement
+  /// must discriminate. This is the unit the staged batch executor
+  /// (batch_executor.h) transports between its filter and refinement stages
+  /// — candidates round-trips through RelationSet::Bits() in the SoA batch.
+  struct FilterOutcome {
+    bool definite = false;
+    de9im::Relation relation = de9im::Relation::kDisjoint;
+    de9im::RelationSet candidates;
+  };
+
+  /// Runs the filter stage for pair (r_idx, s_idx): counts the pair, applies
+  /// the method's MBR + intermediate filters, and either decides the
+  /// relation or returns the candidate set for RefineStage. FindRelation is
+  /// exactly FilterStage followed by RefineStage when not definite, so
+  /// batched execution (which separates the two calls in time and sorts the
+  /// undetermined pairs between them) produces byte-identical decisions.
+  FilterOutcome FilterStage(uint32_t r_idx, uint32_t s_idx);
+
+  /// Refinement stage: DE-9IM over exact geometry, matched against
+  /// \p candidates (as returned by a non-definite FilterStage).
+  de9im::Relation RefineStage(uint32_t r_idx, uint32_t s_idx,
+                              de9im::RelationSet candidates) {
+    return Refine(r_idx, s_idx, candidates);
+  }
+
+  /// Filter stage of a relate_p query: kYes/kNo decide the pair (counters
+  /// updated), kInconclusive means RefineStagePredicate must run.
+  RelateAnswer FilterStagePredicate(uint32_t r_idx, uint32_t s_idx,
+                                    de9im::Relation p);
+
+  /// Refinement stage of a relate_p query (full DE-9IM + mask test).
+  bool RefineStagePredicate(uint32_t r_idx, uint32_t s_idx, de9im::Relation p);
+
   /// The most specific topological relation of pair (r_idx, s_idx).
   de9im::Relation FindRelation(uint32_t r_idx, uint32_t s_idx);
 
@@ -150,6 +219,9 @@ class Pipeline {
   bool Relate(uint32_t r_idx, uint32_t s_idx, de9im::Relation p);
 
   const PipelineStats& Stats() const { return stats_; }
+  /// Mutable access for the drivers that account executor-level telemetry
+  /// (queue counters, stall time) into this worker's stats.
+  PipelineStats* MutableStats() { return &stats_; }
   void ResetStats() { stats_ = PipelineStats{}; }
 
   Method GetMethod() const { return method_; }
@@ -157,7 +229,6 @@ class Pipeline {
  private:
   de9im::Relation Refine(uint32_t r_idx, uint32_t s_idx,
                          de9im::RelationSet candidates);
-  bool RefinePredicate(uint32_t r_idx, uint32_t s_idx, de9im::Relation p);
 
   /// The PreparedPolygon for object \p idx of \p view: the cached instance
   /// when the cache holds it (hit), a freshly built-and-inserted one on a
@@ -178,6 +249,19 @@ class Pipeline {
   static bool CompressedAprilFor(const DatasetView& view, uint32_t idx,
                                  CompressedAprilView* out);
 
+  /// Decoded-cache counterpart: serves flat views of a compressed record
+  /// through \p cache (decoding on miss) and folds the cache's telemetry
+  /// into stats_. False is the same degraded-mode signal as the accessors
+  /// above — including for records whose payload fails to decode.
+  bool DecodedAprilFor(const DatasetView& view, DecodedAprilCache* cache,
+                       uint32_t idx, AprilView* out);
+
+  /// True when compressed filtering should go through the decoded-record
+  /// caches rather than the fused block-merge overloads.
+  bool UseDecodedCache() const {
+    return options_.decoded_cache_bytes > 0;
+  }
+
   /// True when the join runs on the compressed storage form (both sides
   /// carry a CompressedAprilStore).
   bool UseCompressed() const {
@@ -192,6 +276,11 @@ class Pipeline {
   /// the two sides, hence two maps; each side's key space is dense).
   PreparedCache r_prepared_;
   PreparedCache s_prepared_;
+  /// Per-side decoded-record caches for compressed inputs (same two-sided
+  /// reasoning; empty and untouched unless UseCompressed() and the budget
+  /// is nonzero).
+  DecodedAprilCache r_decoded_;
+  DecodedAprilCache s_decoded_;
   PipelineStats stats_;
 };
 

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/util/thread_annotations.h"
+
+namespace stj {
+
+/// Recycling pool for the SoA batch buffers that flow through the staged
+/// executor's queues. A join produces thousands of short-lived batches whose
+/// column vectors would otherwise be reallocated from cold heap every time;
+/// recycling keeps the number of live batch buffers bounded by
+/// workers + queue depth, and a recycled batch returns with its columns'
+/// capacity intact, so steady state allocates nothing.
+///
+/// T must be default-constructible and provide Clear() that empties it while
+/// keeping capacity (the vector::clear contract). Thread-safe: producers and
+/// consumers of a stage queue acquire and recycle concurrently; the lock is
+/// touched once per batch, which is noise next to the hundreds of pairs each
+/// batch carries.
+template <typename T>
+class BatchArena {
+ public:
+  BatchArena() = default;
+  BatchArena(const BatchArena&) = delete;
+  BatchArena& operator=(const BatchArena&) = delete;
+
+  /// A cleared batch: recycled when one is available, freshly allocated
+  /// otherwise.
+  std::unique_ptr<T> Acquire() STJ_EXCLUDES(mutex_) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> batch = std::move(free_.back());
+        free_.pop_back();
+        return batch;
+      }
+    }
+    return std::make_unique<T>();
+  }
+
+  /// Returns a batch to the pool for reuse (cleared here so Acquire hands
+  /// out ready-to-fill buffers). Null is tolerated and ignored.
+  void Recycle(std::unique_ptr<T> batch) STJ_EXCLUDES(mutex_) {
+    if (batch == nullptr) return;
+    batch->Clear();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(batch));
+  }
+
+  size_t FreeCount() const STJ_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_ STJ_GUARDED_BY(mutex_);
+};
+
+}  // namespace stj

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "src/util/thread_annotations.h"
+
+namespace stj {
+
+/// Counter snapshot of one BoundedMpmcQueue (plain values, safe to copy
+/// after the run). Depth counters are in items; wait time is accounted by
+/// the callers (they know whether a wait is producer back-pressure or
+/// consumer starvation), not here.
+struct QueueTelemetry {
+  uint64_t pushed = 0;     ///< Items accepted by TryPush.
+  uint64_t popped = 0;     ///< Items handed out by TryPop/Pop.
+  uint64_t max_depth = 0;  ///< High-water occupancy.
+};
+
+/// Bounded multi-producer multi-consumer queue: the stage boundary of the
+/// batched join executor (topology/batch_executor.h). Capacity is a hard
+/// bound — TryPush refuses instead of growing, which is what gives the
+/// pipeline back-pressure: a producer whose push fails is expected to help
+/// drain (pop and process an item itself) rather than block, so the stage
+/// graph cannot deadlock even when every worker is a producer.
+///
+/// Lifecycle: producers push while the stream is open; the *last* producer
+/// calls Close() (no further pushes, consumers drain the remainder and then
+/// see kClosed); any worker that must tear the stream down mid-flight
+/// (cancellation, worker exception) calls Abort(), which drops all queued
+/// items and fails every subsequent operation — blocked consumers wake
+/// immediately. Both transitions are sticky.
+///
+/// A mutex + condvar implementation on purpose: items are whole SoA batches
+/// (hundreds of pairs each), so the queue is touched a few thousand times
+/// per join and lock cost is noise; in exchange the blocking, close, and
+/// abort semantics stay obviously correct under tsan.
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  enum class PopOutcome : uint8_t {
+    kItem,    ///< *out holds a dequeued item.
+    kClosed,  ///< Stream closed and fully drained; no item.
+    kAborted, ///< Stream aborted; queued items were dropped; no item.
+  };
+
+  explicit BoundedMpmcQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Moves \p item into the queue and returns true; returns false (leaving
+  /// \p item intact) when the queue is full, closed, or aborted. Never
+  /// blocks — the caller decides whether to help drain or give up.
+  bool TryPush(T& item) STJ_EXCLUDES(mutex_) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || aborted_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      ++telemetry_.pushed;
+      if (items_.size() > telemetry_.max_depth) {
+        telemetry_.max_depth = items_.size();
+      }
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Moves the oldest item into *out and returns true; false when the queue
+  /// is empty or aborted. Never blocks.
+  bool TryPop(T* out) STJ_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (aborted_ || items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    ++telemetry_.popped;
+    return true;
+  }
+
+  /// Blocks until an item is available (kItem), the stream is closed and
+  /// drained (kClosed), or aborted (kAborted). The consumer-side drain loop
+  /// of the executor: callers time this call themselves when they account
+  /// stall time.
+  PopOutcome Pop(T* out) STJ_EXCLUDES(mutex_) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this]() STJ_REQUIRES(mutex_) {
+      return aborted_ || closed_ || !items_.empty();
+    });
+    if (aborted_) return PopOutcome::kAborted;
+    if (items_.empty()) return PopOutcome::kClosed;  // closed_ holds
+    *out = std::move(items_.front());
+    items_.pop_front();
+    ++telemetry_.popped;
+    return PopOutcome::kItem;
+  }
+
+  /// Declares the producer side finished: no further TryPush succeeds, and
+  /// consumers observe kClosed once the remaining items are drained. Called
+  /// exactly once, by whichever worker completes the last producer unit.
+  void Close() STJ_EXCLUDES(mutex_) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Tears the stream down: drops every queued item, wakes all waiters, and
+  /// makes every subsequent operation fail fast. For cancellation and
+  /// worker-exception unwinding — the dropped items' work units are simply
+  /// never marked done, which is exactly the loss-less PartialResult
+  /// contract (parallel.h).
+  void Abort() STJ_EXCLUDES(mutex_) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+      items_.clear();
+    }
+    ready_.notify_all();
+  }
+
+  bool aborted() const STJ_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Counter snapshot; call after the run (or accept a torn-but-monotone
+  /// mid-run view).
+  QueueTelemetry Telemetry() const STJ_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return telemetry_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;  ///< Signalled on push / close / abort.
+  std::deque<T> items_ STJ_GUARDED_BY(mutex_);
+  bool closed_ STJ_GUARDED_BY(mutex_) = false;
+  bool aborted_ STJ_GUARDED_BY(mutex_) = false;
+  QueueTelemetry telemetry_ STJ_GUARDED_BY(mutex_);
+};
+
+}  // namespace stj

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -22,7 +23,13 @@ namespace stj {
 namespace {
 
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  // Each test case runs as its own ctest process against the shared TempDir;
+  // a pid-qualified name keeps concurrently scheduled cases from racing on
+  // the scratch files.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return std::string(::testing::TempDir()) + "/" +
+         (info != nullptr ? info->name() : "unknown") + "_" +
+         std::to_string(::getpid()) + "_" + name;
 }
 
 // Offsets of the v2 record frames in \p bytes (one per record, in order),

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -20,7 +21,12 @@ namespace stj {
 namespace {
 
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  // Pid-qualified: each test case is a separate ctest process and the cases
+  // must not race on shared scratch files in TempDir.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return std::string(::testing::TempDir()) + "/" +
+         (info != nullptr ? info->name() : "unknown") + "_" +
+         std::to_string(::getpid()) + "_" + name;
 }
 
 class PipelineDegradedTest : public ::testing::Test {

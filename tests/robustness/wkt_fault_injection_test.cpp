@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <functional>
 #include <sstream>
@@ -21,7 +23,13 @@ namespace stj {
 namespace {
 
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  // Each test case runs as its own ctest process against the shared TempDir;
+  // a pid-qualified name keeps concurrently scheduled cases from racing on
+  // the fixture files.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return std::string(::testing::TempDir()) + "/" +
+         (info != nullptr ? info->name() : "unknown") + "_" +
+         std::to_string(::getpid()) + "_" + name;
 }
 
 struct Mangling {

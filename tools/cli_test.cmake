@@ -80,6 +80,25 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "predicate join failed")
 endif()
 
+# The staged batch executor is a pure scheduling layer: the batched join
+# must print byte-identical links to the pair-at-a-time run above, and its
+# --time-stages summary must include the stage-queue telemetry.
+execute_process(COMMAND ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt
+                --method=pc --grid-order=10 --batch-size=64 --queue-depth=2
+                --threads=4 --time-stages
+                RESULT_VARIABLE rc OUTPUT_VARIABLE batched_out
+                ERROR_VARIABLE batched_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "batched join failed")
+endif()
+if(NOT pc_out STREQUAL batched_out)
+  message(FATAL_ERROR "batched join diverged from pair-at-a-time:\n--- pair\n${pc_out}\n--- batched\n${batched_out}")
+endif()
+if(NOT batched_err MATCHES "\\[join\\] stages: filter" OR
+   NOT batched_err MATCHES "\\[join\\] batch queue: .* batches .*max depth")
+  message(FATAL_ERROR "batched --time-stages summary missing queue telemetry:\n${batched_err}")
+endif()
+
 # ---- malformed-input exit paths ----
 
 # A dataset with one good line, one parse error, one repairable line

@@ -20,6 +20,16 @@ Checks:
                 justification comment on the same or the preceding line.
                 `(void)sizeof(...)` is exempt (unevaluated no-op idiom used
                 by the disabled STJ_DCHECK macros).
+  batch-self-contained
+                The concurrency primitives behind the staged batch executor
+                (src/util/batch*, src/util/*queue*) must stay freestanding:
+                quoted includes only from src/util/, angle includes only
+                path-free standard headers. The general layer-order rule
+                already blocks upward includes; this one additionally bans
+                non-layer quoted paths (tests/, bench/, ...) and platform
+                headers (<sys/...>, <linux/...>), so the queue and arena
+                stay portable and embeddable in any TU, including the tsan
+                and scalar-fallback builds.
 
 Usage:
   tools/project_lint.py             # lint the repo, exit 1 on findings
@@ -52,6 +62,14 @@ SOURCE_EXTS = (".cpp", ".h")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"src/([a-z0-9_]+)/')
 NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` would still match Type
 VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*(?!sizeof\b)[A-Za-z_:(]")
+
+# Files held to the batch-self-contained rule: the staged executor's
+# concurrency primitives under src/util/.
+BATCH_PRIMITIVE_RE = re.compile(
+    r"^src/util/(?:batch[a-z0-9_]*|[a-z0-9_]*queue[a-z0-9_]*)\.(?:h|cpp)$"
+)
+QUOTED_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+ANGLE_INCLUDE_RE = re.compile(r"^\s*#\s*include\s+<([^>]+)>")
 
 
 def strip_comments_and_strings(line, state):
@@ -113,6 +131,7 @@ def lint_file(path, rel, errors):
     parts = rel.parts
     if parts[0] == "src" and len(parts) > 2 and parts[1] in LAYER_RANK:
         layer = parts[1]
+    batch_primitive = BATCH_PRIMITIVE_RE.match(rel.as_posix()) is not None
 
     try:
         text = path.read_text(encoding="utf-8")
@@ -140,6 +159,22 @@ def lint_file(path, rel, errors):
                     f"{rel}:{lineno}: [layer-order] src/{layer}/ (rank "
                     f"{LAYER_RANK[layer]}) must not include src/{target}/ "
                     f"(rank {LAYER_RANK[target]})"
+                )
+
+        if batch_primitive and not was_in_block:
+            qm = QUOTED_INCLUDE_RE.match(raw)
+            am = ANGLE_INCLUDE_RE.match(raw)
+            if qm and not qm.group(1).startswith("src/util/"):
+                errors.append(
+                    f"{rel}:{lineno}: [batch-self-contained] batch/queue "
+                    f'primitive must not include "{qm.group(1)}"; only '
+                    f"src/util/ headers are allowed"
+                )
+            elif am and "/" in am.group(1):
+                errors.append(
+                    f"{rel}:{lineno}: [batch-self-contained] batch/queue "
+                    f"primitive must not include <{am.group(1)}>; only "
+                    f"path-free standard headers are allowed"
                 )
 
         if parts[0] == "src" and NEW_RE.search(code):
@@ -206,17 +241,35 @@ def self_test():
             "src/util/bad2.cpp",
             "void F() { (void)G(); }\n",
         ),
+        (
+            # A platform header and a non-layer quoted path: neither is
+            # caught by layer-order, both must trip the freestanding rule.
+            "batch-self-contained",
+            "src/util/batch_bad_queue.h",
+            "#include <sys/mman.h>\n"
+            '#include "tests/support/fixtures.h"\n',
+        ),
     ]
-    clean = (
-        "src/raster/good.cpp",
-        "// fine: includes down-stack, commented discard, sizeof no-op\n"
-        '#include "src/interval/interval_list.h"\n'
-        "void F() {\n"
-        "  (void)sizeof(int);\n"
-        "  // Discarded: probe for side effects only.\n"
-        "  (void)G();\n"
-        "}\n",
-    )
+    cleans = [
+        (
+            "src/raster/good.cpp",
+            "// fine: includes down-stack, commented discard, sizeof no-op\n"
+            '#include "src/interval/interval_list.h"\n'
+            "void F() {\n"
+            "  (void)sizeof(int);\n"
+            "  // Discarded: probe for side effects only.\n"
+            "  (void)G();\n"
+            "}\n",
+        ),
+        (
+            # Mirrors the real mpmc_queue.h/batch_arena.h include set: std
+            # headers plus a src/util sibling are all the rule permits.
+            "src/util/batch_good.h",
+            "#include <atomic>\n"
+            "#include <deque>\n"
+            '#include "src/util/thread_annotations.h"\n',
+        ),
+    ]
 
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -234,14 +287,15 @@ def self_test():
                     failures.append(f"seeded {tag} violation not flagged")
                 path.unlink()
 
-            rel, content = clean
-            path = Path(tmp) / rel
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(content)
-            errors = []
-            lint_file(path, path.relative_to(Path(tmp)), errors)
-            if errors:
-                failures.append(f"clean file flagged: {errors}")
+            for rel, content in cleans:
+                path = Path(tmp) / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(content)
+                errors = []
+                lint_file(path, path.relative_to(Path(tmp)), errors)
+                if errors:
+                    failures.append(f"clean file {rel} flagged: {errors}")
+                path.unlink()
         finally:
             REPO = real_repo
 

@@ -27,7 +27,8 @@
 //
 //   stj_cli join <r.wkt> <s.wkt> [--method=pc|st2|op2|april]
 //                [--grid-order=N] [--predicate=<relation>] [--threads=T]
-//                [--prepared-cache-mb=M] [--permissive]
+//                [--prepared-cache-mb=M] [--batch-size=B] [--queue-depth=Q]
+//                [--time-stages] [--permissive]
 //                [--deadline-ms=D] [--max-memory-mb=B]
 //       Run the full topology join between two WKT files: MBR filter join,
 //       then find-relation (default) or a relate_p predicate join. Prints
@@ -35,7 +36,13 @@
 //       summary to stderr. --prepared-cache-mb sizes the per-worker
 //       prepared-geometry cache that amortises refinement index
 //       construction across pairs (default 32; 0 disables it — results are
-//       identical either way). --deadline-ms bounds the query's wall time
+//       identical either way). --batch-size > 1 routes the join through the
+//       staged SoA batch executor (refinement batches re-sorted for cache
+//       locality; decisions identical to the default pair-at-a-time path)
+//       and --queue-depth sizes its stage queue in batches. --time-stages
+//       enables the per-stage timers and prints a stage/queue telemetry
+//       summary (filter/refine seconds; batches, queue depth, stall time
+//       for batched runs). --deadline-ms bounds the query's wall time
 //       and --max-memory-mb its APRIL/tile-table memory; either flag makes
 //       the run cancellable (Ctrl-C stops it cooperatively too). A tripped
 //       run still prints every pair that was fully verified before the cut,
@@ -122,6 +129,9 @@ struct Flags {
   std::string codec = "raw";
   unsigned threads = 0;
   size_t prepared_cache_mb = kDefaultPreparedCacheBytes >> 20;
+  size_t batch_size = 1;   ///< > 1 = staged SoA batch executor.
+  size_t queue_depth = 8;  ///< Stage-queue capacity in batches.
+  bool time_stages = false;
   bool permissive = false;
   uint64_t deadline_ms = 0;    ///< 0 = no deadline.
   size_t max_memory_mb = 0;    ///< 0 = no memory budget.
@@ -149,6 +159,14 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.threads = static_cast<unsigned>(std::atoi(arg + 10));
     } else if (std::strncmp(arg, "--prepared-cache-mb=", 20) == 0) {
       flags.prepared_cache_mb = static_cast<size_t>(std::atoll(arg + 20));
+    } else if (std::strncmp(arg, "--batch-size=", 13) == 0) {
+      flags.batch_size = static_cast<size_t>(std::atoll(arg + 13));
+      if (flags.batch_size == 0) flags.batch_size = 1;
+    } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
+      flags.queue_depth = static_cast<size_t>(std::atoll(arg + 14));
+      if (flags.queue_depth == 0) flags.queue_depth = 1;
+    } else if (std::strcmp(arg, "--time-stages") == 0) {
+      flags.time_stages = true;
     } else if (std::strcmp(arg, "--permissive") == 0) {
       flags.permissive = true;
     } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
@@ -385,6 +403,25 @@ void ReportPreparedStats(const PipelineStats& stats) {
                    static_cast<double>(lookups));
 }
 
+/// Prints the --time-stages summary: per-stage seconds plus, when the run
+/// went through the staged batch executor, its queue telemetry. Silent
+/// unless stage timing was requested.
+void ReportStageStats(const PipelineStats& stats, bool time_stages) {
+  if (!time_stages) return;
+  std::fprintf(stderr, "[join] stages: filter %.3fs, refine %.3fs\n",
+               stats.filter_seconds, stats.refine_seconds);
+  if (stats.batches != 0) {
+    std::fprintf(stderr,
+                 "[join] batch queue: %llu batches (%llu enqueued / %llu "
+                 "dequeued), max depth %llu, stall %.3fs\n",
+                 static_cast<unsigned long long>(stats.batches),
+                 static_cast<unsigned long long>(stats.batches_enqueued),
+                 static_cast<unsigned long long>(stats.batches_dequeued),
+                 static_cast<unsigned long long>(stats.queue_max_depth),
+                 stats.queue_stall_seconds);
+  }
+}
+
 /// Reports a cut-short refinement stage. Every printed pair was fully
 /// verified before the cut (loss-less cancellation), so the partial output
 /// is a correct subset of the full answer.
@@ -478,9 +515,11 @@ int CmdJoin(int argc, char** argv) {
   const DatasetView s_view{&s.objects, &s_april};
   const JoinOptions join_options{
       .num_threads = flags.threads,
-      .time_stages = false,
+      .time_stages = flags.time_stages,
       .prepared_cache_bytes = flags.prepared_cache_mb << 20,
-      .exec = exec_ptr};
+      .exec = exec_ptr,
+      .batch_size = flags.batch_size,
+      .queue_depth = flags.queue_depth};
   timer.Reset();
   if (!flags.predicate.empty()) {
     const auto predicate = ParseRelation(flags.predicate);
@@ -504,6 +543,7 @@ int CmdJoin(int argc, char** argv) {
                  matches, pairs.size(), ToString(*predicate),
                  timer.ElapsedSeconds(), result.stats.UndeterminedPercent());
     ReportPreparedStats(result.stats);
+    ReportStageStats(result.stats, flags.time_stages);
     if (!result.status.ok()) {
       return ReportStopped(result.status, result.partial, result.stats);
     }
@@ -524,6 +564,7 @@ int CmdJoin(int argc, char** argv) {
                  links, pairs.size(), timer.ElapsedSeconds(),
                  result.stats.UndeterminedPercent(), ToString(*method));
     ReportPreparedStats(result.stats);
+    ReportStageStats(result.stats, flags.time_stages);
     if (result.stats.fallback_refined != 0) {
       std::fprintf(stderr,
                    "[join] degraded: %llu pairs fell back to refinement "
