@@ -1,0 +1,84 @@
+#include "src/geometry/tile_grid.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace stj {
+
+namespace {
+
+/// Index of the half-open span [bounds[i], bounds[i+1]) containing \p v
+/// among the `n` spans described by the n+1 boundaries at \p bounds,
+/// clamping below the first and above the last boundary. With ties (equal
+/// boundaries), v lands in the right-most span starting at its value, and
+/// the preceding degenerate spans can contain no point.
+uint32_t SpanOf(const double* bounds, uint32_t n, double v) {
+  if (n <= 1) return 0;
+  // Internal boundaries are bounds[1..n-1]; count how many are <= v.
+  // Spans are half-open [b, next), so a v equal to an internal boundary
+  // belongs to the span starting there: upper_bound's strictly-greater
+  // split counts exactly the internal boundaries <= v.
+  const double* first = bounds + 1;
+  const double* last = bounds + n;  // one past the last internal boundary
+  return static_cast<uint32_t>(std::upper_bound(first, last, v) - first);
+}
+
+}  // namespace
+
+uint32_t TileGrid::ColumnOf(double x) const {
+  return SpanOf(x_bounds.data(), columns, x);
+}
+
+uint32_t TileGrid::RowOf(uint32_t column, double y) const {
+  return SpanOf(y_bounds.data() + static_cast<size_t>(column) * (rows + 1),
+                rows, y);
+}
+
+Box TileGrid::TileBounds(uint32_t tile) const {
+  const uint32_t c = ColumnOfTile(tile);
+  const uint32_t r = RowOfTile(tile);
+  const double* yb = y_bounds.data() + static_cast<size_t>(c) * (rows + 1);
+  Box box;
+  box.min = Point{x_bounds[c], yb[r]};
+  box.max = Point{x_bounds[c + 1], yb[r + 1]};
+  return box;
+}
+
+void TileGrid::ValidateInvariants() const {
+  STJ_CHECK(columns > 0 && rows > 0);
+  STJ_CHECK(x_bounds.size() == static_cast<size_t>(columns) + 1);
+  STJ_CHECK(y_bounds.size() ==
+            static_cast<size_t>(columns) * (static_cast<size_t>(rows) + 1));
+  STJ_CHECK(std::is_sorted(x_bounds.begin(), x_bounds.end()));
+  for (uint32_t c = 0; c < columns; ++c) {
+    const double* yb = y_bounds.data() + static_cast<size_t>(c) * (rows + 1);
+    STJ_CHECK(std::is_sorted(yb, yb + rows + 1));
+  }
+}
+
+TileGrid MakeUniformTileGrid(const Box& domain, uint32_t columns,
+                             uint32_t rows) {
+  STJ_CHECK(columns > 0 && rows > 0);
+  TileGrid grid;
+  grid.domain = domain;
+  grid.columns = columns;
+  grid.rows = rows;
+  grid.x_bounds.resize(columns + 1);
+  for (uint32_t c = 0; c <= columns; ++c) {
+    grid.x_bounds[c] =
+        domain.min.x + domain.Width() * static_cast<double>(c) /
+                           static_cast<double>(columns);
+  }
+  grid.y_bounds.resize(static_cast<size_t>(columns) * (rows + 1));
+  for (uint32_t c = 0; c < columns; ++c) {
+    double* yb = grid.y_bounds.data() + static_cast<size_t>(c) * (rows + 1);
+    for (uint32_t r = 0; r <= rows; ++r) {
+      yb[r] = domain.min.y + domain.Height() * static_cast<double>(r) /
+                                 static_cast<double>(rows);
+    }
+  }
+  return grid;
+}
+
+}  // namespace stj

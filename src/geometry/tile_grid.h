@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/box.h"
+#include "src/geometry/point.h"
+
+namespace stj {
+
+/// A non-uniform rectangular tiling of the plane: `columns` vertical slabs
+/// split by the sorted boundaries `x_bounds`, each slab split independently
+/// into `rows` tiles by its own y-boundary run — the "slice and dice" layout
+/// the cost-balanced partitioner (src/join/partitioner.h) emits, where slab
+/// widths and per-slab row heights follow weighted quantiles of the data
+/// instead of a uniform grid.
+///
+/// Tile (c, r) has id c * rows + r. Point membership is half-open and
+/// clamped: column c covers [x_bounds[c], x_bounds[c+1]), the first/last
+/// column absorb everything below/above the domain, and rows mirror that
+/// within their column — so TileOf() is a total function that maps every
+/// point of the plane to exactly one tile. That partition property is what
+/// the shard scheduler's reference-point dedup rule rests on: a candidate
+/// pair's reference point lies in exactly one (r-tile, s-tile) combination,
+/// so exactly one tile-pair task reports the pair.
+///
+/// Boundary runs are non-decreasing; equal consecutive boundaries describe
+/// a degenerate (empty) tile, which TileOf never returns for any point —
+/// quantile splitting over heavily tied positions produces these and they
+/// are harmless.
+struct TileGrid {
+  Box domain;                   ///< Bounds the boundaries were derived from.
+  uint32_t columns = 0;
+  uint32_t rows = 0;
+  std::vector<double> x_bounds;  ///< columns+1 non-decreasing values.
+  /// Per-column y boundaries, flattened: column c owns the run
+  /// y_bounds[c*(rows+1) .. (c+1)*(rows+1)), non-decreasing within a column.
+  std::vector<double> y_bounds;
+
+  uint32_t Tiles() const { return columns * rows; }
+  uint32_t TileId(uint32_t column, uint32_t row) const {
+    return column * rows + row;
+  }
+  uint32_t ColumnOfTile(uint32_t tile) const { return tile / rows; }
+  uint32_t RowOfTile(uint32_t tile) const { return tile % rows; }
+
+  /// Column whose half-open slab contains \p x (clamped to [0, columns-1]).
+  uint32_t ColumnOf(double x) const;
+
+  /// Row within \p column whose half-open band contains \p y.
+  uint32_t RowOf(uint32_t column, double y) const;
+
+  /// The unique tile containing \p p under the clamped half-open semantics.
+  uint32_t TileOf(const Point& p) const {
+    const uint32_t c = ColumnOf(p.x);
+    return TileId(c, RowOf(c, p.y));
+  }
+
+  /// Nominal closed rectangle of \p tile (boundary values as stored; the
+  /// clamped TileOf semantics extend edge tiles beyond it). Use for overlap
+  /// enumeration, never for exact membership — that is TileOf().
+  Box TileBounds(uint32_t tile) const;
+
+  /// Inclusive column range whose slabs intersect [x_lo, x_hi] — the
+  /// column legs of MBR-overlap tile assignment.
+  void ColumnRange(double x_lo, double x_hi, uint32_t* c_lo,
+                   uint32_t* c_hi) const {
+    *c_lo = ColumnOf(x_lo);
+    *c_hi = ColumnOf(x_hi);
+  }
+
+  /// Inclusive row range within \p column intersecting [y_lo, y_hi].
+  void RowRange(uint32_t column, double y_lo, double y_hi, uint32_t* r_lo,
+                uint32_t* r_hi) const {
+    *r_lo = RowOf(column, y_lo);
+    *r_hi = RowOf(column, y_hi);
+  }
+
+  /// Aborts (STJ_CHECK) on structural inconsistency: boundary array sizes,
+  /// non-decreasing runs, zero tile count with nonzero boundaries.
+  void ValidateInvariants() const;
+
+  friend bool operator==(const TileGrid& a, const TileGrid& b) {
+    return a.domain == b.domain && a.columns == b.columns &&
+           a.rows == b.rows && a.x_bounds == b.x_bounds &&
+           a.y_bounds == b.y_bounds;
+  }
+};
+
+/// Uniform `columns` x `rows` grid over \p domain — the trivial TileGrid,
+/// used by tests and as the degenerate 1x1 "no sharding" layout.
+TileGrid MakeUniformTileGrid(const Box& domain, uint32_t columns,
+                             uint32_t rows);
+
+}  // namespace stj

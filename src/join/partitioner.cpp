@@ -1,0 +1,238 @@
+#include "src/join/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace stj {
+
+namespace {
+
+/// Weight of object i: its computational units, floored to 1 so zero-unit
+/// objects still contribute to the quantiles (a weightless object would
+/// otherwise let every boundary collapse onto it).
+uint64_t WeightOf(const std::vector<uint64_t>& units, size_t i) {
+  return units[i] == 0 ? 1 : units[i];
+}
+
+/// Places \p cuts internal boundaries on the weighted quantiles of the
+/// (position, weight) pairs in \p order (sorted ascending by position).
+/// Boundary j sits at the position of the item that crosses the j-th equal
+/// weight share. Returns `cuts` non-decreasing values.
+std::vector<double> WeightedQuantiles(const std::vector<double>& position,
+                                      const std::vector<uint64_t>& weight,
+                                      const std::vector<uint32_t>& order,
+                                      uint32_t cuts) {
+  std::vector<double> bounds;
+  bounds.reserve(cuts);
+  if (cuts == 0) return bounds;
+  uint64_t total = 0;
+  for (const uint32_t i : order) total += weight[i];
+  size_t k = 0;
+  uint64_t cum = 0;
+  double prev = -std::numeric_limits<double>::infinity();
+  for (uint32_t j = 1; j <= cuts; ++j) {
+    // Integer-exact target: ceil(total * j / (cuts + 1)).
+    const uint64_t target =
+        (total * j + cuts) / (static_cast<uint64_t>(cuts) + 1);
+    while (k < order.size() && cum < target) {
+      cum += weight[order[k]];
+      ++k;
+    }
+    double b = k == 0 ? prev : position[order[k - 1]];
+    if (b < prev) b = prev;  // ties/exhaustion: keep the run non-decreasing
+    bounds.push_back(b);
+    prev = b;
+  }
+  return bounds;
+}
+
+TilePartition BuildOnce(const std::vector<Box>& mbrs,
+                        const std::vector<uint64_t>& units, const Box& domain,
+                        uint32_t tiles) {
+  const size_t n = mbrs.size();
+  TilePartition part;
+
+  uint32_t columns = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::lround(std::sqrt(
+             static_cast<double>(tiles)))));
+  const uint32_t rows = std::max<uint32_t>(1, (tiles + columns - 1) / columns);
+
+  std::vector<double> cx(n);
+  std::vector<double> cy(n);
+  std::vector<uint64_t> weight(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point c = mbrs[i].Center();
+    cx[i] = c.x;
+    cy[i] = c.y;
+    weight[i] = WeightOf(units, i);
+  }
+
+  // Column boundaries: weighted x-quantiles over all centers.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (cx[a] != cx[b]) return cx[a] < cx[b];
+    return a < b;
+  });
+  TileGrid& grid = part.grid;
+  grid.domain = domain;
+  grid.columns = columns;
+  grid.rows = rows;
+  grid.x_bounds.reserve(columns + 1);
+  grid.x_bounds.push_back(domain.min.x);
+  for (double b : WeightedQuantiles(cx, weight, order, columns - 1)) {
+    b = std::clamp(b, domain.min.x, domain.max.x);
+    if (b < grid.x_bounds.back()) b = grid.x_bounds.back();
+    grid.x_bounds.push_back(b);
+  }
+  grid.x_bounds.push_back(domain.max.x);
+  if (grid.x_bounds.back() < grid.x_bounds[grid.x_bounds.size() - 2]) {
+    grid.x_bounds.back() = grid.x_bounds[grid.x_bounds.size() - 2];
+  }
+
+  // Row boundaries: per column, weighted y-quantiles of the objects whose
+  // center falls in that column ("dice" after "slice").
+  std::vector<std::vector<uint32_t>> column_members(columns);
+  for (uint32_t i = 0; i < n; ++i) {
+    column_members[grid.ColumnOf(cx[i])].push_back(i);
+  }
+  grid.y_bounds.reserve(static_cast<size_t>(columns) * (rows + 1));
+  for (uint32_t c = 0; c < columns; ++c) {
+    std::vector<uint32_t>& members = column_members[c];
+    std::sort(members.begin(), members.end(), [&](uint32_t a, uint32_t b) {
+      if (cy[a] != cy[b]) return cy[a] < cy[b];
+      return a < b;
+    });
+    grid.y_bounds.push_back(domain.min.y);
+    if (members.empty()) {
+      // Empty slab: uniform heights (nothing to balance).
+      for (uint32_t r = 1; r < rows; ++r) {
+        grid.y_bounds.push_back(domain.min.y +
+                                domain.Height() * static_cast<double>(r) /
+                                    static_cast<double>(rows));
+      }
+    } else {
+      for (double b : WeightedQuantiles(cy, weight, members, rows - 1)) {
+        b = std::clamp(b, domain.min.y, domain.max.y);
+        if (b < grid.y_bounds.back()) b = grid.y_bounds.back();
+        grid.y_bounds.push_back(b);
+      }
+    }
+    grid.y_bounds.push_back(domain.max.y);
+    if (grid.y_bounds.back() < grid.y_bounds[grid.y_bounds.size() - 2]) {
+      grid.y_bounds.back() = grid.y_bounds[grid.y_bounds.size() - 2];
+    }
+  }
+  STJ_IF_INVARIANTS(grid.ValidateInvariants());
+
+  // MBR-overlap assignment: count / prefix-sum / scatter CSR, objects
+  // visited in index order so each tile's entry run is ascending.
+  const uint32_t num_tiles = grid.Tiles();
+  part.tile_begin.assign(static_cast<size_t>(num_tiles) + 1, 0);
+  part.tile_units.assign(num_tiles, 0);
+  const auto ForEachOverlappedTile = [&](size_t i, auto&& fn) {
+    uint32_t c_lo, c_hi;
+    grid.ColumnRange(mbrs[i].min.x, mbrs[i].max.x, &c_lo, &c_hi);
+    for (uint32_t c = c_lo; c <= c_hi; ++c) {
+      uint32_t r_lo, r_hi;
+      grid.RowRange(c, mbrs[i].min.y, mbrs[i].max.y, &r_lo, &r_hi);
+      for (uint32_t r = r_lo; r <= r_hi; ++r) fn(grid.TileId(c, r));
+    }
+  };
+  for (size_t i = 0; i < n; ++i) {
+    ForEachOverlappedTile(i, [&](uint32_t t) { ++part.tile_begin[t + 1]; });
+  }
+  for (uint32_t t = 0; t < num_tiles; ++t) {
+    part.tile_begin[t + 1] += part.tile_begin[t];
+  }
+  part.entries.resize(part.tile_begin.back());
+  std::vector<uint32_t> cursor(part.tile_begin.begin(),
+                               part.tile_begin.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    ForEachOverlappedTile(i, [&](uint32_t t) {
+      part.entries[cursor[t]++] = static_cast<uint32_t>(i);
+      part.tile_units[t] += units[i];
+      part.assigned_units += units[i];
+    });
+  }
+  return part;
+}
+
+}  // namespace
+
+double TilePartition::MaxImbalance() const {
+  if (Tiles() <= 1 || assigned_units == 0) return 1.0;
+  const uint64_t max_units =
+      *std::max_element(tile_units.begin(), tile_units.end());
+  const double mean = static_cast<double>(assigned_units) /
+                      static_cast<double>(Tiles());
+  return static_cast<double>(max_units) / mean;
+}
+
+void TilePartition::ValidateInvariants(
+    const std::vector<uint64_t>& units) const {
+  grid.ValidateInvariants();
+  const uint32_t num_tiles = Tiles();
+  STJ_CHECK(tile_begin.size() == static_cast<size_t>(num_tiles) + 1);
+  STJ_CHECK(tile_units.size() == num_tiles);
+  STJ_CHECK(tile_begin.front() == 0);
+  STJ_CHECK(tile_begin.back() == entries.size());
+  uint64_t total = 0;
+  for (uint32_t t = 0; t < num_tiles; ++t) {
+    STJ_CHECK(tile_begin[t] <= tile_begin[t + 1]);
+    uint64_t tile_total = 0;
+    for (uint32_t e = tile_begin[t]; e < tile_begin[t + 1]; ++e) {
+      STJ_CHECK(entries[e] < units.size());
+      if (e > tile_begin[t]) STJ_CHECK(entries[e - 1] < entries[e]);
+      tile_total += units[entries[e]];
+    }
+    STJ_CHECK(tile_total == tile_units[t]);
+    total += tile_total;
+  }
+  STJ_CHECK(total == assigned_units);
+}
+
+TilePartition BuildCostBalancedPartition(const std::vector<Box>& mbrs,
+                                         const std::vector<uint64_t>& units,
+                                         const PartitionOptions& options) {
+  STJ_CHECK(units.size() == mbrs.size());
+  Box domain = Box::Empty();
+  for (const Box& mbr : mbrs) domain.Expand(mbr);
+  if (domain.IsEmpty()) {
+    domain = Box::Of(Point{0.0, 0.0}, Point{1.0, 1.0});
+  }
+
+  uint64_t total_units = 0;
+  for (const uint64_t u : units) total_units += u == 0 ? 1 : u;
+
+  uint32_t tiles = options.target_tiles;
+  if (tiles == 0) {
+    if (options.units_per_tile > 0) {
+      const uint64_t want =
+          (total_units + options.units_per_tile - 1) / options.units_per_tile;
+      tiles = static_cast<uint32_t>(
+          std::clamp<uint64_t>(want, 1, 4096));
+    } else {
+      tiles = static_cast<uint32_t>(
+          std::clamp<size_t>(mbrs.size() / 512, 1, 256));
+    }
+  }
+
+  // Coarsen-until-balanced: replication at tile boundaries can concentrate
+  // units no boundary placement avoids; halving the tile count dilutes it,
+  // and a single tile is trivially within any factor.
+  TilePartition part = BuildOnce(mbrs, units, domain, tiles);
+  while (options.max_imbalance > 1.0 && part.Tiles() > 1 &&
+         part.MaxImbalance() > options.max_imbalance) {
+    tiles = std::max<uint32_t>(1, part.Tiles() / 2);
+    part = BuildOnce(mbrs, units, domain, tiles);
+  }
+  STJ_IF_INVARIANTS(part.ValidateInvariants(units));
+  return part;
+}
+
+}  // namespace stj

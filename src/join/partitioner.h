@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/box.h"
+#include "src/geometry/tile_grid.h"
+
+namespace stj {
+
+/// Knobs of the cost-balanced partitioner.
+struct PartitionOptions {
+  /// Requested tile count; 0 derives it from units_per_tile (or, when both
+  /// are 0, from the object count: ~one tile per 512 objects, capped to
+  /// [1, 256]). The builder factors the request into a near-square
+  /// columns x rows layout, so the realised Tiles() can differ slightly.
+  uint32_t target_tiles = 0;
+  /// Target computational units per tile, used when target_tiles == 0 (the
+  /// CLI's --partition-units). 0 = auto.
+  uint64_t units_per_tile = 0;
+  /// Accepted per-tile unit imbalance, as max(tile_units) / mean over all
+  /// tiles. Boundary replication can concentrate units no boundary choice
+  /// avoids (one huge object overlapping many tiles), so the builder
+  /// guarantees the factor by *coarsening*: while the built partition
+  /// exceeds it, the tile count is halved and rebuilt — a single tile is
+  /// trivially balanced, so the loop always terminates within the factor.
+  /// <= 1 disables the check (single-shot build).
+  double max_imbalance = 4.0;
+};
+
+/// A cost-balanced tiling of one dataset: the tile geometry plus the
+/// MBR-overlap assignment of objects to tiles.
+///
+/// Balancing is by *computational units*, not object counts — the caller
+/// supplies units[i] (vertex count plus APRIL interval count is the join's
+/// cost model; see BuildCostBalancedPartition) and the builder places tile
+/// boundaries on weighted quantiles so every tile carries a comparable
+/// share of refinement + filter work, which is what levels tile-pair task
+/// runtimes under skew (Tsitsigkos & Mamoulis' partitioning playbook).
+///
+/// Assignment replicates: entries lists object i under every tile its MBR
+/// overlaps, so a tile-pair task sees every candidate pair whose reference
+/// point falls in its tile intersection. The grid itself is the dedup
+/// metadata — TileGrid::TileOf(reference point) names the one tile allowed
+/// to report a pair (see shard_scheduler.h).
+struct TilePartition {
+  TileGrid grid;
+  /// CSR offsets into `entries`: tile t's objects are
+  /// entries[tile_begin[t] .. tile_begin[t+1]), ascending within a tile.
+  std::vector<uint32_t> tile_begin;
+  std::vector<uint32_t> entries;
+  /// Sum of units of the objects assigned to each tile (replicated objects
+  /// count in every tile they land in).
+  std::vector<uint64_t> tile_units;
+  /// Sum over tile_units — the replicated total, >= the input total.
+  uint64_t assigned_units = 0;
+
+  uint32_t Tiles() const { return grid.Tiles(); }
+  size_t TileObjectCount(uint32_t tile) const {
+    return tile_begin[tile + 1] - tile_begin[tile];
+  }
+
+  /// max(tile_units) / mean(tile_units) over all tiles (1.0 for <= 1 tile
+  /// or an empty partition) — the balance figure the builder bounds by
+  /// PartitionOptions::max_imbalance.
+  double MaxImbalance() const;
+
+  /// Aborts (STJ_CHECK) on structural inconsistency: grid validity, CSR
+  /// shape, per-tile unit totals matching the entries.
+  void ValidateInvariants(const std::vector<uint64_t>& units) const;
+};
+
+/// Builds a cost-balanced TilePartition over \p mbrs.
+///
+/// Layout: weighted-quantile "slice and dice" — column boundaries at the
+/// weighted x-quantiles of the objects' MBR centers, then each column's row
+/// boundaries at the weighted y-quantiles of the objects whose center falls
+/// in that column. Quantile splitting adapts to skew (Plummer-style
+/// clusters get narrow tiles, empty space wide ones) while keeping tiles
+/// rectangular and the plane exactly partitioned.
+///
+/// \p units must be index-aligned with \p mbrs; a zero unit is treated as
+/// weight 1 so degenerate inputs still split. Deterministic in its inputs.
+TilePartition BuildCostBalancedPartition(const std::vector<Box>& mbrs,
+                                         const std::vector<uint64_t>& units,
+                                         const PartitionOptions& options = {});
+
+}  // namespace stj

@@ -1,6 +1,7 @@
 #include "src/raster/april_compressed.h"
 
 #include <cstring>
+#include <utility>
 
 #include "src/interval/interval_algebra.h"
 #include "src/util/check.h"
@@ -19,9 +20,119 @@ void AppendList(const CompressedIntervalList& list,
 
 }  // namespace
 
+void CompressedAprilStore::RefreshSpans() {
+  span_.headers = headers_.data();
+  span_.bytes = bytes_.data();
+  span_.hdr_begin = hdr_begin_.data();
+  span_.p_hdr_begin = p_hdr_begin_.data();
+  span_.byte_begin = byte_begin_.data();
+  span_.p_byte_begin = p_byte_begin_.data();
+  span_.c_intervals = c_intervals_.data();
+  span_.p_intervals = p_intervals_.data();
+  span_.usable = usable_.data();
+  span_.count = p_hdr_begin_.size();
+}
+
+CompressedAprilStore::CompressedAprilStore(const CompressedAprilStore& other)
+    : headers_(other.headers_),
+      bytes_(other.bytes_),
+      hdr_begin_(other.hdr_begin_),
+      p_hdr_begin_(other.p_hdr_begin_),
+      byte_begin_(other.byte_begin_),
+      p_byte_begin_(other.p_byte_begin_),
+      c_intervals_(other.c_intervals_),
+      p_intervals_(other.p_intervals_),
+      usable_(other.usable_),
+      external_(other.external_) {
+  // A copy of a mapped store aliases the same external memory; a copy of an
+  // owning store points at its own fresh vectors.
+  if (external_) {
+    span_ = other.span_;
+  } else {
+    RefreshSpans();
+  }
+}
+
+CompressedAprilStore& CompressedAprilStore::operator=(
+    const CompressedAprilStore& other) {
+  if (this == &other) return *this;
+  headers_ = other.headers_;
+  bytes_ = other.bytes_;
+  hdr_begin_ = other.hdr_begin_;
+  p_hdr_begin_ = other.p_hdr_begin_;
+  byte_begin_ = other.byte_begin_;
+  p_byte_begin_ = other.p_byte_begin_;
+  c_intervals_ = other.c_intervals_;
+  p_intervals_ = other.p_intervals_;
+  usable_ = other.usable_;
+  external_ = other.external_;
+  if (external_) {
+    span_ = other.span_;
+  } else {
+    RefreshSpans();
+  }
+  return *this;
+}
+
+CompressedAprilStore::CompressedAprilStore(
+    CompressedAprilStore&& other) noexcept
+    : headers_(std::move(other.headers_)),
+      bytes_(std::move(other.bytes_)),
+      hdr_begin_(std::move(other.hdr_begin_)),
+      p_hdr_begin_(std::move(other.p_hdr_begin_)),
+      byte_begin_(std::move(other.byte_begin_)),
+      p_byte_begin_(std::move(other.p_byte_begin_)),
+      c_intervals_(std::move(other.c_intervals_)),
+      p_intervals_(std::move(other.p_intervals_)),
+      usable_(std::move(other.usable_)),
+      external_(other.external_) {
+  if (external_) {
+    span_ = other.span_;
+  } else {
+    RefreshSpans();
+  }
+  // Leave the source in a valid empty owning state.
+  other.external_ = false;
+  other.Clear();
+}
+
+CompressedAprilStore& CompressedAprilStore::operator=(
+    CompressedAprilStore&& other) noexcept {
+  if (this == &other) return *this;
+  headers_ = std::move(other.headers_);
+  bytes_ = std::move(other.bytes_);
+  hdr_begin_ = std::move(other.hdr_begin_);
+  p_hdr_begin_ = std::move(other.p_hdr_begin_);
+  byte_begin_ = std::move(other.byte_begin_);
+  p_byte_begin_ = std::move(other.p_byte_begin_);
+  c_intervals_ = std::move(other.c_intervals_);
+  p_intervals_ = std::move(other.p_intervals_);
+  usable_ = std::move(other.usable_);
+  external_ = other.external_;
+  if (external_) {
+    span_ = other.span_;
+  } else {
+    RefreshSpans();
+  }
+  other.external_ = false;
+  other.Clear();
+  return *this;
+}
+
+CompressedAprilStore CompressedAprilStore::FromSpans(
+    const CompressedStoreSpans& spans) {
+  STJ_CHECK(spans.hdr_begin != nullptr && spans.byte_begin != nullptr);
+  STJ_CHECK(spans.hdr_begin[0] == 0 && spans.byte_begin[0] == 0);
+  CompressedAprilStore out;
+  out.external_ = true;
+  out.span_ = spans;
+  return out;
+}
+
 void CompressedAprilStore::AppendRecord(
     const CompressedIntervalList& conservative,
     const CompressedIntervalList& progressive, bool usable) {
+  STJ_CHECK_MSG(!external_, "cannot mutate a mapped CompressedAprilStore");
   AppendList(conservative, &headers_, &bytes_);
   p_hdr_begin_.push_back(headers_.size());
   p_byte_begin_.push_back(bytes_.size());
@@ -31,6 +142,7 @@ void CompressedAprilStore::AppendRecord(
   c_intervals_.push_back(conservative.Intervals());
   p_intervals_.push_back(progressive.Intervals());
   usable_.push_back(usable ? 1 : 0);
+  RefreshSpans();
 }
 
 void CompressedAprilStore::AppendEncoded(IntervalView conservative,
@@ -40,8 +152,33 @@ void CompressedAprilStore::AppendEncoded(IntervalView conservative,
                CompressedIntervalList::Encode(progressive), usable);
 }
 
+void CompressedAprilStore::AppendRecordFrom(const CompressedAprilStore& from,
+                                            size_t i) {
+  STJ_CHECK_MSG(!external_, "cannot mutate a mapped CompressedAprilStore");
+  STJ_CHECK(i < from.Count());
+  const CompressedStoreSpans& fs = from.span_;
+  const auto CopySpan = [this](const CompressedStoreSpans& src, uint64_t h_lo,
+                               uint64_t h_hi, uint64_t b_lo, uint64_t b_hi) {
+    headers_.insert(headers_.end(), src.headers + h_lo, src.headers + h_hi);
+    bytes_.insert(bytes_.end(), src.bytes + b_lo, src.bytes + b_hi);
+  };
+  CopySpan(fs, fs.hdr_begin[i], fs.p_hdr_begin[i], fs.byte_begin[i],
+           fs.p_byte_begin[i]);
+  p_hdr_begin_.push_back(headers_.size());
+  p_byte_begin_.push_back(bytes_.size());
+  CopySpan(fs, fs.p_hdr_begin[i], fs.hdr_begin[i + 1], fs.p_byte_begin[i],
+           fs.byte_begin[i + 1]);
+  hdr_begin_.push_back(headers_.size());
+  byte_begin_.push_back(bytes_.size());
+  c_intervals_.push_back(fs.c_intervals[i]);
+  p_intervals_.push_back(fs.p_intervals[i]);
+  usable_.push_back(fs.usable[i]);
+  RefreshSpans();
+}
+
 void CompressedAprilStore::Reserve(size_t records, size_t blocks,
                                    size_t payload_bytes) {
+  STJ_CHECK_MSG(!external_, "cannot mutate a mapped CompressedAprilStore");
   headers_.reserve(blocks);
   bytes_.reserve(payload_bytes);
   hdr_begin_.reserve(records + 1);
@@ -51,6 +188,7 @@ void CompressedAprilStore::Reserve(size_t records, size_t blocks,
   c_intervals_.reserve(records);
   p_intervals_.reserve(records);
   usable_.reserve(records);
+  RefreshSpans();
 }
 
 void CompressedAprilStore::Clear() {
@@ -63,6 +201,8 @@ void CompressedAprilStore::Clear() {
   c_intervals_.clear();
   p_intervals_.clear();
   usable_.clear();
+  external_ = false;
+  RefreshSpans();
 }
 
 CompressedAprilStore CompressedAprilStore::FromStore(const AprilStore& store) {
@@ -129,27 +269,34 @@ std::string CompressedAprilStore::DeepValidateRecord(size_t i) const {
 }
 
 void CompressedAprilStore::ValidateInvariants() const {
-  const size_t n = Count();
-  STJ_CHECK(hdr_begin_.size() == n + 1);
-  STJ_CHECK(p_hdr_begin_.size() == n);
-  STJ_CHECK(byte_begin_.size() == n + 1);
-  STJ_CHECK(p_byte_begin_.size() == n);
-  STJ_CHECK(c_intervals_.size() == n);
-  STJ_CHECK(p_intervals_.size() == n);
-  STJ_CHECK(usable_.size() == n);
-  STJ_CHECK(hdr_begin_.front() == 0);
-  STJ_CHECK(hdr_begin_.back() == headers_.size());
-  STJ_CHECK(byte_begin_.front() == 0);
-  STJ_CHECK(byte_begin_.back() == bytes_.size());
-  for (size_t i = 0; i < n; ++i) {
-    STJ_CHECK(hdr_begin_[i] <= p_hdr_begin_[i]);
-    STJ_CHECK(p_hdr_begin_[i] <= hdr_begin_[i + 1]);
-    STJ_CHECK(byte_begin_[i] <= p_byte_begin_[i]);
-    STJ_CHECK(p_byte_begin_[i] <= byte_begin_[i + 1]);
+  const uint64_t n = span_.count;
+  if (!external_) {
+    // Owning mode only: the spans must be aimed at the vectors and the CSR
+    // tails must close over the arena sizes. (A mapped store has no backing
+    // vectors; its array lengths are implied by the CSR tails themselves.)
+    STJ_CHECK(span_.headers == headers_.data());
+    STJ_CHECK(span_.bytes == bytes_.data());
+    STJ_CHECK(hdr_begin_.size() == n + 1);
+    STJ_CHECK(p_hdr_begin_.size() == n);
+    STJ_CHECK(byte_begin_.size() == n + 1);
+    STJ_CHECK(p_byte_begin_.size() == n);
+    STJ_CHECK(c_intervals_.size() == n);
+    STJ_CHECK(p_intervals_.size() == n);
+    STJ_CHECK(usable_.size() == n);
+    STJ_CHECK(hdr_begin_.back() == headers_.size());
+    STJ_CHECK(byte_begin_.back() == bytes_.size());
+  }
+  STJ_CHECK(span_.hdr_begin[0] == 0);
+  STJ_CHECK(span_.byte_begin[0] == 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    STJ_CHECK(span_.hdr_begin[i] <= span_.p_hdr_begin[i]);
+    STJ_CHECK(span_.p_hdr_begin[i] <= span_.hdr_begin[i + 1]);
+    STJ_CHECK(span_.byte_begin[i] <= span_.p_byte_begin[i]);
+    STJ_CHECK(span_.p_byte_begin[i] <= span_.byte_begin[i + 1]);
     if (!Usable(i)) {
-      STJ_CHECK_MSG(hdr_begin_[i] == hdr_begin_[i + 1] &&
-                        byte_begin_[i] == byte_begin_[i + 1] &&
-                        c_intervals_[i] == 0 && p_intervals_[i] == 0,
+      STJ_CHECK_MSG(span_.hdr_begin[i] == span_.hdr_begin[i + 1] &&
+                        span_.byte_begin[i] == span_.byte_begin[i + 1] &&
+                        span_.c_intervals[i] == 0 && span_.p_intervals[i] == 0,
                     "corrupt placeholder record must be empty");
       continue;
     }
@@ -159,20 +306,32 @@ void CompressedAprilStore::ValidateInvariants() const {
 }
 
 size_t CompressedAprilStore::ByteSize() const {
-  return PayloadByteSize() +
-         (hdr_begin_.size() + p_hdr_begin_.size() + byte_begin_.size() +
-          p_byte_begin_.size() + c_intervals_.size() + p_intervals_.size()) *
-             sizeof(uint64_t) +
-         usable_.size() * sizeof(uint8_t);
+  const size_t n = static_cast<size_t>(span_.count);
+  return PayloadByteSize() + (6 * n + 2) * sizeof(uint64_t) +
+         n * sizeof(uint8_t);
 }
 
 bool operator==(const CompressedAprilStore& a, const CompressedAprilStore& b) {
-  return a.headers_ == b.headers_ && a.bytes_ == b.bytes_ &&
-         a.hdr_begin_ == b.hdr_begin_ && a.p_hdr_begin_ == b.p_hdr_begin_ &&
-         a.byte_begin_ == b.byte_begin_ &&
-         a.p_byte_begin_ == b.p_byte_begin_ &&
-         a.c_intervals_ == b.c_intervals_ &&
-         a.p_intervals_ == b.p_intervals_ && a.usable_ == b.usable_;
+  if (a.span_.count != b.span_.count) return false;
+  const uint64_t n = a.span_.count;
+  const auto SpansEqual = [](const CompressedIntervalView& x,
+                             const CompressedIntervalView& y) {
+    if (x.Blocks() != y.Blocks() || x.ByteSize() != y.ByteSize() ||
+        x.Intervals() != y.Intervals()) {
+      return false;
+    }
+    for (size_t blk = 0; blk < x.Blocks(); ++blk) {
+      if (!(x.Header(blk) == y.Header(blk))) return false;
+    }
+    return x.ByteSize() == 0 ||
+           std::memcmp(x.Bytes(), y.Bytes(), x.ByteSize()) == 0;
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    if (a.span_.usable[i] != b.span_.usable[i]) return false;
+    if (!SpansEqual(a.Conservative(i), b.Conservative(i))) return false;
+    if (!SpansEqual(a.Progressive(i), b.Progressive(i))) return false;
+  }
+  return true;
 }
 
 }  // namespace stj

@@ -24,6 +24,28 @@ struct CompressedAprilView {
       : conservative(c), progressive(p) {}
 };
 
+/// The nine flat arrays a CompressedAprilStore reads through. In the owning
+/// mode they point into the store's own vectors; in the mapped mode
+/// (FromSpans) they point into externally owned memory — a shard file
+/// mapping (shard_io.h) — and the store serves views zero-copy off it.
+///
+/// Array lengths follow the CSR convention: hdr_begin/byte_begin have
+/// count+1 entries with hdr_begin[count] == total headers and
+/// byte_begin[count] == total payload bytes; every other array has exactly
+/// count entries.
+struct CompressedStoreSpans {
+  const IntervalBlockHeader* headers = nullptr;
+  const uint8_t* bytes = nullptr;
+  const uint64_t* hdr_begin = nullptr;     ///< count+1 entries.
+  const uint64_t* p_hdr_begin = nullptr;   ///< count entries.
+  const uint64_t* byte_begin = nullptr;    ///< count+1 entries.
+  const uint64_t* p_byte_begin = nullptr;  ///< count entries.
+  const uint64_t* c_intervals = nullptr;   ///< count entries.
+  const uint64_t* p_intervals = nullptr;   ///< count entries.
+  const uint8_t* usable = nullptr;         ///< count entries.
+  uint64_t count = 0;                      ///< Record count.
+};
+
 /// Arena-backed storage for a dataset's APRIL approximations in the blocked
 /// codec (interval_codec.h) — the APRIL v3 in-memory form.
 ///
@@ -38,35 +60,64 @@ struct CompressedAprilView {
 /// and the same shape over the byte arena. Block byte offsets are relative
 /// to their list's byte span, so views hand the codec self-contained spans.
 ///
+/// Storage comes in two modes behind one read interface: the owning mode
+/// (default; mutators append into the store's own vectors) and the mapped
+/// mode (FromSpans; the arrays live in externally owned memory, typically
+/// an mmap-ed shard segment table, and must outlive the store). Every const
+/// accessor reads through CompressedStoreSpans, so the filter pipeline is
+/// oblivious to where the bytes live. Mutating a mapped store is a
+/// contract violation (STJ_CHECK).
+///
 /// Corruption isolation matches AprilStore: records can be appended as
 /// usable=false placeholders and Usable(i) gates every view.
 class CompressedAprilStore {
  public:
-  CompressedAprilStore() = default;
+  CompressedAprilStore() { RefreshSpans(); }
 
-  size_t Count() const { return p_hdr_begin_.size(); }
-  bool Empty() const { return p_hdr_begin_.empty(); }
+  // The spans point into the vectors (owning mode), so copies and moves
+  // must re-aim them at the destination's storage.
+  CompressedAprilStore(const CompressedAprilStore& other);
+  CompressedAprilStore& operator=(const CompressedAprilStore& other);
+  CompressedAprilStore(CompressedAprilStore&& other) noexcept;
+  CompressedAprilStore& operator=(CompressedAprilStore&& other) noexcept;
+
+  /// Wraps externally owned arrays (see CompressedStoreSpans) without
+  /// copying: the returned store serves views straight off \p spans, which
+  /// must stay valid and unchanged for the store's lifetime. The caller
+  /// vouches for CSR consistency (ValidateInvariants audits it on demand);
+  /// the shard loader (shard_io.h) is the intended caller.
+  static CompressedAprilStore FromSpans(const CompressedStoreSpans& spans);
+
+  /// True for stores created by FromSpans (mutators are forbidden).
+  bool IsMapped() const { return external_; }
+
+  /// The raw arrays this store reads through — the shard writer serialises
+  /// them, and tests assert the mapped mode is genuinely zero-copy.
+  const CompressedStoreSpans& Spans() const { return span_; }
+
+  size_t Count() const { return static_cast<size_t>(span_.count); }
+  bool Empty() const { return span_.count == 0; }
 
   /// False when the record is a corruption placeholder; its views are then
   /// empty and must not feed the filters.
-  bool Usable(size_t i) const { return usable_[i] != 0; }
+  bool Usable(size_t i) const { return span_.usable[i] != 0; }
 
   CompressedIntervalView Conservative(size_t i) const {
     return CompressedIntervalView(
-        headers_.data() + hdr_begin_[i],
-        static_cast<size_t>(p_hdr_begin_[i] - hdr_begin_[i]),
-        bytes_.data() + byte_begin_[i],
-        static_cast<size_t>(p_byte_begin_[i] - byte_begin_[i]),
-        c_intervals_[i]);
+        span_.headers + span_.hdr_begin[i],
+        static_cast<size_t>(span_.p_hdr_begin[i] - span_.hdr_begin[i]),
+        span_.bytes + span_.byte_begin[i],
+        static_cast<size_t>(span_.p_byte_begin[i] - span_.byte_begin[i]),
+        span_.c_intervals[i]);
   }
 
   CompressedIntervalView Progressive(size_t i) const {
     return CompressedIntervalView(
-        headers_.data() + p_hdr_begin_[i],
-        static_cast<size_t>(hdr_begin_[i + 1] - p_hdr_begin_[i]),
-        bytes_.data() + p_byte_begin_[i],
-        static_cast<size_t>(byte_begin_[i + 1] - p_byte_begin_[i]),
-        p_intervals_[i]);
+        span_.headers + span_.p_hdr_begin[i],
+        static_cast<size_t>(span_.hdr_begin[i + 1] - span_.p_hdr_begin[i]),
+        span_.bytes + span_.p_byte_begin[i],
+        static_cast<size_t>(span_.byte_begin[i + 1] - span_.p_byte_begin[i]),
+        span_.p_intervals[i]);
   }
 
   CompressedAprilView View(size_t i) const {
@@ -81,6 +132,12 @@ class CompressedAprilStore {
   /// Encodes two flat canonical lists and appends them as one record.
   void AppendEncoded(IntervalView conservative, IntervalView progressive,
                      bool usable = true);
+
+  /// Appends record \p i of \p from verbatim — header and payload spans are
+  /// copied, never re-encoded, so the appended record is byte-identical to
+  /// the source (the shard writer slices per-tile stores out of a dataset
+  /// store with this).
+  void AppendRecordFrom(const CompressedAprilStore& from, size_t i);
 
   /// Appends a usable=false placeholder with empty lists (degraded loads).
   void AppendCorruptPlaceholder() {
@@ -116,16 +173,28 @@ class CompressedAprilStore {
 
   /// Total in-memory footprint (arenas + offset tables + flags); the codec
   /// payload alone is PayloadByteSize() — compare with
-  /// AprilStore::IntervalByteSize() for the compression ratio.
+  /// AprilStore::IntervalByteSize() for the compression ratio. For mapped
+  /// stores this is the footprint of the referenced arrays, not of the
+  /// store object (which owns nothing).
   size_t ByteSize() const;
   size_t PayloadByteSize() const {
-    return headers_.size() * sizeof(IntervalBlockHeader) + bytes_.size();
+    return static_cast<size_t>(span_.hdr_begin[span_.count]) *
+               sizeof(IntervalBlockHeader) +
+           static_cast<size_t>(span_.byte_begin[span_.count]);
   }
 
+  /// Record-wise content equality over the spans: equal counts, usable
+  /// flags, header runs and payload bytes per record. Works across storage
+  /// modes — a mapped shard store compares equal to the owning store it was
+  /// written from.
   friend bool operator==(const CompressedAprilStore& a,
                          const CompressedAprilStore& b);
 
  private:
+  /// Re-aims span_ at the owning vectors. Must run after every mutation
+  /// (vector growth relocates the arenas) and after copies/moves.
+  void RefreshSpans();
+
   std::vector<IntervalBlockHeader> headers_;
   std::vector<uint8_t> bytes_;
   /// hdr_begin_[i] = header index of record i's C blocks; hdr_begin_.back()
@@ -139,6 +208,11 @@ class CompressedAprilStore {
   std::vector<uint64_t> c_intervals_;
   std::vector<uint64_t> p_intervals_;
   std::vector<uint8_t> usable_;
+  /// The arrays every read goes through; see CompressedStoreSpans.
+  CompressedStoreSpans span_;
+  /// True when span_ references external (mapped) memory instead of the
+  /// vectors above.
+  bool external_ = false;
 };
 
 }  // namespace stj

@@ -1,0 +1,263 @@
+#include "src/join/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/box.h"
+#include "src/geometry/tile_grid.h"
+#include "src/util/rng.h"
+
+namespace stj {
+namespace {
+
+// Skewed workload: most of the mass in a few dense clusters (Plummer-style
+// knots), a thin uniform background, and a handful of huge boxes that span
+// many tiles — the shape that breaks equal-width grids and exercises both
+// the weighted quantiles and the coarsening loop.
+struct Workload {
+  std::vector<Box> mbrs;
+  std::vector<uint64_t> units;
+};
+
+Workload SkewedWorkload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const Point centers[] = {{0.15, 0.2}, {0.17, 0.22}, {0.8, 0.75}};
+  Workload w;
+  w.mbrs.reserve(n);
+  w.units.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point c;
+    double half;
+    if (rng.Bernoulli(0.02)) {  // large outlier spanning many tiles
+      c = Point{rng.Uniform(0.2, 0.8), rng.Uniform(0.2, 0.8)};
+      half = rng.Uniform(0.1, 0.3);
+    } else if (rng.Bernoulli(0.9)) {  // clustered mass
+      const Point& k = centers[rng.NextBounded(3)];
+      c = Point{k.x + 0.02 * rng.Normal(), k.y + 0.02 * rng.Normal()};
+      half = rng.LogUniform(1e-4, 1e-2);
+    } else {  // uniform background
+      c = Point{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+      half = rng.LogUniform(1e-4, 5e-2);
+    }
+    w.mbrs.push_back(Box::Of(Point{c.x - half, c.y - half},
+                             Point{c.x + half, c.y + half}));
+    // Units span three orders of magnitude — vertex-heavy outliers dominate.
+    w.units.push_back(static_cast<uint64_t>(rng.LogUniform(2.0, 4000.0)));
+  }
+  return w;
+}
+
+// Per-tile membership sets from the CSR assignment.
+std::vector<std::vector<uint32_t>> Members(const TilePartition& part) {
+  std::vector<std::vector<uint32_t>> members(part.Tiles());
+  for (uint32_t t = 0; t < part.Tiles(); ++t) {
+    members[t].assign(part.entries.begin() + part.tile_begin[t],
+                      part.entries.begin() + part.tile_begin[t + 1]);
+  }
+  return members;
+}
+
+bool Assigned(const std::vector<std::vector<uint32_t>>& members, uint32_t tile,
+              uint32_t object) {
+  return std::binary_search(members[tile].begin(), members[tile].end(),
+                            object);
+}
+
+TEST(PartitionerTest, EveryMbrPointMapsToAnAssignedTile) {
+  const Workload w = SkewedWorkload(400, 11);
+  PartitionOptions options;
+  options.target_tiles = 16;
+  const TilePartition part = BuildCostBalancedPartition(w.mbrs, w.units,
+                                                        options);
+  part.ValidateInvariants(w.units);
+  const auto members = Members(part);
+
+  // The dedup contract: TileOf is a total partition of the plane, and any
+  // point inside an object's MBR must map to a tile that object is assigned
+  // to — otherwise the tile-pair task owning a reference point could miss
+  // one side of the pair. Sample corners, center, edges, and random
+  // interior points of every MBR.
+  Rng rng(99);
+  for (uint32_t i = 0; i < w.mbrs.size(); ++i) {
+    const Box& b = w.mbrs[i];
+    std::vector<Point> samples = {
+        b.min, b.max, {b.min.x, b.max.y}, {b.max.x, b.min.y}, b.Center(),
+        {b.min.x, b.Center().y}, {b.max.x, b.Center().y},
+        {b.Center().x, b.min.y}, {b.Center().x, b.max.y}};
+    for (int k = 0; k < 4; ++k) {
+      samples.push_back(Point{rng.Uniform(b.min.x, b.max.x),
+                              rng.Uniform(b.min.y, b.max.y)});
+    }
+    for (const Point& p : samples) {
+      const uint32_t tile = part.grid.TileOf(p);
+      ASSERT_TRUE(Assigned(members, tile, i))
+          << "object " << i << " missing from tile " << tile << " containing ("
+          << p.x << ", " << p.y << ")";
+    }
+  }
+}
+
+TEST(PartitionerTest, NoSpuriousAssignments) {
+  const Workload w = SkewedWorkload(300, 23);
+  PartitionOptions options;
+  options.target_tiles = 25;
+  const TilePartition part = BuildCostBalancedPartition(w.mbrs, w.units,
+                                                        options);
+  const auto members = Members(part);
+  // Converse direction: an assigned tile's closed rectangle must actually
+  // touch the object's MBR (replication is MBR overlap, nothing broader).
+  for (uint32_t t = 0; t < part.Tiles(); ++t) {
+    const Box tile_box = part.grid.TileBounds(t);
+    for (const uint32_t i : members[t]) {
+      EXPECT_TRUE(w.mbrs[i].Intersects(tile_box))
+          << "object " << i << " spuriously assigned to tile " << t;
+    }
+  }
+}
+
+TEST(PartitionerTest, ImbalanceWithinConfiguredFactorUnderSkew) {
+  const Workload w = SkewedWorkload(1500, 7);
+  PartitionOptions options;
+  options.target_tiles = 64;
+  options.max_imbalance = 2.0;
+  const TilePartition part = BuildCostBalancedPartition(w.mbrs, w.units,
+                                                        options);
+  part.ValidateInvariants(w.units);
+  EXPECT_LE(part.MaxImbalance(), options.max_imbalance + 1e-9);
+  // The coarsening guarantee must not be achieved by collapsing every
+  // skewed input to one tile — this workload splits fine.
+  EXPECT_GT(part.Tiles(), 1u);
+}
+
+TEST(PartitionerTest, DisabledImbalanceCheckKeepsRequestedTiles) {
+  const Workload w = SkewedWorkload(500, 3);
+  PartitionOptions options;
+  options.target_tiles = 36;
+  options.max_imbalance = 0.0;  // <= 1 disables coarsening
+  const TilePartition part = BuildCostBalancedPartition(w.mbrs, w.units,
+                                                        options);
+  // 36 factors into 6 x 6 exactly.
+  EXPECT_EQ(part.Tiles(), 36u);
+}
+
+TEST(PartitionerTest, DeterministicRebuild) {
+  const Workload w = SkewedWorkload(600, 42);
+  PartitionOptions options;
+  options.target_tiles = 16;
+  const TilePartition a = BuildCostBalancedPartition(w.mbrs, w.units, options);
+  const TilePartition b = BuildCostBalancedPartition(w.mbrs, w.units, options);
+  EXPECT_TRUE(a.grid == b.grid);
+  EXPECT_EQ(a.tile_begin, b.tile_begin);
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_EQ(a.tile_units, b.tile_units);
+  EXPECT_EQ(a.assigned_units, b.assigned_units);
+}
+
+TEST(PartitionerTest, ReferencePointOwnerHoldsBothObjects) {
+  // The scheduler's dedup rule across TWO independent partitions: for an
+  // MBR-intersecting pair (r, s), the reference point (componentwise max of
+  // the two min corners) lies in both MBRs, so tile TileOf_r(ref) must hold
+  // r and TileOf_s(ref) must hold s — the owning tile-pair task sees the
+  // pair. Consistency here is what makes the sharded join exact.
+  const Workload wr = SkewedWorkload(250, 5);
+  const Workload ws = SkewedWorkload(250, 6);
+  PartitionOptions options;
+  options.target_tiles = 9;
+  const TilePartition pr = BuildCostBalancedPartition(wr.mbrs, wr.units,
+                                                      options);
+  options.target_tiles = 16;  // deliberately different grids per side
+  const TilePartition ps = BuildCostBalancedPartition(ws.mbrs, ws.units,
+                                                      options);
+  const auto r_members = Members(pr);
+  const auto s_members = Members(ps);
+
+  size_t pairs = 0;
+  for (uint32_t i = 0; i < wr.mbrs.size(); ++i) {
+    for (uint32_t j = 0; j < ws.mbrs.size(); ++j) {
+      if (!wr.mbrs[i].Intersects(ws.mbrs[j])) continue;
+      ++pairs;
+      const Point ref{std::max(wr.mbrs[i].min.x, ws.mbrs[j].min.x),
+                      std::max(wr.mbrs[i].min.y, ws.mbrs[j].min.y)};
+      const uint32_t rt = pr.grid.TileOf(ref);
+      const uint32_t st = ps.grid.TileOf(ref);
+      ASSERT_TRUE(Assigned(r_members, rt, i))
+          << "pair (" << i << ", " << j << "): r missing from owner tile";
+      ASSERT_TRUE(Assigned(s_members, st, j))
+          << "pair (" << i << ", " << j << "): s missing from owner tile";
+    }
+  }
+  ASSERT_GT(pairs, 100u) << "workload produced too few candidate pairs";
+}
+
+TEST(PartitionerTest, SingleTileHoldsEveryObjectOnce) {
+  const Workload w = SkewedWorkload(100, 17);
+  PartitionOptions options;
+  options.target_tiles = 1;
+  const TilePartition part = BuildCostBalancedPartition(w.mbrs, w.units,
+                                                        options);
+  ASSERT_EQ(part.Tiles(), 1u);
+  ASSERT_EQ(part.entries.size(), w.mbrs.size());
+  for (uint32_t i = 0; i < w.mbrs.size(); ++i) {
+    EXPECT_EQ(part.entries[i], i);
+  }
+  EXPECT_EQ(part.MaxImbalance(), 1.0);
+}
+
+TEST(PartitionerTest, EmptyInputBuildsValidEmptyPartition) {
+  const TilePartition part = BuildCostBalancedPartition({}, {}, {});
+  part.ValidateInvariants({});
+  EXPECT_TRUE(part.entries.empty());
+  EXPECT_EQ(part.assigned_units, 0u);
+  EXPECT_GE(part.Tiles(), 1u);
+}
+
+TEST(PartitionerTest, UnitsPerTileDerivesTileCount) {
+  const Workload w = SkewedWorkload(400, 8);
+  uint64_t total = 0;
+  for (const uint64_t u : w.units) total += u == 0 ? 1 : u;
+  PartitionOptions options;
+  options.units_per_tile = total / 10;
+  options.max_imbalance = 0.0;  // keep the derived count observable
+  const TilePartition part = BuildCostBalancedPartition(w.mbrs, w.units,
+                                                        options);
+  // ~10 requested tiles, factored into a near-square layout.
+  EXPECT_GE(part.Tiles(), 6u);
+  EXPECT_LE(part.Tiles(), 16u);
+}
+
+TEST(TileGridTest, TileOfIsTotalAndClamped) {
+  const Box domain = Box::Of(Point{0.0, 0.0}, Point{4.0, 2.0});
+  const TileGrid grid = MakeUniformTileGrid(domain, 4, 2);
+  grid.ValidateInvariants();
+  // Interior points.
+  EXPECT_EQ(grid.TileOf(Point{0.5, 0.5}), grid.TileId(0, 0));
+  EXPECT_EQ(grid.TileOf(Point{3.5, 1.5}), grid.TileId(3, 1));
+  // Half-open boundaries: a point on an internal boundary belongs to the
+  // tile on its upper side.
+  EXPECT_EQ(grid.TileOf(Point{1.0, 0.5}), grid.TileId(1, 0));
+  EXPECT_EQ(grid.TileOf(Point{0.5, 1.0}), grid.TileId(0, 1));
+  // Clamping: points outside the domain land in edge tiles — TileOf is
+  // total over the plane, which the dedup rule requires.
+  EXPECT_EQ(grid.TileOf(Point{-10.0, -10.0}), grid.TileId(0, 0));
+  EXPECT_EQ(grid.TileOf(Point{10.0, 10.0}), grid.TileId(3, 1));
+  // The domain max corner maps to the last tile, not out of range.
+  EXPECT_EQ(grid.TileOf(domain.max), grid.TileId(3, 1));
+}
+
+TEST(TileGridTest, RangesCoverOverlappedTiles) {
+  const Box domain = Box::Of(Point{0.0, 0.0}, Point{3.0, 3.0});
+  const TileGrid grid = MakeUniformTileGrid(domain, 3, 3);
+  uint32_t lo, hi;
+  grid.ColumnRange(0.5, 2.5, &lo, &hi);
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 2u);
+  grid.RowRange(1, 1.2, 1.8, &lo, &hi);
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 1u);
+}
+
+}  // namespace
+}  // namespace stj

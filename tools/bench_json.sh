@@ -26,6 +26,11 @@
 #                           grid order 14 from the compressed APRIL store,
 #                           batch-size sweep at 1/4 threads
 #                           -> BENCH_PR8.json
+#   bench_shard_join        out-of-core tile-sharded join vs the single-arena
+#                           join on TC-TZ at grid order 14: all-resident
+#                           cache and a 25%-of-shard-bytes budget, 1/4
+#                           threads, every record verified byte-identical
+#                           -> BENCH_PR9.json
 #
 # Extra arguments are forwarded to the PR3 bench binaries, e.g.:
 #
@@ -46,19 +51,21 @@ PREPARED_OUT_FINAL="BENCH_PR4.json"
 EXEC_OUT_FINAL="BENCH_PR6.json"
 INTERVAL_OUT_FINAL="BENCH_PR7.json"
 BATCH_OUT_FINAL="BENCH_PR8.json"
+SHARD_OUT_FINAL="BENCH_PR9.json"
 SCALING_OUT="$(mktemp)"
 APRIL_OUT="$(mktemp)"
 PREPARED_OUT="$(mktemp)"
 EXEC_OUT="$(mktemp)"
 INTERVAL_OUT="$(mktemp)"
 BATCH_OUT="$(mktemp)"
-trap 'rm -f "$SCALING_OUT" "$APRIL_OUT" "$PREPARED_OUT" "$EXEC_OUT" "$INTERVAL_OUT" "$BATCH_OUT"' EXIT
+SHARD_OUT="$(mktemp)"
+trap 'rm -f "$SCALING_OUT" "$APRIL_OUT" "$PREPARED_OUT" "$EXEC_OUT" "$INTERVAL_OUT" "$BATCH_OUT" "$SHARD_OUT"' EXIT
 
 echo "==== configure + build (Release) ===="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$(nproc)" --target bench_parallel_scaling \
   bench_april_build bench_prepared_cache bench_exec_context \
-  bench_micro_interval bench_batch_pipeline
+  bench_micro_interval bench_batch_pipeline bench_shard_join
 
 echo "==== run bench_parallel_scaling ===="
 build/bench/bench_parallel_scaling --json="$SCALING_OUT" "$@"
@@ -324,4 +331,78 @@ print(f'{len(records)} records OK (peak batched speedup {best:.2f}x at 4T, '
       f'pair-at-a-time baseline {base:.0f} pairs/s)')
 PY
 
-echo "bench_json: wrote and validated $OUT, $PREPARED_OUT_FINAL, $EXEC_OUT_FINAL, $INTERVAL_OUT_FINAL and $BATCH_OUT_FINAL"
+echo "==== run bench_shard_join (TC-TZ, grid order 14, threads 1/4) ===="
+# Same regime as the batch-pipeline bench: long interval lists and a dense
+# candidate set, so both the per-task joins and the quarter-budget cache
+# pressure are real work rather than fixed-cost noise.
+build/bench/bench_shard_join --grid-order=14 --threads=1,4 \
+  --json="$SHARD_OUT"
+
+echo "==== validate $SHARD_OUT_FINAL ===="
+python3 - "$SHARD_OUT" "$SHARD_OUT_FINAL" <<'PY'
+import json, sys
+
+records = json.load(open(sys.argv[1]))
+assert isinstance(records, list) and records, 'empty report'
+
+arena_required = {'bench', 'scenario', 'method', 'threads', 'leg',
+                  'shard_bytes_mb', 'seconds', 'pairs', 'pairs_per_sec',
+                  'identical'}
+shard_required = arena_required | {'cache_mb', 'tiles_r', 'tiles_s', 'tasks',
+                                   'shard_loads', 'shard_hits',
+                                   'shards_evicted', 'cache_peak_mb',
+                                   'pairs_deduped',
+                                   'speedup_vs_single_arena',
+                                   'slowdown_vs_all_resident'}
+for r in records:
+    required = (arena_required if r['leg'] == 'single_arena'
+                else shard_required)
+    missing = required - set(r)
+    assert not missing, f'record missing {missing}: {r}'
+    assert r['bench'] == 'shard_join', r
+    # Gate 3: every leg, every repetition, byte-identical to the
+    # single-arena join (pairs and relations; verified in-harness).
+    assert r['identical'] == 1, f'divergent sharded join: {r}'
+
+by_key = {(r['threads'], r['leg']): r for r in records}
+assert set(by_key) >= {(t, leg) for t in (1, 4)
+                       for leg in ('single_arena', 'all_resident',
+                                   'quarter_budget')}, \
+    f'missing (threads, leg) combinations: {sorted(by_key)}'
+
+ratios, slowdowns = {}, {}
+for t in (1, 4):
+    # Gate 1: with everything resident, sharding (task loop, per-tile
+    # MbrJoin, dedup, result merge) may cost at most 10% of the
+    # single-arena throughput.
+    arena = by_key[(t, 'single_arena')]['pairs_per_sec']
+    resident = by_key[(t, 'all_resident')]['pairs_per_sec']
+    assert arena > 0, f'zero single-arena throughput at {t} threads'
+    ratios[t] = resident / arena
+    assert ratios[t] >= 0.9, \
+        f'all-resident sharded throughput {ratios[t]:.2f}x < 0.9x at {t}T'
+    assert by_key[(t, 'all_resident')]['shards_evicted'] == 0, \
+        f'all-resident leg evicted shards at {t} threads'
+
+    # Gate 2: clamping the cache to 25% of the shard bytes (the out-of-core
+    # regime; the leg must actually evict) may at most double the wall time.
+    quarter = by_key[(t, 'quarter_budget')]
+    assert quarter['cache_mb'] <= 0.25 * quarter['shard_bytes_mb'] + 1e-6, \
+        f'quarter-budget cache not <= 25% of shard bytes: {quarter}'
+    assert quarter['shards_evicted'] > 0, \
+        f'quarter-budget leg never evicted at {t} threads'
+    slowdowns[t] = quarter['slowdown_vs_all_resident']
+    assert slowdowns[t] <= 2.0, \
+        f'quarter-budget slowdown {slowdowns[t]:.2f}x > 2x at {t} threads'
+
+with open(sys.argv[2], 'w') as f:
+    json.dump(records, f, indent=1)
+    f.write('\n')
+print(f'{len(records)} records OK (all-resident '
+      + ', '.join(f'{t}T {x:.2f}x' for t, x in sorted(ratios.items()))
+      + ' of single-arena; quarter-budget '
+      + ', '.join(f'{t}T {x:.2f}x' for t, x in sorted(slowdowns.items()))
+      + ' of all-resident)')
+PY
+
+echo "bench_json: wrote and validated $OUT, $PREPARED_OUT_FINAL, $EXEC_OUT_FINAL, $INTERVAL_OUT_FINAL, $BATCH_OUT_FINAL and $SHARD_OUT_FINAL"

@@ -99,6 +99,57 @@ if(NOT batched_err MATCHES "\\[join\\] stages: filter" OR
   message(FATAL_ERROR "batched --time-stages summary missing queue telemetry:\n${batched_err}")
 endif()
 
+# ---- out-of-core sharded join ----
+
+# Splits a stdout capture into a sorted line list (the sharded join prints
+# links sorted by (r, s); the in-memory join prints them in candidate order,
+# so equality is up to ordering).
+function(sorted_lines text out_var)
+  string(REPLACE "\n" ";" lines "${text}")
+  list(SORT lines)
+  set(${out_var} "${lines}" PARENT_SCOPE)
+endfunction()
+
+# The sharded join under a deliberately tiny cache budget must emit exactly
+# the links of the in-memory join, and its --time-stages run must surface
+# both the shard telemetry and the decoded-record cache counters (the
+# sharded path reads compressed APRIL, so the decoded cache engages).
+execute_process(COMMAND ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt
+                --method=pc --grid-order=10 --shard-dir=${WORK}/shards
+                --shard-cache-mb=1 --threads=2 --time-stages
+                RESULT_VARIABLE rc OUTPUT_VARIABLE shard_out
+                ERROR_VARIABLE shard_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded join failed (${rc}):\n${shard_err}")
+endif()
+sorted_lines("${pc_out}" pc_sorted)
+sorted_lines("${shard_out}" shard_sorted)
+if(NOT pc_sorted STREQUAL shard_sorted)
+  message(FATAL_ERROR "sharded join diverged from in-memory join:\n--- in-memory\n${pc_out}\n--- sharded\n${shard_out}")
+endif()
+if(NOT shard_err MATCHES "\\[shard\\] .*/r: .* tiles" OR
+   NOT shard_err MATCHES "tasks, .* loads / .* hits")
+  message(FATAL_ERROR "sharded join missing shard telemetry:\n${shard_err}")
+endif()
+if(NOT shard_err MATCHES "\\[join\\] decoded cache: .* hits / .* misses")
+  message(FATAL_ERROR "sharded --time-stages missing decoded-cache stats:\n${shard_err}")
+endif()
+
+# aprilcheck understands shard manifests: the directory and the manifest
+# path both route to the shard-set audit.
+run_expect(0 "shard set, .* 0 corrupt" ${CLI} aprilcheck ${WORK}/shards/r)
+run_expect(0 "shard set, .* 0 corrupt"
+           ${CLI} aprilcheck ${WORK}/shards/s/manifest.stj)
+
+# Shard corruption is a distinct failure class: exit 11, naming the tile.
+file(APPEND ${WORK}/shards/r/tile_000000.shard "garbage past the layout")
+run_expect(11 "tile 0:" ${CLI} aprilcheck ${WORK}/shards/r)
+
+# Predicate mode is not sharded — find-relation only; exit 2 (usage).
+run_expect(2 "predicate"
+           ${CLI} join ${WORK}/ole.wkt ${WORK}/ope.wkt --predicate=inside
+           --shard-dir=${WORK}/shards2)
+
 # ---- malformed-input exit paths ----
 
 # A dataset with one good line, one parse error, one repairable line

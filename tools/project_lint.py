@@ -30,6 +30,14 @@ Checks:
                 headers (<sys/...>, <linux/...>), so the queue and arena
                 stay portable and embeddable in any TU, including the tsan
                 and scalar-fallback builds.
+  platform-confined
+                Platform headers (<sys/...>, <linux/...>, <unistd.h>,
+                <fcntl.h>, <windows.h>, ...) are allowed in exactly one
+                src/ translation unit: src/util/mmap_file.cpp, the mapping
+                primitive behind the out-of-core shard layer. Everything
+                else in src/ — the shard codec, the scheduler, the whole
+                join stack — must stay portable; a new platform dependency
+                belongs behind the MappedFile seam, not inline.
 
 Usage:
   tools/project_lint.py             # lint the repo, exit 1 on findings
@@ -70,6 +78,16 @@ BATCH_PRIMITIVE_RE = re.compile(
 )
 QUOTED_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 ANGLE_INCLUDE_RE = re.compile(r"^\s*#\s*include\s+<([^>]+)>")
+
+# Platform headers for the platform-confined rule: OS-specific directories
+# plus the usual POSIX/Windows flat headers. <cstdio> & co. are standard and
+# never match.
+PLATFORM_HEADER_RE = re.compile(
+    r"^(?:sys|linux|arpa|netinet|mach)/"
+    r"|^(?:unistd|fcntl|windows|winsock2|io|dirent|pwd|sched)\.h$"
+)
+# The single src/ TU allowed to include platform headers.
+PLATFORM_ALLOWED = "src/util/mmap_file.cpp"
 
 
 def strip_comments_and_strings(line, state):
@@ -177,6 +195,19 @@ def lint_file(path, rel, errors):
                     f"path-free standard headers are allowed"
                 )
 
+        if parts[0] == "src" and not was_in_block:
+            am = ANGLE_INCLUDE_RE.match(raw)
+            if (
+                am
+                and PLATFORM_HEADER_RE.match(am.group(1))
+                and rel.as_posix() != PLATFORM_ALLOWED
+            ):
+                errors.append(
+                    f"{rel}:{lineno}: [platform-confined] platform header "
+                    f"<{am.group(1)}> outside {PLATFORM_ALLOWED}; route "
+                    f"platform access through the MappedFile seam"
+                )
+
         if parts[0] == "src" and NEW_RE.search(code):
             errors.append(
                 f"{rel}:{lineno}: [naked-new] `new` expression in src/; use "
@@ -249,6 +280,13 @@ def self_test():
             "#include <sys/mman.h>\n"
             '#include "tests/support/fixtures.h"\n',
         ),
+        (
+            # A POSIX header in an ordinary src/ TU must trip the
+            # confinement even though layer-order has nothing to say.
+            "platform-confined",
+            "src/raster/bad_platform.cpp",
+            "#include <unistd.h>\n",
+        ),
     ]
     cleans = [
         (
@@ -268,6 +306,13 @@ def self_test():
             "#include <atomic>\n"
             "#include <deque>\n"
             '#include "src/util/thread_annotations.h"\n',
+        ),
+        (
+            # The one allowlisted TU: platform headers here are the point.
+            "src/util/mmap_file.cpp",
+            "#include <sys/mman.h>\n"
+            "#include <unistd.h>\n"
+            "#include <fcntl.h>\n",
         ),
     ]
 

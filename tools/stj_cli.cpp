@@ -15,11 +15,15 @@
 //       (version 2, varint deltas), or blocked (version 3, the block codec
 //       with skip headers that the fused filter path consumes directly).
 //
-//   stj_cli aprilcheck <in.april>
+//   stj_cli aprilcheck <in.april | shard-dir | shard-dir/manifest.stj>
 //       Verify an APRIL file record by record and report corruption. For
 //       version-3 files this additionally runs the deep codec audit on every
 //       record (block-header consistency, P inside C, re-encode round-trip
-//       byte equality).
+//       byte equality). Given a shard-set directory (or its manifest.stj),
+//       audits the shard set instead: manifest frame, every tile's header +
+//       segment table, and every segment's payload checksum, with per-tile
+//       corruption isolation mirroring the per-record behaviour of the
+//       flat formats.
 //
 //   stj_cli relate <wkt-polygon-1> <wkt-polygon-2>
 //       Print the DE-9IM matrix and the most specific relation of two
@@ -30,6 +34,8 @@
 //                [--prepared-cache-mb=M] [--batch-size=B] [--queue-depth=Q]
 //                [--time-stages] [--permissive]
 //                [--deadline-ms=D] [--max-memory-mb=B]
+//                [--decoded-cache-mb=M]
+//                [--shard-dir=D] [--shard-cache-mb=M] [--partition-units=U]
 //       Run the full topology join between two WKT files: MBR filter join,
 //       then find-relation (default) or a relate_p predicate join. Prints
 //       one "r_index s_index relation" line per non-disjoint pair plus a
@@ -47,7 +53,18 @@
 //       the run cancellable (Ctrl-C stops it cooperatively too). A tripped
 //       run still prints every pair that was fully verified before the cut,
 //       reports how much of the join was answered, and exits with the
-//       matching code below.
+//       matching code below. --decoded-cache-mb sizes the per-worker
+//       decoded-record cache used on compressed APRIL inputs (default 8;
+//       0 disables it — results identical either way).
+//
+//       --shard-dir=D switches the join to the out-of-core tile-sharded
+//       path: both inputs are cost-balanced into tiles (--partition-units
+//       targets computational units per tile; 0 = auto), persisted as
+//       mmap-backed shard sets under D/r and D/s, and joined tile pair by
+//       tile pair with at most --shard-cache-mb (default 256) of shards
+//       resident. Results are identical to the in-memory join; only the
+//       pair *order* differs (sharded output is sorted by r then s).
+//       Find-relation only — --predicate cannot be combined with it.
 //
 // Input files are loaded strictly by default: the first malformed line
 // aborts with a message naming the file, line, and byte offset. With
@@ -61,7 +78,9 @@
 // (--deadline-ms); 8 query cancelled (SIGINT); 9 query memory budget
 // exhausted (--max-memory-mb); 10 (aprilcheck) version-3 file whose frames
 // verify but whose block codec fails validation — a writer bug or targeted
-// corruption rather than bit rot.
+// corruption rather than bit rot; 11 (aprilcheck) shard set whose manifest
+// loads but with one or more corrupt tiles (failed segment checksum,
+// structural damage, or a manifest/file disagreement).
 
 #include <chrono>
 #include <csignal>
@@ -76,7 +95,9 @@
 #include "src/de9im/relate_engine.h"
 #include "src/geometry/wkt.h"
 #include "src/raster/april_io.h"
+#include "src/raster/shard_io.h"
 #include "src/topology/parallel.h"
+#include "src/topology/shard_scheduler.h"
 #include "src/util/exec_context.h"
 #include "src/util/status.h"
 #include "src/util/timer.h"
@@ -96,6 +117,7 @@ enum ExitCode : int {
   kExitCancelled = 8,
   kExitBudget = 9,
   kExitCodecCorrupt = 10,
+  kExitShardCorrupt = 11,
 };
 
 /// Maps a library Status to the documented exit codes.
@@ -135,6 +157,10 @@ struct Flags {
   bool permissive = false;
   uint64_t deadline_ms = 0;    ///< 0 = no deadline.
   size_t max_memory_mb = 0;    ///< 0 = no memory budget.
+  size_t decoded_cache_mb = kDefaultDecodedCacheBytes >> 20;
+  std::string shard_dir;       ///< Non-empty = out-of-core sharded join.
+  size_t shard_cache_mb = 256;
+  uint64_t partition_units = 0;  ///< Units per tile; 0 = auto.
 
   bool Bounded() const { return deadline_ms != 0 || max_memory_mb != 0; }
 };
@@ -173,6 +199,15 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.deadline_ms = static_cast<uint64_t>(std::atoll(arg + 14));
     } else if (std::strncmp(arg, "--max-memory-mb=", 16) == 0) {
       flags.max_memory_mb = static_cast<size_t>(std::atoll(arg + 16));
+    } else if (std::strncmp(arg, "--decoded-cache-mb=", 19) == 0) {
+      flags.decoded_cache_mb = static_cast<size_t>(std::atoll(arg + 19));
+    } else if (std::strncmp(arg, "--shard-dir=", 12) == 0) {
+      flags.shard_dir = arg + 12;
+    } else if (std::strncmp(arg, "--shard-cache-mb=", 17) == 0) {
+      flags.shard_cache_mb = static_cast<size_t>(std::atoll(arg + 17));
+      if (flags.shard_cache_mb == 0) flags.shard_cache_mb = 1;
+    } else if (std::strncmp(arg, "--partition-units=", 18) == 0) {
+      flags.partition_units = static_cast<uint64_t>(std::atoll(arg + 18));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       std::exit(kExitUsage);
@@ -202,6 +237,24 @@ int Usage() {
                "usage: stj_cli <generate|april|aprilcheck|relate|join> ... "
                "(see source header for details)\n");
   return kExitUsage;
+}
+
+/// Encodes a set of approximations into the blocked codec, keeping corrupt
+/// entries as placeholders (shared by `april --codec=blocked` and the
+/// sharded join path, which persists the compressed form).
+CompressedAprilStore CompressApproximations(
+    const std::vector<AprilApproximation>& april) {
+  CompressedAprilStore cstore;
+  cstore.Reserve(april.size(), /*blocks=*/0, /*payload_bytes=*/0);
+  for (const AprilApproximation& a : april) {
+    if (!a.usable) {
+      cstore.AppendCorruptPlaceholder();
+      continue;
+    }
+    const AprilView view(a);
+    cstore.AppendEncoded(view.conservative, view.progressive);
+  }
+  return cstore;
 }
 
 /// Loads a WKT dataset honouring --permissive; on success prints a summary
@@ -279,17 +332,7 @@ int CmdApril(int argc, char** argv) {
   } else if (flags.codec == "compact") {
     saved = SaveAprilFileCompressed(argv[3], april);
   } else if (flags.codec == "blocked") {
-    CompressedAprilStore cstore;
-    cstore.Reserve(april.size(), /*blocks=*/0, /*payload_bytes=*/0);
-    for (const AprilApproximation& a : april) {
-      if (!a.usable) {
-        cstore.AppendCorruptPlaceholder();
-        continue;
-      }
-      const AprilView view(a);
-      cstore.AppendEncoded(view.conservative, view.progressive);
-    }
-    saved = SaveAprilStoreBlocked(argv[3], cstore);
+    saved = SaveAprilStoreBlocked(argv[3], CompressApproximations(april));
   } else {
     std::fprintf(stderr, "unknown codec '%s' (expected raw, compact, or "
                  "blocked)\n", flags.codec.c_str());
@@ -309,8 +352,36 @@ int CmdApril(int argc, char** argv) {
   return kExitOk;
 }
 
+/// aprilcheck over a shard set: the full integrity audit (every segment's
+/// payload checksum is read and verified). Tiles fail independently; any
+/// corrupt tile yields the distinct shard-corruption exit code.
+int CheckShardSet(const std::string& dir) {
+  ShardCheckReport report;
+  if (Status st = ValidateShardSet(dir, &report); !st.ok()) {
+    return FailWith(st);
+  }
+  std::fprintf(stderr,
+               "%s: shard set, %u tiles, %llu segments verified (%.2f MB), "
+               "%u corrupt\n",
+               dir.c_str(), report.tiles,
+               static_cast<unsigned long long>(report.segments_checked),
+               static_cast<double>(report.bytes_checked) / 1e6,
+               report.tiles_corrupt);
+  for (const std::string& issue : report.issues) {
+    std::fprintf(stderr, "  %s\n", issue.c_str());
+  }
+  if (report.issues_dropped != 0) {
+    std::fprintf(stderr, "  ... and %llu more issues\n",
+                 static_cast<unsigned long long>(report.issues_dropped));
+  }
+  return report.Corrupt() ? kExitShardCorrupt : kExitOk;
+}
+
 int CmdAprilCheck(int argc, char** argv) {
   if (argc < 3) return Usage();
+  if (std::string shard_dir; ResolveShardSetDir(argv[2], &shard_dir)) {
+    return CheckShardSet(shard_dir);
+  }
   std::vector<AprilApproximation> approximations;
   AprilLoadReport report;
   const Status status =
@@ -410,6 +481,20 @@ void ReportStageStats(const PipelineStats& stats, bool time_stages) {
   if (!time_stages) return;
   std::fprintf(stderr, "[join] stages: filter %.3fs, refine %.3fs\n",
                stats.filter_seconds, stats.refine_seconds);
+  // Decoded-record cache telemetry (compressed APRIL inputs). Printed for
+  // both executors — the pair-at-a-time path folds the same counters into
+  // PipelineStats as the batched one.
+  const uint64_t decoded = stats.decoded_hits + stats.decoded_misses;
+  if (decoded != 0) {
+    std::fprintf(stderr,
+                 "[join] decoded cache: %llu hits / %llu misses (%.1f%% hit "
+                 "rate, %llu corrupt)\n",
+                 static_cast<unsigned long long>(stats.decoded_hits),
+                 static_cast<unsigned long long>(stats.decoded_misses),
+                 100.0 * static_cast<double>(stats.decoded_hits) /
+                     static_cast<double>(decoded),
+                 static_cast<unsigned long long>(stats.decoded_corrupt));
+  }
   if (stats.batches != 0) {
     std::fprintf(stderr,
                  "[join] batch queue: %llu batches (%llu enqueued / %llu "
@@ -495,6 +580,108 @@ int CmdJoin(int argc, char** argv) {
     return FailWith(exec_ptr->ToStatus());
   }
 
+  const JoinOptions join_options{
+      .num_threads = flags.threads,
+      .time_stages = flags.time_stages,
+      .prepared_cache_bytes = flags.prepared_cache_mb << 20,
+      .exec = exec_ptr,
+      .batch_size = flags.batch_size,
+      .queue_depth = flags.queue_depth,
+      .decoded_cache_bytes = flags.decoded_cache_mb << 20};
+
+  if (!flags.shard_dir.empty()) {
+    // Out-of-core path: persist both sides as shard sets, then join tile
+    // pair by tile pair with a bounded resident-shard cache. Same links as
+    // the in-memory join below, printed in sorted (r, s) order.
+    if (!flags.predicate.empty()) {
+      std::fprintf(stderr,
+                   "--predicate cannot be combined with --shard-dir\n");
+      return kExitUsage;
+    }
+    timer.Reset();
+    PartitionOptions partition_options;
+    partition_options.units_per_tile = flags.partition_units;
+    const auto build_side =
+        [&](const char* sub, const Dataset& dataset,
+            const std::vector<AprilApproximation>& april) -> Status {
+      TilePartition partition;
+      ShardWriteStats write_stats;
+      Status st = BuildShardSet(flags.shard_dir + sub, dataset.objects,
+                                CompressApproximations(april),
+                                partition_options, &partition, &write_stats);
+      if (!st.ok()) return st;
+      std::fprintf(stderr,
+                   "[shard] %s%s: %u tiles, %.2f MB, imbalance %.2f\n",
+                   flags.shard_dir.c_str(), sub, write_stats.tiles,
+                   static_cast<double>(write_stats.bytes_written) / 1e6,
+                   partition.MaxImbalance());
+      return st;
+    };
+    if (Status st = build_side("/r", r, r_april); !st.ok()) {
+      return FailWith(st);
+    }
+    if (Status st = build_side("/s", s, s_april); !st.ok()) {
+      return FailWith(st);
+    }
+    ShardSet r_shards;
+    ShardSet s_shards;
+    if (Status st = ShardSet::Open(flags.shard_dir + "/r", &r_shards);
+        !st.ok()) {
+      return FailWith(st);
+    }
+    if (Status st = ShardSet::Open(flags.shard_dir + "/s", &s_shards);
+        !st.ok()) {
+      return FailWith(st);
+    }
+    std::fprintf(stderr, "[shard] built both shard sets in %.2fs\n",
+                 timer.ElapsedSeconds());
+
+    timer.Reset();
+    ShardJoinOptions shard_options;
+    shard_options.join = join_options;
+    shard_options.shard_cache_bytes = flags.shard_cache_mb << 20;
+    const ShardJoinResult result =
+        ShardedFindRelation(*method, r_shards, s_shards, shard_options);
+    size_t links = 0;
+    for (size_t i = 0; i < result.pairs.size(); ++i) {
+      if (result.relations[i] == de9im::Relation::kDisjoint) continue;
+      ++links;
+      std::printf("%u %u %s\n", result.pairs[i].r_idx, result.pairs[i].s_idx,
+                  ToString(result.relations[i]));
+    }
+    const ShardStats& ss = result.shard_stats;
+    std::fprintf(stderr,
+                 "[join] %zu links from %llu answered pairs in %.2fs "
+                 "(%.1f%% refined, method %s, sharded)\n",
+                 links, static_cast<unsigned long long>(ss.pairs_emitted),
+                 timer.ElapsedSeconds(),
+                 result.stats.UndeterminedPercent(), ToString(*method));
+    std::fprintf(stderr,
+                 "[shard] %llu/%llu tasks, %llu loads / %llu hits, "
+                 "%llu evictions, %.2f MB mapped, %.2f MB faulted eagerly, "
+                 "cache peak %.2f MB, %llu pairs deduped\n",
+                 static_cast<unsigned long long>(ss.tasks_run),
+                 static_cast<unsigned long long>(ss.tasks),
+                 static_cast<unsigned long long>(ss.shard_loads),
+                 static_cast<unsigned long long>(ss.shard_hits),
+                 static_cast<unsigned long long>(ss.shards_evicted),
+                 static_cast<double>(ss.bytes_mapped) / 1e6,
+                 static_cast<double>(ss.bytes_faulted) / 1e6,
+                 static_cast<double>(ss.cache_peak_bytes) / 1e6,
+                 static_cast<unsigned long long>(ss.pairs_deduped));
+    ReportPreparedStats(result.stats);
+    ReportStageStats(result.stats, flags.time_stages);
+    if (!result.status.ok()) {
+      std::fprintf(stderr,
+                   "[join] stopped early: %s — %llu pairs answered before "
+                   "the cut (all printed links are final)\n",
+                   result.status.ToString().c_str(),
+                   static_cast<unsigned long long>(ss.pairs_emitted));
+      return ExitCodeFor(result.status);
+    }
+    return kExitOk;
+  }
+
   timer.Reset();
   MbrJoin::Options filter_options;
   filter_options.num_threads = flags.threads;  // 0 = hardware concurrency
@@ -513,13 +700,6 @@ int CmdJoin(int argc, char** argv) {
 
   const DatasetView r_view{&r.objects, &r_april};
   const DatasetView s_view{&s.objects, &s_april};
-  const JoinOptions join_options{
-      .num_threads = flags.threads,
-      .time_stages = flags.time_stages,
-      .prepared_cache_bytes = flags.prepared_cache_mb << 20,
-      .exec = exec_ptr,
-      .batch_size = flags.batch_size,
-      .queue_depth = flags.queue_depth};
   timer.Reset();
   if (!flags.predicate.empty()) {
     const auto predicate = ParseRelation(flags.predicate);
