@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/interval/simd_tables.h"
+#include "src/util/thread_annotations.h"
 
 namespace stj::simd {
 
@@ -12,6 +13,7 @@ namespace {
 /// Active kernel table; resolved lazily on first use. The resolve race is
 /// benign (every thread computes the same pointer) and the atomic keeps the
 /// publication clean under tsan.
+STJ_ATOMIC_DOC("lazy kernel-table pointer; racing resolvers all publish the same value with release, readers acquire — benign race made clean");
 std::atomic<const Kernels*> g_active{nullptr};
 
 const Kernels* Resolve() {

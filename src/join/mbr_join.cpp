@@ -8,6 +8,7 @@
 
 #include "src/util/check.h"
 #include "src/util/parallel_for.h"
+#include "src/util/thread_annotations.h"
 
 namespace stj {
 
@@ -104,6 +105,7 @@ TileCsr BuildCsr(const std::vector<Box>& boxes, const TileGrid& grid,
   TileCsr csr;
   csr.offsets.assign(tile_count + 1, 0);
 
+  STJ_ATOMIC_DOC("per-tile write cursors; relaxed fetch_add hands each worker a distinct slot, the RunChunks join publishes the rows");
   const auto cursors = std::make_unique<std::atomic<size_t>[]>(tile_count);
   for (size_t t = 0; t < tile_count; ++t) {
     cursors[t].store(0, std::memory_order_relaxed);
@@ -288,6 +290,7 @@ std::vector<CandidatePair> MbrJoin::Join(const std::vector<Box>& r,
   } else {
     // Dynamic scheduling: idle workers steal the next block of tiles, so a
     // few dense tiles cannot serialize the sweep tail.
+    STJ_ATOMIC_DOC("work-stealing tile-block cursor; relaxed fetch_add, each block is claimed by exactly one worker");
     std::atomic<size_t> next{0};
     used = internal::RunWorkers(threads, [&](unsigned worker) {
       ExecContext::Scope scope(exec);

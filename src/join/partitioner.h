@@ -63,7 +63,7 @@ struct TilePartition {
   /// max(tile_units) / mean(tile_units) over all tiles (1.0 for <= 1 tile
   /// or an empty partition) — the balance figure the builder bounds by
   /// PartitionOptions::max_imbalance.
-  double MaxImbalance() const;
+  [[nodiscard]] double MaxImbalance() const;
 
   /// Aborts (STJ_CHECK) on structural inconsistency: grid validity, CSR
   /// shape, per-tile unit totals matching the entries.
@@ -81,7 +81,7 @@ struct TilePartition {
 ///
 /// \p units must be index-aligned with \p mbrs; a zero unit is treated as
 /// weight 1 so degenerate inputs still split. Deterministic in its inputs.
-TilePartition BuildCostBalancedPartition(const std::vector<Box>& mbrs,
+[[nodiscard]] TilePartition BuildCostBalancedPartition(const std::vector<Box>& mbrs,
                                          const std::vector<uint64_t>& units,
                                          const PartitionOptions& options = {});
 

@@ -9,6 +9,7 @@
 #include "src/interval/interval_list.h"
 #include "src/raster/april.h"
 #include "src/raster/april_compressed.h"
+#include "src/util/thread_annotations.h"
 
 namespace stj {
 
@@ -58,6 +59,11 @@ struct DecodedCacheStats {
 /// per worker (the same confinement contract as PreparedCache).
 class DecodedAprilCache {
  public:
+  STJ_THREAD_CONFINED(
+      "one instance per Pipeline side, one Pipeline per worker (the same "
+      "confinement contract as PreparedCache); views it returns stay "
+      "worker-local");
+
   /// How one lookup was resolved. kHit/kMiss fill *out; kCorrupt and
   /// kAbsent are the degraded-mode signals (no views).
   enum class FetchOutcome : uint8_t {

@@ -95,7 +95,7 @@ struct ShardWriteStats {
 /// compressed APRIL storage, index-aligned with \p objects. Per-tile APRIL
 /// slices are copied verbatim (never re-encoded), so a loaded tile record
 /// is byte-identical to the dataset record it came from.
-Status WriteShardSet(const std::string& dir, const TileGrid& grid,
+[[nodiscard]] Status WriteShardSet(const std::string& dir, const TileGrid& grid,
                      const std::vector<uint32_t>& tile_begin,
                      const std::vector<uint32_t>& entries,
                      const std::vector<uint64_t>& tile_units,
@@ -128,7 +128,7 @@ struct LoadedShard {
 class ShardSet {
  public:
   /// Parses and verifies <dir>/manifest.stj.
-  static Status Open(const std::string& dir, ShardSet* out);
+  [[nodiscard]] static Status Open(const std::string& dir, ShardSet* out);
 
   const std::string& Dir() const { return dir_; }
   const TileGrid& Grid() const { return grid_; }
@@ -138,13 +138,13 @@ class ShardSet {
 
   /// Sum of all shard file sizes — the "all resident" byte figure cache
   /// budgets are expressed against.
-  uint64_t TotalShardBytes() const;
+  [[nodiscard]] uint64_t TotalShardBytes() const;
 
   std::string TilePath(uint32_t tile) const;
 
   /// Maps tile \p t and deserialises its eager segments. Structural
   /// verification only (see file comment); kDataLoss on any mismatch.
-  Status LoadTile(uint32_t t, LoadedShard* out) const;
+  [[nodiscard]] Status LoadTile(uint32_t t, LoadedShard* out) const;
 
  private:
   std::string dir_;
@@ -173,12 +173,12 @@ struct ShardCheckReport {
 /// itself was unreadable (structural failure); per-tile corruption is
 /// reported through \p report, mirroring the v2/v3 record-isolation
 /// behaviour at tile granularity.
-Status ValidateShardSet(const std::string& dir, ShardCheckReport* report);
+[[nodiscard]] Status ValidateShardSet(const std::string& dir, ShardCheckReport* report);
 
 /// True when \p path names a shard set the aprilcheck command should route
 /// to ValidateShardSet: a directory containing manifest.stj (detected by
 /// opening it — no platform directory APIs), or the manifest file itself.
 /// \p dir receives the shard-set directory.
-bool ResolveShardSetDir(const std::string& path, std::string* dir);
+[[nodiscard]] bool ResolveShardSetDir(const std::string& path, std::string* dir);
 
 }  // namespace stj

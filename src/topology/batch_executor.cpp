@@ -12,6 +12,7 @@
 #include "src/util/mpmc_queue.h"
 #include "src/util/parallel_for.h"
 #include "src/util/timer.h"
+#include "src/util/thread_annotations.h"
 
 namespace stj {
 
@@ -93,7 +94,9 @@ PipelineStats RunBatched(Method method, DatasetView r_view, DatasetView s_view,
 
   StageQueue queue(std::max<size_t>(1, options.queue_depth));
   BatchArena<RefineBatch> arena;
+  STJ_ATOMIC_DOC("filter-batch claim cursor; relaxed fetch_add, each batch is filtered by exactly one worker");
   std::atomic<size_t> next_batch{0};
+  STJ_ATOMIC_DOC("completed-filter count; relaxed fetch_add, the worker seeing the final increment closes the stage queue");
   std::atomic<size_t> filtered_batches{0};
   std::vector<PipelineStats> per_worker(threads);
 

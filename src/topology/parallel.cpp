@@ -7,6 +7,7 @@
 
 #include "src/raster/hilbert.h"
 #include "src/topology/batch_executor.h"
+#include "src/util/thread_annotations.h"
 
 namespace stj {
 
@@ -167,6 +168,7 @@ PipelineStats RunPairs(Method method, DatasetView r_view, DatasetView s_view,
     const PairSchedule schedule = HilbertSchedule(r_view, s_view, pairs);
     const std::vector<uint32_t>& order = schedule.order;
     std::vector<PipelineStats> per_worker(threads);
+    STJ_ATOMIC_DOC("work-stealing pair-block cursor; relaxed fetch_add, each block is claimed by exactly one worker");
     std::atomic<size_t> next{0};
     const unsigned used = internal::RunWorkers(threads, [&](unsigned worker) {
       Pipeline pipeline(method, r_view, s_view, pipeline_options);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/geometry/prepared_polygon.h"
+#include "src/util/thread_annotations.h"
 
 namespace stj {
 
@@ -24,6 +25,10 @@ namespace stj {
 /// the cache needs no synchronisation and hit rates are per-worker exact.
 class PreparedCache {
  public:
+  STJ_THREAD_CONFINED(
+      "one instance per Pipeline, one Pipeline per worker; never shared, "
+      "so hit rates stay per-worker exact and no lock is needed");
+
   /// \p budget_bytes bounds the summed byte estimates of cached entries
   /// (softly: the newest entry is kept even when it alone exceeds it).
   explicit PreparedCache(size_t budget_bytes) : budget_(budget_bytes) {}

@@ -1,107 +1,51 @@
 #include "src/topology/shard_scheduler.h"
 
 #include <algorithm>
-#include <list>
 #include <numeric>
-#include <unordered_map>
 
 #include "src/join/mbr_join.h"
 #include "src/raster/hilbert.h"
 #include "src/util/check.h"
+#include "src/util/pinned_byte_cache.h"
 
 namespace stj {
 
 namespace {
 
-/// Resident-shard LRU keyed by (side, tile). The byte budget is the
-/// discipline, not a hard cap: the two shards of the running task are
-/// pinned, so when they alone exceed the budget the cache holds just them.
-/// Loads are charged to the ExecContext memory budget (and released on
-/// eviction), so an armed budget sees shard residency like any other
-/// tracked allocation.
-class ShardCache {
- public:
-  ShardCache(size_t budget_bytes, ExecContext* exec, ShardStats* stats)
-      : budget_(budget_bytes), exec_(exec), stats_(stats) {}
+/// Resident-shard cache: a PinnedByteLruCache of LoadedShards keyed by
+/// (side, tile). The byte budget is the discipline, not a hard cap — the
+/// two shards of the running task are pinned (PinGuard per task), so when
+/// they alone exceed the budget the cache holds just them. Loads are
+/// charged to the ExecContext memory budget and released on eviction, so
+/// an armed budget sees shard residency like any other tracked allocation.
+/// The pin/evict/charge protocol itself lives in src/util/pinned_byte_cache.h,
+/// annotated for -Wthread-safety and exhaustively model-checked in
+/// tests/model/cache_model_test.cpp.
+using ShardCache = PinnedByteLruCache<LoadedShard>;
 
-  ~ShardCache() {
-    if (exec_ != nullptr) exec_->Release(resident_);
-  }
+uint64_t ShardKey(int side, uint32_t tile) {
+  return (static_cast<uint64_t>(side) << 32) | tile;
+}
 
-  static uint64_t Key(int side, uint32_t tile) {
-    return (static_cast<uint64_t>(side) << 32) | tile;
-  }
-
-  /// Returns the resident shard for (side, tile), loading and evicting as
-  /// needed. \p pinned is the other shard of the running task (never
-  /// evicted). Null result carries the load failure in \p status.
-  const LoadedShard* Get(int side, const ShardSet& set, uint32_t tile,
-                         uint64_t pinned, Status* status) {
-    const uint64_t key = Key(side, tile);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++stats_->shard_hits;
-      return &it->second->shard;
-    }
-
-    LoadedShard shard;
-    Status st = set.LoadTile(tile, &shard);
-    if (!st.ok()) {
-      *status = st;
-      return nullptr;
-    }
-    ++stats_->shard_loads;
-    stats_->bytes_mapped += shard.map.Size();
-    stats_->bytes_faulted += shard.eager_bytes;
-
-    // Evict cold shards until the newcomer fits (pinned entries and the
-    // newcomer itself are exempt from the discipline).
-    while (resident_ + shard.resident_bytes > budget_ && Evict(pinned)) {
-    }
-    resident_ += shard.resident_bytes;
-    stats_->cache_peak_bytes = std::max<uint64_t>(stats_->cache_peak_bytes,
-                                                  resident_);
-    if (exec_ != nullptr && !exec_->TryCharge(shard.resident_bytes)) {
-      // The context tripped kMemoryExceeded; unwind cooperatively.
-      resident_ -= shard.resident_bytes;
-      *status = exec_->ToStatus();
-      return nullptr;
-    }
-    lru_.push_front(Entry{key, std::move(shard)});
-    index_[key] = lru_.begin();
-    return &lru_.front().shard;
-  }
-
- private:
-  struct Entry {
-    uint64_t key = 0;
-    LoadedShard shard;
-  };
-
-  /// Drops the least-recently-used unpinned entry; false when none remains.
-  bool Evict(uint64_t pinned) {
-    if (lru_.empty()) return false;
-    for (auto it = std::prev(lru_.end());; --it) {
-      if (it->key != pinned) {
-        resident_ -= it->shard.resident_bytes;
-        if (exec_ != nullptr) exec_->Release(it->shard.resident_bytes);
-        index_.erase(it->key);
-        lru_.erase(it);
-        ++stats_->shards_evicted;
-        return true;
-      }
-      if (it == lru_.begin()) return false;
-    }
-  }
-
-  size_t budget_;
-  size_t resident_ = 0;
-  ExecContext* exec_;
-  ShardStats* stats_;
-  std::list<Entry> lru_;  ///< Front = most recent.
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-};
+/// Fetches the resident shard for (side, tile) through the cache, mapping
+/// the shard file on a miss and folding the load telemetry into \p stats.
+/// Null result carries the load failure (or budget trip) in \p status.
+const LoadedShard* FetchShard(ShardCache* cache, int side,
+                              const ShardSet& set, uint32_t tile,
+                              ShardStats* stats, Status* status) {
+  return cache->Get(
+      ShardKey(side, tile),
+      [&set, tile, stats](LoadedShard* shard, size_t* bytes) {
+        Status st = set.LoadTile(tile, shard);
+        if (!st.ok()) return st;
+        ++stats->shard_loads;
+        stats->bytes_mapped += shard->map.Size();
+        stats->bytes_faulted += shard->eager_bytes;
+        *bytes = shard->resident_bytes;
+        return Status::Ok();
+      },
+      status);
+}
 
 /// One tile-pair task plus its schedule key.
 struct TilePairTask {
@@ -177,7 +121,7 @@ ShardJoinResult ShardedFindRelation(Method method, const ShardSet& r_shards,
                                     const ShardJoinOptions& options) {
   ShardJoinResult result;
   ExecContext* exec = options.join.exec;
-  ShardCache cache(options.shard_cache_bytes, exec, &result.shard_stats);
+  ShardCache cache(options.shard_cache_bytes, exec);
 
   const std::vector<TilePairTask> tasks = BuildTasks(r_shards, s_shards);
   result.shard_stats.tasks = tasks.size();
@@ -191,18 +135,19 @@ ShardJoinResult ShardedFindRelation(Method method, const ShardSet& r_shards,
       cut = true;
       break;
     }
-    // Fetch the task's two shards; each pins the other against eviction.
+    // Pin the task's two shards for the whole task, then fetch: neither can
+    // be evicted while the task runs, whatever the budget says.
+    const ShardCache::PinGuard r_pin(&cache, ShardKey(0, task.r_tile));
+    const ShardCache::PinGuard s_pin(&cache, ShardKey(1, task.s_tile));
     Status st;
-    const LoadedShard* r_shard =
-        cache.Get(0, r_shards, task.r_tile,
-                  ShardCache::Key(1, task.s_tile), &st);
+    const LoadedShard* r_shard = FetchShard(&cache, 0, r_shards, task.r_tile,
+                                            &result.shard_stats, &st);
     if (r_shard == nullptr) {
       result.status = st;
       break;
     }
-    const LoadedShard* s_shard =
-        cache.Get(1, s_shards, task.s_tile,
-                  ShardCache::Key(0, task.r_tile), &st);
+    const LoadedShard* s_shard = FetchShard(&cache, 1, s_shards, task.s_tile,
+                                            &result.shard_stats, &st);
     if (s_shard == nullptr) {
       result.status = st;
       break;
@@ -263,6 +208,13 @@ ShardJoinResult ShardedFindRelation(Method method, const ShardSet& r_shards,
     }
     ++result.shard_stats.tasks_run;
   }
+
+  // Fold the cache-side counters into the scheduler telemetry (loads and
+  // mapping bytes were accounted inside the loader).
+  const PinnedCacheStats cache_stats = cache.Stats();
+  result.shard_stats.shard_hits = cache_stats.hits;
+  result.shard_stats.shards_evicted = cache_stats.evictions;
+  result.shard_stats.cache_peak_bytes = cache_stats.peak_bytes;
 
   if (result.status.ok() && (cut || (exec != nullptr && exec->StopRequested()))) {
     result.status = exec != nullptr ? exec->ToStatus()

@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace stj {
 
@@ -139,6 +140,13 @@ class ExecContext {
     return charged_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Remaining budget (may be transiently negative around a failed charge).
+  /// Meaningless without an armed budget. Exposed for the charge/release
+  /// balance invariants the model checker asserts (tests/model/).
+  int64_t budget_remaining() const {
+    return budget_remaining_.load(std::memory_order_relaxed);
+  }
+
   ExecWatchdogStats WatchdogSnapshot() const {
     ExecWatchdogStats stats;
     stats.checkins = checkins_.load(std::memory_order_relaxed);
@@ -239,25 +247,47 @@ class ExecContext {
 
   void NoteStopObserved(uint64_t latency_us);
 
+  STJ_ATOMIC_DOC(
+      "stop cause; any thread CASes kNone->cause once (RequestStop), workers "
+      "read relaxed per check-in — staleness only delays the cut, cause() "
+      "reads acquire to order against the trip's bookkeeping");
   std::atomic<uint8_t> stop_{static_cast<uint8_t>(StopCause::kNone)};
   /// Steady-clock microseconds at the moment of the trip (latency origin).
+  STJ_ATOMIC_DOC(
+      "written once by the tripping thread before the stop_ CAS publishes; "
+      "observers read it only after seeing stop_ != kNone");
   std::atomic<int64_t> trip_time_us_{0};
 
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
 
   bool has_budget_ = false;
+  STJ_ATOMIC_DOC(
+      "signed budget counter; TryCharge/Release fetch_sub/fetch_add relaxed "
+      "from any worker — only the sign matters and each charge observes its "
+      "own subtraction, so no ordering beyond atomicity is needed");
   std::atomic<int64_t> budget_remaining_{0};
+  STJ_ATOMIC_DOC("monotone telemetry total; relaxed add, read after the run");
   std::atomic<uint64_t> charged_bytes_{0};
+  STJ_ATOMIC_DOC("fault-injection ordinal; relaxed fetch_add gives each "
+                 "charge a unique 1-based id, order between workers is moot");
   std::atomic<uint64_t> charge_ordinal_{0};
 
-  // Watchdog totals (Scope::Flush merges the per-worker counters).
+  // Watchdog totals (Scope::Flush merges the per-worker counters). All four
+  // are write-only during the run and read after workers joined.
+  STJ_ATOMIC_DOC("watchdog total; relaxed add at scope exit, read post-join");
   std::atomic<uint64_t> checkins_{0};
+  STJ_ATOMIC_DOC("watchdog total; relaxed add at scope exit, read post-join");
   std::atomic<uint64_t> deadline_polls_{0};
+  STJ_ATOMIC_DOC("watchdog total; relaxed add at scope exit, read post-join");
   std::atomic<uint64_t> stop_observations_{0};
+  STJ_ATOMIC_DOC("watchdog maximum; CAS max loop at scope exit, read "
+                 "post-join — contended only in the instant after a trip");
   std::atomic<uint64_t> max_cancel_latency_us_{0};
 
   CheckInHook checkin_hook_;
+  STJ_ATOMIC_DOC("fault-injection ordinal; relaxed fetch_add gives each "
+                 "check-in a unique 1-based id for schedule replay");
   std::atomic<uint64_t> checkin_ordinal_{0};
   ChargeHook charge_hook_;
 };

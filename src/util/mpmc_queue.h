@@ -106,6 +106,13 @@ class BoundedMpmcQueue {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
+#ifdef STJ_MODEL_QUEUE_CORRUPT
+      // Tripwire build (tests/model, DESIGN.md §16): a deliberately broken
+      // close that drops the queued remainder. The exhaustive interleaving
+      // checker must fail its "no lost batch after Close" invariant on this
+      // build — proving the checker can actually see a protocol bug.
+      items_.clear();
+#endif
     }
     ready_.notify_all();
   }
@@ -127,6 +134,21 @@ class BoundedMpmcQueue {
   bool aborted() const STJ_EXCLUDES(mutex_) {
     const std::lock_guard<std::mutex> lock(mutex_);
     return aborted_;
+  }
+
+  /// True once Close() ran (sticky; independent of remaining items).
+  bool closed() const STJ_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Current occupancy. A point-in-time reading — by the time the caller
+  /// acts on it a peer may have pushed or popped; the model checker
+  /// (tests/model/) uses it as the enabledness predicate of a blocking Pop,
+  /// where the deterministic scheduler guarantees no such race.
+  size_t size() const STJ_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
   }
 
   size_t capacity() const { return capacity_; }

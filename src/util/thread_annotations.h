@@ -8,15 +8,23 @@
 /// carry the STJ_ prefix so the no-op fallback cannot collide with other
 /// libraries' definitions.
 ///
-/// Annotation policy:
+/// Annotation policy (DESIGN.md §16):
 ///  - Every mutex-protected member is STJ_GUARDED_BY(its mutex); accessor
 ///    methods that expect the caller to hold the lock are STJ_REQUIRES.
-///  - std::atomic members need no annotation (their safety is in the type);
-///    the work-stealing loops in topology/parallel.cpp and join/mbr_join.cpp
-///    share only atomics and disjointly-indexed per-worker slots.
+///  - std::atomic declarations carry no capability (their safety is in the
+///    type), but every one must be documented through STJ_ATOMIC_DOC on the
+///    declaration line or the line directly above it: one sentence naming
+///    the sharing protocol (who writes, who reads, which memory order and
+///    why it suffices). tools/stj_analyzer.py enforces presence; the macro
+///    itself rejects an empty rationale at compile time.
+///  - Mutexes that can nest declare their order with STJ_ACQUIRED_AFTER /
+///    STJ_ACQUIRED_BEFORE; tools/stj_analyzer.py derives the observed
+///    lock-order graph from nested guard scopes and fails on any cycle
+///    between observed and declared edges.
 ///  - Classes that are intentionally single-threaded (Pipeline and its
-///    PreparedCaches: one instance per worker) say so in their class comment
-///    instead of carrying lock annotations they do not need.
+///    PreparedCaches, the DecodedAprilCache: one instance per worker)
+///    declare STJ_THREAD_CONFINED("...") in their class body naming the
+///    confinement that replaces the lock annotations they do not need.
 
 #if defined(__clang__) && defined(__has_attribute)
 #define STJ_THREAD_ANNOTATION(x) __attribute__((x))
@@ -52,7 +60,39 @@
 /// Return value is a reference to data guarded by the capability.
 #define STJ_RETURN_CAPABILITY(x) STJ_THREAD_ANNOTATION(lock_returned(x))
 
+/// Declares lock order: this mutex is acquired after / before the listed
+/// ones. Clang checks the declared order; tools/stj_analyzer.py additionally
+/// cross-checks it against the order observed in nested guard scopes.
+#define STJ_ACQUIRED_AFTER(...) STJ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define STJ_ACQUIRED_BEFORE(...) \
+  STJ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability (for code
+/// reached both with and without the lock where the analysis needs help).
+#define STJ_ASSERT_CAPABILITY(x) STJ_THREAD_ANNOTATION(assert_capability(x))
+
 /// Escape hatch: disables analysis for one function. Use only with a comment
 /// explaining why the analysis cannot see the safety argument.
 #define STJ_NO_THREAD_SAFETY_ANALYSIS \
   STJ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Documents one lock-free (atomic) field or variable: who writes it, who
+/// reads it, and why the chosen memory order suffices. Placed on the
+/// declaration line or the line directly above it; tools/stj_analyzer.py
+/// fails any `std::atomic` declaration in src/ that lacks one. The
+/// static_assert makes the convention *checked* rather than decorative —
+/// an empty rationale ("") does not compile, so every annotation carries
+/// an argument a reviewer can dispute.
+#define STJ_ATOMIC_DOC(reason)                               \
+  static_assert(sizeof(reason) > 1,                          \
+                "STJ_ATOMIC_DOC needs a non-empty rationale " \
+                "(writers, readers, memory order)")
+
+/// Documents a deliberately unsynchronized class whose safety argument is
+/// thread confinement (one instance per worker, never shared). Placed in
+/// the class body; the checked-rationale discipline mirrors STJ_ATOMIC_DOC
+/// so "it just has no locks" cannot pass review silently.
+#define STJ_THREAD_CONFINED(reason)                                 \
+  static_assert(sizeof(reason) > 1,                                 \
+                "STJ_THREAD_CONFINED needs a non-empty confinement " \
+                "rationale (which thread owns an instance, and why)")

@@ -1,0 +1,179 @@
+// Edge-case unit tests for BoundedMpmcQueue (src/util/mpmc_queue.h) with
+// real threads — the complement of the exhaustive small-state model suite
+// in tests/model/queue_model_test.cpp: the model proves the protocol over
+// every interleaving of tiny programs; these tests drive the actual condvar
+// wakeups, larger item counts, and the executor's help-drain discipline.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/mpmc_queue.h"
+
+namespace stj {
+namespace {
+
+using Queue = BoundedMpmcQueue<int>;
+using Outcome = Queue::PopOutcome;
+
+TEST(MpmcQueueTest, TryPushRefusesWhenFullAndAfterClose) {
+  Queue q(1);
+  int item = 1;
+  EXPECT_TRUE(q.TryPush(item));
+  int second = 2;
+  EXPECT_FALSE(q.TryPush(second)) << "capacity is a hard bound";
+  EXPECT_EQ(second, 2) << "a refused push must leave the item intact";
+
+  q.Close();
+  // Closed refuses new items but the queued remainder stays drainable: the
+  // producer that failed its push helps drain instead of blocking.
+  EXPECT_FALSE(q.TryPush(second));
+  int drained = 0;
+  EXPECT_TRUE(q.TryPop(&drained));
+  EXPECT_EQ(drained, 1);
+  // Even empty-and-closed, producers stay refused: closed is sticky.
+  EXPECT_FALSE(q.TryPush(second));
+  int v = 0;
+  EXPECT_EQ(q.Pop(&v), Outcome::kClosed);
+}
+
+TEST(MpmcQueueTest, AbortDropsItemsAndFailsEverything) {
+  Queue q(4);
+  for (int i = 0; i < 3; ++i) {
+    int item = i;
+    ASSERT_TRUE(q.TryPush(item));
+  }
+  q.Abort();
+  EXPECT_TRUE(q.aborted());
+  EXPECT_EQ(q.size(), 0u) << "Abort drops the queued remainder";
+  int v = 0;
+  EXPECT_FALSE(q.TryPop(&v));
+  EXPECT_EQ(q.Pop(&v), Outcome::kAborted);
+  int item = 9;
+  EXPECT_FALSE(q.TryPush(item));
+}
+
+TEST(MpmcQueueTest, AbortWakesBlockedConsumers) {
+  Queue q(2);
+  constexpr int kConsumers = 4;
+  std::atomic<int> aborted_wakes{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&q, &aborted_wakes] {
+      int v = 0;
+      if (q.Pop(&v) == Outcome::kAborted) {
+        aborted_wakes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // No items ever arrive: all four consumers block in Pop until the abort.
+  q.Abort();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(aborted_wakes.load(), kConsumers)
+      << "a blocked consumer missed the abort wakeup";
+}
+
+TEST(MpmcQueueTest, AbortRacingCloseNeverStrandsAWaiter) {
+  // Close and Abort fired concurrently while consumers block: every
+  // consumer must return (joining proves the wakeup), with a terminal
+  // outcome from either transition. Repeated to give the race room.
+  for (int round = 0; round < 50; ++round) {
+    Queue q(2);
+    std::atomic<int> terminal{0};
+    std::vector<std::thread> consumers;
+    for (int i = 0; i < 3; ++i) {
+      consumers.emplace_back([&q, &terminal] {
+        int v = 0;
+        const Outcome o = q.Pop(&v);
+        if (o == Outcome::kClosed || o == Outcome::kAborted) {
+          terminal.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::thread closer([&q] { q.Close(); });
+    std::thread aborter([&q] { q.Abort(); });
+    closer.join();
+    aborter.join();
+    for (std::thread& t : consumers) t.join();
+    ASSERT_EQ(terminal.load(), 3);
+    ASSERT_TRUE(q.aborted());
+    ASSERT_TRUE(q.closed());
+  }
+}
+
+TEST(MpmcQueueTest, HelpDrainConservesItemsUnderContention) {
+  // Producers use the executor's discipline (failed push -> pop one and
+  // process it -> retry); consumers drain until closed. Every accepted item
+  // is processed exactly once, whichever side ends up doing the work.
+  constexpr int kProducers = 3;
+  constexpr int kItemsEach = 200;
+  Queue q(2);  // Tiny capacity: the help path runs constantly.
+  std::mutex processed_mu;
+  std::vector<int> processed;
+  std::atomic<int> live_producers{kProducers};
+
+  auto process = [&processed_mu, &processed](int v) {
+    const std::lock_guard<std::mutex> lock(processed_mu);
+    processed.push_back(v);
+  };
+
+  std::vector<std::thread> workers;
+  for (int p = 0; p < kProducers; ++p) {
+    workers.emplace_back([&, p] {
+      for (int i = 0; i < kItemsEach; ++i) {
+        int item = p * kItemsEach + i;
+        while (!q.TryPush(item)) {
+          int helped = 0;
+          if (q.TryPop(&helped)) process(helped);
+        }
+      }
+      if (live_producers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        q.Close();  // Last producer closes the stream.
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    workers.emplace_back([&] {
+      int v = 0;
+      while (q.Pop(&v) == Outcome::kItem) process(v);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  std::sort(processed.begin(), processed.end());
+  std::vector<int> expected(kProducers * kItemsEach);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(processed, expected)
+      << "an item was lost or duplicated across the help-drain paths";
+
+  const QueueTelemetry t = q.Telemetry();
+  EXPECT_EQ(t.pushed, static_cast<uint64_t>(kProducers * kItemsEach));
+  EXPECT_EQ(t.popped, t.pushed);
+  EXPECT_LE(t.max_depth, q.capacity());
+}
+
+TEST(MpmcQueueTest, TelemetryCountsAndHighWater) {
+  Queue q(3);
+  for (int i = 0; i < 3; ++i) {
+    int item = i;
+    ASSERT_TRUE(q.TryPush(item));
+  }
+  int v = 0;
+  ASSERT_TRUE(q.TryPop(&v));
+  int item = 3;
+  ASSERT_TRUE(q.TryPush(item));
+  const QueueTelemetry t = q.Telemetry();
+  EXPECT_EQ(t.pushed, 4u);
+  EXPECT_EQ(t.popped, 1u);
+  EXPECT_EQ(t.max_depth, 3u);
+}
+
+}  // namespace
+}  // namespace stj
